@@ -1,0 +1,36 @@
+//! Criterion counterpart of Figure 3: real accelerator-device throughput
+//! as a function of the batch-assembly threshold `B`.
+
+use accel::{Device, DeviceConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nn::{NetConfig, PolicyValueNet};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_device_batching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accel_batch");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    const SAMPLES: usize = 16;
+    group.throughput(Throughput::Elements(SAMPLES as u64));
+    for batch in [1usize, 2, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("batch", batch), &batch, |b, &batch| {
+            let net = Arc::new(PolicyValueNet::new(NetConfig::tiny(4, 5, 5, 25), 3));
+            let dev = Device::new(Arc::clone(&net), DeviceConfig::instant(batch));
+            let input = vec![0.25f32; dev.input_len()];
+            b.iter(|| {
+                let rxs: Vec<_> = (0..SAMPLES).map(|_| dev.submit(input.clone())).collect();
+                for rx in rxs {
+                    rx.recv().unwrap();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_device_batching);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion counterpart of Figure 5: per-move latency of the shared-tree
+//! (full-batch) and local-tree (sub-batch) schemes with inference routed
+//! through the batching accelerator device, at host-feasible scale.
+
+use accel::{Device, DeviceConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use games::tictactoe::TicTacToe;
+use mcts::{AccelEvaluator, MctsConfig, Scheme};
+use nn::{NetConfig, PolicyValueNet};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn accel_evaluator(batch: usize, streams: usize) -> Arc<AccelEvaluator> {
+    let net = Arc::new(PolicyValueNet::new(NetConfig::tiny(4, 3, 3, 9), 5));
+    let device = Arc::new(Device::new(
+        net,
+        DeviceConfig {
+            streams,
+            ..DeviceConfig::instant(batch)
+        },
+    ));
+    Arc::new(AccelEvaluator::new(device))
+}
+
+fn bench_schemes_accel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schemes_accel");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for workers in [2usize, 4] {
+        // Shared tree: full-batch inference (batch = N, §3.3).
+        let cfg = MctsConfig {
+            playouts: 64,
+            workers,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("shared_full_batch", workers),
+            &workers,
+            |b, &n| {
+                let eval = accel_evaluator(n, 1);
+                let mut search = Scheme::SharedTree.build::<TicTacToe>(cfg, eval);
+                let game = TicTacToe::new();
+                b.iter(|| search.search(&game));
+            },
+        );
+        // Local tree: sub-batch inference (B = N/2, two streams).
+        group.bench_with_input(
+            BenchmarkId::new("local_sub_batch", workers),
+            &workers,
+            |b, &n| {
+                let eval = accel_evaluator((n / 2).max(1), 2);
+                let mut search = Scheme::LocalTree.build::<TicTacToe>(cfg, eval);
+                let game = TicTacToe::new();
+                b.iter(|| search.search(&game));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes_accel);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion counterpart of Figure 4: per-move latency of every search
+//! scheme on the CPU, at a host-feasible scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use games::tictactoe::TicTacToe;
+use mcts::{MctsConfig, Scheme, UniformEvaluator};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schemes_cpu");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for scheme in Scheme::ALL {
+        for workers in [1usize, 2, 4] {
+            if scheme == Scheme::Serial && workers > 1 {
+                continue;
+            }
+            let cfg = MctsConfig {
+                playouts: 64,
+                workers,
+                ..Default::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(scheme.name(), workers),
+                &workers,
+                |b, _| {
+                    let eval = Arc::new(UniformEvaluator::for_game(&TicTacToe::new()));
+                    let mut search = scheme.build::<TicTacToe>(cfg, eval);
+                    let game = TicTacToe::new();
+                    b.iter(|| search.search(&game));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

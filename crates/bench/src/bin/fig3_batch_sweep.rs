@@ -1,0 +1,73 @@
+//! Figure 3 — Design exploration of the host↔accelerator inference batch
+//! size `B` for the local-tree scheme on a CPU-GPU platform.
+//!
+//! The paper sweeps `B` for `N ∈ {16, 32, 64}` workers and observes a
+//! V-shaped amortized iteration latency: small batches serialize
+//! inference behind per-submission launch latency, large batches make the
+//! accelerator wait for the master thread's serial in-tree operations.
+//! Optimal batch sizes reported by the paper: `B* = 8` at `N = 16` and
+//! `B* = 20` at `N ∈ {32, 64}`.
+//!
+//! Run: `cargo run --release -p bench --bin fig3_batch_sweep`
+
+use bench::{header, row, write_results};
+use perfmodel::sim::{simulate_local_accel, SimParams};
+use perfmodel::vsearch::find_min_vsequence_counted;
+
+fn main() {
+    println!("Figure 3: iteration latency (µs) vs inference batch size B");
+    println!("(discrete-event simulation, paper-like 64-core + A6000 parameters)\n");
+
+    let ns = [16usize, 32, 64];
+    let batches: Vec<usize> = vec![1, 2, 4, 8, 12, 16, 20, 24, 32, 48, 64];
+
+    let mut csv = String::from("n,batch,iteration_us\n");
+    let mut cols = vec!["B".to_string()];
+    cols.extend(ns.iter().map(|n| format!("N={n}")));
+    header(&cols.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+
+    for &b in &batches {
+        let mut values = Vec::new();
+        for &n in &ns {
+            if b > n {
+                values.push(f64::NAN);
+                continue;
+            }
+            let p = SimParams::paper_like(n);
+            let us = simulate_local_accel(&p, b).iteration_ns / 1000.0;
+            csv.push_str(&format!("{n},{b},{us:.3}\n"));
+            values.push(us);
+        }
+        row(&format!("{b}"), &values);
+    }
+
+    println!("\nAlgorithm 4 batch-size search (O(log N) probes) vs exhaustive sweep:");
+    header(&["N", "B* (Alg.4)", "probes", "B* (exhaustive)", "probes"]);
+    for &n in &ns {
+        let p = SimParams::paper_like(n);
+        let mut oracle = |b: usize| simulate_local_accel(&p, b).iteration_ns;
+        let fast = find_min_vsequence_counted(1, n, &mut oracle);
+        let naive = perfmodel::vsearch::find_min_exhaustive(1, n, &mut oracle);
+        row(
+            &format!("{n}"),
+            &[
+                fast.argmin as f64,
+                fast.evals as f64,
+                naive.argmin as f64,
+                naive.evals as f64,
+            ],
+        );
+        let fast_v = simulate_local_accel(&p, fast.argmin).iteration_ns;
+        let naive_v = simulate_local_accel(&p, naive.argmin).iteration_ns;
+        assert!(
+            fast_v <= naive_v * 1.02,
+            "Alg.4 result must be within 2% of exhaustive"
+        );
+    }
+    println!("\npaper-reported optima for reference: B*=8 @ N=16, B*=20 @ N=32/64");
+
+    match write_results("fig3_batch_sweep.csv", &csv) {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -1,0 +1,126 @@
+//! Figure 6 — Overall training throughput (processed samples/second) vs
+//! number of workers, on CPU-only and CPU-GPU platforms, each using the
+//! optimal parallel method from the design-configuration workflow.
+//!
+//! Paper behaviour to reproduce:
+//! * CPU-GPU: near-linear throughput growth up to N = 16, then flattening
+//!   once the (overlapped, GPU-offloaded) training stage dominates;
+//! * CPU-only: training on 32 fixed CPU threads becomes the bottleneck
+//!   early, so throughput gains from more search workers are modest;
+//! * annotated per-N optimal scheme.
+//!
+//! Run: `cargo run --release -p bench --bin fig6_throughput`
+
+use bench::{header, small_gomoku_setup, write_results};
+use mcts::{MctsConfig, NnEvaluator, Scheme};
+use perfmodel::sim::{
+    simulate_local_accel, simulate_local_cpu, simulate_shared_accel, simulate_shared_cpu,
+    simulate_training_throughput, SimParams,
+};
+use perfmodel::vsearch::find_min_vsequence;
+use std::sync::Arc;
+use train::{Pipeline, PipelineConfig};
+
+/// Modeled per-sample training cost: a GPU SGD step on a move's worth of
+/// data (~ms-scale) vs a 32-thread CPU trainer (~10x slower), loosely
+/// matching the paper's platform ratio.
+const TRAIN_GPU_NS_PER_SAMPLE: f64 = 27_000_000.0;
+const TRAIN_CPU_NS_PER_SAMPLE: f64 = 400_000_000.0;
+const MOVES_PER_EPISODE: usize = 40;
+
+fn main() {
+    println!("Figure 6: training throughput (samples/s) under optimal configurations");
+    println!("(simulation, paper-like parameters; 1 sample = one 1600-playout move)\n");
+
+    let ns = [1usize, 2, 4, 8, 16, 32, 64];
+    let mut csv = String::from("n,platform,scheme,throughput\n");
+
+    println!("CPU-GPU platform (training offloaded to GPU, overlapped):");
+    header(&["N", "samples/s", "(scheme)"]);
+    for &n in &ns {
+        let p = SimParams::paper_like(n);
+        let shared = simulate_shared_accel(&p).move_ns;
+        let (bstar, _) =
+            find_min_vsequence(1, n, |b| simulate_local_accel(&p, b).iteration_ns);
+        let local = simulate_local_accel(&p, bstar).move_ns;
+        let (scheme, search_ns) = if local <= shared {
+            (format!("local,B*={bstar}"), local)
+        } else {
+            ("shared".to_string(), shared)
+        };
+        let tp =
+            simulate_training_throughput(search_ns, TRAIN_GPU_NS_PER_SAMPLE, MOVES_PER_EPISODE);
+        csv.push_str(&format!("{n},cpu-gpu,{scheme},{tp:.4}\n"));
+        println!("{:>14} {:>14.3}   ({scheme})", n, tp);
+    }
+
+    println!("\nCPU-only platform (training on 32 fixed CPU threads, serialized):");
+    header(&["N", "samples/s", "(scheme)"]);
+    for &n in &ns {
+        let p = SimParams::paper_like(n);
+        let shared = simulate_shared_cpu(&p).move_ns;
+        let local = simulate_local_cpu(&p).move_ns;
+        let (scheme, search_ns) = if local <= shared {
+            ("local", local)
+        } else {
+            ("shared", shared)
+        };
+        // Serialized stages: samples / (search + train).
+        let total_ns = search_ns + TRAIN_CPU_NS_PER_SAMPLE;
+        let tp = 1.0 / (total_ns * 1e-9);
+        csv.push_str(&format!("{n},cpu-only,{scheme},{tp:.4}\n"));
+        println!("{:>14} {:>14.3}   ({scheme})", n, tp);
+    }
+
+    println!("\nMeasured on this host (small Gomoku, tiny net, real pipeline):");
+    header(&["N", "scheme", "samples/s"]);
+    let mut mcsv = String::from("n,scheme,throughput\n");
+    for (n, scheme) in [(1usize, Scheme::Serial), (2, Scheme::LocalTree)] {
+        let (game, net) = small_gomoku_setup(7);
+        let mut cfg = PipelineConfig::smoke(scheme, n);
+        cfg.episodes = 1;
+        cfg.mcts = MctsConfig {
+            playouts: 48,
+            workers: n,
+            ..Default::default()
+        };
+        let mut pipeline = Pipeline::new(game, (*net).clone(), cfg);
+        pipeline.set_evaluator_factory(|snap| Arc::new(NnEvaluator::new(snap)));
+        let report = pipeline.run();
+        mcsv.push_str(&format!("{n},{},{:.4}\n", scheme.name(), report.samples_per_sec));
+        println!(
+            "{:>14} {:>14} {:>14.3}",
+            n,
+            scheme.name(),
+            report.samples_per_sec
+        );
+    }
+
+    // Serialized vs truly-overlapped trainer on identical configs (§5.4's
+    // producer/consumer pipeline, measured).
+    println!("\nMeasured serialized vs overlapped trainer (same config):");
+    header(&["mode", "samples/s"]);
+    let (game, net) = small_gomoku_setup(7);
+    let mut cfg = PipelineConfig::smoke(Scheme::Serial, 1);
+    cfg.episodes = 2;
+    cfg.sgd_iters = 8;
+    cfg.mcts = MctsConfig {
+        playouts: 48,
+        ..Default::default()
+    };
+    let mut serialized = Pipeline::new(game.clone(), (*net).clone(), cfg);
+    let ser_report = serialized.run();
+    let (_, ovl_report) = train::run_overlapped(&game, (*net).clone(), cfg, None);
+    mcsv.push_str(&format!(
+        "serialized,pipeline,{:.4}\noverlapped,pipeline,{:.4}\n",
+        ser_report.samples_per_sec, ovl_report.samples_per_sec
+    ));
+    println!("{:>14} {:>14.3}", "serialized", ser_report.samples_per_sec);
+    println!("{:>14} {:>14.3}", "overlapped", ovl_report.samples_per_sec);
+
+    let _ = write_results("fig6_sim.csv", &csv);
+    match write_results("fig6_measured.csv", &mcsv) {
+        Ok(p) => println!("\nwrote results/fig6_sim.csv and {}", p.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -1,0 +1,65 @@
+//! §2.1 motivation — profile the serial DNN-MCTS training loop and verify
+//! that the tree-based search stage dominates the total runtime (the
+//! paper measured >85% on the Gomoku benchmark), plus the in-tree /
+//! inference split inside the search stage and the design-time host
+//! profile used by the configurator.
+//!
+//! Run: `cargo run --release -p bench --bin profile_serial`
+
+use bench::{header, row, small_gomoku_setup};
+use games::Game;
+use mcts::{MctsConfig, Scheme};
+use nn::{NetConfig, PolicyValueNet};
+use perfmodel::profiler;
+use train::{Pipeline, PipelineConfig};
+
+fn main() {
+    println!("Serial DNN-MCTS profile (paper §2.1 motivation)\n");
+
+    // A mid-size net keeps inference realistically heavy relative to SGD.
+    let (game, _) = small_gomoku_setup(5);
+    let net = PolicyValueNet::new(
+        NetConfig::for_board(4, game.size(), game.size(), game.action_space()),
+        5,
+    );
+    let mut cfg = PipelineConfig::smoke(Scheme::Serial, 1);
+    cfg.episodes = 2;
+    cfg.sgd_iters = 3;
+    cfg.mcts = MctsConfig {
+        playouts: 96,
+        workers: 1,
+        ..Default::default()
+    };
+    let mut pipeline = Pipeline::new(game.clone(), net.clone(), cfg);
+    let report = pipeline.run();
+
+    let total = (report.search_ns + report.train_ns) as f64;
+    let search_frac = report.search_ns as f64 / total;
+    println!("tree-based search stage: {:.1}% of training runtime", 100.0 * search_frac);
+    println!("DNN training stage:      {:.1}%", 100.0 * report.train_ns as f64 / total);
+    println!("(paper: tree-based search > 85% of the serial pipeline)\n");
+
+    println!("Design-time host profile (§4.2 inputs):");
+    let costs = profiler::profile_host(&net, game.action_space(), 6, 400);
+    header(&["T_select ns", "T_backup ns", "T_ddr ns", "T_dnn_cpu ns"]);
+    row(
+        "host",
+        &[
+            costs.t_select_ns,
+            costs.t_backup_ns,
+            costs.t_shared_access_ns,
+            costs.t_dnn_cpu_ns,
+        ],
+    );
+
+    let in_tree = costs.t_select_ns + costs.t_backup_ns;
+    println!(
+        "\nper-iteration split: in-tree {:.1} µs vs inference {:.1} µs",
+        in_tree / 1000.0,
+        costs.t_dnn_cpu_ns / 1000.0
+    );
+    println!(
+        "inference/in-tree ratio: {:.1}x (drives the local-vs-shared tradeoff)",
+        costs.t_dnn_cpu_ns / in_tree
+    );
+}

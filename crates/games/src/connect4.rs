@@ -1,0 +1,265 @@
+//! Connect-Four (7×6) with a two-bitboard representation.
+//!
+//! Mid-sized benchmark between TicTacToe and Gomoku: action space of 7,
+//! games of at most 42 plies, and a well-known first-player-wins theory.
+//! Used in integration tests and as the second domain-specific example.
+//!
+//! Bitboard layout follows the classic 7-column × (6+1)-row scheme: each
+//! column occupies 7 bits with the top bit always empty, which makes the
+//! four-direction win test four shift-and operations.
+
+use crate::traits::{Action, Game, Player, Status};
+
+/// Columns on the board.
+pub const COLS: usize = 7;
+/// Playable rows per column.
+pub const ROWS: usize = 6;
+/// Bits per column (one sentinel row on top).
+const COL_BITS: usize = ROWS + 1;
+
+/// Connect-Four position. `Copy`-cheap: two u64 bitboards plus metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Connect4 {
+    /// Stones of each player; bit `col * 7 + row` (row 0 = bottom).
+    boards: [u64; 2],
+    /// Number of stones in each column.
+    heights: [u8; COLS],
+    to_move: Player,
+    last_move: Option<Action>,
+    moves: u8,
+}
+
+impl Connect4 {
+    /// Empty board, Black to move.
+    pub fn new() -> Self {
+        Connect4 {
+            boards: [0, 0],
+            heights: [0; COLS],
+            to_move: Player::Black,
+            last_move: None,
+            moves: 0,
+        }
+    }
+
+    /// Does bitboard `b` contain four in a row?
+    #[inline]
+    fn has_four(b: u64) -> bool {
+        // directions: vertical 1, horizontal 7, diag 6, anti-diag 8
+        for shift in [1u32, 7, 6, 8] {
+            let m = b & (b >> shift);
+            if m & (m >> (2 * shift)) != 0 {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Stone at `(row, col)` with row 0 at the bottom.
+    pub fn stone_at(&self, row: usize, col: usize) -> Option<Player> {
+        let bit = 1u64 << (col * COL_BITS + row);
+        if self.boards[0] & bit != 0 {
+            Some(Player::Black)
+        } else if self.boards[1] & bit != 0 {
+            Some(Player::White)
+        } else {
+            None
+        }
+    }
+
+    /// Height (stones placed) of `col`.
+    pub fn height(&self, col: usize) -> usize {
+        self.heights[col] as usize
+    }
+}
+
+impl Default for Connect4 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Game for Connect4 {
+    fn action_space(&self) -> usize {
+        COLS
+    }
+
+    fn encoded_shape(&self) -> (usize, usize, usize) {
+        (4, ROWS, COLS)
+    }
+
+    fn to_move(&self) -> Player {
+        self.to_move
+    }
+
+    fn status(&self) -> Status {
+        if Self::has_four(self.boards[0]) {
+            Status::Won(Player::Black)
+        } else if Self::has_four(self.boards[1]) {
+            Status::Won(Player::White)
+        } else if self.moves as usize == COLS * ROWS {
+            Status::Draw
+        } else {
+            Status::Ongoing
+        }
+    }
+
+    fn is_legal(&self, a: Action) -> bool {
+        (a as usize) < COLS
+            && self.heights[a as usize] < ROWS as u8
+            && self.status() == Status::Ongoing
+    }
+
+    fn legal_actions_into(&self, out: &mut Vec<Action>) {
+        out.clear();
+        if self.status() != Status::Ongoing {
+            return;
+        }
+        out.extend((0..COLS as u16).filter(|&c| self.heights[c as usize] < ROWS as u8));
+    }
+
+    fn apply(&mut self, a: Action) {
+        debug_assert!(self.is_legal(a), "illegal move {a}");
+        let col = a as usize;
+        let row = self.heights[col] as usize;
+        self.boards[self.to_move.index()] |= 1u64 << (col * COL_BITS + row);
+        self.heights[col] += 1;
+        self.moves += 1;
+        self.last_move = Some(a);
+        self.to_move = self.to_move.other();
+    }
+
+    fn encode(&self, out: &mut [f32]) {
+        let plane = ROWS * COLS;
+        assert_eq!(out.len(), 4 * plane);
+        out.fill(0.0);
+        let me = self.to_move.index();
+        for row in 0..ROWS {
+            for col in 0..COLS {
+                let bit = 1u64 << (col * COL_BITS + row);
+                let idx = row * COLS + col;
+                if self.boards[me] & bit != 0 {
+                    out[idx] = 1.0;
+                } else if self.boards[1 - me] & bit != 0 {
+                    out[plane + idx] = 1.0;
+                }
+            }
+        }
+        if let Some(a) = self.last_move {
+            let col = a as usize;
+            let row = self.heights[col] as usize - 1;
+            out[2 * plane + row * COLS + col] = 1.0;
+        }
+        if self.to_move == Player::Black {
+            out[3 * plane..].fill(1.0);
+        }
+    }
+
+    fn hash(&self) -> u64 {
+        // The classic Connect-4 perfect key: position + mask + bottom row.
+        let mask = self.boards[0] | self.boards[1];
+        self.boards[self.to_move.index()].wrapping_add(mask).wrapping_add(0x01_0101_0101_0101)
+    }
+
+    fn move_count(&self) -> usize {
+        self.moves as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gravity_stacks_stones() {
+        let mut g = Connect4::new();
+        g.apply(3);
+        g.apply(3);
+        g.apply(3);
+        assert_eq!(g.stone_at(0, 3), Some(Player::Black));
+        assert_eq!(g.stone_at(1, 3), Some(Player::White));
+        assert_eq!(g.stone_at(2, 3), Some(Player::Black));
+        assert_eq!(g.height(3), 3);
+    }
+
+    #[test]
+    fn vertical_win() {
+        let mut g = Connect4::new();
+        for a in [0u16, 1, 0, 1, 0, 1, 0] {
+            g.apply(a);
+        }
+        assert_eq!(g.status(), Status::Won(Player::Black));
+    }
+
+    #[test]
+    fn horizontal_win() {
+        let mut g = Connect4::new();
+        for a in [0u16, 0, 1, 1, 2, 2, 3] {
+            g.apply(a);
+        }
+        assert_eq!(g.status(), Status::Won(Player::Black));
+    }
+
+    #[test]
+    fn diagonal_win() {
+        let mut g = Connect4::new();
+        // Build a / diagonal for Black: (0,0),(1,1),(2,2),(3,3)
+        for a in [0u16, 1, 1, 2, 2, 3, 2, 3, 3, 6, 3] {
+            g.apply(a);
+        }
+        assert_eq!(g.status(), Status::Won(Player::Black));
+    }
+
+    #[test]
+    fn column_fills_up() {
+        let mut g = Connect4::new();
+        for _ in 0..ROWS {
+            g.apply(5);
+        }
+        assert!(!g.is_legal(5));
+        assert!(!g.legal_actions().contains(&5));
+        assert_eq!(g.legal_actions().len(), 6);
+    }
+
+    #[test]
+    fn no_false_wins_across_columns() {
+        // Stones at top of col 0 and bottom of col 1 are NOT adjacent:
+        // the sentinel row prevents wraparound.
+        let mut g = Connect4::new();
+        // Black: (0,0),(1,0)... no win expected from wraparound patterns.
+        for a in [0u16, 6, 0, 6, 0, 6] {
+            g.apply(a);
+        }
+        assert_eq!(g.status(), Status::Ongoing);
+    }
+
+    #[test]
+    fn random_games_terminate_legally() {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let mut g = Connect4::new();
+            let mut n = 0;
+            while g.status() == Status::Ongoing {
+                let acts = g.legal_actions();
+                assert!(!acts.is_empty());
+                g.apply(*acts.choose(&mut rng).unwrap());
+                n += 1;
+                assert!(n <= 42);
+            }
+        }
+    }
+
+    #[test]
+    fn encode_buffer_layout() {
+        let mut g = Connect4::new();
+        g.apply(3);
+        let mut buf = vec![0.0; g.encoded_len()];
+        g.encode(&mut buf);
+        let plane = 42;
+        // White to move: Black's stone shows on opponent plane at (0,3).
+        assert_eq!(buf[plane + 3], 1.0);
+        assert_eq!(buf[2 * plane + 3], 1.0, "last-move plane");
+        assert!(buf[3 * plane..].iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,416 @@
+//! Gomoku (five-in-a-row), the benchmark game of the paper.
+//!
+//! The paper evaluates on a 15×15 board with a five-stone winning line; the
+//! implementation here is parameterized over board size and line length so
+//! tests can use small boards (e.g. 6×6 / four in a row) that reach terminal
+//! states quickly.
+//!
+//! State is a flat occupancy array plus incremental metadata (move count,
+//! last move, Zobrist hash), so `apply` and `status` are O(board) worst case
+//! and win detection is O(win_len) scanning only through the last move.
+
+use crate::traits::{Action, Game, Player, Status};
+use crate::zobrist::ZobristTable;
+use std::sync::Arc;
+
+/// Cell contents: 0 = empty, 1 = black, 2 = white.
+const EMPTY: u8 = 0;
+
+/// Gomoku position. Cheap to clone (one `Vec<u8>` + `Arc` table).
+#[derive(Clone)]
+pub struct Gomoku {
+    size: usize,
+    win_len: usize,
+    cells: Vec<u8>,
+    to_move: Player,
+    last_move: Option<Action>,
+    moves: usize,
+    status: Status,
+    hash: u64,
+    zobrist: Arc<ZobristTable>,
+}
+
+impl std::fmt::Debug for Gomoku {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Gomoku {}x{} (win {}):", self.size, self.size, self.win_len)?;
+        for r in 0..self.size {
+            for c in 0..self.size {
+                let ch = match self.cells[r * self.size + c] {
+                    1 => 'X',
+                    2 => 'O',
+                    _ => '.',
+                };
+                write!(f, "{ch} ")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl Gomoku {
+    /// The paper's configuration: 15×15 board, five in a row.
+    pub fn standard() -> Self {
+        Self::new(15, 5)
+    }
+
+    /// Custom board. `win_len` must be ≤ `size` and ≥ 2.
+    pub fn new(size: usize, win_len: usize) -> Self {
+        assert!((2..=32).contains(&size), "board size out of range");
+        assert!(win_len >= 2 && win_len <= size, "win length out of range");
+        Gomoku {
+            size,
+            win_len,
+            cells: vec![EMPTY; size * size],
+            to_move: Player::Black,
+            last_move: None,
+            moves: 0,
+            status: Status::Ongoing,
+            hash: 0,
+            zobrist: Arc::new(ZobristTable::new(size * size)),
+        }
+    }
+
+    /// Board side length.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Stones in a row needed to win.
+    pub fn win_len(&self) -> usize {
+        self.win_len
+    }
+
+    /// Cell contents at `(row, col)`: `None` if empty.
+    pub fn stone_at(&self, row: usize, col: usize) -> Option<Player> {
+        match self.cells[row * self.size + col] {
+            1 => Some(Player::Black),
+            2 => Some(Player::White),
+            _ => None,
+        }
+    }
+
+    /// The most recently played action, if any.
+    pub fn last_move(&self) -> Option<Action> {
+        self.last_move
+    }
+
+    /// Convert `(row, col)` to an action index.
+    #[inline]
+    pub fn rc_to_action(&self, row: usize, col: usize) -> Action {
+        (row * self.size + col) as Action
+    }
+
+    /// Convert an action index to `(row, col)`.
+    #[inline]
+    pub fn action_to_rc(&self, a: Action) -> (usize, usize) {
+        let a = a as usize;
+        (a / self.size, a % self.size)
+    }
+
+    /// Does the stone just placed at `a` complete a `win_len` line?
+    fn wins_at(&self, a: Action) -> bool {
+        let (r, c) = self.action_to_rc(a);
+        let me = self.cells[a as usize];
+        debug_assert_ne!(me, EMPTY);
+        let n = self.size as isize;
+        // Four line directions; count contiguous stones both ways.
+        const DIRS: [(isize, isize); 4] = [(0, 1), (1, 0), (1, 1), (1, -1)];
+        for (dr, dc) in DIRS {
+            let mut run = 1usize;
+            for sign in [1isize, -1] {
+                let (mut rr, mut cc) = (r as isize + sign * dr, c as isize + sign * dc);
+                while rr >= 0
+                    && rr < n
+                    && cc >= 0
+                    && cc < n
+                    && self.cells[(rr * n + cc) as usize] == me
+                {
+                    run += 1;
+                    rr += sign * dr;
+                    cc += sign * dc;
+                }
+            }
+            if run >= self.win_len {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl Game for Gomoku {
+    fn action_space(&self) -> usize {
+        self.size * self.size
+    }
+
+    fn encoded_shape(&self) -> (usize, usize, usize) {
+        (4, self.size, self.size)
+    }
+
+    fn to_move(&self) -> Player {
+        self.to_move
+    }
+
+    fn status(&self) -> Status {
+        self.status
+    }
+
+    fn is_legal(&self, a: Action) -> bool {
+        self.status == Status::Ongoing
+            && (a as usize) < self.cells.len()
+            && self.cells[a as usize] == EMPTY
+    }
+
+    fn legal_actions_into(&self, out: &mut Vec<Action>) {
+        out.clear();
+        if self.status != Status::Ongoing {
+            return;
+        }
+        out.extend(
+            self.cells
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c == EMPTY)
+                .map(|(i, _)| i as Action),
+        );
+    }
+
+    fn apply(&mut self, a: Action) {
+        debug_assert!(self.is_legal(a), "illegal move {a} in\n{self:?}");
+        let mover = self.to_move;
+        self.cells[a as usize] = mover.index() as u8 + 1;
+        self.hash ^= self.zobrist.key(mover.index(), a as usize);
+        self.hash ^= self.zobrist.side_key;
+        self.moves += 1;
+        self.last_move = Some(a);
+        self.to_move = mover.other();
+        if self.wins_at(a) {
+            self.status = Status::Won(mover);
+        } else if self.moves == self.cells.len() {
+            self.status = Status::Draw;
+        }
+    }
+
+    fn encode(&self, out: &mut [f32]) {
+        let plane = self.size * self.size;
+        assert_eq!(out.len(), 4 * plane, "encode buffer size mismatch");
+        out.fill(0.0);
+        let me = self.to_move.index() as u8 + 1;
+        let opp = self.to_move.other().index() as u8 + 1;
+        for (i, &c) in self.cells.iter().enumerate() {
+            if c == me {
+                out[i] = 1.0;
+            } else if c == opp {
+                out[plane + i] = 1.0;
+            }
+        }
+        if let Some(a) = self.last_move {
+            out[2 * plane + a as usize] = 1.0;
+        }
+        if self.to_move == Player::Black {
+            out[3 * plane..4 * plane].fill(1.0);
+        }
+    }
+
+    fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    fn move_count(&self) -> usize {
+        self.moves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn play(g: &mut Gomoku, rc: &[(usize, usize)]) {
+        for &(r, c) in rc {
+            let a = g.rc_to_action(r, c);
+            g.apply(a);
+        }
+    }
+
+    #[test]
+    fn standard_dimensions() {
+        let g = Gomoku::standard();
+        assert_eq!(g.size(), 15);
+        assert_eq!(g.win_len(), 5);
+        assert_eq!(g.action_space(), 225);
+        assert_eq!(g.encoded_shape(), (4, 15, 15));
+        assert_eq!(g.encoded_len(), 4 * 225);
+    }
+
+    #[test]
+    fn horizontal_win() {
+        let mut g = Gomoku::new(9, 5);
+        // Black plays row 0 cols 0..5, White replies on row 8.
+        play(
+            &mut g,
+            &[(0, 0), (8, 0), (0, 1), (8, 1), (0, 2), (8, 2), (0, 3), (8, 3), (0, 4)],
+        );
+        assert_eq!(g.status(), Status::Won(Player::Black));
+    }
+
+    #[test]
+    fn vertical_win() {
+        let mut g = Gomoku::new(9, 5);
+        play(
+            &mut g,
+            &[(0, 0), (0, 8), (1, 0), (1, 8), (2, 0), (2, 8), (3, 0), (3, 8), (4, 0)],
+        );
+        assert_eq!(g.status(), Status::Won(Player::Black));
+    }
+
+    #[test]
+    fn diagonal_win() {
+        let mut g = Gomoku::new(9, 5);
+        play(
+            &mut g,
+            &[(0, 0), (0, 8), (1, 1), (1, 8), (2, 2), (2, 8), (3, 3), (3, 8), (4, 4)],
+        );
+        assert_eq!(g.status(), Status::Won(Player::Black));
+    }
+
+    #[test]
+    fn antidiagonal_win() {
+        let mut g = Gomoku::new(9, 5);
+        play(
+            &mut g,
+            &[(0, 8), (8, 8), (1, 7), (7, 8), (2, 6), (6, 8), (3, 5), (5, 8), (4, 4)],
+        );
+        assert_eq!(g.status(), Status::Won(Player::Black));
+    }
+
+    #[test]
+    fn white_can_win_too() {
+        let mut g = Gomoku::new(9, 4);
+        play(
+            &mut g,
+            &[(8, 0), (0, 0), (8, 1), (0, 1), (8, 3), (0, 2), (7, 7), (0, 3)],
+        );
+        assert_eq!(g.status(), Status::Won(Player::White));
+    }
+
+    #[test]
+    fn win_in_middle_of_line() {
+        // Completing a line by filling the middle gap must be detected.
+        let mut g = Gomoku::new(9, 5);
+        play(
+            &mut g,
+            &[(0, 0), (8, 0), (0, 1), (8, 1), (0, 3), (8, 2), (0, 4), (8, 4), (0, 2)],
+        );
+        assert_eq!(g.status(), Status::Won(Player::Black));
+    }
+
+    #[test]
+    fn draw_on_full_board() {
+        // 2x2 board with win_len 2 can't draw; use a 3x3 win_len 3 sequence
+        // known to fill the board without a line.
+        let mut g = Gomoku::new(3, 3);
+        // X O X / X X O / O X O — no three in a row for either.
+        let seq = [
+            (0, 0), (0, 1), (0, 2), (1, 2), (1, 1), (2, 0), (1, 0), (2, 2), (2, 1),
+        ];
+        play(&mut g, &seq);
+        assert_eq!(g.status(), Status::Draw);
+        assert!(g.legal_actions().is_empty());
+    }
+
+    #[test]
+    fn no_moves_after_terminal() {
+        let mut g = Gomoku::new(6, 2);
+        play(&mut g, &[(0, 0), (5, 5), (0, 1)]);
+        assert_eq!(g.status(), Status::Won(Player::Black));
+        assert!(g.legal_actions().is_empty());
+        assert!(!g.is_legal(g.rc_to_action(3, 3)));
+    }
+
+    #[test]
+    fn legal_actions_shrink_by_one_per_move() {
+        let mut g = Gomoku::new(6, 5);
+        let mut expect = 36;
+        for a in [0u16, 7, 14, 21, 28] {
+            assert_eq!(g.legal_actions().len(), expect);
+            g.apply(a);
+            expect -= 1;
+        }
+        assert_eq!(g.legal_actions().len(), expect);
+    }
+
+    #[test]
+    fn alternating_to_move() {
+        let mut g = Gomoku::new(6, 5);
+        assert_eq!(g.to_move(), Player::Black);
+        g.apply(0);
+        assert_eq!(g.to_move(), Player::White);
+        g.apply(1);
+        assert_eq!(g.to_move(), Player::Black);
+    }
+
+    #[test]
+    fn hash_changes_and_is_positional() {
+        let mut a = Gomoku::new(6, 5);
+        let mut b = Gomoku::new(6, 5);
+        // Different move orders reaching the same position share a hash
+        // apart from side-to-move parity (same parity here).
+        a.apply(0);
+        a.apply(10);
+        a.apply(5);
+        b.apply(5);
+        b.apply(10);
+        b.apply(0);
+        assert_eq!(a.hash(), b.hash());
+        let mut c = Gomoku::new(6, 5);
+        c.apply(0);
+        assert_ne!(a.hash(), c.hash());
+    }
+
+    #[test]
+    fn encode_planes_are_consistent() {
+        let mut g = Gomoku::new(6, 5);
+        g.apply(0); // black
+        g.apply(7); // white
+        let mut buf = vec![0.0; g.encoded_len()];
+        g.encode(&mut buf);
+        let plane = 36;
+        // Black to move: plane 0 = black stones, plane 1 = white stones.
+        assert_eq!(buf[0], 1.0, "black stone at 0 on own plane");
+        assert_eq!(buf[plane + 7], 1.0, "white stone on opponent plane");
+        assert_eq!(buf[2 * plane + 7], 1.0, "last move plane");
+        assert!(buf[3 * plane..].iter().all(|&x| x == 1.0), "black-to-move plane");
+        // Exactly one stone per occupancy plane.
+        assert_eq!(buf[..plane].iter().sum::<f32>(), 1.0);
+        assert_eq!(buf[plane..2 * plane].iter().sum::<f32>(), 1.0);
+    }
+
+    #[test]
+    fn encode_perspective_flips_with_side() {
+        let mut g = Gomoku::new(6, 5);
+        g.apply(0); // black stone; now white to move
+        let mut buf = vec![0.0; g.encoded_len()];
+        g.encode(&mut buf);
+        let plane = 36;
+        // White to move: plane 0 is white stones (none), plane 1 black's.
+        assert_eq!(buf[..plane].iter().sum::<f32>(), 0.0);
+        assert_eq!(buf[plane], 1.0);
+        assert!(buf[3 * plane..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_board_size_rejected() {
+        let _ = Gomoku::new(1, 1);
+    }
+
+    #[test]
+    fn move_count_tracks() {
+        let mut g = Gomoku::new(6, 5);
+        assert_eq!(g.move_count(), 0);
+        g.apply(0);
+        g.apply(1);
+        assert_eq!(g.move_count(), 2);
+    }
+}

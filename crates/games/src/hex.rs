@@ -1,0 +1,333 @@
+//! The game of Hex — the benchmark used by the lock-free tree-parallel
+//! MCTS work the paper compares against (Mirsoleimani et al., §2.2).
+//!
+//! Black connects the top and bottom edges, White connects left and
+//! right; no draws are possible on a filled board (Hex theorem). Win
+//! detection uses a union-find over cells with four virtual edge nodes,
+//! giving O(α) incremental updates per move.
+
+use crate::traits::{Action, Game, Player, Status};
+use crate::zobrist::ZobristTable;
+use std::sync::Arc;
+
+/// Hex position on an `n × n` rhombus.
+#[derive(Clone)]
+pub struct Hex {
+    size: usize,
+    /// 0 empty, 1 black, 2 white.
+    cells: Vec<u8>,
+    /// Union-find parent array: cells ++ [top, bottom, left, right].
+    parent: Vec<u32>,
+    to_move: Player,
+    last_move: Option<Action>,
+    moves: usize,
+    status: Status,
+    hash: u64,
+    zobrist: Arc<ZobristTable>,
+}
+
+impl std::fmt::Debug for Hex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Hex {0}x{0}:", self.size)?;
+        for r in 0..self.size {
+            write!(f, "{}", " ".repeat(r))?;
+            for c in 0..self.size {
+                let ch = match self.cells[r * self.size + c] {
+                    1 => 'X',
+                    2 => 'O',
+                    _ => '.',
+                };
+                write!(f, "{ch} ")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl Hex {
+    /// An empty `size × size` board (common competitive sizes: 11, 13).
+    pub fn new(size: usize) -> Self {
+        assert!((2..=19).contains(&size), "hex size out of range");
+        let cells = size * size;
+        Hex {
+            size,
+            cells: vec![0; cells],
+            parent: (0..cells as u32 + 4).collect(),
+            to_move: Player::Black,
+            last_move: None,
+            moves: 0,
+            status: Status::Ongoing,
+            hash: 0,
+            zobrist: Arc::new(ZobristTable::new(cells)),
+        }
+    }
+
+    /// Board side length.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Stone at `(row, col)`.
+    pub fn stone_at(&self, row: usize, col: usize) -> Option<Player> {
+        match self.cells[row * self.size + col] {
+            1 => Some(Player::Black),
+            2 => Some(Player::White),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn edge_node(&self, which: usize) -> u32 {
+        (self.size * self.size + which) as u32
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        // Path halving.
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[ra as usize] = rb;
+        }
+    }
+
+    /// The six hex neighbours of `(r, c)`.
+    fn neighbours(&self, r: usize, c: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        const DIRS: [(isize, isize); 6] = [(-1, 0), (-1, 1), (0, -1), (0, 1), (1, -1), (1, 0)];
+        let n = self.size as isize;
+        DIRS.iter().filter_map(move |&(dr, dc)| {
+            let (rr, cc) = (r as isize + dr, c as isize + dc);
+            (rr >= 0 && rr < n && cc >= 0 && cc < n).then_some((rr as usize, cc as usize))
+        })
+    }
+}
+
+impl Game for Hex {
+    fn action_space(&self) -> usize {
+        self.size * self.size
+    }
+
+    fn encoded_shape(&self) -> (usize, usize, usize) {
+        (4, self.size, self.size)
+    }
+
+    fn to_move(&self) -> Player {
+        self.to_move
+    }
+
+    fn status(&self) -> Status {
+        self.status
+    }
+
+    fn is_legal(&self, a: Action) -> bool {
+        self.status == Status::Ongoing
+            && (a as usize) < self.cells.len()
+            && self.cells[a as usize] == 0
+    }
+
+    fn legal_actions_into(&self, out: &mut Vec<Action>) {
+        out.clear();
+        if self.status != Status::Ongoing {
+            return;
+        }
+        out.extend(
+            self.cells
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c == 0)
+                .map(|(i, _)| i as Action),
+        );
+    }
+
+    fn apply(&mut self, a: Action) {
+        debug_assert!(self.is_legal(a), "illegal hex move {a}");
+        let mover = self.to_move;
+        let (r, c) = ((a as usize) / self.size, (a as usize) % self.size);
+        let mine = mover.index() as u8 + 1;
+        self.cells[a as usize] = mine;
+        self.hash ^= self.zobrist.key(mover.index(), a as usize);
+        self.hash ^= self.zobrist.side_key;
+        self.moves += 1;
+        self.last_move = Some(a);
+        self.to_move = mover.other();
+
+        // Connect to same-colored neighbours.
+        let neighbours: Vec<(usize, usize)> = self.neighbours(r, c).collect();
+        for (rr, cc) in neighbours {
+            if self.cells[rr * self.size + cc] == mine {
+                self.union(a as u32, (rr * self.size + cc) as u32);
+            }
+        }
+        // Connect to the mover's edges.
+        match mover {
+            Player::Black => {
+                if r == 0 {
+                    let e = self.edge_node(0);
+                    self.union(a as u32, e);
+                }
+                if r == self.size - 1 {
+                    let e = self.edge_node(1);
+                    self.union(a as u32, e);
+                }
+                let (top, bottom) = (self.edge_node(0), self.edge_node(1));
+                if self.find(top) == self.find(bottom) {
+                    self.status = Status::Won(Player::Black);
+                }
+            }
+            Player::White => {
+                if c == 0 {
+                    let e = self.edge_node(2);
+                    self.union(a as u32, e);
+                }
+                if c == self.size - 1 {
+                    let e = self.edge_node(3);
+                    self.union(a as u32, e);
+                }
+                let (left, right) = (self.edge_node(2), self.edge_node(3));
+                if self.find(left) == self.find(right) {
+                    self.status = Status::Won(Player::White);
+                }
+            }
+        }
+    }
+
+    fn encode(&self, out: &mut [f32]) {
+        let plane = self.size * self.size;
+        assert_eq!(out.len(), 4 * plane);
+        out.fill(0.0);
+        let me = self.to_move.index() as u8 + 1;
+        let opp = self.to_move.other().index() as u8 + 1;
+        for (i, &cell) in self.cells.iter().enumerate() {
+            if cell == me {
+                out[i] = 1.0;
+            } else if cell == opp {
+                out[plane + i] = 1.0;
+            }
+        }
+        if let Some(a) = self.last_move {
+            out[2 * plane + a as usize] = 1.0;
+        }
+        if self.to_move == Player::Black {
+            out[3 * plane..].fill(1.0);
+        }
+    }
+
+    fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    fn move_count(&self) -> usize {
+        self.moves
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::clone_on_copy)] // Copy test games cloned for symmetry with non-Copy ones
+mod tests {
+    use super::*;
+
+    fn play(g: &mut Hex, rc: &[(usize, usize)]) {
+        for &(r, c) in rc {
+            let a = (r * g.size() + c) as Action;
+            g.apply(a);
+        }
+    }
+
+    #[test]
+    fn vertical_chain_wins_for_black() {
+        let mut g = Hex::new(4);
+        // Black builds column 0 top-to-bottom; White answers on column 3.
+        play(
+            &mut g,
+            &[(0, 0), (0, 3), (1, 0), (1, 3), (2, 0), (2, 3), (3, 0)],
+        );
+        assert_eq!(g.status(), Status::Won(Player::Black));
+    }
+
+    #[test]
+    fn horizontal_chain_wins_for_white() {
+        let mut g = Hex::new(4);
+        play(
+            &mut g,
+            &[(3, 0), (0, 0), (3, 1), (0, 1), (3, 3), (0, 2), (2, 3), (0, 3)],
+        );
+        assert_eq!(g.status(), Status::Won(Player::White));
+    }
+
+    #[test]
+    fn diagonal_neighbourhood_connects() {
+        // Hex adjacency includes (r, c)→(r-1, c+1): a staircase connects.
+        let mut g = Hex::new(3);
+        play(&mut g, &[(2, 0), (0, 0), (1, 1), (0, 1), (0, 2)]);
+        assert_eq!(g.status(), Status::Won(Player::Black));
+    }
+
+    #[test]
+    fn no_draws_on_filled_boards() {
+        // Random-fill many games: Hex cannot draw.
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let mut g = Hex::new(5);
+            while g.status() == Status::Ongoing {
+                let acts = g.legal_actions();
+                assert!(!acts.is_empty(), "board filled without a winner");
+                g.apply(*acts.choose(&mut rng).unwrap());
+            }
+            assert!(matches!(g.status(), Status::Won(_)));
+        }
+    }
+
+    #[test]
+    fn no_moves_after_win() {
+        let mut g = Hex::new(2);
+        play(&mut g, &[(0, 0), (0, 1), (1, 0)]);
+        assert_eq!(g.status(), Status::Won(Player::Black));
+        assert!(g.legal_actions().is_empty());
+    }
+
+    #[test]
+    fn winner_requires_own_edges() {
+        // A black chain touching left/right (White's edges) must not win.
+        let mut g = Hex::new(3);
+        play(&mut g, &[(1, 0), (0, 0), (1, 1), (0, 1)]);
+        assert_eq!(g.status(), Status::Ongoing);
+        g.apply(5); // (1,2): full middle row for Black — still not a win.
+        assert_eq!(g.status(), Status::Ongoing);
+    }
+
+    #[test]
+    fn encode_and_hash_behave() {
+        let mut g = Hex::new(3);
+        let h0 = g.hash();
+        g.apply(4);
+        assert_ne!(g.hash(), h0);
+        let mut buf = vec![0.0; g.encoded_len()];
+        g.encode(&mut buf);
+        assert_eq!(buf.len(), 36);
+        assert_eq!(buf[9 + 4], 1.0, "black stone on opponent plane");
+    }
+
+    #[test]
+    fn completing_a_chain_wins_immediately() {
+        // Black to move with two cells of a top-bottom chain placed on a
+        // 3x3 board; completing it at (1,0) wins outright.
+        let mut g = Hex::new(3);
+        play(&mut g, &[(0, 0), (0, 2), (2, 0), (1, 2)]);
+        assert_eq!(g.status(), Status::Ongoing);
+        // Direct check: playing (1,0) wins for Black.
+        let mut win = g.clone();
+        win.apply(3);
+        assert_eq!(win.status(), Status::Won(Player::Black));
+    }
+}

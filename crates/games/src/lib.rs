@@ -1,0 +1,36 @@
+//! Board-game environments used as DNN-MCTS benchmarks.
+//!
+//! This crate is the *environment substrate* of the adaptive-parallel DNN-MCTS
+//! reproduction. The paper evaluates on Gomoku (15×15, five in a row); we also
+//! provide Connect-Four and TicTacToe, which have much smaller state spaces and
+//! are convenient for fast unit/integration testing of the search machinery.
+//!
+//! All games implement the [`Game`] trait: a fixed, dense action space
+//! (so a policy head can emit one logit per action), incremental move
+//! application, terminal detection, and a plane-encoded tensor view of the
+//! state for neural-network input.
+//!
+//! # Example
+//!
+//! ```
+//! use games::{Game, Player, Status, gomoku::Gomoku};
+//!
+//! let mut g = Gomoku::standard(); // 15×15, five in a row
+//! assert_eq!(g.action_space(), 225);
+//! assert_eq!(g.to_move(), Player::Black);
+//! let a = g.legal_actions()[0];
+//! g.apply(a);
+//! assert_eq!(g.status(), Status::Ongoing);
+//! ```
+
+pub mod connect4;
+pub mod gomoku;
+pub mod hex;
+pub mod othello;
+pub mod symmetry;
+pub mod synthetic;
+pub mod tictactoe;
+pub mod traits;
+pub mod zobrist;
+
+pub use traits::{Action, Game, Player, Status};

@@ -1,0 +1,494 @@
+//! Othello (Reversi) — a second classical benchmark with two properties the
+//! other games lack: moves *mutate* previously placed stones (flips), and a
+//! player may have to **pass**. Both stress the search and encoding paths in
+//! ways Gomoku cannot (the action space carries a dedicated pass action, and
+//! Zobrist hashes must be updated for every flipped stone).
+//!
+//! Rules: a placement must bracket at least one contiguous run of opponent
+//! stones against one of your own along any of the 8 directions; all
+//! bracketed runs flip. If a player has no legal placement, their only legal
+//! action is `pass`. The game ends when neither player can place (including
+//! full board); the higher stone count wins.
+
+use crate::traits::{Action, Game, Player, Status};
+use crate::zobrist::ZobristTable;
+use std::sync::Arc;
+
+/// Cell contents: 0 = empty, 1 = black, 2 = white.
+const EMPTY: u8 = 0;
+
+const DIRS: [(isize, isize); 8] = [
+    (-1, -1),
+    (-1, 0),
+    (-1, 1),
+    (0, -1),
+    (0, 1),
+    (1, -1),
+    (1, 0),
+    (1, 1),
+];
+
+/// Othello position. Cheap to clone (one `Vec<u8>` + `Arc` table).
+#[derive(Clone)]
+pub struct Othello {
+    size: usize,
+    cells: Vec<u8>,
+    to_move: Player,
+    last_move: Option<Action>,
+    moves: usize,
+    /// Whether the previous action was a pass (two in a row ends the game).
+    prev_was_pass: bool,
+    status: Status,
+    hash: u64,
+    zobrist: Arc<ZobristTable>,
+}
+
+impl std::fmt::Debug for Othello {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Othello {}x{}:", self.size, self.size)?;
+        for r in 0..self.size {
+            for c in 0..self.size {
+                let ch = match self.cells[r * self.size + c] {
+                    1 => 'X',
+                    2 => 'O',
+                    _ => '.',
+                };
+                write!(f, "{ch} ")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl Othello {
+    /// The standard 8×8 game.
+    pub fn standard() -> Self {
+        Self::new(8)
+    }
+
+    /// Custom even board size in `4..=16`.
+    pub fn new(size: usize) -> Self {
+        assert!((4..=16).contains(&size) && size.is_multiple_of(2), "size must be even, 4..=16");
+        let zobrist = Arc::new(ZobristTable::new(size * size));
+        let mut g = Othello {
+            size,
+            cells: vec![EMPTY; size * size],
+            to_move: Player::Black,
+            last_move: None,
+            moves: 0,
+            prev_was_pass: false,
+            status: Status::Ongoing,
+            hash: 0,
+            zobrist,
+        };
+        // Standard central diamond: White on the main diagonal, Black off it.
+        let m = size / 2;
+        g.place_initial(m - 1, m - 1, Player::White);
+        g.place_initial(m, m, Player::White);
+        g.place_initial(m - 1, m, Player::Black);
+        g.place_initial(m, m - 1, Player::Black);
+        g
+    }
+
+    fn place_initial(&mut self, r: usize, c: usize, p: Player) {
+        let cell = r * self.size + c;
+        self.cells[cell] = p.index() as u8 + 1;
+        self.hash ^= self.zobrist.key(p.index(), cell);
+    }
+
+    /// Board side length.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The dedicated pass action index (`size²`).
+    #[inline]
+    pub fn pass_action(&self) -> Action {
+        (self.size * self.size) as Action
+    }
+
+    /// Stone at `(row, col)`, if any.
+    pub fn stone_at(&self, row: usize, col: usize) -> Option<Player> {
+        match self.cells[row * self.size + col] {
+            1 => Some(Player::Black),
+            2 => Some(Player::White),
+            _ => None,
+        }
+    }
+
+    /// The most recently played action (possibly the pass action).
+    pub fn last_move(&self) -> Option<Action> {
+        self.last_move
+    }
+
+    /// `(black, white)` stone counts.
+    pub fn counts(&self) -> (usize, usize) {
+        let black = self.cells.iter().filter(|&&c| c == 1).count();
+        let white = self.cells.iter().filter(|&&c| c == 2).count();
+        (black, white)
+    }
+
+    /// Convert `(row, col)` to an action index.
+    #[inline]
+    pub fn rc_to_action(&self, row: usize, col: usize) -> Action {
+        (row * self.size + col) as Action
+    }
+
+    /// Stones flipped by `p` placing at `(r, c)`, or empty if illegal.
+    /// O(8·size) scan; cells are returned as flat indices.
+    fn flips_for(&self, r: usize, c: usize, p: Player) -> Vec<usize> {
+        let mut flips = Vec::new();
+        if self.cells[r * self.size + c] != EMPTY {
+            return flips;
+        }
+        let me = p.index() as u8 + 1;
+        let opp = p.other().index() as u8 + 1;
+        let n = self.size as isize;
+        for (dr, dc) in DIRS {
+            let (mut rr, mut cc) = (r as isize + dr, c as isize + dc);
+            let run_start = flips.len();
+            while rr >= 0 && rr < n && cc >= 0 && cc < n {
+                let cell = (rr * n + cc) as usize;
+                if self.cells[cell] == opp {
+                    flips.push(cell);
+                } else if self.cells[cell] == me {
+                    // Bracketed run; keep the collected flips.
+                    break;
+                } else {
+                    // Empty: run is unbracketed, discard it.
+                    flips.truncate(run_start);
+                    break;
+                }
+                rr += dr;
+                cc += dc;
+            }
+            // Unbracketed run (off the board, or stopped on a non-own
+            // cell): discard the stones collected in this direction.
+            let bracketed =
+                rr >= 0 && rr < n && cc >= 0 && cc < n && self.cells[(rr * n + cc) as usize] == me;
+            if !bracketed {
+                flips.truncate(run_start);
+            }
+        }
+        flips
+    }
+
+    /// Whether `p` has at least one legal *placement* (pass excluded).
+    fn has_placement(&self, p: Player) -> bool {
+        for r in 0..self.size {
+            for c in 0..self.size {
+                if self.cells[r * self.size + c] == EMPTY && !self.flips_for(r, c, p).is_empty() {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Recompute terminal status after a move: the game ends when neither
+    /// player can place; the side with more stones wins.
+    fn settle_status(&mut self) {
+        if self.has_placement(self.to_move) || self.has_placement(self.to_move.other()) {
+            return;
+        }
+        let (black, white) = self.counts();
+        self.status = match black.cmp(&white) {
+            std::cmp::Ordering::Greater => Status::Won(Player::Black),
+            std::cmp::Ordering::Less => Status::Won(Player::White),
+            std::cmp::Ordering::Equal => Status::Draw,
+        };
+    }
+}
+
+impl Game for Othello {
+    fn action_space(&self) -> usize {
+        self.size * self.size + 1 // +1: the pass action
+    }
+
+    fn encoded_shape(&self) -> (usize, usize, usize) {
+        (4, self.size, self.size)
+    }
+
+    fn to_move(&self) -> Player {
+        self.to_move
+    }
+
+    fn status(&self) -> Status {
+        self.status
+    }
+
+    fn is_legal(&self, a: Action) -> bool {
+        if self.status.is_terminal() {
+            return false;
+        }
+        if a == self.pass_action() {
+            return !self.has_placement(self.to_move);
+        }
+        let a = a as usize;
+        if a >= self.size * self.size {
+            return false;
+        }
+        !self.flips_for(a / self.size, a % self.size, self.to_move).is_empty()
+    }
+
+    fn legal_actions_into(&self, out: &mut Vec<Action>) {
+        out.clear();
+        if self.status.is_terminal() {
+            return;
+        }
+        for r in 0..self.size {
+            for c in 0..self.size {
+                if self.cells[r * self.size + c] == EMPTY
+                    && !self.flips_for(r, c, self.to_move).is_empty()
+                {
+                    out.push(self.rc_to_action(r, c));
+                }
+            }
+        }
+        if out.is_empty() {
+            out.push(self.pass_action());
+        }
+    }
+
+    fn apply(&mut self, a: Action) {
+        debug_assert!(self.is_legal(a), "illegal action {a}");
+        if a == self.pass_action() {
+            if self.prev_was_pass {
+                // Second consecutive pass: game over by agreement.
+                let (black, white) = self.counts();
+                self.status = match black.cmp(&white) {
+                    std::cmp::Ordering::Greater => Status::Won(Player::Black),
+                    std::cmp::Ordering::Less => Status::Won(Player::White),
+                    std::cmp::Ordering::Equal => Status::Draw,
+                };
+            }
+            self.prev_was_pass = true;
+        } else {
+            let cell = a as usize;
+            let me = self.to_move;
+            let flips = self.flips_for(cell / self.size, cell % self.size, me);
+            debug_assert!(!flips.is_empty(), "placement must flip");
+            self.cells[cell] = me.index() as u8 + 1;
+            self.hash ^= self.zobrist.key(me.index(), cell);
+            for f in flips {
+                self.cells[f] = me.index() as u8 + 1;
+                self.hash ^= self.zobrist.key(me.other().index(), f); // remove opp
+                self.hash ^= self.zobrist.key(me.index(), f); // add mine
+            }
+            self.prev_was_pass = false;
+        }
+        self.last_move = Some(a);
+        self.moves += 1;
+        self.to_move = self.to_move.other();
+        self.hash ^= self.zobrist.side_key;
+        if self.status == Status::Ongoing {
+            self.settle_status();
+        }
+    }
+
+    fn encode(&self, out: &mut [f32]) {
+        let plane = self.size * self.size;
+        assert_eq!(out.len(), 4 * plane, "encode buffer size");
+        out.fill(0.0);
+        let me = self.to_move.index() as u8 + 1;
+        for (i, &cell) in self.cells.iter().enumerate() {
+            if cell == me {
+                out[i] = 1.0;
+            } else if cell != EMPTY {
+                out[plane + i] = 1.0;
+            }
+        }
+        if let Some(last) = self.last_move {
+            if (last as usize) < plane {
+                out[2 * plane + last as usize] = 1.0;
+            }
+        }
+        if self.to_move == Player::Black {
+            out[3 * plane..4 * plane].fill(1.0);
+        }
+    }
+
+    fn hash(&self) -> u64 {
+        if self.to_move == Player::White {
+            self.hash ^ self.zobrist.side_key
+        } else {
+            self.hash
+        }
+    }
+
+    fn move_count(&self) -> usize {
+        self.moves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn play(g: &mut Othello, moves: &[(usize, usize)]) {
+        for &(r, c) in moves {
+            let a = g.rc_to_action(r, c);
+            assert!(g.is_legal(a), "illegal {r},{c}\n{g:?}");
+            g.apply(a);
+        }
+    }
+
+    #[test]
+    fn initial_position_is_standard() {
+        let g = Othello::standard();
+        assert_eq!(g.counts(), (2, 2));
+        assert_eq!(g.stone_at(3, 3), Some(Player::White));
+        assert_eq!(g.stone_at(4, 4), Some(Player::White));
+        assert_eq!(g.stone_at(3, 4), Some(Player::Black));
+        assert_eq!(g.stone_at(4, 3), Some(Player::Black));
+        assert_eq!(g.to_move(), Player::Black);
+        assert_eq!(g.status(), Status::Ongoing);
+    }
+
+    #[test]
+    fn black_has_exactly_four_opening_moves() {
+        let g = Othello::standard();
+        let mut legal = g.legal_actions();
+        legal.sort_unstable();
+        let expected: Vec<Action> = [(2usize, 3usize), (3, 2), (4, 5), (5, 4)]
+            .iter()
+            .map(|&(r, c)| g.rc_to_action(r, c))
+            .collect();
+        assert_eq!(legal, expected);
+    }
+
+    #[test]
+    fn placement_flips_bracketed_run() {
+        let mut g = Othello::standard();
+        play(&mut g, &[(2, 3)]); // Black plays; flips (3,3).
+        assert_eq!(g.stone_at(3, 3), Some(Player::Black));
+        assert_eq!(g.counts(), (4, 1));
+        assert_eq!(g.to_move(), Player::White);
+    }
+
+    #[test]
+    fn action_space_includes_pass() {
+        let g = Othello::new(4);
+        assert_eq!(g.action_space(), 17);
+        assert_eq!(g.pass_action(), 16);
+    }
+
+    #[test]
+    fn pass_is_illegal_when_placements_exist() {
+        let g = Othello::standard();
+        assert!(!g.is_legal(g.pass_action()));
+    }
+
+    #[test]
+    fn multi_direction_flips() {
+        // Build a position where one placement flips in two directions.
+        let mut g = Othello::standard();
+        play(&mut g, &[(2, 3), (2, 2), (3, 2)]);
+        // Black at (3,2) flipped (3,3). White to move.
+        assert_eq!(g.to_move(), Player::White);
+        let (b, w) = g.counts();
+        assert_eq!(b + w, 7);
+    }
+
+    #[test]
+    fn full_4x4_game_reaches_terminal() {
+        let mut g = Othello::new(4);
+        let mut legal = Vec::new();
+        let mut guard = 0;
+        while g.status() == Status::Ongoing {
+            g.legal_actions_into(&mut legal);
+            assert!(!legal.is_empty());
+            g.apply(legal[0]);
+            guard += 1;
+            assert!(guard < 64, "game should terminate");
+        }
+        let (b, w) = g.counts();
+        match g.status() {
+            Status::Won(Player::Black) => assert!(b > w),
+            Status::Won(Player::White) => assert!(w > b),
+            Status::Draw => assert_eq!(b, w),
+            Status::Ongoing => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn hash_changes_with_flips_and_is_reproducible() {
+        let mut a = Othello::standard();
+        let mut b = Othello::standard();
+        assert_eq!(a.hash(), b.hash());
+        let h0 = a.hash();
+        a.apply(a.rc_to_action(2, 3));
+        b.apply(b.rc_to_action(2, 3));
+        assert_eq!(a.hash(), b.hash());
+        assert_ne!(a.hash(), h0);
+    }
+
+    #[test]
+    fn different_move_orders_same_position_same_hash() {
+        // Two transposing openings that reach distinct positions must hash
+        // differently; identical positions must hash identically (checked
+        // via replay determinism above). Here: flips make most "transposed"
+        // sequences yield different boards, so just verify hash ≠ for
+        // different boards.
+        let mut a = Othello::standard();
+        a.apply(a.rc_to_action(2, 3));
+        let mut b = Othello::standard();
+        b.apply(b.rc_to_action(3, 2));
+        assert_ne!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn encode_planes_follow_convention() {
+        let g = Othello::standard();
+        let mut buf = vec![0.0; g.encoded_len()];
+        g.encode(&mut buf);
+        let plane = 64;
+        // Black to move: plane 0 holds black stones (2), plane 1 white (2).
+        assert_eq!(buf[..plane].iter().sum::<f32>(), 2.0);
+        assert_eq!(buf[plane..2 * plane].iter().sum::<f32>(), 2.0);
+        // No last move yet.
+        assert_eq!(buf[2 * plane..3 * plane].iter().sum::<f32>(), 0.0);
+        // Black-to-move plane all ones.
+        assert!(buf[3 * plane..].iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn encode_swaps_perspective_after_move() {
+        let mut g = Othello::standard();
+        g.apply(g.rc_to_action(2, 3));
+        let mut buf = vec![0.0; g.encoded_len()];
+        g.encode(&mut buf);
+        let plane = 64;
+        // White to move: plane 0 = white stones (1), plane 1 = black (4).
+        assert_eq!(buf[..plane].iter().sum::<f32>(), 1.0);
+        assert_eq!(buf[plane..2 * plane].iter().sum::<f32>(), 4.0);
+        // Last-move plane marks (2,3).
+        assert_eq!(buf[2 * plane + 2 * 8 + 3], 1.0);
+        // White to move → plane 3 all zeros.
+        assert!(buf[3 * plane..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn clone_independence() {
+        let g = Othello::standard();
+        let mut h = g.clone();
+        h.apply(h.rc_to_action(2, 3));
+        assert_eq!(g.counts(), (2, 2));
+        assert_ne!(g.hash(), h.hash());
+    }
+
+    #[test]
+    #[should_panic(expected = "size must be even")]
+    fn odd_board_rejected() {
+        let _ = Othello::new(5);
+    }
+
+    #[test]
+    fn move_count_tracks_applies() {
+        let mut g = Othello::standard();
+        assert_eq!(g.move_count(), 0);
+        g.apply(g.rc_to_action(2, 3));
+        assert_eq!(g.move_count(), 1);
+    }
+}

@@ -1,0 +1,285 @@
+//! Dihedral-group (D4) board symmetries for data augmentation.
+//!
+//! AlphaZero-style training multiplies every self-play sample eightfold by
+//! exploiting the symmetry of square boards: the state planes are rotated or
+//! reflected and the policy vector is permuted to match. Games whose action
+//! space carries trailing non-spatial actions (Othello's pass) keep those
+//! entries fixed — only the leading `size²` spatial actions permute.
+//!
+//! Transforms are expressed as coordinate maps `(r, c) → (r', c')`; all
+//! eight group elements and their inverses are provided so augmentation can
+//! be undone (useful for symmetry-averaged inference).
+
+/// One element of the dihedral group of the square.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Symmetry {
+    /// Do nothing.
+    Identity,
+    /// Rotate 90° clockwise.
+    Rot90,
+    /// Rotate 180°.
+    Rot180,
+    /// Rotate 270° clockwise (90° counter-clockwise).
+    Rot270,
+    /// Mirror left–right (columns reverse).
+    FlipH,
+    /// Mirror top–bottom (rows reverse).
+    FlipV,
+    /// Transpose across the main diagonal.
+    FlipDiag,
+    /// Transpose across the anti-diagonal.
+    FlipAnti,
+}
+
+impl Symmetry {
+    /// All eight group elements, identity first.
+    pub const ALL: [Symmetry; 8] = [
+        Symmetry::Identity,
+        Symmetry::Rot90,
+        Symmetry::Rot180,
+        Symmetry::Rot270,
+        Symmetry::FlipH,
+        Symmetry::FlipV,
+        Symmetry::FlipDiag,
+        Symmetry::FlipAnti,
+    ];
+
+    /// Where cell `(r, c)` of an `n × n` board lands under this transform.
+    #[inline]
+    pub fn apply_cell(self, n: usize, r: usize, c: usize) -> (usize, usize) {
+        debug_assert!(r < n && c < n);
+        match self {
+            Symmetry::Identity => (r, c),
+            Symmetry::Rot90 => (c, n - 1 - r),
+            Symmetry::Rot180 => (n - 1 - r, n - 1 - c),
+            Symmetry::Rot270 => (n - 1 - c, r),
+            Symmetry::FlipH => (r, n - 1 - c),
+            Symmetry::FlipV => (n - 1 - r, c),
+            Symmetry::FlipDiag => (c, r),
+            Symmetry::FlipAnti => (n - 1 - c, n - 1 - r),
+        }
+    }
+
+    /// The group inverse (`s.inverse().apply_cell ∘ s.apply_cell = id`).
+    #[inline]
+    pub fn inverse(self) -> Symmetry {
+        match self {
+            Symmetry::Rot90 => Symmetry::Rot270,
+            Symmetry::Rot270 => Symmetry::Rot90,
+            other => other, // all remaining elements are involutions
+        }
+    }
+
+    /// Transform plane-major feature maps: `planes` is `[channels * n * n]`
+    /// row-major within each plane. Returns the transformed copy.
+    pub fn transform_planes(self, planes: &[f32], channels: usize, n: usize) -> Vec<f32> {
+        assert_eq!(planes.len(), channels * n * n, "plane buffer size");
+        let mut out = vec![0.0; planes.len()];
+        let area = n * n;
+        for ch in 0..channels {
+            let src = &planes[ch * area..(ch + 1) * area];
+            let dst = &mut out[ch * area..(ch + 1) * area];
+            for r in 0..n {
+                for c in 0..n {
+                    let (nr, nc) = self.apply_cell(n, r, c);
+                    dst[nr * n + nc] = src[r * n + c];
+                }
+            }
+        }
+        out
+    }
+
+    /// Permute a policy vector over an `n × n` spatial action grid. Entries
+    /// beyond `n²` (e.g. a pass action) are copied through unchanged.
+    pub fn permute_policy(self, policy: &[f32], n: usize) -> Vec<f32> {
+        assert!(policy.len() >= n * n, "policy shorter than the board");
+        let mut out = policy.to_vec();
+        for r in 0..n {
+            for c in 0..n {
+                let (nr, nc) = self.apply_cell(n, r, c);
+                out[nr * n + nc] = policy[r * n + c];
+            }
+        }
+        out
+    }
+
+    /// Map a single spatial action index; non-spatial indices (≥ `n²`) are
+    /// returned unchanged.
+    pub fn map_action(self, a: usize, n: usize) -> usize {
+        if a >= n * n {
+            return a;
+        }
+        let (nr, nc) = self.apply_cell(n, a / n, a % n);
+        nr * n + nc
+    }
+}
+
+/// Expand one training sample into all eight symmetric variants:
+/// `(planes, policy)` pairs; the value target is symmetry-invariant so
+/// callers reuse it. The identity variant is element 0.
+pub fn augment_sample(
+    planes: &[f32],
+    policy: &[f32],
+    channels: usize,
+    n: usize,
+) -> Vec<(Vec<f32>, Vec<f32>)> {
+    Symmetry::ALL
+        .iter()
+        .map(|s| {
+            (
+                s.transform_planes(planes, channels, n),
+                s.permute_policy(policy, n),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_eight_are_distinct_on_a_marked_cell() {
+        // Cell (0,1) on a 4×4 board sits on no symmetry axis, so it has a
+        // distinct image under each group element.
+        let images: Vec<(usize, usize)> = Symmetry::ALL
+            .iter()
+            .map(|s| s.apply_cell(4, 0, 1))
+            .collect();
+        let mut uniq = images.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 8, "images: {images:?}");
+    }
+
+    #[test]
+    fn inverse_undoes_every_element() {
+        for s in Symmetry::ALL {
+            for r in 0..4 {
+                for c in 0..4 {
+                    let (tr, tc) = s.apply_cell(4, r, c);
+                    assert_eq!(s.inverse().apply_cell(4, tr, tc), (r, c), "{s:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rot90_four_times_is_identity() {
+        for r in 0..5 {
+            for c in 0..5 {
+                let mut cur = (r, c);
+                for _ in 0..4 {
+                    cur = Symmetry::Rot90.apply_cell(5, cur.0, cur.1);
+                }
+                assert_eq!(cur, (r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn rot90_twice_is_rot180() {
+        for r in 0..4 {
+            for c in 0..4 {
+                let once = Symmetry::Rot90.apply_cell(4, r, c);
+                let twice = Symmetry::Rot90.apply_cell(4, once.0, once.1);
+                assert_eq!(twice, Symmetry::Rot180.apply_cell(4, r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn plane_transform_moves_marked_cell() {
+        let n = 3;
+        let mut planes = vec![0.0; 2 * n * n];
+        planes[1] = 1.0; // channel 0, (0,1)
+        planes[9 + 8] = 2.0; // channel 1, (2,2)
+        let out = Symmetry::Rot90.transform_planes(&planes, 2, n);
+        // (0,1) → (1,2); (2,2) → (2,0).
+        assert_eq!(out[5], 1.0);
+        assert_eq!(out[9 + 6], 2.0);
+        assert_eq!(out.iter().filter(|&&v| v != 0.0).count(), 2);
+    }
+
+    #[test]
+    fn policy_permutation_preserves_mass_and_pass() {
+        let n = 3;
+        let mut policy = vec![0.0; n * n + 1];
+        policy[1] = 0.7;
+        policy[9] = 0.3; // pass
+        for s in Symmetry::ALL {
+            let out = s.permute_policy(&policy, n);
+            assert!((out.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+            assert_eq!(out[9], 0.3, "pass entry must not move under {s:?}");
+        }
+    }
+
+    #[test]
+    fn map_action_matches_policy_permutation() {
+        let n = 4;
+        for s in Symmetry::ALL {
+            for a in 0..n * n {
+                let mut policy = vec![0.0; n * n];
+                policy[a] = 1.0;
+                let out = s.permute_policy(&policy, n);
+                assert_eq!(out[s.map_action(a, n)], 1.0);
+            }
+            assert_eq!(s.map_action(n * n, n), n * n, "pass is fixed");
+        }
+    }
+
+    #[test]
+    fn augment_sample_yields_eight_variants_identity_first() {
+        let n = 3;
+        let planes: Vec<f32> = (0..9).map(|v| v as f32).collect();
+        let policy: Vec<f32> = (0..9).map(|v| v as f32 / 36.0).collect();
+        let variants = augment_sample(&planes, &policy, 1, n);
+        assert_eq!(variants.len(), 8);
+        assert_eq!(variants[0].0, planes);
+        assert_eq!(variants[0].1, policy);
+        // Every variant is a permutation: sorted contents match.
+        for (p, pi) in &variants {
+            let mut sp = p.clone();
+            let mut spi = pi.clone();
+            sp.sort_by(f32::total_cmp);
+            spi.sort_by(f32::total_cmp);
+            let mut rp = planes.clone();
+            let mut rpi = policy.clone();
+            rp.sort_by(f32::total_cmp);
+            rpi.sort_by(f32::total_cmp);
+            assert_eq!(sp, rp);
+            assert_eq!(spi, rpi);
+        }
+    }
+
+    #[test]
+    fn gomoku_encoding_transforms_consistently_with_moves() {
+        // Encode a Gomoku position, transform it, and compare against
+        // encoding the position built from transformed moves.
+        use crate::gomoku::Gomoku;
+        use crate::traits::Game;
+        let moves = [(1usize, 2usize), (0, 0), (2, 1)];
+        let s = Symmetry::Rot90;
+        let n = 5;
+
+        let mut direct = Gomoku::new(n, 4);
+        let mut mapped = Gomoku::new(n, 4);
+        for &(r, c) in &moves {
+            direct.apply(direct.rc_to_action(r, c));
+            let (mr, mc) = s.apply_cell(n, r, c);
+            mapped.apply(mapped.rc_to_action(mr, mc));
+        }
+        let mut enc_direct = vec![0.0; direct.encoded_len()];
+        direct.encode(&mut enc_direct);
+        let mut enc_mapped = vec![0.0; mapped.encoded_len()];
+        mapped.encode(&mut enc_mapped);
+        let transformed = s.transform_planes(&enc_direct, 4, n);
+        assert_eq!(transformed, enc_mapped);
+    }
+
+    #[test]
+    #[should_panic(expected = "plane buffer")]
+    fn transform_rejects_wrong_size() {
+        let _ = Symmetry::Rot90.transform_planes(&[0.0; 5], 1, 3);
+    }
+}

@@ -1,0 +1,213 @@
+//! A synthetic game with exactly controllable tree geometry.
+//!
+//! The paper's design-time profiling runs on "a synthetic tree …
+//! emulating the same fanout and depth limit defined by the DNN-MCTS
+//! algorithm" (§4.2). `SyntheticGame` is the playable version of that
+//! idea: every state has exactly `fanout` legal actions, games last
+//! exactly `max_depth` plies, and terminal outcomes are a deterministic
+//! pseudo-random function of the action path. It gives tests and
+//! profilers a game whose branching factor and depth are free parameters,
+//! independent of board-game rules.
+
+use crate::traits::{Action, Game, Player, Status};
+
+/// Deterministic fanout/depth-parameterized game.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyntheticGame {
+    fanout: usize,
+    max_depth: usize,
+    /// Rolling hash of the action path (also the position hash).
+    path: u64,
+    depth: usize,
+    to_move: Player,
+}
+
+/// splitmix64 finalizer: decorrelates path hashes.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl SyntheticGame {
+    /// A game tree with `fanout` moves per state and `max_depth` plies.
+    /// `seed` selects which paths win/lose/draw.
+    pub fn new(fanout: usize, max_depth: usize, seed: u64) -> Self {
+        assert!(fanout >= 1 && fanout <= u16::MAX as usize, "fanout range");
+        assert!(max_depth >= 1, "depth must be positive");
+        SyntheticGame {
+            fanout,
+            max_depth,
+            path: mix(seed),
+            depth: 0,
+            to_move: Player::Black,
+        }
+    }
+
+    /// Branching factor.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Game length in plies.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Current depth (== move count).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+impl Game for SyntheticGame {
+    fn action_space(&self) -> usize {
+        self.fanout
+    }
+
+    fn encoded_shape(&self) -> (usize, usize, usize) {
+        (4, 1, self.fanout)
+    }
+
+    fn to_move(&self) -> Player {
+        self.to_move
+    }
+
+    fn status(&self) -> Status {
+        if self.depth < self.max_depth {
+            return Status::Ongoing;
+        }
+        // Deterministic outcome from the path hash: 40% Black, 40% White,
+        // 20% draw.
+        match self.path % 10 {
+            0..=3 => Status::Won(Player::Black),
+            4..=7 => Status::Won(Player::White),
+            _ => Status::Draw,
+        }
+    }
+
+    fn is_legal(&self, a: Action) -> bool {
+        (a as usize) < self.fanout && self.depth < self.max_depth
+    }
+
+    fn legal_actions_into(&self, out: &mut Vec<Action>) {
+        out.clear();
+        if self.depth < self.max_depth {
+            out.extend(0..self.fanout as Action);
+        }
+    }
+
+    fn apply(&mut self, a: Action) {
+        debug_assert!(self.is_legal(a), "illegal synthetic move {a}");
+        self.path = mix(self.path ^ (a as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+        self.depth += 1;
+        self.to_move = self.to_move.other();
+    }
+
+    fn encode(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), 4 * self.fanout);
+        // Deterministic pseudo-random planes from the path hash so states
+        // have distinct, reproducible encodings.
+        let mut h = self.path;
+        for v in out.iter_mut() {
+            h = mix(h);
+            *v = (h % 1000) as f32 / 1000.0;
+        }
+    }
+
+    fn hash(&self) -> u64 {
+        self.path
+    }
+
+    fn move_count(&self) -> usize {
+        self.depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_is_exact() {
+        let mut g = SyntheticGame::new(7, 3, 1);
+        assert_eq!(g.action_space(), 7);
+        for d in 0..3 {
+            assert_eq!(g.status(), Status::Ongoing, "depth {d}");
+            assert_eq!(g.legal_actions().len(), 7);
+            g.apply((d % 7) as Action);
+        }
+        assert!(g.status().is_terminal());
+        assert!(g.legal_actions().is_empty());
+    }
+
+    #[test]
+    fn outcomes_are_deterministic_per_path() {
+        let play = |actions: &[Action]| {
+            let mut g = SyntheticGame::new(5, 4, 9);
+            for &a in actions {
+                g.apply(a);
+            }
+            g.status()
+        };
+        assert_eq!(play(&[0, 1, 2, 3]), play(&[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn different_paths_reach_different_states() {
+        let mut a = SyntheticGame::new(5, 4, 9);
+        let mut b = SyntheticGame::new(5, 4, 9);
+        a.apply(0);
+        b.apply(1);
+        assert_ne!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn outcome_mix_is_roughly_balanced() {
+        let mut black = 0;
+        let mut white = 0;
+        let mut draw = 0;
+        for seed in 0..300u64 {
+            let mut g = SyntheticGame::new(3, 2, seed);
+            g.apply((seed % 3) as Action);
+            g.apply(((seed / 3) % 3) as Action);
+            match g.status() {
+                Status::Won(Player::Black) => black += 1,
+                Status::Won(Player::White) => white += 1,
+                Status::Draw => draw += 1,
+                Status::Ongoing => unreachable!(),
+            }
+        }
+        assert!(black > 60 && white > 60 && draw > 20, "{black}/{white}/{draw}");
+    }
+
+    #[test]
+    fn encode_is_deterministic_and_state_dependent() {
+        let mut g = SyntheticGame::new(4, 3, 2);
+        let mut e1 = vec![0.0; g.encoded_len()];
+        g.encode(&mut e1);
+        let mut e1b = vec![0.0; g.encoded_len()];
+        g.encode(&mut e1b);
+        assert_eq!(e1, e1b);
+        g.apply(2);
+        let mut e2 = vec![0.0; g.encoded_len()];
+        g.encode(&mut e2);
+        assert_ne!(e1, e2);
+    }
+
+    #[test]
+    fn seeds_select_different_games() {
+        let outcome = |seed: u64| {
+            let mut g = SyntheticGame::new(2, 3, seed);
+            for a in [0u16, 1, 0] {
+                g.apply(a);
+            }
+            g.status()
+        };
+        let distinct: std::collections::HashSet<_> =
+            (0..50).map(|s| format!("{:?}", outcome(s))).collect();
+        assert!(distinct.len() >= 2, "seeds should vary outcomes");
+    }
+}

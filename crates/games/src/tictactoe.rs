@@ -1,0 +1,229 @@
+//! TicTacToe: the smallest benchmark, used to validate search correctness.
+//!
+//! Because the full game tree is tiny (~5500 states), exact properties are
+//! checkable: perfect play draws, MCTS with enough playouts finds forced wins,
+//! etc. The integration tests of the `mcts` crate rely on this.
+
+use crate::traits::{Action, Game, Player, Status};
+
+/// 3×3 TicTacToe, bitboard-backed (9 bits per player).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TicTacToe {
+    boards: [u16; 2], // bit i set ⇒ player owns cell i
+    to_move: Player,
+    last_move: Option<Action>,
+    moves: u8,
+}
+
+/// All eight winning lines as bitmasks.
+const LINES: [u16; 8] = [
+    0b000_000_111,
+    0b000_111_000,
+    0b111_000_000,
+    0b001_001_001,
+    0b010_010_010,
+    0b100_100_100,
+    0b100_010_001,
+    0b001_010_100,
+];
+
+const FULL: u16 = 0b111_111_111;
+
+impl TicTacToe {
+    /// Empty board, Black (X) to move.
+    pub fn new() -> Self {
+        TicTacToe {
+            boards: [0, 0],
+            to_move: Player::Black,
+            last_move: None,
+            moves: 0,
+        }
+    }
+
+    #[inline]
+    fn occupied(&self) -> u16 {
+        self.boards[0] | self.boards[1]
+    }
+
+    #[inline]
+    #[allow(clippy::manual_contains)] // predicate masks b with each line
+    fn has_line(b: u16) -> bool {
+        LINES.iter().any(|&l| b & l == l)
+    }
+}
+
+impl Default for TicTacToe {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Game for TicTacToe {
+    fn action_space(&self) -> usize {
+        9
+    }
+
+    fn encoded_shape(&self) -> (usize, usize, usize) {
+        (4, 3, 3)
+    }
+
+    fn to_move(&self) -> Player {
+        self.to_move
+    }
+
+    fn status(&self) -> Status {
+        if Self::has_line(self.boards[0]) {
+            Status::Won(Player::Black)
+        } else if Self::has_line(self.boards[1]) {
+            Status::Won(Player::White)
+        } else if self.occupied() == FULL {
+            Status::Draw
+        } else {
+            Status::Ongoing
+        }
+    }
+
+    fn is_legal(&self, a: Action) -> bool {
+        a < 9 && self.occupied() & (1 << a) == 0 && self.status() == Status::Ongoing
+    }
+
+    fn legal_actions_into(&self, out: &mut Vec<Action>) {
+        out.clear();
+        if self.status() != Status::Ongoing {
+            return;
+        }
+        let occ = self.occupied();
+        out.extend((0u16..9).filter(|&a| occ & (1 << a) == 0));
+    }
+
+    fn apply(&mut self, a: Action) {
+        debug_assert!(self.is_legal(a), "illegal move {a}");
+        self.boards[self.to_move.index()] |= 1 << a;
+        self.last_move = Some(a);
+        self.moves += 1;
+        self.to_move = self.to_move.other();
+    }
+
+    fn encode(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), 36);
+        out.fill(0.0);
+        let me = self.to_move.index();
+        let opp = 1 - me;
+        for i in 0..9 {
+            if self.boards[me] & (1 << i) != 0 {
+                out[i] = 1.0;
+            }
+            if self.boards[opp] & (1 << i) != 0 {
+                out[9 + i] = 1.0;
+            }
+        }
+        if let Some(a) = self.last_move {
+            out[18 + a as usize] = 1.0;
+        }
+        if self.to_move == Player::Black {
+            out[27..36].fill(1.0);
+        }
+    }
+
+    fn hash(&self) -> u64 {
+        // 18 bits of board + 1 bit side: already a perfect hash.
+        (self.boards[0] as u64) | ((self.boards[1] as u64) << 9) | ((self.to_move.index() as u64) << 18)
+    }
+
+    fn move_count(&self) -> usize {
+        self.moves as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_board_has_nine_moves() {
+        let g = TicTacToe::new();
+        assert_eq!(g.legal_actions().len(), 9);
+        assert_eq!(g.status(), Status::Ongoing);
+    }
+
+    #[test]
+    fn row_win_detected() {
+        let mut g = TicTacToe::new();
+        for a in [0u16, 3, 1, 4, 2] {
+            g.apply(a);
+        }
+        assert_eq!(g.status(), Status::Won(Player::Black));
+    }
+
+    #[test]
+    fn column_win_detected() {
+        let mut g = TicTacToe::new();
+        for a in [0u16, 1, 3, 2, 6] {
+            g.apply(a);
+        }
+        assert_eq!(g.status(), Status::Won(Player::Black));
+    }
+
+    #[test]
+    fn diagonal_win_for_white() {
+        let mut g = TicTacToe::new();
+        for a in [1u16, 0, 2, 4, 3, 8] {
+            g.apply(a);
+        }
+        assert_eq!(g.status(), Status::Won(Player::White));
+    }
+
+    #[test]
+    fn known_draw_game() {
+        let mut g = TicTacToe::new();
+        // X O X / X X O / O X O
+        for a in [0u16, 1, 2, 5, 4, 8, 3, 6, 7] {
+            g.apply(a);
+        }
+        assert_eq!(g.status(), Status::Draw);
+    }
+
+    #[test]
+    fn terminal_board_has_no_moves() {
+        let mut g = TicTacToe::new();
+        for a in [0u16, 3, 1, 4, 2] {
+            g.apply(a);
+        }
+        assert!(g.legal_actions().is_empty());
+    }
+
+    #[test]
+    fn hash_is_injective_over_random_play() {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        // The hash is positional: it identifies (boards, side-to-move) but
+        // deliberately ignores move-order metadata like `last_move`.
+        let mut seen: std::collections::HashMap<u64, ([u16; 2], Player)> = Default::default();
+        for _ in 0..500 {
+            let mut g = TicTacToe::new();
+            while g.status() == Status::Ongoing {
+                let acts = g.legal_actions();
+                let &a = acts.choose(&mut rng).unwrap();
+                g.apply(a);
+                let key = (g.boards, g.to_move);
+                if let Some(prev) = seen.insert(g.hash(), key) {
+                    assert_eq!(prev, key, "hash collision");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encode_shape_and_sum() {
+        let mut g = TicTacToe::new();
+        g.apply(4);
+        let mut buf = vec![0.0; g.encoded_len()];
+        g.encode(&mut buf);
+        assert_eq!(buf.len(), 36);
+        // One opponent stone (X at 4), no own stones, last-move at 4 set.
+        assert_eq!(buf[..9].iter().sum::<f32>(), 0.0);
+        assert_eq!(buf[9..18].iter().sum::<f32>(), 1.0);
+        assert_eq!(buf[18 + 4], 1.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Zobrist hashing tables for incremental position fingerprints.
+//!
+//! Each (cell, player) pair gets a fixed pseudo-random 64-bit key; a position
+//! hash is the XOR of the keys of all occupied cells plus a side-to-move key.
+//! XOR-ing a key in/out updates the hash in O(1) per move.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Precomputed Zobrist keys for a board with `cells` squares and two players.
+#[derive(Debug, Clone)]
+pub struct ZobristTable {
+    /// `keys[player][cell]`.
+    keys: [Vec<u64>; 2],
+    /// XOR-ed in when White is to move.
+    pub side_key: u64,
+}
+
+impl ZobristTable {
+    /// Build a table for `cells` squares using a fixed seed so hashes are
+    /// stable across runs (needed for reproducible tests and transpositions).
+    pub fn new(cells: usize) -> Self {
+        // Fixed seed: hashes must be identical across processes.
+        let mut rng = StdRng::seed_from_u64(0x5EED_0B57_AC1E_u64);
+        let mut keys = [Vec::with_capacity(cells), Vec::with_capacity(cells)];
+        for side in &mut keys {
+            for _ in 0..cells {
+                side.push(rng.gen::<u64>());
+            }
+        }
+        let side_key = rng.gen::<u64>();
+        ZobristTable { keys, side_key }
+    }
+
+    /// Key for `player` occupying `cell`.
+    #[inline]
+    pub fn key(&self, player: usize, cell: usize) -> u64 {
+        self.keys[player][cell]
+    }
+
+    /// Number of cells this table covers.
+    pub fn cells(&self) -> usize {
+        self.keys[0].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = ZobristTable::new(64);
+        let b = ZobristTable::new(64);
+        for c in 0..64 {
+            assert_eq!(a.key(0, c), b.key(0, c));
+            assert_eq!(a.key(1, c), b.key(1, c));
+        }
+        assert_eq!(a.side_key, b.side_key);
+    }
+
+    #[test]
+    fn keys_are_distinct() {
+        let t = ZobristTable::new(225);
+        let mut seen = std::collections::HashSet::new();
+        for p in 0..2 {
+            for c in 0..225 {
+                assert!(seen.insert(t.key(p, c)), "duplicate key at ({p},{c})");
+            }
+        }
+        assert!(seen.insert(t.side_key));
+    }
+
+    #[test]
+    fn xor_roundtrip_restores_hash() {
+        let t = ZobristTable::new(9);
+        let h0 = 0xDEAD_BEEFu64;
+        let h1 = h0 ^ t.key(0, 4);
+        assert_ne!(h0, h1);
+        assert_eq!(h1 ^ t.key(0, 4), h0);
+    }
+
+    #[test]
+    fn cells_reports_size() {
+        assert_eq!(ZobristTable::new(42).cells(), 42);
+    }
+}

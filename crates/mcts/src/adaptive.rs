@@ -1,0 +1,183 @@
+//! Adaptive scheme selection and uniform dispatch (§3.2).
+//!
+//! The paper's program template takes a `flag_local` input (Algorithm 1)
+//! decided at compile time by the design-configuration workflow. Here
+//! [`Scheme`] is that flag (generalized to all implemented schemes) and
+//! [`AdaptiveSearch`] is the template: construct it with the scheme the
+//! performance model selected (see `perfmodel::configurator`) and call
+//! [`SearchScheme::search`] as usual.
+
+use crate::config::MctsConfig;
+use crate::evaluator::Evaluator;
+use crate::leaf_parallel::LeafParallelSearch;
+use crate::local::LocalTreeSearch;
+use crate::result::{SearchResult, SearchScheme};
+use crate::root_parallel::RootParallelSearch;
+use crate::serial::SerialSearch;
+use crate::shared::SharedTreeSearch;
+use crate::speculative::SpeculativeSearch;
+use games::Game;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Which parallel implementation to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Single-thread baseline.
+    Serial,
+    /// §3.1.1: `N` threads, one lock-protected tree.
+    SharedTree,
+    /// §3.1.2: master thread + `N` inference workers.
+    LocalTree,
+    /// Baseline: replicate evaluations at one leaf.
+    LeafParallel,
+    /// Baseline: independent trees merged at the root.
+    RootParallel,
+    /// Baseline (§2.2 \[7\], SpecMCTS-style): serial in-tree discipline with
+    /// cheap speculative expansion corrected by the main model. Built with
+    /// a uniform-prior speculative model; for a custom cheap model use
+    /// [`crate::speculative::SpeculativeSearch`] directly.
+    Speculative,
+}
+
+impl Scheme {
+    /// All schemes (for sweeps/benches).
+    pub const ALL: [Scheme; 6] = [
+        Scheme::Serial,
+        Scheme::SharedTree,
+        Scheme::LocalTree,
+        Scheme::LeafParallel,
+        Scheme::RootParallel,
+        Scheme::Speculative,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Serial => "serial",
+            Scheme::SharedTree => "shared-tree",
+            Scheme::LocalTree => "local-tree",
+            Scheme::LeafParallel => "leaf-parallel",
+            Scheme::RootParallel => "root-parallel",
+            Scheme::Speculative => "speculative",
+        }
+    }
+
+    /// Instantiate this scheme for game type `G`.
+    pub fn build<G: Game>(
+        self,
+        cfg: MctsConfig,
+        evaluator: Arc<dyn Evaluator>,
+    ) -> Box<dyn SearchScheme<G>> {
+        match self {
+            Scheme::Serial => Box::new(SerialSearch::new(cfg, evaluator)),
+            Scheme::SharedTree => Box::new(SharedTreeSearch::new(cfg, evaluator)),
+            Scheme::LocalTree => Box::new(LocalTreeSearch::new(cfg, evaluator)),
+            Scheme::LeafParallel => Box::new(LeafParallelSearch::new(cfg, evaluator)),
+            Scheme::RootParallel => Box::new(RootParallelSearch::new(cfg, evaluator)),
+            Scheme::Speculative => {
+                let spec = Arc::new(crate::evaluator::UniformEvaluator::new(
+                    evaluator.input_len(),
+                    evaluator.action_space(),
+                ));
+                // Commit corrections in worker-sized batches, mirroring
+                // the pipeline depth a real speculative system would use.
+                let commit = cfg.workers.max(1);
+                Box::new(SpeculativeSearch::new(cfg, evaluator, spec, commit))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The adaptive program template: one object, any scheme.
+pub struct AdaptiveSearch<G: Game> {
+    scheme: Scheme,
+    inner: Box<dyn SearchScheme<G>>,
+}
+
+impl<G: Game> AdaptiveSearch<G> {
+    /// Build the selected scheme.
+    pub fn new(scheme: Scheme, cfg: MctsConfig, evaluator: Arc<dyn Evaluator>) -> Self {
+        AdaptiveSearch {
+            scheme,
+            inner: scheme.build(cfg, evaluator),
+        }
+    }
+
+    /// The scheme in use.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+}
+
+impl<G: Game> SearchScheme<G> for AdaptiveSearch<G> {
+    fn search(&mut self, root: &G) -> SearchResult {
+        self.inner.search(root)
+    }
+
+    fn name(&self) -> &'static str {
+        self.scheme.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::UniformEvaluator;
+    use games::tictactoe::TicTacToe;
+    use games::Game;
+
+    #[test]
+    fn every_scheme_builds_and_searches() {
+        let cfg = MctsConfig {
+            playouts: 40,
+            workers: 2,
+            ..Default::default()
+        };
+        for scheme in Scheme::ALL {
+            let eval = Arc::new(UniformEvaluator::for_game(&TicTacToe::new()));
+            let mut s = AdaptiveSearch::<TicTacToe>::new(scheme, cfg, eval);
+            let r = s.search(&TicTacToe::new());
+            assert!(
+                r.stats.playouts >= 40,
+                "{scheme}: {} playouts",
+                r.stats.playouts
+            );
+            assert_eq!(s.scheme(), scheme);
+            assert_eq!(SearchScheme::<TicTacToe>::name(&s), scheme.name());
+        }
+    }
+
+    #[test]
+    fn all_schemes_agree_on_forced_win() {
+        let mut g = TicTacToe::new();
+        for a in [0u16, 3, 1, 4] {
+            g.apply(a);
+        }
+        let cfg = MctsConfig {
+            playouts: 300,
+            workers: 4,
+            ..Default::default()
+        };
+        for scheme in Scheme::ALL {
+            let eval = Arc::new(UniformEvaluator::for_game(&TicTacToe::new()));
+            let mut s = AdaptiveSearch::<TicTacToe>::new(scheme, cfg, eval);
+            let r = s.search(&g);
+            assert_eq!(r.best_action(), 2, "{scheme} missed the win");
+        }
+    }
+
+    #[test]
+    fn scheme_names_unique() {
+        let mut names: Vec<_> = Scheme::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Scheme::ALL.len());
+    }
+}

@@ -1,0 +1,172 @@
+//! Search hyper-parameters shared by every scheme.
+
+use serde::{Deserialize, Serialize};
+
+/// Virtual-loss policy applied to edges traversed by in-flight playouts
+/// (§2.1: VL can be "a pre-defined constant value \[2\], or a number tracking
+/// visit counts of child nodes \[8\]").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum VirtualLoss {
+    /// Chaslot-style: an in-flight playout counts as a visit that lost by
+    /// `c` (subtract `c` from `W`, add 1 to `N` while in flight).
+    Constant(f32),
+    /// WU-UCT-style: track the number of in-flight ("unobserved") playouts
+    /// `O(s,a)` and use `N + O` in both UCT terms, leaving `Q` untouched.
+    VisitTracking,
+}
+
+impl Default for VirtualLoss {
+    fn default() -> Self {
+        VirtualLoss::Constant(1.0)
+    }
+}
+
+/// Locking discipline for shared-tree edge statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum LockKind {
+    /// Per-node mutex around statistic updates (the paper's design, after
+    /// Chaslot et al.).
+    #[default]
+    Mutex,
+    /// Lock-free atomic read-modify-write updates (after Mirsoleimani et
+    /// al.); ablation target.
+    Atomic,
+}
+
+/// Hyper-parameters for one tree-based search ("move").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MctsConfig {
+    /// Exploration constant `c` in the UCT score (Eq. 1).
+    pub c_puct: f32,
+    /// Playouts per move ("tree size limit per move is 1600", §5.1).
+    pub playouts: usize,
+    /// Number of parallel workers `N`.
+    pub workers: usize,
+    /// Virtual-loss policy.
+    pub virtual_loss: VirtualLoss,
+    /// Shared-tree locking discipline.
+    pub lock_kind: LockKind,
+    /// Q value assumed for unvisited edges (first-play urgency).
+    pub q_init: f32,
+    /// Upper bound on arena capacity (nodes). `None` ⇒ derived from
+    /// `playouts × fanout` at search time.
+    pub max_nodes: Option<usize>,
+    /// AlphaZero-style Dirichlet noise mixed into the root priors during
+    /// self-play (None ⇒ deterministic evaluation-time search).
+    pub root_noise: Option<crate::noise::RootNoise>,
+    /// Optional wall-clock budget per move in milliseconds. When set, the
+    /// serial and reuse searchers stop early once the budget elapses (after
+    /// completing the playout in flight); `playouts` remains an upper
+    /// bound. Thread-pool schemes ignore it (the paper's iteration budget
+    /// is playout-count-based).
+    pub time_budget_ms: Option<u64>,
+}
+
+impl Default for MctsConfig {
+    fn default() -> Self {
+        MctsConfig {
+            c_puct: 5.0,
+            playouts: 1600,
+            workers: 1,
+            virtual_loss: VirtualLoss::default(),
+            lock_kind: LockKind::default(),
+            q_init: 0.0,
+            max_nodes: None,
+            root_noise: None,
+            time_budget_ms: None,
+        }
+    }
+}
+
+impl MctsConfig {
+    /// The paper's Gomoku evaluation configuration for `n` workers.
+    pub fn paper(workers: usize) -> Self {
+        MctsConfig {
+            playouts: 1600,
+            workers,
+            ..Default::default()
+        }
+    }
+
+    /// Arena capacity for a game with the given action-space size.
+    pub fn arena_capacity(&self, action_space: usize) -> usize {
+        self.max_nodes
+            .unwrap_or_else(|| 1 + (self.playouts + self.workers + 1) * (action_space + 1))
+    }
+
+    /// Validate invariants; panics on nonsense configurations.
+    pub fn validate(&self) {
+        assert!(self.c_puct >= 0.0, "c_puct must be non-negative");
+        assert!(self.playouts > 0, "playouts must be positive");
+        assert!(self.workers > 0, "workers must be positive");
+        if let VirtualLoss::Constant(c) = self.virtual_loss {
+            assert!(c >= 0.0, "virtual loss must be non-negative");
+        }
+        if let Some(n) = self.root_noise {
+            assert!(n.alpha > 0.0, "dirichlet alpha must be positive");
+            assert!((0.0..=1.0).contains(&n.epsilon), "noise epsilon in [0,1]");
+        }
+        if let Some(ms) = self.time_budget_ms {
+            assert!(ms > 0, "time budget must be positive");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        MctsConfig::default().validate();
+    }
+
+    #[test]
+    fn paper_config_matches_evaluation_setup() {
+        let c = MctsConfig::paper(16);
+        assert_eq!(c.playouts, 1600);
+        assert_eq!(c.workers, 16);
+        c.validate();
+    }
+
+    #[test]
+    fn arena_capacity_scales_with_playouts() {
+        let c = MctsConfig {
+            playouts: 10,
+            ..Default::default()
+        };
+        let small = c.arena_capacity(9);
+        let big = MctsConfig::default().arena_capacity(9);
+        assert!(small < big);
+        assert!(small >= 10 * 9);
+    }
+
+    #[test]
+    fn explicit_max_nodes_wins() {
+        let c = MctsConfig {
+            max_nodes: Some(123),
+            ..Default::default()
+        };
+        assert_eq!(c.arena_capacity(225), 123);
+    }
+
+    #[test]
+    #[should_panic(expected = "workers")]
+    fn zero_workers_invalid() {
+        MctsConfig {
+            workers: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "playouts")]
+    fn zero_playouts_invalid() {
+        MctsConfig {
+            playouts: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+}

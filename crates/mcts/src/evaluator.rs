@@ -1,0 +1,240 @@
+//! Node evaluators: the "DNN inference" half of the tree-based search.
+//!
+//! All search schemes are generic over [`Evaluator`], so the same search
+//! code runs against a real network on the CPU ([`NnEvaluator`]), the
+//! batched accelerator queue ([`AccelEvaluator`]), a uniform stub for
+//! correctness tests ([`UniformEvaluator`]), or a latency-injecting wrapper
+//! for performance experiments ([`DelayedEvaluator`]).
+
+use accel::Device;
+use games::Game;
+use nn::PolicyValueNet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tensor::Tensor;
+
+/// Evaluate an encoded state into (policy prior over the *full* action
+/// space, value in `[-1, 1]` for the player to move).
+///
+/// Implementations must be thread-safe: the shared-tree scheme calls
+/// `evaluate` concurrently from `N` worker threads.
+pub trait Evaluator: Send + Sync {
+    /// Length of the flattened input expected by [`Evaluator::evaluate`].
+    fn input_len(&self) -> usize;
+
+    /// Size of the returned prior vector.
+    fn action_space(&self) -> usize;
+
+    /// Evaluate one state. May block (e.g. while an accelerator batch
+    /// assembles).
+    fn evaluate(&self, input: &[f32]) -> (Vec<f32>, f32);
+}
+
+/// Direct single-sample CPU inference through a policy-value network.
+pub struct NnEvaluator {
+    net: Arc<PolicyValueNet>,
+}
+
+impl NnEvaluator {
+    /// Wrap a network for direct CPU evaluation.
+    pub fn new(net: Arc<PolicyValueNet>) -> Self {
+        NnEvaluator { net }
+    }
+
+    /// Access the wrapped network.
+    pub fn net(&self) -> &Arc<PolicyValueNet> {
+        &self.net
+    }
+}
+
+impl Evaluator for NnEvaluator {
+    fn input_len(&self) -> usize {
+        let c = self.net.config;
+        c.in_c * c.h * c.w
+    }
+
+    fn action_space(&self) -> usize {
+        self.net.config.actions
+    }
+
+    fn evaluate(&self, input: &[f32]) -> (Vec<f32>, f32) {
+        let c = self.net.config;
+        let x = Tensor::from_vec(input.to_vec(), &[1, c.in_c, c.h, c.w]);
+        let (pi, v) = self.net.predict(&x);
+        (pi.into_vec(), v.data()[0])
+    }
+}
+
+/// Inference routed through the (simulated) accelerator's batching queue.
+///
+/// Each call submits one request and blocks on its completion; batching
+/// happens inside [`accel::Device`], which is exactly how the paper's
+/// worker threads interact with the GPU queue (§3.3).
+pub struct AccelEvaluator {
+    device: Arc<Device>,
+}
+
+impl AccelEvaluator {
+    /// Wrap an accelerator device handle.
+    pub fn new(device: Arc<Device>) -> Self {
+        AccelEvaluator { device }
+    }
+
+    /// The underlying device (e.g. to retune its batch size).
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+}
+
+impl Evaluator for AccelEvaluator {
+    fn input_len(&self) -> usize {
+        self.device.input_len()
+    }
+
+    fn action_space(&self) -> usize {
+        self.device.action_space()
+    }
+
+    fn evaluate(&self, input: &[f32]) -> (Vec<f32>, f32) {
+        let resp = self.device.evaluate(input.to_vec());
+        (resp.priors, resp.value)
+    }
+}
+
+/// Uniform priors, zero value: turns DNN-MCTS into plain UCT. Used by
+/// correctness tests where network quality is irrelevant.
+pub struct UniformEvaluator {
+    input_len: usize,
+    actions: usize,
+}
+
+impl UniformEvaluator {
+    /// Build with explicit dimensions.
+    pub fn new(input_len: usize, actions: usize) -> Self {
+        UniformEvaluator { input_len, actions }
+    }
+
+    /// Dimensions taken from a game state.
+    pub fn for_game<G: Game>(g: &G) -> Self {
+        UniformEvaluator {
+            input_len: g.encoded_len(),
+            actions: g.action_space(),
+        }
+    }
+}
+
+impl Evaluator for UniformEvaluator {
+    fn input_len(&self) -> usize {
+        self.input_len
+    }
+
+    fn action_space(&self) -> usize {
+        self.actions
+    }
+
+    fn evaluate(&self, _input: &[f32]) -> (Vec<f32>, f32) {
+        (vec![1.0 / self.actions as f32; self.actions], 0.0)
+    }
+}
+
+/// Wraps another evaluator and sleeps for a fixed duration per call —
+/// used to emulate a given `T_DNN` in performance experiments.
+pub struct DelayedEvaluator<E: Evaluator> {
+    inner: E,
+    delay: Duration,
+    calls: AtomicU64,
+}
+
+impl<E: Evaluator> DelayedEvaluator<E> {
+    /// Add `delay` per evaluation on top of `inner`.
+    pub fn new(inner: E, delay: Duration) -> Self {
+        DelayedEvaluator {
+            inner,
+            delay,
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of evaluations performed.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+}
+
+impl<E: Evaluator> Evaluator for DelayedEvaluator<E> {
+    fn input_len(&self) -> usize {
+        self.inner.input_len()
+    }
+
+    fn action_space(&self) -> usize {
+        self.inner.action_space()
+    }
+
+    fn evaluate(&self, input: &[f32]) -> (Vec<f32>, f32) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        if !self.delay.is_zero() {
+            std::thread::sleep(self.delay);
+        }
+        self.inner.evaluate(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accel::DeviceConfig;
+    use games::tictactoe::TicTacToe;
+    use nn::NetConfig;
+
+    #[test]
+    fn uniform_evaluator_shapes() {
+        let e = UniformEvaluator::for_game(&TicTacToe::new());
+        assert_eq!(e.action_space(), 9);
+        assert_eq!(e.input_len(), 36);
+        let (p, v) = e.evaluate(&[0.0; 36]);
+        assert_eq!(p.len(), 9);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn nn_evaluator_matches_direct_forward() {
+        let net = Arc::new(PolicyValueNet::new(NetConfig::tiny(4, 3, 3, 9), 1));
+        let e = NnEvaluator::new(Arc::clone(&net));
+        let input: Vec<f32> = (0..36).map(|i| (i % 3) as f32).collect();
+        let (p, v) = e.evaluate(&input);
+        let x = Tensor::from_vec(input, &[1, 4, 3, 3]);
+        let (pi, vv) = net.predict(&x);
+        assert_eq!(p, pi.into_vec());
+        assert_eq!(v, vv.data()[0]);
+    }
+
+    #[test]
+    fn accel_evaluator_agrees_with_cpu_path() {
+        let net = Arc::new(PolicyValueNet::new(NetConfig::tiny(4, 3, 3, 9), 2));
+        let cpu = NnEvaluator::new(Arc::clone(&net));
+        let dev = Arc::new(Device::new(Arc::clone(&net), DeviceConfig::instant(2)));
+        let acc = AccelEvaluator::new(dev);
+        let input: Vec<f32> = (0..36).map(|i| (i % 5) as f32 * 0.2).collect();
+        let (pa, va) = acc.evaluate(&input);
+        let (pc, vc) = cpu.evaluate(&input);
+        for (a, b) in pa.iter().zip(&pc) {
+            assert!((a - b).abs() < 1e-5);
+        }
+        assert!((va - vc).abs() < 1e-5);
+    }
+
+    #[test]
+    fn delayed_evaluator_counts_and_delays() {
+        let e = DelayedEvaluator::new(
+            UniformEvaluator::new(4, 2),
+            Duration::from_millis(5),
+        );
+        let t0 = std::time::Instant::now();
+        let _ = e.evaluate(&[0.0; 4]);
+        let _ = e.evaluate(&[0.0; 4]);
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+        assert_eq!(e.calls(), 2);
+    }
+}

@@ -1,0 +1,180 @@
+//! Leaf-parallel MCTS baseline (§2.2, Cazenave & Jouandeau).
+//!
+//! A single tree and a single selection path; at each selected leaf, all
+//! `N` workers evaluate *the same leaf* in parallel and the results are
+//! averaged. In classic MCTS those are `N` independent random rollouts; in
+//! DNN-MCTS the evaluator is deterministic, so the replicas add no
+//! information — which is precisely the paper's critique ("wastes
+//! parallelism due to the lack of diverse evaluation coverage"). The
+//! scheme is implemented faithfully so benchmarks can demonstrate that
+//! tradeoff.
+
+use crate::config::MctsConfig;
+use crate::evaluator::Evaluator;
+use crate::local::empty_result;
+use crate::pool::WorkerPool;
+use crate::result::{SearchResult, SearchScheme, SearchStats};
+use crate::tree::{SelectOutcome, Tree};
+use crossbeam::channel::unbounded;
+use games::Game;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Same-leaf replicated evaluation parallelism.
+pub struct LeafParallelSearch {
+    cfg: MctsConfig,
+    evaluator: Arc<dyn Evaluator>,
+    pool: WorkerPool,
+}
+
+impl LeafParallelSearch {
+    /// Spawn `cfg.workers` evaluation threads.
+    pub fn new(cfg: MctsConfig, evaluator: Arc<dyn Evaluator>) -> Self {
+        cfg.validate();
+        LeafParallelSearch {
+            pool: WorkerPool::new(cfg.workers),
+            cfg,
+            evaluator,
+        }
+    }
+}
+
+impl<G: Game> SearchScheme<G> for LeafParallelSearch {
+    fn search(&mut self, root: &G) -> SearchResult {
+        if root.status().is_terminal() {
+            return empty_result(root.action_space());
+        }
+        let move_start = Instant::now();
+        let mut tree = Tree::new(self.cfg);
+        let mut stats = SearchStats::default();
+        let mut encode_buf = vec![0.0f32; root.encoded_len()];
+        let n = self.cfg.workers;
+
+        let mut done = 0usize;
+        while done < self.cfg.playouts {
+            let mut game = root.clone();
+            let t0 = Instant::now();
+            let (leaf, outcome) = tree.select(&mut game);
+            stats.select_ns += t0.elapsed().as_nanos() as u64;
+            match outcome {
+                SelectOutcome::TerminalBackedUp => done += 1,
+                SelectOutcome::NeedsEval => {
+                    game.encode(&mut encode_buf);
+                    // Fan the SAME state out to all N workers.
+                    let (tx, rx) = unbounded();
+                    let t1 = Instant::now();
+                    for _ in 0..n {
+                        let input = encode_buf.clone();
+                        let eval = Arc::clone(&self.evaluator);
+                        let tx = tx.clone();
+                        self.pool.submit(move || {
+                            let _ = tx.send(eval.evaluate(&input));
+                        });
+                    }
+                    drop(tx);
+                    let mut priors: Option<Vec<f32>> = None;
+                    let mut value_sum = 0.0f64;
+                    let mut count = 0usize;
+                    while let Ok((p, v)) = rx.recv() {
+                        if priors.is_none() {
+                            priors = Some(p);
+                        }
+                        value_sum += v as f64;
+                        count += 1;
+                    }
+                    stats.eval_ns += t1.elapsed().as_nanos() as u64;
+                    let value = (value_sum / count as f64) as f32;
+                    let t2 = Instant::now();
+                    tree.expand_and_backup(leaf, &priors.expect("worker results"), value);
+                    stats.backup_ns += t2.elapsed().as_nanos() as u64;
+                    done += 1;
+                }
+                SelectOutcome::Busy => unreachable!("leaf-parallel is single-path"),
+            }
+        }
+
+        let (visits, probs, value) = tree.action_prior(root.action_space());
+        stats.playouts = done as u64;
+        stats.move_ns = move_start.elapsed().as_nanos() as u64;
+        stats.nodes = tree.len() as u64;
+        SearchResult {
+            probs,
+            visits,
+            value,
+            stats,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "leaf-parallel"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::UniformEvaluator;
+    use crate::serial::SerialSearch;
+    use games::tictactoe::TicTacToe;
+    use games::Game;
+
+    fn cfg(playouts: usize, workers: usize) -> MctsConfig {
+        MctsConfig {
+            playouts,
+            workers,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn playout_budget_counts_unique_leaves() {
+        let mut s = LeafParallelSearch::new(
+            cfg(50, 4),
+            Arc::new(UniformEvaluator::for_game(&TicTacToe::new())),
+        );
+        let r = s.search(&TicTacToe::new());
+        assert_eq!(r.stats.playouts, 50);
+        assert_eq!(r.visits.iter().sum::<u32>(), 49);
+    }
+
+    #[test]
+    fn identical_to_serial_with_deterministic_evaluator() {
+        // With a deterministic DNN, averaging N replicas changes nothing:
+        // leaf-parallel must produce exactly the serial visit counts.
+        let g = TicTacToe::new();
+        let eval = Arc::new(UniformEvaluator::for_game(&g));
+        let mut leaf = LeafParallelSearch::new(cfg(80, 4), Arc::clone(&eval) as Arc<_>);
+        let mut serial = SerialSearch::new(cfg(80, 1), eval);
+        let rl = SearchScheme::<TicTacToe>::search(&mut leaf, &g);
+        let rs = SearchScheme::<TicTacToe>::search(&mut serial, &g);
+        assert_eq!(rl.visits, rs.visits, "wasted parallelism: same search");
+    }
+
+    #[test]
+    fn finds_immediate_win() {
+        let mut g = TicTacToe::new();
+        for a in [0u16, 3, 1, 4] {
+            g.apply(a);
+        }
+        let mut s = LeafParallelSearch::new(
+            cfg(300, 2),
+            Arc::new(UniformEvaluator::for_game(&TicTacToe::new())),
+        );
+        let r = s.search(&g);
+        assert_eq!(r.best_action(), 2);
+    }
+
+    #[test]
+    fn terminal_root_returns_empty() {
+        let mut g = TicTacToe::new();
+        for a in [0u16, 3, 1, 4, 2] {
+            g.apply(a);
+        }
+        let mut s = LeafParallelSearch::new(
+            cfg(10, 2),
+            Arc::new(UniformEvaluator::for_game(&TicTacToe::new())),
+        );
+        let r = s.search(&g);
+        assert_eq!(r.visits.iter().sum::<u32>(), 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Tree-parallel DNN-guided Monte-Carlo Tree Search with adaptive
+//! parallelism — the core contribution of the reproduced paper.
+//!
+//! # The two parallel schemes
+//!
+//! * [`shared::SharedTreeSearch`] — §3.1.1: `N` worker threads share one
+//!   concurrent tree; per-node locks (or lock-free atomics) protect edge
+//!   statistics; virtual loss steers workers onto different paths. In-tree
+//!   operations are parallel, but every worker pays shared-memory access
+//!   cost, and node evaluation is serialized *with* in-tree work on each
+//!   thread.
+//! * [`local::LocalTreeSearch`] — §3.1.2: a single master thread owns the
+//!   entire tree (no locks, cache-friendly arena) and performs all in-tree
+//!   operations; `N` worker threads only run DNN inference, fed through
+//!   FIFO channels. In-tree work is serial but fully overlapped with
+//!   parallel inference.
+//!
+//! * [`serial::SerialSearch`], [`leaf_parallel::LeafParallelSearch`] and
+//!   [`root_parallel::RootParallelSearch`] are the baselines from §2.2.
+//!
+//! [`adaptive::AdaptiveSearch`] dispatches to the scheme selected by the
+//! performance model (see the `perfmodel` crate), reproducing the paper's
+//! compile-time adaptive selection.
+//!
+//! # Example
+//!
+//! ```
+//! use games::tictactoe::TicTacToe;
+//! use mcts::{MctsConfig, evaluator::UniformEvaluator, serial::SerialSearch, SearchScheme};
+//! use std::sync::Arc;
+//!
+//! let cfg = MctsConfig { playouts: 64, ..MctsConfig::default() };
+//! let eval = Arc::new(UniformEvaluator::for_game(&TicTacToe::new()));
+//! let mut search = SerialSearch::new(cfg, eval);
+//! let result = search.search(&TicTacToe::new());
+//! // 64 playouts: the first expands the root, the rest visit children.
+//! assert_eq!(result.visits.iter().sum::<u32>(), 63);
+//! ```
+
+pub mod adaptive;
+pub mod analysis;
+pub mod config;
+pub mod evaluator;
+pub mod leaf_parallel;
+pub mod local;
+pub mod noise;
+pub mod pool;
+pub mod result;
+pub mod reuse;
+pub mod root_parallel;
+pub mod serial;
+pub mod shared;
+pub mod speculative;
+pub mod tree;
+
+pub use adaptive::{AdaptiveSearch, Scheme};
+pub use config::{LockKind, MctsConfig, VirtualLoss};
+pub use evaluator::{AccelEvaluator, Evaluator, NnEvaluator, UniformEvaluator};
+pub use noise::RootNoise;
+pub use result::{SearchResult, SearchScheme, SearchStats};
+pub use reuse::ReusableSearch;
+pub use speculative::SpeculativeSearch;

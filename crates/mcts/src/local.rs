@@ -1,0 +1,298 @@
+//! The local-tree parallel scheme (§3.1.2, Algorithm 3).
+//!
+//! A single **master thread** (the caller of [`LocalTreeSearch::search`])
+//! owns the complete tree in its local memory and executes *all* in-tree
+//! operations — Node Selection, Expansion and BackUp — with no locks. `N`
+//! **worker threads** are dedicated exclusively to node evaluation (DNN
+//! inference); the master communicates with them through FIFO channels
+//! (the paper's "communication pipes").
+//!
+//! The master runs the `rollout_n_times` loop: it repeatedly selects a
+//! leaf, ships an evaluation request to the pool, and opportunistically
+//! drains completed evaluations (expansion + backup). When all `N` workers
+//! are occupied — or when selection lands on a leaf whose evaluation is
+//! still in flight — the master blocks on the result pipe (Algorithm 3,
+//! lines 12–13).
+
+use crate::config::MctsConfig;
+use crate::evaluator::Evaluator;
+use crate::pool::WorkerPool;
+use crate::result::{SearchResult, SearchScheme, SearchStats};
+use crate::tree::{SelectOutcome, Tree};
+use crossbeam::channel::unbounded;
+use games::Game;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Master/worker local-tree search.
+pub struct LocalTreeSearch {
+    cfg: MctsConfig,
+    evaluator: Arc<dyn Evaluator>,
+    pool: WorkerPool,
+    eval_ns: Arc<AtomicU64>,
+}
+
+/// A completed evaluation flowing back through the result pipe.
+struct EvalDone {
+    leaf: u32,
+    priors: Vec<f32>,
+    value: f32,
+}
+
+impl LocalTreeSearch {
+    /// Spawn the worker pool (`cfg.workers` threads, paper's `N`; the
+    /// master is the `N+1`-th thread).
+    pub fn new(cfg: MctsConfig, evaluator: Arc<dyn Evaluator>) -> Self {
+        cfg.validate();
+        LocalTreeSearch {
+            pool: WorkerPool::new(cfg.workers),
+            cfg,
+            evaluator,
+            eval_ns: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MctsConfig {
+        &self.cfg
+    }
+}
+
+impl<G: Game> SearchScheme<G> for LocalTreeSearch {
+    fn search(&mut self, root: &G) -> SearchResult {
+        let move_start = Instant::now();
+        let mut tree = Tree::new(self.cfg);
+        let mut stats = SearchStats::default();
+        self.eval_ns.store(0, Ordering::Relaxed);
+
+        if root.status().is_terminal() {
+            return empty_result(root.action_space());
+        }
+
+        let (res_tx, res_rx) = unbounded::<EvalDone>();
+        let n = self.cfg.workers;
+        let playouts = self.cfg.playouts;
+        let mut issued = 0usize;
+        let mut completed = 0usize;
+        let mut in_flight = 0usize;
+        let mut encode_buf = vec![0.0f32; root.encoded_len()];
+
+        // One blocking receive + expansion/backup of the result.
+        let process_one = |tree: &mut Tree,
+                               stats: &mut SearchStats,
+                               completed: &mut usize,
+                               in_flight: &mut usize| {
+            let done = res_rx.recv().expect("worker pool alive");
+            let t = Instant::now();
+            tree.expand_and_backup(done.leaf, &done.priors, done.value);
+            stats.backup_ns += t.elapsed().as_nanos() as u64;
+            *completed += 1;
+            *in_flight -= 1;
+        };
+
+        while completed < playouts {
+            if issued < playouts {
+                let mut game = root.clone();
+                let t0 = Instant::now();
+                let (leaf, outcome) = tree.select(&mut game);
+                stats.select_ns += t0.elapsed().as_nanos() as u64;
+                match outcome {
+                    SelectOutcome::TerminalBackedUp => {
+                        issued += 1;
+                        completed += 1;
+                    }
+                    SelectOutcome::NeedsEval => {
+                        game.encode(&mut encode_buf);
+                        let input = encode_buf.clone();
+                        let tx = res_tx.clone();
+                        let eval = Arc::clone(&self.evaluator);
+                        let eval_ns = Arc::clone(&self.eval_ns);
+                        // Ship to the worker pool (FIFO pipe). The worker
+                        // runs only the DNN inference.
+                        self.pool.submit(move || {
+                            let t = Instant::now();
+                            let (priors, value) = eval.evaluate(&input);
+                            eval_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            let _ = tx.send(EvalDone { leaf, priors, value });
+                        });
+                        issued += 1;
+                        in_flight += 1;
+                    }
+                    SelectOutcome::Busy => {
+                        // Selection hit an in-flight leaf; wait for one
+                        // result so the tree gains information, then retry.
+                        stats.collisions += 1;
+                        assert!(in_flight > 0, "busy leaf with nothing in flight");
+                        process_one(&mut tree, &mut stats, &mut completed, &mut in_flight);
+                    }
+                }
+            }
+            // Algorithm 3 lines 12-13: block while the pool is saturated.
+            while in_flight >= n || (issued >= playouts && in_flight > 0) {
+                process_one(&mut tree, &mut stats, &mut completed, &mut in_flight);
+            }
+            // Opportunistic non-blocking drain keeps the tree fresh.
+            while let Ok(done) = res_rx.try_recv() {
+                let t = Instant::now();
+                tree.expand_and_backup(done.leaf, &done.priors, done.value);
+                stats.backup_ns += t.elapsed().as_nanos() as u64;
+                completed += 1;
+                in_flight -= 1;
+            }
+        }
+
+        debug_assert_eq!(in_flight, 0);
+        debug_assert_eq!(tree.outstanding_vl(), 0);
+        let (visits, probs, value) = tree.action_prior(root.action_space());
+        stats.playouts = completed as u64;
+        stats.eval_ns = self.eval_ns.load(Ordering::Relaxed);
+        stats.move_ns = move_start.elapsed().as_nanos() as u64;
+        stats.nodes = tree.len() as u64;
+        SearchResult {
+            probs,
+            visits,
+            value,
+            stats,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "local-tree"
+    }
+}
+
+pub(crate) fn empty_result(action_space: usize) -> SearchResult {
+    SearchResult {
+        probs: vec![0.0; action_space],
+        visits: vec![0; action_space],
+        value: 0.0,
+        stats: SearchStats::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::{DelayedEvaluator, UniformEvaluator};
+    use games::tictactoe::TicTacToe;
+    use games::Game;
+    use std::time::Duration;
+
+    fn cfg(playouts: usize, workers: usize) -> MctsConfig {
+        MctsConfig {
+            playouts,
+            workers,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn completes_exact_playout_budget() {
+        let mut s = LocalTreeSearch::new(
+            cfg(200, 4),
+            Arc::new(UniformEvaluator::for_game(&TicTacToe::new())),
+        );
+        let r = s.search(&TicTacToe::new());
+        assert_eq!(r.stats.playouts, 200);
+        assert_eq!(r.visits.iter().sum::<u32>(), 199);
+    }
+
+    #[test]
+    fn finds_immediate_win_with_parallel_workers() {
+        let mut g = TicTacToe::new();
+        for a in [0u16, 3, 1, 4] {
+            g.apply(a);
+        }
+        let mut s = LocalTreeSearch::new(
+            cfg(400, 8),
+            Arc::new(UniformEvaluator::for_game(&TicTacToe::new())),
+        );
+        let r = s.search(&g);
+        assert_eq!(r.best_action(), 2, "visits {:?}", r.visits);
+    }
+
+    #[test]
+    fn single_worker_matches_serial_statistics_shape() {
+        // With 1 worker the local scheme is nearly serial; the visit
+        // distribution must still be a proper distribution.
+        let mut s = LocalTreeSearch::new(
+            cfg(100, 1),
+            Arc::new(UniformEvaluator::for_game(&TicTacToe::new())),
+        );
+        let r = s.search(&TicTacToe::new());
+        assert_eq!(r.stats.playouts, 100);
+        assert!((r.probs.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn eval_delay_is_overlapped_across_workers() {
+        // 32 playouts × 5 ms serial eval = 160 ms; with 8 workers the
+        // evals overlap, so the move must take well under the serial time.
+        let eval = DelayedEvaluator::new(
+            UniformEvaluator::for_game(&TicTacToe::new()),
+            Duration::from_millis(5),
+        );
+        let mut s = LocalTreeSearch::new(cfg(32, 8), Arc::new(eval));
+        let t0 = Instant::now();
+        let r = s.search(&TicTacToe::new());
+        let elapsed = t0.elapsed();
+        assert_eq!(r.stats.playouts, 32);
+        assert!(
+            elapsed < Duration::from_millis(120),
+            "no overlap: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn terminal_root_returns_empty() {
+        let mut g = TicTacToe::new();
+        for a in [0u16, 3, 1, 4, 2] {
+            g.apply(a);
+        }
+        assert!(g.status().is_terminal());
+        let mut s = LocalTreeSearch::new(
+            cfg(10, 2),
+            Arc::new(UniformEvaluator::for_game(&TicTacToe::new())),
+        );
+        let r = s.search(&g);
+        assert_eq!(r.visits.iter().sum::<u32>(), 0);
+    }
+
+    #[test]
+    fn stats_record_eval_time() {
+        let eval = DelayedEvaluator::new(
+            UniformEvaluator::for_game(&TicTacToe::new()),
+            Duration::from_micros(500),
+        );
+        let mut s = LocalTreeSearch::new(cfg(20, 2), Arc::new(eval));
+        let r = s.search(&TicTacToe::new());
+        assert!(r.stats.eval_ns > 0);
+        assert!(r.stats.move_ns > 0);
+    }
+
+    #[test]
+    fn many_workers_small_budget() {
+        // More workers than playouts must not deadlock or overrun.
+        let mut s = LocalTreeSearch::new(
+            cfg(5, 16),
+            Arc::new(UniformEvaluator::for_game(&TicTacToe::new())),
+        );
+        let r = s.search(&TicTacToe::new());
+        assert_eq!(r.stats.playouts, 5);
+    }
+
+    #[test]
+    fn reusable_across_moves() {
+        let mut s = LocalTreeSearch::new(
+            cfg(60, 4),
+            Arc::new(UniformEvaluator::for_game(&TicTacToe::new())),
+        );
+        let mut g = TicTacToe::new();
+        for _ in 0..3 {
+            let r = s.search(&g);
+            g.apply(r.best_action());
+        }
+        assert_eq!(g.move_count(), 3);
+    }
+}

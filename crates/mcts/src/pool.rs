@@ -1,0 +1,213 @@
+//! A persistent FIFO worker-thread pool.
+//!
+//! Both parallel schemes need long-lived worker threads fed through FIFO
+//! channels (the paper's "communication pipes", Figure 2-a): the
+//! local-tree scheme sends node-evaluation closures, the shared-tree
+//! scheme sends whole-rollout tasks. A small dedicated pool (rather than a
+//! work-stealing runtime) matches the paper's execution model: one task
+//! queue, `N` identical workers, in-order dispatch.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Fixed-size FIFO thread pool. Dropping the pool joins all workers.
+///
+/// Panic policy: a panicking job is contained with `catch_unwind` — the
+/// worker thread survives and keeps serving the queue, and the panic is
+/// counted in [`WorkerPool::panicked`]. This prevents one poisoned
+/// evaluation from silently shrinking the pool and deadlocking a search
+/// that waits for `N` in-flight results.
+pub struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    executed: Arc<AtomicU64>,
+    panicked: Arc<AtomicU64>,
+    size: usize,
+}
+
+impl WorkerPool {
+    /// Spawn `size` worker threads.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "pool needs at least one worker");
+        let (tx, rx) = unbounded::<Job>();
+        let executed = Arc::new(AtomicU64::new(0));
+        let panicked = Arc::new(AtomicU64::new(0));
+        let handles = (0..size)
+            .map(|i| {
+                let rx: Receiver<Job> = rx.clone();
+                let executed = Arc::clone(&executed);
+                let panicked = Arc::clone(&panicked);
+                std::thread::Builder::new()
+                    .name(format!("mcts-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            let outcome =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                            if outcome.is_err() {
+                                panicked.fetch_add(1, Ordering::Relaxed);
+                            }
+                            executed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            handles,
+            executed,
+            panicked,
+            size,
+        }
+    }
+
+    /// Jobs that panicked (and were contained).
+    pub fn panicked(&self) -> u64 {
+        self.panicked.load(Ordering::Relaxed)
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Enqueue a job (FIFO; an idle worker picks it up).
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        self.tx
+            .as_ref()
+            .expect("pool alive")
+            .send(Box::new(job))
+            .expect("worker threads alive");
+    }
+
+    /// Jobs completed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed.load(Ordering::Relaxed)
+    }
+
+    /// Run one closure on every logical "slot" by submitting `n` copies of
+    /// the task and blocking until all complete. Used by the shared-tree
+    /// scheme to launch `N` rollout loops and wait for the move to finish.
+    pub fn run_wave<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize) + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let wg = crossbeam::sync::WaitGroup::new();
+        for i in 0..n {
+            let f = Arc::clone(&f);
+            let wg = wg.clone();
+            self.submit(move || {
+                f(i);
+                drop(wg);
+            });
+        }
+        wg.wait();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Close the queue, then join.
+        self.tx.take();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = WorkerPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let wg = crossbeam::sync::WaitGroup::new();
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            let w = wg.clone();
+            pool.submit(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+                drop(w);
+            });
+        }
+        wg.wait();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(pool.executed(), 100);
+    }
+
+    #[test]
+    fn run_wave_blocks_until_done() {
+        let pool = WorkerPool::new(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&counter);
+        pool.run_wave(7, move |_| {
+            c2.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn wave_indices_are_distinct() {
+        let pool = WorkerPool::new(2);
+        let seen = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let s2 = Arc::clone(&seen);
+        pool.run_wave(5, move |i| {
+            s2.lock().push(i);
+        });
+        let mut v = seen.lock().clone();
+        v.sort_unstable();
+        assert_eq!(v, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn drop_joins_cleanly() {
+        let pool = WorkerPool::new(2);
+        pool.submit(|| std::thread::sleep(std::time::Duration::from_millis(10)));
+        drop(pool); // must not hang or panic
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_size_rejected() {
+        let _ = WorkerPool::new(0);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_worker() {
+        let pool = WorkerPool::new(1);
+        let wg = crossbeam::sync::WaitGroup::new();
+        {
+            let w = wg.clone();
+            pool.submit(move || {
+                let _w = w;
+                panic!("poisoned evaluation");
+            });
+        }
+        // The single worker must survive the panic and run this job.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        let w2 = wg.clone();
+        pool.submit(move || {
+            c.fetch_add(1, Ordering::Relaxed);
+            drop(w2);
+        });
+        wg.wait();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+        // The executed/panicked counters are bumped *after* each job body
+        // (and after the WaitGroup guard drops), so poll briefly.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while pool.executed() < 2 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.panicked(), 1);
+        assert_eq!(pool.executed(), 2);
+    }
+}

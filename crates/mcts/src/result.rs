@@ -1,0 +1,194 @@
+//! The common interface of all search schemes and their outputs.
+
+use games::Action;
+use serde::{Deserialize, Serialize};
+
+/// Timing/accounting breakdown of one search call. Times are wall-clock
+/// nanoseconds accumulated inside the scheme; parallel schemes report the
+/// *sum across workers* for the per-phase counters and the elapsed move
+/// time separately.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Playouts completed (== requested playouts on success).
+    pub playouts: u64,
+    /// Total time inside Node Selection (sum over workers), ns.
+    pub select_ns: u64,
+    /// Total time inside Node Expansion + BackUp (sum over workers), ns.
+    pub backup_ns: u64,
+    /// Total time inside Node Evaluation / DNN inference, ns.
+    pub eval_ns: u64,
+    /// Wall-clock time of the whole move, ns.
+    pub move_ns: u64,
+    /// Playout attempts aborted because the leaf was being evaluated by
+    /// another in-flight playout (collisions despite virtual loss).
+    pub collisions: u64,
+    /// Nodes allocated in the tree.
+    pub nodes: u64,
+}
+
+impl SearchStats {
+    /// Amortized per-worker-iteration latency (paper §5.3): the total move
+    /// time divided by the number of playouts.
+    pub fn amortized_iteration_ns(&self) -> f64 {
+        if self.playouts == 0 {
+            0.0
+        } else {
+            self.move_ns as f64 / self.playouts as f64
+        }
+    }
+
+    /// Fraction of (select + backup + eval) time spent on in-tree
+    /// operations — the quantity behind the paper's ">85% of runtime is
+    /// tree-based search" motivation when evaluation is cheap.
+    pub fn in_tree_fraction(&self) -> f64 {
+        let total = self.select_ns + self.backup_ns + self.eval_ns;
+        if total == 0 {
+            0.0
+        } else {
+            (self.select_ns + self.backup_ns) as f64 / total as f64
+        }
+    }
+}
+
+/// The outcome of one tree-based search ("one move", Algorithms 2/3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchResult {
+    /// Normalized root visit distribution over the full action space
+    /// ("action_prior ← normalized root's children list wrt visit count").
+    pub probs: Vec<f32>,
+    /// Raw root visit counts per action.
+    pub visits: Vec<u32>,
+    /// Root value estimate (mean backed-up value, current player's view).
+    pub value: f32,
+    /// Timing/accounting.
+    pub stats: SearchStats,
+}
+
+impl SearchResult {
+    /// The most-visited action (greedy move choice, Algorithm 1 line 10).
+    pub fn best_action(&self) -> Action {
+        let mut best = 0usize;
+        for (i, &v) in self.visits.iter().enumerate() {
+            if v > self.visits[best] {
+                best = i;
+            }
+        }
+        best as Action
+    }
+
+    /// Sample an action from visit counts sharpened by `1/temperature`
+    /// (temperature → 0 recovers argmax; 1.0 is proportional sampling).
+    pub fn sample_action<R: rand::Rng + ?Sized>(&self, temperature: f32, rng: &mut R) -> Action {
+        if temperature < 1e-3 {
+            return self.best_action();
+        }
+        let inv_t = 1.0 / temperature;
+        let weights: Vec<f64> = self
+            .visits
+            .iter()
+            .map(|&v| (v as f64).powf(inv_t as f64))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return self.best_action();
+        }
+        let mut u = rng.gen_range(0.0..total);
+        for (i, w) in weights.iter().enumerate() {
+            if u < *w {
+                return i as Action;
+            }
+            u -= w;
+        }
+        self.best_action()
+    }
+}
+
+/// A tree-based search scheme (one of the paper's parallel methods or a
+/// baseline). `search` corresponds to `get_action_prior` in Algorithms 2/3:
+/// it builds a fresh tree for the given root state and runs the configured
+/// number of playouts.
+pub trait SearchScheme<G: games::Game>: Send {
+    /// Run one move's worth of playouts from `root`.
+    fn search(&mut self, root: &G) -> SearchResult;
+
+    /// Short scheme identifier for logs/plots.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn result_with_visits(visits: Vec<u32>) -> SearchResult {
+        let total: u32 = visits.iter().sum();
+        let probs = visits.iter().map(|&v| v as f32 / total as f32).collect();
+        SearchResult {
+            probs,
+            visits,
+            value: 0.0,
+            stats: SearchStats::default(),
+        }
+    }
+
+    #[test]
+    fn best_action_is_argmax() {
+        let r = result_with_visits(vec![1, 5, 3]);
+        assert_eq!(r.best_action(), 1);
+    }
+
+    #[test]
+    fn zero_temperature_is_greedy() {
+        let r = result_with_visits(vec![10, 90]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            assert_eq!(r.sample_action(0.0, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn temperature_one_samples_proportionally() {
+        let r = result_with_visits(vec![100, 900]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let n = 5000;
+        let ones = (0..n)
+            .filter(|_| r.sample_action(1.0, &mut rng) == 1)
+            .count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.9).abs() < 0.03, "sampled fraction {frac}");
+    }
+
+    #[test]
+    fn low_temperature_sharpens() {
+        let r = result_with_visits(vec![400, 600]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let n = 2000;
+        let sharp = (0..n)
+            .filter(|_| r.sample_action(0.25, &mut rng) == 1)
+            .count() as f64
+            / n as f64;
+        assert!(sharp > 0.75, "sharpened fraction {sharp}");
+    }
+
+    #[test]
+    fn stats_amortized_latency() {
+        let s = SearchStats {
+            playouts: 1600,
+            move_ns: 1_600_000,
+            ..Default::default()
+        };
+        assert_eq!(s.amortized_iteration_ns(), 1000.0);
+        assert_eq!(SearchStats::default().amortized_iteration_ns(), 0.0);
+    }
+
+    #[test]
+    fn stats_in_tree_fraction() {
+        let s = SearchStats {
+            select_ns: 60,
+            backup_ns: 25,
+            eval_ns: 15,
+            ..Default::default()
+        };
+        assert!((s.in_tree_fraction() - 0.85).abs() < 1e-9);
+    }
+}

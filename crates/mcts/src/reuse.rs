@@ -1,0 +1,270 @@
+//! Tree reuse across moves: keep the subtree of the move actually played as
+//! the starting tree for the next search.
+//!
+//! The paper rebuilds the tree from scratch for every move (Algorithm 2
+//! line 2 copies the environment and starts at a bare root). Production
+//! AlphaZero implementations instead *re-root*: after playing action `a`
+//! from state `s`, the child subtree under `a` already holds thousands of
+//! evaluated nodes that remain valid for `s' = s·a`. This module provides
+//! that optimization on top of the single-owner tree as an opt-in wrapper —
+//! an ablation target for the benchmarks (reuse shrinks `T_select` early in
+//! the move, which shifts the shared/local crossover of §4).
+
+use crate::config::MctsConfig;
+use crate::evaluator::Evaluator;
+use crate::result::{SearchResult, SearchStats};
+use crate::tree::{SelectOutcome, Tree};
+use games::{Action, Game};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A serial searcher that persists its tree across moves.
+///
+/// Unlike [`crate::serial::SerialSearch`], this type is *stateful*: callers
+/// must report every move actually played (their own and the opponent's)
+/// through [`ReusableSearch::advance`] so the internal tree tracks the game.
+pub struct ReusableSearch {
+    cfg: MctsConfig,
+    evaluator: Arc<dyn Evaluator>,
+    tree: Option<Tree>,
+    encode_buf: Vec<f32>,
+    /// Nodes inherited from previous moves via reuse (for diagnostics).
+    pub inherited_nodes: u64,
+}
+
+impl ReusableSearch {
+    /// Create a reusable searcher.
+    pub fn new(cfg: MctsConfig, evaluator: Arc<dyn Evaluator>) -> Self {
+        cfg.validate();
+        ReusableSearch {
+            cfg,
+            evaluator,
+            tree: None,
+            encode_buf: Vec::new(),
+            inherited_nodes: 0,
+        }
+    }
+
+    /// Drop any retained tree (e.g. when starting a new game).
+    pub fn reset(&mut self) {
+        self.tree = None;
+        self.inherited_nodes = 0;
+    }
+
+    /// Report that `action` was played from the state last searched (or
+    /// last advanced to). Re-roots the retained tree at the corresponding
+    /// child, or discards it if that child was never expanded.
+    pub fn advance(&mut self, action: Action) {
+        self.tree = match self.tree.take() {
+            Some(t) => t.root_child_for(action).map(|c| t.extract_subtree(c)),
+            None => None,
+        };
+    }
+
+    /// Nodes currently retained (0 when no tree is held).
+    pub fn retained_nodes(&self) -> usize {
+        self.tree.as_ref().map_or(0, Tree::len)
+    }
+
+    /// Run a search from `root`, reusing any retained subtree. The caller
+    /// is responsible for `root` being the state reached by the reported
+    /// [`ReusableSearch::advance`] sequence — searching a divergent state
+    /// with a stale tree silently produces garbage, so prefer `reset` when
+    /// in doubt.
+    pub fn search<G: Game>(&mut self, root: &G) -> SearchResult {
+        let move_start = Instant::now();
+        let mut tree = self.tree.take().unwrap_or_else(|| Tree::new(self.cfg));
+        self.inherited_nodes = (tree.len() as u64).saturating_sub(1);
+        let mut stats = SearchStats::default();
+        self.encode_buf.resize(root.encoded_len(), 0.0);
+
+        let budget = self
+            .cfg
+            .time_budget_ms
+            .map(std::time::Duration::from_millis);
+        // Count *new* playouts only: an inherited tree already holds visits,
+        // so the per-move compute budget stays comparable to a fresh search.
+        let mut done = 0usize;
+        while done < self.cfg.playouts {
+            if let Some(b) = budget {
+                if move_start.elapsed() >= b {
+                    break;
+                }
+            }
+            let mut game = root.clone();
+            let t0 = Instant::now();
+            let (leaf, outcome) = tree.select(&mut game);
+            stats.select_ns += t0.elapsed().as_nanos() as u64;
+            match outcome {
+                SelectOutcome::TerminalBackedUp => {
+                    done += 1;
+                    stats.playouts += 1;
+                }
+                SelectOutcome::NeedsEval => {
+                    let t1 = Instant::now();
+                    game.encode(&mut self.encode_buf);
+                    let (priors, value) = self.evaluator.evaluate(&self.encode_buf);
+                    stats.eval_ns += t1.elapsed().as_nanos() as u64;
+                    let t2 = Instant::now();
+                    tree.expand_and_backup(leaf, &priors, value);
+                    stats.backup_ns += t2.elapsed().as_nanos() as u64;
+                    done += 1;
+                    stats.playouts += 1;
+                }
+                SelectOutcome::Busy => unreachable!("serial reuse search found a pending leaf"),
+            }
+        }
+
+        let (visits, probs, value) = tree.action_prior(root.action_space());
+        stats.move_ns = move_start.elapsed().as_nanos() as u64;
+        stats.nodes = tree.len() as u64;
+        debug_assert_eq!(tree.outstanding_vl(), 0);
+        self.tree = Some(tree);
+        SearchResult {
+            probs,
+            visits,
+            value,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::UniformEvaluator;
+    use games::tictactoe::TicTacToe;
+    use games::{Game, Status};
+
+    fn searcher(playouts: usize) -> ReusableSearch {
+        let cfg = MctsConfig {
+            playouts,
+            ..Default::default()
+        };
+        ReusableSearch::new(cfg, Arc::new(UniformEvaluator::for_game(&TicTacToe::new())))
+    }
+
+    #[test]
+    fn first_search_matches_serial_budget() {
+        let mut s = searcher(64);
+        let r = s.search(&TicTacToe::new());
+        assert_eq!(r.stats.playouts, 64);
+        assert_eq!(s.inherited_nodes, 0);
+    }
+
+    #[test]
+    fn advance_retains_played_subtree() {
+        let mut s = searcher(200);
+        let mut g = TicTacToe::new();
+        let r = s.search(&g);
+        let a = r.best_action();
+        let retained_before = s.retained_nodes();
+        assert!(retained_before > 1);
+        s.advance(a);
+        g.apply(a);
+        assert!(s.retained_nodes() > 1, "subtree of best move survives");
+        assert!(s.retained_nodes() < retained_before);
+
+        let r2 = s.search(&g);
+        assert!(s.inherited_nodes > 0, "second search starts warm");
+        assert_eq!(r2.stats.playouts, 200);
+    }
+
+    #[test]
+    fn advance_on_unexplored_action_keeps_nothing_useful() {
+        let mut s = searcher(4); // tiny search: most children unvisited
+        let mut g = TicTacToe::new();
+        let r = s.search(&g);
+        // Pick a legal action with zero visits if one exists. Its child
+        // node exists (expansion creates all children) but is a bare,
+        // unexpanded node — the extracted subtree is a single node.
+        if let Some(a) = (0..9).find(|&a| r.visits[a as usize] == 0 && g.is_legal(a)) {
+            s.advance(a);
+            g.apply(a);
+            assert!(s.retained_nodes() <= 1, "unvisited child has no subtree");
+            let r2 = s.search(&g);
+            assert_eq!(s.inherited_nodes, 0);
+            assert_eq!(r2.stats.playouts, 4);
+        }
+    }
+
+    #[test]
+    fn advance_twice_without_search_discards() {
+        // Advancing along an unexplored opponent reply after our own move
+        // leaves nothing; the next search starts cold and still works.
+        let mut s = searcher(8);
+        let mut g = TicTacToe::new();
+        let r = s.search(&g);
+        let a = r.best_action();
+        s.advance(a);
+        g.apply(a);
+        // Opponent plays something the tiny tree never expanded below.
+        let opp = g.legal_actions()[0];
+        s.advance(opp);
+        g.apply(opp);
+        let r2 = s.search(&g);
+        assert_eq!(r2.stats.playouts, 8);
+    }
+
+    #[test]
+    fn reuse_accumulates_visits_across_moves() {
+        let mut s = searcher(100);
+        let mut g = TicTacToe::new();
+        let r1 = s.search(&g);
+        let a = r1.best_action();
+        let child_visits = r1.visits[a as usize];
+        s.advance(a);
+        g.apply(a);
+        let r2 = s.search(&g);
+        // The new root had `child_visits` visits; 100 more playouts ran.
+        let total: u32 = r2.visits.iter().sum();
+        assert!(
+            total >= child_visits.saturating_sub(1),
+            "inherited visits {child_visits} should persist, got {total}"
+        );
+        assert_eq!(r2.stats.playouts, 100);
+    }
+
+    #[test]
+    fn full_selfplay_game_with_reuse_is_legal() {
+        let mut s = searcher(64);
+        let mut g = TicTacToe::new();
+        let mut moves = 0;
+        while g.status() == Status::Ongoing {
+            let r = s.search(&g);
+            let a = r.best_action();
+            assert!(g.is_legal(a));
+            s.advance(a);
+            g.apply(a);
+            moves += 1;
+            assert!(moves <= 9);
+        }
+        assert!(g.status().is_terminal());
+    }
+
+    #[test]
+    fn reset_clears_retained_tree() {
+        let mut s = searcher(50);
+        let g = TicTacToe::new();
+        let r = s.search(&g);
+        s.advance(r.best_action());
+        assert!(s.retained_nodes() > 0);
+        s.reset();
+        assert_eq!(s.retained_nodes(), 0);
+    }
+
+    #[test]
+    fn reuse_and_fresh_agree_on_forced_win() {
+        // X: 0,1 — O: 3,4. X to move; 2 wins. Reuse must not change the
+        // conclusion.
+        let mut g = TicTacToe::new();
+        for a in [0u16, 3, 1, 4] {
+            g.apply(a);
+        }
+        let mut s = searcher(400);
+        let r = s.search(&g);
+        assert_eq!(r.best_action(), 2);
+        // Play it, opponent replies, search again from the warm tree.
+        s.advance(2);
+    }
+}

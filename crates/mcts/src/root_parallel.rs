@@ -1,0 +1,173 @@
+//! Root-parallel MCTS baseline (§2.2, Kato & Takeuchi).
+//!
+//! Each of the `N` workers builds its own *private* tree from the root
+//! with `playouts / N` rollouts; the root statistics are aggregated at the
+//! end. No synchronization during search — but workers revisit the same
+//! states (the paper's stated drawback), so search quality per playout is
+//! lower than tree-parallel schemes.
+
+use crate::config::MctsConfig;
+use crate::evaluator::Evaluator;
+use crate::local::empty_result;
+use crate::result::{SearchResult, SearchScheme, SearchStats};
+use crate::serial::SerialSearch;
+use games::Game;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Independent-trees root parallelization.
+pub struct RootParallelSearch {
+    cfg: MctsConfig,
+    evaluator: Arc<dyn Evaluator>,
+}
+
+impl RootParallelSearch {
+    /// Create a root-parallel searcher with `cfg.workers` private trees.
+    pub fn new(cfg: MctsConfig, evaluator: Arc<dyn Evaluator>) -> Self {
+        cfg.validate();
+        RootParallelSearch { cfg, evaluator }
+    }
+}
+
+impl<G: Game> SearchScheme<G> for RootParallelSearch {
+    fn search(&mut self, root: &G) -> SearchResult {
+        if root.status().is_terminal() {
+            return empty_result(root.action_space());
+        }
+        let move_start = Instant::now();
+        let n = self.cfg.workers;
+        let per_worker = (self.cfg.playouts / n).max(1);
+        // Distribute the remainder so the total playout budget is exact.
+        let remainder = self.cfg.playouts.saturating_sub(per_worker * n);
+
+        let results: Vec<SearchResult> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|i| {
+                    let budget = per_worker + usize::from(i < remainder);
+                    let cfg = MctsConfig {
+                        playouts: budget,
+                        workers: 1,
+                        ..self.cfg
+                    };
+                    let evaluator = Arc::clone(&self.evaluator);
+                    let root = root.clone();
+                    s.spawn(move || {
+                        let mut serial = SerialSearch::new(cfg, evaluator);
+                        SearchScheme::<G>::search(&mut serial, &root)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        });
+
+        // Aggregate root statistics across the private trees.
+        let a = root.action_space();
+        let mut visits = vec![0u32; a];
+        let mut stats = SearchStats::default();
+        let mut value_acc = 0.0f64;
+        for r in &results {
+            for (tot, &v) in visits.iter_mut().zip(&r.visits) {
+                *tot += v;
+            }
+            value_acc += r.value as f64;
+            stats.playouts += r.stats.playouts;
+            stats.select_ns += r.stats.select_ns;
+            stats.backup_ns += r.stats.backup_ns;
+            stats.eval_ns += r.stats.eval_ns;
+            stats.collisions += r.stats.collisions;
+            stats.nodes += r.stats.nodes;
+        }
+        let total: u32 = visits.iter().sum();
+        let probs = if total == 0 {
+            vec![0.0; a]
+        } else {
+            visits.iter().map(|&v| v as f32 / total as f32).collect()
+        };
+        stats.move_ns = move_start.elapsed().as_nanos() as u64;
+        SearchResult {
+            probs,
+            visits,
+            value: (value_acc / results.len() as f64) as f32,
+            stats,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "root-parallel"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::UniformEvaluator;
+    use games::tictactoe::TicTacToe;
+    use games::Game;
+
+    fn cfg(playouts: usize, workers: usize) -> MctsConfig {
+        MctsConfig {
+            playouts,
+            workers,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn total_playouts_preserved() {
+        let mut s = RootParallelSearch::new(
+            cfg(100, 3),
+            Arc::new(UniformEvaluator::for_game(&TicTacToe::new())),
+        );
+        let r = s.search(&TicTacToe::new());
+        assert_eq!(r.stats.playouts, 100);
+    }
+
+    #[test]
+    fn finds_immediate_win() {
+        let mut g = TicTacToe::new();
+        for a in [0u16, 3, 1, 4] {
+            g.apply(a);
+        }
+        let mut s = RootParallelSearch::new(
+            cfg(400, 4),
+            Arc::new(UniformEvaluator::for_game(&TicTacToe::new())),
+        );
+        let r = s.search(&g);
+        assert_eq!(r.best_action(), 2);
+    }
+
+    #[test]
+    fn aggregated_visits_sum_correctly() {
+        let mut s = RootParallelSearch::new(
+            cfg(120, 4),
+            Arc::new(UniformEvaluator::for_game(&TicTacToe::new())),
+        );
+        let r = s.search(&TicTacToe::new());
+        // Each of the 4 workers runs 30 playouts → 29 root-child visits.
+        assert_eq!(r.visits.iter().sum::<u32>(), 4 * 29);
+    }
+
+    #[test]
+    fn more_workers_than_playouts() {
+        let mut s = RootParallelSearch::new(
+            cfg(2, 8),
+            Arc::new(UniformEvaluator::for_game(&TicTacToe::new())),
+        );
+        let r = s.search(&TicTacToe::new());
+        assert!(r.stats.playouts >= 2);
+    }
+
+    #[test]
+    fn terminal_root_returns_empty() {
+        let mut g = TicTacToe::new();
+        for a in [0u16, 3, 1, 4, 2] {
+            g.apply(a);
+        }
+        let mut s = RootParallelSearch::new(
+            cfg(10, 2),
+            Arc::new(UniformEvaluator::for_game(&TicTacToe::new())),
+        );
+        let r = s.search(&g);
+        assert_eq!(r.visits.iter().sum::<u32>(), 0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Serial DNN-MCTS baseline: one thread interleaves in-tree operations and
+//! node evaluation. This is the 1-worker reference whose profile motivates
+//! the paper ("tree-based search accounts for more than 85% of the total
+//! runtime", §1) and the algorithmic ground truth the parallel schemes are
+//! validated against.
+
+use crate::config::MctsConfig;
+use crate::evaluator::Evaluator;
+use crate::result::{SearchResult, SearchScheme, SearchStats};
+use crate::tree::{SelectOutcome, Tree};
+use games::Game;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Single-threaded search driver.
+pub struct SerialSearch {
+    cfg: MctsConfig,
+    evaluator: Arc<dyn Evaluator>,
+    encode_buf: Vec<f32>,
+}
+
+impl SerialSearch {
+    /// Create a serial searcher. `cfg.workers` is ignored (always 1).
+    pub fn new(cfg: MctsConfig, evaluator: Arc<dyn Evaluator>) -> Self {
+        cfg.validate();
+        SerialSearch {
+            cfg,
+            evaluator,
+            encode_buf: Vec::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MctsConfig {
+        &self.cfg
+    }
+}
+
+impl<G: Game> SearchScheme<G> for SerialSearch {
+    fn search(&mut self, root: &G) -> SearchResult {
+        let move_start = Instant::now();
+        let mut tree = Tree::new(self.cfg);
+        let mut stats = SearchStats::default();
+        self.encode_buf.resize(root.encoded_len(), 0.0);
+
+        let budget = self
+            .cfg
+            .time_budget_ms
+            .map(std::time::Duration::from_millis);
+        let mut done = 0usize;
+        while done < self.cfg.playouts {
+            if let Some(b) = budget {
+                if move_start.elapsed() >= b {
+                    break;
+                }
+            }
+            let mut game = root.clone();
+            let t0 = Instant::now();
+            let (leaf, outcome) = tree.select(&mut game);
+            stats.select_ns += t0.elapsed().as_nanos() as u64;
+            match outcome {
+                SelectOutcome::TerminalBackedUp => {
+                    done += 1;
+                    stats.playouts += 1;
+                }
+                SelectOutcome::NeedsEval => {
+                    let t1 = Instant::now();
+                    game.encode(&mut self.encode_buf);
+                    let (priors, value) = self.evaluator.evaluate(&self.encode_buf);
+                    stats.eval_ns += t1.elapsed().as_nanos() as u64;
+                    let t2 = Instant::now();
+                    tree.expand_and_backup(leaf, &priors, value);
+                    stats.backup_ns += t2.elapsed().as_nanos() as u64;
+                    done += 1;
+                    stats.playouts += 1;
+                }
+                SelectOutcome::Busy => {
+                    // Impossible serially: nothing else holds a claim.
+                    unreachable!("serial search found a pending leaf");
+                }
+            }
+        }
+
+        let (visits, probs, value) = tree.action_prior(root.action_space());
+        stats.move_ns = move_start.elapsed().as_nanos() as u64;
+        stats.nodes = tree.len() as u64;
+        debug_assert_eq!(tree.outstanding_vl(), 0);
+        SearchResult {
+            probs,
+            visits,
+            value,
+            stats,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::UniformEvaluator;
+    use games::tictactoe::TicTacToe;
+    use games::{Game, Player, Status};
+
+    fn searcher(playouts: usize) -> SerialSearch {
+        let cfg = MctsConfig {
+            playouts,
+            ..Default::default()
+        };
+        SerialSearch::new(cfg, Arc::new(UniformEvaluator::for_game(&TicTacToe::new())))
+    }
+
+    #[test]
+    fn playout_budget_respected() {
+        let mut s = searcher(128);
+        let r = s.search(&TicTacToe::new());
+        assert_eq!(r.stats.playouts, 128);
+        // Root children visit counts: every playout after the first goes
+        // through exactly one root child.
+        assert_eq!(r.visits.iter().sum::<u32>(), 127);
+    }
+
+    #[test]
+    fn finds_immediate_win() {
+        // X: 0,1 — O: 3,4. X to move; 2 completes the top row.
+        let mut g = TicTacToe::new();
+        for a in [0u16, 3, 1, 4] {
+            g.apply(a);
+        }
+        let mut s = searcher(400);
+        let r = s.search(&g);
+        assert_eq!(r.best_action(), 2, "visits {:?}", r.visits);
+        assert!(r.value > 0.5);
+    }
+
+    #[test]
+    fn blocks_immediate_loss() {
+        // X: 0,1 — O: 4. O to move; must block at 2.
+        let mut g = TicTacToe::new();
+        for a in [0u16, 4, 1] {
+            g.apply(a);
+        }
+        let mut s = searcher(800);
+        let r = s.search(&g);
+        assert_eq!(r.best_action(), 2, "visits {:?}", r.visits);
+    }
+
+    #[test]
+    fn probabilities_match_visits() {
+        let mut s = searcher(64);
+        let r = s.search(&TicTacToe::new());
+        let total: u32 = r.visits.iter().sum();
+        for (p, &v) in r.probs.iter().zip(&r.visits) {
+            assert!((p - v as f32 / total as f32).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_same_inputs() {
+        let mut a = searcher(100);
+        let mut b = searcher(100);
+        let g = TicTacToe::new();
+        let ra = a.search(&g);
+        let rb = b.search(&g);
+        assert_eq!(ra.visits, rb.visits);
+    }
+
+    #[test]
+    fn search_from_mid_game_state() {
+        let mut g = TicTacToe::new();
+        g.apply(4);
+        let mut s = searcher(50);
+        let r = s.search(&g);
+        assert_eq!(r.visits[4], 0, "occupied cell never visited");
+        assert_eq!(r.stats.playouts, 50);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut s = searcher(64);
+        let r = s.search(&TicTacToe::new());
+        assert!(r.stats.move_ns > 0);
+        assert!(r.stats.select_ns > 0);
+        assert!(r.stats.nodes > 1);
+    }
+
+    #[test]
+    fn time_budget_stops_search_early() {
+        use crate::evaluator::Evaluator;
+        /// Uniform priors after a fixed sleep, to make playouts slow.
+        struct SlowEval;
+        impl Evaluator for SlowEval {
+            fn evaluate(&self, _x: &[f32]) -> (Vec<f32>, f32) {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                (vec![1.0 / 9.0; 9], 0.0)
+            }
+            fn action_space(&self) -> usize {
+                9
+            }
+            fn input_len(&self) -> usize {
+                4 * 9
+            }
+        }
+        let cfg = MctsConfig {
+            playouts: 10_000,
+            time_budget_ms: Some(20),
+            ..Default::default()
+        };
+        let mut s = SerialSearch::new(cfg, Arc::new(SlowEval));
+        let t0 = std::time::Instant::now();
+        let r = s.search(&TicTacToe::new());
+        assert!(r.stats.playouts < 10_000, "budget must cut the search short");
+        assert!(r.stats.playouts > 0, "at least one playout completes");
+        assert!(t0.elapsed() < std::time::Duration::from_secs(5));
+    }
+
+    #[test]
+    fn no_budget_runs_all_playouts() {
+        let mut s = searcher(32);
+        let r = s.search(&TicTacToe::new());
+        assert_eq!(r.stats.playouts, 32);
+    }
+
+    #[test]
+    fn self_play_with_serial_search_terminates() {
+        let mut g = TicTacToe::new();
+        let mut s = searcher(64);
+        let mut moves = 0;
+        while g.status() == Status::Ongoing {
+            let r = s.search(&g);
+            g.apply(r.best_action());
+            moves += 1;
+            assert!(moves <= 9);
+        }
+        // Perfect-ish play from uniform priors usually draws; at minimum
+        // the game must end legally.
+        assert!(g.status().is_terminal());
+        let _ = Player::Black;
+    }
+}

@@ -1,0 +1,780 @@
+//! The single-owner search tree used by the serial baseline and by the
+//! local-tree scheme's master thread.
+//!
+//! Nodes live in a flat arena (`Vec<Node>`, `u32` indices) — the paper's
+//! "dynamically allocated array of node structs" — which keeps the whole
+//! tree compact and cache-friendly, the property the local-tree method
+//! exploits (§3.1.2). No synchronization: exactly one thread owns the tree.
+//!
+//! Each node doubles as the edge from its parent (storing `prior`, `N`,
+//! `W`), following the AlphaZero formulation where statistics live on
+//! edges. `W` is accumulated from the perspective of the player who *moved
+//! into* the node, so `Q(s,a) = W(child)/N(child)` is directly the expected
+//! reward for the player choosing `a` at `s`.
+
+use crate::config::{MctsConfig, VirtualLoss};
+use games::{Action, Game, Status};
+
+/// Sentinel "no node" index.
+pub const NIL: u32 = u32::MAX;
+
+/// Expansion state of a node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeState {
+    /// Never evaluated; children unknown.
+    Unexpanded,
+    /// Claimed by an in-flight evaluation (local scheme). Holds the legal
+    /// actions captured at claim time so expansion needs no game replay.
+    Pending(Vec<Action>),
+    /// Children created; selection may descend.
+    Expanded,
+    /// Game over at this node; the payload is the terminal value from the
+    /// perspective of the player to move at this node.
+    Terminal(f32),
+}
+
+/// One tree node / incoming edge.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Parent index (`NIL` for the root).
+    pub parent: u32,
+    /// Action taken at the parent to reach this node.
+    pub action: Action,
+    /// DNN prior probability `P(s,a)` of that action.
+    pub prior: f32,
+    /// Completed visits `N`.
+    pub n: u32,
+    /// Accumulated value `W` (perspective of the player who moved here).
+    pub w: f64,
+    /// In-flight playouts through this node (virtual-loss count /
+    /// WU-UCT's unobserved count `O`).
+    pub vl: u32,
+    /// Child indices (empty unless `Expanded`).
+    pub children: Vec<u32>,
+    /// Expansion state.
+    pub state: NodeState,
+}
+
+impl Node {
+    fn new(parent: u32, action: Action, prior: f32) -> Self {
+        Node {
+            parent,
+            action,
+            prior,
+            n: 0,
+            w: 0.0,
+            vl: 0,
+            children: Vec::new(),
+            state: NodeState::Unexpanded,
+        }
+    }
+
+    /// Mean action value `Q` adjusted for virtual loss.
+    fn q(&self, vl_kind: VirtualLoss, q_init: f32) -> f32 {
+        match vl_kind {
+            VirtualLoss::Constant(c) => {
+                let n_eff = self.n + self.vl;
+                if n_eff == 0 {
+                    q_init
+                } else {
+                    ((self.w - c as f64 * self.vl as f64) / n_eff as f64) as f32
+                }
+            }
+            VirtualLoss::VisitTracking => {
+                if self.n == 0 {
+                    q_init
+                } else {
+                    (self.w / self.n as f64) as f32
+                }
+            }
+        }
+    }
+
+    /// Effective visit count (real + in-flight) used in the UCT terms.
+    #[inline]
+    fn n_eff(&self) -> u32 {
+        self.n + self.vl
+    }
+}
+
+/// What [`Tree::select`] found at the end of the traversed path.
+#[derive(Debug, PartialEq)]
+pub enum SelectOutcome {
+    /// Leaf claimed for evaluation; caller must evaluate the game state it
+    /// was handed and then call [`Tree::expand_and_backup`].
+    NeedsEval,
+    /// A terminal node; its value has been backed up already.
+    TerminalBackedUp,
+    /// The leaf is already being evaluated by another in-flight playout;
+    /// the path's virtual loss has been reverted. Caller should process a
+    /// pending result before retrying.
+    Busy,
+}
+
+/// Single-owner MCTS tree.
+pub struct Tree {
+    nodes: Vec<Node>,
+    cfg: MctsConfig,
+    /// Per-tree nonce mixed into the root-noise seed (one tree per move).
+    noise_nonce: u64,
+}
+
+impl Tree {
+    /// Fresh tree containing only an unexpanded root.
+    pub fn new(cfg: MctsConfig) -> Self {
+        let mut nodes = Vec::with_capacity(1024.min(cfg.arena_capacity(64)));
+        nodes.push(Node::new(NIL, 0, 1.0));
+        Tree {
+            nodes,
+            cfg,
+            noise_nonce: crate::noise::next_nonce(),
+        }
+    }
+
+    /// Root index (always 0).
+    #[inline]
+    pub fn root(&self) -> u32 {
+        0
+    }
+
+    /// Number of allocated nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Immutable node access.
+    pub fn node(&self, id: u32) -> &Node {
+        &self.nodes[id as usize]
+    }
+
+    /// Traverse from the root following UCT (Eq. 1), applying virtual loss
+    /// to every edge stepped through, and advancing `game` along the path.
+    ///
+    /// Returns the reached leaf and what to do with it. On
+    /// `SelectOutcome::NeedsEval` the leaf has been marked
+    /// [`NodeState::Pending`] and `game` is positioned at the leaf's state.
+    pub fn select<G: Game>(&mut self, game: &mut G) -> (u32, SelectOutcome) {
+        let mut cur = self.root();
+        loop {
+            match &self.nodes[cur as usize].state {
+                NodeState::Terminal(v) => {
+                    let v = *v;
+                    self.backup(cur, v);
+                    return (cur, SelectOutcome::TerminalBackedUp);
+                }
+                NodeState::Pending(_) => {
+                    self.revert_path(cur);
+                    return (cur, SelectOutcome::Busy);
+                }
+                NodeState::Unexpanded => {
+                    // Claim for evaluation, remembering the legal actions.
+                    let mut legal = Vec::new();
+                    game.legal_actions_into(&mut legal);
+                    debug_assert!(!legal.is_empty(), "ongoing state with no moves");
+                    self.nodes[cur as usize].state = NodeState::Pending(legal);
+                    return (cur, SelectOutcome::NeedsEval);
+                }
+                NodeState::Expanded => {
+                    let best = self.select_child(cur);
+                    self.nodes[best as usize].vl += 1;
+                    let action = self.nodes[best as usize].action;
+                    game.apply(action);
+                    cur = best;
+                    // First arrival at a terminal state: freeze its value.
+                    let status = game.status();
+                    if status.is_terminal()
+                        && matches!(self.nodes[cur as usize].state, NodeState::Unexpanded)
+                    {
+                        let v = terminal_value(status, game);
+                        self.nodes[cur as usize].state = NodeState::Terminal(v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pick the child of `parent` maximizing the UCT score (Eq. 1).
+    fn select_child(&self, parent: u32) -> u32 {
+        let p = &self.nodes[parent as usize];
+        debug_assert!(!p.children.is_empty(), "select on childless node");
+        let sum_n: u32 = p
+            .children
+            .iter()
+            .map(|&c| self.nodes[c as usize].n_eff())
+            .sum();
+        let sqrt_sum = (sum_n as f32).sqrt();
+        let mut best = p.children[0];
+        let mut best_score = f32::NEG_INFINITY;
+        for &cid in &p.children {
+            let c = &self.nodes[cid as usize];
+            let q = c.q(self.cfg.virtual_loss, self.cfg.q_init);
+            let u = q + self.cfg.c_puct * c.prior * sqrt_sum / (1.0 + c.n_eff() as f32);
+            if u > best_score {
+                best_score = u;
+                best = cid;
+            }
+        }
+        best
+    }
+
+    /// Expand a pending leaf with DNN priors (masked to the legal actions
+    /// captured at claim time, renormalized) and back up `value`.
+    ///
+    /// `value` is from the perspective of the player to move at the leaf —
+    /// the evaluator's output convention.
+    pub fn expand_and_backup(&mut self, leaf: u32, priors: &[f32], value: f32) {
+        let legal = match std::mem::replace(
+            &mut self.nodes[leaf as usize].state,
+            NodeState::Expanded,
+        ) {
+            NodeState::Pending(legal) => legal,
+            other => panic!("expand_and_backup on non-pending node ({other:?})"),
+        };
+        debug_assert!(!legal.is_empty());
+
+        let mut masked = mask_and_normalize(priors, &legal);
+        // AlphaZero self-play: mix Dirichlet noise into the ROOT priors.
+        if leaf == self.root() {
+            if let Some(noise) = self.cfg.root_noise {
+                use rand::SeedableRng;
+                let mut rng =
+                    rand::rngs::StdRng::seed_from_u64(noise.seed ^ self.noise_nonce.rotate_left(17));
+                crate::noise::mix_noise(&mut rng, &noise, &mut masked);
+            }
+        }
+        let mut children = Vec::with_capacity(legal.len());
+        for (&a, &p) in legal.iter().zip(&masked) {
+            let id = self.nodes.len() as u32;
+            self.nodes.push(Node::new(leaf, a, p));
+            children.push(id);
+        }
+        self.nodes[leaf as usize].children = children;
+        self.backup(leaf, value);
+    }
+
+    /// Propagate `value` (leaf player's perspective) from `leaf` to the
+    /// root: increment `N`, accumulate sign-alternating `W`, and release
+    /// one unit of virtual loss per edge.
+    pub fn backup(&mut self, leaf: u32, value: f32) {
+        let mut cur = leaf;
+        // W at a node is from the mover's (parent player's) perspective,
+        // so the leaf itself receives -value.
+        let mut sign = -1.0f64;
+        loop {
+            let node = &mut self.nodes[cur as usize];
+            node.n += 1;
+            node.w += sign * value as f64;
+            if node.parent == NIL {
+                break;
+            }
+            debug_assert!(node.vl > 0, "backup without matching virtual loss");
+            node.vl = node.vl.saturating_sub(1);
+            cur = node.parent;
+            sign = -sign;
+        }
+    }
+
+    /// Undo the virtual loss applied along the path ending at `leaf`
+    /// (used when a playout attempt is aborted).
+    pub fn revert_path(&mut self, leaf: u32) {
+        let mut cur = leaf;
+        while self.nodes[cur as usize].parent != NIL {
+            let node = &mut self.nodes[cur as usize];
+            debug_assert!(node.vl > 0, "revert without matching virtual loss");
+            node.vl = node.vl.saturating_sub(1);
+            cur = node.parent;
+        }
+    }
+
+    /// Root visit counts over the full action space plus the normalized
+    /// distribution and the root value estimate (current player's view).
+    pub fn action_prior(&self, action_space: usize) -> (Vec<u32>, Vec<f32>, f32) {
+        let mut visits = vec![0u32; action_space];
+        let root = &self.nodes[0];
+        for &cid in &root.children {
+            let c = &self.nodes[cid as usize];
+            visits[c.action as usize] = c.n;
+        }
+        let total: u32 = visits.iter().sum();
+        let probs = if total == 0 {
+            vec![0.0; action_space]
+        } else {
+            visits.iter().map(|&v| v as f32 / total as f32).collect()
+        };
+        let value = if root.n == 0 {
+            0.0
+        } else {
+            (-(root.w / root.n as f64)) as f32
+        };
+        (visits, probs, value)
+    }
+
+    /// Find the root child reached by `action`, if the root is expanded and
+    /// the action was explored.
+    pub fn root_child_for(&self, action: Action) -> Option<u32> {
+        self.nodes[0]
+            .children
+            .iter()
+            .copied()
+            .find(|&c| self.nodes[c as usize].action == action)
+    }
+
+    /// Copy the subtree rooted at `new_root` into a fresh arena, making it
+    /// the root. Statistics (`N`, `W`, priors, expansion state) are
+    /// preserved; the new root's edge data is reset (it no longer has a
+    /// parent). Used for tree reuse across moves: after playing action `a`,
+    /// the child's subtree becomes the next search's starting tree.
+    ///
+    /// Must be called between moves: panics if any virtual loss is
+    /// outstanding inside the subtree.
+    pub fn extract_subtree(&self, new_root: u32) -> Tree {
+        let mut out = Tree::new(self.cfg);
+        // Map old index → new index; BFS copy keeps parents before children.
+        let mut map = std::collections::HashMap::new();
+        map.insert(new_root, 0u32);
+        let src_root = &self.nodes[new_root as usize];
+        assert_eq!(src_root.vl, 0, "extract_subtree with in-flight playouts");
+        out.nodes[0] = Node {
+            parent: NIL,
+            action: 0,
+            prior: 1.0,
+            n: src_root.n,
+            w: src_root.w,
+            vl: 0,
+            children: Vec::new(), // fixed up below
+            state: src_root.state.clone(),
+        };
+        let mut queue = std::collections::VecDeque::from([new_root]);
+        while let Some(old_id) = queue.pop_front() {
+            let new_id = map[&old_id];
+            let mut new_children = Vec::with_capacity(self.nodes[old_id as usize].children.len());
+            for &old_child in &self.nodes[old_id as usize].children {
+                let c = &self.nodes[old_child as usize];
+                assert_eq!(c.vl, 0, "extract_subtree with in-flight playouts");
+                let new_child = out.nodes.len() as u32;
+                out.nodes.push(Node {
+                    parent: new_id,
+                    action: c.action,
+                    prior: c.prior,
+                    n: c.n,
+                    w: c.w,
+                    vl: 0,
+                    children: Vec::new(),
+                    state: c.state.clone(),
+                });
+                map.insert(old_child, new_child);
+                new_children.push(new_child);
+                queue.push_back(old_child);
+            }
+            out.nodes[new_id as usize].children = new_children;
+        }
+        out
+    }
+
+    /// Replace the priors of `node`'s children with `masked` (one entry per
+    /// child, already legal-masked and normalized) and add `dv` to the
+    /// subtree values along the path to the root *without* changing visit
+    /// counts. Used by speculative search to correct a node first expanded
+    /// with a cheap model once the main model's evaluation arrives.
+    pub fn correct_expansion(&mut self, node: u32, masked: &[f32], dv: f32) {
+        let children = self.nodes[node as usize].children.clone();
+        assert_eq!(
+            children.len(),
+            masked.len(),
+            "corrected priors must cover every child"
+        );
+        for (&cid, &p) in children.iter().zip(masked) {
+            self.nodes[cid as usize].prior = p;
+        }
+        // Same sign convention as `backup`: the node's own W is from the
+        // perspective of the player who moved into it.
+        let mut cur = node;
+        let mut sign = -1.0f64;
+        loop {
+            let n = &mut self.nodes[cur as usize];
+            n.w += sign * dv as f64;
+            if n.parent == NIL {
+                break;
+            }
+            cur = n.parent;
+            sign = -sign;
+        }
+    }
+
+    /// Legal actions captured when `node` was claimed/expanded, in child
+    /// order (empty for unexpanded nodes).
+    pub fn child_actions(&self, node: u32) -> Vec<Action> {
+        self.nodes[node as usize]
+            .children
+            .iter()
+            .map(|&c| self.nodes[c as usize].action)
+            .collect()
+    }
+
+    /// Sum of outstanding virtual losses (0 when no playouts in flight).
+    pub fn outstanding_vl(&self) -> u64 {
+        self.nodes.iter().map(|n| n.vl as u64).sum()
+    }
+
+    /// Consistency check used by tests: for every expanded node,
+    /// `N(node) == Σ N(children) + (playouts that ended at node)` and all
+    /// virtual losses are released.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        assert_eq!(self.outstanding_vl(), 0, "dangling virtual loss");
+        for (id, node) in self.nodes.iter().enumerate() {
+            if node.state == NodeState::Expanded {
+                let child_sum: u32 = node
+                    .children
+                    .iter()
+                    .map(|&c| self.nodes[c as usize].n)
+                    .sum();
+                // Every visit to an expanded node either terminated here
+                // (the expansion visit) or descended into a child.
+                assert!(
+                    node.n >= child_sum,
+                    "node {id}: N={} < children {}",
+                    node.n,
+                    child_sum
+                );
+                assert!(
+                    node.n - child_sum <= 1,
+                    "node {id}: more than one self-visit: N={} children={}",
+                    node.n,
+                    child_sum
+                );
+            }
+            for &c in &node.children {
+                assert_eq!(self.nodes[c as usize].parent as usize, id, "parent link");
+            }
+        }
+    }
+}
+
+/// Terminal value from the perspective of the player to move at the state.
+pub fn terminal_value<G: Game>(status: Status, game: &G) -> f32 {
+    status.reward_for(game.to_move())
+}
+
+/// Mask full-action-space `priors` down to `legal` actions and normalize;
+/// falls back to uniform when the legal prior mass vanishes.
+pub(crate) fn mask_and_normalize(priors: &[f32], legal: &[Action]) -> Vec<f32> {
+    let mut total: f32 = legal.iter().map(|&a| priors[a as usize].max(0.0)).sum();
+    let uniform = total <= 1e-8 || !total.is_finite();
+    if uniform {
+        total = legal.len() as f32;
+    }
+    legal
+        .iter()
+        .map(|&a| {
+            if uniform {
+                1.0 / total
+            } else {
+                priors[a as usize].max(0.0) / total
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+#[allow(clippy::clone_on_copy)] // Copy test games cloned for symmetry with non-Copy ones
+mod tests {
+    use super::*;
+    use games::tictactoe::TicTacToe;
+
+    fn cfg(playouts: usize) -> MctsConfig {
+        MctsConfig {
+            playouts,
+            ..Default::default()
+        }
+    }
+
+    fn uniform_priors(n: usize) -> Vec<f32> {
+        vec![1.0 / n as f32; n]
+    }
+
+    #[test]
+    fn fresh_tree_has_unexpanded_root() {
+        let t = Tree::new(cfg(10));
+        assert_eq!(t.len(), 1);
+        assert!(t.is_empty());
+        assert_eq!(t.node(0).state, NodeState::Unexpanded);
+    }
+
+    #[test]
+    fn first_select_claims_root() {
+        let mut t = Tree::new(cfg(10));
+        let mut g = TicTacToe::new();
+        let (leaf, out) = t.select(&mut g);
+        assert_eq!(leaf, 0);
+        assert_eq!(out, SelectOutcome::NeedsEval);
+        assert!(matches!(t.node(0).state, NodeState::Pending(_)));
+    }
+
+    #[test]
+    fn expand_creates_children_for_legal_moves() {
+        let mut t = Tree::new(cfg(10));
+        let mut g = TicTacToe::new();
+        let _ = t.select(&mut g);
+        t.expand_and_backup(0, &uniform_priors(9), 0.3);
+        assert_eq!(t.node(0).children.len(), 9);
+        assert_eq!(t.node(0).n, 1);
+        // Root W accumulates from the "mover into root" perspective: -v.
+        assert!((t.node(0).w + 0.3).abs() < 1e-6);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn second_select_descends_and_applies_vl() {
+        let mut t = Tree::new(cfg(10));
+        let mut g = TicTacToe::new();
+        let _ = t.select(&mut g);
+        t.expand_and_backup(0, &uniform_priors(9), 0.0);
+        let mut g2 = TicTacToe::new();
+        let (leaf, out) = t.select(&mut g2);
+        assert_ne!(leaf, 0);
+        assert_eq!(out, SelectOutcome::NeedsEval);
+        assert_eq!(t.node(leaf).vl, 1, "virtual loss on traversed edge");
+        assert_eq!(g2.move_count(), 1, "game advanced one ply");
+        t.expand_and_backup(leaf, &uniform_priors(9), 0.5);
+        assert_eq!(t.node(leaf).vl, 0, "virtual loss released by backup");
+        t.check_invariants();
+    }
+
+    #[test]
+    fn pending_leaf_reports_busy_and_reverts() {
+        let mut t = Tree::new(cfg(10));
+        let mut g = TicTacToe::new();
+        let _ = t.select(&mut g);
+        // Root pending; another selection attempt must see Busy and leave
+        // no dangling VL.
+        let mut g2 = TicTacToe::new();
+        let (leaf, out) = t.select(&mut g2);
+        assert_eq!(out, SelectOutcome::Busy);
+        assert_eq!(leaf, 0);
+        assert_eq!(t.outstanding_vl(), 0);
+    }
+
+    #[test]
+    fn virtual_loss_diverts_second_playout() {
+        // With constant VL, an in-flight playout through the best child
+        // must push the next selection to a different child.
+        let mut t = Tree::new(cfg(10));
+        let mut g = TicTacToe::new();
+        let _ = t.select(&mut g);
+        t.expand_and_backup(0, &uniform_priors(9), 0.0);
+        let mut g1 = TicTacToe::new();
+        let (leaf1, _) = t.select(&mut g1);
+        let mut g2 = TicTacToe::new();
+        let (leaf2, _) = t.select(&mut g2);
+        assert_ne!(leaf1, leaf2, "VL should steer workers apart");
+        t.revert_path(leaf1);
+        t.revert_path(leaf2);
+        // Reverts must also clear the Pending claims for reuse… pending
+        // claims stay (they model in-flight evals); just check VL.
+        assert_eq!(t.outstanding_vl(), 0);
+    }
+
+    #[test]
+    fn terminal_nodes_back_up_true_outcome() {
+        // Play a nearly-finished game: X has two in a row; drive search to
+        // discover the winning terminal.
+        let mut base = TicTacToe::new();
+        for a in [0u16, 3, 1, 4] {
+            base.apply(a);
+        }
+        // X to move, playing 2 wins.
+        let mut t = Tree::new(cfg(100));
+        let mut g = base.clone();
+        let _ = t.select(&mut g);
+        let legal = base.legal_actions();
+        t.expand_and_backup(0, &uniform_priors(9), 0.0);
+        assert_eq!(t.node(0).children.len(), legal.len());
+
+        // Run many playouts with uniform priors; terminal discovery should
+        // make the winning move dominate.
+        for _ in 0..200 {
+            let mut g = base.clone();
+            let (leaf, out) = t.select(&mut g);
+            match out {
+                SelectOutcome::NeedsEval => {
+                    let n = g.legal_actions().len().max(1);
+                    let _ = n;
+                    t.expand_and_backup(leaf, &uniform_priors(9), 0.0);
+                }
+                SelectOutcome::TerminalBackedUp => {}
+                SelectOutcome::Busy => unreachable!("serial use"),
+            }
+        }
+        let (visits, probs, value) = t.action_prior(9);
+        assert_eq!(
+            tensor::ops::argmax(&probs),
+            2,
+            "winning move must dominate: visits {visits:?}"
+        );
+        assert!(value > 0.5, "root value should favor X, got {value}");
+        t.check_invariants();
+    }
+
+    #[test]
+    fn priors_masked_and_renormalized() {
+        let mut t = Tree::new(cfg(10));
+        let mut base = TicTacToe::new();
+        base.apply(4); // center occupied → action 4 illegal
+        let mut g = base.clone();
+        let _ = t.select(&mut g);
+        let mut priors = vec![0.0f32; 9];
+        priors[4] = 0.9; // mass on an illegal action
+        priors[0] = 0.05;
+        priors[1] = 0.05;
+        t.expand_and_backup(0, &priors, 0.0);
+        let total: f32 = t
+            .node(0)
+            .children
+            .iter()
+            .map(|&c| t.node(c).prior)
+            .sum();
+        assert!((total - 1.0).abs() < 1e-5, "renormalized priors sum to 1");
+        assert!(t
+            .node(0)
+            .children
+            .iter()
+            .all(|&c| t.node(c).action != 4));
+    }
+
+    #[test]
+    fn zero_prior_mass_falls_back_to_uniform() {
+        let mut t = Tree::new(cfg(10));
+        let mut g = TicTacToe::new();
+        let _ = t.select(&mut g);
+        t.expand_and_backup(0, &[0.0; 9], 0.0);
+        for &c in &t.node(0).children {
+            assert!((t.node(c).prior - 1.0 / 9.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn backup_alternates_signs() {
+        let mut t = Tree::new(cfg(10));
+        let mut g = TicTacToe::new();
+        let _ = t.select(&mut g);
+        t.expand_and_backup(0, &uniform_priors(9), 0.0);
+        let mut g2 = TicTacToe::new();
+        let (leaf, _) = t.select(&mut g2);
+        t.expand_and_backup(leaf, &uniform_priors(9), 1.0);
+        // Leaf: -1 (value from leaf player's view is +1 ⇒ mover's view -1).
+        assert!((t.node(leaf).w + 1.0).abs() < 1e-6);
+        // Root (one level up): +1, plus 0 from its own expansion backup.
+        assert!((t.node(0).w - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn action_prior_normalizes_to_one() {
+        let mut t = Tree::new(cfg(50));
+        let base = TicTacToe::new();
+        let mut g = base.clone();
+        let _ = t.select(&mut g);
+        t.expand_and_backup(0, &uniform_priors(9), 0.0);
+        for _ in 0..50 {
+            let mut g = base.clone();
+            let (leaf, out) = t.select(&mut g);
+            if out == SelectOutcome::NeedsEval {
+                t.expand_and_backup(leaf, &uniform_priors(9), 0.0);
+            }
+        }
+        let (visits, probs, _) = t.action_prior(9);
+        assert_eq!(visits.iter().sum::<u32>(), 51 - 1);
+        assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn extract_subtree_preserves_statistics() {
+        let mut t = Tree::new(cfg(100));
+        let base = TicTacToe::new();
+        let mut g = base.clone();
+        let _ = t.select(&mut g);
+        t.expand_and_backup(0, &uniform_priors(9), 0.0);
+        for _ in 0..60 {
+            let mut g = base.clone();
+            let (leaf, out) = t.select(&mut g);
+            if out == SelectOutcome::NeedsEval {
+                t.expand_and_backup(leaf, &uniform_priors(9), 0.1);
+            }
+        }
+        let child = t.node(0).children[3];
+        let sub = t.extract_subtree(child);
+        assert_eq!(sub.node(0).n, t.node(child).n);
+        assert!((sub.node(0).w - t.node(child).w).abs() < 1e-9);
+        assert_eq!(sub.node(0).children.len(), t.node(child).children.len());
+        // Child priors carried over in order.
+        for (&sc, &tc) in sub.node(0).children.iter().zip(&t.node(child).children) {
+            assert_eq!(sub.node(sc).prior, t.node(tc).prior);
+            assert_eq!(sub.node(sc).action, t.node(tc).action);
+            assert_eq!(sub.node(sc).n, t.node(tc).n);
+        }
+        sub.check_invariants();
+    }
+
+    #[test]
+    fn extract_subtree_of_unexpanded_child_is_fresh() {
+        let mut t = Tree::new(cfg(10));
+        let mut g = TicTacToe::new();
+        let _ = t.select(&mut g);
+        t.expand_and_backup(0, &uniform_priors(9), 0.0);
+        let child = t.node(0).children[0];
+        let sub = t.extract_subtree(child);
+        assert_eq!(sub.len(), 1);
+        assert_eq!(sub.node(0).state, NodeState::Unexpanded);
+    }
+
+    #[test]
+    fn root_child_for_finds_action() {
+        let mut t = Tree::new(cfg(10));
+        let mut g = TicTacToe::new();
+        let _ = t.select(&mut g);
+        t.expand_and_backup(0, &uniform_priors(9), 0.0);
+        let c = t.root_child_for(4).expect("center child exists");
+        assert_eq!(t.node(c).action, 4);
+        assert_eq!(t.root_child_for(100), None);
+    }
+
+    #[test]
+    fn correct_expansion_updates_priors_and_values() {
+        let mut t = Tree::new(cfg(10));
+        let mut g = TicTacToe::new();
+        let _ = t.select(&mut g);
+        t.expand_and_backup(0, &uniform_priors(9), 0.2);
+        let w_before = t.node(0).w;
+        let new_priors = vec![1.0 / 9.0; 9];
+        t.correct_expansion(0, &new_priors, 0.5);
+        // Root W shifts by -dv (mover's perspective).
+        assert!((t.node(0).w - (w_before - 0.5)).abs() < 1e-6);
+        // N unchanged.
+        assert_eq!(t.node(0).n, 1);
+    }
+
+    #[test]
+    fn visit_tracking_vl_mode_also_diverges() {
+        let mut t = Tree::new(MctsConfig {
+            virtual_loss: VirtualLoss::VisitTracking,
+            ..cfg(10)
+        });
+        let mut g = TicTacToe::new();
+        let _ = t.select(&mut g);
+        t.expand_and_backup(0, &uniform_priors(9), 0.0);
+        let mut g1 = TicTacToe::new();
+        let (l1, _) = t.select(&mut g1);
+        let mut g2 = TicTacToe::new();
+        let (l2, _) = t.select(&mut g2);
+        assert_ne!(l1, l2, "unobserved-count VL must also steer apart");
+        t.revert_path(l1);
+        t.revert_path(l2);
+        assert_eq!(t.outstanding_vl(), 0);
+    }
+}

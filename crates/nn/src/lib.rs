@@ -1,0 +1,34 @@
+//! Neural-network substrate for the DNN-MCTS reproduction.
+//!
+//! The paper's benchmark network is "5 convolution layers and 3
+//! fully-connected layers" on a 15×15 Gomoku board (§5.1). The standard
+//! Gomoku-AlphaZero architecture with exactly that layer budget is:
+//!
+//! ```text
+//! trunk:  conv3x3(4→32) → ReLU → conv3x3(32→64) → ReLU → conv3x3(64→128) → ReLU
+//! policy: conv1x1(128→4) → ReLU → flatten → FC(4·H·W → H·W)            [logits]
+//! value:  conv1x1(128→2) → ReLU → flatten → FC(2·H·W → 64) → ReLU → FC(64 → 1) → tanh
+//! ```
+//!
+//! (= 5 convs + 3 FCs). [`model::PolicyValueNet`] implements it generically
+//! over board shape so small test games reuse the same code.
+//!
+//! Everything needed for the full training pipeline is here: cached forward
+//! passes, exact backward passes (validated against finite differences),
+//! the AlphaZero loss of Eq. 2, and SGD/Adam optimizers.
+
+pub mod layer;
+pub mod loss;
+pub mod model;
+pub mod norm;
+pub mod optim;
+pub mod residual;
+pub mod resnet;
+pub mod schedule;
+pub mod serialize;
+
+pub use layer::{Conv2d, Layer, LayerKind, Linear};
+pub use loss::{alphazero_loss, LossParts};
+pub use model::{NetConfig, PolicyValueNet};
+pub use optim::{Adam, Optimizer, Sgd};
+pub use schedule::LrSchedule;

@@ -1,0 +1,232 @@
+//! The AlphaZero training loss (paper Eq. 2) and its gradient.
+//!
+//! `l = Σ_t (v_θ(s_t) − r)² − π_t · log p_θ(s_t)`
+//!
+//! We use the batch *mean* rather than the sum so the loss magnitude (and
+//! learning rate) is batch-size independent, as every practical AlphaZero
+//! implementation does.
+
+use tensor::ops::log_softmax_inplace;
+use tensor::Tensor;
+
+/// Decomposition of the loss for logging (Figure 7 plots `total`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossParts {
+    /// Mean squared value error `(v − r)²`.
+    pub value: f32,
+    /// Mean policy cross-entropy `−π · log p`.
+    pub policy: f32,
+    /// `value + policy`.
+    pub total: f32,
+}
+
+/// Compute the loss only (no gradients).
+///
+/// * `logits`: `[b, A]` pre-softmax policy outputs.
+/// * `values`: `[b, 1]` tanh value outputs.
+/// * `target_pi`: `[b, A]` visit-count distributions from MCTS.
+/// * `target_r`: `[b, 1]` game outcomes from the mover's perspective.
+pub fn alphazero_loss(
+    logits: &Tensor,
+    values: &Tensor,
+    target_pi: &Tensor,
+    target_r: &Tensor,
+) -> LossParts {
+    let (parts, _, _) = loss_impl(logits, values, target_pi, target_r, false);
+    parts
+}
+
+/// Compute the loss *and* the gradients w.r.t. logits and values.
+///
+/// Returns `(parts, d loss/d logits, d loss/d values)`, already scaled by
+/// `1/batch` for the mean reduction.
+pub fn alphazero_loss_backward(
+    logits: &Tensor,
+    values: &Tensor,
+    target_pi: &Tensor,
+    target_r: &Tensor,
+) -> (LossParts, Tensor, Tensor) {
+    let (parts, gl, gv) = loss_impl(logits, values, target_pi, target_r, true);
+    (parts, gl.expect("grad"), gv.expect("grad"))
+}
+
+fn loss_impl(
+    logits: &Tensor,
+    values: &Tensor,
+    target_pi: &Tensor,
+    target_r: &Tensor,
+    want_grads: bool,
+) -> (LossParts, Option<Tensor>, Option<Tensor>) {
+    let b = logits.dims()[0];
+    let a = logits.dims()[1];
+    assert_eq!(values.dims(), &[b, 1], "values shape");
+    assert_eq!(target_pi.dims(), &[b, a], "target pi shape");
+    assert_eq!(target_r.dims(), &[b, 1], "target r shape");
+    assert!(b > 0, "empty batch");
+
+    let inv_b = 1.0 / b as f32;
+    let mut value_loss = 0.0f64;
+    let mut policy_loss = 0.0f64;
+    let mut grad_logits = want_grads.then(|| Tensor::zeros(&[b, a]));
+    let mut grad_values = want_grads.then(|| Tensor::zeros(&[b, 1]));
+
+    let mut logp = vec![0.0f32; a];
+    for r in 0..b {
+        // Value term: (v − z)².
+        let v = values.data()[r];
+        let z = target_r.data()[r];
+        value_loss += ((v - z) * (v - z)) as f64;
+        if let Some(gv) = grad_values.as_mut() {
+            gv.data_mut()[r] = 2.0 * (v - z) * inv_b;
+        }
+
+        // Policy term: −π · log softmax(logits).
+        logp.copy_from_slice(logits.row(r));
+        log_softmax_inplace(&mut logp);
+        let pi_row = target_pi.row(r);
+        let mut ce = 0.0f32;
+        for (&p, &lp) in pi_row.iter().zip(&logp) {
+            ce -= p * lp;
+        }
+        policy_loss += ce as f64;
+        if let Some(gl) = grad_logits.as_mut() {
+            // d(−π·log softmax)/d logits = softmax(logits)·Σπ − π.
+            let pi_sum: f32 = pi_row.iter().sum();
+            let grow = &mut gl.data_mut()[r * a..(r + 1) * a];
+            for ((g, &lp), &p) in grow.iter_mut().zip(&logp).zip(pi_row) {
+                *g = (lp.exp() * pi_sum - p) * inv_b;
+            }
+        }
+    }
+
+    let parts = LossParts {
+        value: (value_loss / b as f64) as f32,
+        policy: (policy_loss / b as f64) as f32,
+        total: ((value_loss + policy_loss) / b as f64) as f32,
+    };
+    (parts, grad_logits, grad_values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_pi(b: usize, a: usize) -> Tensor {
+        Tensor::full(&[b, a], 1.0 / a as f32)
+    }
+
+    #[test]
+    fn perfect_value_prediction_zeroes_value_term() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let values = Tensor::from_vec(vec![1.0, -1.0], &[2, 1]);
+        let r = values.clone();
+        let parts = alphazero_loss(&logits, &values, &uniform_pi(2, 4), &r);
+        assert_eq!(parts.value, 0.0);
+        assert!(parts.policy > 0.0);
+        assert_eq!(parts.total, parts.policy);
+    }
+
+    #[test]
+    fn uniform_policy_cross_entropy_is_log_a() {
+        // logits all equal → softmax uniform → CE with uniform π = ln(A).
+        let logits = Tensor::zeros(&[1, 8]);
+        let values = Tensor::zeros(&[1, 1]);
+        let r = Tensor::zeros(&[1, 1]);
+        let parts = alphazero_loss(&logits, &values, &uniform_pi(1, 8), &r);
+        assert!((parts.policy - (8.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn loss_decreases_when_logits_match_targets() {
+        // Concentrated targets: matching logits must score lower CE.
+        let mut pi = Tensor::zeros(&[1, 4]);
+        pi.data_mut()[2] = 1.0;
+        let v = Tensor::zeros(&[1, 1]);
+        let r = Tensor::zeros(&[1, 1]);
+        let bad = alphazero_loss(&Tensor::zeros(&[1, 4]), &v, &pi, &r);
+        let mut good_logits = Tensor::zeros(&[1, 4]);
+        good_logits.data_mut()[2] = 5.0;
+        let good = alphazero_loss(&good_logits, &v, &pi, &r);
+        assert!(good.policy < bad.policy);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let b = 3;
+        let a = 5;
+        let logits = tensor::init::uniform(&mut rng, &[b, a], -1.0, 1.0);
+        let values = tensor::init::uniform(&mut rng, &[b, 1], -0.9, 0.9);
+        let mut pi = tensor::init::uniform(&mut rng, &[b, a], 0.0, 1.0);
+        for r in 0..b {
+            let s: f32 = pi.row(r).iter().sum();
+            for x in &mut pi.data_mut()[r * a..(r + 1) * a] {
+                *x /= s;
+            }
+        }
+        let targ = tensor::init::uniform(&mut rng, &[b, 1], -1.0, 1.0);
+
+        let (_, gl, gv) = alphazero_loss_backward(&logits, &values, &pi, &targ);
+
+        let eps = 1e-3;
+        let mut lp = logits.clone();
+        for idx in [0usize, 7, b * a - 1] {
+            let orig = lp.data()[idx];
+            lp.data_mut()[idx] = orig + eps;
+            let up = alphazero_loss(&lp, &values, &pi, &targ).total;
+            lp.data_mut()[idx] = orig - eps;
+            let dn = alphazero_loss(&lp, &values, &pi, &targ).total;
+            lp.data_mut()[idx] = orig;
+            let fd = (up - dn) / (2.0 * eps);
+            assert!(
+                (fd - gl.data()[idx]).abs() < 1e-3,
+                "logit grad {idx}: fd {fd} vs {}",
+                gl.data()[idx]
+            );
+        }
+        let mut vp = values.clone();
+        for idx in 0..b {
+            let orig = vp.data()[idx];
+            vp.data_mut()[idx] = orig + eps;
+            let up = alphazero_loss(&logits, &vp, &pi, &targ).total;
+            vp.data_mut()[idx] = orig - eps;
+            let dn = alphazero_loss(&logits, &vp, &pi, &targ).total;
+            vp.data_mut()[idx] = orig;
+            let fd = (up - dn) / (2.0 * eps);
+            assert!(
+                (fd - gv.data()[idx]).abs() < 1e-3,
+                "value grad {idx}: fd {fd} vs {}",
+                gv.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn mean_reduction_batch_invariance() {
+        // Duplicating the batch must not change the mean loss.
+        let logits = Tensor::from_vec(vec![0.1, 0.9, -0.3, 0.0], &[1, 4]);
+        let values = Tensor::from_vec(vec![0.2], &[1, 1]);
+        let pi = uniform_pi(1, 4);
+        let r = Tensor::from_vec(vec![-0.5], &[1, 1]);
+        let single = alphazero_loss(&logits, &values, &pi, &r);
+
+        let logits2 = Tensor::from_vec([logits.data(), logits.data()].concat(), &[2, 4]);
+        let values2 = Tensor::from_vec(vec![0.2, 0.2], &[2, 1]);
+        let pi2 = uniform_pi(2, 4);
+        let r2 = Tensor::from_vec(vec![-0.5, -0.5], &[2, 1]);
+        let double = alphazero_loss(&logits2, &values2, &pi2, &r2);
+        assert!((single.total - double.total).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_rejected() {
+        let _ = alphazero_loss(
+            &Tensor::zeros(&[0, 4]),
+            &Tensor::zeros(&[0, 1]),
+            &Tensor::zeros(&[0, 4]),
+            &Tensor::zeros(&[0, 1]),
+        );
+    }
+}

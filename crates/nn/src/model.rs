@@ -1,0 +1,427 @@
+//! The paper's policy-value network: 5 convolutions + 3 fully-connected
+//! layers with a policy head and a value head (§5.1).
+
+use crate::layer::{backward_stack, forward_cached, forward_stack, Conv2d, Layer, LayerKind, Linear};
+use crate::loss::{alphazero_loss_backward, LossParts};
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use tensor::Tensor;
+
+/// Architecture hyper-parameters. Defaults follow the paper's Gomoku setup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// Input channels (encoding planes).
+    pub in_c: usize,
+    /// Board height.
+    pub h: usize,
+    /// Board width.
+    pub w: usize,
+    /// Action-space size (policy logits).
+    pub actions: usize,
+    /// Trunk widths for the three 3×3 convolutions.
+    pub trunk: [usize; 3],
+    /// 1×1 channels feeding the policy FC.
+    pub policy_c: usize,
+    /// 1×1 channels feeding the value FCs.
+    pub value_c: usize,
+    /// Hidden width of the value head.
+    pub value_hidden: usize,
+}
+
+impl NetConfig {
+    /// The paper's 15×15 Gomoku configuration.
+    pub fn gomoku15() -> Self {
+        NetConfig {
+            in_c: 4,
+            h: 15,
+            w: 15,
+            actions: 225,
+            trunk: [32, 64, 128],
+            policy_c: 4,
+            value_c: 2,
+            value_hidden: 64,
+        }
+    }
+
+    /// A configuration for an arbitrary board (e.g. small test games).
+    pub fn for_board(in_c: usize, h: usize, w: usize, actions: usize) -> Self {
+        NetConfig {
+            in_c,
+            h,
+            w,
+            actions,
+            trunk: [16, 32, 32],
+            policy_c: 4,
+            value_c: 2,
+            value_hidden: 32,
+        }
+    }
+
+    /// Tiny network for fast unit tests.
+    pub fn tiny(in_c: usize, h: usize, w: usize, actions: usize) -> Self {
+        NetConfig {
+            in_c,
+            h,
+            w,
+            actions,
+            trunk: [4, 8, 8],
+            policy_c: 2,
+            value_c: 1,
+            value_hidden: 8,
+        }
+    }
+}
+
+/// Policy-value network with a shared convolutional trunk and two heads.
+///
+/// `forward` is pure (`&self`) so a single network can serve concurrent
+/// inference requests from many worker threads, exactly like a frozen
+/// inference model on an accelerator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PolicyValueNet {
+    pub config: NetConfig,
+    trunk: Vec<LayerKind>,
+    policy_head: Vec<LayerKind>,
+    value_head: Vec<LayerKind>,
+}
+
+/// Caches from a training-mode forward pass, consumed by `backward`.
+pub struct ForwardCaches {
+    trunk: Vec<Tensor>,
+    policy: Vec<Tensor>,
+    value: Vec<Tensor>,
+    /// Policy logits `[b, actions]` (pre-softmax).
+    pub policy_logits: Tensor,
+    /// Value output `[b, 1]` (post-tanh).
+    pub values: Tensor,
+}
+
+/// Per-layer gradient buffers matching the network's parameter layout.
+#[derive(Debug, Clone)]
+pub struct NetGrads {
+    trunk: Vec<Vec<Tensor>>,
+    policy: Vec<Vec<Tensor>>,
+    value: Vec<Vec<Tensor>>,
+}
+
+impl NetGrads {
+    /// Zero all gradient buffers (call between optimizer steps).
+    pub fn zero(&mut self) {
+        for stack in [&mut self.trunk, &mut self.policy, &mut self.value] {
+            for layer in stack.iter_mut() {
+                for g in layer.iter_mut() {
+                    g.zero_();
+                }
+            }
+        }
+    }
+
+    /// Flat list of gradient tensors, matching [`PolicyValueNet::params`].
+    pub fn flat(&self) -> Vec<&Tensor> {
+        self.trunk
+            .iter()
+            .chain(self.policy.iter())
+            .chain(self.value.iter())
+            .flat_map(|layer| layer.iter())
+            .collect()
+    }
+
+    /// Scale every gradient (e.g. 1/batch for mean reduction).
+    pub fn scale(&mut self, s: f32) {
+        for stack in [&mut self.trunk, &mut self.policy, &mut self.value] {
+            for layer in stack.iter_mut() {
+                for g in layer.iter_mut() {
+                    g.scale(s);
+                }
+            }
+        }
+    }
+}
+
+impl PolicyValueNet {
+    /// Build a network with freshly initialized parameters.
+    pub fn new(config: NetConfig, seed: u64) -> Self {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let r = &mut rng;
+        let [t1, t2, t3] = config.trunk;
+        let plane = config.h * config.w;
+        let trunk = vec![
+            LayerKind::Conv2d(Conv2d::new(r, config.in_c, t1, 3, 1)),
+            LayerKind::ReLU,
+            LayerKind::Conv2d(Conv2d::new(r, t1, t2, 3, 1)),
+            LayerKind::ReLU,
+            LayerKind::Conv2d(Conv2d::new(r, t2, t3, 3, 1)),
+            LayerKind::ReLU,
+        ];
+        let policy_head = vec![
+            LayerKind::Conv2d(Conv2d::new(r, t3, config.policy_c, 1, 0)),
+            LayerKind::ReLU,
+            LayerKind::Flatten,
+            LayerKind::Linear(Linear::new(r, config.policy_c * plane, config.actions)),
+        ];
+        let value_head = vec![
+            LayerKind::Conv2d(Conv2d::new(r, t3, config.value_c, 1, 0)),
+            LayerKind::ReLU,
+            LayerKind::Flatten,
+            LayerKind::Linear(Linear::new(r, config.value_c * plane, config.value_hidden)),
+            LayerKind::ReLU,
+            LayerKind::Linear(Linear::new(r, config.value_hidden, 1)),
+            LayerKind::Tanh,
+        ];
+        PolicyValueNet {
+            config,
+            trunk,
+            policy_head,
+            value_head,
+        }
+    }
+
+    /// Number of convolution layers (should be 5 per the paper).
+    pub fn conv_count(&self) -> usize {
+        self.all_stacks()
+            .flat_map(|s| s.iter())
+            .filter(|l| matches!(l, LayerKind::Conv2d(_)))
+            .count()
+    }
+
+    /// Number of fully-connected layers (should be 3 per the paper).
+    pub fn fc_count(&self) -> usize {
+        self.all_stacks()
+            .flat_map(|s| s.iter())
+            .filter(|l| matches!(l, LayerKind::Linear(_)))
+            .count()
+    }
+
+    fn all_stacks(&self) -> impl Iterator<Item = &Vec<LayerKind>> {
+        [&self.trunk, &self.policy_head, &self.value_head].into_iter()
+    }
+
+    /// Total parameter scalar count.
+    pub fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.numel()).sum()
+    }
+
+    /// Flat immutable parameter list (trunk, policy head, value head order).
+    pub fn params(&self) -> Vec<&Tensor> {
+        self.all_stacks()
+            .flat_map(|s| s.iter())
+            .flat_map(|l| l.param_views())
+            .collect()
+    }
+
+    /// Flat mutable parameter list (same order as [`PolicyValueNet::params`]).
+    pub fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        self.trunk
+            .iter_mut()
+            .chain(self.policy_head.iter_mut())
+            .chain(self.value_head.iter_mut())
+            .flat_map(|l| l.param_views_mut())
+            .collect()
+    }
+
+    /// Fresh zeroed gradient buffers.
+    pub fn grad_buffers(&self) -> NetGrads {
+        let make = |stack: &Vec<LayerKind>| stack.iter().map(|l| l.grad_buffers()).collect();
+        NetGrads {
+            trunk: make(&self.trunk),
+            policy: make(&self.policy_head),
+            value: make(&self.value_head),
+        }
+    }
+
+    /// Inference: `x` is `[b, in_c, h, w]`; returns policy logits `[b, A]`
+    /// and tanh values `[b, 1]`. Pure and thread-safe.
+    pub fn forward(&self, x: &Tensor) -> (Tensor, Tensor) {
+        let feat = forward_stack(&self.trunk, x);
+        let logits = forward_stack(&self.policy_head, &feat);
+        let values = forward_stack(&self.value_head, &feat);
+        (logits, values)
+    }
+
+    /// Inference returning softmax policies instead of logits.
+    pub fn predict(&self, x: &Tensor) -> (Tensor, Tensor) {
+        let (mut logits, values) = self.forward(x);
+        let b = logits.dims()[0];
+        let a = logits.dims()[1];
+        for r in 0..b {
+            tensor::ops::softmax_inplace(&mut logits.data_mut()[r * a..(r + 1) * a]);
+        }
+        (logits, values)
+    }
+
+    /// Training-mode forward: caches every layer input for `backward`.
+    pub fn forward_train(&self, x: &Tensor) -> ForwardCaches {
+        let (trunk_caches, feat) = forward_cached(&self.trunk, x);
+        let (policy_caches, policy_logits) = forward_cached(&self.policy_head, &feat);
+        let (value_caches, values) = forward_cached(&self.value_head, &feat);
+        ForwardCaches {
+            trunk: trunk_caches,
+            policy: policy_caches,
+            value: value_caches,
+            policy_logits,
+            values,
+        }
+    }
+
+    /// Full backward pass for the AlphaZero loss (Eq. 2):
+    /// `l = (v − r)² − π · log softmax(logits)`, mean over the batch.
+    ///
+    /// Accumulates parameter gradients into `grads` and returns the loss
+    /// decomposition for logging.
+    pub fn backward(
+        &self,
+        caches: &ForwardCaches,
+        target_pi: &Tensor,
+        target_r: &Tensor,
+        grads: &mut NetGrads,
+    ) -> LossParts {
+        let (parts, grad_logits, grad_values) =
+            alphazero_loss_backward(&caches.policy_logits, &caches.values, target_pi, target_r);
+
+        let g_feat_p = backward_stack(
+            &self.policy_head,
+            &caches.policy,
+            &mut grads.policy,
+            grad_logits,
+        );
+        let g_feat_v = backward_stack(
+            &self.value_head,
+            &caches.value,
+            &mut grads.value,
+            grad_values,
+        );
+        let mut g_feat = g_feat_p;
+        g_feat.add_assign(&g_feat_v);
+        backward_stack(&self.trunk, &caches.trunk, &mut grads.trunk, g_feat);
+        parts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn tiny_net() -> PolicyValueNet {
+        PolicyValueNet::new(NetConfig::tiny(4, 3, 3, 9), 42)
+    }
+
+    fn rand_t(dims: &[usize], seed: u64) -> Tensor {
+        let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+        tensor::init::uniform(&mut r, dims, -1.0, 1.0)
+    }
+
+    #[test]
+    fn paper_layer_budget() {
+        let net = PolicyValueNet::new(NetConfig::gomoku15(), 1);
+        assert_eq!(net.conv_count(), 5, "paper: 5 convolution layers");
+        assert_eq!(net.fc_count(), 3, "paper: 3 fully-connected layers");
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let net = tiny_net();
+        let x = rand_t(&[2, 4, 3, 3], 1);
+        let (logits, values) = net.forward(&x);
+        assert_eq!(logits.dims(), &[2, 9]);
+        assert_eq!(values.dims(), &[2, 1]);
+        assert!(values.data().iter().all(|v| (-1.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn predict_rows_are_distributions() {
+        let net = tiny_net();
+        let x = rand_t(&[3, 4, 3, 3], 2);
+        let (pi, _) = net.predict(&x);
+        for r in 0..3 {
+            let s: f32 = pi.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(pi.row(r).iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = PolicyValueNet::new(NetConfig::tiny(4, 3, 3, 9), 7);
+        let b = PolicyValueNet::new(NetConfig::tiny(4, 3, 3, 9), 7);
+        let x = rand_t(&[1, 4, 3, 3], 3);
+        assert_eq!(a.forward(&x).0.data(), b.forward(&x).0.data());
+        let c = PolicyValueNet::new(NetConfig::tiny(4, 3, 3, 9), 8);
+        assert_ne!(a.forward(&x).0.data(), c.forward(&x).0.data());
+    }
+
+    #[test]
+    fn train_and_pure_forward_agree() {
+        let net = tiny_net();
+        let x = rand_t(&[2, 4, 3, 3], 4);
+        let (logits, values) = net.forward(&x);
+        let caches = net.forward_train(&x);
+        assert_eq!(logits.data(), caches.policy_logits.data());
+        assert_eq!(values.data(), caches.values.data());
+    }
+
+    #[test]
+    fn gradient_descent_reduces_loss() {
+        // One datapoint; repeated SGD steps must reduce the AlphaZero loss.
+        let mut net = tiny_net();
+        let x = rand_t(&[4, 4, 3, 3], 5);
+        let mut pi = rand_t(&[4, 9], 6).map(f32::abs);
+        for r in 0..4 {
+            let s: f32 = pi.row(r).iter().sum();
+            for v in &mut pi.data_mut()[r * 9..(r + 1) * 9] {
+                *v /= s;
+            }
+        }
+        let target_r = Tensor::from_vec(vec![1.0, -1.0, 0.0, 1.0], &[4, 1]);
+
+        let mut grads = net.grad_buffers();
+        let mut losses = Vec::new();
+        for _ in 0..100 {
+            grads.zero();
+            let caches = net.forward_train(&x);
+            let parts = net.backward(&caches, &pi, &target_r, &mut grads);
+            losses.push(parts.total);
+            let flat = grads.flat();
+            let lr = 0.2;
+            for (p, g) in net.params_mut().into_iter().zip(flat) {
+                p.axpy(-lr, g);
+            }
+        }
+        let (first, last) = (losses[0], *losses.last().unwrap());
+        assert!(
+            last < first - 0.05 && last.is_finite(),
+            "loss did not decrease: first {first}, last {last}"
+        );
+    }
+
+    #[test]
+    fn param_count_nonzero_and_matches_grads() {
+        let net = tiny_net();
+        assert!(net.param_count() > 0);
+        let grads = net.grad_buffers();
+        let flat = grads.flat();
+        let params = net.params();
+        assert_eq!(flat.len(), params.len());
+        for (g, p) in flat.iter().zip(params) {
+            assert_eq!(g.dims(), p.dims());
+        }
+    }
+
+    #[test]
+    fn netgrads_zero_and_scale() {
+        let net = tiny_net();
+        let x = rand_t(&[1, 4, 3, 3], 9);
+        let pi = Tensor::full(&[1, 9], 1.0 / 9.0);
+        let r = Tensor::zeros(&[1, 1]);
+        let mut grads = net.grad_buffers();
+        let caches = net.forward_train(&x);
+        net.backward(&caches, &pi, &r, &mut grads);
+        let n1: f32 = grads.flat().iter().map(|g| g.norm()).sum();
+        assert!(n1 > 0.0);
+        grads.scale(0.5);
+        let n2: f32 = grads.flat().iter().map(|g| g.norm()).sum();
+        assert!((n2 - 0.5 * n1).abs() < 1e-3 * n1.max(1.0));
+        grads.zero();
+        assert!(grads.flat().iter().all(|g| g.norm() == 0.0));
+    }
+}

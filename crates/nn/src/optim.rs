@@ -1,0 +1,342 @@
+//! First-order optimizers: SGD with momentum (the paper trains with SGD,
+//! citing Robbins–Monro) and Adam as a commonly-used alternative.
+//!
+//! Optimizers keep their state vectors in the same flat order as
+//! `PolicyValueNet::params()`, so a step is just a zip over three lists.
+
+use tensor::Tensor;
+
+/// A first-order optimizer over a flat parameter list.
+pub trait Optimizer {
+    /// Apply one update. `params` and `grads` must align with the layout the
+    /// optimizer was constructed with.
+    fn step(&mut self, params: &mut [&mut Tensor], grads: &[&Tensor]);
+
+    /// Current learning rate.
+    fn lr(&self) -> f32;
+
+    /// Change the learning rate (for schedules).
+    fn set_lr(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with classical momentum and decoupled L2
+/// weight decay.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Create an SGD optimizer for parameters shaped like `params`.
+    pub fn new(params: &[&Tensor], lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum in [0,1)");
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: params.iter().map(|p| Tensor::zeros(p.dims())).collect(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Tensor], grads: &[&Tensor]) {
+        assert_eq!(params.len(), self.velocity.len(), "param layout changed");
+        assert_eq!(params.len(), grads.len());
+        for ((p, g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
+            debug_assert_eq!(p.dims(), g.dims());
+            let (pd, gd, vd) = (p.data_mut(), g.data(), v.data_mut());
+            for i in 0..pd.len() {
+                // v ← μv + (g + λp);  p ← p − lr·v
+                let eff_grad = gd[i] + self.weight_decay * pd[i];
+                vd[i] = self.momentum * vd[i] + eff_grad;
+                pd[i] -= self.lr * vd[i];
+            }
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Create an Adam optimizer with the usual defaults for betas/eps.
+    pub fn new(params: &[&Tensor], lr: f32, weight_decay: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            t: 0,
+            m: params.iter().map(|p| Tensor::zeros(p.dims())).collect(),
+            v: params.iter().map(|p| Tensor::zeros(p.dims())).collect(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Tensor], grads: &[&Tensor]) {
+        assert_eq!(params.len(), self.m.len(), "param layout changed");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (((p, g), m), v) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(&mut self.m)
+            .zip(&mut self.v)
+        {
+            let (pd, gd) = (p.data_mut(), g.data());
+            let (md, vd) = (m.data_mut(), v.data_mut());
+            for i in 0..pd.len() {
+                let grad = gd[i] + self.weight_decay * pd[i];
+                md[i] = self.beta1 * md[i] + (1.0 - self.beta1) * grad;
+                vd[i] = self.beta2 * vd[i] + (1.0 - self.beta2) * grad * grad;
+                let mhat = md[i] / bc1;
+                let vhat = vd[i] / bc2;
+                pd[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// RMSProp (Tieleman & Hinton): per-coordinate learning rates from an
+/// exponential moving average of squared gradients.
+#[derive(Debug, Clone)]
+pub struct RmsProp {
+    lr: f32,
+    alpha: f32,
+    eps: f32,
+    weight_decay: f32,
+    sq: Vec<Tensor>,
+}
+
+impl RmsProp {
+    /// Create an RMSProp optimizer with the usual default smoothing (0.99).
+    pub fn new(params: &[&Tensor], lr: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        RmsProp {
+            lr,
+            alpha: 0.99,
+            eps: 1e-8,
+            weight_decay,
+            sq: params.iter().map(|p| Tensor::zeros(p.dims())).collect(),
+        }
+    }
+}
+
+impl Optimizer for RmsProp {
+    fn step(&mut self, params: &mut [&mut Tensor], grads: &[&Tensor]) {
+        assert_eq!(params.len(), self.sq.len(), "param layout changed");
+        assert_eq!(params.len(), grads.len());
+        for ((p, g), s) in params.iter_mut().zip(grads).zip(&mut self.sq) {
+            let (pd, gd, sd) = (p.data_mut(), g.data(), s.data_mut());
+            for i in 0..pd.len() {
+                let grad = gd[i] + self.weight_decay * pd[i];
+                sd[i] = self.alpha * sd[i] + (1.0 - self.alpha) * grad * grad;
+                pd[i] -= self.lr * grad / (sd[i].sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Clip the *global* L2 norm of a gradient set to `max_norm` (the standard
+/// `clip_grad_norm_` recipe). Returns the pre-clip norm so callers can log
+/// gradient explosions.
+pub fn clip_grad_norm(grads: &mut [&mut Tensor], max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let total_sq: f32 = grads
+        .iter()
+        .map(|g| g.data().iter().map(|v| v * v).sum::<f32>())
+        .sum();
+    let norm = total_sq.sqrt();
+    if norm > max_norm && norm.is_finite() {
+        let scale = max_norm / norm;
+        for g in grads.iter_mut() {
+            g.scale(scale);
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Quadratic bowl: f(x) = ½‖x − c‖², ∇f = x − c.
+    fn quad_grad(x: &Tensor, c: &Tensor) -> Tensor {
+        let mut g = x.clone();
+        g.axpy(-1.0, c);
+        g
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut x = Tensor::full(&[4], 5.0);
+        let c = Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0], &[4]);
+        let mut opt = Sgd::new(&[&x], 0.1, 0.0, 0.0);
+        for _ in 0..200 {
+            let g = quad_grad(&x, &c);
+            opt.step(&mut [&mut x], &[&g]);
+        }
+        for (xv, cv) in x.data().iter().zip(c.data()) {
+            assert!((xv - cv).abs() < 1e-3, "{xv} vs {cv}");
+        }
+    }
+
+    #[test]
+    fn momentum_accelerates_convergence() {
+        let c = Tensor::zeros(&[1]);
+        let run = |mom: f32| -> f32 {
+            let mut x = Tensor::full(&[1], 10.0);
+            let mut opt = Sgd::new(&[&x], 0.01, mom, 0.0);
+            for _ in 0..100 {
+                let g = quad_grad(&x, &c);
+                opt.step(&mut [&mut x], &[&g]);
+            }
+            x.data()[0].abs()
+        };
+        assert!(run(0.9) < run(0.0), "momentum should be closer to optimum");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params() {
+        let mut x = Tensor::full(&[1], 1.0);
+        let zero_grad = Tensor::zeros(&[1]);
+        let mut opt = Sgd::new(&[&x], 0.1, 0.0, 0.5);
+        for _ in 0..10 {
+            opt.step(&mut [&mut x], &[&zero_grad]);
+        }
+        assert!(x.data()[0] < 1.0 && x.data()[0] > 0.0);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut x = Tensor::full(&[3], -4.0);
+        let c = Tensor::from_vec(vec![0.3, 1.0, -1.0], &[3]);
+        let mut opt = Adam::new(&[&x], 0.05, 0.0);
+        for _ in 0..500 {
+            let g = quad_grad(&x, &c);
+            opt.step(&mut [&mut x], &[&g]);
+        }
+        for (xv, cv) in x.data().iter().zip(c.data()) {
+            assert!((xv - cv).abs() < 1e-2, "{xv} vs {cv}");
+        }
+    }
+
+    #[test]
+    fn lr_get_set() {
+        let x = Tensor::zeros(&[1]);
+        let mut s = Sgd::new(&[&x], 0.1, 0.0, 0.0);
+        assert_eq!(s.lr(), 0.1);
+        s.set_lr(0.01);
+        assert_eq!(s.lr(), 0.01);
+        let mut a = Adam::new(&[&x], 0.2, 0.0);
+        a.set_lr(0.3);
+        assert_eq!(a.lr(), 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn sgd_rejects_nonpositive_lr() {
+        let x = Tensor::zeros(&[1]);
+        let _ = Sgd::new(&[&x], 0.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn rmsprop_converges_on_quadratic() {
+        let mut x = Tensor::full(&[3], 6.0);
+        let c = Tensor::from_vec(vec![0.5, -1.0, 2.0], &[3]);
+        let mut opt = RmsProp::new(&[&x], 0.05, 0.0);
+        for _ in 0..800 {
+            let g = quad_grad(&x, &c);
+            opt.step(&mut [&mut x], &[&g]);
+        }
+        for (xv, cv) in x.data().iter().zip(c.data()) {
+            assert!((xv - cv).abs() < 5e-2, "{xv} vs {cv}");
+        }
+    }
+
+    #[test]
+    fn rmsprop_normalizes_badly_scaled_gradients() {
+        // Two coordinates with gradient magnitudes differing by 1000×:
+        // RMSProp's per-coordinate scaling moves both at comparable speed.
+        let mut x = Tensor::from_vec(vec![1.0, 1.0], &[2]);
+        let mut opt = RmsProp::new(&[&x], 0.01, 0.0);
+        for _ in 0..50 {
+            let g = Tensor::from_vec(vec![1000.0 * x.data()[0], 0.001 * x.data()[1]], &[2]);
+            opt.step(&mut [&mut x], &[&g]);
+        }
+        let moved0 = 1.0 - x.data()[0];
+        let moved1 = 1.0 - x.data()[1];
+        assert!(moved0 > 0.2 && moved1 > 0.2, "both should move: {moved0} {moved1}");
+        assert!(moved0 / moved1 < 5.0, "movement should be comparable");
+    }
+
+    #[test]
+    fn clip_leaves_small_gradients_untouched() {
+        let mut g = Tensor::from_vec(vec![0.3, -0.4], &[2]); // norm 0.5
+        let norm = clip_grad_norm(&mut [&mut g], 1.0);
+        assert!((norm - 0.5).abs() < 1e-6);
+        assert_eq!(g.data(), &[0.3, -0.4]);
+    }
+
+    #[test]
+    fn clip_rescales_large_gradients_to_max_norm() {
+        let mut g1 = Tensor::from_vec(vec![3.0], &[1]);
+        let mut g2 = Tensor::from_vec(vec![4.0], &[1]); // global norm 5
+        let norm = clip_grad_norm(&mut [&mut g1, &mut g2], 1.0);
+        assert!((norm - 5.0).abs() < 1e-5);
+        let new_norm =
+            (g1.data()[0].powi(2) + g2.data()[0].powi(2)).sqrt();
+        assert!((new_norm - 1.0).abs() < 1e-5);
+        // Direction preserved.
+        assert!((g1.data()[0] / g2.data()[0] - 0.75).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_norm")]
+    fn clip_rejects_nonpositive_max() {
+        let mut g = Tensor::zeros(&[1]);
+        let _ = clip_grad_norm(&mut [&mut g], 0.0);
+    }
+}

@@ -1,0 +1,433 @@
+//! AlphaZero-style residual-tower policy-value network.
+//!
+//! The paper evaluates the plain 5-conv/3-FC network ([`crate::model::PolicyValueNet`]),
+//! but positions its framework as serving *any* DNN-MCTS algorithm (§1).
+//! This model is the obvious second architecture a user would bring: a
+//! conv-bn-relu stem, a tower of residual blocks, and the AlphaZero policy
+//! and value heads. It exercises the batch-norm / residual machinery and
+//! gives the benchmarks a heavier inference workload to schedule.
+
+use crate::layer::{
+    backward_stack, forward_cached_train, forward_stack, update_stack_running_stats, Conv2d,
+    Layer, LayerKind, Linear,
+};
+use crate::loss::{alphazero_loss_backward, LossParts};
+use crate::norm::BatchNorm2d;
+use crate::residual::ResidualBlock;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use tensor::Tensor;
+
+/// Residual-tower hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResNetConfig {
+    /// Input channels (encoding planes).
+    pub in_c: usize,
+    /// Board height.
+    pub h: usize,
+    /// Board width.
+    pub w: usize,
+    /// Action-space size (policy logits).
+    pub actions: usize,
+    /// Trunk width (filters per residual block).
+    pub filters: usize,
+    /// Number of residual blocks in the tower.
+    pub blocks: usize,
+    /// Hidden width of the value head.
+    pub value_hidden: usize,
+}
+
+impl ResNetConfig {
+    /// A small tower for the 15×15 Gomoku benchmark.
+    pub fn gomoku15() -> Self {
+        ResNetConfig {
+            in_c: 4,
+            h: 15,
+            w: 15,
+            actions: 225,
+            filters: 64,
+            blocks: 4,
+            value_hidden: 64,
+        }
+    }
+
+    /// Tiny tower for fast unit tests.
+    pub fn tiny(in_c: usize, h: usize, w: usize, actions: usize) -> Self {
+        ResNetConfig {
+            in_c,
+            h,
+            w,
+            actions,
+            filters: 8,
+            blocks: 2,
+            value_hidden: 8,
+        }
+    }
+}
+
+/// Residual-tower policy-value network. `forward` is pure (`&self`) so the
+/// same instance serves concurrent inference workers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResNetPolicyValueNet {
+    pub config: ResNetConfig,
+    trunk: Vec<LayerKind>,
+    policy_head: Vec<LayerKind>,
+    value_head: Vec<LayerKind>,
+}
+
+/// Caches from a training-mode forward pass, consumed by `backward`.
+pub struct ResNetCaches {
+    trunk: Vec<Tensor>,
+    policy: Vec<Tensor>,
+    value: Vec<Tensor>,
+    /// Policy logits `[b, actions]` (pre-softmax).
+    pub policy_logits: Tensor,
+    /// Value output `[b, 1]` (post-tanh).
+    pub values: Tensor,
+}
+
+/// Per-layer gradient buffers matching the network's parameter layout.
+#[derive(Debug, Clone)]
+pub struct ResNetGrads {
+    trunk: Vec<Vec<Tensor>>,
+    policy: Vec<Vec<Tensor>>,
+    value: Vec<Vec<Tensor>>,
+}
+
+impl ResNetGrads {
+    /// Zero all gradient buffers (call between optimizer steps).
+    pub fn zero(&mut self) {
+        for stack in [&mut self.trunk, &mut self.policy, &mut self.value] {
+            for layer in stack.iter_mut() {
+                for g in layer.iter_mut() {
+                    g.zero_();
+                }
+            }
+        }
+    }
+
+    /// Flat gradient list matching [`ResNetPolicyValueNet::params`].
+    pub fn flat(&self) -> Vec<&Tensor> {
+        self.trunk
+            .iter()
+            .chain(self.policy.iter())
+            .chain(self.value.iter())
+            .flat_map(|layer| layer.iter())
+            .collect()
+    }
+
+    /// Mutable flat gradient list (for clipping).
+    pub fn flat_mut(&mut self) -> Vec<&mut Tensor> {
+        self.trunk
+            .iter_mut()
+            .chain(self.policy.iter_mut())
+            .chain(self.value.iter_mut())
+            .flat_map(|layer| layer.iter_mut())
+            .collect()
+    }
+
+    /// Scale every gradient (e.g. 1/batch for mean reduction).
+    pub fn scale(&mut self, s: f32) {
+        for g in self.flat_mut() {
+            g.scale(s);
+        }
+    }
+}
+
+impl ResNetPolicyValueNet {
+    /// Build a tower with freshly initialized parameters.
+    pub fn new(config: ResNetConfig, seed: u64) -> Self {
+        assert!(config.blocks >= 1, "need at least one residual block");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let r = &mut rng;
+        let f = config.filters;
+        let plane = config.h * config.w;
+        let mut trunk = vec![
+            LayerKind::Conv2d(Conv2d::new(r, config.in_c, f, 3, 1)),
+            LayerKind::BatchNorm2d(BatchNorm2d::new(f)),
+            LayerKind::ReLU,
+        ];
+        for _ in 0..config.blocks {
+            trunk.push(LayerKind::Residual(Box::new(ResidualBlock::new(r, f))));
+        }
+        let policy_head = vec![
+            LayerKind::Conv2d(Conv2d::new(r, f, 2, 1, 0)),
+            LayerKind::BatchNorm2d(BatchNorm2d::new(2)),
+            LayerKind::ReLU,
+            LayerKind::Flatten,
+            LayerKind::Linear(Linear::new(r, 2 * plane, config.actions)),
+        ];
+        let value_head = vec![
+            LayerKind::Conv2d(Conv2d::new(r, f, 1, 1, 0)),
+            LayerKind::BatchNorm2d(BatchNorm2d::new(1)),
+            LayerKind::ReLU,
+            LayerKind::Flatten,
+            LayerKind::Linear(Linear::new(r, plane, config.value_hidden)),
+            LayerKind::ReLU,
+            LayerKind::Linear(Linear::new(r, config.value_hidden, 1)),
+            LayerKind::Tanh,
+        ];
+        ResNetPolicyValueNet {
+            config,
+            trunk,
+            policy_head,
+            value_head,
+        }
+    }
+
+    fn all_stacks(&self) -> impl Iterator<Item = &Vec<LayerKind>> {
+        [&self.trunk, &self.policy_head, &self.value_head].into_iter()
+    }
+
+    /// Number of residual blocks in the tower.
+    pub fn block_count(&self) -> usize {
+        self.trunk
+            .iter()
+            .filter(|l| matches!(l, LayerKind::Residual(_)))
+            .count()
+    }
+
+    /// Total parameter scalar count.
+    pub fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.numel()).sum()
+    }
+
+    /// Flat immutable parameter list (trunk, policy head, value head order).
+    pub fn params(&self) -> Vec<&Tensor> {
+        self.all_stacks()
+            .flat_map(|s| s.iter())
+            .flat_map(|l| l.param_views())
+            .collect()
+    }
+
+    /// Flat mutable parameter list (same order as `params`).
+    pub fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        self.trunk
+            .iter_mut()
+            .chain(self.policy_head.iter_mut())
+            .chain(self.value_head.iter_mut())
+            .flat_map(|l| l.param_views_mut())
+            .collect()
+    }
+
+    /// Flat list of non-trainable state (batch-norm running statistics).
+    pub fn state_tensors(&self) -> Vec<&Tensor> {
+        self.all_stacks()
+            .flat_map(|s| s.iter())
+            .flat_map(|l| l.state_views())
+            .collect()
+    }
+
+    /// Mutable non-trainable state (same order).
+    pub fn state_tensors_mut(&mut self) -> Vec<&mut Tensor> {
+        self.trunk
+            .iter_mut()
+            .chain(self.policy_head.iter_mut())
+            .chain(self.value_head.iter_mut())
+            .flat_map(|l| l.state_views_mut())
+            .collect()
+    }
+
+    /// Fresh zeroed gradient buffers.
+    pub fn grad_buffers(&self) -> ResNetGrads {
+        let make = |stack: &Vec<LayerKind>| stack.iter().map(|l| l.grad_buffers()).collect();
+        ResNetGrads {
+            trunk: make(&self.trunk),
+            policy: make(&self.policy_head),
+            value: make(&self.value_head),
+        }
+    }
+
+    /// Inference: `x` is `[b, in_c, h, w]`; returns policy logits `[b, A]`
+    /// and tanh values `[b, 1]`. Pure and thread-safe; batch norm uses
+    /// running statistics.
+    pub fn forward(&self, x: &Tensor) -> (Tensor, Tensor) {
+        let feat = forward_stack(&self.trunk, x);
+        let logits = forward_stack(&self.policy_head, &feat);
+        let values = forward_stack(&self.value_head, &feat);
+        (logits, values)
+    }
+
+    /// Inference returning softmax policies instead of logits.
+    pub fn predict(&self, x: &Tensor) -> (Tensor, Tensor) {
+        let (mut logits, values) = self.forward(x);
+        let b = logits.dims()[0];
+        let a = logits.dims()[1];
+        for r in 0..b {
+            tensor::ops::softmax_inplace(&mut logits.data_mut()[r * a..(r + 1) * a]);
+        }
+        (logits, values)
+    }
+
+    /// Training-mode forward: batch-norm layers use batch statistics, and
+    /// every layer input is cached for `backward`.
+    pub fn forward_train(&self, x: &Tensor) -> ResNetCaches {
+        let (trunk_caches, feat) = forward_cached_train(&self.trunk, x);
+        let (policy_caches, policy_logits) = forward_cached_train(&self.policy_head, &feat);
+        let (value_caches, values) = forward_cached_train(&self.value_head, &feat);
+        ResNetCaches {
+            trunk: trunk_caches,
+            policy: policy_caches,
+            value: value_caches,
+            policy_logits,
+            values,
+        }
+    }
+
+    /// Full backward pass for the AlphaZero loss (Eq. 2). Accumulates
+    /// parameter gradients into `grads` and returns the loss decomposition.
+    pub fn backward(
+        &self,
+        caches: &ResNetCaches,
+        target_pi: &Tensor,
+        target_r: &Tensor,
+        grads: &mut ResNetGrads,
+    ) -> LossParts {
+        let (parts, grad_logits, grad_values) =
+            alphazero_loss_backward(&caches.policy_logits, &caches.values, target_pi, target_r);
+        let g_feat_p = backward_stack(
+            &self.policy_head,
+            &caches.policy,
+            &mut grads.policy,
+            grad_logits,
+        );
+        let g_feat_v = backward_stack(
+            &self.value_head,
+            &caches.value,
+            &mut grads.value,
+            grad_values,
+        );
+        let mut g_feat = g_feat_p;
+        g_feat.add_assign(&g_feat_v);
+        backward_stack(&self.trunk, &caches.trunk, &mut grads.trunk, g_feat);
+        parts
+    }
+
+    /// Fold the running batch-norm statistics for the step that produced
+    /// `caches` (call once per optimizer step, after `backward`).
+    pub fn update_running_stats(&mut self, caches: &ResNetCaches) {
+        update_stack_running_stats(&mut self.trunk, &caches.trunk);
+        update_stack_running_stats(&mut self.policy_head, &caches.policy);
+        update_stack_running_stats(&mut self.value_head, &caches.value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn tiny_net() -> ResNetPolicyValueNet {
+        ResNetPolicyValueNet::new(ResNetConfig::tiny(3, 4, 4, 16), 21)
+    }
+
+    fn rand_t(dims: &[usize], seed: u64) -> Tensor {
+        let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+        tensor::init::uniform(&mut r, dims, -1.0, 1.0)
+    }
+
+    #[test]
+    fn forward_shapes_and_value_range() {
+        let net = tiny_net();
+        let x = rand_t(&[2, 3, 4, 4], 1);
+        let (logits, values) = net.forward(&x);
+        assert_eq!(logits.dims(), &[2, 16]);
+        assert_eq!(values.dims(), &[2, 1]);
+        assert!(values.data().iter().all(|v| (-1.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn tower_has_requested_blocks() {
+        let net = tiny_net();
+        assert_eq!(net.block_count(), 2);
+        let big = ResNetPolicyValueNet::new(ResNetConfig::gomoku15(), 3);
+        assert_eq!(big.block_count(), 4);
+    }
+
+    #[test]
+    fn predict_rows_are_distributions() {
+        let net = tiny_net();
+        let x = rand_t(&[3, 3, 4, 4], 2);
+        let (pi, _) = net.predict(&x);
+        for r in 0..3 {
+            let s: f32 = pi.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(pi.row(r).iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn grads_align_with_params() {
+        let net = tiny_net();
+        let grads = net.grad_buffers();
+        let flat = grads.flat();
+        let params = net.params();
+        assert_eq!(flat.len(), params.len());
+        // Each residual block contributes 8 params + stem conv/bn + heads.
+        assert!(params.len() > 16);
+        for (g, p) in flat.iter().zip(params) {
+            assert_eq!(g.dims(), p.dims());
+        }
+    }
+
+    #[test]
+    fn state_tensors_cover_all_batchnorms() {
+        let net = tiny_net();
+        // stem bn (2) + 2 blocks × 2 bns × 2 (4 each = 8) + policy bn (2) + value bn (2).
+        assert_eq!(net.state_tensors().len(), 2 + 8 + 2 + 2);
+    }
+
+    #[test]
+    fn gradient_descent_reduces_loss() {
+        let mut net = tiny_net();
+        let x = rand_t(&[4, 3, 4, 4], 5);
+        let mut pi = rand_t(&[4, 16], 6).map(f32::abs);
+        for r in 0..4 {
+            let s: f32 = pi.row(r).iter().sum();
+            for v in &mut pi.data_mut()[r * 16..(r + 1) * 16] {
+                *v /= s;
+            }
+        }
+        let target_r = Tensor::from_vec(vec![1.0, -1.0, 0.0, 1.0], &[4, 1]);
+
+        let mut grads = net.grad_buffers();
+        let mut losses = Vec::new();
+        for _ in 0..60 {
+            grads.zero();
+            let caches = net.forward_train(&x);
+            let parts = net.backward(&caches, &pi, &target_r, &mut grads);
+            losses.push(parts.total);
+            let flat = grads.flat();
+            let lr = 0.05;
+            for (p, g) in net.params_mut().into_iter().zip(flat) {
+                p.axpy(-lr, g);
+            }
+        }
+        let (first, last) = (losses[0], *losses.last().unwrap());
+        assert!(
+            last < first - 0.05 && last.is_finite(),
+            "loss did not decrease: first {first}, last {last}"
+        );
+    }
+
+    #[test]
+    fn running_stats_update_changes_inference() {
+        let mut net = tiny_net();
+        let x = rand_t(&[4, 3, 4, 4], 7);
+        let before = net.forward(&x).0;
+        for _ in 0..20 {
+            let caches = net.forward_train(&x);
+            net.update_running_stats(&caches);
+        }
+        let after = net.forward(&x).0;
+        assert_ne!(before.data(), after.data());
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = ResNetPolicyValueNet::new(ResNetConfig::tiny(3, 4, 4, 16), 9);
+        let b = ResNetPolicyValueNet::new(ResNetConfig::tiny(3, 4, 4, 16), 9);
+        let x = rand_t(&[1, 3, 4, 4], 3);
+        assert_eq!(a.forward(&x).0.data(), b.forward(&x).0.data());
+    }
+}

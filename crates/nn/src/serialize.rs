@@ -1,0 +1,261 @@
+//! Binary checkpoint format for network parameters.
+//!
+//! A tiny self-describing little-endian format (magic, version, tensor
+//! count, then `rank, dims…, f32 data…` per tensor) built on the `bytes`
+//! crate. Only parameter *values* are stored; the architecture comes from
+//! `NetConfig`, so loading checks that shapes line up.
+
+use crate::model::PolicyValueNet;
+use crate::resnet::ResNetPolicyValueNet;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use tensor::Tensor;
+
+const MAGIC: u32 = 0x4D43_5453; // "MCTS"
+const VERSION: u32 = 1;
+
+/// Errors produced while decoding a checkpoint.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Buffer too short or corrupt.
+    Truncated,
+    /// Magic number mismatch: not a checkpoint.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Tensor count or a tensor shape differs from the target network.
+    ShapeMismatch { index: usize },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::BadMagic => write!(f, "bad magic number"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            CheckpointError::ShapeMismatch { index } => {
+                write!(f, "tensor {index} shape mismatch")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Serialize an arbitrary tensor list in checkpoint order. This is the
+/// model-agnostic core: a model checkpoint is just its parameter tensors
+/// (plus any running statistics) flattened into a deterministic order.
+pub fn save_tensor_list(tensors: &[&Tensor]) -> Bytes {
+    let payload: usize = tensors
+        .iter()
+        .map(|p| 4 + 8 * p.dims().len() + 4 * p.numel())
+        .sum();
+    let mut buf = BytesMut::with_capacity(16 + payload);
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(tensors.len() as u32);
+    for p in tensors {
+        buf.put_u32_le(p.dims().len() as u32);
+        for &d in p.dims() {
+            buf.put_u64_le(d as u64);
+        }
+        for &v in p.data() {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Load a tensor list saved by [`save_tensor_list`] into pre-shaped
+/// destination tensors (count and every shape must match).
+pub fn load_tensor_list(
+    tensors: &mut [&mut Tensor],
+    mut data: &[u8],
+) -> Result<(), CheckpointError> {
+    if data.remaining() < 12 {
+        return Err(CheckpointError::Truncated);
+    }
+    if data.get_u32_le() != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = data.get_u32_le();
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let count = data.get_u32_le() as usize;
+    if count != tensors.len() {
+        return Err(CheckpointError::ShapeMismatch { index: 0 });
+    }
+    for (index, p) in tensors.iter_mut().enumerate() {
+        if data.remaining() < 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let rank = data.get_u32_le() as usize;
+        if data.remaining() < 8 * rank {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(data.get_u64_le() as usize);
+        }
+        if dims != p.dims() {
+            return Err(CheckpointError::ShapeMismatch { index });
+        }
+        if data.remaining() < 4 * p.numel() {
+            return Err(CheckpointError::Truncated);
+        }
+        for v in p.data_mut() {
+            *v = data.get_f32_le();
+        }
+    }
+    Ok(())
+}
+
+/// Serialize the network's parameters.
+pub fn save_params(net: &PolicyValueNet) -> Bytes {
+    save_tensor_list(&net.params())
+}
+
+/// Load parameters into an existing network (architecture must match).
+pub fn load_params(net: &mut PolicyValueNet, data: &[u8]) -> Result<(), CheckpointError> {
+    load_tensor_list(&mut net.params_mut(), data)
+}
+
+/// Serialize a residual-tower network: parameters *plus* the batch-norm
+/// running statistics (without them, loaded models would normalize with
+/// the identity statistics at inference).
+pub fn save_resnet(net: &ResNetPolicyValueNet) -> Bytes {
+    let mut tensors = net.params();
+    tensors.extend(net.state_tensors());
+    save_tensor_list(&tensors)
+}
+
+/// Load a residual-tower checkpoint saved by [`save_resnet`].
+pub fn load_resnet(
+    net: &mut ResNetPolicyValueNet,
+    data: &[u8],
+) -> Result<(), CheckpointError> {
+    // Two disjoint mutable borrows of `net` are not expressible through the
+    // accessor methods, so load into clones and write back.
+    let mut params: Vec<Tensor> = net.params().into_iter().cloned().collect();
+    let mut states: Vec<Tensor> = net.state_tensors().into_iter().cloned().collect();
+    {
+        let mut dst: Vec<&mut Tensor> =
+            params.iter_mut().chain(states.iter_mut()).collect();
+        load_tensor_list(&mut dst, data)?;
+    }
+    for (p, src) in net.params_mut().into_iter().zip(&params) {
+        *p = src.clone();
+    }
+    for (s, src) in net.state_tensors_mut().into_iter().zip(&states) {
+        *s = src.clone();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::NetConfig;
+    use tensor::Tensor;
+
+    fn tiny() -> PolicyValueNet {
+        PolicyValueNet::new(NetConfig::tiny(4, 3, 3, 9), 5)
+    }
+
+    #[test]
+    fn roundtrip_preserves_outputs() {
+        let src = tiny();
+        let bytes = save_params(&src);
+        let mut dst = PolicyValueNet::new(NetConfig::tiny(4, 3, 3, 9), 999);
+        load_params(&mut dst, &bytes).unwrap();
+        let x = Tensor::ones(&[1, 4, 3, 3]);
+        assert_eq!(src.forward(&x).0.data(), dst.forward(&x).0.data());
+        assert_eq!(src.forward(&x).1.data(), dst.forward(&x).1.data());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let mut net = tiny();
+        assert_eq!(load_params(&mut net, b"nope"), Err(CheckpointError::Truncated));
+        let mut bad = vec![0u8; 64];
+        bad[0] = 0xFF;
+        assert_eq!(load_params(&mut net, &bad), Err(CheckpointError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_wrong_architecture() {
+        let src = tiny();
+        let bytes = save_params(&src);
+        let mut other = PolicyValueNet::new(NetConfig::tiny(4, 4, 4, 16), 5);
+        assert!(matches!(
+            load_params(&mut other, &bytes),
+            Err(CheckpointError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        let src = tiny();
+        let bytes = save_params(&src);
+        let cut = &bytes[..bytes.len() / 2];
+        let mut dst = tiny();
+        assert_eq!(load_params(&mut dst, cut), Err(CheckpointError::Truncated));
+    }
+
+    #[test]
+    fn resnet_roundtrip_preserves_outputs_and_running_stats() {
+        use crate::resnet::{ResNetConfig, ResNetPolicyValueNet};
+        let mut src = ResNetPolicyValueNet::new(ResNetConfig::tiny(3, 4, 4, 16), 1);
+        // Move the running stats off their init values so the test catches
+        // checkpoints that forget them.
+        let x = Tensor::ones(&[2, 3, 4, 4]);
+        let caches = src.forward_train(&x);
+        src.update_running_stats(&caches);
+
+        let bytes = save_resnet(&src);
+        let mut dst = ResNetPolicyValueNet::new(ResNetConfig::tiny(3, 4, 4, 16), 999);
+        load_resnet(&mut dst, &bytes).unwrap();
+        assert_eq!(src.forward(&x).0.data(), dst.forward(&x).0.data());
+        assert_eq!(src.forward(&x).1.data(), dst.forward(&x).1.data());
+        for (a, b) in src.state_tensors().iter().zip(dst.state_tensors()) {
+            assert_eq!(a.data(), b.data());
+        }
+    }
+
+    #[test]
+    fn resnet_rejects_plain_param_checkpoint() {
+        use crate::resnet::{ResNetConfig, ResNetPolicyValueNet};
+        let src = ResNetPolicyValueNet::new(ResNetConfig::tiny(3, 4, 4, 16), 1);
+        // A tensor list missing the running stats must be rejected.
+        let bytes = save_tensor_list(&src.params());
+        let mut dst = ResNetPolicyValueNet::new(ResNetConfig::tiny(3, 4, 4, 16), 2);
+        assert!(matches!(
+            load_resnet(&mut dst, &bytes),
+            Err(CheckpointError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn tensor_list_roundtrip() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0, 7.0], &[2, 2]);
+        let bytes = save_tensor_list(&[&a, &b]);
+        let mut a2 = Tensor::zeros(&[3]);
+        let mut b2 = Tensor::zeros(&[2, 2]);
+        load_tensor_list(&mut [&mut a2, &mut b2], &bytes).unwrap();
+        assert_eq!(a.data(), a2.data());
+        assert_eq!(b.data(), b2.data());
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let src = tiny();
+        let mut raw = save_params(&src).to_vec();
+        raw[4] = 99; // bump version field
+        let mut dst = tiny();
+        assert_eq!(
+            load_params(&mut dst, &raw),
+            Err(CheckpointError::BadVersion(99))
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Algorithm 4: find the minimizing batch size of a "V-sequence" in
+//! O(log N) probes.
+//!
+//! The paper observes (§4.1) that per-iteration latency as a function of
+//! the sub-batch size `B` first monotonically decreases, then monotonically
+//! increases — a V-sequence — so the minimum can be located by comparing
+//! adjacent elements at the midpoint and recursing on the half that
+//! contains the descent, mirroring bitonic binary search.
+
+/// Result statistics of a V-search run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VSearchReport {
+    /// The minimizing argument found.
+    pub argmin: usize,
+    /// Number of oracle evaluations performed (the paper's "test runs").
+    pub evals: usize,
+}
+
+/// Find the argmin of `f` over `[lo, hi]`, assuming `f` is a V-sequence
+/// (non-increasing then non-decreasing). Each distinct argument is probed
+/// at most once; the total number of probes is O(log(hi-lo)).
+///
+/// Returns `(argmin, f(argmin))`.
+pub fn find_min_vsequence(lo: usize, hi: usize, mut f: impl FnMut(usize) -> f64) -> (usize, f64) {
+    let report = find_min_vsequence_counted(lo, hi, &mut f);
+    (report.argmin, f_cached(report.argmin, &mut f))
+}
+
+// Small helper so the public API can return the value without re-running
+// the (possibly expensive) oracle when callers don't memoize: we simply
+// call it again — the contract is that `f` is deterministic.
+fn f_cached(x: usize, f: &mut impl FnMut(usize) -> f64) -> f64 {
+    f(x)
+}
+
+/// As [`find_min_vsequence`] but reports the number of oracle probes,
+/// which is what the paper's complexity claim (O(log N) vs O(N)) is about.
+pub fn find_min_vsequence_counted(
+    lo: usize,
+    hi: usize,
+    f: &mut impl FnMut(usize) -> f64,
+) -> VSearchReport {
+    assert!(lo <= hi, "empty search range");
+    let mut evals = 0usize;
+    let mut lo = lo;
+    let mut hi = hi;
+    // Algorithm 4: probe (mid, mid+1); descend toward the smaller side.
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let a = f(mid);
+        let b = f(mid + 1);
+        evals += 2;
+        if a >= b {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    VSearchReport { argmin: lo, evals }
+}
+
+/// Exhaustive argmin over `[lo, hi]` — the naive baseline the paper's
+/// Algorithm 4 replaces. Exposed for correctness tests and the cost
+/// comparison bench.
+pub fn find_min_exhaustive(
+    lo: usize,
+    hi: usize,
+    f: &mut impl FnMut(usize) -> f64,
+) -> VSearchReport {
+    assert!(lo <= hi);
+    let mut best = lo;
+    let mut best_v = f(lo);
+    let mut evals = 1usize;
+    for x in lo + 1..=hi {
+        let v = f(x);
+        evals += 1;
+        if v < best_v {
+            best_v = v;
+            best = x;
+        }
+    }
+    VSearchReport { argmin: best, evals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A V-sequence with its minimum at `m`.
+    fn vee(m: usize) -> impl FnMut(usize) -> f64 {
+        move |x| (x as f64 - m as f64).abs()
+    }
+
+    #[test]
+    fn finds_interior_minimum() {
+        for m in [1usize, 7, 20, 33, 64] {
+            let (argmin, val) = find_min_vsequence(1, 64, vee(m));
+            assert_eq!(argmin, m.clamp(1, 64));
+            assert_eq!(val, 0.0);
+        }
+    }
+
+    #[test]
+    fn handles_monotone_decreasing() {
+        let (argmin, _) = find_min_vsequence(1, 64, |x| -(x as f64));
+        assert_eq!(argmin, 64);
+    }
+
+    #[test]
+    fn handles_monotone_increasing() {
+        let (argmin, _) = find_min_vsequence(1, 64, |x| x as f64);
+        assert_eq!(argmin, 1);
+    }
+
+    #[test]
+    fn single_point_range() {
+        let (argmin, val) = find_min_vsequence(5, 5, |x| x as f64);
+        assert_eq!((argmin, val), (5, 5.0));
+    }
+
+    #[test]
+    fn logarithmic_probe_count() {
+        let mut f = vee(40);
+        let report = find_min_vsequence_counted(1, 1024, &mut f);
+        assert_eq!(report.argmin, 40);
+        // 2 probes per halving step: 2·ceil(log2(1024)) = 20.
+        assert!(report.evals <= 20, "evals = {}", report.evals);
+        let mut f = vee(40);
+        let naive = find_min_exhaustive(1, 1024, &mut f);
+        assert_eq!(naive.argmin, 40);
+        assert_eq!(naive.evals, 1024);
+    }
+
+    #[test]
+    fn flat_plateaus_are_tolerated() {
+        // Non-strict V: plateau around the minimum must still land on a
+        // minimizing argument.
+        let f = |x: usize| if (10..=20).contains(&x) { 1.0 } else { 2.0 + x as f64 };
+        let (argmin, val) = find_min_vsequence(1, 64, f);
+        assert!((10..=20).contains(&argmin), "argmin {argmin}");
+        assert_eq!(val, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty search range")]
+    fn inverted_range_rejected() {
+        let _ = find_min_vsequence(5, 4, |x| x as f64);
+    }
+}

@@ -1,0 +1,114 @@
+//! Deterministic parameter initialization (Xavier / He / uniform).
+//!
+//! All initializers take an explicit RNG so whole-network initialization is
+//! reproducible from a single seed — required for the paper's design-time
+//! profiling ("DNN filled with random parameters", §4.2) to be repeatable.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+use rand_distr_normal::Normal;
+
+/// Minimal Box-Muller normal sampler so we don't need the `rand_distr` crate.
+mod rand_distr_normal {
+    use rand::Rng;
+
+    /// Normal distribution with given mean and standard deviation.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Normal {
+        pub mean: f32,
+        pub std: f32,
+    }
+
+    impl Normal {
+        pub fn new(mean: f32, std: f32) -> Self {
+            assert!(std >= 0.0, "negative std");
+            Normal { mean, std }
+        }
+
+        /// Draw one sample via the Box-Muller transform.
+        pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+            self.mean + self.std * z
+        }
+    }
+}
+
+/// Tensor with i.i.d. N(0, std²) entries.
+pub fn randn<R: Rng + ?Sized>(rng: &mut R, dims: &[usize], std: f32) -> Tensor {
+    let dist = Normal::new(0.0, std);
+    let n: usize = dims.iter().product();
+    Tensor::from_vec((0..n).map(|_| dist.sample(rng)).collect(), dims)
+}
+
+/// Tensor with i.i.d. U(lo, hi) entries.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, dims: &[usize], lo: f32, hi: f32) -> Tensor {
+    let n: usize = dims.iter().product();
+    Tensor::from_vec((0..n).map(|_| rng.gen_range(lo..hi)).collect(), dims)
+}
+
+/// Xavier/Glorot-uniform init: U(±sqrt(6/(fan_in+fan_out))).
+pub fn xavier_uniform<R: Rng + ?Sized>(
+    rng: &mut R,
+    dims: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+) -> Tensor {
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(rng, dims, -bound, bound)
+}
+
+/// He/Kaiming-normal init for ReLU networks: N(0, 2/fan_in).
+pub fn he_normal<R: Rng + ?Sized>(rng: &mut R, dims: &[usize], fan_in: usize) -> Tensor {
+    randn(rng, dims, (2.0 / fan_in as f32).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = rand::rngs::StdRng::seed_from_u64(9);
+        let mut b = rand::rngs::StdRng::seed_from_u64(9);
+        assert_eq!(
+            randn(&mut a, &[10], 1.0).data(),
+            randn(&mut b, &[10], 1.0).data()
+        );
+    }
+
+    #[test]
+    fn randn_moments_roughly_correct() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let t = randn(&mut rng, &[20_000], 2.0);
+        let mean = t.mean();
+        let var = t.data().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / 20_000.0;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let t = uniform(&mut rng, &[5_000], -0.25, 0.25);
+        assert!(t.data().iter().all(|&x| (-0.25..0.25).contains(&x)));
+    }
+
+    #[test]
+    fn xavier_bound_formula() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let t = xavier_uniform(&mut rng, &[64, 32], 32, 64);
+        let bound = (6.0f32 / 96.0).sqrt();
+        assert!(t.data().iter().all(|&x| x.abs() <= bound));
+    }
+
+    #[test]
+    fn he_normal_scales_with_fan_in() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let t = he_normal(&mut rng, &[30_000], 50);
+        let var = t.data().iter().map(|x| x * x).sum::<f32>() / 30_000.0;
+        assert!((var - 0.04).abs() < 0.01, "var {var} expected ~0.04");
+    }
+}

@@ -1,0 +1,33 @@
+//! Minimal dense `f32` tensor library built from scratch for the DNN-MCTS
+//! reproduction.
+//!
+//! The paper's DNN (5 convolution layers + 3 fully-connected layers on a
+//! 15×15 board) is small by deep-learning standards, so this crate favors
+//! simplicity and cache-friendly inner loops over exhaustive generality:
+//!
+//! * contiguous row-major storage, `f32` only;
+//! * a register-blocked [`ops::gemm`] kernel (the workhorse of both the
+//!   fully-connected layers and im2col-based convolution);
+//! * [`conv`] with explicit im2col/col2im so forward and backward share the
+//!   same GEMM path;
+//! * deterministic parameter [`init`]ialization given a seed.
+//!
+//! # Example
+//!
+//! ```
+//! use tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1., 2., 3., 4.], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+pub mod conv;
+pub mod init;
+pub mod ops;
+pub mod shape;
+pub mod tensor;
+
+pub use crate::tensor::Tensor;
+pub use shape::Shape;

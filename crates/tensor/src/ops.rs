@@ -1,0 +1,313 @@
+//! Low-level kernels: GEMM, AXPY, softmax, reductions.
+//!
+//! `gemm` is the hot path of the whole DNN (both fully-connected layers and
+//! im2col convolutions reduce to it), so it gets a cache-blocked kernel with
+//! a transposed-B fast path. Everything else is straightforward.
+
+/// Cache block size (elements) for the GEMM k/j loops. 64 f32 = 256 B per
+/// row strip, small enough to keep three strips in L1.
+const BLOCK: usize = 64;
+
+/// General matrix multiply: `C = alpha * op(A) * op(B) + beta * C`.
+///
+/// `op(A)` is `A` (m×k) if `!ta`, else `Aᵀ` where `A` is stored k×m.
+/// Likewise `op(B)` is k×n if `!tb`, else `B` is stored n×k.
+/// All matrices are contiguous row-major. `C` is m×n.
+// BLAS-style signature on purpose: callers pass raw dims/flags.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm(
+    ta: bool,
+    tb: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "A buffer size");
+    assert_eq!(b.len(), k * n, "B buffer size");
+    assert_eq!(c.len(), m * n, "C buffer size");
+
+    if beta == 0.0 {
+        c.fill(0.0);
+    } else if beta != 1.0 {
+        for x in c.iter_mut() {
+            *x *= beta;
+        }
+    }
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    match (ta, tb) {
+        (false, false) => gemm_nn(m, n, k, alpha, a, b, c),
+        (false, true) => gemm_nt(m, n, k, alpha, a, b, c),
+        (true, false) => gemm_tn(m, n, k, alpha, a, b, c),
+        (true, true) => gemm_tt(m, n, k, alpha, a, b, c),
+    }
+}
+
+/// C += alpha * A(m×k) * B(k×n). ikj loop order: the inner loop streams B and
+/// C rows contiguously, and `a_ik` is hoisted to a register.
+fn gemm_nn(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for kb in (0..k).step_by(BLOCK) {
+        let kend = (kb + BLOCK).min(k);
+        for i in 0..m {
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for p in kb..kend {
+                let a_ip = alpha * a[i * k + p];
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += a_ip * bv;
+                }
+            }
+        }
+    }
+}
+
+/// C += alpha * A(m×k) * Bᵀ where B is stored n×k. Dot-product form: both
+/// operand rows are contiguous, ideal for the FC backward-weight pass.
+fn gemm_nt(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            c[i * n + j] += alpha * acc;
+        }
+    }
+}
+
+/// C += alpha * Aᵀ * B where A is stored k×m, B is k×n.
+fn gemm_tn(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for i in 0..m {
+            let a_pi = alpha * a_row[i];
+            if a_pi == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += a_pi * bv;
+            }
+        }
+    }
+}
+
+/// C += alpha * Aᵀ * Bᵀ where A is k×m, B is n×k.
+fn gemm_tt(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[p * m + i] * b[j * k + p];
+            }
+            c[i * n + j] += alpha * acc;
+        }
+    }
+}
+
+/// `y += alpha * x`, elementwise.
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yv, &xv) in y.iter_mut().zip(x) {
+        *yv += alpha * xv;
+    }
+}
+
+/// Index of the maximum element, first on ties. Panics on empty input.
+pub fn argmax(x: &[f32]) -> usize {
+    assert!(!x.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &v) in x.iter().enumerate().skip(1) {
+        if v > x[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Numerically-stable in-place softmax over a single row.
+pub fn softmax_inplace(x: &mut [f32]) {
+    if x.is_empty() {
+        return;
+    }
+    let max = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in x.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    let inv = 1.0 / sum;
+    for v in x.iter_mut() {
+        *v *= inv;
+    }
+}
+
+/// Numerically-stable in-place log-softmax over a single row.
+pub fn log_softmax_inplace(x: &mut [f32]) {
+    if x.is_empty() {
+        return;
+    }
+    let max = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let logsum = x.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
+    for v in x.iter_mut() {
+        *v -= logsum;
+    }
+}
+
+/// Dot product.
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(&a, &b)| a * b).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive triple loop used as the reference implementation.
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_ref(
+        ta: bool,
+        tb: bool,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f32,
+        a: &[f32],
+        b: &[f32],
+        beta: f32,
+        c: &mut [f32],
+    ) {
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    let av = if ta { a[p * m + i] } else { a[i * k + p] };
+                    let bv = if tb { b[j * k + p] } else { b[p * n + j] };
+                    acc += av * bv;
+                }
+                c[i * n + j] = alpha * acc + beta * c[i * n + j];
+            }
+        }
+    }
+
+    fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    fn check_variant(ta: bool, tb: bool, m: usize, n: usize, k: usize) {
+        let a = rand_vec(m * k, 1);
+        let b = rand_vec(k * n, 2);
+        let c0 = rand_vec(m * n, 3);
+        let mut c_fast = c0.clone();
+        let mut c_ref = c0;
+        gemm(ta, tb, m, n, k, 0.7, &a, &b, 0.3, &mut c_fast);
+        gemm_ref(ta, tb, m, n, k, 0.7, &a, &b, 0.3, &mut c_ref);
+        for (f, r) in c_fast.iter().zip(&c_ref) {
+            assert!((f - r).abs() < 1e-4, "gemm({ta},{tb}) mismatch: {f} vs {r}");
+        }
+    }
+
+    #[test]
+    fn gemm_nn_matches_reference() {
+        check_variant(false, false, 7, 9, 13);
+        check_variant(false, false, 65, 70, 130); // exercise blocking
+    }
+
+    #[test]
+    fn gemm_nt_matches_reference() {
+        check_variant(false, true, 7, 9, 13);
+    }
+
+    #[test]
+    fn gemm_tn_matches_reference() {
+        check_variant(true, false, 7, 9, 13);
+    }
+
+    #[test]
+    fn gemm_tt_matches_reference() {
+        check_variant(true, true, 7, 9, 13);
+    }
+
+    #[test]
+    fn gemm_beta_zero_overwrites_garbage() {
+        // beta = 0 must work even if C holds NaN.
+        let a = vec![1.0f32; 4];
+        let b = vec![1.0f32; 4];
+        let mut c = vec![f32::NAN; 4];
+        gemm(false, false, 2, 2, 2, 1.0, &a, &b, 0.0, &mut c);
+        assert!(c.iter().all(|&x| x == 2.0));
+    }
+
+    #[test]
+    fn gemm_alpha_zero_scales_only() {
+        let a = vec![1.0f32; 4];
+        let b = vec![1.0f32; 4];
+        let mut c = vec![2.0f32; 4];
+        gemm(false, false, 2, 2, 2, 0.0, &a, &b, 0.5, &mut c);
+        assert!(c.iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = vec![1.0, 2.0];
+        let mut y = vec![10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![12.0, 24.0]);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 0.0]), 1);
+        assert_eq!(argmax(&[5.0]), 0);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let mut x = vec![1000.0, 1001.0, 1002.0];
+        softmax_inplace(&mut x);
+        let s: f32 = x.iter().sum();
+        assert!((s - 1.0).abs() < 1e-5);
+        assert!(x.iter().all(|&v| v.is_finite() && v > 0.0));
+        assert!(x[2] > x[1] && x[1] > x[0]);
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let x0 = vec![0.3f32, -1.2, 2.0, 0.0];
+        let mut sm = x0.clone();
+        softmax_inplace(&mut sm);
+        let mut lsm = x0;
+        log_softmax_inplace(&mut lsm);
+        for (s, l) in sm.iter().zip(&lsm) {
+            assert!((s.ln() - l).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn empty_softmax_is_noop() {
+        let mut x: Vec<f32> = vec![];
+        softmax_inplace(&mut x);
+        log_softmax_inplace(&mut x);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the tensor substrate: algebraic identities
+//! that must hold for arbitrary shapes and data.
+
+use proptest::prelude::*;
+use tensor::conv::{col2im, conv2d_forward, im2col, Conv2dSpec};
+use tensor::ops::{gemm, log_softmax_inplace, softmax_inplace};
+use tensor::Tensor;
+
+fn rand_tensor(dims: &[usize], seed: u64) -> Tensor {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    tensor::init::uniform(&mut rng, dims, -2.0, 2.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (A·B)ᵀ == Bᵀ·Aᵀ — exercised through the transpose flags of `gemm`.
+    #[test]
+    fn gemm_transpose_identity(
+        m in 1usize..8, k in 1usize..8, n in 1usize..8, seed in 0u64..10_000
+    ) {
+        let a = rand_tensor(&[m, k], seed);
+        let b = rand_tensor(&[k, n], seed ^ 1);
+        // C1 = A·B (m×n).
+        let mut c1 = vec![0.0f32; m * n];
+        gemm(false, false, m, n, k, 1.0, a.data(), b.data(), 0.0, &mut c1);
+        // C2 = Bᵀ·Aᵀ computed as gemm(ta=true, tb=true) with operands
+        // stored row-major: result is (n×m), compare transposed.
+        let mut c2 = vec![0.0f32; n * m];
+        gemm(true, true, n, m, k, 1.0, b.data(), a.data(), 0.0, &mut c2);
+        for i in 0..m {
+            for j in 0..n {
+                let x = c1[i * n + j];
+                let y = c2[j * m + i];
+                prop_assert!((x - y).abs() < 1e-3, "({i},{j}): {x} vs {y}");
+            }
+        }
+    }
+
+    /// GEMM with alpha scales linearly: gemm(αA,B) == α·gemm(A,B).
+    #[test]
+    fn gemm_alpha_linearity(
+        m in 1usize..6, k in 1usize..6, n in 1usize..6,
+        alpha in -3.0f32..3.0, seed in 0u64..10_000
+    ) {
+        let a = rand_tensor(&[m, k], seed);
+        let b = rand_tensor(&[k, n], seed ^ 2);
+        let mut c1 = vec![0.0f32; m * n];
+        gemm(false, false, m, n, k, alpha, a.data(), b.data(), 0.0, &mut c1);
+        let mut c2 = vec![0.0f32; m * n];
+        gemm(false, false, m, n, k, 1.0, a.data(), b.data(), 0.0, &mut c2);
+        for (x, y) in c1.iter().zip(&c2) {
+            prop_assert!((x - alpha * y).abs() < 1e-3);
+        }
+    }
+
+    /// col2im is the exact adjoint of im2col: ⟨im2col(x), y⟩ == ⟨x, col2im(y)⟩
+    /// for random conv geometries (the property that makes the conv
+    /// backward pass correct).
+    #[test]
+    fn im2col_adjoint_property(
+        in_c in 1usize..3, size in 3usize..7, k in 1usize..4,
+        stride in 1usize..3, pad in 0usize..2, seed in 0u64..10_000
+    ) {
+        prop_assume!(size + 2 * pad >= k);
+        let spec = Conv2dSpec {
+            in_c,
+            out_c: 1,
+            in_h: size,
+            in_w: size,
+            kh: k,
+            kw: k,
+            stride,
+            pad,
+        };
+        let x = rand_tensor(&[in_c * size * size], seed);
+        let cols = spec.col_rows() * spec.col_cols();
+        let y = rand_tensor(&[cols], seed ^ 3);
+        let mut col = vec![0.0f32; cols];
+        im2col(&spec, x.data(), &mut col);
+        let lhs: f64 = col.iter().zip(y.data()).map(|(&a, &b)| (a * b) as f64).sum();
+        let mut back = vec![0.0f32; x.numel()];
+        col2im(&spec, y.data(), &mut back);
+        let rhs: f64 = x.data().iter().zip(&back).map(|(&a, &b)| (a * b) as f64).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
+    }
+
+    /// Convolving with a 1×1 identity kernel (single in/out channel) is
+    /// the identity map for any stride-1 geometry.
+    #[test]
+    fn conv_identity_kernel(size in 2usize..8, seed in 0u64..10_000) {
+        let spec = Conv2dSpec {
+            in_c: 1,
+            out_c: 1,
+            in_h: size,
+            in_w: size,
+            kh: 1,
+            kw: 1,
+            stride: 1,
+            pad: 0,
+        };
+        let x = rand_tensor(&[1, 1, size, size], seed);
+        let w = Tensor::ones(&[1, 1, 1, 1]);
+        let mut out = Tensor::zeros(&[1, 1, size, size]);
+        let mut scratch = Vec::new();
+        conv2d_forward(&spec, &x, &w, None, &mut out, &mut scratch);
+        for (a, b) in out.data().iter().zip(x.data()) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    /// softmax ∘ log == exp-normalization consistency: softmax equals
+    /// exp(log_softmax) elementwise.
+    #[test]
+    fn softmax_exp_log_consistency(len in 1usize..16, seed in 0u64..10_000) {
+        let x = rand_tensor(&[len], seed);
+        let mut sm = x.data().to_vec();
+        softmax_inplace(&mut sm);
+        let mut lsm = x.data().to_vec();
+        log_softmax_inplace(&mut lsm);
+        for (s, l) in sm.iter().zip(&lsm) {
+            prop_assert!((s - l.exp()).abs() < 1e-4);
+        }
+    }
+
+    /// Tensor reshape round-trips and preserves the flat data.
+    #[test]
+    fn reshape_roundtrip(a in 1usize..6, b in 1usize..6, c in 1usize..6, seed in 0u64..10_000) {
+        let t = rand_tensor(&[a, b, c], seed);
+        let flat = t.reshaped(&[a * b * c]);
+        let back = flat.reshaped(&[a, b, c]);
+        prop_assert_eq!(back.data(), t.data());
+        prop_assert_eq!(back.dims(), t.dims());
+    }
+
+    /// matmul against the identity is the identity (both sides).
+    #[test]
+    fn matmul_identity_both_sides(n in 1usize..8, seed in 0u64..10_000) {
+        let a = rand_tensor(&[n, n], seed);
+        let i = Tensor::eye(n);
+        let right = a.matmul(&i);
+        let left = i.matmul(&a);
+        for ((r, l), orig) in right.data().iter().zip(left.data()).zip(a.data()) {
+            prop_assert!((r - orig).abs() < 1e-4);
+            prop_assert!((l - orig).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! The complete DNN-MCTS training pipeline (Algorithm 1): iterate
+//! tree-based-search data collection and SGD training.
+//!
+//! * [`replay`] — the dataset of `(state, π, z)` tuples produced by
+//!   self-play (Algorithm 1 line 12) and sampled for SGD (line 14);
+//! * [`selfplay`] — one episode of move-by-move search and play,
+//!   generating training samples with game outcomes as ground truth;
+//! * [`pipeline`] — the outer loop combining both stages, measuring the
+//!   training throughput (processed samples/second, §5.4) and the loss
+//!   over wall-clock time (§5.5);
+//! * [`metrics`] — loss-curve and throughput recording, CSV export;
+//! * [`arena`] — head-to-head matches between agents (strength checks).
+
+pub mod arena;
+pub mod augment;
+pub mod metrics;
+pub mod overlap;
+pub mod pipeline;
+pub mod replay;
+pub mod selfplay;
+
+pub use arena::{elo_diff, play_match, EloTracker, MatchResult};
+pub use augment::push_augmented;
+pub use metrics::{LossPoint, LossRecorder, ThroughputMeter};
+pub use overlap::{run_overlapped, OverlapReport};
+pub use pipeline::{Pipeline, PipelineConfig, PipelineReport};
+pub use replay::{ReplayBuffer, Sample};
+pub use selfplay::{play_episode, EpisodeOutcome};

@@ -1,0 +1,348 @@
+//! The outer training loop (Algorithm 1): alternate self-play data
+//! collection with SGD updates, measuring throughput and loss over time.
+
+use crate::metrics::{LossRecorder, ThroughputMeter};
+use crate::replay::ReplayBuffer;
+use crate::selfplay::play_episode;
+use games::Game;
+use mcts::{Evaluator, MctsConfig, NnEvaluator, Scheme};
+use nn::{LrSchedule, Optimizer, PolicyValueNet, Sgd};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration of a training run.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Self-play episodes (Algorithm 1 line 2).
+    pub episodes: usize,
+    /// SGD iterations per episode (line 13).
+    pub sgd_iters: usize,
+    /// SGD mini-batch size (line 14).
+    pub batch_size: usize,
+    /// Learning rate, momentum, L2 weight decay.
+    pub lr: f32,
+    pub momentum: f32,
+    pub weight_decay: f32,
+    /// Replay-buffer capacity in samples.
+    pub replay_capacity: usize,
+    /// Moves played with temperature 1.0 before turning greedy.
+    pub temperature_moves: usize,
+    /// Hard cap on episode length.
+    pub max_moves: usize,
+    /// Parallel scheme used for the tree-based search stage.
+    pub scheme: Scheme,
+    /// Search hyper-parameters.
+    pub mcts: MctsConfig,
+    /// RNG seed (self-play sampling + batch sampling).
+    pub seed: u64,
+    /// Learning-rate schedule applied per episode (None ⇒ constant `lr`).
+    pub lr_schedule: Option<LrSchedule>,
+    /// Model training as overlapped with search (GPU-offloaded trainer,
+    /// §5.4) rather than serialized (CPU trainer).
+    pub overlapped_training: bool,
+    /// Expand every sample into its 8 dihedral board symmetries before
+    /// storing (AlphaGo-Zero-style augmentation). Requires a square board
+    /// encoding.
+    pub augment_symmetries: bool,
+}
+
+impl PipelineConfig {
+    /// Small smoke-test configuration for a given scheme.
+    pub fn smoke(scheme: Scheme, workers: usize) -> Self {
+        PipelineConfig {
+            episodes: 2,
+            sgd_iters: 4,
+            batch_size: 16,
+            lr: 2e-3,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            replay_capacity: 4096,
+            temperature_moves: 4,
+            max_moves: 60,
+            scheme,
+            mcts: MctsConfig {
+                playouts: 32,
+                workers,
+                ..Default::default()
+            },
+            seed: 17,
+            lr_schedule: None,
+            overlapped_training: false,
+            augment_symmetries: false,
+        }
+    }
+}
+
+/// Summary of a completed run.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Processed samples per second (paper §5.4 metric).
+    pub samples_per_sec: f64,
+    /// Total samples generated.
+    pub samples: u64,
+    /// Episodes played.
+    pub episodes: usize,
+    /// Final smoothed loss (mean of the last few updates).
+    pub final_loss: Option<f32>,
+    /// Full loss curve (Figure 7 data).
+    pub loss_curve: Vec<crate::metrics::LossPoint>,
+    /// Total time in tree-based search, ns.
+    pub search_ns: u64,
+    /// Total time in SGD training, ns.
+    pub train_ns: u64,
+}
+
+type EvaluatorFactory = Box<dyn Fn(Arc<PolicyValueNet>) -> Arc<dyn Evaluator>>;
+
+/// The training pipeline for one game type.
+pub struct Pipeline<G: Game> {
+    initial: G,
+    net: PolicyValueNet,
+    cfg: PipelineConfig,
+    replay: ReplayBuffer,
+    recorder: LossRecorder,
+    meter: ThroughputMeter,
+    rng: StdRng,
+    optimizer: Sgd,
+    evaluator_factory: EvaluatorFactory,
+    episodes_run: u64,
+}
+
+impl<G: Game> Pipeline<G> {
+    /// Create a pipeline training `net` by self-play from `initial`.
+    pub fn new(initial: G, net: PolicyValueNet, cfg: PipelineConfig) -> Self {
+        assert_eq!(
+            net.config.actions,
+            initial.action_space(),
+            "network action space must match the game"
+        );
+        if cfg.augment_symmetries {
+            let (_, h, w) = initial.encoded_shape();
+            assert_eq!(h, w, "symmetry augmentation requires a square board");
+        }
+        let optimizer = Sgd::new(&net.params(), cfg.lr, cfg.momentum, cfg.weight_decay);
+        Pipeline {
+            replay: ReplayBuffer::new(
+                cfg.replay_capacity,
+                initial.encoded_len(),
+                initial.action_space(),
+            ),
+            recorder: LossRecorder::new(),
+            meter: ThroughputMeter {
+                overlapped: cfg.overlapped_training,
+                ..Default::default()
+            },
+            rng: StdRng::seed_from_u64(cfg.seed),
+            optimizer,
+            evaluator_factory: Box::new(|net| Arc::new(NnEvaluator::new(net))),
+            episodes_run: 0,
+            initial,
+            net,
+            cfg,
+        }
+    }
+
+    /// Replace how search evaluators are built from network snapshots
+    /// (e.g. to route inference through an `accel::Device`).
+    pub fn set_evaluator_factory(
+        &mut self,
+        f: impl Fn(Arc<PolicyValueNet>) -> Arc<dyn Evaluator> + 'static,
+    ) {
+        self.evaluator_factory = Box::new(f);
+    }
+
+    /// The current network.
+    pub fn net(&self) -> &PolicyValueNet {
+        &self.net
+    }
+
+    /// The replay buffer (for inspection).
+    pub fn replay(&self) -> &ReplayBuffer {
+        &self.replay
+    }
+
+    /// Run the configured number of episodes; returns the report.
+    pub fn run(&mut self) -> PipelineReport {
+        for _ in 0..self.cfg.episodes {
+            self.run_episode();
+        }
+        self.report()
+    }
+
+    /// One data-collection episode followed by SGD updates.
+    pub fn run_episode(&mut self) {
+        // Apply the learning-rate schedule per episode.
+        if let Some(schedule) = self.cfg.lr_schedule {
+            self.optimizer.set_lr(schedule.at(self.episodes_run));
+        }
+        self.episodes_run += 1;
+        // --- Tree-based search stage (Algorithm 1, lines 3-12). ---
+        // The search uses a frozen snapshot of the current network.
+        let snapshot = Arc::new(self.net.clone());
+        let evaluator = (self.evaluator_factory)(snapshot);
+        let mut search = self.cfg.scheme.build::<G>(self.cfg.mcts, evaluator);
+        let outcome = play_episode(
+            &self.initial,
+            search.as_mut(),
+            self.cfg.temperature_moves,
+            self.cfg.max_moves,
+            &mut self.rng,
+        );
+        self.meter.samples += outcome.moves as u64;
+        self.meter.search_ns += outcome.search_stats.move_ns;
+        let (channels, board, _) = self.initial.encoded_shape();
+        for s in outcome.samples {
+            if self.cfg.augment_symmetries {
+                crate::augment::push_augmented(&mut self.replay, &s, channels, board);
+            } else {
+                self.replay.push(s);
+            }
+        }
+
+        // --- DNN training stage (lines 13-15). ---
+        if self.replay.len() < self.cfg.batch_size.min(8) {
+            return;
+        }
+        let t0 = Instant::now();
+        let c = self.net.config;
+        let mut grads = self.net.grad_buffers();
+        for _ in 0..self.cfg.sgd_iters {
+            let k = self.cfg.batch_size.min(self.replay.len());
+            let (states, pis, zs) = self.replay.sample_batch(&mut self.rng, k);
+            let x = states.reshape(&[k, c.in_c, c.h, c.w]);
+            grads.zero();
+            let caches = self.net.forward_train(&x);
+            let parts = self.net.backward(&caches, &pis, &zs, &mut grads);
+            let flat = grads.flat();
+            self.optimizer.step(&mut self.net.params_mut(), &flat);
+            self.recorder.record(parts);
+        }
+        self.meter.train_ns += t0.elapsed().as_nanos() as u64;
+    }
+
+    /// Build the final report.
+    pub fn report(&self) -> PipelineReport {
+        PipelineReport {
+            samples_per_sec: self.meter.samples_per_sec(),
+            samples: self.meter.samples,
+            episodes: self.cfg.episodes,
+            final_loss: self.recorder.recent_mean(5),
+            loss_curve: self.recorder.points().to_vec(),
+            search_ns: self.meter.search_ns,
+            train_ns: self.meter.train_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use games::tictactoe::TicTacToe;
+    use nn::NetConfig;
+
+    fn tiny_pipeline(scheme: Scheme, workers: usize) -> Pipeline<TicTacToe> {
+        let net = PolicyValueNet::new(NetConfig::tiny(4, 3, 3, 9), 11);
+        Pipeline::new(TicTacToe::new(), net, PipelineConfig::smoke(scheme, workers))
+    }
+
+    #[test]
+    fn serial_pipeline_produces_samples_and_losses() {
+        let mut p = tiny_pipeline(Scheme::Serial, 1);
+        let report = p.run();
+        assert!(report.samples >= 10, "samples {}", report.samples);
+        assert!(!report.loss_curve.is_empty());
+        assert!(report.samples_per_sec > 0.0);
+        assert!(report.final_loss.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn parallel_schemes_also_train() {
+        for scheme in [Scheme::LocalTree, Scheme::SharedTree] {
+            let mut p = tiny_pipeline(scheme, 2);
+            let report = p.run();
+            assert!(report.samples > 0, "{scheme}: no samples");
+            assert!(!report.loss_curve.is_empty(), "{scheme}: no training");
+        }
+    }
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let net = PolicyValueNet::new(NetConfig::tiny(4, 3, 3, 9), 12);
+        let mut cfg = PipelineConfig::smoke(Scheme::Serial, 1);
+        cfg.episodes = 8;
+        cfg.sgd_iters = 12;
+        cfg.lr = 5e-3;
+        let mut p = Pipeline::new(TicTacToe::new(), net, cfg);
+        let report = p.run();
+        let curve = &report.loss_curve;
+        assert!(curve.len() >= 20);
+        let head: f32 =
+            curve[..5].iter().map(|p| p.total).sum::<f32>() / 5.0;
+        let tail: f32 =
+            curve[curve.len() - 5..].iter().map(|p| p.total).sum::<f32>() / 5.0;
+        assert!(
+            tail < head,
+            "loss should trend down: head {head}, tail {tail}"
+        );
+    }
+
+    #[test]
+    fn replay_buffer_fills_up() {
+        let mut p = tiny_pipeline(Scheme::Serial, 1);
+        p.run();
+        assert!(!p.replay().is_empty());
+        assert_eq!(p.replay().total_pushed(), p.report().samples);
+    }
+
+    #[test]
+    fn report_timings_are_consistent() {
+        let mut p = tiny_pipeline(Scheme::Serial, 1);
+        let report = p.run();
+        assert!(report.search_ns > 0);
+        assert!(report.train_ns > 0);
+    }
+
+    #[test]
+    fn lr_schedule_is_applied_per_episode() {
+        let net = PolicyValueNet::new(NetConfig::tiny(4, 3, 3, 9), 13);
+        let mut cfg = PipelineConfig::smoke(Scheme::Serial, 1);
+        cfg.episodes = 4;
+        cfg.lr_schedule = Some(LrSchedule::StepDecay {
+            base: 0.01,
+            factor: 0.1,
+            every: 2,
+            min: 1e-5,
+        });
+        let mut p = Pipeline::new(TicTacToe::new(), net, cfg);
+        p.run_episode();
+        assert!((p.optimizer.lr() - 0.01).abs() < 1e-9);
+        p.run_episode();
+        p.run_episode();
+        assert!((p.optimizer.lr() - 0.001).abs() < 1e-9, "lr {}", p.optimizer.lr());
+    }
+
+    #[test]
+    fn augmentation_multiplies_replay_samples() {
+        let net = PolicyValueNet::new(NetConfig::tiny(4, 3, 3, 9), 14);
+        let mut cfg = PipelineConfig::smoke(Scheme::Serial, 1);
+        cfg.episodes = 1;
+        cfg.augment_symmetries = true;
+        let mut p = Pipeline::new(TicTacToe::new(), net, cfg);
+        let report = p.run();
+        // Every move contributes 8 stored samples; `samples` counts moves.
+        assert_eq!(p.replay().total_pushed(), 8 * report.samples);
+    }
+
+    #[test]
+    #[should_panic(expected = "action space")]
+    fn mismatched_network_rejected() {
+        let net = PolicyValueNet::new(NetConfig::tiny(4, 4, 4, 16), 1);
+        let _ = Pipeline::new(
+            TicTacToe::new(),
+            net,
+            PipelineConfig::smoke(Scheme::Serial, 1),
+        );
+    }
+}

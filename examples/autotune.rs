@@ -1,0 +1,71 @@
+//! The design-configuration workflow end to end (§4.2): profile the host,
+//! pick a scheme per worker count, and tune the accelerator batch size
+//! with Algorithm 4 — then verify the tuned batch against a real device.
+//!
+//! Run: `cargo run --release --example autotune`
+
+use adaptive_dnn_mcts::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let game = Gomoku::new(7, 4);
+    let net = Arc::new(PolicyValueNet::new(NetConfig::tiny(4, 7, 7, 49), 5));
+
+    // 1. Design-time profiling on this host.
+    println!("profiling host (synthetic tree + random-weight DNN)...");
+    let accel_model = LatencyModel::a6000_like(4 * 7 * 7 * 4);
+    let configurator =
+        DesignConfigurator::profile(&net, game.action_space(), 8, 3_000, Some(accel_model));
+    let c = &configurator.costs;
+    println!(
+        "  T_select {:.2} µs   T_backup {:.2} µs   T_ddr {:.0} ns   T_dnn {:.1} µs\n",
+        c.t_select_ns / 1000.0,
+        c.t_backup_ns / 1000.0,
+        c.t_shared_access_ns,
+        c.t_dnn_cpu_ns / 1000.0
+    );
+
+    // 2. Scheme choice per worker count, CPU-only and CPU-GPU.
+    println!("scheme selection across worker counts:");
+    println!("{:>6} {:>16} {:>22}", "N", "CPU-only", "CPU-GPU (batch B*)");
+    for n in [2usize, 4, 8, 16, 32, 64] {
+        let cpu = configurator.configure(Platform::CpuOnly, n);
+        let gpu = configurator.configure(Platform::CpuGpu, n);
+        println!(
+            "{n:>6} {:>16} {:>18} B*={}",
+            cpu.scheme.name(),
+            gpu.scheme.name(),
+            gpu.batch.unwrap_or(n)
+        );
+    }
+
+    // 3. Live batch-size tuning against a real (simulated-latency) device:
+    //    the oracle is an actual timed `get_action_prior` run, exactly the
+    //    paper's "Test Run" in Algorithm 4.
+    let workers = 4;
+    println!("\nlive Algorithm-4 tuning at N={workers} against a real device:");
+    let (bstar, evals) = configurator.tune_batch_live(workers, |b| {
+        let device = Arc::new(Device::new(
+            Arc::clone(&net),
+            DeviceConfig {
+                batch_size: b,
+                flush_timeout: std::time::Duration::from_micros(500),
+                latency: accel_model,
+                inject_transfer_latency: true,
+                streams: 1,
+            },
+        ));
+        let eval = Arc::new(AccelEvaluator::new(device));
+        let cfg = MctsConfig {
+            playouts: 96,
+            workers,
+            ..Default::default()
+        };
+        let mut search = AdaptiveSearch::<Gomoku>::new(Scheme::LocalTree, cfg, eval);
+        let t0 = Instant::now();
+        let _ = search.search(&game);
+        t0.elapsed().as_nanos() as f64
+    });
+    println!("  tuned B* = {bstar} using {evals} test runs (exhaustive would need {workers})");
+}

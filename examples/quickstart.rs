@@ -1,0 +1,64 @@
+//! Quickstart: search one Gomoku move with each parallel scheme and with
+//! the adaptive choice from the performance model.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use adaptive_dnn_mcts::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // The paper's benchmark game at a laptop-friendly scale.
+    let mut game = Gomoku::new(9, 5);
+    // A random-weights policy-value network of the right shape (in real
+    // training the weights come from the self-play pipeline).
+    let net = Arc::new(PolicyValueNet::new(
+        NetConfig::for_board(4, 9, 9, 81),
+        2024,
+    ));
+    // Put two stones down so the position isn't empty.
+    game.apply(game.rc_to_action(4, 4));
+    game.apply(game.rc_to_action(4, 5));
+
+    let workers = 4;
+    let cfg = MctsConfig {
+        playouts: 256,
+        workers,
+        ..Default::default()
+    };
+
+    println!("searching one move with each scheme ({workers} workers, {} playouts):\n", cfg.playouts);
+    for scheme in [Scheme::Serial, Scheme::SharedTree, Scheme::LocalTree] {
+        let eval = Arc::new(NnEvaluator::new(Arc::clone(&net)));
+        let mut search = AdaptiveSearch::<Gomoku>::new(scheme, cfg, eval);
+        let result = search.search(&game);
+        let (r, c) = game.action_to_rc(result.best_action());
+        println!(
+            "{:>12}: best move ({r},{c})  value {:+.3}  {:.1} µs/iteration  {} tree nodes",
+            scheme.name(),
+            result.value,
+            result.stats.amortized_iteration_ns() / 1000.0,
+            result.stats.nodes,
+        );
+    }
+
+    // Let the design-configuration workflow choose (profiling this host).
+    println!("\nrunning the design-configuration workflow (profiles this host)...");
+    let configurator =
+        DesignConfigurator::profile(&net, game.action_space(), 8, 2_000, None);
+    let choice = configurator.configure(Platform::CpuOnly, workers);
+    println!(
+        "model chose {} (predicted local {:.1} µs vs shared {:.1} µs per iteration)",
+        choice.scheme,
+        choice.predicted_local_ns / 1000.0,
+        choice.predicted_shared_ns / 1000.0
+    );
+
+    let eval = Arc::new(NnEvaluator::new(net));
+    let mut adaptive = AdaptiveSearch::<Gomoku>::new(choice.scheme, cfg, eval);
+    let result = adaptive.search(&game);
+    let (r, c) = game.action_to_rc(result.best_action());
+    println!(
+        "adaptive search proposes ({r},{c}) with root value {:+.3}",
+        result.value
+    );
+}

@@ -1,0 +1,48 @@
+//! Sensitivity analysis of the scheme choice (Eqs. 3–6): how far can each
+//! profiled parameter drift before the model flips between the local and
+//! shared tree?
+//!
+//! Run: `cargo run --release --example sensitivity`
+
+use adaptive_dnn_mcts::prelude::*;
+use perfmodel::sensitivity::format_table;
+
+fn main() {
+    // Paper-like profiled costs: microsecond-scale in-tree work, a
+    // millisecond-scale CPU inference, an A6000-like accelerator.
+    let base = PerfParams {
+        workers: 32,
+        t_select_ns: 20_000.0,
+        t_backup_ns: 10_000.0,
+        t_shared_access_ns: 1_500.0,
+        t_dnn_cpu_ns: 1_200_000.0,
+        accel: Some(LatencyModel::a6000_like(4 * 15 * 15 * 4)),
+    };
+    let factors = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
+
+    for (platform, label) in [
+        (Platform::CpuOnly, "CPU-only"),
+        (Platform::CpuGpu, "CPU-GPU"),
+    ] {
+        println!("=== {label} platform, N = {} workers ===\n", base.workers);
+        for param in [
+            SweepParam::DnnCpu,
+            SweepParam::InTree,
+            SweepParam::SharedAccess,
+        ] {
+            let pts = sweep(platform, &base, param, &factors);
+            println!("{}", format_table(param, &pts));
+        }
+    }
+
+    println!("=== worker-count crossover (CPU-only) ===\n");
+    for dnn_scale in [0.5, 1.0, 2.0, 4.0] {
+        let p = SweepParam::DnnCpu.scaled(&base, dnn_scale);
+        match crossover_workers(Platform::CpuOnly, &p, 512) {
+            Some(n) => println!(
+                "T_dnn x{dnn_scale:<4}: shared tree first wins at N = {n}"
+            ),
+            None => println!("T_dnn x{dnn_scale:<4}: local tree wins for all N <= 512"),
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! # Adaptive-parallel DNN-guided MCTS
+//!
+//! A full Rust reproduction of *"Accelerating Deep Neural Network guided
+//! MCTS using Adaptive Parallelism"* (Meng, Wang, Zu, Prasanna — SC 2023).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`games`] — board-game environments (Gomoku 15×15 is the paper's
+//!   benchmark; TicTacToe/Connect-Four for fast tests);
+//! * [`tensor`] / [`nn`] — the from-scratch DNN substrate (the paper's
+//!   5-conv/3-FC policy-value network, loss, optimizers);
+//! * [`accel`] — the simulated inference accelerator with batched request
+//!   queues and a PCIe/kernel-launch latency model;
+//! * [`mcts`] — the core contribution: shared-tree and local-tree
+//!   tree-parallel search, the serial/leaf/root baselines, and the
+//!   adaptive dispatch template;
+//! * [`perfmodel`] — performance models (Eqs. 3–6), design-time profiler,
+//!   Algorithm-4 batch-size search, and the timeline simulator;
+//! * [`train`] — the self-play + SGD training pipeline with throughput
+//!   and loss-curve metrics.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use adaptive_dnn_mcts::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // 1. A game and a (random-weights) policy-value network.
+//! let game = Gomoku::new(7, 4);
+//! let net = Arc::new(PolicyValueNet::new(NetConfig::tiny(4, 7, 7, 49), 0));
+//!
+//! // 2. Let the performance model pick the parallel scheme for 4 workers.
+//! let costs = perfmodel::profiler::ProfiledCosts {
+//!     t_select_ns: 2_000.0,
+//!     t_backup_ns: 1_000.0,
+//!     t_shared_access_ns: 300.0,
+//!     t_dnn_cpu_ns: 400_000.0,
+//! };
+//! let configurator = DesignConfigurator::new(costs, None);
+//! let choice = configurator.configure(Platform::CpuOnly, 4);
+//!
+//! // 3. Build the selected scheme and search one move.
+//! let cfg = MctsConfig { playouts: 64, workers: 4, ..Default::default() };
+//! let eval = Arc::new(NnEvaluator::new(net));
+//! let mut search = AdaptiveSearch::<Gomoku>::new(choice.scheme, cfg, eval);
+//! let result = search.search(&game);
+//! assert_eq!(result.stats.playouts, 64);
+//! ```
+
+pub use accel;
+pub use games;
+pub use mcts;
+pub use nn;
+pub use perfmodel;
+pub use tensor;
+pub use train;
+
+/// Commonly-used items, one import away.
+pub mod prelude {
+    pub use accel::{BatchModel, Device, DeviceConfig, LatencyModel};
+    pub use games::connect4::Connect4;
+    pub use games::gomoku::Gomoku;
+    pub use games::hex::Hex;
+    pub use games::othello::Othello;
+    pub use games::symmetry::Symmetry;
+    pub use games::synthetic::SyntheticGame;
+    pub use games::tictactoe::TicTacToe;
+    pub use games::{Action, Game, Player, Status};
+    pub use mcts::{
+        AccelEvaluator, AdaptiveSearch, Evaluator, LockKind, MctsConfig, NnEvaluator,
+        ReusableSearch, Scheme, SearchResult, SearchScheme, SearchStats, SpeculativeSearch,
+        UniformEvaluator, VirtualLoss,
+    };
+    pub use nn::resnet::{ResNetConfig, ResNetPolicyValueNet};
+    pub use nn::{NetConfig, PolicyValueNet};
+    pub use perfmodel::{
+        self, crossover_workers, sweep, DesignChoice, DesignConfigurator, PerfParams, Platform,
+        SimParams, SweepParam,
+    };
+    pub use train::arena::{elo_diff, play_match, EloTracker, MatchResult};
+    pub use train::{Pipeline, PipelineConfig, ReplayBuffer, Sample};
+}

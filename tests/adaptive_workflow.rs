@@ -1,0 +1,118 @@
+//! The adaptive-parallelism workflow end to end: profiled costs → model
+//! prediction → scheme choice → instantiated search — including the case
+//! the paper is built around, where the best scheme flips with `N`.
+
+use adaptive_dnn_mcts::prelude::*;
+use perfmodel::profiler::ProfiledCosts;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn costs(t_dnn_ns: f64, t_in_tree_ns: f64) -> ProfiledCosts {
+    ProfiledCosts {
+        t_select_ns: t_in_tree_ns * 2.0 / 3.0,
+        t_backup_ns: t_in_tree_ns / 3.0,
+        t_shared_access_ns: 350.0,
+        t_dnn_cpu_ns: t_dnn_ns,
+    }
+}
+
+#[test]
+fn scheme_choice_flips_with_worker_count() {
+    // DNN 1.2 ms, in-tree 9 µs (paper-like magnitudes): local wins while
+    // N·(in-tree) < DNN; shared wins past the crossover.
+    let configurator = DesignConfigurator::new(costs(1_200_000.0, 9_000.0), None);
+    let small_n = configurator.configure(Platform::CpuOnly, 4);
+    let large_n = configurator.configure(Platform::CpuOnly, 512);
+    assert_eq!(small_n.scheme, Scheme::LocalTree, "DNN-bound regime");
+    assert_eq!(large_n.scheme, Scheme::SharedTree, "in-tree-bound regime");
+}
+
+#[test]
+fn chosen_scheme_is_instantiable_and_searches() {
+    let configurator = DesignConfigurator::new(costs(500_000.0, 5_000.0), None);
+    for n in [1usize, 2, 8] {
+        let choice = configurator.configure(Platform::CpuOnly, n);
+        let eval = Arc::new(UniformEvaluator::for_game(&TicTacToe::new()));
+        let cfg = MctsConfig {
+            playouts: 50,
+            workers: n,
+            ..Default::default()
+        };
+        let mut s = AdaptiveSearch::<TicTacToe>::new(choice.scheme, cfg, eval);
+        let r = s.search(&TicTacToe::new());
+        assert_eq!(r.stats.playouts, 50);
+    }
+}
+
+#[test]
+fn adaptive_choice_wins_against_misconfigured_scheme_in_real_time() {
+    // Recreate the paper's core claim at host scale: with an expensive
+    // evaluator (5 ms) the model must pick a tree-parallel scheme over
+    // serial, and a real timed run must confirm the selected parallel
+    // scheme beats the 1-worker baseline by a wide margin (evaluation
+    // overlap is real even on one core because the delayed evaluator
+    // sleeps rather than computes).
+    let configurator = DesignConfigurator::new(costs(5_000_000.0, 3_000.0), None);
+    let choice = configurator.configure(Platform::CpuOnly, 4);
+    assert_eq!(choice.scheme, Scheme::LocalTree);
+
+    let game = TicTacToe::new();
+    let run = |scheme: Scheme, workers: usize| -> f64 {
+        let eval = Arc::new(mcts::evaluator::DelayedEvaluator::new(
+            UniformEvaluator::for_game(&game),
+            Duration::from_millis(5),
+        ));
+        let cfg = MctsConfig {
+            playouts: 32,
+            workers,
+            ..Default::default()
+        };
+        let mut s = AdaptiveSearch::<TicTacToe>::new(scheme, cfg, eval);
+        let t = std::time::Instant::now();
+        let _ = s.search(&game);
+        t.elapsed().as_secs_f64()
+    };
+    let parallel = run(choice.scheme, 4);
+    let serial = run(Scheme::Serial, 1);
+    assert!(
+        parallel < 0.6 * serial,
+        "parallel scheme should overlap evaluations: {parallel:.3}s vs serial {serial:.3}s"
+    );
+}
+
+#[test]
+fn cpu_gpu_configuration_tunes_batch_with_log_probes() {
+    let accel = LatencyModel::a6000_like(4 * 15 * 15 * 4);
+    let configurator = DesignConfigurator::new(costs(1_200_000.0, 9_000.0), Some(accel));
+    for n in [16usize, 32, 64] {
+        let choice = configurator.configure(Platform::CpuGpu, n);
+        let b = choice.batch.expect("CPU-GPU choice must include a batch");
+        assert!((1..=n).contains(&b));
+        let log2n = (n as f64).log2().ceil() as usize;
+        assert!(
+            choice.tuning_evals <= 2 * log2n + 2,
+            "N={n}: {} probes exceeds O(log N)",
+            choice.tuning_evals
+        );
+    }
+}
+
+#[test]
+fn simulated_speedup_within_paper_band() {
+    // With paper-like parameters the simulated adaptive gain over the
+    // losing fixed scheme lands in the paper's band (up to 1.5× CPU-only).
+    // (The literal closed forms of Eqs. 3/5 are intentionally simpler and
+    // predict smaller margins; the timeline simulator is the figure
+    // source — see EXPERIMENTS.md.)
+    let mut best: f64 = 1.0;
+    for n in [1usize, 2, 4, 8, 16, 32, 64] {
+        let p = SimParams::paper_like(n);
+        let shared = perfmodel::sim::simulate_shared_cpu(&p).iteration_ns;
+        let local = perfmodel::sim::simulate_local_cpu(&p).iteration_ns;
+        best = best.max(shared.max(local) / shared.min(local));
+    }
+    assert!(
+        best > 1.2 && best < 2.5,
+        "adaptive speedup {best:.2} outside the paper's band"
+    );
+}

@@ -1,0 +1,118 @@
+//! Consistency between the closed-form performance models (Eqs. 3–6) and
+//! the discrete-event timeline simulator: both encode §4's analysis, so
+//! they must agree on *ordering* (which scheme wins, where the batch-size
+//! optimum lies) even though their absolute numbers differ.
+
+use adaptive_dnn_mcts::prelude::*;
+use perfmodel::model::{local_cpu_iteration_ns, local_gpu_iteration_ns, shared_cpu_iteration_ns};
+use perfmodel::sim::{simulate_local_accel, simulate_local_cpu, simulate_shared_cpu};
+use perfmodel::vsearch::find_min_vsequence;
+
+fn paper_like_perf(workers: usize) -> PerfParams {
+    PerfParams {
+        workers,
+        t_select_ns: 20_000.0,
+        t_backup_ns: 10_000.0,
+        t_shared_access_ns: 1_500.0,
+        t_dnn_cpu_ns: 1_200_000.0,
+        accel: Some(LatencyModel::a6000_like(4 * 15 * 15 * 4)),
+    }
+}
+
+#[test]
+fn cpu_scheme_ordering_agrees_at_extremes() {
+    // Small N: inference dominates → local wins in both model and sim.
+    // Large N: serial master dominates → shared wins in both.
+    for (n, expect_local) in [(2usize, true), (64, false)] {
+        let p = paper_like_perf(n);
+        let model_local = local_cpu_iteration_ns(&p);
+        let model_shared = shared_cpu_iteration_ns(&p);
+
+        let sp = SimParams::paper_like(n);
+        let sim_local = simulate_local_cpu(&sp).iteration_ns;
+        let sim_shared = simulate_shared_cpu(&sp).iteration_ns;
+
+        assert_eq!(
+            model_local < model_shared,
+            expect_local,
+            "closed form at N={n}: local {model_local} vs shared {model_shared}"
+        );
+        assert_eq!(
+            sim_local < sim_shared,
+            expect_local,
+            "simulator at N={n}: local {sim_local} vs shared {sim_shared}"
+        );
+    }
+}
+
+#[test]
+fn both_oracles_produce_v_shaped_batch_curves() {
+    // Eq. 6 and the simulator must each yield an interior batch optimum at
+    // N = 64 (the precondition for Algorithm 4). The closed-form model
+    // needs light in-tree work for the V to emerge — with in-tree·N
+    // dominating every term the curve is flat and B is irrelevant, which
+    // Eq. 6 predicts too.
+    let p = PerfParams {
+        t_select_ns: 2_000.0,
+        t_backup_ns: 1_000.0,
+        ..paper_like_perf(64)
+    };
+    let model_curve: Vec<f64> = (1..=64).map(|b| local_gpu_iteration_ns(&p, b)).collect();
+    let sp = SimParams::paper_like(64);
+    let sim_curve: Vec<f64> = (1..=64)
+        .map(|b| simulate_local_accel(&sp, b).iteration_ns)
+        .collect();
+
+    for (name, curve) in [("model", &model_curve), ("sim", &sim_curve)] {
+        let best = curve
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(
+            best > 0 && best < 63,
+            "{name}: optimum must be interior, got index {best}"
+        );
+        assert!(
+            curve[0] > curve[best] && curve[63] > curve[best],
+            "{name}: extremes must be worse than the optimum"
+        );
+    }
+}
+
+#[test]
+fn vsearch_optimum_close_to_exhaustive_on_both_oracles() {
+    let p = paper_like_perf(32);
+    let sp = SimParams::paper_like(32);
+    let oracles: [(&str, Box<dyn Fn(usize) -> f64>); 2] = [
+        ("model", Box::new(move |b| local_gpu_iteration_ns(&p, b))),
+        (
+            "sim",
+            Box::new(move |b| simulate_local_accel(&sp, b).iteration_ns),
+        ),
+    ];
+    for (name, f) in oracles {
+        let (b_star, _) = find_min_vsequence(1, 32, &f);
+        let exhaustive = (1..=32)
+            .map(&f)
+            .fold(f64::INFINITY, f64::min);
+        let found = f(b_star);
+        assert!(
+            found <= exhaustive * 1.05,
+            "{name}: vsearch B*={b_star} gives {found}, exhaustive best {exhaustive}"
+        );
+    }
+}
+
+#[test]
+fn sensitivity_sweep_consistent_with_direct_choice() {
+    // A sweep point at factor 1.0 must report exactly what choose_scheme
+    // reports for the unmodified parameters.
+    let p = paper_like_perf(16);
+    let pts = sweep(Platform::CpuOnly, &p, SweepParam::DnnCpu, &[1.0]);
+    let (scheme, local, shared) = perfmodel::choose_scheme(Platform::CpuOnly, &p);
+    assert_eq!(pts[0].chosen, scheme);
+    assert!((pts[0].local_ns - local).abs() < 1e-9);
+    assert!((pts[0].shared_ns - shared).abs() < 1e-9);
+}

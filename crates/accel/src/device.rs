@@ -57,12 +57,25 @@ impl BatchModel for ResNetPolicyValueNet {
     }
 }
 
-/// One inference request: an encoded state and a reply channel.
+/// Where the device delivers a finished evaluation.
+pub enum ReplyTo {
+    /// Dedicated single-use channel (the blocking [`Device::evaluate`] /
+    /// [`Device::submit`] path).
+    Single(Sender<EvalResponse>),
+    /// Shared completion queue: many in-flight requests from one client
+    /// funnel into one channel, distinguished by their tag. This is the
+    /// native async path ([`Device::submit_tagged`], [`DeviceClient`]).
+    Shared(Sender<TaggedResponse>),
+}
+
+/// One inference request: an encoded state and a reply route.
 pub struct EvalRequest {
     /// Flattened `[c, h, w]` network input.
     pub input: Vec<f32>,
+    /// Caller-chosen identifier echoed back with the result.
+    pub tag: u64,
     /// Where the device sends the result.
-    pub reply: Sender<EvalResponse>,
+    pub reply: ReplyTo,
     /// When the request entered the queue (drives wait-time statistics).
     pub enqueued: Instant,
 }
@@ -74,6 +87,15 @@ pub struct EvalResponse {
     pub priors: Vec<f32>,
     /// Value estimate in `[-1, 1]` for the player to move.
     pub value: f32,
+}
+
+/// A completion flowing back through a shared reply queue.
+#[derive(Debug, Clone)]
+pub struct TaggedResponse {
+    /// The tag passed to [`Device::submit_tagged`].
+    pub tag: u64,
+    /// The evaluation result.
+    pub response: EvalResponse,
 }
 
 /// Device configuration.
@@ -221,16 +243,39 @@ impl Device {
         self.tx
             .send(EvalRequest {
                 input,
-                reply: reply_tx,
+                tag: 0,
+                reply: ReplyTo::Single(reply_tx),
                 enqueued: Instant::now(),
             })
             .expect("device thread alive");
         reply_rx
     }
 
+    /// Enqueue a request without blocking and without a dedicated reply
+    /// channel: the completion is delivered as a [`TaggedResponse`] on
+    /// `reply`. One submitting thread can keep arbitrarily many requests
+    /// in flight and drain completions in arrival order — the paper's
+    /// §3.3 queue discipline without a blocked OS thread per request.
+    pub fn submit_tagged(&self, tag: u64, input: Vec<f32>, reply: &Sender<TaggedResponse>) {
+        assert_eq!(input.len(), self.input_len, "input length mismatch");
+        self.tx
+            .send(EvalRequest {
+                input,
+                tag,
+                reply: ReplyTo::Shared(reply.clone()),
+                enqueued: Instant::now(),
+            })
+            .expect("device thread alive");
+    }
+
     /// Submit and block for the result (convenience for worker threads).
     pub fn evaluate(&self, input: Vec<f32>) -> EvalResponse {
         self.submit(input).recv().expect("device reply")
+    }
+
+    /// Open an async submit/poll handle on this device.
+    pub fn client(self: &Arc<Self>) -> DeviceClient {
+        DeviceClient::new(Arc::clone(self))
     }
 
     /// Current batch-assembly threshold.
@@ -264,6 +309,69 @@ impl Device {
     /// Size of the policy output.
     pub fn action_space(&self) -> usize {
         self.action_space
+    }
+}
+
+/// Async submit/poll handle over a [`Device`]: one owner thread keeps
+/// many evaluations in flight through the shared device queue and drains
+/// completions in arrival order, instead of parking one OS thread per
+/// outstanding request. The device batches across *all* clients and
+/// blocking submitters, so a single client still benefits from
+/// cross-request batching.
+pub struct DeviceClient {
+    device: Arc<Device>,
+    reply_tx: Sender<TaggedResponse>,
+    reply_rx: Receiver<TaggedResponse>,
+    outstanding: usize,
+}
+
+impl DeviceClient {
+    /// Open a handle (usually via [`Device::client`]).
+    pub fn new(device: Arc<Device>) -> Self {
+        let (reply_tx, reply_rx) = unbounded();
+        DeviceClient {
+            device,
+            reply_tx,
+            reply_rx,
+            outstanding: 0,
+        }
+    }
+
+    /// Fire-and-forget submission; the result arrives via `try_poll`/
+    /// `poll` carrying `tag`.
+    pub fn submit(&mut self, tag: u64, input: Vec<f32>) {
+        self.device.submit_tagged(tag, input, &self.reply_tx);
+        self.outstanding += 1;
+    }
+
+    /// Non-blocking completion check.
+    pub fn try_poll(&mut self) -> Option<TaggedResponse> {
+        match self.reply_rx.try_recv() {
+            Ok(t) => {
+                self.outstanding -= 1;
+                Some(t)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Block until the next completion. Panics if nothing is in flight
+    /// (that wait could never end).
+    pub fn poll(&mut self) -> TaggedResponse {
+        assert!(self.outstanding > 0, "poll with nothing in flight");
+        let t = self.reply_rx.recv().expect("device streams alive");
+        self.outstanding -= 1;
+        t
+    }
+
+    /// Requests submitted but not yet polled.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
     }
 }
 
@@ -333,19 +441,32 @@ fn device_loop(
         let x = Tensor::from_vec(flat, &[b, in_c, h, w]);
         let (pi, v) = net.predict_batch(&x);
 
-        for (i, req) in batch.drain(..).enumerate() {
-            let priors = pi.row(i).to_vec();
-            let value = v.data()[i];
-            // A dropped receiver just means the client gave up; ignore.
-            let _ = req.reply.send(EvalResponse { priors, value });
-        }
-
+        // Update counters BEFORE delivering replies: a client that
+        // returns from recv() must observe its own request in the stats.
         stats.batches.fetch_add(1, Ordering::Relaxed);
         stats.samples.fetch_add(b as u64, Ordering::Relaxed);
         stats.max_batch.fetch_max(b as u64, Ordering::Relaxed);
         stats
             .busy_ns
             .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+        for (i, req) in batch.drain(..).enumerate() {
+            let priors = pi.row(i).to_vec();
+            let value = v.data()[i];
+            let response = EvalResponse { priors, value };
+            // A dropped receiver just means the client gave up; ignore.
+            match req.reply {
+                ReplyTo::Single(tx) => {
+                    let _ = tx.send(response);
+                }
+                ReplyTo::Shared(tx) => {
+                    let _ = tx.send(TaggedResponse {
+                        tag: req.tag,
+                        response,
+                    });
+                }
+            }
+        }
     }
 }
 
@@ -380,7 +501,11 @@ mod tests {
     fn batched_results_match_individual() {
         let (dev, net) = tiny_device(4);
         let inputs: Vec<Vec<f32>> = (0..4)
-            .map(|i| (0..dev.input_len()).map(|j| ((i * 31 + j) % 7) as f32 / 7.0).collect())
+            .map(|i| {
+                (0..dev.input_len())
+                    .map(|j| ((i * 31 + j) % 7) as f32 / 7.0)
+                    .collect()
+            })
             .collect();
         let rxs: Vec<_> = inputs.iter().map(|inp| dev.submit(inp.clone())).collect();
         for (inp, rx) in inputs.iter().zip(rxs) {
@@ -405,7 +530,11 @@ mod tests {
         }
         let s = dev.stats();
         assert_eq!(s.samples, 8);
-        assert!(s.batches <= 4, "expected batching, got {} batches", s.batches);
+        assert!(
+            s.batches <= 4,
+            "expected batching, got {} batches",
+            s.batches
+        );
         assert!(s.max_batch >= 2);
     }
 
@@ -466,7 +595,9 @@ mod tests {
                 },
             );
             let t0 = Instant::now();
-            let rxs: Vec<_> = (0..4).map(|_| dev.submit(vec![0.0; dev.input_len()])).collect();
+            let rxs: Vec<_> = (0..4)
+                .map(|_| dev.submit(vec![0.0; dev.input_len()]))
+                .collect();
             for rx in rxs {
                 rx.recv().unwrap();
             }
@@ -504,7 +635,10 @@ mod tests {
     #[test]
     fn resnet_model_served_identically() {
         use nn::resnet::{ResNetConfig, ResNetPolicyValueNet};
-        let net = Arc::new(ResNetPolicyValueNet::new(ResNetConfig::tiny(3, 4, 4, 16), 7));
+        let net = Arc::new(ResNetPolicyValueNet::new(
+            ResNetConfig::tiny(3, 4, 4, 16),
+            7,
+        ));
         let dev = Device::with_model(
             Arc::clone(&net) as Arc<dyn BatchModel>,
             DeviceConfig::instant(2),
@@ -527,11 +661,6 @@ mod tests {
         // flush and a queue wait at least as long as the flush window.
         let (dev, _) = tiny_device(64);
         let _ = dev.evaluate(vec![0.0; dev.input_len()]);
-        // Replies are sent before counters are bumped; wait for the bump.
-        let deadline = Instant::now() + Duration::from_secs(5);
-        while dev.stats().batches < 1 && Instant::now() < deadline {
-            std::thread::yield_now();
-        }
         let s = dev.stats();
         assert_eq!(s.timeout_flushes, 1);
         assert!(s.avg_wait_ns() > 0.0);
@@ -544,10 +673,6 @@ mod tests {
         for _ in 0..5 {
             let _ = dev.evaluate(vec![0.0; dev.input_len()]);
         }
-        let deadline = Instant::now() + Duration::from_secs(5);
-        while dev.stats().batches < 5 && Instant::now() < deadline {
-            std::thread::yield_now();
-        }
         let s = dev.stats();
         assert_eq!(s.timeout_flushes, 0, "threshold-1 batches fill instantly");
         assert_eq!(s.batches, 5);
@@ -558,6 +683,61 @@ mod tests {
         let s = DeviceStats::default();
         assert_eq!(s.avg_batch(), 0.0);
         assert_eq!(s.avg_wait_ns(), 0.0);
+    }
+
+    #[test]
+    fn client_keeps_many_requests_in_flight_from_one_thread() {
+        let (dev, net) = tiny_device(4);
+        let dev = Arc::new(dev);
+        let mut client = dev.client();
+        let inputs: Vec<Vec<f32>> = (0..12)
+            .map(|i| {
+                (0..dev.input_len())
+                    .map(|j| ((i * 13 + j) % 9) as f32 / 9.0)
+                    .collect()
+            })
+            .collect();
+        for (i, inp) in inputs.iter().enumerate() {
+            client.submit(i as u64, inp.clone());
+        }
+        assert_eq!(client.outstanding(), 12);
+        let mut got = [false; 12];
+        while client.outstanding() > 0 {
+            let t = client.poll();
+            let i = t.tag as usize;
+            assert!(!got[i], "duplicate completion for tag {i}");
+            got[i] = true;
+            // Must match a direct forward pass.
+            let x = Tensor::from_vec(inputs[i].clone(), &[1, 4, 3, 3]);
+            let (pi, v) = net.predict(&x);
+            for (a, b) in t.response.priors.iter().zip(pi.row(0)) {
+                assert!((a - b).abs() < 1e-5);
+            }
+            assert!((t.response.value - v.data()[0]).abs() < 1e-5);
+        }
+        assert!(got.iter().all(|&g| g));
+        // One submitting thread, threshold 4: real batches must form.
+        let s = dev.stats();
+        assert!(s.max_batch >= 2, "async submission failed to batch");
+    }
+
+    #[test]
+    fn client_try_poll_is_nonblocking() {
+        let (dev, _) = tiny_device(1);
+        let dev = Arc::new(dev);
+        let mut client = dev.client();
+        assert!(client.try_poll().is_none(), "nothing in flight yet");
+        client.submit(7, vec![0.0; dev.input_len()]);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let t = loop {
+            if let Some(t) = client.try_poll() {
+                break t;
+            }
+            assert!(Instant::now() < deadline, "completion never arrived");
+            std::thread::yield_now();
+        };
+        assert_eq!(t.tag, 7);
+        assert_eq!(client.outstanding(), 0);
     }
 
     #[test]

@@ -172,6 +172,9 @@ mod tests {
     #[test]
     fn duration_conversion_clamps_negative() {
         assert_eq!(LatencyModel::to_duration(-5.0), Duration::ZERO);
-        assert_eq!(LatencyModel::to_duration(1500.0), Duration::from_nanos(1500));
+        assert_eq!(
+            LatencyModel::to_duration(1500.0),
+            Duration::from_nanos(1500)
+        );
     }
 }

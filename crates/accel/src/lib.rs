@@ -25,5 +25,8 @@
 pub mod device;
 pub mod latency;
 
-pub use device::{BatchModel, Device, DeviceConfig, DeviceStats, EvalRequest, EvalResponse};
+pub use device::{
+    BatchModel, Device, DeviceClient, DeviceConfig, DeviceStats, EvalRequest, EvalResponse,
+    ReplyTo, TaggedResponse,
+};
 pub use latency::LatencyModel;

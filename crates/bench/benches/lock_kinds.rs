@@ -17,22 +17,18 @@ fn bench_lock_kinds(c: &mut Criterion) {
 
     for (name, lock) in [("mutex", LockKind::Mutex), ("atomic", LockKind::Atomic)] {
         for workers in [1usize, 4] {
-            group.bench_with_input(
-                BenchmarkId::new(name, workers),
-                &workers,
-                |b, &workers| {
-                    let cfg = MctsConfig {
-                        playouts: 128,
-                        workers,
-                        lock_kind: lock,
-                        ..Default::default()
-                    };
-                    let eval = Arc::new(UniformEvaluator::for_game(&TicTacToe::new()));
-                    let mut search = SharedTreeSearch::new(cfg, eval);
-                    let game = TicTacToe::new();
-                    b.iter(|| SearchScheme::<TicTacToe>::search(&mut search, &game));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, workers), &workers, |b, &workers| {
+                let cfg = MctsConfig {
+                    playouts: 128,
+                    workers,
+                    lock_kind: lock,
+                    ..Default::default()
+                };
+                let eval = Arc::new(UniformEvaluator::for_game(&TicTacToe::new()));
+                let mut search = SharedTreeSearch::new(cfg, eval);
+                let game = TicTacToe::new();
+                b.iter(|| SearchScheme::<TicTacToe>::search(&mut search, &game));
+            });
         }
     }
     group.finish();

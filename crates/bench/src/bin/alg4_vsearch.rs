@@ -19,7 +19,14 @@ fn main() {
     println!("Algorithm 4: O(log N) batch-size search vs exhaustive sweep\n");
 
     println!("Oracle A: closed-form model (Eq. 6)");
-    header(&["N", "B*(alg4)", "probes", "B*(naive)", "probes", "lat diff %"]);
+    header(&[
+        "N",
+        "B*(alg4)",
+        "probes",
+        "B*(naive)",
+        "probes",
+        "lat diff %",
+    ]);
     let costs = paper_costs();
     let mut csv = String::from("oracle,n,b_alg4,probes_alg4,b_naive,probes_naive,diff_pct\n");
     for n in [8usize, 16, 32, 64, 128, 256] {
@@ -53,7 +60,14 @@ fn main() {
     }
 
     println!("\nOracle B: discrete-event simulator (full timeline, incl. fill effects)");
-    header(&["N", "B*(alg4)", "probes", "B*(naive)", "probes", "lat diff %"]);
+    header(&[
+        "N",
+        "B*(alg4)",
+        "probes",
+        "B*(naive)",
+        "probes",
+        "lat diff %",
+    ]);
     for n in [16usize, 32, 64] {
         let p = SimParams::paper_like(n);
         let mut oracle = |b: usize| simulate_local_accel(&p, b).iteration_ns;
@@ -76,7 +90,10 @@ fn main() {
         );
         // The DES timeline is only approximately a V-sequence (batching
         // remainders create small ripples); allow a modest tolerance.
-        assert!(diff.abs() < 10.0, "Alg.4 drifted {diff:.2}% from exhaustive");
+        assert!(
+            diff.abs() < 10.0,
+            "Alg.4 drifted {diff:.2}% from exhaustive"
+        );
     }
 
     match write_results("alg4_vsearch.csv", &csv) {

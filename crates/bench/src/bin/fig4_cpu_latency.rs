@@ -43,9 +43,7 @@ fn main() {
         ));
         row(&format!("{n}"), &[shared, local, adaptive, speedup]);
     }
-    println!(
-        "\nmax adaptive speedup over a fixed scheme: {max_speedup:.2}x (paper: up to 1.5x)\n"
-    );
+    println!("\nmax adaptive speedup over a fixed scheme: {max_speedup:.2}x (paper: up to 1.5x)\n");
 
     println!("Measured on this host (small Gomoku 7x7, tiny net, 128 playouts/move):");
     let (game, net) = small_gomoku_setup(42);
@@ -65,7 +63,10 @@ fn main() {
             let r = search.search(&game);
             vals.push(r.stats.amortized_iteration_ns() / 1000.0);
         }
-        mcsv.push_str(&format!("{n},{:.3},{:.3},{:.3}\n", vals[0], vals[1], vals[2]));
+        mcsv.push_str(&format!(
+            "{n},{:.3},{:.3},{:.3}\n",
+            vals[0], vals[1], vals[2]
+        ));
         row(&format!("{n}"), &vals);
     }
 

@@ -22,19 +22,31 @@ fn main() {
     println!("(discrete-event simulation, paper-like parameters)\n");
 
     let ns = [1usize, 2, 4, 8, 16, 32, 64];
-    let mut csv =
-        String::from("n,shared_us,local_fullbatch_us,local_tuned_us,tuned_b,adaptive_us,scheme,speedup\n");
-    header(&["N", "shared", "local B=N", "local B*", "B*", "adaptive", "speedup"]);
+    let mut csv = String::from(
+        "n,shared_us,local_fullbatch_us,local_tuned_us,tuned_b,adaptive_us,scheme,speedup\n",
+    );
+    header(&[
+        "N",
+        "shared",
+        "local B=N",
+        "local B*",
+        "B*",
+        "adaptive",
+        "speedup",
+    ]);
     let mut max_speedup: f64 = 1.0;
     for &n in &ns {
         let p = SimParams::paper_like(n);
         let shared = simulate_shared_accel(&p).iteration_ns / 1000.0;
         let local_full = simulate_local_accel(&p, n).iteration_ns / 1000.0;
-        let (bstar, _) =
-            find_min_vsequence(1, n, |b| simulate_local_accel(&p, b).iteration_ns);
+        let (bstar, _) = find_min_vsequence(1, n, |b| simulate_local_accel(&p, b).iteration_ns);
         let local_tuned = simulate_local_accel(&p, bstar).iteration_ns / 1000.0;
         let adaptive = shared.min(local_tuned);
-        let scheme = if local_tuned <= shared { "local" } else { "shared" };
+        let scheme = if local_tuned <= shared {
+            "local"
+        } else {
+            "shared"
+        };
         // Adaptive speedup over the worse *fixed single-scheme* baseline
         // (the paper compares against local-alone and shared-alone).
         let worst_fixed = shared.max(local_full);
@@ -45,12 +57,17 @@ fn main() {
         ));
         row(
             &format!("{n}"),
-            &[shared, local_full, local_tuned, bstar as f64, adaptive, speedup],
+            &[
+                shared,
+                local_full,
+                local_tuned,
+                bstar as f64,
+                adaptive,
+                speedup,
+            ],
         );
     }
-    println!(
-        "\nmax adaptive speedup over a fixed scheme: {max_speedup:.2}x (paper: up to 3.07x)"
-    );
+    println!("\nmax adaptive speedup over a fixed scheme: {max_speedup:.2}x (paper: up to 3.07x)");
     println!("paper behaviour to check: local(B=N) deteriorates as N grows past 16;");
     println!("tuned local recovers and beats shared at large N.");
 

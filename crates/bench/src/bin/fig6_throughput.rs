@@ -40,8 +40,7 @@ fn main() {
     for &n in &ns {
         let p = SimParams::paper_like(n);
         let shared = simulate_shared_accel(&p).move_ns;
-        let (bstar, _) =
-            find_min_vsequence(1, n, |b| simulate_local_accel(&p, b).iteration_ns);
+        let (bstar, _) = find_min_vsequence(1, n, |b| simulate_local_accel(&p, b).iteration_ns);
         let local = simulate_local_accel(&p, bstar).move_ns;
         let (scheme, search_ns) = if local <= shared {
             (format!("local,B*={bstar}"), local)
@@ -87,7 +86,11 @@ fn main() {
         let mut pipeline = Pipeline::new(game, (*net).clone(), cfg);
         pipeline.set_evaluator_factory(|snap| Arc::new(NnEvaluator::new(snap)));
         let report = pipeline.run();
-        mcsv.push_str(&format!("{n},{},{:.4}\n", scheme.name(), report.samples_per_sec));
+        mcsv.push_str(&format!(
+            "{n},{},{:.4}\n",
+            scheme.name(),
+            report.samples_per_sec
+        ));
         println!(
             "{:>14} {:>14} {:>14.3}",
             n,

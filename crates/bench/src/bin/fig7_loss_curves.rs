@@ -27,7 +27,14 @@ fn main() {
         (4, Scheme::SharedTree),
     ];
 
-    header(&["N", "scheme", "episodes", "samples", "final loss", "t_total(s)"]);
+    header(&[
+        "N",
+        "scheme",
+        "episodes",
+        "samples",
+        "final loss",
+        "t_total(s)",
+    ]);
     let mut summary = String::from("n,scheme,samples,final_loss,updates\n");
     for (n, scheme) in configs {
         let (game, net) = small_gomoku_setup(123);
@@ -49,8 +56,8 @@ fn main() {
             },
             seed: 1000 + n as u64,
             lr_schedule: None,
-        overlapped_training: false,
-        augment_symmetries: false,
+            overlapped_training: false,
+            augment_symmetries: false,
         };
         let mut pipeline = Pipeline::new(game, (*net).clone(), cfg);
         let report = pipeline.run();
@@ -66,11 +73,7 @@ fn main() {
         let _ = write_results(&csv_name, &csv);
 
         let final_loss = report.final_loss.unwrap_or(f32::NAN);
-        let t_total = report
-            .loss_curve
-            .last()
-            .map(|p| p.t_sec)
-            .unwrap_or(0.0);
+        let t_total = report.loss_curve.last().map(|p| p.t_sec).unwrap_or(0.0);
         summary.push_str(&format!(
             "{n},{},{},{final_loss:.4},{}\n",
             scheme.name(),

@@ -35,8 +35,14 @@ fn main() {
 
     let total = (report.search_ns + report.train_ns) as f64;
     let search_frac = report.search_ns as f64 / total;
-    println!("tree-based search stage: {:.1}% of training runtime", 100.0 * search_frac);
-    println!("DNN training stage:      {:.1}%", 100.0 * report.train_ns as f64 / total);
+    println!(
+        "tree-based search stage: {:.1}% of training runtime",
+        100.0 * search_frac
+    );
+    println!(
+        "DNN training stage:      {:.1}%",
+        100.0 * report.train_ns as f64 / total
+    );
     println!("(paper: tree-based search > 85% of the serial pipeline)\n");
 
     println!("Design-time host profile (§4.2 inputs):");

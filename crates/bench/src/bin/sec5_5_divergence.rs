@@ -36,10 +36,8 @@ fn main() {
         workers: 1,
         ..Default::default()
     };
-    let mut serial = Scheme::Serial.build::<games::gomoku::Gomoku>(
-        cfg1,
-        Arc::new(NnEvaluator::new(Arc::clone(&net))),
-    );
+    let mut serial = Scheme::Serial
+        .build::<games::gomoku::Gomoku>(cfg1, Arc::new(NnEvaluator::new(Arc::clone(&net))));
     let baseline = serial.search(&game);
 
     header(&["N workers", "KL (nats)", "TV dist", "same best"]);
@@ -55,10 +53,8 @@ fn main() {
                 workers: n,
                 ..Default::default()
             };
-            let mut search = Scheme::SharedTree.build::<games::gomoku::Gomoku>(
-                cfg,
-                Arc::new(NnEvaluator::new(Arc::clone(&net))),
-            );
+            let mut search = Scheme::SharedTree
+                .build::<games::gomoku::Gomoku>(cfg, Arc::new(NnEvaluator::new(Arc::clone(&net))));
             let r = search.search(&game);
             let d = policy_divergence(&r.probs, &baseline.probs);
             kl += d.kl;

@@ -157,7 +157,9 @@ impl Game for Connect4 {
     fn hash(&self) -> u64 {
         // The classic Connect-4 perfect key: position + mask + bottom row.
         let mask = self.boards[0] | self.boards[1];
-        self.boards[self.to_move.index()].wrapping_add(mask).wrapping_add(0x01_0101_0101_0101)
+        self.boards[self.to_move.index()]
+            .wrapping_add(mask)
+            .wrapping_add(0x01_0101_0101_0101)
     }
 
     fn move_count(&self) -> usize {

@@ -32,7 +32,11 @@ pub struct Gomoku {
 
 impl std::fmt::Debug for Gomoku {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Gomoku {}x{} (win {}):", self.size, self.size, self.win_len)?;
+        writeln!(
+            f,
+            "Gomoku {}x{} (win {}):",
+            self.size, self.size, self.win_len
+        )?;
         for r in 0..self.size {
             for c in 0..self.size {
                 let ch = match self.cells[r * self.size + c] {
@@ -249,7 +253,17 @@ mod tests {
         // Black plays row 0 cols 0..5, White replies on row 8.
         play(
             &mut g,
-            &[(0, 0), (8, 0), (0, 1), (8, 1), (0, 2), (8, 2), (0, 3), (8, 3), (0, 4)],
+            &[
+                (0, 0),
+                (8, 0),
+                (0, 1),
+                (8, 1),
+                (0, 2),
+                (8, 2),
+                (0, 3),
+                (8, 3),
+                (0, 4),
+            ],
         );
         assert_eq!(g.status(), Status::Won(Player::Black));
     }
@@ -259,7 +273,17 @@ mod tests {
         let mut g = Gomoku::new(9, 5);
         play(
             &mut g,
-            &[(0, 0), (0, 8), (1, 0), (1, 8), (2, 0), (2, 8), (3, 0), (3, 8), (4, 0)],
+            &[
+                (0, 0),
+                (0, 8),
+                (1, 0),
+                (1, 8),
+                (2, 0),
+                (2, 8),
+                (3, 0),
+                (3, 8),
+                (4, 0),
+            ],
         );
         assert_eq!(g.status(), Status::Won(Player::Black));
     }
@@ -269,7 +293,17 @@ mod tests {
         let mut g = Gomoku::new(9, 5);
         play(
             &mut g,
-            &[(0, 0), (0, 8), (1, 1), (1, 8), (2, 2), (2, 8), (3, 3), (3, 8), (4, 4)],
+            &[
+                (0, 0),
+                (0, 8),
+                (1, 1),
+                (1, 8),
+                (2, 2),
+                (2, 8),
+                (3, 3),
+                (3, 8),
+                (4, 4),
+            ],
         );
         assert_eq!(g.status(), Status::Won(Player::Black));
     }
@@ -279,7 +313,17 @@ mod tests {
         let mut g = Gomoku::new(9, 5);
         play(
             &mut g,
-            &[(0, 8), (8, 8), (1, 7), (7, 8), (2, 6), (6, 8), (3, 5), (5, 8), (4, 4)],
+            &[
+                (0, 8),
+                (8, 8),
+                (1, 7),
+                (7, 8),
+                (2, 6),
+                (6, 8),
+                (3, 5),
+                (5, 8),
+                (4, 4),
+            ],
         );
         assert_eq!(g.status(), Status::Won(Player::Black));
     }
@@ -289,7 +333,16 @@ mod tests {
         let mut g = Gomoku::new(9, 4);
         play(
             &mut g,
-            &[(8, 0), (0, 0), (8, 1), (0, 1), (8, 3), (0, 2), (7, 7), (0, 3)],
+            &[
+                (8, 0),
+                (0, 0),
+                (8, 1),
+                (0, 1),
+                (8, 3),
+                (0, 2),
+                (7, 7),
+                (0, 3),
+            ],
         );
         assert_eq!(g.status(), Status::Won(Player::White));
     }
@@ -300,7 +353,17 @@ mod tests {
         let mut g = Gomoku::new(9, 5);
         play(
             &mut g,
-            &[(0, 0), (8, 0), (0, 1), (8, 1), (0, 3), (8, 2), (0, 4), (8, 4), (0, 2)],
+            &[
+                (0, 0),
+                (8, 0),
+                (0, 1),
+                (8, 1),
+                (0, 3),
+                (8, 2),
+                (0, 4),
+                (8, 4),
+                (0, 2),
+            ],
         );
         assert_eq!(g.status(), Status::Won(Player::Black));
     }
@@ -312,7 +375,15 @@ mod tests {
         let mut g = Gomoku::new(3, 3);
         // X O X / X X O / O X O — no three in a row for either.
         let seq = [
-            (0, 0), (0, 1), (0, 2), (1, 2), (1, 1), (2, 0), (1, 0), (2, 2), (2, 1),
+            (0, 0),
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (1, 1),
+            (2, 0),
+            (1, 0),
+            (2, 2),
+            (2, 1),
         ];
         play(&mut g, &seq);
         assert_eq!(g.status(), Status::Draw);
@@ -380,7 +451,10 @@ mod tests {
         assert_eq!(buf[0], 1.0, "black stone at 0 on own plane");
         assert_eq!(buf[plane + 7], 1.0, "white stone on opponent plane");
         assert_eq!(buf[2 * plane + 7], 1.0, "last move plane");
-        assert!(buf[3 * plane..].iter().all(|&x| x == 1.0), "black-to-move plane");
+        assert!(
+            buf[3 * plane..].iter().all(|&x| x == 1.0),
+            "black-to-move plane"
+        );
         // Exactly one stone per occupancy plane.
         assert_eq!(buf[..plane].iter().sum::<f32>(), 1.0);
         assert_eq!(buf[plane..2 * plane].iter().sum::<f32>(), 1.0);

@@ -258,7 +258,16 @@ mod tests {
         let mut g = Hex::new(4);
         play(
             &mut g,
-            &[(3, 0), (0, 0), (3, 1), (0, 1), (3, 3), (0, 2), (2, 3), (0, 3)],
+            &[
+                (3, 0),
+                (0, 0),
+                (3, 1),
+                (0, 1),
+                (3, 3),
+                (0, 2),
+                (2, 3),
+                (0, 3),
+            ],
         );
         assert_eq!(g.status(), Status::Won(Player::White));
     }

@@ -69,7 +69,10 @@ impl Othello {
 
     /// Custom even board size in `4..=16`.
     pub fn new(size: usize) -> Self {
-        assert!((4..=16).contains(&size) && size.is_multiple_of(2), "size must be even, 4..=16");
+        assert!(
+            (4..=16).contains(&size) && size.is_multiple_of(2),
+            "size must be even, 4..=16"
+        );
         let zobrist = Arc::new(ZobristTable::new(size * size));
         let mut g = Othello {
             size,
@@ -229,7 +232,9 @@ impl Game for Othello {
         if a >= self.size * self.size {
             return false;
         }
-        !self.flips_for(a / self.size, a % self.size, self.to_move).is_empty()
+        !self
+            .flips_for(a / self.size, a % self.size, self.to_move)
+            .is_empty()
     }
 
     fn legal_actions_into(&self, out: &mut Vec<Action>) {

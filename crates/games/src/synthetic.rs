@@ -180,7 +180,10 @@ mod tests {
                 Status::Ongoing => unreachable!(),
             }
         }
-        assert!(black > 60 && white > 60 && draw > 20, "{black}/{white}/{draw}");
+        assert!(
+            black > 60 && white > 60 && draw > 20,
+            "{black}/{white}/{draw}"
+        );
     }
 
     #[test]

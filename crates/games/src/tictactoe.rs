@@ -127,7 +127,9 @@ impl Game for TicTacToe {
 
     fn hash(&self) -> u64 {
         // 18 bits of board + 1 bit side: already a perfect hash.
-        (self.boards[0] as u64) | ((self.boards[1] as u64) << 9) | ((self.to_move.index() as u64) << 18)
+        (self.boards[0] as u64)
+            | ((self.boards[1] as u64) << 9)
+            | ((self.to_move.index() as u64) << 18)
     }
 
     fn move_count(&self) -> usize {

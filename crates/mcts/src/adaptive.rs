@@ -8,14 +8,8 @@
 //! [`SearchScheme::search`] as usual.
 
 use crate::config::MctsConfig;
-use crate::evaluator::Evaluator;
-use crate::leaf_parallel::LeafParallelSearch;
-use crate::local::LocalTreeSearch;
+use crate::evaluator::BatchEvaluator;
 use crate::result::{SearchResult, SearchScheme};
-use crate::root_parallel::RootParallelSearch;
-use crate::serial::SerialSearch;
-use crate::shared::SharedTreeSearch;
-use crate::speculative::SpeculativeSearch;
 use games::Game;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -63,29 +57,17 @@ impl Scheme {
         }
     }
 
-    /// Instantiate this scheme for game type `G`.
+    /// Instantiate this scheme for game type `G` (one-liner convenience
+    /// over [`crate::builder::SearchBuilder`], which is the full API).
     pub fn build<G: Game>(
         self,
         cfg: MctsConfig,
-        evaluator: Arc<dyn Evaluator>,
+        evaluator: Arc<dyn BatchEvaluator>,
     ) -> Box<dyn SearchScheme<G>> {
-        match self {
-            Scheme::Serial => Box::new(SerialSearch::new(cfg, evaluator)),
-            Scheme::SharedTree => Box::new(SharedTreeSearch::new(cfg, evaluator)),
-            Scheme::LocalTree => Box::new(LocalTreeSearch::new(cfg, evaluator)),
-            Scheme::LeafParallel => Box::new(LeafParallelSearch::new(cfg, evaluator)),
-            Scheme::RootParallel => Box::new(RootParallelSearch::new(cfg, evaluator)),
-            Scheme::Speculative => {
-                let spec = Arc::new(crate::evaluator::UniformEvaluator::new(
-                    evaluator.input_len(),
-                    evaluator.action_space(),
-                ));
-                // Commit corrections in worker-sized batches, mirroring
-                // the pipeline depth a real speculative system would use.
-                let commit = cfg.workers.max(1);
-                Box::new(SpeculativeSearch::new(cfg, evaluator, spec, commit))
-            }
-        }
+        crate::builder::SearchBuilder::new(self)
+            .config(cfg)
+            .evaluator(evaluator)
+            .build()
     }
 }
 
@@ -103,7 +85,7 @@ pub struct AdaptiveSearch<G: Game> {
 
 impl<G: Game> AdaptiveSearch<G> {
     /// Build the selected scheme.
-    pub fn new(scheme: Scheme, cfg: MctsConfig, evaluator: Arc<dyn Evaluator>) -> Self {
+    pub fn new(scheme: Scheme, cfg: MctsConfig, evaluator: Arc<dyn BatchEvaluator>) -> Self {
         AdaptiveSearch {
             scheme,
             inner: scheme.build(cfg, evaluator),
@@ -119,6 +101,14 @@ impl<G: Game> AdaptiveSearch<G> {
 impl<G: Game> SearchScheme<G> for AdaptiveSearch<G> {
     fn search(&mut self, root: &G) -> SearchResult {
         self.inner.search(root)
+    }
+
+    fn advance(&mut self, action: games::Action) {
+        self.inner.advance(action)
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset()
     }
 
     fn name(&self) -> &'static str {

@@ -133,7 +133,11 @@ pub fn tree_shape(tree: &Tree) -> TreeShape {
         expanded,
         terminals,
         max_depth,
-        mean_depth: if n == 0 { 0.0 } else { depth_sum as f64 / n as f64 },
+        mean_depth: if n == 0 {
+            0.0
+        } else {
+            depth_sum as f64 / n as f64
+        },
         mean_branching: if expanded == 0 {
             0.0
         } else {
@@ -186,12 +190,7 @@ mod tests {
         let t = grown_tree(200);
         let pv = principal_variation(&t, 1);
         let (visits, _, _) = t.action_prior(9);
-        let best = visits
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &v)| v)
-            .unwrap()
-            .0;
+        let best = visits.iter().enumerate().max_by_key(|(_, &v)| v).unwrap().0;
         assert_eq!(pv[0] as usize, best);
     }
 

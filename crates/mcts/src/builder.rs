@@ -1,0 +1,399 @@
+//! [`SearchBuilder`]: one construction path for every search scheme.
+//!
+//! The schemes' direct constructors differ in shape (devices for the
+//! local scheme, a second model for speculation, statefulness for
+//! reuse). The builder folds all of that behind a fluent API so sweeps
+//! over [`Scheme::ALL`] stay one-liners:
+//!
+//! ```
+//! use games::tictactoe::TicTacToe;
+//! use mcts::{Scheme, SearchBuilder, UniformEvaluator};
+//! use std::sync::Arc;
+//!
+//! for scheme in Scheme::ALL {
+//!     let mut search = SearchBuilder::new(scheme)
+//!         .playouts(32)
+//!         .workers(2)
+//!         .evaluator(Arc::new(UniformEvaluator::new(36, 9)))
+//!         .build::<TicTacToe>();
+//!     let r = search.search(&TicTacToe::new());
+//!     assert!(r.stats.playouts >= 32, "{scheme}");
+//! }
+//! ```
+
+use crate::adaptive::Scheme;
+use crate::config::{LockKind, MctsConfig, VirtualLoss};
+use crate::evaluator::{
+    AccelEvaluator, BatchEvaluator, Evaluator, LegacyEvaluator, UniformEvaluator,
+};
+use crate::leaf_parallel::LeafParallelSearch;
+use crate::local::LocalTreeSearch;
+use crate::noise::RootNoise;
+use crate::result::SearchScheme;
+use crate::reuse::ReusableSearch;
+use crate::root_parallel::RootParallelSearch;
+use crate::serial::SerialSearch;
+use crate::shared::SharedTreeSearch;
+use crate::speculative::SpeculativeSearch;
+use accel::Device;
+use games::Game;
+use std::sync::Arc;
+
+/// Where a builder's evaluations come from.
+enum EvalSource {
+    /// Any batch evaluator (CPU network, uniform stub, legacy adapter…).
+    Batch(Arc<dyn BatchEvaluator>),
+    /// An accelerator device: schemes that can will feed its queue
+    /// natively (local tree); the rest get an [`AccelEvaluator`] view.
+    Device(Arc<Device>),
+}
+
+/// Fluent constructor for all search schemes (see module docs).
+pub struct SearchBuilder {
+    scheme: Scheme,
+    cfg: MctsConfig,
+    eval: Option<EvalSource>,
+    spec: Option<Arc<dyn BatchEvaluator>>,
+    commit_batch: Option<usize>,
+    coalesce_window: Option<std::time::Duration>,
+    reuse: bool,
+}
+
+impl SearchBuilder {
+    /// Start building a searcher for `scheme` with default
+    /// [`MctsConfig`].
+    pub fn new(scheme: Scheme) -> Self {
+        SearchBuilder {
+            scheme,
+            cfg: MctsConfig::default(),
+            eval: None,
+            spec: None,
+            commit_batch: None,
+            coalesce_window: None,
+            reuse: false,
+        }
+    }
+
+    /// Replace the whole hyper-parameter block at once.
+    pub fn config(mut self, cfg: MctsConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Playouts per move.
+    pub fn playouts(mut self, playouts: usize) -> Self {
+        self.cfg.playouts = playouts;
+        self
+    }
+
+    /// Parallel workers `N`.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.cfg.workers = workers;
+        self
+    }
+
+    /// UCT exploration constant.
+    pub fn c_puct(mut self, c: f32) -> Self {
+        self.cfg.c_puct = c;
+        self
+    }
+
+    /// Virtual-loss policy.
+    pub fn virtual_loss(mut self, vl: VirtualLoss) -> Self {
+        self.cfg.virtual_loss = vl;
+        self
+    }
+
+    /// Shared-tree locking discipline.
+    pub fn lock_kind(mut self, lock: LockKind) -> Self {
+        self.cfg.lock_kind = lock;
+        self
+    }
+
+    /// Arena capacity override.
+    pub fn max_nodes(mut self, nodes: usize) -> Self {
+        self.cfg.max_nodes = Some(nodes);
+        self
+    }
+
+    /// AlphaZero-style Dirichlet root noise for self-play.
+    pub fn root_noise(mut self, noise: RootNoise) -> Self {
+        self.cfg.root_noise = Some(noise);
+        self
+    }
+
+    /// Wall-clock budget per move (serial/reuse schemes).
+    pub fn time_budget_ms(mut self, ms: u64) -> Self {
+        self.cfg.time_budget_ms = Some(ms);
+        self
+    }
+
+    /// Keep the played subtree between moves (serial scheme only; the
+    /// built searcher re-roots on [`SearchScheme::advance`]).
+    pub fn reuse(mut self, reuse: bool) -> Self {
+        self.reuse = reuse;
+        self
+    }
+
+    /// Evaluate leaves with `eval` (batch-first interface; concrete
+    /// `Arc<MyEvaluator>` coerces here, including legacy [`Evaluator`]
+    /// impls through the blanket adapter).
+    pub fn evaluator(mut self, eval: Arc<dyn BatchEvaluator>) -> Self {
+        self.eval = Some(EvalSource::Batch(eval));
+        self
+    }
+
+    /// Evaluate leaves with a boxed legacy evaluator.
+    pub fn legacy_evaluator(mut self, eval: Arc<dyn Evaluator>) -> Self {
+        self.eval = Some(EvalSource::Batch(Arc::new(LegacyEvaluator(eval))));
+        self
+    }
+
+    /// Evaluate leaves on an accelerator device. The local-tree scheme
+    /// feeds the device queue natively (async tickets); other schemes
+    /// submit through an [`AccelEvaluator`].
+    pub fn device(mut self, device: Arc<Device>) -> Self {
+        self.eval = Some(EvalSource::Device(device));
+        self
+    }
+
+    /// Shared-tree cross-worker batching window: how long the first
+    /// evaluator of a round waits for peers before running a partial
+    /// batch. `Duration::ZERO` disables coalescing. Tune toward the
+    /// evaluator's forward time; defaults to
+    /// [`crate::coalesce::DEFAULT_COALESCE_WINDOW`].
+    pub fn coalesce_window(mut self, window: std::time::Duration) -> Self {
+        self.coalesce_window = Some(window);
+        self
+    }
+
+    /// Cheap model for the speculative scheme (defaults to uniform
+    /// priors when unset).
+    pub fn speculative_model(mut self, spec: Arc<dyn BatchEvaluator>) -> Self {
+        self.spec = Some(spec);
+        self
+    }
+
+    /// Corrections per main-model batch in the speculative scheme
+    /// (defaults to `workers`).
+    pub fn commit_batch(mut self, batch: usize) -> Self {
+        self.commit_batch = Some(batch);
+        self
+    }
+
+    /// The hyper-parameters as currently configured.
+    pub fn current_config(&self) -> &MctsConfig {
+        &self.cfg
+    }
+
+    /// Instantiate the configured scheme for game type `G`.
+    ///
+    /// # Panics
+    /// If no evaluator/device was provided, if `reuse(true)` is combined
+    /// with a non-serial scheme, or if the config is invalid.
+    pub fn build<G: Game>(self) -> Box<dyn SearchScheme<G>> {
+        let cfg = self.cfg;
+        cfg.validate();
+        assert!(
+            !self.reuse || self.scheme == Scheme::Serial,
+            "tree reuse requires the serial scheme (got {})",
+            self.scheme
+        );
+        // Scheme-specific knobs are rejected, not silently dropped.
+        assert!(
+            self.coalesce_window.is_none() || self.scheme == Scheme::SharedTree,
+            "coalesce_window applies only to the shared-tree scheme (got {})",
+            self.scheme
+        );
+        assert!(
+            (self.spec.is_none() && self.commit_batch.is_none())
+                || self.scheme == Scheme::Speculative,
+            "speculative_model/commit_batch apply only to the speculative scheme (got {})",
+            self.scheme
+        );
+        let source = self
+            .eval
+            .expect("SearchBuilder needs an evaluator or device");
+
+        // Local tree with a device bypasses AccelEvaluator entirely:
+        // tickets go straight to the device queue.
+        if self.scheme == Scheme::LocalTree {
+            return match source {
+                EvalSource::Device(d) => Box::new(LocalTreeSearch::with_device(cfg, d)),
+                EvalSource::Batch(e) => Box::new(LocalTreeSearch::new(cfg, e)),
+            };
+        }
+
+        let eval: Arc<dyn BatchEvaluator> = match source {
+            EvalSource::Batch(e) => e,
+            EvalSource::Device(d) => Arc::new(AccelEvaluator::new(d)),
+        };
+        match self.scheme {
+            Scheme::Serial if self.reuse => Box::new(ReusableSearch::new(cfg, eval)),
+            Scheme::Serial => Box::new(SerialSearch::new(cfg, eval)),
+            Scheme::SharedTree => match self.coalesce_window {
+                Some(w) => Box::new(SharedTreeSearch::with_coalesce_window(cfg, eval, w)),
+                None => Box::new(SharedTreeSearch::new(cfg, eval)),
+            },
+            Scheme::LeafParallel => Box::new(LeafParallelSearch::new(cfg, eval)),
+            Scheme::RootParallel => Box::new(RootParallelSearch::new(cfg, eval)),
+            Scheme::Speculative => {
+                let spec = self.spec.unwrap_or_else(|| {
+                    Arc::new(UniformEvaluator::new(eval.input_len(), eval.action_space()))
+                });
+                // Commit corrections in worker-sized batches, mirroring
+                // the pipeline depth a real speculative system would use.
+                let commit = self.commit_batch.unwrap_or_else(|| cfg.workers.max(1));
+                Box::new(SpeculativeSearch::new(cfg, eval, spec, commit))
+            }
+            Scheme::LocalTree => unreachable!("handled above"),
+        }
+    }
+
+    /// Like [`SearchBuilder::build`], but returns the concrete reusable
+    /// searcher so callers can query `inherited_nodes`/`retained_nodes`.
+    pub fn build_reusable(self) -> ReusableSearch {
+        let cfg = self.cfg;
+        cfg.validate();
+        assert_eq!(
+            self.scheme,
+            Scheme::Serial,
+            "tree reuse requires the serial scheme"
+        );
+        assert!(
+            self.coalesce_window.is_none() && self.spec.is_none() && self.commit_batch.is_none(),
+            "shared-tree/speculative knobs do not apply to a reusable serial searcher"
+        );
+        let eval: Arc<dyn BatchEvaluator> = match self
+            .eval
+            .expect("SearchBuilder needs an evaluator or device")
+        {
+            EvalSource::Batch(e) => e,
+            EvalSource::Device(d) => Arc::new(AccelEvaluator::new(d)),
+        };
+        ReusableSearch::new(cfg, eval)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use games::tictactoe::TicTacToe;
+    use games::Game;
+
+    fn uniform() -> Arc<UniformEvaluator> {
+        Arc::new(UniformEvaluator::for_game(&TicTacToe::new()))
+    }
+
+    #[test]
+    fn builds_every_scheme() {
+        for scheme in Scheme::ALL {
+            let mut s = SearchBuilder::new(scheme)
+                .playouts(40)
+                .workers(2)
+                .evaluator(uniform())
+                .build::<TicTacToe>();
+            let r = s.search(&TicTacToe::new());
+            assert!(r.stats.playouts >= 40, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn knobs_reach_the_config() {
+        let b = SearchBuilder::new(Scheme::SharedTree)
+            .playouts(123)
+            .workers(7)
+            .c_puct(2.5)
+            .virtual_loss(VirtualLoss::VisitTracking)
+            .lock_kind(LockKind::Atomic)
+            .max_nodes(9999)
+            .time_budget_ms(250);
+        let cfg = b.current_config();
+        assert_eq!(cfg.playouts, 123);
+        assert_eq!(cfg.workers, 7);
+        assert_eq!(cfg.c_puct, 2.5);
+        assert_eq!(cfg.virtual_loss, VirtualLoss::VisitTracking);
+        assert_eq!(cfg.lock_kind, LockKind::Atomic);
+        assert_eq!(cfg.max_nodes, Some(9999));
+        assert_eq!(cfg.time_budget_ms, Some(250));
+    }
+
+    #[test]
+    fn reuse_builds_a_reusable_serial_scheme() {
+        let mut s = SearchBuilder::new(Scheme::Serial)
+            .playouts(60)
+            .evaluator(uniform())
+            .reuse(true)
+            .build::<TicTacToe>();
+        let mut g = TicTacToe::new();
+        let r = s.search(&g);
+        let a = r.best_action();
+        s.advance(a);
+        g.apply(a);
+        let r2 = s.search(&g);
+        assert_eq!(r2.stats.playouts, 60);
+        assert_eq!(s.name(), "serial+reuse");
+    }
+
+    #[test]
+    #[should_panic(expected = "shared-tree scheme")]
+    fn coalesce_window_rejected_off_shared_tree() {
+        let _ = SearchBuilder::new(Scheme::Serial)
+            .evaluator(uniform())
+            .coalesce_window(std::time::Duration::from_micros(50))
+            .build::<TicTacToe>();
+    }
+
+    #[test]
+    #[should_panic(expected = "speculative scheme")]
+    fn speculative_knobs_rejected_off_speculative() {
+        let _ = SearchBuilder::new(Scheme::LocalTree)
+            .evaluator(uniform())
+            .commit_batch(4)
+            .build::<TicTacToe>();
+    }
+
+    #[test]
+    #[should_panic(expected = "serial scheme")]
+    fn reuse_rejects_parallel_schemes() {
+        let _ = SearchBuilder::new(Scheme::SharedTree)
+            .evaluator(uniform())
+            .reuse(true)
+            .build::<TicTacToe>();
+    }
+
+    #[test]
+    #[should_panic(expected = "needs an evaluator")]
+    fn missing_evaluator_panics() {
+        let _ = SearchBuilder::new(Scheme::Serial).build::<TicTacToe>();
+    }
+
+    #[test]
+    fn legacy_evaluator_route_works() {
+        let legacy: Arc<dyn Evaluator> = uniform();
+        let mut s = SearchBuilder::new(Scheme::Serial)
+            .playouts(30)
+            .legacy_evaluator(legacy)
+            .build::<TicTacToe>();
+        let r = s.search(&TicTacToe::new());
+        assert_eq!(r.stats.playouts, 30);
+    }
+
+    #[test]
+    fn device_route_builds_local_and_shared() {
+        use accel::{Device, DeviceConfig};
+        use nn::{NetConfig, PolicyValueNet};
+        let net = Arc::new(PolicyValueNet::new(NetConfig::tiny(4, 3, 3, 9), 12));
+        let dev = Arc::new(Device::new(net, DeviceConfig::instant(2)));
+        for scheme in [Scheme::LocalTree, Scheme::SharedTree, Scheme::Serial] {
+            let mut s = SearchBuilder::new(scheme)
+                .playouts(24)
+                .workers(2)
+                .device(Arc::clone(&dev))
+                .build::<TicTacToe>();
+            let r = s.search(&TicTacToe::new());
+            assert_eq!(r.stats.playouts, 24, "{scheme}");
+        }
+        assert!(dev.stats().samples > 0);
+    }
+}

@@ -1,0 +1,373 @@
+//! Cross-thread batch coalescing for synchronous callers.
+//!
+//! The shared-tree scheme's workers each need *their own* leaf evaluated
+//! before they can continue the rollout — a synchronous, single-sample
+//! call pattern. [`CoalescingEvaluator`] turns those concurrent calls
+//! into shared batches: the first caller of a round becomes the
+//! **leader**, waits a short window for peers to join (or until the
+//! batch is full), runs one [`BatchEvaluator::evaluate_batch`] for
+//! everyone, and hands each caller its own result. Followers just park.
+//!
+//! This is the software analogue of the accelerator's request queue
+//! (§3.3) for backends that have no queue of their own (batched CPU
+//! inference): `N` rollout workers produce one `[N, C, H, W]` forward
+//! pass instead of `N` single-sample passes.
+
+use crate::evaluator::{BatchEvaluator, EvalOutput, Evaluator};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Upper bound on the leader's wait for peers to join a batch. The
+/// *effective* wait adapts to the backend's measured forward time (a
+/// window worth paying for a millisecond forward pass would dwarf a
+/// microsecond one), capped by this value — or by the explicit window
+/// passed to [`CoalescingEvaluator::with_window`].
+pub const DEFAULT_COALESCE_WINDOW: Duration = Duration::from_micros(150);
+
+/// Effective window = clamp(4 × measured per-sample forward time,
+/// `MIN_COALESCE_WINDOW`, configured window).
+pub const MIN_COALESCE_WINDOW: Duration = Duration::from_micros(2);
+
+/// A sealed round awaiting follower pickup.
+struct RoundDone {
+    /// Per-index results; slot 0 (the leader's) is always `None`.
+    slots: Vec<Option<EvalOutput>>,
+    /// Followers that have not collected yet; entry removed at 0.
+    remaining: usize,
+    /// True when the leader's `evaluate_batch` panicked: followers
+    /// re-panic instead of waiting forever for results that never come.
+    poisoned: bool,
+}
+
+struct Round {
+    /// Inputs collected for the round being assembled.
+    inputs: Vec<Vec<f32>>,
+    /// Id of the round currently assembling.
+    epoch: u64,
+    /// Finished rounds: epoch → per-index results (taken by followers).
+    done: HashMap<u64, RoundDone>,
+}
+
+/// Turns concurrent single-sample `evaluate` calls into shared batches
+/// (see module docs). Implements the synchronous [`Evaluator`] trait so
+/// it drops into any single-sample call site.
+pub struct CoalescingEvaluator {
+    inner: Arc<dyn BatchEvaluator>,
+    max_batch: usize,
+    window: Duration,
+    /// EMA of per-sample inference time, ns (0 = not yet measured).
+    ema_sample_ns: AtomicU64,
+    state: Mutex<Round>,
+    joined: Condvar,
+    finished: Condvar,
+}
+
+impl CoalescingEvaluator {
+    /// Coalesce into batches of at most `max_batch`, with the default
+    /// collection window.
+    pub fn new(inner: Arc<dyn BatchEvaluator>, max_batch: usize) -> Self {
+        Self::with_window(inner, max_batch, DEFAULT_COALESCE_WINDOW)
+    }
+
+    /// Full control over batch bound and leader wait window.
+    pub fn with_window(inner: Arc<dyn BatchEvaluator>, max_batch: usize, window: Duration) -> Self {
+        assert!(max_batch >= 1, "batch bound must be positive");
+        CoalescingEvaluator {
+            inner,
+            max_batch,
+            window,
+            ema_sample_ns: AtomicU64::new(0),
+            state: Mutex::new(Round {
+                inputs: Vec::new(),
+                epoch: 0,
+                done: HashMap::new(),
+            }),
+            joined: Condvar::new(),
+            finished: Condvar::new(),
+        }
+    }
+
+    /// The configured batch bound.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Finished rounds currently awaiting follower pickup (diagnostics;
+    /// returns to 0 once all concurrent callers have collected).
+    pub fn rounds_pending(&self) -> usize {
+        self.state.lock().unwrap().done.len()
+    }
+
+    /// The wait the next leader will actually use: adapted to the
+    /// measured forward time, never above the configured window.
+    pub fn effective_window(&self) -> Duration {
+        let ema = self.ema_sample_ns.load(Ordering::Relaxed);
+        if ema == 0 {
+            // Nothing measured yet: pay the configured window once.
+            self.window
+        } else {
+            Duration::from_nanos(4 * ema).clamp(MIN_COALESCE_WINDOW, self.window)
+        }
+    }
+
+    /// Fold one measured batch into the per-sample EMA.
+    fn record_batch(&self, elapsed: Duration, samples: usize) {
+        let per_sample = (elapsed.as_nanos() as u64) / samples.max(1) as u64;
+        let old = self.ema_sample_ns.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            per_sample
+        } else {
+            (old * 7 + per_sample) / 8
+        };
+        self.ema_sample_ns.store(new, Ordering::Relaxed);
+    }
+}
+
+impl Evaluator for CoalescingEvaluator {
+    fn input_len(&self) -> usize {
+        self.inner.input_len()
+    }
+
+    fn action_space(&self) -> usize {
+        self.inner.action_space()
+    }
+
+    fn evaluate(&self, input: &[f32]) -> (Vec<f32>, f32) {
+        let mut st = self.state.lock().unwrap();
+        // A full round that its leader hasn't sealed yet must not grow
+        // past max_batch; wait for the seal to open the next epoch.
+        while st.inputs.len() >= self.max_batch {
+            st = self.joined.wait(st).unwrap();
+        }
+        let epoch = st.epoch;
+        let index = st.inputs.len();
+        st.inputs.push(input.to_vec());
+        let leader = index == 0;
+        self.joined.notify_all();
+
+        if leader {
+            // Collect joiners until the batch fills or the window closes.
+            let deadline = Instant::now() + self.effective_window();
+            while st.inputs.len() < self.max_batch {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _) = self.joined.wait_timeout(st, deadline - now).unwrap();
+                st = guard;
+            }
+            // Seal the round: later arrivals start the next epoch. Wake
+            // any caller parked on a full round so it can join epoch+1.
+            let batch = std::mem::take(&mut st.inputs);
+            st.epoch += 1;
+            self.joined.notify_all();
+            drop(st);
+
+            let followers = batch.len() - 1;
+            // Contain a panicking backend so the round can be poisoned
+            // for the parked followers before the panic propagates.
+            let t0 = Instant::now();
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let refs: Vec<&[f32]> = batch.iter().map(Vec::as_slice).collect();
+                let mut out = vec![EvalOutput::default(); batch.len()];
+                self.inner.evaluate_batch(&refs, &mut out);
+                out
+            }));
+            if outcome.is_ok() {
+                self.record_batch(t0.elapsed(), followers + 1);
+            }
+
+            let mut st = self.state.lock().unwrap();
+            match outcome {
+                Ok(out) => {
+                    let mut results = out.into_iter();
+                    let mine = results.next().expect("leader owns slot 0");
+                    if followers > 0 {
+                        // Slot 0 stays None: the leader keeps its result.
+                        let mut slots: Vec<Option<EvalOutput>> = Vec::with_capacity(followers + 1);
+                        slots.push(None);
+                        slots.extend(results.map(Some));
+                        st.done.insert(
+                            epoch,
+                            RoundDone {
+                                slots,
+                                remaining: followers,
+                                poisoned: false,
+                            },
+                        );
+                        self.finished.notify_all();
+                    }
+                    drop(st);
+                    (mine.priors, mine.value)
+                }
+                Err(panic) => {
+                    if followers > 0 {
+                        st.done.insert(
+                            epoch,
+                            RoundDone {
+                                slots: Vec::new(),
+                                remaining: followers,
+                                poisoned: true,
+                            },
+                        );
+                        self.finished.notify_all();
+                    }
+                    drop(st);
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        } else {
+            // Follower: park until the leader publishes this round.
+            loop {
+                if let Some(round) = st.done.get_mut(&epoch) {
+                    let mine = if round.poisoned {
+                        None
+                    } else {
+                        Some(round.slots[index].take().expect("result taken once"))
+                    };
+                    round.remaining -= 1;
+                    if round.remaining == 0 {
+                        st.done.remove(&epoch);
+                    }
+                    drop(st);
+                    match mine {
+                        Some(o) => return (o.priors, o.value),
+                        None => panic!("coalesced evaluation panicked in the leader thread"),
+                    }
+                }
+                st = self.finished.wait(st).unwrap();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::{NnEvaluator, UniformEvaluator};
+    use nn::{NetConfig, PolicyValueNet};
+
+    #[test]
+    fn single_caller_passes_through() {
+        let inner: Arc<dyn BatchEvaluator> = Arc::new(UniformEvaluator::new(4, 3));
+        let c = CoalescingEvaluator::with_window(inner, 4, Duration::from_micros(50));
+        let (p, v) = c.evaluate(&[0.0; 4]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn concurrent_callers_share_forward_passes() {
+        let net = Arc::new(PolicyValueNet::new(NetConfig::tiny(4, 3, 3, 9), 4));
+        let nn = Arc::new(NnEvaluator::new(Arc::clone(&net)));
+        let probe = Arc::clone(&nn);
+        let c = Arc::new(CoalescingEvaluator::with_window(
+            nn,
+            8,
+            Duration::from_millis(20),
+        ));
+        let reference = NnEvaluator::new(net);
+        std::thread::scope(|s| {
+            for i in 0..8usize {
+                let c = Arc::clone(&c);
+                let reference = &reference;
+                s.spawn(move || {
+                    let input: Vec<f32> =
+                        (0..36).map(|j| ((i * 17 + j) % 9) as f32 / 9.0).collect();
+                    let (p, v) = c.evaluate(&input);
+                    let o = reference.evaluate_one(&input);
+                    for (a, b) in p.iter().zip(&o.priors) {
+                        assert!((a - b).abs() < 1e-4, "coalesced result diverged");
+                    }
+                    assert!((v - o.value).abs() < 1e-4);
+                });
+            }
+        });
+        // 8 concurrent callers with a generous window: far fewer than 8
+        // forwards must have run (typically 1-2). The reference instance
+        // counts separately.
+        let batched_forwards = probe.forward_calls();
+        assert!(
+            batched_forwards < 8,
+            "no coalescing: {batched_forwards} forwards for 8 calls"
+        );
+    }
+
+    #[test]
+    fn finished_rounds_are_fully_reclaimed() {
+        // Regression: the leader's slot used to be stored as Some and
+        // never taken, leaking one round entry per multi-caller batch.
+        let inner: Arc<dyn BatchEvaluator> = Arc::new(UniformEvaluator::new(4, 3));
+        let c = Arc::new(CoalescingEvaluator::with_window(
+            inner,
+            4,
+            Duration::from_millis(20),
+        ));
+        for _ in 0..10 {
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let c = Arc::clone(&c);
+                    s.spawn(move || {
+                        let (p, _) = c.evaluate(&[0.0; 4]);
+                        assert_eq!(p.len(), 3);
+                    });
+                }
+            });
+        }
+        assert_eq!(c.rounds_pending(), 0, "round entries must be reclaimed");
+    }
+
+    #[test]
+    fn leader_panic_poisons_followers_instead_of_hanging() {
+        /// Panics on every batch.
+        struct Exploding;
+        impl BatchEvaluator for Exploding {
+            fn input_len(&self) -> usize {
+                4
+            }
+            fn action_space(&self) -> usize {
+                2
+            }
+            fn evaluate_batch(&self, _inputs: &[&[f32]], _out: &mut [EvalOutput]) {
+                panic!("backend died");
+            }
+            fn preferred_batch(&self) -> usize {
+                4
+            }
+        }
+        let c = Arc::new(CoalescingEvaluator::with_window(
+            Arc::new(Exploding),
+            4,
+            Duration::from_millis(50),
+        ));
+        // All four callers must terminate (by panicking), none may hang.
+        let results: Vec<bool> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    s.spawn(move || {
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            c.evaluate(&[0.0; 4])
+                        }))
+                        .is_err()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(results.iter().all(|&panicked| panicked));
+        assert_eq!(c.rounds_pending(), 0, "poisoned round must be reclaimed");
+    }
+
+    #[test]
+    fn sequential_calls_never_deadlock() {
+        let inner: Arc<dyn BatchEvaluator> = Arc::new(UniformEvaluator::new(4, 2));
+        let c = CoalescingEvaluator::with_window(inner, 16, Duration::from_micros(100));
+        for _ in 0..20 {
+            let (p, _) = c.evaluate(&[0.0; 4]);
+            assert_eq!(p.len(), 2);
+        }
+    }
+}

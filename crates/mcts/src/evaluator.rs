@@ -1,12 +1,29 @@
 //! Node evaluators: the "DNN inference" half of the tree-based search.
 //!
-//! All search schemes are generic over [`Evaluator`], so the same search
-//! code runs against a real network on the CPU ([`NnEvaluator`]), the
-//! batched accelerator queue ([`AccelEvaluator`]), a uniform stub for
-//! correctness tests ([`UniformEvaluator`]), or a latency-injecting wrapper
-//! for performance experiments ([`DelayedEvaluator`]).
+//! # The batch-first evaluation API
+//!
+//! The search↔inference boundary is where DNN-MCTS throughput is won or
+//! lost (§3.3 of the paper), so the primary interface is batch-first:
+//! [`BatchEvaluator::evaluate_batch`] maps `B` encoded states to `B`
+//! [`EvalOutput`]s in one call. Backends that can amortize work across a
+//! batch do so natively — [`NnEvaluator`] packs one `[B, C, H, W]` tensor
+//! and runs a **single** forward pass, [`AccelEvaluator`] ships all `B`
+//! requests to the accelerator queue from one thread and gathers the
+//! completions without blocking a thread per request.
+//!
+//! The legacy single-sample [`Evaluator`] trait is still supported:
+//! every `Evaluator` is a `BatchEvaluator` through a blanket adapter
+//! that evaluates a batch as `B` sequential calls (`preferred_batch()
+//! == 1`, so schemes won't try to assemble batches for it). Existing
+//! custom evaluators keep working unmodified.
+//!
+//! For pumping *many* leaves through a backend from one thread, see
+//! [`crate::client::EvalClient`] (submit/gather tickets); for coalescing
+//! concurrent single-sample callers into shared batches, see
+//! [`crate::coalesce::CoalescingEvaluator`].
 
 use accel::Device;
+use crossbeam::channel::bounded;
 use games::Game;
 use nn::PolicyValueNet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -14,11 +31,61 @@ use std::sync::Arc;
 use std::time::Duration;
 use tensor::Tensor;
 
-/// Evaluate an encoded state into (policy prior over the *full* action
-/// space, value in `[-1, 1]` for the player to move).
+/// One evaluation result: policy prior over the *full* action space and
+/// a value in `[-1, 1]` for the player to move.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EvalOutput {
+    /// Softmax policy over the full action space.
+    pub priors: Vec<f32>,
+    /// Value estimate for the player to move at the evaluated state.
+    pub value: f32,
+}
+
+/// Batch-first evaluation interface — the primary boundary between the
+/// search schemes and inference.
 ///
-/// Implementations must be thread-safe: the shared-tree scheme calls
-/// `evaluate` concurrently from `N` worker threads.
+/// Implementations must be thread-safe: schemes call `evaluate_batch`
+/// concurrently from worker threads.
+pub trait BatchEvaluator: Send + Sync {
+    /// Length of one flattened input sample.
+    fn input_len(&self) -> usize;
+
+    /// Size of the returned prior vectors.
+    fn action_space(&self) -> usize;
+
+    /// Evaluate `inputs` into `out` (same length, index-aligned). May
+    /// block (e.g. while an accelerator batch assembles).
+    fn evaluate_batch(&self, inputs: &[&[f32]], out: &mut [EvalOutput]);
+
+    /// The batch size this backend digests best. `1` means batching
+    /// buys nothing (schemes then fall back to single-sample dispatch);
+    /// larger values invite schemes to assemble batches of about this
+    /// size before calling [`BatchEvaluator::evaluate_batch`].
+    fn preferred_batch(&self) -> usize {
+        1
+    }
+
+    /// True when single-sample calls already coalesce into device-side
+    /// batches behind this evaluator (e.g. an accelerator queue), so
+    /// callers should *not* add another batching layer on top.
+    fn coalesces_internally(&self) -> bool {
+        false
+    }
+
+    /// Convenience: evaluate one sample through the batch path.
+    fn evaluate_one(&self, input: &[f32]) -> EvalOutput {
+        let mut out = [EvalOutput::default()];
+        self.evaluate_batch(&[input], &mut out);
+        let [o] = out;
+        o
+    }
+}
+
+/// Legacy single-sample evaluation interface.
+///
+/// Kept for custom evaluators and tests: the blanket adapter below makes
+/// every `Evaluator` usable wherever a [`BatchEvaluator`] is expected
+/// (batches degrade to sequential single-sample calls).
 pub trait Evaluator: Send + Sync {
     /// Length of the flattened input expected by [`Evaluator::evaluate`].
     fn input_len(&self) -> usize;
@@ -31,24 +98,110 @@ pub trait Evaluator: Send + Sync {
     fn evaluate(&self, input: &[f32]) -> (Vec<f32>, f32);
 }
 
-/// Direct single-sample CPU inference through a policy-value network.
-pub struct NnEvaluator {
-    net: Arc<PolicyValueNet>,
+/// Blanket adapter: every legacy evaluator is a batch evaluator whose
+/// batches run as sequential single-sample calls.
+impl<E: Evaluator + ?Sized> BatchEvaluator for E {
+    fn input_len(&self) -> usize {
+        Evaluator::input_len(self)
+    }
+
+    fn action_space(&self) -> usize {
+        Evaluator::action_space(self)
+    }
+
+    fn evaluate_batch(&self, inputs: &[&[f32]], out: &mut [EvalOutput]) {
+        debug_assert_eq!(inputs.len(), out.len());
+        for (x, o) in inputs.iter().zip(out.iter_mut()) {
+            let (priors, value) = self.evaluate(x);
+            *o = EvalOutput { priors, value };
+        }
+    }
 }
 
+/// Adapter lifting a boxed legacy evaluator into the batch API.
+///
+/// Needed only for `Arc<dyn Evaluator>` *trait objects* (Rust cannot
+/// coerce `Arc<dyn Evaluator>` to `Arc<dyn BatchEvaluator>` even though
+/// the blanket impl applies); concrete `Arc<E: Evaluator>` coerce
+/// directly.
+pub struct LegacyEvaluator(pub Arc<dyn Evaluator>);
+
+impl BatchEvaluator for LegacyEvaluator {
+    fn input_len(&self) -> usize {
+        Evaluator::input_len(self.0.as_ref())
+    }
+
+    fn action_space(&self) -> usize {
+        Evaluator::action_space(self.0.as_ref())
+    }
+
+    fn evaluate_batch(&self, inputs: &[&[f32]], out: &mut [EvalOutput]) {
+        self.0.as_ref().evaluate_batch(inputs, out)
+    }
+}
+
+/// Adapter exposing a [`BatchEvaluator`] through the legacy synchronous
+/// interface, one sample per call (no cross-caller coalescing — see
+/// [`crate::coalesce::CoalescingEvaluator`] for that).
+pub struct SingleSample(pub Arc<dyn BatchEvaluator>);
+
+impl Evaluator for SingleSample {
+    fn input_len(&self) -> usize {
+        self.0.input_len()
+    }
+
+    fn action_space(&self) -> usize {
+        self.0.action_space()
+    }
+
+    fn evaluate(&self, input: &[f32]) -> (Vec<f32>, f32) {
+        let o = self.0.evaluate_one(input);
+        (o.priors, o.value)
+    }
+}
+
+/// Batched CPU inference through a policy-value network: one forward
+/// pass per batch, regardless of batch size.
+pub struct NnEvaluator {
+    net: Arc<PolicyValueNet>,
+    batch_hint: usize,
+    forward_calls: AtomicU64,
+}
+
+/// Default batch-assembly hint for CPU network inference.
+pub const DEFAULT_NN_BATCH: usize = 8;
+
 impl NnEvaluator {
-    /// Wrap a network for direct CPU evaluation.
+    /// Wrap a network for batched CPU evaluation with the default batch
+    /// hint.
     pub fn new(net: Arc<PolicyValueNet>) -> Self {
-        NnEvaluator { net }
+        Self::with_batch_hint(net, DEFAULT_NN_BATCH)
+    }
+
+    /// Wrap a network, advertising `hint` as the preferred batch size.
+    pub fn with_batch_hint(net: Arc<PolicyValueNet>, hint: usize) -> Self {
+        assert!(hint >= 1, "batch hint must be positive");
+        NnEvaluator {
+            net,
+            batch_hint: hint,
+            forward_calls: AtomicU64::new(0),
+        }
     }
 
     /// Access the wrapped network.
     pub fn net(&self) -> &Arc<PolicyValueNet> {
         &self.net
     }
+
+    /// Number of network forward passes executed so far. With the batch
+    /// path, this counts **one per batch**, not one per sample — the
+    /// property the batch-first API exists to deliver.
+    pub fn forward_calls(&self) -> u64 {
+        self.forward_calls.load(Ordering::Relaxed)
+    }
 }
 
-impl Evaluator for NnEvaluator {
+impl BatchEvaluator for NnEvaluator {
     fn input_len(&self) -> usize {
         let c = self.net.config;
         c.in_c * c.h * c.w
@@ -58,19 +211,42 @@ impl Evaluator for NnEvaluator {
         self.net.config.actions
     }
 
-    fn evaluate(&self, input: &[f32]) -> (Vec<f32>, f32) {
+    fn evaluate_batch(&self, inputs: &[&[f32]], out: &mut [EvalOutput]) {
+        debug_assert_eq!(inputs.len(), out.len());
+        if inputs.is_empty() {
+            return;
+        }
         let c = self.net.config;
-        let x = Tensor::from_vec(input.to_vec(), &[1, c.in_c, c.h, c.w]);
+        let sample_len = c.in_c * c.h * c.w;
+        let b = inputs.len();
+        let mut flat = Vec::with_capacity(b * sample_len);
+        for x in inputs {
+            assert_eq!(x.len(), sample_len, "input length mismatch");
+            flat.extend_from_slice(x);
+        }
+        let x = Tensor::from_vec(flat, &[b, c.in_c, c.h, c.w]);
         let (pi, v) = self.net.predict(&x);
-        (pi.into_vec(), v.data()[0])
+        self.forward_calls.fetch_add(1, Ordering::Relaxed);
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = EvalOutput {
+                priors: pi.row(i).to_vec(),
+                value: v.data()[i],
+            };
+        }
+    }
+
+    fn preferred_batch(&self) -> usize {
+        self.batch_hint
     }
 }
 
-/// Inference routed through the (simulated) accelerator's batching queue.
+/// Inference routed through the accelerator's batching queue.
 ///
-/// Each call submits one request and blocks on its completion; batching
-/// happens inside [`accel::Device`], which is exactly how the paper's
-/// worker threads interact with the GPU queue (§3.3).
+/// `evaluate_batch` submits every sample to the device queue from the
+/// calling thread and then gathers the completions — at no point does it
+/// park one thread per outstanding request, and the device is free to
+/// merge the submissions with traffic from other clients (§3.3's shared
+/// accelerator queue).
 pub struct AccelEvaluator {
     device: Arc<Device>,
 }
@@ -85,9 +261,15 @@ impl AccelEvaluator {
     pub fn device(&self) -> &Arc<Device> {
         &self.device
     }
+
+    /// Blocking single-sample evaluation (legacy-shaped convenience).
+    pub fn evaluate(&self, input: &[f32]) -> (Vec<f32>, f32) {
+        let resp = self.device.evaluate(input.to_vec());
+        (resp.priors, resp.value)
+    }
 }
 
-impl Evaluator for AccelEvaluator {
+impl BatchEvaluator for AccelEvaluator {
     fn input_len(&self) -> usize {
         self.device.input_len()
     }
@@ -96,9 +278,42 @@ impl Evaluator for AccelEvaluator {
         self.device.action_space()
     }
 
-    fn evaluate(&self, input: &[f32]) -> (Vec<f32>, f32) {
+    fn evaluate_batch(&self, inputs: &[&[f32]], out: &mut [EvalOutput]) {
+        debug_assert_eq!(inputs.len(), out.len());
+        if inputs.is_empty() {
+            return;
+        }
+        // Submit everything, then gather: the queue sees the whole batch
+        // at once, so it can execute it as one (or few) device batches.
+        let (tx, rx) = bounded(inputs.len());
+        for (i, x) in inputs.iter().enumerate() {
+            self.device.submit_tagged(i as u64, x.to_vec(), &tx);
+        }
+        for _ in 0..inputs.len() {
+            let t = rx.recv().expect("device streams alive");
+            out[t.tag as usize] = EvalOutput {
+                priors: t.response.priors,
+                value: t.response.value,
+            };
+        }
+    }
+
+    fn preferred_batch(&self) -> usize {
+        self.device.batch_size().max(1)
+    }
+
+    fn coalesces_internally(&self) -> bool {
+        // The device queue already merges concurrent single-sample
+        // submitters into hardware batches.
+        true
+    }
+
+    fn evaluate_one(&self, input: &[f32]) -> EvalOutput {
         let resp = self.device.evaluate(input.to_vec());
-        (resp.priors, resp.value)
+        EvalOutput {
+            priors: resp.priors,
+            value: resp.value,
+        }
     }
 }
 
@@ -190,8 +405,8 @@ mod tests {
     #[test]
     fn uniform_evaluator_shapes() {
         let e = UniformEvaluator::for_game(&TicTacToe::new());
-        assert_eq!(e.action_space(), 9);
-        assert_eq!(e.input_len(), 36);
+        assert_eq!(Evaluator::action_space(&e), 9);
+        assert_eq!(Evaluator::input_len(&e), 36);
         let (p, v) = e.evaluate(&[0.0; 36]);
         assert_eq!(p.len(), 9);
         assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
@@ -203,11 +418,45 @@ mod tests {
         let net = Arc::new(PolicyValueNet::new(NetConfig::tiny(4, 3, 3, 9), 1));
         let e = NnEvaluator::new(Arc::clone(&net));
         let input: Vec<f32> = (0..36).map(|i| (i % 3) as f32).collect();
-        let (p, v) = e.evaluate(&input);
+        let o = e.evaluate_one(&input);
         let x = Tensor::from_vec(input, &[1, 4, 3, 3]);
         let (pi, vv) = net.predict(&x);
-        assert_eq!(p, pi.into_vec());
-        assert_eq!(v, vv.data()[0]);
+        assert_eq!(o.priors, pi.into_vec());
+        assert_eq!(o.value, vv.data()[0]);
+    }
+
+    #[test]
+    fn nn_evaluator_runs_one_forward_per_batch() {
+        let net = Arc::new(PolicyValueNet::new(NetConfig::tiny(4, 3, 3, 9), 2));
+        let e = NnEvaluator::new(net);
+        let inputs: Vec<Vec<f32>> = (0..6)
+            .map(|i| (0..36).map(|j| ((i * 7 + j) % 5) as f32 / 5.0).collect())
+            .collect();
+        let refs: Vec<&[f32]> = inputs.iter().map(Vec::as_slice).collect();
+        let mut out = vec![EvalOutput::default(); 6];
+        e.evaluate_batch(&refs, &mut out);
+        assert_eq!(e.forward_calls(), 1, "batch of 6 must be ONE forward");
+        // And the batched rows must equal per-sample evaluation.
+        for (x, o) in refs.iter().zip(&out) {
+            let single = e.evaluate_one(x);
+            for (a, b) in o.priors.iter().zip(&single.priors) {
+                assert!((a - b).abs() < 1e-4);
+            }
+            assert!((o.value - single.value).abs() < 1e-4);
+        }
+        assert_eq!(e.forward_calls(), 1 + 6, "each evaluate_one adds one");
+    }
+
+    #[test]
+    fn legacy_blanket_adapter_loops_singles() {
+        let e = UniformEvaluator::new(4, 2);
+        let a = [0.0f32; 4];
+        let b = [1.0f32; 4];
+        let mut out = vec![EvalOutput::default(); 2];
+        BatchEvaluator::evaluate_batch(&e, &[&a, &b], &mut out);
+        assert_eq!(out[0].priors, vec![0.5, 0.5]);
+        assert_eq!(out[1].priors, vec![0.5, 0.5]);
+        assert_eq!(BatchEvaluator::preferred_batch(&e), 1);
     }
 
     #[test]
@@ -218,23 +467,65 @@ mod tests {
         let acc = AccelEvaluator::new(dev);
         let input: Vec<f32> = (0..36).map(|i| (i % 5) as f32 * 0.2).collect();
         let (pa, va) = acc.evaluate(&input);
-        let (pc, vc) = cpu.evaluate(&input);
-        for (a, b) in pa.iter().zip(&pc) {
+        let oc = cpu.evaluate_one(&input);
+        for (a, b) in pa.iter().zip(&oc.priors) {
             assert!((a - b).abs() < 1e-5);
         }
-        assert!((va - vc).abs() < 1e-5);
+        assert!((va - oc.value).abs() < 1e-5);
+    }
+
+    #[test]
+    fn accel_batch_submits_from_one_thread() {
+        let net = Arc::new(PolicyValueNet::new(NetConfig::tiny(4, 3, 3, 9), 5));
+        let dev = Arc::new(Device::new(Arc::clone(&net), DeviceConfig::instant(4)));
+        let acc = AccelEvaluator::new(Arc::clone(&dev));
+        let cpu = NnEvaluator::new(net);
+        let inputs: Vec<Vec<f32>> = (0..8)
+            .map(|i| (0..36).map(|j| ((i * 11 + j) % 7) as f32 / 7.0).collect())
+            .collect();
+        let refs: Vec<&[f32]> = inputs.iter().map(Vec::as_slice).collect();
+        let mut out = vec![EvalOutput::default(); 8];
+        acc.evaluate_batch(&refs, &mut out);
+        for (x, o) in refs.iter().zip(&out) {
+            let c = cpu.evaluate_one(x);
+            for (a, b) in o.priors.iter().zip(&c.priors) {
+                assert!((a - b).abs() < 1e-4);
+            }
+            assert!((o.value - c.value).abs() < 1e-4);
+        }
+        // All 8 went through the queue at once: device batches must form.
+        assert!(dev.stats().max_batch >= 2, "no batching happened");
     }
 
     #[test]
     fn delayed_evaluator_counts_and_delays() {
-        let e = DelayedEvaluator::new(
-            UniformEvaluator::new(4, 2),
-            Duration::from_millis(5),
-        );
+        let e = DelayedEvaluator::new(UniformEvaluator::new(4, 2), Duration::from_millis(5));
         let t0 = std::time::Instant::now();
         let _ = e.evaluate(&[0.0; 4]);
         let _ = e.evaluate(&[0.0; 4]);
         assert!(t0.elapsed() >= Duration::from_millis(10));
         assert_eq!(e.calls(), 2);
+    }
+
+    #[test]
+    fn legacy_trait_object_adapter_works() {
+        let legacy: Arc<dyn Evaluator> = Arc::new(UniformEvaluator::new(4, 2));
+        let batch = LegacyEvaluator(legacy);
+        let o = batch.evaluate_one(&[0.0; 4]);
+        assert_eq!(o.priors, vec![0.5, 0.5]);
+        assert_eq!(BatchEvaluator::action_space(&batch), 2);
+        assert_eq!(BatchEvaluator::input_len(&batch), 4);
+    }
+
+    #[test]
+    fn single_sample_adapter_roundtrips() {
+        let net = Arc::new(PolicyValueNet::new(NetConfig::tiny(4, 3, 3, 9), 3));
+        let batch: Arc<dyn BatchEvaluator> = Arc::new(NnEvaluator::new(Arc::clone(&net)));
+        let single = SingleSample(Arc::clone(&batch));
+        let input: Vec<f32> = (0..36).map(|i| (i % 4) as f32 * 0.25).collect();
+        let (p, v) = single.evaluate(&input);
+        let o = batch.evaluate_one(&input);
+        assert_eq!(p, o.priors);
+        assert_eq!(v, o.value);
     }
 }

@@ -2,15 +2,22 @@
 //!
 //! A single tree and a single selection path; at each selected leaf, all
 //! `N` workers evaluate *the same leaf* in parallel and the results are
-//! averaged. In classic MCTS those are `N` independent random rollouts; in
-//! DNN-MCTS the evaluator is deterministic, so the replicas add no
+//! averaged. In classic MCTS those are `N` independent random rollouts;
+//! in DNN-MCTS the evaluator is deterministic, so the replicas add no
 //! information — which is precisely the paper's critique ("wastes
 //! parallelism due to the lack of diverse evaluation coverage"). The
 //! scheme is implemented faithfully so benchmarks can demonstrate that
 //! tradeoff.
+//!
+//! Under the batch-first API, a natively batching evaluator runs the
+//! `N` replicas as one [`BatchEvaluator::evaluate_batch`] call with `N`
+//! identical rows — the wasted work plainly visible as a batch full of
+//! copies. Single-sample evaluators (`preferred_batch() == 1`) keep the
+//! classic shape instead: `N` concurrent evaluations on a worker pool,
+//! so the scheme's wall-clock profile as a baseline stays faithful.
 
 use crate::config::MctsConfig;
-use crate::evaluator::Evaluator;
+use crate::evaluator::{BatchEvaluator, EvalOutput};
 use crate::local::empty_result;
 use crate::pool::WorkerPool;
 use crate::result::{SearchResult, SearchScheme, SearchStats};
@@ -23,18 +30,54 @@ use std::time::Instant;
 /// Same-leaf replicated evaluation parallelism.
 pub struct LeafParallelSearch {
     cfg: MctsConfig,
-    evaluator: Arc<dyn Evaluator>,
-    pool: WorkerPool,
+    evaluator: Arc<dyn BatchEvaluator>,
+    /// Replica threads for single-sample evaluators; `None` when the
+    /// evaluator batches natively (one call carries all replicas).
+    pool: Option<WorkerPool>,
 }
 
 impl LeafParallelSearch {
-    /// Spawn `cfg.workers` evaluation threads.
-    pub fn new(cfg: MctsConfig, evaluator: Arc<dyn Evaluator>) -> Self {
+    /// Create a leaf-parallel searcher replicating each evaluation
+    /// `cfg.workers` times.
+    pub fn new(cfg: MctsConfig, evaluator: Arc<dyn BatchEvaluator>) -> Self {
         cfg.validate();
+        let pool = if evaluator.preferred_batch() == 1 && cfg.workers > 1 {
+            Some(WorkerPool::new(cfg.workers))
+        } else {
+            None
+        };
         LeafParallelSearch {
-            pool: WorkerPool::new(cfg.workers),
             cfg,
             evaluator,
+            pool,
+        }
+    }
+
+    /// Evaluate the same encoded state `n` times into `replicas`.
+    fn replicate(&self, encoded: &[f32], replicas: &mut [EvalOutput]) {
+        match &self.pool {
+            // Natively-batching backend: one call, one fused batch.
+            None => {
+                let inputs: Vec<&[f32]> = (0..replicas.len()).map(|_| encoded).collect();
+                self.evaluator.evaluate_batch(&inputs, replicas);
+            }
+            // Single-sample backend: N concurrent evaluations, the
+            // classic Cazenave & Jouandeau shape.
+            Some(pool) => {
+                let (tx, rx) = unbounded();
+                for _ in 0..replicas.len() {
+                    let input = encoded.to_vec();
+                    let eval = Arc::clone(&self.evaluator);
+                    let tx = tx.clone();
+                    pool.submit(move || {
+                        let _ = tx.send(eval.evaluate_one(&input));
+                    });
+                }
+                drop(tx);
+                for r in replicas.iter_mut() {
+                    *r = rx.recv().expect("replica worker alive");
+                }
+            }
         }
     }
 }
@@ -49,6 +92,7 @@ impl<G: Game> SearchScheme<G> for LeafParallelSearch {
         let mut stats = SearchStats::default();
         let mut encode_buf = vec![0.0f32; root.encoded_len()];
         let n = self.cfg.workers;
+        let mut replicas: Vec<EvalOutput> = vec![EvalOutput::default(); n];
 
         let mut done = 0usize;
         while done < self.cfg.playouts {
@@ -60,32 +104,14 @@ impl<G: Game> SearchScheme<G> for LeafParallelSearch {
                 SelectOutcome::TerminalBackedUp => done += 1,
                 SelectOutcome::NeedsEval => {
                     game.encode(&mut encode_buf);
-                    // Fan the SAME state out to all N workers.
-                    let (tx, rx) = unbounded();
+                    // Fan the SAME state out to all N replica slots.
                     let t1 = Instant::now();
-                    for _ in 0..n {
-                        let input = encode_buf.clone();
-                        let eval = Arc::clone(&self.evaluator);
-                        let tx = tx.clone();
-                        self.pool.submit(move || {
-                            let _ = tx.send(eval.evaluate(&input));
-                        });
-                    }
-                    drop(tx);
-                    let mut priors: Option<Vec<f32>> = None;
-                    let mut value_sum = 0.0f64;
-                    let mut count = 0usize;
-                    while let Ok((p, v)) = rx.recv() {
-                        if priors.is_none() {
-                            priors = Some(p);
-                        }
-                        value_sum += v as f64;
-                        count += 1;
-                    }
+                    self.replicate(&encode_buf, &mut replicas);
                     stats.eval_ns += t1.elapsed().as_nanos() as u64;
-                    let value = (value_sum / count as f64) as f32;
+                    let value =
+                        (replicas.iter().map(|o| o.value as f64).sum::<f64>() / n as f64) as f32;
                     let t2 = Instant::now();
-                    tree.expand_and_backup(leaf, &priors.expect("worker results"), value);
+                    tree.expand_and_backup(leaf, &replicas[0].priors, value);
                     stats.backup_ns += t2.elapsed().as_nanos() as u64;
                     done += 1;
                 }
@@ -148,6 +174,45 @@ mod tests {
         let rl = SearchScheme::<TicTacToe>::search(&mut leaf, &g);
         let rs = SearchScheme::<TicTacToe>::search(&mut serial, &g);
         assert_eq!(rl.visits, rs.visits, "wasted parallelism: same search");
+    }
+
+    #[test]
+    fn replicas_form_one_network_batch() {
+        use crate::evaluator::NnEvaluator;
+        use nn::{NetConfig, PolicyValueNet};
+        let net = Arc::new(PolicyValueNet::new(NetConfig::tiny(4, 3, 3, 9), 8));
+        let eval = Arc::new(NnEvaluator::new(net));
+        let probe = Arc::clone(&eval);
+        let mut s = LeafParallelSearch::new(cfg(30, 4), eval);
+        let r = SearchScheme::<TicTacToe>::search(&mut s, &TicTacToe::new());
+        assert_eq!(r.stats.playouts, 30);
+        // One forward pass per *leaf*, not per replica.
+        assert!(
+            probe.forward_calls() <= 30,
+            "replicas must share a batch: {} forwards",
+            probe.forward_calls()
+        );
+    }
+
+    #[test]
+    fn single_sample_replicas_run_concurrently() {
+        use crate::evaluator::DelayedEvaluator;
+        use std::time::Duration;
+        // 10 playouts × 4 replicas × 5 ms each = 200 ms if sequential;
+        // the worker pool must overlap the replicas (~50 ms + slack).
+        let eval = DelayedEvaluator::new(
+            UniformEvaluator::for_game(&TicTacToe::new()),
+            Duration::from_millis(5),
+        );
+        let mut s = LeafParallelSearch::new(cfg(10, 4), Arc::new(eval));
+        let t0 = Instant::now();
+        let r = SearchScheme::<TicTacToe>::search(&mut s, &TicTacToe::new());
+        assert_eq!(r.stats.playouts, 10);
+        assert!(
+            t0.elapsed() < Duration::from_millis(150),
+            "replicas ran sequentially: {:?}",
+            t0.elapsed()
+        );
     }
 
     #[test]

@@ -1,19 +1,26 @@
 //! Tree-parallel DNN-guided Monte-Carlo Tree Search with adaptive
 //! parallelism — the core contribution of the reproduced paper.
 //!
+//! # Batch-first evaluation
+//!
+//! The search↔inference boundary is batch-first: every scheme consumes a
+//! [`BatchEvaluator`] (`evaluate_batch` over `[B, C, H, W]` inputs), and
+//! asynchronous backends are driven through an [`EvalClient`]
+//! (submit/gather tickets) so one thread can keep many leaves in flight.
+//! Legacy single-sample [`Evaluator`] implementations keep working via a
+//! blanket adapter (their batches run as sequential calls).
+//!
 //! # The two parallel schemes
 //!
 //! * [`shared::SharedTreeSearch`] — §3.1.1: `N` worker threads share one
 //!   concurrent tree; per-node locks (or lock-free atomics) protect edge
-//!   statistics; virtual loss steers workers onto different paths. In-tree
-//!   operations are parallel, but every worker pays shared-memory access
-//!   cost, and node evaluation is serialized *with* in-tree work on each
-//!   thread.
+//!   statistics; virtual loss steers workers onto different paths, and
+//!   concurrent evaluations coalesce into shared inference batches.
 //! * [`local::LocalTreeSearch`] — §3.1.2: a single master thread owns the
 //!   entire tree (no locks, cache-friendly arena) and performs all in-tree
-//!   operations; `N` worker threads only run DNN inference, fed through
-//!   FIFO channels. In-tree work is serial but fully overlapped with
-//!   parallel inference.
+//!   operations, keeping leaves in flight through [`EvalClient`] tickets —
+//!   batched CPU inference workers or the accelerator queue's native
+//!   async submit/poll interface (Algorithm 3's FIFO pipes).
 //!
 //! * [`serial::SerialSearch`], [`leaf_parallel::LeafParallelSearch`] and
 //!   [`root_parallel::RootParallelSearch`] are the baselines from §2.2.
@@ -22,23 +29,46 @@
 //! performance model (see the `perfmodel` crate), reproducing the paper's
 //! compile-time adaptive selection.
 //!
-//! # Example
+//! # Quickstart
+//!
+//! Every scheme is constructed through [`SearchBuilder`] (direct
+//! constructors exist too and behave identically):
 //!
 //! ```
 //! use games::tictactoe::TicTacToe;
-//! use mcts::{MctsConfig, evaluator::UniformEvaluator, serial::SerialSearch, SearchScheme};
+//! use mcts::{Scheme, SearchBuilder, UniformEvaluator};
 //! use std::sync::Arc;
 //!
-//! let cfg = MctsConfig { playouts: 64, ..MctsConfig::default() };
-//! let eval = Arc::new(UniformEvaluator::for_game(&TicTacToe::new()));
-//! let mut search = SerialSearch::new(cfg, eval);
+//! let mut search = SearchBuilder::new(Scheme::Serial)
+//!     .playouts(64)
+//!     .evaluator(Arc::new(UniformEvaluator::for_game(&TicTacToe::new())))
+//!     .build::<TicTacToe>();
 //! let result = search.search(&TicTacToe::new());
 //! // 64 playouts: the first expands the root, the rest visit children.
 //! assert_eq!(result.visits.iter().sum::<u32>(), 63);
 //! ```
+//!
+//! Keeping many leaves in flight by hand (what the local scheme does
+//! internally):
+//!
+//! ```
+//! use mcts::{EvalClient, UniformEvaluator};
+//! use std::sync::Arc;
+//!
+//! let mut client = EvalClient::threaded(Arc::new(UniformEvaluator::new(4, 3)), 2);
+//! let a = client.submit(17, &[0.0; 4]); // tag 17, e.g. a leaf id
+//! let b = client.submit(42, &[1.0; 4]);
+//! assert_eq!((a.tag, b.tag), (17, 42));
+//! let done = client.gather_all();
+//! assert_eq!(done.len(), 2);
+//! assert_eq!(done[0].output.priors.len(), 3);
+//! ```
 
 pub mod adaptive;
 pub mod analysis;
+pub mod builder;
+pub mod client;
+pub mod coalesce;
 pub mod config;
 pub mod evaluator;
 pub mod leaf_parallel;
@@ -54,8 +84,14 @@ pub mod speculative;
 pub mod tree;
 
 pub use adaptive::{AdaptiveSearch, Scheme};
+pub use builder::SearchBuilder;
+pub use client::{Completion, EvalClient, Ticket};
+pub use coalesce::CoalescingEvaluator;
 pub use config::{LockKind, MctsConfig, VirtualLoss};
-pub use evaluator::{AccelEvaluator, Evaluator, NnEvaluator, UniformEvaluator};
+pub use evaluator::{
+    AccelEvaluator, BatchEvaluator, EvalOutput, Evaluator, LegacyEvaluator, NnEvaluator,
+    SingleSample, UniformEvaluator,
+};
 pub use noise::RootNoise;
 pub use result::{SearchResult, SearchScheme, SearchStats};
 pub use reuse::ReusableSearch;

@@ -2,55 +2,71 @@
 //!
 //! A single **master thread** (the caller of [`LocalTreeSearch::search`])
 //! owns the complete tree in its local memory and executes *all* in-tree
-//! operations — Node Selection, Expansion and BackUp — with no locks. `N`
-//! **worker threads** are dedicated exclusively to node evaluation (DNN
-//! inference); the master communicates with them through FIFO channels
-//! (the paper's "communication pipes").
+//! operations — Node Selection, Expansion and BackUp — with no locks.
+//! Evaluation flows through an [`EvalClient`]: the master submits each
+//! selected leaf as a ticket and opportunistically drains completions
+//! (expansion + backup) while more leaves stay in flight.
 //!
-//! The master runs the `rollout_n_times` loop: it repeatedly selects a
-//! leaf, ships an evaluation request to the pool, and opportunistically
-//! drains completed evaluations (expansion + backup). When all `N` workers
-//! are occupied — or when selection lands on a leaf whose evaluation is
-//! still in flight — the master blocks on the result pipe (Algorithm 3,
+//! Two backends realize Algorithm 3's FIFO pipes:
+//!
+//! * **CPU** ([`LocalTreeSearch::new`]) — `N` inference worker threads
+//!   serve batches assembled by the client (batch size follows the
+//!   evaluator's [`crate::BatchEvaluator::preferred_batch`] hint);
+//! * **accelerator** ([`LocalTreeSearch::with_device`]) — tickets feed
+//!   the device queue *directly* through its async submit/poll
+//!   interface; no per-leaf threads exist at all, and the device's own
+//!   streams assemble the hardware batches (§3.3).
+//!
+//! The master runs the `rollout_n_times` loop: select a leaf, ship its
+//! encoding, drain whatever finished. When the in-flight budget is
+//! exhausted — or selection lands on a leaf whose evaluation is still
+//! pending — the master blocks on the next completion (Algorithm 3,
 //! lines 12–13).
 
+use crate::client::EvalClient;
 use crate::config::MctsConfig;
-use crate::evaluator::Evaluator;
-use crate::pool::WorkerPool;
+use crate::evaluator::BatchEvaluator;
 use crate::result::{SearchResult, SearchScheme, SearchStats};
 use crate::tree::{SelectOutcome, Tree};
-use crossbeam::channel::unbounded;
+use accel::Device;
 use games::Game;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Master/worker local-tree search.
+/// Master-thread local-tree search over an [`EvalClient`].
 pub struct LocalTreeSearch {
     cfg: MctsConfig,
-    evaluator: Arc<dyn Evaluator>,
-    pool: WorkerPool,
-    eval_ns: Arc<AtomicU64>,
-}
-
-/// A completed evaluation flowing back through the result pipe.
-struct EvalDone {
-    leaf: u32,
-    priors: Vec<f32>,
-    value: f32,
+    client: EvalClient,
 }
 
 impl LocalTreeSearch {
-    /// Spawn the worker pool (`cfg.workers` threads, paper's `N`; the
-    /// master is the `N+1`-th thread).
-    pub fn new(cfg: MctsConfig, evaluator: Arc<dyn Evaluator>) -> Self {
+    /// CPU configuration: `cfg.workers` inference threads (paper's `N`;
+    /// the master is the `N+1`-th thread).
+    pub fn new(cfg: MctsConfig, evaluator: Arc<dyn BatchEvaluator>) -> Self {
         cfg.validate();
         LocalTreeSearch {
-            pool: WorkerPool::new(cfg.workers),
+            client: EvalClient::threaded(evaluator, cfg.workers),
             cfg,
-            evaluator,
-            eval_ns: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Accelerator configuration: leaves go straight into `device`'s
+    /// request queue; completions are polled, never blocked on
+    /// per-request. In-flight budget is `max(workers, device batch)` so
+    /// the device can always fill a batch.
+    pub fn with_device(cfg: MctsConfig, device: Arc<Device>) -> Self {
+        cfg.validate();
+        let cap = cfg.workers.max(device.batch_size());
+        LocalTreeSearch {
+            client: EvalClient::for_device(device, cap),
+            cfg,
+        }
+    }
+
+    /// Build over an explicit client (tests, custom backends).
+    pub fn with_client(cfg: MctsConfig, client: EvalClient) -> Self {
+        cfg.validate();
+        LocalTreeSearch { cfg, client }
     }
 
     /// The configuration in use.
@@ -64,31 +80,40 @@ impl<G: Game> SearchScheme<G> for LocalTreeSearch {
         let move_start = Instant::now();
         let mut tree = Tree::new(self.cfg);
         let mut stats = SearchStats::default();
-        self.eval_ns.store(0, Ordering::Relaxed);
+        self.client.reset_eval_ns();
 
         if root.status().is_terminal() {
             return empty_result(root.action_space());
         }
 
-        let (res_tx, res_rx) = unbounded::<EvalDone>();
-        let n = self.cfg.workers;
+        let cap = self.client.capacity();
         let playouts = self.cfg.playouts;
         let mut issued = 0usize;
         let mut completed = 0usize;
-        let mut in_flight = 0usize;
         let mut encode_buf = vec![0.0f32; root.encoded_len()];
 
-        // One blocking receive + expansion/backup of the result.
-        let process_one = |tree: &mut Tree,
-                               stats: &mut SearchStats,
-                               completed: &mut usize,
-                               in_flight: &mut usize| {
-            let done = res_rx.recv().expect("worker pool alive");
+        // Expansion/backup of one completed evaluation (the tag carries
+        // the leaf id back).
+        let apply = |tree: &mut Tree,
+                     stats: &mut SearchStats,
+                     completed: &mut usize,
+                     done: crate::client::Completion| {
             let t = Instant::now();
-            tree.expand_and_backup(done.leaf, &done.priors, done.value);
+            tree.expand_and_backup(
+                done.ticket.tag as u32,
+                &done.output.priors,
+                done.output.value,
+            );
             stats.backup_ns += t.elapsed().as_nanos() as u64;
             *completed += 1;
-            *in_flight -= 1;
+        };
+        // One blocking gather + apply.
+        let process_one = |client: &mut EvalClient,
+                           tree: &mut Tree,
+                           stats: &mut SearchStats,
+                           completed: &mut usize| {
+            let done = client.gather();
+            apply(tree, stats, completed, done);
         };
 
         while completed < playouts {
@@ -104,49 +129,40 @@ impl<G: Game> SearchScheme<G> for LocalTreeSearch {
                     }
                     SelectOutcome::NeedsEval => {
                         game.encode(&mut encode_buf);
-                        let input = encode_buf.clone();
-                        let tx = res_tx.clone();
-                        let eval = Arc::clone(&self.evaluator);
-                        let eval_ns = Arc::clone(&self.eval_ns);
-                        // Ship to the worker pool (FIFO pipe). The worker
-                        // runs only the DNN inference.
-                        self.pool.submit(move || {
-                            let t = Instant::now();
-                            let (priors, value) = eval.evaluate(&input);
-                            eval_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                            let _ = tx.send(EvalDone { leaf, priors, value });
-                        });
+                        // Ticket into the FIFO pipe; the tag carries the
+                        // leaf id back with the completion.
+                        self.client.submit(leaf as u64, &encode_buf);
                         issued += 1;
-                        in_flight += 1;
                     }
                     SelectOutcome::Busy => {
                         // Selection hit an in-flight leaf; wait for one
                         // result so the tree gains information, then retry.
                         stats.collisions += 1;
-                        assert!(in_flight > 0, "busy leaf with nothing in flight");
-                        process_one(&mut tree, &mut stats, &mut completed, &mut in_flight);
+                        assert!(
+                            self.client.in_flight() > 0,
+                            "busy leaf with nothing in flight"
+                        );
+                        process_one(&mut self.client, &mut tree, &mut stats, &mut completed);
                     }
                 }
             }
-            // Algorithm 3 lines 12-13: block while the pool is saturated.
-            while in_flight >= n || (issued >= playouts && in_flight > 0) {
-                process_one(&mut tree, &mut stats, &mut completed, &mut in_flight);
+            // Algorithm 3 lines 12-13: block while the pipe is saturated.
+            while self.client.in_flight() >= cap
+                || (issued >= playouts && self.client.in_flight() > 0)
+            {
+                process_one(&mut self.client, &mut tree, &mut stats, &mut completed);
             }
             // Opportunistic non-blocking drain keeps the tree fresh.
-            while let Ok(done) = res_rx.try_recv() {
-                let t = Instant::now();
-                tree.expand_and_backup(done.leaf, &done.priors, done.value);
-                stats.backup_ns += t.elapsed().as_nanos() as u64;
-                completed += 1;
-                in_flight -= 1;
+            while let Some(done) = self.client.try_gather() {
+                apply(&mut tree, &mut stats, &mut completed, done);
             }
         }
 
-        debug_assert_eq!(in_flight, 0);
+        debug_assert_eq!(self.client.in_flight(), 0);
         debug_assert_eq!(tree.outstanding_vl(), 0);
         let (visits, probs, value) = tree.action_prior(root.action_space());
         stats.playouts = completed as u64;
-        stats.eval_ns = self.eval_ns.load(Ordering::Relaxed);
+        stats.eval_ns = self.client.eval_ns();
         stats.move_ns = move_start.elapsed().as_nanos() as u64;
         stats.nodes = tree.len() as u64;
         SearchResult {
@@ -294,5 +310,19 @@ mod tests {
             g.apply(r.best_action());
         }
         assert_eq!(g.move_count(), 3);
+    }
+
+    #[test]
+    fn device_backend_drives_search_without_worker_threads() {
+        use accel::{Device, DeviceConfig};
+        use nn::{NetConfig, PolicyValueNet};
+        let net = Arc::new(PolicyValueNet::new(NetConfig::tiny(4, 3, 3, 9), 6));
+        let dev = Arc::new(Device::new(net, DeviceConfig::instant(4)));
+        let mut s = LocalTreeSearch::with_device(cfg(120, 4), Arc::clone(&dev));
+        let r = s.search(&TicTacToe::new());
+        assert_eq!(r.stats.playouts, 120);
+        let stats = dev.stats();
+        assert!(stats.samples >= 100);
+        assert!(stats.max_batch >= 2, "device batching never engaged");
     }
 }

@@ -66,30 +66,58 @@ pub struct SearchResult {
 
 impl SearchResult {
     /// The most-visited action (greedy move choice, Algorithm 1 line 10).
+    ///
+    /// Edge cases are fully defined: ties break toward the **lowest**
+    /// action index (deterministic across runs and platforms), and an
+    /// all-zero visit vector — a search that never expanded the root,
+    /// e.g. zero completed playouts or a terminal root — falls back to
+    /// the highest-prior action, then to action 0.
     pub fn best_action(&self) -> Action {
         let mut best = 0usize;
         for (i, &v) in self.visits.iter().enumerate() {
+            // Strict `>`: the first maximum wins, so ties are stable.
             if v > self.visits[best] {
                 best = i;
             }
         }
-        best as Action
+        if self.visits.is_empty() || self.visits[best] > 0 {
+            return best as Action;
+        }
+        // No visits anywhere: the prior is the only signal left.
+        let mut by_prior = 0usize;
+        for (i, &p) in self.probs.iter().enumerate() {
+            if p > self.probs[by_prior] {
+                by_prior = i;
+            }
+        }
+        by_prior as Action
     }
 
-    /// Sample an action from visit counts sharpened by `1/temperature`
-    /// (temperature → 0 recovers argmax; 1.0 is proportional sampling).
+    /// Sample an action from visit counts sharpened by `1/temperature`.
+    ///
+    /// `temperature → 0` recovers [`SearchResult::best_action`] exactly
+    /// (argmax with the same deterministic tie-breaking); `1.0` samples
+    /// proportionally to visits. Weights are normalized by the maximum
+    /// visit count before exponentiation, so small temperatures cannot
+    /// overflow to `inf`/NaN no matter how large the counts are, and an
+    /// all-zero visit vector falls back to `best_action()`.
     pub fn sample_action<R: rand::Rng + ?Sized>(&self, temperature: f32, rng: &mut R) -> Action {
         if temperature < 1e-3 {
             return self.best_action();
         }
-        let inv_t = 1.0 / temperature;
+        let max_v = self.visits.iter().copied().max().unwrap_or(0);
+        if max_v == 0 {
+            return self.best_action();
+        }
+        let inv_t = 1.0 / temperature as f64;
+        // (v / max)^1/t ∈ [0, 1]: immune to overflow for any t > 0.
         let weights: Vec<f64> = self
             .visits
             .iter()
-            .map(|&v| (v as f64).powf(inv_t as f64))
+            .map(|&v| (v as f64 / max_v as f64).powf(inv_t))
             .collect();
         let total: f64 = weights.iter().sum();
-        if total <= 0.0 {
+        if total <= 0.0 || !total.is_finite() {
             return self.best_action();
         }
         let mut u = rng.gen_range(0.0..total);
@@ -110,6 +138,19 @@ impl SearchResult {
 pub trait SearchScheme<G: games::Game>: Send {
     /// Run one move's worth of playouts from `root`.
     fn search(&mut self, root: &G) -> SearchResult;
+
+    /// Report that `action` was actually played from the last-searched
+    /// state. Stateless schemes ignore this (the default); stateful
+    /// schemes (tree reuse) re-root their retained tree. Self-play
+    /// drivers call it after every applied move.
+    fn advance(&mut self, action: Action) {
+        let _ = action;
+    }
+
+    /// Discard any state retained across moves (e.g. when a new game
+    /// starts). No-op for stateless schemes. Match drivers call it at
+    /// the start of every game.
+    fn reset(&mut self) {}
 
     /// Short scheme identifier for logs/plots.
     fn name(&self) -> &'static str;
@@ -168,6 +209,62 @@ mod tests {
             .count() as f64
             / n as f64;
         assert!(sharp > 0.75, "sharpened fraction {sharp}");
+    }
+
+    #[test]
+    fn best_action_ties_break_to_lowest_index() {
+        let r = result_with_visits(vec![3, 7, 7, 7, 1]);
+        assert_eq!(r.best_action(), 1, "first maximum must win");
+        let r = result_with_visits(vec![5, 5]);
+        assert_eq!(r.best_action(), 0);
+    }
+
+    #[test]
+    fn best_action_all_zero_visits_uses_priors() {
+        let r = SearchResult {
+            probs: vec![0.1, 0.2, 0.6, 0.1],
+            visits: vec![0, 0, 0, 0],
+            value: 0.0,
+            stats: SearchStats::default(),
+        };
+        assert_eq!(r.best_action(), 2, "prior argmax when nothing visited");
+    }
+
+    #[test]
+    fn best_action_all_zero_everything_is_zero() {
+        let r = SearchResult {
+            probs: vec![0.0; 3],
+            visits: vec![0; 3],
+            value: 0.0,
+            stats: SearchStats::default(),
+        };
+        assert_eq!(r.best_action(), 0, "fully-empty result defaults to 0");
+    }
+
+    #[test]
+    fn sample_action_zero_visits_is_defined() {
+        let r = SearchResult {
+            probs: vec![0.0, 1.0],
+            visits: vec![0, 0],
+            value: 0.0,
+            stats: SearchStats::default(),
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for t in [0.0f32, 0.5, 1.0, 4.0] {
+            assert_eq!(r.sample_action(t, &mut rng), 1, "temperature {t}");
+        }
+    }
+
+    #[test]
+    fn tiny_temperature_matches_argmax_without_overflow() {
+        // Large counts + temperature just above the argmax cutoff: the
+        // naive v^(1/t) overflows every weight to inf and samples
+        // garbage; max-normalized weights stay finite and sharp.
+        let r = result_with_visits(vec![100_000, 10, 1]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        for _ in 0..50 {
+            assert_eq!(r.sample_action(1.5e-3, &mut rng), 0);
+        }
     }
 
     #[test]

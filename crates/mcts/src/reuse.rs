@@ -11,8 +11,8 @@
 //! the move, which shifts the shared/local crossover of §4).
 
 use crate::config::MctsConfig;
-use crate::evaluator::Evaluator;
-use crate::result::{SearchResult, SearchStats};
+use crate::evaluator::BatchEvaluator;
+use crate::result::{SearchResult, SearchScheme, SearchStats};
 use crate::tree::{SelectOutcome, Tree};
 use games::{Action, Game};
 use std::sync::Arc;
@@ -23,9 +23,11 @@ use std::time::Instant;
 /// Unlike [`crate::serial::SerialSearch`], this type is *stateful*: callers
 /// must report every move actually played (their own and the opponent's)
 /// through [`ReusableSearch::advance`] so the internal tree tracks the game.
+/// It implements [`SearchScheme`] (whose `advance` hook it overrides), so
+/// self-play drivers get tree reuse for free when the builder enables it.
 pub struct ReusableSearch {
     cfg: MctsConfig,
-    evaluator: Arc<dyn Evaluator>,
+    evaluator: Arc<dyn BatchEvaluator>,
     tree: Option<Tree>,
     encode_buf: Vec<f32>,
     /// Nodes inherited from previous moves via reuse (for diagnostics).
@@ -34,7 +36,7 @@ pub struct ReusableSearch {
 
 impl ReusableSearch {
     /// Create a reusable searcher.
-    pub fn new(cfg: MctsConfig, evaluator: Arc<dyn Evaluator>) -> Self {
+    pub fn new(cfg: MctsConfig, evaluator: Arc<dyn BatchEvaluator>) -> Self {
         cfg.validate();
         ReusableSearch {
             cfg,
@@ -72,6 +74,10 @@ impl ReusableSearch {
     /// with a stale tree silently produces garbage, so prefer `reset` when
     /// in doubt.
     pub fn search<G: Game>(&mut self, root: &G) -> SearchResult {
+        self.search_impl(root)
+    }
+
+    fn search_impl<G: Game>(&mut self, root: &G) -> SearchResult {
         let move_start = Instant::now();
         let mut tree = self.tree.take().unwrap_or_else(|| Tree::new(self.cfg));
         self.inherited_nodes = (tree.len() as u64).saturating_sub(1);
@@ -103,10 +109,10 @@ impl ReusableSearch {
                 SelectOutcome::NeedsEval => {
                     let t1 = Instant::now();
                     game.encode(&mut self.encode_buf);
-                    let (priors, value) = self.evaluator.evaluate(&self.encode_buf);
+                    let o = self.evaluator.evaluate_one(&self.encode_buf);
                     stats.eval_ns += t1.elapsed().as_nanos() as u64;
                     let t2 = Instant::now();
-                    tree.expand_and_backup(leaf, &priors, value);
+                    tree.expand_and_backup(leaf, &o.priors, o.value);
                     stats.backup_ns += t2.elapsed().as_nanos() as u64;
                     done += 1;
                     stats.playouts += 1;
@@ -126,6 +132,24 @@ impl ReusableSearch {
             value,
             stats,
         }
+    }
+}
+
+impl<G: Game> SearchScheme<G> for ReusableSearch {
+    fn search(&mut self, root: &G) -> SearchResult {
+        self.search_impl(root)
+    }
+
+    fn advance(&mut self, action: Action) {
+        ReusableSearch::advance(self, action)
+    }
+
+    fn reset(&mut self) {
+        ReusableSearch::reset(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "serial+reuse"
     }
 }
 

@@ -7,7 +7,7 @@
 //! lower than tree-parallel schemes.
 
 use crate::config::MctsConfig;
-use crate::evaluator::Evaluator;
+use crate::evaluator::BatchEvaluator;
 use crate::local::empty_result;
 use crate::result::{SearchResult, SearchScheme, SearchStats};
 use crate::serial::SerialSearch;
@@ -18,12 +18,12 @@ use std::time::Instant;
 /// Independent-trees root parallelization.
 pub struct RootParallelSearch {
     cfg: MctsConfig,
-    evaluator: Arc<dyn Evaluator>,
+    evaluator: Arc<dyn BatchEvaluator>,
 }
 
 impl RootParallelSearch {
     /// Create a root-parallel searcher with `cfg.workers` private trees.
-    pub fn new(cfg: MctsConfig, evaluator: Arc<dyn Evaluator>) -> Self {
+    pub fn new(cfg: MctsConfig, evaluator: Arc<dyn BatchEvaluator>) -> Self {
         cfg.validate();
         RootParallelSearch { cfg, evaluator }
     }
@@ -57,7 +57,10 @@ impl<G: Game> SearchScheme<G> for RootParallelSearch {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
         });
 
         // Aggregate root statistics across the private trees.

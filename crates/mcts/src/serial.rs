@@ -5,7 +5,7 @@
 //! validated against.
 
 use crate::config::MctsConfig;
-use crate::evaluator::Evaluator;
+use crate::evaluator::BatchEvaluator;
 use crate::result::{SearchResult, SearchScheme, SearchStats};
 use crate::tree::{SelectOutcome, Tree};
 use games::Game;
@@ -15,13 +15,13 @@ use std::time::Instant;
 /// Single-threaded search driver.
 pub struct SerialSearch {
     cfg: MctsConfig,
-    evaluator: Arc<dyn Evaluator>,
+    evaluator: Arc<dyn BatchEvaluator>,
     encode_buf: Vec<f32>,
 }
 
 impl SerialSearch {
     /// Create a serial searcher. `cfg.workers` is ignored (always 1).
-    pub fn new(cfg: MctsConfig, evaluator: Arc<dyn Evaluator>) -> Self {
+    pub fn new(cfg: MctsConfig, evaluator: Arc<dyn BatchEvaluator>) -> Self {
         cfg.validate();
         SerialSearch {
             cfg,
@@ -66,10 +66,10 @@ impl<G: Game> SearchScheme<G> for SerialSearch {
                 SelectOutcome::NeedsEval => {
                     let t1 = Instant::now();
                     game.encode(&mut self.encode_buf);
-                    let (priors, value) = self.evaluator.evaluate(&self.encode_buf);
+                    let o = self.evaluator.evaluate_one(&self.encode_buf);
                     stats.eval_ns += t1.elapsed().as_nanos() as u64;
                     let t2 = Instant::now();
-                    tree.expand_and_backup(leaf, &priors, value);
+                    tree.expand_and_backup(leaf, &o.priors, o.value);
                     stats.backup_ns += t2.elapsed().as_nanos() as u64;
                     done += 1;
                     stats.playouts += 1;
@@ -212,7 +212,10 @@ mod tests {
         let mut s = SerialSearch::new(cfg, Arc::new(SlowEval));
         let t0 = std::time::Instant::now();
         let r = s.search(&TicTacToe::new());
-        assert!(r.stats.playouts < 10_000, "budget must cut the search short");
+        assert!(
+            r.stats.playouts < 10_000,
+            "budget must cut the search short"
+        );
         assert!(r.stats.playouts > 0, "at least one playout completes");
         assert!(t0.elapsed() < std::time::Duration::from_secs(5));
     }

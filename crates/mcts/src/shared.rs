@@ -16,9 +16,10 @@
 //! children. All node fields are atomics, so no `&mut` access is ever
 //! needed and the arena can be shared as a plain `&[SharedNode]`.
 
+use crate::coalesce::CoalescingEvaluator;
 use crate::config::{LockKind, MctsConfig, VirtualLoss};
+use crate::evaluator::{BatchEvaluator, Evaluator, SingleSample};
 use crate::local::empty_result;
-use crate::evaluator::Evaluator;
 use crate::pool::WorkerPool;
 use crate::result::{SearchResult, SearchScheme, SearchStats};
 use games::Game;
@@ -142,7 +143,9 @@ impl SharedTree {
             collisions: AtomicU64::new(0),
             noise_nonce: crate::noise::next_nonce(),
         };
-        tree.nodes[0].prior_bits.store(1.0f32.to_bits(), Ordering::Relaxed);
+        tree.nodes[0]
+            .prior_bits
+            .store(1.0f32.to_bits(), Ordering::Relaxed);
         tree
     }
 
@@ -199,7 +202,9 @@ impl SharedTree {
                 }
                 TERMINAL => {
                     let v = f32::from_bits(
-                        self.nodes[cur as usize].terminal_bits.load(Ordering::Relaxed),
+                        self.nodes[cur as usize]
+                            .terminal_bits
+                            .load(Ordering::Relaxed),
                     );
                     self.backup(cur, v);
                     return true;
@@ -281,12 +286,9 @@ impl SharedTree {
         node.terminal_bits.store(value.to_bits(), Ordering::Relaxed);
         // 0→3 CAS; if another thread already marked it, the stored value is
         // identical (terminal values are state-deterministic).
-        let _ = node.phase.compare_exchange(
-            UNEXPANDED,
-            TERMINAL,
-            Ordering::AcqRel,
-            Ordering::Acquire,
-        );
+        let _ =
+            node.phase
+                .compare_exchange(UNEXPANDED, TERMINAL, Ordering::AcqRel, Ordering::Acquire);
     }
 
     /// Create children for a pending leaf and publish them.
@@ -318,7 +320,8 @@ impl SharedTree {
         }
         let node = &self.nodes[leaf as usize];
         node.first_child.store(first, Ordering::Relaxed);
-        node.child_count.store(legal.len() as u32, Ordering::Relaxed);
+        node.child_count
+            .store(legal.len() as u32, Ordering::Relaxed);
         node.phase.store(EXPANDED, Ordering::Release);
     }
 
@@ -401,7 +404,9 @@ impl SharedTree {
 
     /// Sum of outstanding virtual losses (0 once all playouts complete).
     pub fn outstanding_vl(&self) -> u64 {
-        (0..self.len()).map(|i| self.nodes[i].vl.load(Ordering::Relaxed) as u64).sum()
+        (0..self.len())
+            .map(|i| self.nodes[i].vl.load(Ordering::Relaxed) as u64)
+            .sum()
     }
 
     /// Collision count.
@@ -411,20 +416,49 @@ impl SharedTree {
 }
 
 /// Driver: persistent `N`-thread pool running `threadsafe_rollout` loops.
+///
+/// Rollout workers need their leaf evaluated synchronously before the
+/// rollout can finish, so the batch-first evaluator is adapted to a
+/// synchronous view at construction: backends that profit from batching
+/// (`preferred_batch() > 1`) get a [`CoalescingEvaluator`] that merges
+/// the `N` workers' concurrent requests into shared batches; backends
+/// that already coalesce internally (the accelerator queue) or that gain
+/// nothing from batching are called single-sample.
 pub struct SharedTreeSearch {
     cfg: MctsConfig,
-    evaluator: Arc<dyn Evaluator>,
+    sync_eval: Arc<dyn Evaluator>,
     pool: WorkerPool,
 }
 
 impl SharedTreeSearch {
-    /// Spawn `cfg.workers` rollout threads.
-    pub fn new(cfg: MctsConfig, evaluator: Arc<dyn Evaluator>) -> Self {
+    /// Spawn `cfg.workers` rollout threads with the default coalescing
+    /// window ([`crate::coalesce::DEFAULT_COALESCE_WINDOW`]).
+    pub fn new(cfg: MctsConfig, evaluator: Arc<dyn BatchEvaluator>) -> Self {
+        Self::with_coalesce_window(cfg, evaluator, crate::coalesce::DEFAULT_COALESCE_WINDOW)
+    }
+
+    /// Spawn `cfg.workers` rollout threads, waiting at most `window`
+    /// for concurrent evaluations to coalesce into one batch. Tune this
+    /// against the evaluator's forward time: a window much larger than
+    /// one forward pass taxes under-filled rounds at the tail of each
+    /// move; `Duration::ZERO` disables cross-worker batching entirely.
+    pub fn with_coalesce_window(
+        cfg: MctsConfig,
+        evaluator: Arc<dyn BatchEvaluator>,
+        window: std::time::Duration,
+    ) -> Self {
         cfg.validate();
+        let batch = evaluator.preferred_batch().min(cfg.workers);
+        let sync_eval: Arc<dyn Evaluator> =
+            if batch > 1 && !window.is_zero() && !evaluator.coalesces_internally() {
+                Arc::new(CoalescingEvaluator::with_window(evaluator, batch, window))
+            } else {
+                Arc::new(SingleSample(evaluator))
+            };
         SharedTreeSearch {
             pool: WorkerPool::new(cfg.workers),
             cfg,
-            evaluator,
+            sync_eval,
         }
     }
 
@@ -450,7 +484,7 @@ impl<G: Game> SearchScheme<G> for SharedTreeSearch {
             let tickets = Arc::clone(&tickets);
             let eval_ns = Arc::clone(&eval_ns);
             let in_tree_ns = Arc::clone(&in_tree_ns);
-            let evaluator = Arc::clone(&self.evaluator);
+            let evaluator = Arc::clone(&self.sync_eval);
             let root = root.clone();
             self.pool.run_wave(self.cfg.workers, move |_| {
                 let mut encode_buf = Vec::new();

@@ -10,13 +10,15 @@
 //! This serial implementation models that pipeline algorithmically: every
 //! leaf is first expanded with the speculative evaluator; once
 //! `commit_batch` expansions accumulate, the main evaluator re-scores them
-//! and [`crate::tree::Tree::correct_expansion`] applies the deltas. With
+//! **in one [`BatchEvaluator::evaluate_batch`] call** and
+//! [`crate::tree::Tree::correct_expansion`] applies the deltas. With
 //! `commit_batch = 1` the correction is immediate (maximum fidelity); larger
 //! batches model a deeper pipeline (staler corrections, fewer main-model
-//! synchronization points).
+//! synchronization points) and amortize the main model's per-call cost —
+//! the same batching economics as the accelerator queue.
 
 use crate::config::MctsConfig;
-use crate::evaluator::Evaluator;
+use crate::evaluator::{BatchEvaluator, EvalOutput};
 use crate::result::{SearchResult, SearchScheme, SearchStats};
 use crate::tree::{mask_and_normalize, SelectOutcome, Tree};
 use games::Game;
@@ -35,9 +37,9 @@ struct PendingCorrection {
 pub struct SpeculativeSearch {
     cfg: MctsConfig,
     /// The accurate (slow) model; its outputs are authoritative.
-    main: Arc<dyn Evaluator>,
+    main: Arc<dyn BatchEvaluator>,
     /// The cheap model used to keep the tree moving.
-    spec: Arc<dyn Evaluator>,
+    spec: Arc<dyn BatchEvaluator>,
     /// Corrections are committed in batches of this size.
     commit_batch: usize,
     /// Total corrections applied over this searcher's lifetime.
@@ -51,8 +53,8 @@ impl SpeculativeSearch {
     /// Create a speculative searcher. `commit_batch` must be ≥ 1.
     pub fn new(
         cfg: MctsConfig,
-        main: Arc<dyn Evaluator>,
-        spec: Arc<dyn Evaluator>,
+        main: Arc<dyn BatchEvaluator>,
+        spec: Arc<dyn BatchEvaluator>,
         commit_batch: usize,
     ) -> Self {
         cfg.validate();
@@ -73,15 +75,22 @@ impl SpeculativeSearch {
     }
 
     fn commit(&mut self, tree: &mut Tree, pending: &mut Vec<PendingCorrection>) {
-        for p in pending.drain(..) {
-            let (priors, v_main) = self.main.evaluate(&p.encoded);
+        if pending.is_empty() {
+            return;
+        }
+        // One batched main-model forward re-scores the whole pipeline
+        // window.
+        let inputs: Vec<&[f32]> = pending.iter().map(|p| p.encoded.as_slice()).collect();
+        let mut rescored = vec![EvalOutput::default(); pending.len()];
+        self.main.evaluate_batch(&inputs, &mut rescored);
+        for (p, o) in pending.drain(..).zip(rescored) {
             let legal = tree.child_actions(p.leaf);
             if legal.is_empty() {
                 // Terminal discovered before the correction landed.
                 continue;
             }
-            let masked = mask_and_normalize(&priors, &legal);
-            let dv = v_main - p.spec_value;
+            let masked = mask_and_normalize(&o.priors, &legal);
+            let dv = o.value - p.spec_value;
             tree.correct_expansion(p.leaf, &masked, dv);
             self.corrections += 1;
             self.correction_magnitude += dv.abs() as f64;
@@ -111,15 +120,15 @@ impl<G: Game> SearchScheme<G> for SpeculativeSearch {
                 SelectOutcome::NeedsEval => {
                     let t1 = Instant::now();
                     game.encode(&mut encode_buf);
-                    let (priors, value) = self.spec.evaluate(&encode_buf);
+                    let o = self.spec.evaluate_one(&encode_buf);
                     stats.eval_ns += t1.elapsed().as_nanos() as u64;
                     let t2 = Instant::now();
-                    tree.expand_and_backup(leaf, &priors, value);
+                    tree.expand_and_backup(leaf, &o.priors, o.value);
                     stats.backup_ns += t2.elapsed().as_nanos() as u64;
                     pending.push(PendingCorrection {
                         leaf,
                         encoded: encode_buf.clone(),
-                        spec_value: value,
+                        spec_value: o.value,
                     });
                     if pending.len() >= self.commit_batch {
                         let t3 = Instant::now();
@@ -220,7 +229,11 @@ mod tests {
         assert!(s.correction_magnitude > 0.0);
         // Root value reflects the main model's optimism (sign-flipped
         // perspectives alternate, so just check it moved off zero).
-        assert!(r.value.abs() > 0.05, "value {} should be displaced", r.value);
+        assert!(
+            r.value.abs() > 0.05,
+            "value {} should be displaced",
+            r.value
+        );
     }
 
     #[test]

@@ -228,13 +228,11 @@ impl Tree {
     /// `value` is from the perspective of the player to move at the leaf —
     /// the evaluator's output convention.
     pub fn expand_and_backup(&mut self, leaf: u32, priors: &[f32], value: f32) {
-        let legal = match std::mem::replace(
-            &mut self.nodes[leaf as usize].state,
-            NodeState::Expanded,
-        ) {
-            NodeState::Pending(legal) => legal,
-            other => panic!("expand_and_backup on non-pending node ({other:?})"),
-        };
+        let legal =
+            match std::mem::replace(&mut self.nodes[leaf as usize].state, NodeState::Expanded) {
+                NodeState::Pending(legal) => legal,
+                other => panic!("expand_and_backup on non-pending node ({other:?})"),
+            };
         debug_assert!(!legal.is_empty());
 
         let mut masked = mask_and_normalize(priors, &legal);
@@ -242,8 +240,9 @@ impl Tree {
         if leaf == self.root() {
             if let Some(noise) = self.cfg.root_noise {
                 use rand::SeedableRng;
-                let mut rng =
-                    rand::rngs::StdRng::seed_from_u64(noise.seed ^ self.noise_nonce.rotate_left(17));
+                let mut rng = rand::rngs::StdRng::seed_from_u64(
+                    noise.seed ^ self.noise_nonce.rotate_left(17),
+                );
                 crate::noise::mix_noise(&mut rng, &noise, &mut masked);
             }
         }
@@ -633,18 +632,9 @@ mod tests {
         priors[0] = 0.05;
         priors[1] = 0.05;
         t.expand_and_backup(0, &priors, 0.0);
-        let total: f32 = t
-            .node(0)
-            .children
-            .iter()
-            .map(|&c| t.node(c).prior)
-            .sum();
+        let total: f32 = t.node(0).children.iter().map(|&c| t.node(c).prior).sum();
         assert!((total - 1.0).abs() < 1e-5, "renormalized priors sum to 1");
-        assert!(t
-            .node(0)
-            .children
-            .iter()
-            .all(|&c| t.node(c).action != 4));
+        assert!(t.node(0).children.iter().all(|&c| t.node(c).action != 4));
     }
 
     #[test]

@@ -22,16 +22,10 @@ fn noise_changes_visit_distribution() {
     // with noise the root priors (and hence visits) must differ.
     for scheme in [Scheme::Serial, Scheme::SharedTree, Scheme::LocalTree] {
         let eval = Arc::new(UniformEvaluator::for_game(&TicTacToe::new()));
-        let mut plain = AdaptiveSearch::<TicTacToe>::new(
-            scheme,
-            cfg(None),
-            Arc::clone(&eval) as Arc<_>,
-        );
-        let mut noisy = AdaptiveSearch::<TicTacToe>::new(
-            scheme,
-            cfg(Some(RootNoise::alphazero(42))),
-            eval,
-        );
+        let mut plain =
+            AdaptiveSearch::<TicTacToe>::new(scheme, cfg(None), Arc::clone(&eval) as Arc<_>);
+        let mut noisy =
+            AdaptiveSearch::<TicTacToe>::new(scheme, cfg(Some(RootNoise::alphazero(42))), eval);
         let r_plain = plain.search(&TicTacToe::new());
         let r_noisy = noisy.search(&TicTacToe::new());
         assert_ne!(
@@ -50,11 +44,8 @@ fn noise_varies_across_moves() {
     // The per-tree nonce must give different noise draws on consecutive
     // moves even with a fixed config seed.
     let eval = Arc::new(UniformEvaluator::for_game(&TicTacToe::new()));
-    let mut s = AdaptiveSearch::<TicTacToe>::new(
-        Scheme::Serial,
-        cfg(Some(RootNoise::alphazero(7))),
-        eval,
-    );
+    let mut s =
+        AdaptiveSearch::<TicTacToe>::new(Scheme::Serial, cfg(Some(RootNoise::alphazero(7))), eval);
     let g = TicTacToe::new();
     let r1 = s.search(&g);
     let r2 = s.search(&g);

@@ -73,18 +73,40 @@ impl Conv2d {
         let spec = self.spec(h, w);
         let mut out = Tensor::zeros(&[b, self.out_c, spec.out_h(), spec.out_w()]);
         let mut scratch = Vec::new();
-        conv2d_forward(&spec, x, &self.weight, Some(&self.bias), &mut out, &mut scratch);
+        conv2d_forward(
+            &spec,
+            x,
+            &self.weight,
+            Some(&self.bias),
+            &mut out,
+            &mut scratch,
+        );
         out
     }
 
     /// Convolution backward: accumulates `dW` into `gw` and `db` into `gb`,
     /// returns `dL/dx`.
-    pub fn backward(&self, x: &Tensor, grad_out: &Tensor, gw: &mut Tensor, gb: &mut Tensor) -> Tensor {
+    pub fn backward(
+        &self,
+        x: &Tensor,
+        grad_out: &Tensor,
+        gw: &mut Tensor,
+        gb: &mut Tensor,
+    ) -> Tensor {
         let (_, _, h, w) = dims4(x);
         let spec = self.spec(h, w);
         let mut gi = Tensor::zeros(x.dims());
         let mut scratch = Vec::new();
-        conv2d_backward(&spec, x, &self.weight, grad_out, &mut gi, gw, Some(gb), &mut scratch);
+        conv2d_backward(
+            &spec,
+            x,
+            &self.weight,
+            grad_out,
+            &mut gi,
+            gw,
+            Some(gb),
+            &mut scratch,
+        );
         gi
     }
 }
@@ -139,7 +161,13 @@ impl Linear {
     }
 
     /// Linear backward: accumulates `dW`/`db`, returns `dL/dx`.
-    pub fn backward(&self, x: &Tensor, grad_out: &Tensor, gw: &mut Tensor, gb: &mut Tensor) -> Tensor {
+    pub fn backward(
+        &self,
+        x: &Tensor,
+        grad_out: &Tensor,
+        gw: &mut Tensor,
+        gb: &mut Tensor,
+    ) -> Tensor {
         let b = x.dims()[0];
         // dW[o, i] += dyᵀ[o, b] · x[b, i]
         gemm(
@@ -347,7 +375,12 @@ impl LayerKind {
 }
 
 fn dims4(x: &Tensor) -> (usize, usize, usize, usize) {
-    assert_eq!(x.shape().rank(), 4, "expected NCHW tensor, got {}", x.shape());
+    assert_eq!(
+        x.shape().rank(),
+        4,
+        "expected NCHW tensor, got {}",
+        x.shape()
+    );
     let d = x.dims();
     (d[0], d[1], d[2], d[3])
 }

@@ -1,7 +1,9 @@
 //! The paper's policy-value network: 5 convolutions + 3 fully-connected
 //! layers with a policy head and a value head (§5.1).
 
-use crate::layer::{backward_stack, forward_cached, forward_stack, Conv2d, Layer, LayerKind, Linear};
+use crate::layer::{
+    backward_stack, forward_cached, forward_stack, Conv2d, Layer, LayerKind, Linear,
+};
 use crate::loss::{alphazero_loss_backward, LossParts};
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};

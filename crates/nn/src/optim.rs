@@ -308,7 +308,10 @@ mod tests {
         }
         let moved0 = 1.0 - x.data()[0];
         let moved1 = 1.0 - x.data()[1];
-        assert!(moved0 > 0.2 && moved1 > 0.2, "both should move: {moved0} {moved1}");
+        assert!(
+            moved0 > 0.2 && moved1 > 0.2,
+            "both should move: {moved0} {moved1}"
+        );
         assert!(moved0 / moved1 < 5.0, "movement should be comparable");
     }
 
@@ -326,8 +329,7 @@ mod tests {
         let mut g2 = Tensor::from_vec(vec![4.0], &[1]); // global norm 5
         let norm = clip_grad_norm(&mut [&mut g1, &mut g2], 1.0);
         assert!((norm - 5.0).abs() < 1e-5);
-        let new_norm =
-            (g1.data()[0].powi(2) + g2.data()[0].powi(2)).sqrt();
+        let new_norm = (g1.data()[0].powi(2) + g2.data()[0].powi(2)).sqrt();
         assert!((new_norm - 1.0).abs() < 1e-5);
         // Direction preserved.
         assert!((g1.data()[0] / g2.data()[0] - 0.75).abs() < 1e-5);

@@ -8,8 +8,8 @@
 //! gives the benchmarks a heavier inference workload to schedule.
 
 use crate::layer::{
-    backward_stack, forward_cached_train, forward_stack, update_stack_running_stats, Conv2d,
-    Layer, LayerKind, Linear,
+    backward_stack, forward_cached_train, forward_stack, update_stack_running_stats, Conv2d, Layer,
+    LayerKind, Linear,
 };
 use crate::loss::{alphazero_loss_backward, LossParts};
 use crate::norm::BatchNorm2d;

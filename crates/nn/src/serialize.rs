@@ -130,17 +130,13 @@ pub fn save_resnet(net: &ResNetPolicyValueNet) -> Bytes {
 }
 
 /// Load a residual-tower checkpoint saved by [`save_resnet`].
-pub fn load_resnet(
-    net: &mut ResNetPolicyValueNet,
-    data: &[u8],
-) -> Result<(), CheckpointError> {
+pub fn load_resnet(net: &mut ResNetPolicyValueNet, data: &[u8]) -> Result<(), CheckpointError> {
     // Two disjoint mutable borrows of `net` are not expressible through the
     // accessor methods, so load into clones and write back.
     let mut params: Vec<Tensor> = net.params().into_iter().cloned().collect();
     let mut states: Vec<Tensor> = net.state_tensors().into_iter().cloned().collect();
     {
-        let mut dst: Vec<&mut Tensor> =
-            params.iter_mut().chain(states.iter_mut()).collect();
+        let mut dst: Vec<&mut Tensor> = params.iter_mut().chain(states.iter_mut()).collect();
         load_tensor_list(&mut dst, data)?;
     }
     for (p, src) in net.params_mut().into_iter().zip(&params) {
@@ -176,7 +172,10 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         let mut net = tiny();
-        assert_eq!(load_params(&mut net, b"nope"), Err(CheckpointError::Truncated));
+        assert_eq!(
+            load_params(&mut net, b"nope"),
+            Err(CheckpointError::Truncated)
+        );
         let mut bad = vec![0u8; 64];
         bad[0] = 0xFF;
         assert_eq!(load_params(&mut net, &bad), Err(CheckpointError::BadMagic));

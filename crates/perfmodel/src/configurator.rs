@@ -177,7 +177,11 @@ mod tests {
         let b = choice.batch.unwrap();
         assert!((1..=32).contains(&b));
         // Algorithm 4 cost: O(log N), not O(N).
-        assert!(choice.tuning_evals <= 2 * 6, "evals {}", choice.tuning_evals);
+        assert!(
+            choice.tuning_evals <= 2 * 6,
+            "evals {}",
+            choice.tuning_evals
+        );
     }
 
     #[test]

@@ -104,8 +104,8 @@ pub fn local_gpu_iteration_ns(p: &PerfParams, batch: usize) -> f64 {
     let accel = p.accel.expect("CpuGpu model needs accelerator params");
     let n = p.workers as f64;
     let num_batches = p.workers.div_ceil(batch);
-    let t_pcie = num_batches as f64 * accel.launch_ns
-        + n * accel.bytes_per_sample / accel.pcie_bytes_per_ns;
+    let t_pcie =
+        num_batches as f64 * accel.launch_ns + n * accel.bytes_per_sample / accel.pcie_bytes_per_ns;
     let t_compute = accel.compute_ns(batch.min(p.workers));
     let round = (p.t_in_tree() * n).max(t_pcie).max(t_compute);
     round / n
@@ -242,8 +242,7 @@ mod tests {
                     .unwrap()
             })
             .unwrap();
-        let (b, _) =
-            crate::vsearch::find_min_vsequence(1, 64, |b| local_gpu_iteration_ns(&p, b));
+        let (b, _) = crate::vsearch::find_min_vsequence(1, 64, |b| local_gpu_iteration_ns(&p, b));
         let diff = (local_gpu_iteration_ns(&p, b) - local_gpu_iteration_ns(&p, exhaustive)).abs();
         assert!(
             diff < 1e-6 * local_gpu_iteration_ns(&p, exhaustive).abs(),

@@ -202,7 +202,12 @@ pub fn profile_memory_latency(buffer_mib: usize, hops: usize) -> f64 {
 
 /// Run the full §4.2 design-time profile for a given network and tree
 /// geometry. `iters` trades precision for profiling time.
-pub fn profile_host(net: &PolicyValueNet, fanout: usize, depth: usize, iters: usize) -> ProfiledCosts {
+pub fn profile_host(
+    net: &PolicyValueNet,
+    fanout: usize,
+    depth: usize,
+    iters: usize,
+) -> ProfiledCosts {
     let (t_select_ns, t_backup_ns) = profile_in_tree(fanout, depth, iters);
     let t_dnn_cpu_ns = profile_dnn_cpu(net, iters.clamp(1, 50));
     let t_shared_access_ns = profile_memory_latency(64, 200_000);

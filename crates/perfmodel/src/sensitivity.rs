@@ -131,7 +131,10 @@ pub fn crossover_workers(
     max_workers: usize,
 ) -> Option<usize> {
     (1..=max_workers).find(|&n| {
-        let p = PerfParams { workers: n, ..*base };
+        let p = PerfParams {
+            workers: n,
+            ..*base
+        };
         let (scheme, _, _) = choose_scheme(platform, &p);
         scheme == Scheme::SharedTree
     })
@@ -142,7 +145,11 @@ pub fn format_table(param: SweepParam, points: &[SweepPoint]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:>10}  {:>14} {:>14}  {:>8}  {}\n",
-        "factor", "local(us)", "shared(us)", "adv", param.name()
+        "factor",
+        "local(us)",
+        "shared(us)",
+        "adv",
+        param.name()
     ));
     for p in points {
         out.push_str(&format!(
@@ -255,7 +262,11 @@ mod tests {
         // at N = 64 even though the full-batch local tree degrades.
         let b = base(64);
         let (scheme, local, shared) = choose_scheme(Platform::CpuGpu, &b);
-        assert_eq!(scheme, Scheme::LocalTree, "local {local} vs shared {shared}");
+        assert_eq!(
+            scheme,
+            Scheme::LocalTree,
+            "local {local} vs shared {shared}"
+        );
     }
 
     #[test]
@@ -263,7 +274,8 @@ mod tests {
         let b = base(1);
         let cheap = crossover_workers(Platform::CpuOnly, &b, 4096).unwrap_or(usize::MAX);
         let pricey_params = SweepParam::DnnCpu.scaled(&b, 8.0);
-        let pricey = crossover_workers(Platform::CpuOnly, &pricey_params, 4096).unwrap_or(usize::MAX);
+        let pricey =
+            crossover_workers(Platform::CpuOnly, &pricey_params, 4096).unwrap_or(usize::MAX);
         assert!(
             pricey >= cheap,
             "more DNN work should delay the crossover: {cheap} -> {pricey}"

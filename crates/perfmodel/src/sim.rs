@@ -303,13 +303,7 @@ mod tests {
     #[test]
     fn shared_cpu_scales_until_memory_bound() {
         let base = SimParams::paper_like(1);
-        let lat = |n: usize| {
-            simulate_shared_cpu(&SimParams {
-                workers: n,
-                ..base
-            })
-            .iteration_ns
-        };
+        let lat = |n: usize| simulate_shared_cpu(&SimParams { workers: n, ..base }).iteration_ns;
         assert!(lat(4) < lat(1));
         assert!(lat(16) < lat(4));
         // The serialized contended access caps the gain: latency can
@@ -320,13 +314,7 @@ mod tests {
     #[test]
     fn local_cpu_overlaps_inference() {
         let base = SimParams::paper_like(1);
-        let lat = |n: usize| {
-            simulate_local_cpu(&SimParams {
-                workers: n,
-                ..base
-            })
-            .iteration_ns
-        };
+        let lat = |n: usize| simulate_local_cpu(&SimParams { workers: n, ..base }).iteration_ns;
         // DNN-bound regime: doubling workers ≈ halves iteration latency.
         assert!(lat(2) < 0.7 * lat(1));
         // In-tree-bound regime: latency floors at t_select + t_backup.
@@ -354,8 +342,7 @@ mod tests {
         // Paper Figure 4: the optimal scheme differs with N — local wins
         // in the DNN-bound regime, shared wins once the serial master
         // floors out (by N = 64 with paper-like parameters).
-        let lat_shared =
-            |n: usize| simulate_shared_cpu(&SimParams::paper_like(n)).iteration_ns;
+        let lat_shared = |n: usize| simulate_shared_cpu(&SimParams::paper_like(n)).iteration_ns;
         let lat_local = |n: usize| simulate_local_cpu(&SimParams::paper_like(n)).iteration_ns;
         assert!(
             lat_local(16) < lat_shared(16),
@@ -431,9 +418,8 @@ mod tests {
     fn accel_beats_cpu_inference() {
         let p = SimParams::paper_like(16);
         let cpu = simulate_local_cpu(&p).iteration_ns;
-        let (b, _) = crate::vsearch::find_min_vsequence(1, 16, |b| {
-            simulate_local_accel(&p, b).iteration_ns
-        });
+        let (b, _) =
+            crate::vsearch::find_min_vsequence(1, 16, |b| simulate_local_accel(&p, b).iteration_ns);
         let gpu = simulate_local_accel(&p, b).iteration_ns;
         assert!(gpu < cpu, "offload should help: {gpu} vs {cpu}");
     }

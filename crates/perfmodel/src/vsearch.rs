@@ -79,7 +79,10 @@ pub fn find_min_exhaustive(
             best = x;
         }
     }
-    VSearchReport { argmin: best, evals }
+    VSearchReport {
+        argmin: best,
+        evals,
+    }
 }
 
 #[cfg(test)]
@@ -135,7 +138,13 @@ mod tests {
     fn flat_plateaus_are_tolerated() {
         // Non-strict V: plateau around the minimum must still land on a
         // minimizing argument.
-        let f = |x: usize| if (10..=20).contains(&x) { 1.0 } else { 2.0 + x as f64 };
+        let f = |x: usize| {
+            if (10..=20).contains(&x) {
+                1.0
+            } else {
+                2.0 + x as f64
+            }
+        };
         let (argmin, val) = find_min_vsequence(1, 64, f);
         assert!((10..=20).contains(&argmin), "argmin {argmin}");
         assert_eq!(val, 1.0);

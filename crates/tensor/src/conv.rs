@@ -155,7 +155,16 @@ pub fn conv2d_forward(
         let out = &mut output.data_mut()[b * out_len..(b + 1) * out_len];
         // out[oc, pix] = W[oc, :] · col[:, pix]
         gemm(
-            false, false, spec.out_c, cols, rows, 1.0, weight.data(), scratch, 0.0, out,
+            false,
+            false,
+            spec.out_c,
+            cols,
+            rows,
+            1.0,
+            weight.data(),
+            scratch,
+            0.0,
+            out,
         );
         if let Some(bias) = bias {
             debug_assert_eq!(bias.numel(), spec.out_c);
@@ -265,7 +274,12 @@ mod tests {
     }
 
     /// Direct (nested-loop) convolution used as a reference.
-    fn conv_ref(spec: &Conv2dSpec, input: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Tensor {
+    fn conv_ref(
+        spec: &Conv2dSpec,
+        input: &Tensor,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+    ) -> Tensor {
         let batch = input.dims()[0];
         let (oh, ow) = (spec.out_h(), spec.out_w());
         let mut out = Tensor::zeros(&[batch, spec.out_c, oh, ow]);
@@ -390,7 +404,14 @@ mod tests {
         let mut gb = Tensor::zeros(&[2]);
         let mut scratch = Vec::new();
         conv2d_backward(
-            &spec, &input, &weight, &go, &mut gi, &mut gw, Some(&mut gb), &mut scratch,
+            &spec,
+            &input,
+            &weight,
+            &go,
+            &mut gi,
+            &mut gw,
+            Some(&mut gb),
+            &mut scratch,
         );
 
         // loss = sum(out * go); d loss / d w ~ finite difference.
@@ -432,7 +453,14 @@ mod tests {
         let mut gw = Tensor::zeros(&[1, 1, 3, 3]);
         let mut scratch = Vec::new();
         conv2d_backward(
-            &spec, &input, &weight, &go, &mut gi, &mut gw, None, &mut scratch,
+            &spec,
+            &input,
+            &weight,
+            &go,
+            &mut gi,
+            &mut gw,
+            None,
+            &mut scratch,
         );
 
         let eps = 1e-3;
@@ -474,7 +502,14 @@ mod tests {
         let mut gb = Tensor::zeros(&[2]);
         let mut scratch = Vec::new();
         conv2d_backward(
-            &spec, &input, &weight, &go, &mut gi, &mut gw, Some(&mut gb), &mut scratch,
+            &spec,
+            &input,
+            &weight,
+            &go,
+            &mut gi,
+            &mut gw,
+            Some(&mut gb),
+            &mut scratch,
         );
         assert_eq!(gb.data(), &[9.0, 9.0]);
     }

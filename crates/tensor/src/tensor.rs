@@ -171,7 +171,16 @@ impl Tensor {
         assert_eq!(k, k2, "matmul inner dimension mismatch");
         let mut out = Tensor::zeros(&[m, n]);
         ops::gemm(
-            false, false, m, n, k, 1.0, &self.data, &other.data, 0.0, &mut out.data,
+            false,
+            false,
+            m,
+            n,
+            k,
+            1.0,
+            &self.data,
+            &other.data,
+            0.0,
+            &mut out.data,
         );
         out
     }

@@ -100,6 +100,10 @@ pub fn play_match<G: Game, R: Rng + ?Sized>(
         let a_is_black = round % 2 == 0;
         let mut game = initial.clone();
         let mut moves = 0usize;
+        // A fresh game: stateful agents (tree reuse) must drop any tree
+        // retained from the previous round.
+        agent_a.reset();
+        agent_b.reset();
         while game.status() == Status::Ongoing && moves < max_moves {
             let a_turn = (game.to_move() == Player::Black) == a_is_black;
             let search = if a_turn {
@@ -107,13 +111,25 @@ pub fn play_match<G: Game, R: Rng + ?Sized>(
             } else {
                 agent_b.search(&game)
             };
-            let t = if moves < temperature_moves { temperature } else { 0.0 };
+            let t = if moves < temperature_moves {
+                temperature
+            } else {
+                0.0
+            };
             let action = search.sample_action(t, rng);
             debug_assert!(game.is_legal(action));
             game.apply(action);
+            // Both agents observe the move actually played, so reuse
+            // trees track the game through the opponent's turns too.
+            agent_a.advance(action);
+            agent_b.advance(action);
             moves += 1;
         }
-        let a_player = if a_is_black { Player::Black } else { Player::White };
+        let a_player = if a_is_black {
+            Player::Black
+        } else {
+            Player::White
+        };
         match game.status() {
             Status::Won(w) if w == a_player => result.wins_a += 1,
             Status::Won(_) => result.wins_b += 1,

@@ -16,12 +16,7 @@ use games::symmetry::augment_sample;
 ///
 /// Policies longer than `board²` (e.g. Othello's trailing pass action)
 /// keep their non-spatial entries fixed.
-pub fn push_augmented(
-    replay: &mut ReplayBuffer,
-    sample: &Sample,
-    channels: usize,
-    board: usize,
-) {
+pub fn push_augmented(replay: &mut ReplayBuffer, sample: &Sample, channels: usize, board: usize) {
     assert_eq!(
         sample.state.len(),
         channels * board * board,
@@ -87,16 +82,7 @@ mod tests {
         pi[16] = 0.25;
         pi[5] = 0.75;
         let mut buf = ReplayBuffer::new(64, 16, 17);
-        push_augmented(
-            &mut buf,
-            &Sample {
-                state,
-                pi,
-                z: -1.0,
-            },
-            1,
-            4,
-        );
+        push_augmented(&mut buf, &Sample { state, pi, z: -1.0 }, 1, 4);
         assert_eq!(buf.len(), 8);
         for i in 0..8 {
             assert_eq!(buf.get(i).pi[16], 0.25, "pass probability must be fixed");

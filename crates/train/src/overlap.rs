@@ -23,7 +23,7 @@ use crate::pipeline::PipelineConfig;
 use crate::replay::{ReplayBuffer, Sample};
 use crate::selfplay::play_episode;
 use games::Game;
-use mcts::{Evaluator, NnEvaluator};
+use mcts::{BatchEvaluator, NnEvaluator};
 use nn::{Optimizer, PolicyValueNet, Sgd};
 use parking_lot::RwLock;
 use rand::rngs::StdRng;
@@ -54,7 +54,7 @@ pub struct OverlapReport {
 }
 
 /// How search evaluators are built from published network snapshots.
-pub type SnapshotEvaluatorFactory = Box<dyn Fn(Arc<PolicyValueNet>) -> Arc<dyn Evaluator>>;
+pub type SnapshotEvaluatorFactory = Box<dyn Fn(Arc<PolicyValueNet>) -> Arc<dyn BatchEvaluator>>;
 
 /// Run `cfg.episodes` of self-play with training overlapped on a second
 /// thread. Returns the trained network and the run report.
@@ -201,8 +201,7 @@ mod tests {
     #[test]
     fn overlapped_run_trains_and_reports() {
         let net = PolicyValueNet::new(NetConfig::tiny(4, 3, 3, 9), 41);
-        let (trained, report) =
-            run_overlapped(&TicTacToe::new(), net.clone(), smoke_cfg(3), None);
+        let (trained, report) = run_overlapped(&TicTacToe::new(), net.clone(), smoke_cfg(3), None);
         assert!(report.samples >= 15, "3 episodes of ≥5 moves");
         assert!(report.sgd_steps > 0, "trainer must run SGD");
         assert!(!report.loss_curve.is_empty());
@@ -220,8 +219,11 @@ mod tests {
         // Every episode with enough replay runs exactly sgd_iters steps;
         // at most the first episode can fall short of the replay minimum.
         let per = cfg.sgd_iters as u64;
-        assert!(report.sgd_steps >= 3 * per && report.sgd_steps <= 4 * per,
-            "steps {}", report.sgd_steps);
+        assert!(
+            report.sgd_steps >= 3 * per && report.sgd_steps <= 4 * per,
+            "steps {}",
+            report.sgd_steps
+        );
     }
 
     #[test]
@@ -243,8 +245,7 @@ mod tests {
             CALLS.fetch_add(1, Ordering::Relaxed);
             Arc::new(NnEvaluator::new(snap))
         });
-        let (_, report) =
-            run_overlapped(&TicTacToe::new(), net, smoke_cfg(3), Some(factory));
+        let (_, report) = run_overlapped(&TicTacToe::new(), net, smoke_cfg(3), Some(factory));
         assert_eq!(CALLS.load(Ordering::Relaxed), 3, "one snapshot per episode");
         assert!(report.samples > 0);
     }

@@ -5,7 +5,7 @@ use crate::metrics::{LossRecorder, ThroughputMeter};
 use crate::replay::ReplayBuffer;
 use crate::selfplay::play_episode;
 use games::Game;
-use mcts::{Evaluator, MctsConfig, NnEvaluator, Scheme};
+use mcts::{BatchEvaluator, MctsConfig, NnEvaluator, Scheme};
 use nn::{LrSchedule, Optimizer, PolicyValueNet, Sgd};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -94,7 +94,7 @@ pub struct PipelineReport {
     pub train_ns: u64,
 }
 
-type EvaluatorFactory = Box<dyn Fn(Arc<PolicyValueNet>) -> Arc<dyn Evaluator>>;
+type EvaluatorFactory = Box<dyn Fn(Arc<PolicyValueNet>) -> Arc<dyn BatchEvaluator>>;
 
 /// The training pipeline for one game type.
 pub struct Pipeline<G: Game> {
@@ -148,7 +148,7 @@ impl<G: Game> Pipeline<G> {
     /// (e.g. to route inference through an `accel::Device`).
     pub fn set_evaluator_factory(
         &mut self,
-        f: impl Fn(Arc<PolicyValueNet>) -> Arc<dyn Evaluator> + 'static,
+        f: impl Fn(Arc<PolicyValueNet>) -> Arc<dyn BatchEvaluator> + 'static,
     ) {
         self.evaluator_factory = Box::new(f);
     }
@@ -244,7 +244,11 @@ mod tests {
 
     fn tiny_pipeline(scheme: Scheme, workers: usize) -> Pipeline<TicTacToe> {
         let net = PolicyValueNet::new(NetConfig::tiny(4, 3, 3, 9), 11);
-        Pipeline::new(TicTacToe::new(), net, PipelineConfig::smoke(scheme, workers))
+        Pipeline::new(
+            TicTacToe::new(),
+            net,
+            PipelineConfig::smoke(scheme, workers),
+        )
     }
 
     #[test]
@@ -278,10 +282,12 @@ mod tests {
         let report = p.run();
         let curve = &report.loss_curve;
         assert!(curve.len() >= 20);
-        let head: f32 =
-            curve[..5].iter().map(|p| p.total).sum::<f32>() / 5.0;
-        let tail: f32 =
-            curve[curve.len() - 5..].iter().map(|p| p.total).sum::<f32>() / 5.0;
+        let head: f32 = curve[..5].iter().map(|p| p.total).sum::<f32>() / 5.0;
+        let tail: f32 = curve[curve.len() - 5..]
+            .iter()
+            .map(|p| p.total)
+            .sum::<f32>()
+            / 5.0;
         assert!(
             tail < head,
             "loss should trend down: head {head}, tail {tail}"
@@ -320,7 +326,11 @@ mod tests {
         assert!((p.optimizer.lr() - 0.01).abs() < 1e-9);
         p.run_episode();
         p.run_episode();
-        assert!((p.optimizer.lr() - 0.001).abs() < 1e-9, "lr {}", p.optimizer.lr());
+        assert!(
+            (p.optimizer.lr() - 0.001).abs() < 1e-9,
+            "lr {}",
+            p.optimizer.lr()
+        );
     }
 
     #[test]

@@ -38,6 +38,9 @@ pub fn play_episode<G: Game, R: Rng + ?Sized>(
     let mut pending: Vec<(Vec<f32>, Vec<f32>, Player)> = Vec::new();
     let mut stats = SearchStats::default();
     let mut moves = 0usize;
+    // A fresh episode: stateful schemes drop any tree retained from a
+    // previous episode played with the same searcher.
+    search.reset();
 
     while game.status() == Status::Ongoing && moves < max_moves {
         let result = search.search(&game);
@@ -51,6 +54,8 @@ pub fn play_episode<G: Game, R: Rng + ?Sized>(
         let action = result.sample_action(temperature, rng);
         debug_assert!(game.is_legal(action), "search proposed illegal move");
         game.apply(action);
+        // Stateful schemes (tree reuse) re-root on the played move.
+        search.advance(action);
         moves += 1;
     }
 
@@ -124,7 +129,11 @@ mod tests {
                     // Alternating perspectives: samples where the winner
                     // was to move get +1, the loser's get -1.
                     for (i, sample) in out.samples.iter().enumerate() {
-                        let mover = if i % 2 == 0 { Player::Black } else { Player::White };
+                        let mover = if i % 2 == 0 {
+                            Player::Black
+                        } else {
+                            Player::White
+                        };
                         let expect = if mover == w { 1.0 } else { -1.0 };
                         assert_eq!(sample.z, expect, "sample {i}");
                     }

@@ -56,13 +56,13 @@ fn main() {
                 streams: 1,
             },
         ));
-        let eval = Arc::new(AccelEvaluator::new(device));
-        let cfg = MctsConfig {
-            playouts: 96,
-            workers,
-            ..Default::default()
-        };
-        let mut search = AdaptiveSearch::<Gomoku>::new(Scheme::LocalTree, cfg, eval);
+        // The local scheme feeds the device queue natively: builder
+        // route, no AccelEvaluator indirection, no thread per leaf.
+        let mut search = SearchBuilder::new(Scheme::LocalTree)
+            .playouts(96)
+            .workers(workers)
+            .device(device)
+            .build::<Gomoku>();
         let t0 = Instant::now();
         let _ = search.search(&game);
         t0.elapsed().as_nanos() as f64

@@ -23,11 +23,8 @@ fn main() {
         cfg,
         Arc::new(NnEvaluator::new(Arc::clone(&net))),
     );
-    let mut white = AdaptiveSearch::<Gomoku>::new(
-        Scheme::LocalTree,
-        cfg,
-        Arc::new(NnEvaluator::new(net)),
-    );
+    let mut white =
+        AdaptiveSearch::<Gomoku>::new(Scheme::LocalTree, cfg, Arc::new(NnEvaluator::new(net)));
     let mut rng = rand::rngs::StdRng::seed_from_u64(12);
 
     println!("shared-tree (X) vs local-tree (O) on 7x7 Gomoku, 4 in a row\n");
@@ -43,7 +40,11 @@ fn main() {
         println!(
             "ply {:>2}: {} plays ({r},{c})  [value {:+.2}, {} playouts]",
             ply + 1,
-            if game.to_move() == Player::Black { "X" } else { "O" },
+            if game.to_move() == Player::Black {
+                "X"
+            } else {
+                "O"
+            },
             result.value,
             result.stats.playouts
         );

@@ -11,10 +11,7 @@ fn main() {
     let mut game = Gomoku::new(9, 5);
     // A random-weights policy-value network of the right shape (in real
     // training the weights come from the self-play pipeline).
-    let net = Arc::new(PolicyValueNet::new(
-        NetConfig::for_board(4, 9, 9, 81),
-        2024,
-    ));
+    let net = Arc::new(PolicyValueNet::new(NetConfig::for_board(4, 9, 9, 81), 2024));
     // Put two stones down so the position isn't empty.
     game.apply(game.rc_to_action(4, 4));
     game.apply(game.rc_to_action(4, 5));
@@ -26,10 +23,16 @@ fn main() {
         ..Default::default()
     };
 
-    println!("searching one move with each scheme ({workers} workers, {} playouts):\n", cfg.playouts);
+    println!(
+        "searching one move with each scheme ({workers} workers, {} playouts):\n",
+        cfg.playouts
+    );
     for scheme in [Scheme::Serial, Scheme::SharedTree, Scheme::LocalTree] {
-        let eval = Arc::new(NnEvaluator::new(Arc::clone(&net)));
-        let mut search = AdaptiveSearch::<Gomoku>::new(scheme, cfg, eval);
+        // One construction path for every scheme: the SearchBuilder.
+        let mut search = SearchBuilder::new(scheme)
+            .config(cfg)
+            .evaluator(Arc::new(NnEvaluator::new(Arc::clone(&net))))
+            .build::<Gomoku>();
         let result = search.search(&game);
         let (r, c) = game.action_to_rc(result.best_action());
         println!(
@@ -43,8 +46,7 @@ fn main() {
 
     // Let the design-configuration workflow choose (profiling this host).
     println!("\nrunning the design-configuration workflow (profiles this host)...");
-    let configurator =
-        DesignConfigurator::profile(&net, game.action_space(), 8, 2_000, None);
+    let configurator = DesignConfigurator::profile(&net, game.action_space(), 8, 2_000, None);
     let choice = configurator.configure(Platform::CpuOnly, workers);
     println!(
         "model chose {} (predicted local {:.1} µs vs shared {:.1} µs per iteration)",
@@ -53,8 +55,10 @@ fn main() {
         choice.predicted_shared_ns / 1000.0
     );
 
-    let eval = Arc::new(NnEvaluator::new(net));
-    let mut adaptive = AdaptiveSearch::<Gomoku>::new(choice.scheme, cfg, eval);
+    let mut adaptive = SearchBuilder::new(choice.scheme)
+        .config(cfg)
+        .evaluator(Arc::new(NnEvaluator::new(net)))
+        .build::<Gomoku>();
     let result = adaptive.search(&game);
     let (r, c) = game.action_to_rc(result.best_action());
     println!(

@@ -59,5 +59,8 @@ fn main() {
     );
     let first = report.loss_curve.first().map(|p| p.total).unwrap_or(0.0);
     let last = report.final_loss.unwrap_or(0.0);
-    println!("loss: {first:.4} -> {last:.4} over {} SGD updates", report.loss_curve.len());
+    println!(
+        "loss: {first:.4} -> {last:.4} over {} SGD updates",
+        report.loss_curve.len()
+    );
 }

@@ -39,9 +39,7 @@ fn main() {
     for dnn_scale in [0.5, 1.0, 2.0, 4.0] {
         let p = SweepParam::DnnCpu.scaled(&base, dnn_scale);
         match crossover_workers(Platform::CpuOnly, &p, 512) {
-            Some(n) => println!(
-                "T_dnn x{dnn_scale:<4}: shared tree first wins at N = {n}"
-            ),
+            Some(n) => println!("T_dnn x{dnn_scale:<4}: shared tree first wins at N = {n}"),
             None => println!("T_dnn x{dnn_scale:<4}: local tree wins for all N <= 512"),
         }
     }

@@ -9,17 +9,23 @@
 //!   benchmark; TicTacToe/Connect-Four for fast tests);
 //! * [`tensor`] / [`nn`] — the from-scratch DNN substrate (the paper's
 //!   5-conv/3-FC policy-value network, loss, optimizers);
-//! * [`accel`] — the simulated inference accelerator with batched request
-//!   queues and a PCIe/kernel-launch latency model;
+//! * [`accel`] — the simulated inference accelerator: batched request
+//!   queues with **async submit/poll** clients and a PCIe/kernel-launch
+//!   latency model;
 //! * [`mcts`] — the core contribution: shared-tree and local-tree
-//!   tree-parallel search, the serial/leaf/root baselines, and the
-//!   adaptive dispatch template;
+//!   tree-parallel search over a **batch-first evaluation API**
+//!   (`BatchEvaluator` / `EvalClient`), the serial/leaf/root baselines,
+//!   the `SearchBuilder` construction layer, and adaptive dispatch;
 //! * [`perfmodel`] — performance models (Eqs. 3–6), design-time profiler,
 //!   Algorithm-4 batch-size search, and the timeline simulator;
 //! * [`train`] — the self-play + SGD training pipeline with throughput
 //!   and loss-curve metrics.
 //!
 //! ## Quickstart
+//!
+//! Build any scheme through [`mcts::SearchBuilder`]; inference is
+//! batch-first end to end (here: real batched forward passes through a
+//! random-weights network).
 //!
 //! ```
 //! use adaptive_dnn_mcts::prelude::*;
@@ -40,12 +46,32 @@
 //! let choice = configurator.configure(Platform::CpuOnly, 4);
 //!
 //! // 3. Build the selected scheme and search one move.
-//! let cfg = MctsConfig { playouts: 64, workers: 4, ..Default::default() };
-//! let eval = Arc::new(NnEvaluator::new(net));
-//! let mut search = AdaptiveSearch::<Gomoku>::new(choice.scheme, cfg, eval);
+//! let mut search = SearchBuilder::new(choice.scheme)
+//!     .playouts(64)
+//!     .workers(4)
+//!     .evaluator(Arc::new(NnEvaluator::new(net)))
+//!     .build::<Gomoku>();
 //! let result = search.search(&game);
 //! assert_eq!(result.stats.playouts, 64);
 //! ```
+//!
+//! Routing inference through the simulated accelerator instead is one
+//! builder call: `.device(device)` — the local-tree scheme then feeds
+//! the device queue natively with async tickets (§3.3), no thread per
+//! outstanding leaf.
+//!
+//! ## Migrating from the blocking single-sample API
+//!
+//! Pre-0.2 code passed `Arc<dyn Evaluator>` (blocking
+//! `evaluate(&[f32]) -> (Vec<f32>, f32)`) into per-scheme `new`
+//! constructors. The `Evaluator` trait still exists and still works
+//! everywhere — a blanket adapter lifts any `Evaluator` into the new
+//! [`mcts::BatchEvaluator`], so custom evaluators compile unchanged when
+//! passed as concrete `Arc<MyEval>`. Boxed `Arc<dyn Evaluator>` objects
+//! go through [`mcts::LegacyEvaluator`] or
+//! `SearchBuilder::legacy_evaluator`. `NnEvaluator` and `AccelEvaluator`
+//! are now natively batched: one forward pass (or one queue submission
+//! wave) per batch instead of per sample.
 
 pub use accel;
 pub use games;
@@ -57,7 +83,7 @@ pub use train;
 
 /// Commonly-used items, one import away.
 pub mod prelude {
-    pub use accel::{BatchModel, Device, DeviceConfig, LatencyModel};
+    pub use accel::{BatchModel, Device, DeviceClient, DeviceConfig, LatencyModel};
     pub use games::connect4::Connect4;
     pub use games::gomoku::Gomoku;
     pub use games::hex::Hex;
@@ -67,9 +93,10 @@ pub mod prelude {
     pub use games::tictactoe::TicTacToe;
     pub use games::{Action, Game, Player, Status};
     pub use mcts::{
-        AccelEvaluator, AdaptiveSearch, Evaluator, LockKind, MctsConfig, NnEvaluator,
-        ReusableSearch, Scheme, SearchResult, SearchScheme, SearchStats, SpeculativeSearch,
-        UniformEvaluator, VirtualLoss,
+        AccelEvaluator, AdaptiveSearch, BatchEvaluator, CoalescingEvaluator, Completion,
+        EvalClient, EvalOutput, Evaluator, LegacyEvaluator, LockKind, MctsConfig, NnEvaluator,
+        ReusableSearch, RootNoise, Scheme, SearchBuilder, SearchResult, SearchScheme, SearchStats,
+        SpeculativeSearch, Ticket, UniformEvaluator, VirtualLoss,
     };
     pub use nn::resnet::{ResNetConfig, ResNetPolicyValueNet};
     pub use nn::{NetConfig, PolicyValueNet};

@@ -23,12 +23,12 @@ fn batched_evaluator_matches_cpu_evaluator_outputs() {
     g.apply(4);
     let mut buf = vec![0.0f32; g.encoded_len()];
     g.encode(&mut buf);
-    let (pc, vc) = cpu.evaluate(&buf);
+    let oc = cpu.evaluate_one(&buf);
     let (pa, va) = acc.evaluate(&buf);
-    for (a, b) in pa.iter().zip(&pc) {
+    for (a, b) in pa.iter().zip(&oc.priors) {
         assert!((a - b).abs() < 1e-5, "priors diverge: {a} vs {b}");
     }
-    assert!((va - vc).abs() < 1e-5);
+    assert!((va - oc.value).abs() < 1e-5);
 }
 
 #[test]

@@ -90,7 +90,10 @@ fn resnet_device_drives_search() {
     let mut search = Scheme::LocalTree.build::<TicTacToe>(cfg, eval);
     let r = search.search(&game);
     assert_eq!(r.stats.playouts, 64);
-    assert!(device.stats().samples > 0, "device actually served requests");
+    assert!(
+        device.stats().samples > 0,
+        "device actually served requests"
+    );
 }
 
 // ---------------- tree reuse over a whole game ----------------
@@ -139,7 +142,10 @@ fn speculative_with_network_main_model_stays_consistent() {
     let r = SearchScheme::<TicTacToe>::search(&mut s, &game);
     assert_eq!(r.stats.playouts, 80);
     assert!(s.corrections > 0);
-    assert!(s.correction_magnitude > 0.0, "network disagrees with uniform");
+    assert!(
+        s.correction_magnitude > 0.0,
+        "network disagrees with uniform"
+    );
     let best = r.best_action();
     assert!(game.is_legal(best));
 }

@@ -85,7 +85,8 @@ fn both_oracles_produce_v_shaped_batch_curves() {
 fn vsearch_optimum_close_to_exhaustive_on_both_oracles() {
     let p = paper_like_perf(32);
     let sp = SimParams::paper_like(32);
-    let oracles: [(&str, Box<dyn Fn(usize) -> f64>); 2] = [
+    type Oracle<'a> = Box<dyn Fn(usize) -> f64 + 'a>;
+    let oracles: [(&str, Oracle); 2] = [
         ("model", Box::new(move |b| local_gpu_iteration_ns(&p, b))),
         (
             "sim",
@@ -94,9 +95,7 @@ fn vsearch_optimum_close_to_exhaustive_on_both_oracles() {
     ];
     for (name, f) in oracles {
         let (b_star, _) = find_min_vsequence(1, 32, &f);
-        let exhaustive = (1..=32)
-            .map(&f)
-            .fold(f64::INFINITY, f64::min);
+        let exhaustive = (1..=32).map(&f).fold(f64::INFINITY, f64::min);
         let found = f(b_star);
         assert!(
             found <= exhaustive * 1.05,

@@ -55,7 +55,7 @@ fn parallel_visit_distributions_close_to_serial() {
     let mut serial = AdaptiveSearch::<TicTacToe>::new(
         Scheme::Serial,
         cfg(playouts, 1),
-        Arc::clone(&eval) as Arc<dyn Evaluator>,
+        Arc::clone(&eval) as Arc<dyn BatchEvaluator>,
     );
     let reference = serial.search(&g);
 
@@ -63,7 +63,7 @@ fn parallel_visit_distributions_close_to_serial() {
         let mut s = AdaptiveSearch::<TicTacToe>::new(
             scheme,
             cfg(playouts, 4),
-            Arc::clone(&eval) as Arc<dyn Evaluator>,
+            Arc::clone(&eval) as Arc<dyn BatchEvaluator>,
         );
         let r = s.search(&g);
         // Total-variation distance between root distributions.

@@ -61,7 +61,11 @@ fn loss_trends_down_with_more_training() {
     let curve = &report.loss_curve;
     assert!(curve.len() >= 40);
     let head: f32 = curve[..8].iter().map(|p| p.total).sum::<f32>() / 8.0;
-    let tail: f32 = curve[curve.len() - 8..].iter().map(|p| p.total).sum::<f32>() / 8.0;
+    let tail: f32 = curve[curve.len() - 8..]
+        .iter()
+        .map(|p| p.total)
+        .sum::<f32>()
+        / 8.0;
     assert!(tail < head, "loss did not fall: {head:.4} -> {tail:.4}");
 }
 
@@ -136,11 +140,19 @@ fn training_improves_play_against_uniform_evaluator() {
         );
         while g.status() == Status::Ongoing {
             let trained_turn = (g.to_move() == Player::Black) == trained_plays_black;
-            let r = if trained_turn { a.search(&g) } else { b.search(&g) };
+            let r = if trained_turn {
+                a.search(&g)
+            } else {
+                b.search(&g)
+            };
             let action = r.sample_action(0.3, &mut rng);
             g.apply(action);
         }
-        let trained_player = if trained_plays_black { Player::Black } else { Player::White };
+        let trained_player = if trained_plays_black {
+            Player::Black
+        } else {
+            Player::White
+        };
         trained_score += g.status().reward_for(trained_player) as i32;
     }
     assert!(

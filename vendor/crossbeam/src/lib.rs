@@ -1,0 +1,354 @@
+//! Offline stand-in for `crossbeam` (channels + `WaitGroup` subset).
+//!
+//! Multi-producer **multi-consumer** FIFO channels on a mutex/condvar
+//! queue, with the `crossbeam-channel` disconnect semantics the search
+//! code relies on: `recv` fails once all senders are gone and the queue
+//! is drained; `send` fails once all receivers are gone. `bounded(n)` is
+//! accepted but does not apply backpressure (no caller in this workspace
+//! depends on it: bounded channels are only used for single replies).
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] on a drained, disconnected
+    /// channel.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// [`Receiver::try_recv`] outcomes other than success.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Queue momentarily empty.
+        Empty,
+        /// Drained and all senders dropped.
+        Disconnected,
+    }
+
+    /// [`Receiver::recv_timeout`] outcomes other than success.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Deadline passed with the queue still empty.
+        Timeout,
+        /// Drained and all senders dropped.
+        Disconnected,
+    }
+
+    /// Sending half; clone freely across threads.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half; clone freely across threads (work-sharing FIFO).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::Relaxed);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Wake blocked receivers so they observe the disconnect.
+                let _guard = self.shared.queue.lock().unwrap();
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::Relaxed);
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue `value`; fails only when all receivers are dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(value));
+            }
+            let mut q = self.shared.queue.lock().unwrap();
+            q.push_back(value);
+            drop(q);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn disconnected(&self) -> bool {
+            self.shared.senders.load(Ordering::Acquire) == 0
+        }
+
+        /// Block until a value arrives or the channel disconnects.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.disconnected() {
+                    return Err(RecvError);
+                }
+                q = self.shared.ready.wait(q).unwrap();
+            }
+        }
+
+        /// Non-blocking dequeue.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.shared.queue.lock().unwrap();
+            if let Some(v) = q.pop_front() {
+                Ok(v)
+            } else if self.disconnected() {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Dequeue, waiting at most `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut q = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.disconnected() {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self.shared.ready.wait_timeout(q, deadline - now).unwrap();
+                q = guard;
+            }
+        }
+
+        /// Number of queued messages (diagnostics).
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().unwrap().len()
+        }
+
+        /// True when no message is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// Accepted for API compatibility; behaves as [`unbounded`] (no
+    /// backpressure — see the module docs).
+    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+        unbounded()
+    }
+}
+
+pub mod sync {
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct WgInner {
+        count: Mutex<usize>,
+        zero: Condvar,
+    }
+
+    /// Barrier counting live clones: `wait` returns once every other
+    /// clone has been dropped.
+    pub struct WaitGroup {
+        inner: Arc<WgInner>,
+    }
+
+    impl WaitGroup {
+        /// A group with one registered handle (the returned one).
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            WaitGroup {
+                inner: Arc::new(WgInner {
+                    count: Mutex::new(1),
+                    zero: Condvar::new(),
+                }),
+            }
+        }
+
+        /// Drop this handle and block until the count reaches zero.
+        pub fn wait(self) {
+            let inner = Arc::clone(&self.inner);
+            drop(self);
+            let mut n = inner.count.lock().unwrap();
+            while *n > 0 {
+                n = inner.zero.wait(n).unwrap();
+            }
+        }
+    }
+
+    impl Default for WaitGroup {
+        fn default() -> Self {
+            WaitGroup::new()
+        }
+    }
+
+    impl Clone for WaitGroup {
+        fn clone(&self) -> Self {
+            *self.inner.count.lock().unwrap() += 1;
+            WaitGroup {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl Drop for WaitGroup {
+        fn drop(&mut self) {
+            let mut n = self.inner.count.lock().unwrap();
+            *n -= 1;
+            if *n == 0 {
+                self.inner.zero.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, RecvTimeoutError, TryRecvError};
+    use super::sync::WaitGroup;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_roundtrip() {
+        let (tx, rx) = unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_on_sender_drop() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(rx.recv().is_err());
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert!(tx.send(9).is_err());
+    }
+
+    #[test]
+    fn timeout_fires() {
+        let (_tx, rx) = unbounded::<u32>();
+        let r = rx.recv_timeout(Duration::from_millis(10));
+        assert_eq!(r, Err(RecvTimeoutError::Timeout));
+    }
+
+    #[test]
+    fn cross_thread_mpmc() {
+        let (tx, rx) = unbounded::<u64>();
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    let mut got = 0u64;
+                    while let Ok(v) = rx.recv() {
+                        got += v;
+                    }
+                    got
+                })
+            })
+            .collect();
+        drop(rx);
+        for producer in 0..4u64 {
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    tx.send(producer * 1000 + i).unwrap();
+                }
+            });
+        }
+        drop(tx);
+        let total: u64 = consumers.into_iter().map(|h| h.join().unwrap()).sum();
+        let expect: u64 = (0..4u64)
+            .map(|p| (0..100).map(|i| p * 1000 + i).sum::<u64>())
+            .sum();
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn waitgroup_blocks_until_all_drop() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let wg = WaitGroup::new();
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..4 {
+            let wg = wg.clone();
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(5));
+                done.fetch_add(1, Ordering::SeqCst);
+                drop(wg);
+            });
+        }
+        wg.wait();
+        assert_eq!(done.load(Ordering::SeqCst), 4);
+    }
+}

@@ -1,0 +1,13 @@
+//! Offline stand-in for `serde` (see `vendor/serde_derive`).
+//!
+//! The workspace uses `Serialize`/`Deserialize` purely as marker derives;
+//! no data format crate is linked, so the traits carry no methods. If a
+//! format crate is ever added, replace this shim with the real `serde`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}

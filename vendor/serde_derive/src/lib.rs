@@ -1,0 +1,52 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! This workspace vendors its dependencies because it builds in an
+//! air-gapped environment. The codebase only uses `#[derive(Serialize,
+//! Deserialize)]` as a marker (no serialization format crate is linked),
+//! so the derives expand to a marker-trait impl and nothing else.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the identifier following `struct`/`enum` so we can emit a
+/// marker impl for it. Generic types get a conservative empty expansion.
+fn type_name(input: &TokenStream) -> Option<String> {
+    let mut iter = input.clone().into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                if let Some(TokenTree::Ident(name)) = iter.next() {
+                    // Skip generic types: emitting `impl Trait for Name`
+                    // without the parameters would not compile.
+                    if let Some(TokenTree::Punct(p)) = iter.peek() {
+                        if p.as_char() == '<' {
+                            return None;
+                        }
+                    }
+                    return Some(name.to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(&input) {
+        Some(name) => format!("impl serde::Serialize for {name} {{}}")
+            .parse()
+            .unwrap(),
+        None => TokenStream::new(),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(&input) {
+        Some(name) => format!("impl serde::Deserialize for {name} {{}}")
+            .parse()
+            .unwrap(),
+        None => TokenStream::new(),
+    }
+}

@@ -1,0 +1,163 @@
+//! Emit `BENCH_inference.json`: the machine-readable before/after record
+//! for the inference fast path.
+//!
+//! Measures, on this machine:
+//! * GEMM GFLOP/s (square sizes) — retained baseline kernel vs the packed
+//!   register-blocked kernel (and its MT variant);
+//! * `PolicyValueNet` batch-forward throughput (paper-size gomoku15 net) —
+//!   pre-rewrite reference path vs the fast path vs the zero-alloc
+//!   workspace path;
+//! * steady-state `NnEvaluator::evaluate_batch` throughput.
+//!
+//! Usage: `bench_inference [--smoke] [out_path]` (default
+//! `BENCH_inference.json`). `--smoke` shrinks repetitions so CI can prove
+//! the binary runs without paying measurement time.
+
+use mcts::{BatchEvaluator, EvalOutput, NnEvaluator};
+use nn::{NetConfig, PolicyValueNet};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+use tensor::{Tensor, Workspace};
+
+fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+/// Median seconds per call over `reps` timed calls (after `warm` warm-ups).
+fn time_median(warm: usize, reps: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..warm {
+        f();
+    }
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_inference.json".to_string());
+    let (warm, reps) = if smoke { (1, 1) } else { (3, 15) };
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"meta\": {{\"tensor_threads\": {}, \"smoke\": {smoke}}},",
+        tensor::pool::parallelism()
+    );
+
+    // --- GEMM kernels -----------------------------------------------------
+    json.push_str("  \"gemm\": [\n");
+    let sizes = [64usize, 128, 256];
+    for (i, &n) in sizes.iter().enumerate() {
+        let a = rand_vec(n * n, 1);
+        let b = rand_vec(n * n, 2);
+        let mut c = vec![0.0f32; n * n];
+        let flops = (2 * n * n * n) as f64;
+        let t_base = time_median(warm, reps, || {
+            tensor::ops::baseline::gemm(false, false, n, n, n, 1.0, &a, &b, 0.0, &mut c);
+        });
+        let t_new = time_median(warm, reps, || {
+            tensor::ops::gemm(false, false, n, n, n, 1.0, &a, &b, 0.0, &mut c);
+        });
+        let t_mt = time_median(warm, reps, || {
+            tensor::ops::gemm_mt(false, false, n, n, n, 1.0, &a, &b, 0.0, &mut c);
+        });
+        let _ = writeln!(
+            json,
+            "    {{\"size\": {n}, \"baseline_gflops\": {:.2}, \"packed_gflops\": {:.2}, \
+             \"packed_mt_gflops\": {:.2}, \"speedup\": {:.2}}}{}",
+            flops / t_base / 1e9,
+            flops / t_new / 1e9,
+            flops / t_mt / 1e9,
+            t_base / t_new,
+            if i + 1 < sizes.len() { "," } else { "" }
+        );
+        println!(
+            "gemm {n}^3: baseline {:.2} GFLOP/s, packed {:.2} GFLOP/s ({:.2}x)",
+            flops / t_base / 1e9,
+            flops / t_new / 1e9,
+            t_base / t_new
+        );
+    }
+    json.push_str("  ],\n");
+
+    // --- Batch forward (paper-size net) -----------------------------------
+    let net = PolicyValueNet::new(NetConfig::gomoku15(), 3);
+    let sample = net.config.in_c * net.config.h * net.config.w;
+    json.push_str("  \"forward\": [\n");
+    let batches = [1usize, 4, 8, 16, 32];
+    for (i, &batch) in batches.iter().enumerate() {
+        let x = Tensor::from_vec(
+            rand_vec(batch * sample, 10 + batch as u64),
+            &[batch, net.config.in_c, net.config.h, net.config.w],
+        );
+        let t_ref = time_median(warm, reps, || {
+            std::hint::black_box(net.forward_reference(&x));
+        });
+        let t_fast = time_median(warm, reps, || {
+            std::hint::black_box(net.forward(&x));
+        });
+        let mut ws = Workspace::new();
+        let (mut policy, mut values) = (Vec::new(), Vec::new());
+        let t_ws = time_median(warm, reps, || {
+            net.predict_into(&x, &mut ws, &mut policy, &mut values);
+        });
+        let b = batch as f64;
+        let _ = writeln!(
+            json,
+            "    {{\"batch\": {batch}, \"reference_sps\": {:.1}, \"fast_sps\": {:.1}, \
+             \"workspace_sps\": {:.1}, \"speedup\": {:.2}}}{}",
+            b / t_ref,
+            b / t_fast,
+            b / t_ws,
+            t_ref / t_fast,
+            if i + 1 < batches.len() { "," } else { "" }
+        );
+        println!(
+            "forward b={batch}: reference {:.1} samples/s, fast {:.1} samples/s ({:.2}x)",
+            b / t_ref,
+            b / t_fast,
+            t_ref / t_fast
+        );
+    }
+    json.push_str("  ],\n");
+
+    // --- Evaluator steady state -------------------------------------------
+    let eval = NnEvaluator::new(Arc::new(net));
+    let batch = 32usize;
+    let inputs: Vec<Vec<f32>> = (0..batch)
+        .map(|i| rand_vec(sample, 100 + i as u64))
+        .collect();
+    let refs: Vec<&[f32]> = inputs.iter().map(Vec::as_slice).collect();
+    let mut out = vec![EvalOutput::default(); batch];
+    let t_eval = time_median(warm, reps, || {
+        eval.evaluate_batch(&refs, &mut out);
+    });
+    let _ = writeln!(
+        json,
+        "  \"evaluate_batch\": [{{\"batch\": {batch}, \"samples_per_sec\": {:.1}}}]",
+        batch as f64 / t_eval
+    );
+    println!(
+        "evaluate_batch b={batch}: {:.1} samples/s",
+        batch as f64 / t_eval
+    );
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("wrote {out_path}");
+}

@@ -26,10 +26,11 @@ use accel::Device;
 use crossbeam::channel::bounded;
 use games::Game;
 use nn::PolicyValueNet;
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-use tensor::Tensor;
+use tensor::{Tensor, Workspace};
 
 /// One evaluation result: policy prior over the *full* action space and
 /// a value in `[-1, 1]` for the player to move.
@@ -162,10 +163,40 @@ impl Evaluator for SingleSample {
 
 /// Batched CPU inference through a policy-value network: one forward
 /// pass per batch, regardless of batch size.
+///
+/// Construction snapshots a conv+BN-**folded** copy of the network for
+/// inference (see `nn::fuse`) and every `evaluate_batch` runs on the
+/// calling thread's persistent [`Workspace`], so steady-state evaluation
+/// performs **zero heap allocations**: the input pack buffer, every
+/// intermediate activation, the policy/value staging vectors and (when the
+/// caller reuses its `EvalOutput` buffer) the prior vectors all recycle
+/// their capacity.
 pub struct NnEvaluator {
     net: Arc<PolicyValueNet>,
+    /// Folded inference snapshot of `net` (identical function in eval
+    /// mode, fewer passes). `None` when the net has no batch norms —
+    /// folding would be a pointless deep copy of the weights.
+    infer: Option<PolicyValueNet>,
     batch_hint: usize,
     forward_calls: AtomicU64,
+}
+
+/// Per-thread scratch shared by all [`NnEvaluator`]s on a thread: the
+/// flattened input batch, the forward workspace, and policy/value staging.
+struct EvalScratch {
+    ws: Workspace,
+    flat: Vec<f32>,
+    policy: Vec<f32>,
+    values: Vec<f32>,
+}
+
+thread_local! {
+    static EVAL_SCRATCH: RefCell<EvalScratch> = RefCell::new(EvalScratch {
+        ws: Workspace::new(),
+        flat: Vec::new(),
+        policy: Vec::new(),
+        values: Vec::new(),
+    });
 }
 
 /// Default batch-assembly hint for CPU network inference.
@@ -179,10 +210,14 @@ impl NnEvaluator {
     }
 
     /// Wrap a network, advertising `hint` as the preferred batch size.
+    /// If the network contains batch norms they are folded into their
+    /// convolutions once, here, so every later forward pass skips them.
     pub fn with_batch_hint(net: Arc<PolicyValueNet>, hint: usize) -> Self {
         assert!(hint >= 1, "batch hint must be positive");
+        let infer = net.has_foldable_norms().then(|| net.folded_for_inference());
         NnEvaluator {
             net,
+            infer,
             batch_hint: hint,
             forward_calls: AtomicU64::new(0),
         }
@@ -219,20 +254,31 @@ impl BatchEvaluator for NnEvaluator {
         let c = self.net.config;
         let sample_len = c.in_c * c.h * c.w;
         let b = inputs.len();
-        let mut flat = Vec::with_capacity(b * sample_len);
-        for x in inputs {
-            assert_eq!(x.len(), sample_len, "input length mismatch");
-            flat.extend_from_slice(x);
-        }
-        let x = Tensor::from_vec(flat, &[b, c.in_c, c.h, c.w]);
-        let (pi, v) = self.net.predict(&x);
+        EVAL_SCRATCH.with(|scratch| {
+            let s = &mut *scratch.borrow_mut();
+            s.flat.clear();
+            s.flat.reserve(b * sample_len);
+            for x in inputs {
+                assert_eq!(x.len(), sample_len, "input length mismatch");
+                s.flat.extend_from_slice(x);
+            }
+            // Wrap the staging buffer without copying; recover it after.
+            let x = Tensor::from_vec(std::mem::take(&mut s.flat), &[b, c.in_c, c.h, c.w]);
+            self.infer.as_ref().unwrap_or(&self.net).predict_into(
+                &x,
+                &mut s.ws,
+                &mut s.policy,
+                &mut s.values,
+            );
+            s.flat = x.into_vec();
+            let a = c.actions;
+            for (i, o) in out.iter_mut().enumerate() {
+                o.priors.clear();
+                o.priors.extend_from_slice(&s.policy[i * a..(i + 1) * a]);
+                o.value = s.values[i];
+            }
+        });
         self.forward_calls.fetch_add(1, Ordering::Relaxed);
-        for (i, o) in out.iter_mut().enumerate() {
-            *o = EvalOutput {
-                priors: pi.row(i).to_vec(),
-                value: v.data()[i],
-            };
-        }
     }
 
     fn preferred_batch(&self) -> usize {

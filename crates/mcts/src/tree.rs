@@ -381,13 +381,15 @@ impl Tree {
     /// counts. Used by speculative search to correct a node first expanded
     /// with a cheap model once the main model's evaluation arrives.
     pub fn correct_expansion(&mut self, node: u32, masked: &[f32], dv: f32) {
-        let children = self.nodes[node as usize].children.clone();
         assert_eq!(
-            children.len(),
+            self.nodes[node as usize].children.len(),
             masked.len(),
             "corrected priors must cover every child"
         );
-        for (&cid, &p) in children.iter().zip(masked) {
+        // Index-based walk: cloning the child vector here put a heap
+        // allocation on every speculative correction.
+        for (i, &p) in masked.iter().enumerate() {
+            let cid = self.nodes[node as usize].children[i];
             self.nodes[cid as usize].prior = p;
         }
         // Same sign convention as `backup`: the node's own W is from the

@@ -1,0 +1,88 @@
+//! Verifies the zero-alloc inference contract: after warm-up, a
+//! steady-state `NnEvaluator::evaluate_batch` performs **no heap
+//! allocations** — every buffer (input pack, im2col matrix, GEMM staging,
+//! intermediate activations, policy/value staging, prior vectors) reuses
+//! capacity from the per-thread workspace or the caller's output buffer.
+//!
+//! This file holds exactly one test so the counting global allocator sees
+//! no traffic from concurrently running tests.
+
+use mcts::{BatchEvaluator, EvalOutput, NnEvaluator};
+use nn::{NetConfig, PolicyValueNet};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+static TRACK: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator that counts allocation events while `TRACK` is set.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if TRACK.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if TRACK.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if TRACK.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn evaluate_batch_steady_state_allocates_nothing() {
+    let net = Arc::new(PolicyValueNet::new(NetConfig::tiny(4, 5, 5, 25), 7));
+    let eval = NnEvaluator::new(net);
+    const B: usize = 32;
+    let inputs: Vec<Vec<f32>> = (0..B)
+        .map(|i| {
+            (0..100)
+                .map(|j| ((i * 13 + j) % 11) as f32 / 11.0)
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[f32]> = inputs.iter().map(Vec::as_slice).collect();
+    let mut out = vec![EvalOutput::default(); B];
+
+    // Warm-up: grows the thread workspace, pack buffers, prior capacities.
+    for _ in 0..3 {
+        eval.evaluate_batch(&refs, &mut out);
+    }
+    let warm = out.clone();
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    TRACK.store(true, Ordering::SeqCst);
+    eval.evaluate_batch(&refs, &mut out);
+    TRACK.store(false, Ordering::SeqCst);
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        allocs, 0,
+        "steady-state evaluate_batch must not touch the heap ({allocs} allocations observed)"
+    );
+    // And it still computes the same thing.
+    for (w, o) in warm.iter().zip(&out) {
+        assert_eq!(w.priors, o.priors);
+        assert_eq!(w.value, o.value);
+    }
+}

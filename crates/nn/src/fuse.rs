@@ -1,0 +1,178 @@
+//! Inference-time layer fusion: fold batch normalization into the
+//! preceding convolution.
+//!
+//! At inference a batch norm is an affine map per channel,
+//! `y = γ·(x − μ)/√(σ² + ε) + β`, and a convolution is linear in its
+//! weights, so `bn(conv(x))` collapses into a single convolution:
+//!
+//! ```text
+//! s  = γ / √(σ² + ε)          (per output channel)
+//! W' = s · W                  (scale every kernel slice)
+//! b' = s · (b − μ) + β
+//! ```
+//!
+//! Folding is a *snapshot*: it bakes the running statistics in, so the
+//! folded layers are inference-only — `forward_train` semantics are not
+//! preserved (the originals remain untouched; training keeps using them).
+//! [`fold_stack`] rewrites a layer stack, collapsing adjacent
+//! `Conv2d → BatchNorm2d` pairs and folding the norms inside residual
+//! blocks (whose norms become exact identities that the workspace forward
+//! path skips).
+
+use crate::layer::{Conv2d, LayerKind};
+use crate::norm::BatchNorm2d;
+
+/// Fold `bn`'s inference affine map into `conv`, returning the fused
+/// convolution with `conv(x)` ≈ `bn(conv_original(x))` (eval mode).
+pub fn fold_conv_bn(conv: &Conv2d, bn: &BatchNorm2d) -> Conv2d {
+    assert_eq!(conv.out_c, bn.channels, "conv out_c must match bn channels");
+    let mut out = conv.clone();
+    let kvol = conv.in_c * conv.kh * conv.kw;
+    for oc in 0..conv.out_c {
+        let inv_std = (bn.running_var.data()[oc] + bn.eps).sqrt().recip();
+        let s = bn.gamma.data()[oc] * inv_std;
+        for w in &mut out.weight.data_mut()[oc * kvol..(oc + 1) * kvol] {
+            *w *= s;
+        }
+        out.bias.data_mut()[oc] =
+            s * (conv.bias.data()[oc] - bn.running_mean.data()[oc]) + bn.beta.data()[oc];
+    }
+    out
+}
+
+/// A batch norm whose evaluation is *exactly* the identity (`scale == 1`,
+/// `shift == 0`, `ε == 0`): what [`fold_conv_bn`] leaves behind inside a
+/// residual block. [`BatchNorm2d::is_identity`] detects it so the fast
+/// forward path skips the pass.
+pub fn identity_bn(channels: usize) -> BatchNorm2d {
+    let mut bn = BatchNorm2d::new(channels);
+    bn.eps = 0.0;
+    bn
+}
+
+/// Rewrite a layer stack for inference: adjacent `Conv2d → BatchNorm2d`
+/// pairs become one folded convolution, residual blocks fold their internal
+/// norms, everything else is cloned as-is. The result computes the same
+/// eval-mode function (within float rounding) with fewer passes.
+pub fn fold_stack(layers: &[LayerKind]) -> Vec<LayerKind> {
+    let mut out = Vec::with_capacity(layers.len());
+    let mut i = 0;
+    while i < layers.len() {
+        match (&layers[i], layers.get(i + 1)) {
+            (LayerKind::Conv2d(c), Some(LayerKind::BatchNorm2d(bn))) => {
+                out.push(LayerKind::Conv2d(fold_conv_bn(c, bn)));
+                i += 2;
+            }
+            (LayerKind::Residual(r), _) => {
+                out.push(LayerKind::Residual(Box::new(r.fold_inference())));
+                i += 1;
+            }
+            (l, _) => {
+                out.push(l.clone());
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{forward_stack, forward_stack_ws};
+    use crate::residual::ResidualBlock;
+    use rand::SeedableRng;
+    use tensor::{Tensor, Workspace};
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn rand_t(dims: &[usize], seed: u64) -> Tensor {
+        let mut r = rng(seed);
+        tensor::init::uniform(&mut r, dims, -1.0, 1.0)
+    }
+
+    /// A batch norm with non-trivial learned and running statistics.
+    fn busy_bn(channels: usize, seed: u64) -> BatchNorm2d {
+        let mut bn = BatchNorm2d::new(channels);
+        bn.gamma = rand_t(&[channels], seed).map(|v| 0.5 + v.abs());
+        bn.beta = rand_t(&[channels], seed ^ 1);
+        bn.running_mean = rand_t(&[channels], seed ^ 2);
+        bn.running_var = rand_t(&[channels], seed ^ 3).map(|v| 0.3 + v.abs());
+        bn
+    }
+
+    #[test]
+    fn folded_conv_matches_conv_then_bn() {
+        let conv = Conv2d::new(&mut rng(1), 3, 5, 3, 1);
+        let bn = busy_bn(5, 10);
+        let x = rand_t(&[2, 3, 6, 6], 20);
+        let unfolded = bn.forward_eval(&conv.forward(&x));
+        let folded = fold_conv_bn(&conv, &bn).forward(&x);
+        for (f, u) in folded.data().iter().zip(unfolded.data()) {
+            assert!((f - u).abs() < 1e-4, "{f} vs {u}");
+        }
+    }
+
+    #[test]
+    fn identity_bn_is_detected_and_exact() {
+        let bn = identity_bn(4);
+        assert!(bn.is_identity());
+        let x = rand_t(&[1, 4, 3, 3], 30);
+        assert_eq!(bn.forward_eval(&x).data(), x.data());
+        // A default-eps norm is NOT an exact identity.
+        assert!(!BatchNorm2d::new(4).is_identity());
+    }
+
+    #[test]
+    fn folded_stack_matches_unfolded_eval() {
+        let mut r = rng(2);
+        let layers = vec![
+            LayerKind::Conv2d(Conv2d::new(&mut r, 2, 4, 3, 1)),
+            LayerKind::BatchNorm2d(busy_bn(4, 40)),
+            LayerKind::ReLU,
+            LayerKind::Conv2d(Conv2d::new(&mut r, 4, 4, 3, 1)),
+            LayerKind::BatchNorm2d(busy_bn(4, 41)),
+        ];
+        let folded = fold_stack(&layers);
+        assert_eq!(folded.len(), 3, "two conv+bn pairs collapse");
+        let x = rand_t(&[3, 2, 5, 5], 42);
+        let y_ref = forward_stack(&layers, &x);
+        let y_fold = forward_stack(&folded, &x);
+        for (f, u) in y_fold.data().iter().zip(y_ref.data()) {
+            assert!((f - u).abs() < 1e-4, "{f} vs {u}");
+        }
+        // The workspace path agrees too (and skips the identity norms).
+        let mut ws = Workspace::new();
+        let y_ws = forward_stack_ws(&folded, &x, &mut ws);
+        for (f, u) in y_ws.data().iter().zip(y_ref.data()) {
+            assert!((f - u).abs() < 1e-4, "{f} vs {u}");
+        }
+        ws.release(y_ws.into_vec());
+    }
+
+    #[test]
+    fn folded_residual_matches_eval_forward() {
+        let blk = ResidualBlock {
+            conv1: Conv2d::new(&mut rng(3), 3, 3, 3, 1),
+            bn1: busy_bn(3, 50),
+            conv2: Conv2d::new(&mut rng(4), 3, 3, 3, 1),
+            bn2: busy_bn(3, 51),
+        };
+        let folded = blk.fold_inference();
+        assert!(folded.bn1.is_identity() && folded.bn2.is_identity());
+        let x = rand_t(&[2, 3, 4, 4], 52);
+        let y_ref = blk.forward_eval(&x);
+        let y_fold = folded.forward_eval(&x);
+        for (f, u) in y_fold.data().iter().zip(y_ref.data()) {
+            assert!((f - u).abs() < 1e-4, "{f} vs {u}");
+        }
+        let mut ws = Workspace::new();
+        let y_ws = folded.forward_eval_ws(&x, &mut ws);
+        for (f, u) in y_ws.data().iter().zip(y_ref.data()) {
+            assert!((f - u).abs() < 1e-4, "{f} vs {u}");
+        }
+        ws.release(y_ws.into_vec());
+    }
+}

@@ -13,9 +13,9 @@
 use crate::norm::BatchNorm2d;
 use crate::residual::ResidualBlock;
 use serde::{Deserialize, Serialize};
-use tensor::conv::{conv2d_backward, conv2d_forward, Conv2dSpec};
-use tensor::ops::gemm;
-use tensor::Tensor;
+use tensor::conv::{conv2d_backward, conv2d_forward, conv2d_forward_ref, Conv2dSpec};
+use tensor::ops::{gemm, gemm_ep, Epilogue};
+use tensor::{Tensor, Workspace};
 
 /// A 2-D convolution layer with bias.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -67,25 +67,52 @@ impl Conv2d {
         }
     }
 
-    /// Pure convolution forward over an NCHW batch.
+    /// Pure convolution forward over an NCHW batch. Scratch comes from the
+    /// calling thread's shared [`Workspace`], so repeated calls allocate
+    /// only the output tensor.
     pub fn forward(&self, x: &Tensor) -> Tensor {
         let (b, _, h, w) = dims4(x);
         let spec = self.spec(h, w);
         let mut out = Tensor::zeros(&[b, self.out_c, spec.out_h(), spec.out_w()]);
-        let mut scratch = Vec::new();
-        conv2d_forward(
-            &spec,
-            x,
-            &self.weight,
-            Some(&self.bias),
-            &mut out,
-            &mut scratch,
-        );
+        Workspace::with_thread(|ws| {
+            conv2d_forward(
+                &spec,
+                x,
+                &self.weight,
+                Some(&self.bias),
+                false,
+                &mut out,
+                ws,
+            );
+        });
+        out
+    }
+
+    /// Workspace forward: the output buffer is leased from `ws` (release it
+    /// with `ws.release(t.into_vec())` when done) and, with `relu`, the
+    /// activation is fused into the convolution GEMM's output loop.
+    pub fn forward_ws(&self, x: &Tensor, relu: bool, ws: &mut Workspace) -> Tensor {
+        let (b, _, h, w) = dims4(x);
+        let spec = self.spec(h, w);
+        let dims = [b, self.out_c, spec.out_h(), spec.out_w()];
+        let buf = ws.lease(dims.iter().product());
+        let mut out = Tensor::from_vec(buf, &dims);
+        conv2d_forward(&spec, x, &self.weight, Some(&self.bias), relu, &mut out, ws);
+        out
+    }
+
+    /// Pre-rewrite forward (per-image im2col + baseline GEMM). Retained for
+    /// numerical-parity tests and before/after benchmarks.
+    pub fn forward_reference(&self, x: &Tensor) -> Tensor {
+        let (b, _, h, w) = dims4(x);
+        let spec = self.spec(h, w);
+        let mut out = Tensor::zeros(&[b, self.out_c, spec.out_h(), spec.out_w()]);
+        conv2d_forward_ref(&spec, x, &self.weight, Some(&self.bias), &mut out);
         out
     }
 
     /// Convolution backward: accumulates `dW` into `gw` and `db` into `gb`,
-    /// returns `dL/dx`.
+    /// returns `dL/dx`. Scratch comes from the thread's shared workspace.
     pub fn backward(
         &self,
         x: &Tensor,
@@ -96,17 +123,9 @@ impl Conv2d {
         let (_, _, h, w) = dims4(x);
         let spec = self.spec(h, w);
         let mut gi = Tensor::zeros(x.dims());
-        let mut scratch = Vec::new();
-        conv2d_backward(
-            &spec,
-            x,
-            &self.weight,
-            grad_out,
-            &mut gi,
-            gw,
-            Some(gb),
-            &mut scratch,
-        );
+        Workspace::with_thread(|ws| {
+            conv2d_backward(&spec, x, &self.weight, grad_out, &mut gi, gw, Some(gb), ws);
+        });
         gi
     }
 }
@@ -133,13 +152,56 @@ impl Linear {
         }
     }
 
-    /// Pure linear forward: `y = x·Wᵀ + b`.
+    /// Pure linear forward: `y = x·Wᵀ + b` (bias fused into the GEMM's
+    /// output loop).
     pub fn forward(&self, x: &Tensor) -> Tensor {
         let b = x.dims()[0];
         assert_eq!(x.dims(), &[b, self.in_dim], "linear input shape");
         let mut out = Tensor::zeros(&[b, self.out_dim]);
-        // y[b, o] = x[b, i] * W[o, i]ᵀ
-        gemm(
+        self.gemm_into(x, false, out.data_mut());
+        out
+    }
+
+    /// Workspace forward: output leased from `ws`; with `relu` the
+    /// activation is fused into the GEMM epilogue.
+    pub fn forward_ws(&self, x: &Tensor, relu: bool, ws: &mut Workspace) -> Tensor {
+        let b = x.dims()[0];
+        assert_eq!(x.dims(), &[b, self.in_dim], "linear input shape");
+        let buf = ws.lease(b * self.out_dim);
+        let mut out = Tensor::from_vec(buf, &[b, self.out_dim]);
+        self.gemm_into(x, relu, out.data_mut());
+        out
+    }
+
+    fn gemm_into(&self, x: &Tensor, relu: bool, out: &mut [f32]) {
+        let b = x.dims()[0];
+        // y[b, o] = x[b, i] * W[o, i]ᵀ + bias[o]
+        gemm_ep(
+            false,
+            true,
+            b,
+            self.out_dim,
+            self.in_dim,
+            1.0,
+            x.data(),
+            self.weight.data(),
+            0.0,
+            out,
+            Epilogue {
+                bias_row: None,
+                bias_col: Some(self.bias.data()),
+                relu,
+            },
+        );
+    }
+
+    /// Pre-rewrite forward (baseline GEMM, separate bias pass). Retained
+    /// for numerical-parity tests and before/after benchmarks.
+    pub fn forward_reference(&self, x: &Tensor) -> Tensor {
+        let b = x.dims()[0];
+        assert_eq!(x.dims(), &[b, self.in_dim], "linear input shape");
+        let mut out = Tensor::zeros(&[b, self.out_dim]);
+        tensor::ops::baseline::gemm(
             false,
             true,
             b,
@@ -425,6 +487,97 @@ pub fn forward_stack(layers: &[LayerKind], x: &Tensor) -> Tensor {
     let mut cur = x.clone();
     for l in layers {
         cur = l.forward(&cur);
+    }
+    cur
+}
+
+/// Zero-allocation forward through a layer stack: every intermediate
+/// activation is leased from `ws` and recycled, elementwise layers run in
+/// place, and a `Conv2d`/`Linear` immediately followed by `ReLU` is fused
+/// into a single GEMM with a ReLU epilogue. Numerically identical to
+/// [`forward_stack`].
+///
+/// `x` is only copied if the stack *starts* with an in-place layer
+/// (ReLU/Tanh/Flatten/BatchNorm); buffer-producing layers (conv, linear,
+/// residual) read it directly. The returned tensor's buffer is leased
+/// from `ws`; hand it back with `ws.release(t.into_vec())` once the
+/// values have been consumed.
+pub fn forward_stack_ws(layers: &[LayerKind], x: &Tensor, ws: &mut Workspace) -> Tensor {
+    // `cur = None` means "still reading the caller's input"; it becomes
+    // Some as soon as a layer produces (or an in-place layer forces
+    // materializing) an owned, pool-leased activation.
+    let mut cur: Option<Tensor> = None;
+    let release_into = |cur: &mut Option<Tensor>, ws: &mut Workspace, out: Tensor| {
+        if let Some(old) = cur.take() {
+            ws.release(old.into_vec());
+        }
+        *cur = Some(out);
+    };
+    let mut i = 0;
+    while i < layers.len() {
+        let fuse_relu = matches!(layers.get(i + 1), Some(LayerKind::ReLU));
+        match &layers[i] {
+            LayerKind::Conv2d(c) => {
+                let out = c.forward_ws(cur.as_ref().unwrap_or(x), fuse_relu, ws);
+                release_into(&mut cur, ws, out);
+                i += if fuse_relu { 2 } else { 1 };
+            }
+            LayerKind::Linear(l) => {
+                let out = l.forward_ws(cur.as_ref().unwrap_or(x), fuse_relu, ws);
+                release_into(&mut cur, ws, out);
+                i += if fuse_relu { 2 } else { 1 };
+            }
+            LayerKind::Residual(r) => {
+                let out = r.forward_eval_ws(cur.as_ref().unwrap_or(x), ws);
+                release_into(&mut cur, ws, out);
+                i += 1;
+            }
+            // Folded-away norms (exact identity) are skipped without even
+            // materializing a copy of the input.
+            LayerKind::BatchNorm2d(bn) if bn.is_identity() => {
+                i += 1;
+            }
+            in_place => {
+                let cur = cur.get_or_insert_with(|| {
+                    let mut buf = ws.lease(x.numel());
+                    buf.copy_from_slice(x.data());
+                    Tensor::from_vec(buf, x.dims())
+                });
+                match in_place {
+                    LayerKind::ReLU => cur.map_inplace(|v| v.max(0.0)),
+                    LayerKind::Tanh => cur.map_inplace(f32::tanh),
+                    LayerKind::Flatten => {
+                        let b = cur.dims()[0];
+                        let rest: usize = cur.dims()[1..].iter().product();
+                        let reshaped = std::mem::replace(cur, Tensor::zeros(&[0]));
+                        *cur = reshaped.reshape(&[b, rest]);
+                    }
+                    LayerKind::BatchNorm2d(bn) => bn.forward_eval_inplace(cur),
+                    _ => unreachable!("buffer-producing layers handled above"),
+                }
+                i += 1;
+            }
+        }
+    }
+    cur.unwrap_or_else(|| {
+        // Empty stack (or all layers skipped): return a copy of the input.
+        let mut buf = ws.lease(x.numel());
+        buf.copy_from_slice(x.data());
+        Tensor::from_vec(buf, x.dims())
+    })
+}
+
+/// Pre-rewrite forward through a layer stack (per-image convs, baseline
+/// GEMM, fresh allocations per layer). Retained as the "before" side of
+/// benchmark comparisons.
+pub fn forward_stack_reference(layers: &[LayerKind], x: &Tensor) -> Tensor {
+    let mut cur = x.clone();
+    for l in layers {
+        cur = match l {
+            LayerKind::Conv2d(c) => c.forward_reference(&cur),
+            LayerKind::Linear(lin) => lin.forward_reference(&cur),
+            other => other.forward(&cur),
+        };
     }
     cur
 }

@@ -16,7 +16,35 @@
 //! Everything needed for the full training pipeline is here: cached forward
 //! passes, exact backward passes (validated against finite differences),
 //! the AlphaZero loss of Eq. 2, and SGD/Adam optimizers.
+//!
+//! # Performance notes (inference)
+//!
+//! Inference rides the `tensor` crate's fast path:
+//!
+//! * **Batched convolutions** — each `Conv2d` forward issues **one GEMM per
+//!   batch** (the whole `[B, C, H, W]` input is unfolded at once), so
+//!   batching leaf evaluations pays off inside the network, not just at the
+//!   search boundary.
+//! * **Workspace reuse** — [`layer::forward_stack_ws`] /
+//!   [`PolicyValueNet::forward_ws`](model::PolicyValueNet::forward_ws) /
+//!   [`PolicyValueNet::predict_into`](model::PolicyValueNet::predict_into)
+//!   lease every intermediate activation (and the im2col/staging scratch)
+//!   from a `tensor::Workspace`, so steady-state forward passes allocate
+//!   nothing. The plain `forward` APIs stay pure and use the calling
+//!   thread's shared workspace for scratch.
+//! * **Epilogue fusion** — `Conv2d`/`Linear` followed by `ReLU` execute as
+//!   a single GEMM with bias+ReLU fused into the output loop (numerically
+//!   identical to the separate passes).
+//! * **Conv+BN folding** — [`fuse`] folds inference-mode batch norms into
+//!   the preceding convolution;
+//!   [`PolicyValueNet::folded_for_inference`](model::PolicyValueNet::folded_for_inference)
+//!   snapshots a whole net. Folded layers are inference-only;
+//!   `forward_train` on the *original* layers is untouched.
+//! * **Before/after** — the pre-rewrite path is retained as
+//!   `forward_reference`/`forward_stack_reference` for parity tests and
+//!   the `BENCH_inference.json` speedup record.
 
+pub mod fuse;
 pub mod layer;
 pub mod loss;
 pub mod model;

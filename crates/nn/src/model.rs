@@ -2,12 +2,13 @@
 //! layers with a policy head and a value head (§5.1).
 
 use crate::layer::{
-    backward_stack, forward_cached, forward_stack, Conv2d, Layer, LayerKind, Linear,
+    backward_stack, forward_cached, forward_stack_reference, forward_stack_ws, Conv2d, Layer,
+    LayerKind, Linear,
 };
 use crate::loss::{alphazero_loss_backward, LossParts};
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use tensor::Tensor;
+use tensor::{Tensor, Workspace};
 
 /// Architecture hyper-parameters. Defaults follow the paper's Gomoku setup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -140,6 +141,70 @@ impl NetGrads {
     }
 }
 
+/// Trunk + two-heads workspace forward, shared by [`PolicyValueNet`] and
+/// [`crate::resnet::ResNetPolicyValueNet`]. Returned tensors are leased
+/// from `ws`.
+pub(crate) fn net_forward_ws(
+    trunk: &[LayerKind],
+    policy_head: &[LayerKind],
+    value_head: &[LayerKind],
+    x: &Tensor,
+    ws: &mut Workspace,
+) -> (Tensor, Tensor) {
+    let feat = forward_stack_ws(trunk, x, ws);
+    let logits = forward_stack_ws(policy_head, &feat, ws);
+    let values = forward_stack_ws(value_head, &feat, ws);
+    ws.release(feat.into_vec());
+    (logits, values)
+}
+
+/// Pure-API wrapper over [`net_forward_ws`]: runs on the calling thread's
+/// shared workspace, allocating only the two returned tensors.
+pub(crate) fn net_forward(
+    trunk: &[LayerKind],
+    policy_head: &[LayerKind],
+    value_head: &[LayerKind],
+    x: &Tensor,
+) -> (Tensor, Tensor) {
+    Workspace::with_thread(|ws| {
+        let (logits, values) = net_forward_ws(trunk, policy_head, value_head, x, ws);
+        let out = (
+            Tensor::from_vec(logits.data().to_vec(), logits.dims()),
+            Tensor::from_vec(values.data().to_vec(), values.dims()),
+        );
+        ws.release(logits.into_vec());
+        ws.release(values.into_vec());
+        out
+    })
+}
+
+/// Allocation-free batched prediction shared by the policy-value nets:
+/// softmaxed policies (`[b·actions]`, row-major) into `policy`, values
+/// (`[b]`) into `values`, reusing their capacity across calls.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn net_predict_into(
+    trunk: &[LayerKind],
+    policy_head: &[LayerKind],
+    value_head: &[LayerKind],
+    actions: usize,
+    x: &Tensor,
+    ws: &mut Workspace,
+    policy: &mut Vec<f32>,
+    values: &mut Vec<f32>,
+) {
+    let b = x.dims()[0];
+    let (logits, vals) = net_forward_ws(trunk, policy_head, value_head, x, ws);
+    policy.clear();
+    policy.extend_from_slice(logits.data());
+    values.clear();
+    values.extend_from_slice(vals.data());
+    ws.release(logits.into_vec());
+    ws.release(vals.into_vec());
+    for r in 0..b {
+        tensor::ops::softmax_inplace(&mut policy[r * actions..(r + 1) * actions]);
+    }
+}
+
 impl PolicyValueNet {
     /// Build a network with freshly initialized parameters.
     pub fn new(config: NetConfig, seed: u64) -> Self {
@@ -233,11 +298,76 @@ impl PolicyValueNet {
 
     /// Inference: `x` is `[b, in_c, h, w]`; returns policy logits `[b, A]`
     /// and tanh values `[b, 1]`. Pure and thread-safe.
+    ///
+    /// Runs on the workspace fast path (batched convs, fused epilogues,
+    /// recycled intermediate buffers from the calling thread's shared
+    /// [`Workspace`]); only the two returned tensors are allocated.
     pub fn forward(&self, x: &Tensor) -> (Tensor, Tensor) {
-        let feat = forward_stack(&self.trunk, x);
-        let logits = forward_stack(&self.policy_head, &feat);
-        let values = forward_stack(&self.value_head, &feat);
+        net_forward(&self.trunk, &self.policy_head, &self.value_head, x)
+    }
+
+    /// Workspace inference: like [`PolicyValueNet::forward`] but every
+    /// buffer — including the returned logits/values — is leased from `ws`,
+    /// so steady-state calls perform no heap allocation. Release both
+    /// returned tensors with `ws.release(t.into_vec())` when done.
+    pub fn forward_ws(&self, x: &Tensor, ws: &mut Workspace) -> (Tensor, Tensor) {
+        net_forward_ws(&self.trunk, &self.policy_head, &self.value_head, x, ws)
+    }
+
+    /// Allocation-free batched prediction: writes softmaxed policies
+    /// (`[b·A]`, row-major) into `policy` and values (`[b]`) into `values`,
+    /// reusing their capacity across calls. The workhorse behind batch
+    /// evaluators.
+    pub fn predict_into(
+        &self,
+        x: &Tensor,
+        ws: &mut Workspace,
+        policy: &mut Vec<f32>,
+        values: &mut Vec<f32>,
+    ) {
+        net_predict_into(
+            &self.trunk,
+            &self.policy_head,
+            &self.value_head,
+            self.config.actions,
+            x,
+            ws,
+            policy,
+            values,
+        );
+    }
+
+    /// Pre-rewrite forward (per-image convolutions, baseline GEMM, fresh
+    /// allocations per layer). Retained as the "before" measurement for
+    /// benchmark comparisons and kernel-parity tests.
+    pub fn forward_reference(&self, x: &Tensor) -> (Tensor, Tensor) {
+        let feat = forward_stack_reference(&self.trunk, x);
+        let logits = forward_stack_reference(&self.policy_head, &feat);
+        let values = forward_stack_reference(&self.value_head, &feat);
         (logits, values)
+    }
+
+    /// Inference snapshot with every `Conv2d → BatchNorm2d` pair (and the
+    /// norms inside residual blocks) folded into single convolutions — see
+    /// [`crate::fuse`]. The folded net computes the same eval-mode function
+    /// within float rounding; its training-mode passes are meaningless.
+    pub fn folded_for_inference(&self) -> PolicyValueNet {
+        PolicyValueNet {
+            config: self.config,
+            trunk: crate::fuse::fold_stack(&self.trunk),
+            policy_head: crate::fuse::fold_stack(&self.policy_head),
+            value_head: crate::fuse::fold_stack(&self.value_head),
+        }
+    }
+
+    /// True when [`PolicyValueNet::folded_for_inference`] would change
+    /// anything (the net contains batch norms, standalone or inside
+    /// residual blocks). Lets wrappers skip snapshotting a folded copy of
+    /// a net that has nothing to fold.
+    pub fn has_foldable_norms(&self) -> bool {
+        self.all_stacks()
+            .flat_map(|s| s.iter())
+            .any(|l| matches!(l, LayerKind::BatchNorm2d(_) | LayerKind::Residual(_)))
     }
 
     /// Inference returning softmax policies instead of logits.

@@ -88,26 +88,57 @@ impl BatchNorm2d {
     }
 
     fn normalize(&self, x: &Tensor, mean: &[f32], var: &[f32]) -> Tensor {
+        let mut out = x.clone();
+        self.normalize_inplace(&mut out, mean, var);
+        out
+    }
+
+    fn normalize_inplace(&self, x: &mut Tensor, mean: &[f32], var: &[f32]) {
         let d = x.dims();
         let (b, c, plane) = (d[0], d[1], d[2] * d[3]);
-        let mut out = x.clone();
         for bi in 0..b {
             for ci in 0..c {
                 let inv_std = (var[ci] + self.eps).sqrt().recip();
                 let scale = self.gamma.data()[ci] * inv_std;
                 let shift = self.beta.data()[ci] - mean[ci] * scale;
                 let base = (bi * c + ci) * plane;
-                for v in &mut out.data_mut()[base..base + plane] {
+                for v in &mut x.data_mut()[base..base + plane] {
                     *v = *v * scale + shift;
                 }
             }
         }
-        out
     }
 
     /// Inference-mode forward using the running statistics.
     pub fn forward_eval(&self, x: &Tensor) -> Tensor {
         self.normalize(x, self.running_mean.data(), self.running_var.data())
+    }
+
+    /// In-place inference-mode forward (the zero-allocation path); same
+    /// numerics as [`BatchNorm2d::forward_eval`].
+    pub fn forward_eval_inplace(&self, x: &mut Tensor) {
+        let d = x.dims();
+        assert_eq!(d.len(), 4, "BatchNorm2d expects NCHW input");
+        assert_eq!(d[1], self.channels, "channel count mismatch");
+        self.normalize_inplace(x, self.running_mean.data(), self.running_var.data());
+    }
+
+    /// True when evaluation is exactly the identity for every channel
+    /// (scale 1, shift 0) — the state [`crate::fuse`] leaves behind after
+    /// folding this norm into the preceding convolution, letting the fast
+    /// forward path skip the pass entirely.
+    ///
+    /// Deliberately recomputed from the parameters (a few sqrt per layer,
+    /// noise next to a GEMM) rather than cached as a flag: the exact check
+    /// can never skip a norm that still does work, no matter how the
+    /// public fields are later mutated.
+    pub fn is_identity(&self) -> bool {
+        (0..self.channels).all(|ci| {
+            let inv_std = (self.running_var.data()[ci] + self.eps).sqrt().recip();
+            let scale = self.gamma.data()[ci] * inv_std;
+            let shift = self.beta.data()[ci] - self.running_mean.data()[ci] * scale;
+            scale == 1.0 && shift == 0.0
+        })
     }
 
     /// Training-mode forward using the current batch statistics. Pure: the

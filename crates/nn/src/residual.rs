@@ -14,7 +14,7 @@
 use crate::layer::Conv2d;
 use crate::norm::BatchNorm2d;
 use serde::{Deserialize, Serialize};
-use tensor::Tensor;
+use tensor::{Tensor, Workspace};
 
 /// Two 3×3 convolutions with batch norm and an identity skip connection.
 /// Input and output are both `[b, c, h, w]` (channel-preserving).
@@ -75,6 +75,40 @@ impl ResidualBlock {
     /// Inference-mode forward (running batch-norm statistics).
     pub fn forward_eval(&self, x: &Tensor) -> Tensor {
         relu(&self.acts(x, false).z)
+    }
+
+    /// Zero-allocation inference forward: activations leased from `ws`,
+    /// batch norms applied in place (skipped entirely when folded to the
+    /// identity by [`crate::fuse`]). Numerically identical to
+    /// [`ResidualBlock::forward_eval`]. The returned tensor's buffer is
+    /// leased from `ws`.
+    pub fn forward_eval_ws(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let mut h = self.conv1.forward_ws(x, false, ws);
+        if !self.bn1.is_identity() {
+            self.bn1.forward_eval_inplace(&mut h);
+        }
+        h.map_inplace(|v| v.max(0.0));
+        let mut z = self.conv2.forward_ws(&h, false, ws);
+        ws.release(h.into_vec());
+        if !self.bn2.is_identity() {
+            self.bn2.forward_eval_inplace(&mut z);
+        }
+        z.add_assign(x);
+        z.map_inplace(|v| v.max(0.0));
+        z
+    }
+
+    /// Inference snapshot with both batch norms folded into their
+    /// convolutions (see [`crate::fuse::fold_conv_bn`]); the remaining norm
+    /// layers are exact identities that the fast forward path skips.
+    /// Training-mode passes through the folded block are meaningless.
+    pub fn fold_inference(&self) -> ResidualBlock {
+        ResidualBlock {
+            conv1: crate::fuse::fold_conv_bn(&self.conv1, &self.bn1),
+            bn1: crate::fuse::identity_bn(self.bn1.channels),
+            conv2: crate::fuse::fold_conv_bn(&self.conv2, &self.bn2),
+            bn2: crate::fuse::identity_bn(self.bn2.channels),
+        }
     }
 
     /// Training-mode forward (batch statistics). Pure.

@@ -8,15 +8,15 @@
 //! gives the benchmarks a heavier inference workload to schedule.
 
 use crate::layer::{
-    backward_stack, forward_cached_train, forward_stack, update_stack_running_stats, Conv2d, Layer,
-    LayerKind, Linear,
+    backward_stack, forward_cached_train, update_stack_running_stats, Conv2d, Layer, LayerKind,
+    Linear,
 };
 use crate::loss::{alphazero_loss_backward, LossParts};
 use crate::norm::BatchNorm2d;
 use crate::residual::ResidualBlock;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use tensor::Tensor;
+use tensor::{Tensor, Workspace};
 
 /// Residual-tower hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -241,11 +241,55 @@ impl ResNetPolicyValueNet {
     /// Inference: `x` is `[b, in_c, h, w]`; returns policy logits `[b, A]`
     /// and tanh values `[b, 1]`. Pure and thread-safe; batch norm uses
     /// running statistics.
+    ///
+    /// Runs on the workspace fast path (batched convs, fused epilogues,
+    /// recycled buffers from the calling thread's shared [`Workspace`]);
+    /// only the two returned tensors are allocated.
     pub fn forward(&self, x: &Tensor) -> (Tensor, Tensor) {
-        let feat = forward_stack(&self.trunk, x);
-        let logits = forward_stack(&self.policy_head, &feat);
-        let values = forward_stack(&self.value_head, &feat);
-        (logits, values)
+        crate::model::net_forward(&self.trunk, &self.policy_head, &self.value_head, x)
+    }
+
+    /// Workspace inference: every buffer, including the returned
+    /// logits/values, is leased from `ws` (zero steady-state allocation).
+    /// Release both returned tensors with `ws.release(t.into_vec())`.
+    pub fn forward_ws(&self, x: &Tensor, ws: &mut Workspace) -> (Tensor, Tensor) {
+        crate::model::net_forward_ws(&self.trunk, &self.policy_head, &self.value_head, x, ws)
+    }
+
+    /// Allocation-free batched prediction: softmaxed policies (`[b·A]`,
+    /// row-major) into `policy`, values (`[b]`) into `values`, reusing
+    /// their capacity across calls.
+    pub fn predict_into(
+        &self,
+        x: &Tensor,
+        ws: &mut Workspace,
+        policy: &mut Vec<f32>,
+        values: &mut Vec<f32>,
+    ) {
+        crate::model::net_predict_into(
+            &self.trunk,
+            &self.policy_head,
+            &self.value_head,
+            self.config.actions,
+            x,
+            ws,
+            policy,
+            values,
+        );
+    }
+
+    /// Inference snapshot with every batch norm (stem, heads, and inside
+    /// each residual block) folded into its convolution — see
+    /// [`crate::fuse`]. Same eval-mode function within float rounding; the
+    /// folded net's training-mode passes are meaningless. This is the net
+    /// to hand to an inference server (e.g. `accel::Device::with_model`).
+    pub fn folded_for_inference(&self) -> ResNetPolicyValueNet {
+        ResNetPolicyValueNet {
+            config: self.config,
+            trunk: crate::fuse::fold_stack(&self.trunk),
+            policy_head: crate::fuse::fold_stack(&self.policy_head),
+            value_head: crate::fuse::fold_stack(&self.value_head),
+        }
     }
 
     /// Inference returning softmax policies instead of logits.
@@ -429,5 +473,44 @@ mod tests {
         let b = ResNetPolicyValueNet::new(ResNetConfig::tiny(3, 4, 4, 16), 9);
         let x = rand_t(&[1, 3, 4, 4], 3);
         assert_eq!(a.forward(&x).0.data(), b.forward(&x).0.data());
+    }
+
+    /// A net whose batch norms hold non-trivial running statistics (so
+    /// folding actually has something to fold).
+    fn trained_net() -> ResNetPolicyValueNet {
+        let mut net = tiny_net();
+        let x = rand_t(&[4, 3, 4, 4], 33);
+        for _ in 0..10 {
+            let caches = net.forward_train(&x);
+            net.update_running_stats(&caches);
+        }
+        net
+    }
+
+    #[test]
+    fn folded_tower_matches_unfolded_eval() {
+        let net = trained_net();
+        let folded = net.folded_for_inference();
+        let x = rand_t(&[3, 3, 4, 4], 34);
+        let (l_ref, v_ref) = net.forward(&x);
+        let (l_fold, v_fold) = folded.forward(&x);
+        for (f, u) in l_fold.data().iter().zip(l_ref.data()) {
+            assert!((f - u).abs() < 1e-4, "logits {f} vs {u}");
+        }
+        for (f, u) in v_fold.data().iter().zip(v_ref.data()) {
+            assert!((f - u).abs() < 1e-4, "values {f} vs {u}");
+        }
+    }
+
+    #[test]
+    fn predict_into_matches_predict() {
+        let net = trained_net();
+        let x = rand_t(&[2, 3, 4, 4], 35);
+        let (pi, v) = net.predict(&x);
+        let mut ws = Workspace::new();
+        let (mut policy, mut values) = (Vec::new(), Vec::new());
+        net.predict_into(&x, &mut ws, &mut policy, &mut values);
+        assert_eq!(policy, pi.data());
+        assert_eq!(values, v.data());
     }
 }

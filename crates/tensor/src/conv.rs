@@ -1,17 +1,24 @@
 //! 2-D convolution via im2col/col2im.
 //!
-//! Both the forward pass and the two backward passes (w.r.t. input and
-//! weights) are expressed as GEMMs over the im2col matrix, so the whole
-//! network rides on the one tuned kernel in [`crate::ops::gemm`].
+//! The forward pass unfolds the **whole `[B, C, H, W]` batch** into one
+//! `[col_rows, B·col_cols]` matrix and runs a **single GEMM per layer call**
+//! (with the bias — and optionally ReLU — fused into the GEMM's output
+//! loop), instead of one im2col + one GEMM per image. The backward passes
+//! stay per-image GEMMs over the same packed kernel. All scratch (im2col
+//! matrix, GEMM staging) comes from a [`Workspace`], so steady-state
+//! inference allocates nothing.
 //!
 //! Layout conventions (all row-major, contiguous):
 //! * input:   `[batch, in_c, in_h, in_w]`
 //! * weights: `[out_c, in_c, kh, kw]`
 //! * output:  `[batch, out_c, out_h, out_w]`
 //! * im2col matrix for one image: `[in_c*kh*kw, out_h*out_w]`
+//! * batched im2col matrix: `[in_c*kh*kw, batch*out_h*out_w]`, image `b`
+//!   occupying columns `[b*col_cols, (b+1)*col_cols)`
 
-use crate::ops::gemm;
+use crate::ops::{gemm, gemm_ep, Epilogue};
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 
 /// Static description of a convolution (shapes, stride, padding).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,7 +49,7 @@ impl Conv2dSpec {
         self.in_c * self.kh * self.kw
     }
 
-    /// Columns of the im2col matrix (= output pixels).
+    /// Columns of the im2col matrix (= output pixels), for one image.
     pub fn col_cols(&self) -> usize {
         self.out_h() * self.out_w()
     }
@@ -57,35 +64,81 @@ impl Conv2dSpec {
     }
 }
 
+/// Copy one im2col row segment for image data `img_c` (a single channel),
+/// kernel offset `(ky, kx)`, into `dst` (`col_cols` long).
+#[inline]
+fn unfold_row(spec: &Conv2dSpec, img_c: &[f32], ky: usize, kx: usize, dst: &mut [f32]) {
+    let (oh, ow) = (spec.out_h(), spec.out_w());
+    for oy in 0..oh {
+        let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+        let d = &mut dst[oy * ow..(oy + 1) * ow];
+        if iy < 0 || iy >= spec.in_h as isize {
+            d.fill(0.0);
+            continue;
+        }
+        let img_row = &img_c[iy as usize * spec.in_w..(iy as usize + 1) * spec.in_w];
+        if spec.stride == 1 {
+            // Stride 1 ⇒ the in-bounds span `ox ∈ [lo, hi)` (where
+            // `ix = ox + kx - pad` stays inside the row) is one contiguous
+            // memcpy; only the padded fringes need zero fills.
+            let ix0 = kx as isize - spec.pad as isize;
+            let lo = (-ix0).clamp(0, ow as isize) as usize;
+            let hi = (spec.in_w as isize - ix0).clamp(lo as isize, ow as isize) as usize;
+            d[..lo].fill(0.0);
+            d[hi..].fill(0.0);
+            if lo < hi {
+                let src = (lo as isize + ix0) as usize;
+                d[lo..hi].copy_from_slice(&img_row[src..src + (hi - lo)]);
+            }
+        } else {
+            for (ox, v) in d.iter_mut().enumerate() {
+                let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
+                *v = if ix < 0 || ix >= spec.in_w as isize {
+                    0.0
+                } else {
+                    img_row[ix as usize]
+                };
+            }
+        }
+    }
+}
+
 /// Unfold one image (`[in_c, in_h, in_w]`) into the im2col matrix `col`
 /// (`[col_rows, col_cols]`). Out-of-bounds (padding) entries become 0.
 pub fn im2col(spec: &Conv2dSpec, img: &[f32], col: &mut [f32]) {
-    let (oh, ow) = (spec.out_h(), spec.out_w());
     assert_eq!(img.len(), spec.in_c * spec.in_h * spec.in_w);
     assert_eq!(col.len(), spec.col_rows() * spec.col_cols());
-    let cols = oh * ow;
+    let cols = spec.col_cols();
     for c in 0..spec.in_c {
         let img_c = &img[c * spec.in_h * spec.in_w..(c + 1) * spec.in_h * spec.in_w];
         for ky in 0..spec.kh {
             for kx in 0..spec.kw {
                 let row = (c * spec.kh + ky) * spec.kw + kx;
-                let out_row = &mut col[row * cols..(row + 1) * cols];
-                for oy in 0..oh {
-                    let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
-                    let dst = &mut out_row[oy * ow..(oy + 1) * ow];
-                    if iy < 0 || iy >= spec.in_h as isize {
-                        dst.fill(0.0);
-                        continue;
-                    }
-                    let img_row = &img_c[iy as usize * spec.in_w..(iy as usize + 1) * spec.in_w];
-                    for (ox, d) in dst.iter_mut().enumerate() {
-                        let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
-                        *d = if ix < 0 || ix >= spec.in_w as isize {
-                            0.0
-                        } else {
-                            img_row[ix as usize]
-                        };
-                    }
+                unfold_row(spec, img_c, ky, kx, &mut col[row * cols..(row + 1) * cols]);
+            }
+        }
+    }
+}
+
+/// Unfold a whole `[batch, in_c, in_h, in_w]` batch into one
+/// `[col_rows, batch*col_cols]` matrix: image `b` fills columns
+/// `[b*col_cols, (b+1)*col_cols)` of every row, so a single GEMM covers the
+/// entire batch.
+pub fn im2col_batch(spec: &Conv2dSpec, batch: usize, input: &[f32], col: &mut [f32]) {
+    let img_len = spec.in_c * spec.in_h * spec.in_w;
+    let cols = spec.col_cols();
+    let bcols = batch * cols;
+    assert_eq!(input.len(), batch * img_len);
+    assert_eq!(col.len(), spec.col_rows() * bcols);
+    for c in 0..spec.in_c {
+        for ky in 0..spec.kh {
+            for kx in 0..spec.kw {
+                let row = (c * spec.kh + ky) * spec.kw + kx;
+                let out_row = &mut col[row * bcols..(row + 1) * bcols];
+                for b in 0..batch {
+                    let img_c =
+                        &input[b * img_len + c * spec.in_h * spec.in_w..][..spec.in_h * spec.in_w];
+                    unfold_row(spec, img_c, ky, kx, &mut out_row[b * cols..(b + 1) * cols]);
                 }
             }
         }
@@ -125,17 +178,21 @@ pub fn col2im(spec: &Conv2dSpec, col: &[f32], img: &mut [f32]) {
     }
 }
 
-/// Forward convolution for a batch.
+/// Forward convolution for a batch: **one GEMM per call**, not per image.
 ///
-/// `scratch` must hold `col_rows * col_cols` f32 and is reused across images
-/// to avoid per-image allocation in the inference hot loop.
+/// The batch is unfolded into a single `[col_rows, B·col_cols]` matrix, one
+/// `[out_c, col_rows] × [col_rows, B·col_cols]` GEMM computes every output
+/// channel for every image, and the result is scattered back into the NCHW
+/// output. `bias` and `relu` are fused into the GEMM's output loop. All
+/// scratch comes from `ws`.
 pub fn conv2d_forward(
     spec: &Conv2dSpec,
     input: &Tensor,
     weight: &Tensor,
     bias: Option<&Tensor>,
+    relu: bool,
     output: &mut Tensor,
-    scratch: &mut Vec<f32>,
+    ws: &mut Workspace,
 ) {
     spec.validate();
     let batch = input.dims()[0];
@@ -143,18 +200,26 @@ pub fn conv2d_forward(
     assert_eq!(weight.dims(), &[spec.out_c, spec.in_c, spec.kh, spec.kw]);
     let (oh, ow) = (spec.out_h(), spec.out_w());
     assert_eq!(output.dims(), &[batch, spec.out_c, oh, ow]);
+    if let Some(bias) = bias {
+        assert_eq!(bias.numel(), spec.out_c, "bias length");
+    }
+    if batch == 0 {
+        return;
+    }
 
-    let img_len = spec.in_c * spec.in_h * spec.in_w;
-    let out_len = spec.out_c * oh * ow;
     let (rows, cols) = (spec.col_rows(), spec.col_cols());
-    scratch.resize(rows * cols, 0.0);
+    let bcols = batch * cols;
+    let ep = Epilogue {
+        bias_row: bias.map(|b| b.data()),
+        bias_col: None,
+        relu,
+    };
 
-    for b in 0..batch {
-        let img = &input.data()[b * img_len..(b + 1) * img_len];
-        im2col(spec, img, scratch);
-        let out = &mut output.data_mut()[b * out_len..(b + 1) * out_len];
-        // out[oc, pix] = W[oc, :] · col[:, pix]
-        gemm(
+    if batch == 1 {
+        // [1, out_c, oh, ow] is exactly the GEMM output layout: no staging.
+        let col = ws.col_buf(rows * cols);
+        im2col(spec, input.data(), col);
+        gemm_ep(
             false,
             false,
             spec.out_c,
@@ -162,12 +227,77 @@ pub fn conv2d_forward(
             rows,
             1.0,
             weight.data(),
-            scratch,
+            col,
+            0.0,
+            output.data_mut(),
+            ep,
+        );
+        return;
+    }
+
+    let (col, stage) = ws.col_and_stage(rows * bcols, spec.out_c * bcols);
+    im2col_batch(spec, batch, input.data(), col);
+    // stage[oc, b*cols + pix] = W[oc, :] · col[:, b*cols + pix] (+bias, relu)
+    gemm_ep(
+        false,
+        false,
+        spec.out_c,
+        bcols,
+        rows,
+        1.0,
+        weight.data(),
+        col,
+        0.0,
+        stage,
+        ep,
+    );
+    // Scatter [out_c, B, cols] → [B, out_c, cols].
+    let out_len = spec.out_c * cols;
+    let out = output.data_mut();
+    for b in 0..batch {
+        for oc in 0..spec.out_c {
+            out[b * out_len + oc * cols..b * out_len + (oc + 1) * cols]
+                .copy_from_slice(&stage[oc * bcols + b * cols..oc * bcols + (b + 1) * cols]);
+        }
+    }
+}
+
+/// Pre-rewrite forward convolution: one im2col + one baseline GEMM **per
+/// image**, bias applied in a separate pass. Retained as the numerical
+/// reference for parity tests and the "before" side of the
+/// `BENCH_inference.json` speedup record.
+pub fn conv2d_forward_ref(
+    spec: &Conv2dSpec,
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    output: &mut Tensor,
+) {
+    spec.validate();
+    let batch = input.dims()[0];
+    let (oh, ow) = (spec.out_h(), spec.out_w());
+    let img_len = spec.in_c * spec.in_h * spec.in_w;
+    let out_len = spec.out_c * oh * ow;
+    let (rows, cols) = (spec.col_rows(), spec.col_cols());
+    let mut scratch = vec![0.0f32; rows * cols];
+
+    for b in 0..batch {
+        let img = &input.data()[b * img_len..(b + 1) * img_len];
+        im2col(spec, img, &mut scratch);
+        let out = &mut output.data_mut()[b * out_len..(b + 1) * out_len];
+        crate::ops::baseline::gemm(
+            false,
+            false,
+            spec.out_c,
+            cols,
+            rows,
+            1.0,
+            weight.data(),
+            &scratch,
             0.0,
             out,
         );
         if let Some(bias) = bias {
-            debug_assert_eq!(bias.numel(), spec.out_c);
             for oc in 0..spec.out_c {
                 let bv = bias.data()[oc];
                 for v in &mut out[oc * cols..(oc + 1) * cols] {
@@ -183,6 +313,7 @@ pub fn conv2d_forward(
 /// `grad_out` is `[batch, out_c, oh, ow]`. `grad_input`/`grad_weight`/
 /// `grad_bias` are *accumulated into* (zero them for fresh gradients);
 /// accumulation lets a training step sum gradients over micro-batches.
+/// Scratch (the im2col matrix and the col-form gradient) comes from `ws`.
 #[allow(clippy::too_many_arguments)]
 pub fn conv2d_backward(
     spec: &Conv2dSpec,
@@ -192,7 +323,7 @@ pub fn conv2d_backward(
     grad_input: &mut Tensor,
     grad_weight: &mut Tensor,
     grad_bias: Option<&mut Tensor>,
-    scratch: &mut Vec<f32>,
+    ws: &mut Workspace,
 ) {
     spec.validate();
     let batch = input.dims()[0];
@@ -204,10 +335,9 @@ pub fn conv2d_backward(
     assert_eq!(grad_input.dims(), input.dims());
     assert_eq!(grad_weight.dims(), weight.dims());
 
-    // scratch holds both the im2col of the input (for dW) and the
-    // col-form gradient (for dX); allocate the max of the two uses.
-    scratch.resize(rows * cols, 0.0);
-    let mut col_grad = vec![0.0f32; rows * cols];
+    // col holds the im2col of the input (for dW); col_grad the col-form
+    // gradient (for dX).
+    let (col, col_grad) = ws.col_and_stage(rows * cols, rows * cols);
 
     if let Some(gb) = grad_bias {
         debug_assert_eq!(gb.numel(), spec.out_c);
@@ -224,7 +354,7 @@ pub fn conv2d_backward(
         let go = &grad_out.data()[b * out_len..(b + 1) * out_len];
 
         // dW[oc, r] += GO[oc, pix] * col[r, pix]ᵀ
-        im2col(spec, img, scratch);
+        im2col(spec, img, col);
         gemm(
             false,
             true,
@@ -233,7 +363,7 @@ pub fn conv2d_backward(
             cols,
             1.0,
             go,
-            scratch,
+            col,
             1.0,
             grad_weight.data_mut(),
         );
@@ -249,10 +379,10 @@ pub fn conv2d_backward(
             weight.data(),
             go,
             0.0,
-            &mut col_grad,
+            col_grad,
         );
         let gi = &mut grad_input.data_mut()[b * img_len..(b + 1) * img_len];
-        col2im(spec, &col_grad, gi);
+        col2im(spec, col_grad, gi);
     }
 }
 
@@ -337,11 +467,100 @@ mod tests {
         let weight = rand_tensor(&[3, 2, 3, 3], 2);
         let bias = rand_tensor(&[3], 3);
         let mut out = Tensor::zeros(&[2, 3, 5, 5]);
-        let mut scratch = Vec::new();
-        conv2d_forward(&spec, &input, &weight, Some(&bias), &mut out, &mut scratch);
+        let mut ws = Workspace::new();
+        conv2d_forward(
+            &spec,
+            &input,
+            &weight,
+            Some(&bias),
+            false,
+            &mut out,
+            &mut ws,
+        );
         let reference = conv_ref(&spec, &input, &weight, Some(&bias));
         for (a, b) in out.data().iter().zip(reference.data()) {
             assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn batched_forward_matches_per_image_reference() {
+        let spec = spec3x3();
+        let input = rand_tensor(&[5, 2, 5, 5], 40);
+        let weight = rand_tensor(&[3, 2, 3, 3], 41);
+        let bias = rand_tensor(&[3], 42);
+        let mut fast = Tensor::zeros(&[5, 3, 5, 5]);
+        let mut ws = Workspace::new();
+        conv2d_forward(
+            &spec,
+            &input,
+            &weight,
+            Some(&bias),
+            false,
+            &mut fast,
+            &mut ws,
+        );
+        let mut reference = Tensor::zeros(&[5, 3, 5, 5]);
+        conv2d_forward_ref(&spec, &input, &weight, Some(&bias), &mut reference);
+        for (a, b) in fast.data().iter().zip(reference.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fused_relu_matches_separate_relu() {
+        let spec = spec3x3();
+        let input = rand_tensor(&[3, 2, 5, 5], 50);
+        let weight = rand_tensor(&[3, 2, 3, 3], 51);
+        let bias = rand_tensor(&[3], 52);
+        let mut ws = Workspace::new();
+        let mut fused = Tensor::zeros(&[3, 3, 5, 5]);
+        conv2d_forward(
+            &spec,
+            &input,
+            &weight,
+            Some(&bias),
+            true,
+            &mut fused,
+            &mut ws,
+        );
+        let mut plain = Tensor::zeros(&[3, 3, 5, 5]);
+        conv2d_forward(
+            &spec,
+            &input,
+            &weight,
+            Some(&bias),
+            false,
+            &mut plain,
+            &mut ws,
+        );
+        for (f, p) in fused.data().iter().zip(plain.data()) {
+            assert_eq!(*f, p.max(0.0), "fused ReLU must equal separate ReLU");
+        }
+    }
+
+    #[test]
+    fn im2col_batch_stacks_per_image_blocks() {
+        let spec = spec3x3();
+        let input = rand_tensor(&[3, 2, 5, 5], 60);
+        let (rows, cols) = (spec.col_rows(), spec.col_cols());
+        let mut batched = vec![0.0f32; rows * 3 * cols];
+        im2col_batch(&spec, 3, input.data(), &mut batched);
+        let img_len = spec.in_c * spec.in_h * spec.in_w;
+        let mut single = vec![0.0f32; rows * cols];
+        for b in 0..3 {
+            im2col(
+                &spec,
+                &input.data()[b * img_len..(b + 1) * img_len],
+                &mut single,
+            );
+            for r in 0..rows {
+                assert_eq!(
+                    &batched[r * 3 * cols + b * cols..r * 3 * cols + (b + 1) * cols],
+                    &single[r * cols..(r + 1) * cols],
+                    "row {r} image {b}"
+                );
+            }
         }
     }
 
@@ -360,8 +579,8 @@ mod tests {
         let input = rand_tensor(&[1, 1, 6, 6], 4);
         let weight = rand_tensor(&[1, 1, 2, 2], 5);
         let mut out = Tensor::zeros(&[1, 1, 3, 3]);
-        let mut scratch = Vec::new();
-        conv2d_forward(&spec, &input, &weight, None, &mut out, &mut scratch);
+        let mut ws = Workspace::new();
+        conv2d_forward(&spec, &input, &weight, None, false, &mut out, &mut ws);
         let reference = conv_ref(&spec, &input, &weight, None);
         for (a, b) in out.data().iter().zip(reference.data()) {
             assert!((a - b).abs() < 1e-4);
@@ -402,7 +621,7 @@ mod tests {
         let mut gi = Tensor::zeros(&[1, 1, 4, 4]);
         let mut gw = Tensor::zeros(&[2, 1, 3, 3]);
         let mut gb = Tensor::zeros(&[2]);
-        let mut scratch = Vec::new();
+        let mut ws = Workspace::new();
         conv2d_backward(
             &spec,
             &input,
@@ -411,22 +630,22 @@ mod tests {
             &mut gi,
             &mut gw,
             Some(&mut gb),
-            &mut scratch,
+            &mut ws,
         );
 
         // loss = sum(out * go); d loss / d w ~ finite difference.
         let eps = 1e-3;
-        let loss = |w: &Tensor, scratch: &mut Vec<f32>| -> f32 {
+        let loss = |w: &Tensor, ws: &mut Workspace| -> f32 {
             let mut out = Tensor::zeros(&[1, 2, 4, 4]);
-            conv2d_forward(&spec, &input, w, None, &mut out, scratch);
+            conv2d_forward(&spec, &input, w, None, false, &mut out, ws);
             out.data().iter().zip(go.data()).map(|(&o, &g)| o * g).sum()
         };
         for idx in [0usize, 4, 8, 17] {
             let orig = weight.data()[idx];
             weight.data_mut()[idx] = orig + eps;
-            let lp = loss(&weight, &mut scratch);
+            let lp = loss(&weight, &mut ws);
             weight.data_mut()[idx] = orig - eps;
-            let lm = loss(&weight, &mut scratch);
+            let lm = loss(&weight, &mut ws);
             weight.data_mut()[idx] = orig;
             let fd = (lp - lm) / (2.0 * eps);
             let an = gw.data()[idx];
@@ -451,30 +670,21 @@ mod tests {
         let go = rand_tensor(&[1, 1, 4, 4], 22);
         let mut gi = Tensor::zeros(&[1, 1, 4, 4]);
         let mut gw = Tensor::zeros(&[1, 1, 3, 3]);
-        let mut scratch = Vec::new();
-        conv2d_backward(
-            &spec,
-            &input,
-            &weight,
-            &go,
-            &mut gi,
-            &mut gw,
-            None,
-            &mut scratch,
-        );
+        let mut ws = Workspace::new();
+        conv2d_backward(&spec, &input, &weight, &go, &mut gi, &mut gw, None, &mut ws);
 
         let eps = 1e-3;
-        let loss = |x: &Tensor, scratch: &mut Vec<f32>| -> f32 {
+        let loss = |x: &Tensor, ws: &mut Workspace| -> f32 {
             let mut out = Tensor::zeros(&[1, 1, 4, 4]);
-            conv2d_forward(&spec, x, &weight, None, &mut out, scratch);
+            conv2d_forward(&spec, x, &weight, None, false, &mut out, ws);
             out.data().iter().zip(go.data()).map(|(&o, &g)| o * g).sum()
         };
         for idx in [0usize, 5, 10, 15] {
             let orig = input.data()[idx];
             input.data_mut()[idx] = orig + eps;
-            let lp = loss(&input, &mut scratch);
+            let lp = loss(&input, &mut ws);
             input.data_mut()[idx] = orig - eps;
-            let lm = loss(&input, &mut scratch);
+            let lm = loss(&input, &mut ws);
             input.data_mut()[idx] = orig;
             let fd = (lp - lm) / (2.0 * eps);
             let an = gi.data()[idx];
@@ -500,7 +710,7 @@ mod tests {
         let mut gi = Tensor::zeros(&[1, 1, 3, 3]);
         let mut gw = Tensor::zeros(&[2, 1, 1, 1]);
         let mut gb = Tensor::zeros(&[2]);
-        let mut scratch = Vec::new();
+        let mut ws = Workspace::new();
         conv2d_backward(
             &spec,
             &input,
@@ -509,7 +719,7 @@ mod tests {
             &mut gi,
             &mut gw,
             Some(&mut gb),
-            &mut scratch,
+            &mut ws,
         );
         assert_eq!(gb.data(), &[9.0, 9.0]);
     }

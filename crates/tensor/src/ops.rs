@@ -1,12 +1,70 @@
 //! Low-level kernels: GEMM, AXPY, softmax, reductions.
 //!
-//! `gemm` is the hot path of the whole DNN (both fully-connected layers and
-//! im2col convolutions reduce to it), so it gets a cache-blocked kernel with
-//! a transposed-B fast path. Everything else is straightforward.
+//! # GEMM kernel design
+//!
+//! `gemm` is the hot path of the whole DNN (fully-connected layers and
+//! im2col convolutions both reduce to it), so it gets a BLIS-style packed,
+//! register-blocked kernel:
+//!
+//! * **Packing.** The A operand is packed once per call into row panels of
+//!   `MR` rows (panel-major over k, zero-padded at the edge); the B operand
+//!   is packed per `NC`-column block into column panels of `NR` columns.
+//!   Packing normalizes all four transpose variants into one layout, so a
+//!   single micro-kernel serves `gemm(ta, tb, ...)` for every flag combo,
+//!   and it turns the inner loop's memory traffic into two contiguous
+//!   streams.
+//! * **Micro-kernel.** The innermost loop computes an `MR×NR` (4×8) tile of
+//!   C held entirely in registers: one pass over k, `MR·NR` independent
+//!   accumulators, contiguous loads from the packed panels. This is the
+//!   register-blocking that the previous cache-blocked kernel lacked — C is
+//!   read and written once per tile instead of once per k-step.
+//! * **Epilogue fusion.** [`gemm_ep`] applies an optional per-row bias
+//!   (convolution: one bias per output channel), per-column bias (linear:
+//!   one per output feature) and ReLU inside the tile write-back, so layers
+//!   need no separate output pass.
+//! * **Multithreading.** Above [`MT_FLOP_THRESHOLD`] (2·m·n·k flops) and
+//!   when the persistent worker pool (see [`crate::pool`]) has more than
+//!   one thread, the M dimension is partitioned into `MR`-aligned strips
+//!   executed in parallel. Strips pack their own operand panels, so the
+//!   result is bitwise identical to the single-threaded kernel.
+//!
+//! The previous generation of kernels is retained under [`baseline`] as the
+//! numerical reference (proptests compare against it) and as the "before"
+//! measurement for `BENCH_inference.json`.
 
-/// Cache block size (elements) for the GEMM k/j loops. 64 f32 = 256 B per
-/// row strip, small enough to keep three strips in L1.
-const BLOCK: usize = 64;
+use std::cell::RefCell;
+
+/// Micro-kernel tile rows (accumulator rows held in registers).
+const MR: usize = 4;
+/// Micro-kernel tile columns (one or two SIMD vectors wide).
+const NR: usize = 8;
+/// Column block size: B panels of `k × NC` stay cache-resident while every
+/// A panel streams past them. Multiple of `NR`.
+const NC: usize = 512;
+/// Flop count (2·m·n·k) above which `gemm`/`gemm_ep` dispatch to the
+/// multithreaded path automatically (when the pool has >1 thread).
+pub const MT_FLOP_THRESHOLD: usize = 8 * 1024 * 1024;
+
+/// Optional operations fused into the GEMM output loop.
+///
+/// Biases are added and ReLU applied to the *final* value of each C element
+/// (i.e. after `beta*C + alpha*op(A)op(B)` has been accumulated), exactly
+/// once, during tile write-back.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Epilogue<'a> {
+    /// `c[i, j] += bias_row[i]` — per-output-channel conv bias.
+    pub bias_row: Option<&'a [f32]>,
+    /// `c[i, j] += bias_col[j]` — per-output-feature linear bias.
+    pub bias_col: Option<&'a [f32]>,
+    /// Clamp negative outputs to zero after the bias.
+    pub relu: bool,
+}
+
+impl Epilogue<'_> {
+    fn is_noop(&self) -> bool {
+        self.bias_row.is_none() && self.bias_col.is_none() && !self.relu
+    }
+}
 
 /// General matrix multiply: `C = alpha * op(A) * op(B) + beta * C`.
 ///
@@ -27,10 +85,77 @@ pub fn gemm(
     beta: f32,
     c: &mut [f32],
 ) {
+    gemm_ep(ta, tb, m, n, k, alpha, a, b, beta, c, Epilogue::default());
+}
+
+/// [`gemm`] with a fused output epilogue (bias and/or ReLU).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_ep(
+    ta: bool,
+    tb: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+    ep: Epilogue,
+) {
+    check_dims(m, n, k, a, b, c, &ep);
+    scale_c(beta, c);
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        epilogue_only(m, n, c, &ep);
+        return;
+    }
+    let flops = 2 * m * n * k;
+    if flops >= MT_FLOP_THRESHOLD && crate::pool::parallelism() > 1 {
+        gemm_strips_mt(ta, tb, m, n, k, alpha, a, b, c, &ep);
+    } else {
+        gemm_strip(ta, tb, m, n, k, alpha, a, b, c, &ep);
+    }
+}
+
+/// Explicitly multithreaded [`gemm`]: partitions M-strips across the
+/// persistent worker pool regardless of problem size (falls back to the
+/// single-threaded kernel when the pool has one thread). Bitwise identical
+/// to the single-threaded result.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_mt(
+    ta: bool,
+    tb: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+) {
+    let ep = Epilogue::default();
+    check_dims(m, n, k, a, b, c, &ep);
+    scale_c(beta, c);
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    gemm_strips_mt(ta, tb, m, n, k, alpha, a, b, c, &ep);
+}
+
+fn check_dims(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &[f32], ep: &Epilogue) {
     assert_eq!(a.len(), m * k, "A buffer size");
     assert_eq!(b.len(), k * n, "B buffer size");
     assert_eq!(c.len(), m * n, "C buffer size");
+    if let Some(br) = ep.bias_row {
+        assert_eq!(br.len(), m, "bias_row length");
+    }
+    if let Some(bc) = ep.bias_col {
+        assert_eq!(bc.len(), n, "bias_col length");
+    }
+}
 
+fn scale_c(beta: f32, c: &mut [f32]) {
     if beta == 0.0 {
         c.fill(0.0);
     } else if beta != 1.0 {
@@ -38,82 +163,530 @@ pub fn gemm(
             *x *= beta;
         }
     }
-    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+}
+
+/// Degenerate path: no accumulation happened, but the epilogue still has to
+/// be applied to the (beta-scaled) C.
+fn epilogue_only(m: usize, n: usize, c: &mut [f32], ep: &Epilogue) {
+    if ep.is_noop() {
+        return;
+    }
+    for i in 0..m {
+        let row = &mut c[i * n..(i + 1) * n];
+        let br = ep.bias_row.map_or(0.0, |b| b[i]);
+        for (j, v) in row.iter_mut().enumerate() {
+            let mut x = *v + br + ep.bias_col.map_or(0.0, |b| b[j]);
+            if ep.relu {
+                x = x.max(0.0);
+            }
+            *v = x;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Packing
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Per-thread packing buffers (A panels, B panels). Reused across calls
+    /// so steady-state GEMM performs no heap allocation.
+    static PACK_BUFS: RefCell<(Vec<f32>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+#[inline(always)]
+fn a_at(ta: bool, a: &[f32], m: usize, k: usize, i: usize, p: usize) -> f32 {
+    if ta {
+        a[p * m + i]
+    } else {
+        a[i * k + p]
+    }
+}
+
+#[inline(always)]
+fn b_at(tb: bool, b: &[f32], k: usize, n: usize, p: usize, j: usize) -> f32 {
+    if tb {
+        b[j * k + p]
+    } else {
+        b[p * n + j]
+    }
+}
+
+/// Pack rows `[row0, row1)` of `op(A)` into `MR`-row panels, panel-major
+/// over k, zero-padding the ragged final panel.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(ta: bool, a: &[f32], m: usize, k: usize, row0: usize, row1: usize, out: &mut Vec<f32>) {
+    let rows = row1 - row0;
+    let panels = rows.div_ceil(MR);
+    out.clear();
+    out.resize(panels * MR * k, 0.0);
+    for ip in 0..panels {
+        let base = ip * MR * k;
+        let i0 = row0 + ip * MR;
+        let live = MR.min(row1 - i0);
+        if !ta && live == MR {
+            // Fast path: gather four contiguous source rows.
+            let r0 = &a[i0 * k..(i0 + 1) * k];
+            let r1 = &a[(i0 + 1) * k..(i0 + 2) * k];
+            let r2 = &a[(i0 + 2) * k..(i0 + 3) * k];
+            let r3 = &a[(i0 + 3) * k..(i0 + 4) * k];
+            let dst = &mut out[base..base + MR * k];
+            for (p, d) in dst.chunks_exact_mut(MR).enumerate() {
+                d[0] = r0[p];
+                d[1] = r1[p];
+                d[2] = r2[p];
+                d[3] = r3[p];
+            }
+        } else {
+            for p in 0..k {
+                for i in 0..live {
+                    out[base + p * MR + i] = a_at(ta, a, m, k, i0 + i, p);
+                }
+            }
+        }
+    }
+}
+
+/// Pack columns `[col0, col1)` of `op(B)` into `NR`-column panels,
+/// panel-major over k, zero-padding the ragged final panel.
+#[allow(clippy::too_many_arguments)]
+fn pack_b(tb: bool, b: &[f32], k: usize, n: usize, col0: usize, col1: usize, out: &mut Vec<f32>) {
+    let cols = col1 - col0;
+    let panels = cols.div_ceil(NR);
+    out.clear();
+    out.resize(panels * NR * k, 0.0);
+    for jp in 0..panels {
+        let base = jp * NR * k;
+        let j0 = col0 + jp * NR;
+        let live = NR.min(col1 - j0);
+        if !tb && live == NR {
+            // Fast path: each k-step copies NR contiguous B elements.
+            let dst = &mut out[base..base + NR * k];
+            for (p, d) in dst.chunks_exact_mut(NR).enumerate() {
+                d.copy_from_slice(&b[p * n + j0..p * n + j0 + NR]);
+            }
+        } else {
+            for p in 0..k {
+                for j in 0..live {
+                    out[base + p * NR + j] = b_at(tb, b, k, n, p, j0 + j);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Micro-kernel
+// ---------------------------------------------------------------------------
+
+/// Micro-kernel signature: accumulate one `MR×NR` tile over the full k
+/// extent of two packed panels, returning the tile.
+type Microkernel = fn(usize, &[f32], &[f32]) -> [[f32; NR]; MR];
+
+/// Portable micro-kernel: `MR·NR` accumulators live in registers for the
+/// entire loop (autovectorized; 2×4-lane on baseline x86-64).
+fn microkernel_scalar(k: usize, ap: &[f32], bp: &[f32]) -> [[f32; NR]; MR] {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (a4, b8) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(k) {
+        for (&ai, acc_row) in a4.iter().zip(acc.iter_mut()) {
+            for (av, &bv) in acc_row.iter_mut().zip(b8) {
+                *av += ai * bv;
+            }
+        }
+    }
+    acc
+}
+
+/// Explicit AVX2+FMA micro-kernel, selected by runtime feature detection so
+/// the crate still compiles to (and runs on) baseline x86-64.
+#[cfg(target_arch = "x86_64")]
+mod kernels_x86 {
+    use super::{MR, NR};
+    use std::arch::x86_64::*;
+
+    /// Cached `avx2 && fma` runtime check.
+    pub fn avx2_available() -> bool {
+        use std::sync::OnceLock;
+        static AVAIL: OnceLock<bool> = OnceLock::new();
+        *AVAIL.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        })
+    }
+
+    /// 4×8 tile in four 256-bit FMA accumulators, with a second interleaved
+    /// accumulator set over odd k-steps to cover FMA latency (the two sets
+    /// are summed once at the end).
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 and FMA are available (see
+    /// [`avx2_available`]). `ap`/`bp` must hold at least `k*MR` / `k*NR`
+    /// elements.
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::needless_range_loop)] // i indexes two lockstep arrays
+    pub unsafe fn microkernel_4x8(k: usize, ap: &[f32], bp: &[f32]) -> [[f32; NR]; MR] {
+        debug_assert!(ap.len() >= k * MR && bp.len() >= k * NR);
+        let apt = ap.as_ptr();
+        let bpt = bp.as_ptr();
+        let mut acc0 = [_mm256_setzero_ps(); MR];
+        let mut acc1 = [_mm256_setzero_ps(); MR];
+        let mut p = 0;
+        while p + 2 <= k {
+            let b0 = _mm256_loadu_ps(bpt.add(p * NR));
+            let b1 = _mm256_loadu_ps(bpt.add((p + 1) * NR));
+            for i in 0..MR {
+                let a0 = _mm256_set1_ps(*apt.add(p * MR + i));
+                acc0[i] = _mm256_fmadd_ps(a0, b0, acc0[i]);
+                let a1 = _mm256_set1_ps(*apt.add((p + 1) * MR + i));
+                acc1[i] = _mm256_fmadd_ps(a1, b1, acc1[i]);
+            }
+            p += 2;
+        }
+        if p < k {
+            let b0 = _mm256_loadu_ps(bpt.add(p * NR));
+            for i in 0..MR {
+                let a0 = _mm256_set1_ps(*apt.add(p * MR + i));
+                acc0[i] = _mm256_fmadd_ps(a0, b0, acc0[i]);
+            }
+        }
+        let mut out = [[0.0f32; NR]; MR];
+        for i in 0..MR {
+            _mm256_storeu_ps(out[i].as_mut_ptr(), _mm256_add_ps(acc0[i], acc1[i]));
+        }
+        out
+    }
+}
+
+/// Pick the best micro-kernel for this machine (cached runtime detection).
+fn select_microkernel() -> Microkernel {
+    #[cfg(target_arch = "x86_64")]
+    if kernels_x86::avx2_available() {
+        // SAFETY: feature availability checked the line above.
+        return |k, ap, bp| unsafe { kernels_x86::microkernel_4x8(k, ap, bp) };
+    }
+    microkernel_scalar
+}
+
+/// Base pointer of C, shareable across pool workers. Concurrent
+/// [`gemm_block`] calls write disjoint row/column sub-rectangles, so the
+/// per-tile-row slices they create never overlap.
+#[derive(Clone, Copy)]
+struct CPtr(*mut f32);
+unsafe impl Sync for CPtr {}
+unsafe impl Send for CPtr {}
+
+/// Write an accumulated tile into C (rows `i0..`, columns `j0..` of the
+/// full m×n matrix) with the epilogue fused in.
+///
+/// # Safety
+/// The rectangle `[i0, i0+live_m) × [j0, j0+live_n)` must be inside C and
+/// not concurrently accessed by any other thread.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+unsafe fn write_tile(
+    acc: &[[f32; NR]; MR],
+    alpha: f32,
+    c: CPtr,
+    n: usize,
+    i0: usize,
+    j0: usize,
+    live_m: usize,
+    live_n: usize,
+    ep: &Epilogue,
+) {
+    for (i, acc_row) in acc.iter().enumerate().take(live_m) {
+        let abs_row = i0 + i;
+        // SAFETY: per the contract, this tile row is in bounds and
+        // exclusively ours.
+        let row = unsafe { std::slice::from_raw_parts_mut(c.0.add(abs_row * n + j0), live_n) };
+        let br = ep.bias_row.map_or(0.0, |b| b[abs_row]);
+        if ep.is_noop() {
+            for (v, &a) in row.iter_mut().zip(acc_row) {
+                *v += alpha * a;
+            }
+        } else {
+            for (j, v) in row.iter_mut().enumerate() {
+                let mut x = *v + alpha * acc_row[j] + br;
+                if let Some(bc) = ep.bias_col {
+                    x += bc[j0 + j];
+                }
+                if ep.relu {
+                    x = x.max(0.0);
+                }
+                *v = x;
+            }
+        }
+    }
+}
+
+/// Compute the C sub-rectangle rows `[row0, row1)` × columns `[col0, col1)`
+/// on one thread: pack the A rows once, then stream `NC`-column B blocks
+/// past them. `col0` must be `NC`-aligned so MT column strips produce the
+/// same panel boundaries as the single-threaded kernel.
+///
+/// # Safety
+/// The rectangle must be inside C and not concurrently written by any
+/// other thread.
+#[allow(clippy::too_many_arguments)]
+unsafe fn gemm_block(
+    ta: bool,
+    tb: bool,
+    row0: usize,
+    row1: usize,
+    col0: usize,
+    col1: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    c: CPtr,
+    ep: &Epilogue,
+) {
+    let kernel = select_microkernel();
+    PACK_BUFS.with(|bufs| {
+        let (apack, bpack) = &mut *bufs.borrow_mut();
+        pack_a(ta, a, m, k, row0, row1, apack);
+        let row_panels = (row1 - row0).div_ceil(MR);
+        let mut jc = col0;
+        while jc < col1 {
+            let jc_end = (jc + NC).min(col1);
+            pack_b(tb, b, k, n, jc, jc_end, bpack);
+            let col_panels = (jc_end - jc).div_ceil(NR);
+            for ip in 0..row_panels {
+                let i0 = row0 + ip * MR;
+                let live_m = MR.min(row1 - i0);
+                let ap = &apack[ip * MR * k..(ip + 1) * MR * k];
+                for jp in 0..col_panels {
+                    let j0 = jc + jp * NR;
+                    let live_n = NR.min(jc_end - j0);
+                    let bp = &bpack[jp * NR * k..(jp + 1) * NR * k];
+                    let acc = kernel(k, ap, bp);
+                    // SAFETY: forwarded from this function's contract.
+                    unsafe { write_tile(&acc, alpha, c, n, i0, j0, live_m, live_n, ep) };
+                }
+            }
+            jc = jc_end;
+        }
+    });
+}
+
+/// Single-threaded kernel over the whole matrix.
+#[allow(clippy::too_many_arguments)]
+fn gemm_strip(
+    ta: bool,
+    tb: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    ep: &Epilogue,
+) {
+    // SAFETY: `c` is exclusively borrowed; the block is the full matrix.
+    unsafe {
+        gemm_block(
+            ta,
+            tb,
+            0,
+            m,
+            0,
+            n,
+            m,
+            n,
+            k,
+            alpha,
+            a,
+            b,
+            CPtr(c.as_mut_ptr()),
+            ep,
+        )
+    };
+}
+
+/// Partition C across the worker pool and run the strips in parallel.
+///
+/// The split dimension is chosen to duplicate the **cheaper** re-pack:
+/// row strips share nothing and each re-packs all of B (`k·n`), column
+/// strips each re-pack all of A (`m·k`) but pack disjoint parts of B. The
+/// conv GEMM this crate serves (`m = out_c` small, `n = B·pixels` huge)
+/// takes the column split; square/tall GEMMs take the row split. Strips
+/// are `MR`/`NC`-aligned, so packing boundaries — and therefore every
+/// element's accumulation order — are identical to the single-threaded
+/// kernel (bitwise-equal results). The dispatch is allocation-free (see
+/// [`crate::pool::run_strips`]), preserving the workspace path's
+/// zero-heap-allocation steady state.
+#[allow(clippy::too_many_arguments)]
+fn gemm_strips_mt(
+    ta: bool,
+    tb: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    ep: &Epilogue,
+) {
+    let threads = crate::pool::parallelism();
+    let row_panels = m.div_ceil(MR);
+    let col_blocks = n.div_ceil(NC);
+    let c_ptr = CPtr(c.as_mut_ptr());
+    let c_ptr = &c_ptr; // capture the Sync wrapper, not the raw pointer
+
+    // Column split: duplicates the A pack, keeps every B element packed
+    // exactly once. Preferred when A is the smaller operand (m < n) and
+    // there are enough NC blocks to spread.
+    if m < n && col_blocks >= 2 && threads > 1 {
+        let strips = threads.min(col_blocks);
+        let strip_cols = col_blocks.div_ceil(strips) * NC;
+        let n_strips = n.div_ceil(strip_cols);
+        crate::pool::run_strips(n_strips, &|s| {
+            let col0 = s * strip_cols;
+            let col1 = (col0 + strip_cols).min(n);
+            // SAFETY: strip `s` covers columns [col0, col1); strips are
+            // disjoint, so no two workers touch the same C element.
+            unsafe {
+                gemm_block(ta, tb, 0, m, col0, col1, m, n, k, alpha, a, b, *c_ptr, ep);
+            }
+        });
         return;
     }
 
-    match (ta, tb) {
-        (false, false) => gemm_nn(m, n, k, alpha, a, b, c),
-        (false, true) => gemm_nt(m, n, k, alpha, a, b, c),
-        (true, false) => gemm_tn(m, n, k, alpha, a, b, c),
-        (true, true) => gemm_tt(m, n, k, alpha, a, b, c),
+    let strips = threads.min(row_panels).max(1);
+    if strips <= 1 {
+        gemm_strip(ta, tb, m, n, k, alpha, a, b, c, ep);
+        return;
     }
+    let strip_rows = row_panels.div_ceil(strips) * MR;
+    let n_strips = m.div_ceil(strip_rows);
+    crate::pool::run_strips(n_strips, &|s| {
+        let row0 = s * strip_rows;
+        let row1 = (row0 + strip_rows).min(m);
+        // SAFETY: strip `s` covers rows [row0, row1); strips are disjoint,
+        // so no two workers touch the same C element.
+        unsafe {
+            gemm_block(ta, tb, row0, row1, 0, n, m, n, k, alpha, a, b, *c_ptr, ep);
+        }
+    });
 }
 
-/// C += alpha * A(m×k) * B(k×n). ikj loop order: the inner loop streams B and
-/// C rows contiguously, and `a_ik` is hoisted to a register.
-fn gemm_nn(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
-    for kb in (0..k).step_by(BLOCK) {
-        let kend = (kb + BLOCK).min(k);
+// ---------------------------------------------------------------------------
+// Retained baseline kernels
+// ---------------------------------------------------------------------------
+
+/// The previous generation of GEMM kernels (scalar, single-threaded, coarse
+/// cache blocking). Retained as the numerical reference for the packed
+/// micro-kernel's parity tests and as the "before" side of the
+/// `BENCH_inference.json` speedup record.
+pub mod baseline {
+    /// Cache block size (elements) for the GEMM k/j loops.
+    const BLOCK: usize = 64;
+
+    /// `C = alpha * op(A) * op(B) + beta * C`, pre-rewrite implementation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm(
+        ta: bool,
+        tb: bool,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f32,
+        a: &[f32],
+        b: &[f32],
+        beta: f32,
+        c: &mut [f32],
+    ) {
+        assert_eq!(a.len(), m * k, "A buffer size");
+        assert_eq!(b.len(), k * n, "B buffer size");
+        assert_eq!(c.len(), m * n, "C buffer size");
+
+        if beta == 0.0 {
+            c.fill(0.0);
+        } else if beta != 1.0 {
+            for x in c.iter_mut() {
+                *x *= beta;
+            }
+        }
+        if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+            return;
+        }
+
+        match (ta, tb) {
+            (false, false) => gemm_nn(m, n, k, alpha, a, b, c),
+            (false, true) => gemm_nt(m, n, k, alpha, a, b, c),
+            (true, false) => gemm_tn(m, n, k, alpha, a, b, c),
+            (true, true) => gemm_tt(m, n, k, alpha, a, b, c),
+        }
+    }
+
+    /// C += alpha * A(m×k) * B(k×n). ikj loop order.
+    fn gemm_nn(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
+        for kb in (0..k).step_by(BLOCK) {
+            let kend = (kb + BLOCK).min(k);
+            for i in 0..m {
+                let c_row = &mut c[i * n..(i + 1) * n];
+                for p in kb..kend {
+                    let a_ip = alpha * a[i * k + p];
+                    if a_ip == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[p * n..(p + 1) * n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += a_ip * bv;
+                    }
+                }
+            }
+        }
+    }
+
+    /// C += alpha * A(m×k) * Bᵀ where B is stored n×k. Dot-product form.
+    fn gemm_nt(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
         for i in 0..m {
-            let c_row = &mut c[i * n..(i + 1) * n];
-            for p in kb..kend {
-                let a_ip = alpha * a[i * k + p];
-                if a_ip == 0.0 {
+            let a_row = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in a_row.iter().zip(b_row) {
+                    acc += av * bv;
+                }
+                c[i * n + j] += alpha * acc;
+            }
+        }
+    }
+
+    /// C += alpha * Aᵀ * B where A is stored k×m, B is k×n.
+    fn gemm_tn(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
+        for p in 0..k {
+            let a_row = &a[p * m..(p + 1) * m];
+            let b_row = &b[p * n..(p + 1) * n];
+            for i in 0..m {
+                let a_pi = alpha * a_row[i];
+                if a_pi == 0.0 {
                     continue;
                 }
-                let b_row = &b[p * n..(p + 1) * n];
+                let c_row = &mut c[i * n..(i + 1) * n];
                 for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                    *cv += a_ip * bv;
+                    *cv += a_pi * bv;
                 }
             }
         }
     }
-}
 
-/// C += alpha * A(m×k) * Bᵀ where B is stored n×k. Dot-product form: both
-/// operand rows are contiguous, ideal for the FC backward-weight pass.
-fn gemm_nt(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        for j in 0..n {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in a_row.iter().zip(b_row) {
-                acc += av * bv;
-            }
-            c[i * n + j] += alpha * acc;
-        }
-    }
-}
-
-/// C += alpha * Aᵀ * B where A is stored k×m, B is k×n.
-fn gemm_tn(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
-    for p in 0..k {
-        let a_row = &a[p * m..(p + 1) * m];
-        let b_row = &b[p * n..(p + 1) * n];
+    /// C += alpha * Aᵀ * Bᵀ where A is k×m, B is n×k.
+    fn gemm_tt(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
         for i in 0..m {
-            let a_pi = alpha * a_row[i];
-            if a_pi == 0.0 {
-                continue;
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a[p * m + i] * b[j * k + p];
+                }
+                c[i * n + j] += alpha * acc;
             }
-            let c_row = &mut c[i * n..(i + 1) * n];
-            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                *cv += a_pi * bv;
-            }
-        }
-    }
-}
-
-/// C += alpha * Aᵀ * Bᵀ where A is k×m, B is n×k.
-fn gemm_tt(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
-    for i in 0..m {
-        for j in 0..n {
-            let mut acc = 0.0f32;
-            for p in 0..k {
-                acc += a[p * m + i] * b[j * k + p];
-            }
-            c[i * n + j] += alpha * acc;
         }
     }
 }
@@ -245,6 +818,19 @@ mod tests {
     }
 
     #[test]
+    fn tile_straddling_shapes_match_reference() {
+        // Exercise every edge-panel combination around the 4×8 tile.
+        for &m in &[1usize, 3, 4, 5, 8, 9] {
+            for &n in &[1usize, 7, 8, 9, 16, 17] {
+                for &k in &[1usize, 2, 5] {
+                    check_variant(false, false, m, n, k);
+                    check_variant(true, true, m, n, k);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn gemm_beta_zero_overwrites_garbage() {
         // beta = 0 must work even if C holds NaN.
         let a = vec![1.0f32; 4];
@@ -261,6 +847,118 @@ mod tests {
         let mut c = vec![2.0f32; 4];
         gemm(false, false, 2, 2, 2, 0.0, &a, &b, 0.5, &mut c);
         assert!(c.iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn epilogue_bias_row_and_relu() {
+        // 2×2 result: [[2, 2], [2, 2]], bias_row = [1, -5] → [[3,3],[0,0]].
+        let a = vec![1.0f32; 4];
+        let b = vec![1.0f32; 4];
+        let mut c = vec![0.0f32; 4];
+        let bias = [1.0f32, -5.0];
+        gemm_ep(
+            false,
+            false,
+            2,
+            2,
+            2,
+            1.0,
+            &a,
+            &b,
+            0.0,
+            &mut c,
+            Epilogue {
+                bias_row: Some(&bias),
+                bias_col: None,
+                relu: true,
+            },
+        );
+        assert_eq!(c, vec![3.0, 3.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn epilogue_bias_col_matches_manual() {
+        let a = rand_vec(3 * 4, 10);
+        let b = rand_vec(4 * 5, 11);
+        let bias = rand_vec(5, 12);
+        let mut c_fused = vec![0.0f32; 15];
+        gemm_ep(
+            false,
+            false,
+            3,
+            5,
+            4,
+            1.0,
+            &a,
+            &b,
+            0.0,
+            &mut c_fused,
+            Epilogue {
+                bias_row: None,
+                bias_col: Some(&bias),
+                relu: false,
+            },
+        );
+        let mut c_manual = vec![0.0f32; 15];
+        gemm(false, false, 3, 5, 4, 1.0, &a, &b, 0.0, &mut c_manual);
+        for i in 0..3 {
+            for j in 0..5 {
+                c_manual[i * 5 + j] += bias[j];
+            }
+        }
+        assert_eq!(c_fused, c_manual);
+    }
+
+    #[test]
+    fn epilogue_applied_when_alpha_zero() {
+        let a = vec![1.0f32; 4];
+        let b = vec![1.0f32; 4];
+        let mut c = vec![-1.0f32, 2.0, -3.0, 4.0];
+        gemm_ep(
+            false,
+            false,
+            2,
+            2,
+            2,
+            0.0,
+            &a,
+            &b,
+            1.0,
+            &mut c,
+            Epilogue {
+                bias_row: None,
+                bias_col: None,
+                relu: true,
+            },
+        );
+        assert_eq!(c, vec![0.0, 2.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn mt_matches_single_threaded_bitwise() {
+        let (m, n, k) = (67, 33, 29);
+        let a = rand_vec(m * k, 20);
+        let b = rand_vec(k * n, 21);
+        let mut c_st = vec![0.0f32; m * n];
+        let mut c_mt = vec![0.0f32; m * n];
+        gemm(false, false, m, n, k, 1.0, &a, &b, 0.0, &mut c_st);
+        gemm_mt(false, false, m, n, k, 1.0, &a, &b, 0.0, &mut c_mt);
+        assert_eq!(c_st, c_mt, "MT strips must be bitwise identical");
+    }
+
+    #[test]
+    fn new_kernel_matches_baseline_kernel() {
+        for &(m, n, k) in &[(13, 17, 19), (64, 64, 64), (100, 50, 75)] {
+            let a = rand_vec(m * k, 30);
+            let b = rand_vec(k * n, 31);
+            let mut c_new = vec![0.0f32; m * n];
+            let mut c_old = vec![0.0f32; m * n];
+            gemm(false, false, m, n, k, 1.0, &a, &b, 0.0, &mut c_new);
+            baseline::gemm(false, false, m, n, k, 1.0, &a, &b, 0.0, &mut c_old);
+            for (x, y) in c_new.iter().zip(&c_old) {
+                assert!((x - y).abs() < 1e-4 * k as f32, "{x} vs {y}");
+            }
+        }
     }
 
     #[test]

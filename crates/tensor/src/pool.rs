@@ -1,0 +1,295 @@
+//! A small persistent worker pool for multithreaded kernels.
+//!
+//! The pool exists so [`crate::ops::gemm_mt`] can partition M-strips across
+//! cores without paying a thread-spawn per call: workers are started once
+//! (lazily, on first parallel dispatch) and then sleep on a condvar between
+//! jobs. Dispatch is **allocation-free**: [`run_strips`] publishes a single
+//! caller-stack descriptor (a pointer to the strip closure plus atomic
+//! work/completion counters) that workers pull strip indices from, so the
+//! steady-state zero-heap-allocation guarantee of the inference workspace
+//! holds even when GEMMs auto-engage the multithreaded path.
+//!
+//! Sizing: `available_parallelism()` capped at 8 (GEMM strips stop scaling
+//! long before that on shared caches); `TENSOR_THREADS` overrides exactly,
+//! uncapped. With one hardware thread the pool is never started and
+//! [`run_strips`] degrades to an inline loop on the caller.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Lock, shrugging off poison: a strip panic unwinds through `run_strips`
+/// while locks in this module are held, but every state they guard (the
+/// slot option, the dispatch counters) is consistent at each release
+/// point, so later GEMMs must not die with an unrelated `PoisonError`.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One in-flight dispatch, owned by the caller's stack frame.
+struct Dispatch {
+    /// The strip closure. Raw pointer so the caller lifetime is erased;
+    /// kept valid until every registered worker deregisters (see
+    /// [`run_strips`]).
+    task: *const (dyn Fn(usize) + Sync),
+    strips: usize,
+    /// Next strip index to claim.
+    next: AtomicUsize,
+    /// Strips fully executed.
+    done: AtomicUsize,
+    /// Workers currently holding a reference to this dispatch.
+    active: AtomicUsize,
+    /// First panic payload raised inside a worker-run strip, re-thrown on
+    /// the caller.
+    panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// The published dispatch: a sequence number (so a worker never re-enters
+/// a dispatch it already drained) plus the descriptor pointer.
+#[derive(Clone, Copy)]
+struct Slot {
+    seq: u64,
+    d: *const Dispatch,
+}
+
+// SAFETY: the pointers stay valid while reachable from the slot — the
+// publishing caller does not return (and thus does not pop its stack
+// frame) until `done == strips` and `active == 0`.
+unsafe impl Send for Slot {}
+
+struct Shared {
+    slot: Mutex<Option<Slot>>,
+    ready: Condvar,
+}
+
+struct PoolInner {
+    shared: Arc<Shared>,
+    /// Serializes concurrent [`run_strips`] callers (one dispatch owns the
+    /// pool at a time; the loser blocks, it does not spin or allocate).
+    dispatch_lock: Mutex<()>,
+    /// Worker threads plus the caller (total usable parallelism).
+    threads: usize,
+}
+
+static POOL: OnceLock<PoolInner> = OnceLock::new();
+static SEQ: AtomicU64 = AtomicU64::new(1);
+
+fn configured_threads() -> usize {
+    if let Ok(v) = std::env::var("TENSOR_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+fn pool() -> &'static PoolInner {
+    POOL.get_or_init(|| {
+        let threads = configured_threads();
+        let shared = Arc::new(Shared {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        // The caller participates, so spawn threads-1 workers.
+        for _ in 1..threads {
+            let sh = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("tensor-gemm".into())
+                .spawn(move || worker_loop(&sh))
+                .expect("spawn tensor worker");
+        }
+        PoolInner {
+            shared,
+            dispatch_lock: Mutex::new(()),
+            threads,
+        }
+    })
+}
+
+fn worker_loop(sh: &Shared) {
+    let mut last_seq = 0u64;
+    loop {
+        let slot = {
+            let mut guard = lock_unpoisoned(&sh.slot);
+            loop {
+                match *guard {
+                    Some(s) if s.seq != last_seq => {
+                        // Register under the lock so the caller cannot
+                        // retire the dispatch before seeing us.
+                        // SAFETY: slot is Some ⇒ the dispatch is alive.
+                        unsafe { &*s.d }.active.fetch_add(1, Ordering::Relaxed);
+                        break s;
+                    }
+                    _ => guard = sh.ready.wait(guard).unwrap(),
+                }
+            }
+        };
+        last_seq = slot.seq;
+        // SAFETY: registered in `active`; the caller waits for active == 0
+        // before retiring, so these references stay valid.
+        let d = unsafe { &*slot.d };
+        let task = unsafe { &*d.task };
+        loop {
+            let i = d.next.fetch_add(1, Ordering::Relaxed);
+            if i >= d.strips {
+                break;
+            }
+            if let Err(e) = catch_unwind(AssertUnwindSafe(|| task(i))) {
+                let mut payload = lock_unpoisoned(&d.panic_payload);
+                payload.get_or_insert(e);
+            }
+            d.done.fetch_add(1, Ordering::Release);
+        }
+        let _guard = lock_unpoisoned(&sh.slot);
+        d.active.fetch_sub(1, Ordering::Release);
+        sh.ready.notify_all();
+    }
+}
+
+/// Usable parallelism: pool workers plus the calling thread.
+pub fn parallelism() -> usize {
+    pool().threads
+}
+
+/// Run `task(0..strips)` with pool parallelism, blocking until every strip
+/// has completed. Strip indices are claimed dynamically; the caller thread
+/// participates. Panics in any strip are re-raised here after all strips
+/// finish. Performs **no heap allocation**.
+pub fn run_strips(strips: usize, task: &(dyn Fn(usize) + Sync)) {
+    if strips == 0 {
+        return;
+    }
+    let p = pool();
+    if p.threads <= 1 || strips == 1 {
+        for i in 0..strips {
+            task(i);
+        }
+        return;
+    }
+    let _owner = lock_unpoisoned(&p.dispatch_lock);
+    // SAFETY: only erases the caller lifetime from the fat pointer; this
+    // function does not return (or unwind) until no worker can still
+    // observe it (`done == strips && active == 0`).
+    let task_ptr: *const (dyn Fn(usize) + Sync) = unsafe {
+        std::mem::transmute::<*const (dyn Fn(usize) + Sync + '_), *const (dyn Fn(usize) + Sync)>(
+            task as *const (dyn Fn(usize) + Sync),
+        )
+    };
+    let d = Dispatch {
+        task: task_ptr,
+        strips,
+        next: AtomicUsize::new(0),
+        done: AtomicUsize::new(0),
+        active: AtomicUsize::new(0),
+        panic_payload: Mutex::new(None),
+    };
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    {
+        let mut slot = lock_unpoisoned(&p.shared.slot);
+        *slot = Some(Slot { seq, d: &d });
+        p.shared.ready.notify_all();
+    }
+    // The caller claims strips alongside the workers.
+    let mut caller_panic = None;
+    loop {
+        let i = d.next.fetch_add(1, Ordering::Relaxed);
+        if i >= strips {
+            break;
+        }
+        if let Err(e) = catch_unwind(AssertUnwindSafe(|| task(i))) {
+            caller_panic = Some(e);
+        }
+        d.done.fetch_add(1, Ordering::Release);
+    }
+    // Retire the dispatch: every strip executed and no worker still holds
+    // a reference (only then may this stack frame — which owns `d` and the
+    // closure — unwind or return).
+    {
+        let mut slot = lock_unpoisoned(&p.shared.slot);
+        while d.done.load(Ordering::Acquire) < strips || d.active.load(Ordering::Acquire) > 0 {
+            slot = p.shared.ready.wait(slot).unwrap();
+        }
+        *slot = None;
+    }
+    // Re-raise: the caller's own panic wins, else the first worker panic
+    // payload is forwarded intact.
+    if let Some(e) = caller_panic {
+        std::panic::resume_unwind(e);
+    }
+    let worker_panic = lock_unpoisoned(&d.panic_payload).take();
+    if let Some(e) = worker_panic {
+        std::panic::resume_unwind(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn runs_every_strip_exactly_once() {
+        let hits = AtomicU32::new(0);
+        run_strips(16, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn strips_may_write_disjoint_caller_memory() {
+        let out: Vec<AtomicU32> = (0..8).map(|_| AtomicU32::new(0)).collect();
+        run_strips(8, &|i| {
+            out[i].store(i as u32 + 1, Ordering::Relaxed);
+        });
+        let vals: Vec<u32> = out.iter().map(|v| v.load(Ordering::Relaxed)).collect();
+        assert_eq!(vals, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn zero_strips_is_noop() {
+        run_strips(0, &|_| panic!("must not run"));
+    }
+
+    #[test]
+    fn back_to_back_dispatches_complete() {
+        for round in 0..50u32 {
+            let hits = AtomicU32::new(0);
+            run_strips(4, &|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 4, "round {round}");
+        }
+    }
+
+    #[test]
+    fn parallelism_is_at_least_one() {
+        assert!(parallelism() >= 1);
+    }
+
+    #[test]
+    fn strip_panic_propagates_with_payload_and_pool_survives() {
+        let result = std::panic::catch_unwind(|| {
+            run_strips(4, &|i| {
+                if i == 2 {
+                    panic!("strip boom");
+                }
+            });
+        });
+        let payload = result.expect_err("strip panic must propagate");
+        assert_eq!(
+            payload.downcast_ref::<&str>(),
+            Some(&"strip boom"),
+            "original payload must be forwarded"
+        );
+        // The pool (and its locks) must remain usable afterwards.
+        let hits = AtomicU32::new(0);
+        run_strips(4, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+}

@@ -2,48 +2,62 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Maximum supported tensor rank.
+pub const MAX_RANK: usize = 6;
+
 /// A tensor shape: a list of dimension extents, row-major.
 ///
-/// Rank is small (≤ 4 in this project: `[batch, channels, h, w]`), so a
-/// plain `Vec` is fine; shapes are created rarely relative to element ops.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub struct Shape(Vec<usize>);
+/// Rank is small (≤ 4 in this project: `[batch, channels, h, w]`), so the
+/// extents are stored **inline** in a fixed array — constructing a shape
+/// (and therefore wrapping a buffer in a `Tensor`) performs no heap
+/// allocation, which the zero-alloc inference workspace relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: [usize; MAX_RANK],
+    rank: u8,
+}
 
 impl Shape {
-    /// Create a shape from dimension extents.
+    /// Create a shape from dimension extents. Panics above [`MAX_RANK`].
     pub fn new(dims: &[usize]) -> Self {
-        Shape(dims.to_vec())
+        assert!(dims.len() <= MAX_RANK, "rank {} > {MAX_RANK}", dims.len());
+        let mut d = [0usize; MAX_RANK];
+        d[..dims.len()].copy_from_slice(dims);
+        Shape {
+            dims: d,
+            rank: dims.len() as u8,
+        }
     }
 
     /// Dimension extents.
     #[inline]
     pub fn dims(&self) -> &[usize] {
-        &self.0
+        &self.dims[..self.rank as usize]
     }
 
     /// Number of dimensions.
     #[inline]
     pub fn rank(&self) -> usize {
-        self.0.len()
+        self.rank as usize
     }
 
     /// Extent of dimension `i`.
     #[inline]
     pub fn dim(&self, i: usize) -> usize {
-        self.0[i]
+        self.dims()[i]
     }
 
     /// Total number of elements.
     #[inline]
     pub fn numel(&self) -> usize {
-        self.0.iter().product()
+        self.dims().iter().product()
     }
 
     /// Row-major strides (in elements) for this shape.
     pub fn strides(&self) -> Vec<usize> {
         let mut s = vec![1usize; self.rank()];
         for i in (0..self.rank().saturating_sub(1)).rev() {
-            s[i] = s[i + 1] * self.0[i + 1];
+            s[i] = s[i + 1] * self.dims()[i + 1];
         }
         s
     }
@@ -55,9 +69,13 @@ impl Shape {
         let mut off = 0;
         let mut stride = 1;
         for i in (0..self.rank()).rev() {
-            debug_assert!(idx[i] < self.0[i], "index {idx:?} out of {:?}", self.0);
+            debug_assert!(
+                idx[i] < self.dims()[i],
+                "index {idx:?} out of {:?}",
+                self.dims()
+            );
             off += idx[i] * stride;
-            stride *= self.0[i];
+            stride *= self.dims()[i];
         }
         off
     }
@@ -72,7 +90,7 @@ impl From<&[usize]> for Shape {
 impl std::fmt::Display for Shape {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "[")?;
-        for (i, d) in self.0.iter().enumerate() {
+        for (i, d) in self.dims().iter().enumerate() {
             if i > 0 {
                 write!(f, "×")?;
             }

@@ -1,0 +1,109 @@
+//! Property-based parity tests for the packed, register-blocked GEMM
+//! micro-kernel against the retained [`tensor::ops::baseline`] kernels:
+//! all four transpose combinations, odd/tiny/tile-straddling shapes, fused
+//! epilogues, and the multithreaded path.
+
+use proptest::prelude::*;
+use tensor::ops::{baseline, gemm, gemm_ep, gemm_mt, Epilogue};
+
+fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+/// Relative-error check scaled by the dot-product length: each output is a
+/// k-term accumulation, so rounding grows with k.
+fn assert_close(fast: &[f32], reference: &[f32], k: usize, what: &str) {
+    for (i, (f, r)) in fast.iter().zip(reference).enumerate() {
+        let tol = 1e-5f32 * (k as f32).max(1.0) * r.abs().max(1.0);
+        assert!((f - r).abs() <= tol, "{what}[{i}]: {f} vs {r} (tol {tol})");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The packed kernel matches the baseline kernel for every transpose
+    /// combination over arbitrary (including tile-straddling) shapes.
+    #[test]
+    fn packed_kernel_matches_baseline(
+        m in 1usize..40, n in 1usize..40, k in 1usize..40,
+        ta in proptest::bool::ANY, tb in proptest::bool::ANY,
+        alpha in -2.0f32..2.0, beta in -2.0f32..2.0,
+        seed in 0u64..10_000,
+    ) {
+        let a = rand_vec(m * k, seed);
+        let b = rand_vec(k * n, seed ^ 1);
+        let c0 = rand_vec(m * n, seed ^ 2);
+        let mut c_fast = c0.clone();
+        let mut c_ref = c0;
+        gemm(ta, tb, m, n, k, alpha, &a, &b, beta, &mut c_fast);
+        baseline::gemm(ta, tb, m, n, k, alpha, &a, &b, beta, &mut c_ref);
+        assert_close(&c_fast, &c_ref, k, "gemm");
+    }
+
+    /// Shapes straddling the 4×8 tile boundaries (±1 around multiples of
+    /// MR/NR) stay correct.
+    #[test]
+    fn tile_boundary_shapes(
+        mi in 0usize..4, ni in 0usize..4, dm in 0usize..3, dn in 0usize..3,
+        k in 1usize..20, seed in 0u64..10_000,
+    ) {
+        let m = (mi * 4 + dm).max(1);
+        let n = (ni * 8 + dn).max(1);
+        let a = rand_vec(m * k, seed);
+        let b = rand_vec(k * n, seed ^ 3);
+        let mut c_fast = vec![0.0f32; m * n];
+        let mut c_ref = vec![0.0f32; m * n];
+        gemm(false, false, m, n, k, 1.0, &a, &b, 0.0, &mut c_fast);
+        baseline::gemm(false, false, m, n, k, 1.0, &a, &b, 0.0, &mut c_ref);
+        assert_close(&c_fast, &c_ref, k, "gemm");
+    }
+
+    /// The multithreaded strip partition is bitwise identical to the
+    /// single-threaded kernel (same packing, same accumulation order).
+    #[test]
+    fn mt_is_bitwise_identical_to_st(
+        m in 1usize..80, n in 1usize..40, k in 1usize..24,
+        ta in proptest::bool::ANY, tb in proptest::bool::ANY, seed in 0u64..10_000,
+    ) {
+        let a = rand_vec(m * k, seed);
+        let b = rand_vec(k * n, seed ^ 4);
+        let c0 = rand_vec(m * n, seed ^ 5);
+        let mut c_st = c0.clone();
+        let mut c_mt = c0;
+        gemm(ta, tb, m, n, k, 0.9, &a, &b, 0.4, &mut c_st);
+        gemm_mt(ta, tb, m, n, k, 0.9, &a, &b, 0.4, &mut c_mt);
+        prop_assert_eq!(c_st, c_mt);
+    }
+
+    /// The fused bias+ReLU epilogue equals the separate passes exactly.
+    #[test]
+    fn epilogue_matches_separate_passes(
+        m in 1usize..20, n in 1usize..20, k in 1usize..16,
+        relu in proptest::bool::ANY, seed in 0u64..10_000,
+    ) {
+        let a = rand_vec(m * k, seed);
+        let b = rand_vec(k * n, seed ^ 6);
+        let bias_row = rand_vec(m, seed ^ 7);
+        let bias_col = rand_vec(n, seed ^ 8);
+        let mut c_fused = vec![0.0f32; m * n];
+        gemm_ep(
+            false, false, m, n, k, 1.0, &a, &b, 0.0, &mut c_fused,
+            Epilogue { bias_row: Some(&bias_row), bias_col: Some(&bias_col), relu },
+        );
+        let mut c_plain = vec![0.0f32; m * n];
+        gemm(false, false, m, n, k, 1.0, &a, &b, 0.0, &mut c_plain);
+        for i in 0..m {
+            for j in 0..n {
+                let mut v = c_plain[i * n + j] + bias_row[i] + bias_col[j];
+                if relu {
+                    v = v.max(0.0);
+                }
+                c_plain[i * n + j] = v;
+            }
+        }
+        prop_assert_eq!(c_fused, c_plain);
+    }
+}

@@ -103,8 +103,8 @@ proptest! {
         let x = rand_tensor(&[1, 1, size, size], seed);
         let w = Tensor::ones(&[1, 1, 1, 1]);
         let mut out = Tensor::zeros(&[1, 1, size, size]);
-        let mut scratch = Vec::new();
-        conv2d_forward(&spec, &x, &w, None, &mut out, &mut scratch);
+        let mut ws = tensor::Workspace::new();
+        conv2d_forward(&spec, &x, &w, None, false, &mut out, &mut ws);
         for (a, b) in out.data().iter().zip(x.data()) {
             prop_assert!((a - b).abs() < 1e-6);
         }

@@ -1,0 +1,155 @@
+//! Emit `BENCH_search.json`: the machine-readable search-throughput record
+//! (playouts/second per scheme), the search-side counterpart of
+//! `bench_inference`.
+//!
+//! Measures, on this machine, for every [`Scheme`] plus the re-rooting
+//! `serial+reuse` searcher:
+//! * playouts/s on a mid-game Gomoku position with the uniform evaluator
+//!   (isolates in-tree cost: selection, expansion, backup, allocation);
+//! * playouts/s with a tiny real network (adds a realistic eval share);
+//! * for `serial+reuse`, a full search→advance→search cycle so re-rooting
+//!   cost is inside the measured window.
+//!
+//! Usage: `bench_search [--smoke] [out_path]` (default
+//! `BENCH_search.json`). `--smoke` (or env `BENCH_SMOKE=1`) shrinks the
+//! playout budgets and repetitions so CI can prove the binary runs
+//! without paying measurement time. Timings are never gated on.
+
+use games::gomoku::Gomoku;
+use games::Game;
+use mcts::{BatchEvaluator, NnEvaluator, Scheme, SearchBuilder, SearchScheme, UniformEvaluator};
+use nn::{NetConfig, PolicyValueNet};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Median of `reps` timed runs of `f` (seconds), after `warm` warm-ups.
+fn time_median(warm: usize, reps: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..warm {
+        f();
+    }
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// A 9×9 Gomoku position a few plies in (denser trees than the empty
+/// board, and the same state every run).
+fn midgame() -> Gomoku {
+    let mut g = Gomoku::new(9, 5);
+    for a in [40u16, 41, 31, 49, 39] {
+        g.apply(a);
+    }
+    g
+}
+
+fn build(
+    scheme: Scheme,
+    playouts: usize,
+    workers: usize,
+    eval: Arc<dyn BatchEvaluator>,
+) -> Box<dyn SearchScheme<Gomoku>> {
+    SearchBuilder::new(scheme)
+        .playouts(playouts)
+        .workers(workers)
+        .evaluator(eval)
+        .build::<Gomoku>()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke =
+        args.iter().any(|a| a == "--smoke") || std::env::var("BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_search.json".to_string());
+    let (warm, reps, playouts) = if smoke { (0, 1, 64) } else { (1, 7, 1600) };
+    let workers = 4usize;
+
+    let root = midgame();
+    let uniform: Arc<dyn BatchEvaluator> = Arc::new(UniformEvaluator::for_game(&root));
+    let net = Arc::new(PolicyValueNet::new(NetConfig::for_board(4, 9, 9, 81), 2));
+    let nn: Arc<dyn BatchEvaluator> = Arc::new(NnEvaluator::new(net));
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"meta\": {{\"playouts\": {playouts}, \"workers\": {workers}, \"board\": \"gomoku9\", \"smoke\": {smoke}}},"
+    );
+
+    // --- per-scheme playout throughput -----------------------------------
+    json.push_str("  \"schemes\": [\n");
+    let evals: [(&str, &Arc<dyn BatchEvaluator>); 2] = [("uniform", &uniform), ("nn", &nn)];
+    for (si, scheme) in Scheme::ALL.into_iter().enumerate() {
+        let mut fields = String::new();
+        for (ei, (eval_name, eval)) in evals.iter().enumerate() {
+            let mut s = build(scheme, playouts, workers, Arc::clone(eval));
+            let mut done = 0u64;
+            let t = time_median(warm, reps, || {
+                let r = s.search(&root);
+                done = r.stats.playouts;
+            });
+            let _ = write!(
+                fields,
+                "{}\"{eval_name}_playouts_per_s\": {:.1}",
+                if ei == 0 { "" } else { ", " },
+                done as f64 / t
+            );
+            eprintln!(
+                "{scheme:>13} / {eval_name:7}: {:>9.0} playouts/s",
+                done as f64 / t
+            );
+        }
+        let _ = writeln!(
+            json,
+            "    {{\"scheme\": \"{scheme}\", {fields}}}{}",
+            if si + 1 < Scheme::ALL.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+
+    // --- tree reuse: search → advance → search cycles ---------------------
+    // The whole per-move cycle (including re-rooting on `advance`) sits
+    // inside the timed window, so re-root cost is part of the figure.
+    let mut reuse = SearchBuilder::new(Scheme::Serial)
+        .playouts(playouts)
+        .evaluator(Arc::clone(&uniform))
+        .reuse(true)
+        .build_reusable();
+    let moves = 4usize;
+    let mut done = 0u64;
+    let t = time_median(warm, reps, || {
+        reuse.reset();
+        let mut g = root.clone();
+        done = 0;
+        for _ in 0..moves {
+            let r = reuse.search(&g);
+            done += r.stats.playouts;
+            let a = r.best_action();
+            reuse.advance(a);
+            g.apply(a);
+        }
+    });
+    let _ = writeln!(
+        json,
+        "  \"reuse_cycle\": {{\"scheme\": \"serial+reuse\", \"moves\": {moves}, \"uniform_playouts_per_s\": {:.1}}}",
+        done as f64 / t
+    );
+    eprintln!(
+        "{:>13} / uniform: {:>9.0} playouts/s ({moves}-move cycle)",
+        "serial+reuse",
+        done as f64 / t
+    );
+
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write bench output");
+    println!("wrote {out_path}");
+}

@@ -81,62 +81,58 @@ pub fn principal_variation(tree: &Tree, max_len: usize) -> Vec<Action> {
     let mut pv = Vec::new();
     let mut cur = tree.root();
     for _ in 0..max_len {
-        let node = tree.node(cur);
-        if node.children.is_empty() {
+        let children = tree.children(cur);
+        if children.is_empty() {
             break;
         }
-        let best = node
-            .children
-            .iter()
-            .copied()
-            .max_by_key(|&c| tree.node(c).n)
+        let best = children
+            .max_by_key(|&c| tree.n(c))
             .expect("non-empty children");
-        if tree.node(best).n == 0 {
+        if tree.n(best) == 0 {
             break;
         }
-        pv.push(tree.node(best).action);
+        pv.push(tree.action(best));
         cur = best;
     }
     pv
 }
 
-/// Compute shape statistics by walking the arena.
+/// Compute shape statistics by walking the tree from its root (after
+/// in-place re-rooting, arena order no longer orders parents before
+/// children, so depths come from the walk, not from a forward pass).
 pub fn tree_shape(tree: &Tree) -> TreeShape {
-    let n = tree.len();
-    let mut depth = vec![0usize; n];
     let mut expanded = 0usize;
     let mut terminals = 0usize;
     let mut max_depth = 0usize;
     let mut depth_sum = 0usize;
     let mut child_sum = 0usize;
-    for id in 0..n as u32 {
-        let node = tree.node(id);
-        // Parents precede children in the arena, so depths resolve in one
-        // forward pass.
-        if node.parent != crate::tree::NIL {
-            depth[id as usize] = depth[node.parent as usize] + 1;
-        }
-        let d = depth[id as usize];
+    let mut nodes = 0usize;
+    let mut stack = vec![(tree.root(), 0usize)];
+    while let Some((id, d)) = stack.pop() {
+        nodes += 1;
         max_depth = max_depth.max(d);
         depth_sum += d;
-        match node.state {
+        match tree.state(id) {
             NodeState::Expanded => {
                 expanded += 1;
-                child_sum += node.children.len();
+                child_sum += tree.children(id).len();
             }
             NodeState::Terminal(_) => terminals += 1,
             _ => {}
         }
+        for c in tree.children(id) {
+            stack.push((c, d + 1));
+        }
     }
     TreeShape {
-        nodes: n,
+        nodes,
         expanded,
         terminals,
         max_depth,
-        mean_depth: if n == 0 {
+        mean_depth: if nodes == 0 {
             0.0
         } else {
-            depth_sum as f64 / n as f64
+            depth_sum as f64 / nodes as f64
         },
         mean_branching: if expanded == 0 {
             0.0

@@ -1,0 +1,506 @@
+//! The unified node store behind every search tree: one struct-of-arrays
+//! arena with contiguous child ranges, a block free-list, and an atomic
+//! twin sharing the exact same layout.
+//!
+//! # Layout
+//!
+//! A node is a row across parallel columns — there is no `Node` struct on
+//! the hot path and no per-node heap allocation anywhere:
+//!
+//! ```text
+//!  id →        0     1     2     3     4     5     6   …
+//!  parent    [NIL ][ 0  ][ 0  ][ 0  ][ 2  ][ 2  ][ 2  ]
+//!  action    [ 0  ][ a₀ ][ a₁ ][ a₂ ][ b₀ ][ b₁ ][ b₂ ]
+//!  prior     [1.0 ][ .2 ][ .5 ][ .3 ][ .4 ][ .4 ][ .2 ]
+//!  n,w,vl    [ …  ]  …                                    (statistics)
+//!  first_child [1 ][NIL ][ 4  ][NIL ][NIL ][NIL ][NIL ]
+//!  child_count [3 ][ 0  ][ 3  ][ 0  ][ 0  ][ 0  ][ 0  ]
+//!  state     [Exp ][Unex][Exp ][Unex][Unex][Unex][Unex]
+//! ```
+//!
+//! Children of one parent are **one contiguous block** (`first_child ..
+//! first_child + child_count`), so "iterate the children" is a range loop
+//! over dense columns — the cache-friendly property the paper's local-tree
+//! scheme exploits (§3.1.2) — and a child set is identified by two `u32`s
+//! instead of a `Vec<u32>`.
+//!
+//! # Free-list and recycling
+//!
+//! Blocks freed by re-rooting or pruning go on a size-bucketed free-list
+//! (`free[len]` = start indices of free ranges of length `len`).
+//! Allocation takes the smallest free range that fits and splits off the
+//! remainder; only when no range fits does the arena grow. In steady
+//! state (search → [`advance`](crate::tree::Tree::advance_root) → search
+//! forever) every expansion is served from recycled slots and the arena
+//! performs **zero heap allocations**. Adjacent free ranges are not
+//! coalesced; fragments re-merge naturally when the tree is cleared
+//! in place ([`NodeArena::clear`] keeps column capacity). At the
+//! capacity bound this is a real trade-off: a request larger than every
+//! individual free range triggers pruning even when the *total* free
+//! space would suffice, so size the bound with headroom rather than at
+//! the expected live-tree size.
+//!
+//! # In-place re-rooting
+//!
+//! Re-rooting keeps indices stable: the kept subtree is untouched, and the
+//! discarded region is reclaimed by walking the tree **from the old root,
+//! skipping the kept child's subtree** — each discarded node is visited
+//! exactly once, so `advance(action)` is `O(discarded nodes)` and
+//! allocation-free. The kept child's siblings share its block; the ranges
+//! on either side of it are freed separately, which is why free ranges
+//! (not just whole blocks) are the free-list currency.
+//!
+//! # Capacity bound
+//!
+//! With [`MctsConfig::max_nodes`](crate::MctsConfig::max_nodes) set, the
+//! arena never exceeds that many slots. When an expansion cannot be
+//! served from the free-list or by growing, the owning tree prunes the
+//! **deepest fringe subtree** (an expanded node all of whose children are
+//! leaves, farthest from the root) back to an unexpanded node and
+//! retries, so long-running serving processes search under a fixed
+//! memory budget instead of growing without limit. Pruned nodes keep
+//! their visit statistics and may be re-expanded later.
+//!
+//! The atomic twin ([`AtomicColumns`]) is the same columns with
+//! `AtomicU32`/`AtomicI64` cells (plus a `phase` byte replacing the state
+//! enum) for the shared-tree scheme — one layout, two mutation
+//! disciplines.
+
+use games::Action;
+use std::sync::atomic::{AtomicI64, AtomicU32, AtomicU8, Ordering};
+
+/// Sentinel "no node" index.
+pub const NIL: u32 = u32::MAX;
+
+/// Expansion state of a node. `Copy`: the legal actions captured at claim
+/// time live in the pre-allocated child block, not in the enum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeState {
+    /// Never evaluated; children unknown.
+    Unexpanded,
+    /// Claimed by an in-flight evaluation. The child block already exists
+    /// and holds the legal actions; priors arrive at expansion.
+    Pending,
+    /// Children created; selection may descend.
+    Expanded,
+    /// Game over at this node; the payload is the terminal value from the
+    /// perspective of the player to move at this node.
+    Terminal(f32),
+    /// Slot is on the free-list (not part of the tree).
+    Free,
+}
+
+/// Node accounting for a [`NodeArena`] (see
+/// [`Tree::stats`](crate::tree::Tree::stats)).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ArenaStats {
+    /// Nodes currently part of the tree.
+    pub live: usize,
+    /// Slots on the free-list awaiting reuse.
+    pub free: usize,
+    /// Slots currently backing the columns (`live + free == high_water`).
+    /// [`NodeArena::clear`] truncates this to 0 while keeping the
+    /// columns' reserved capacity.
+    pub high_water: usize,
+}
+
+/// Struct-of-arrays node store with contiguous child ranges and a block
+/// free-list. Pure storage: tree semantics (selection, expansion, backup,
+/// re-rooting) live in [`crate::tree::Tree`].
+pub struct NodeArena {
+    pub(crate) parent: Vec<u32>,
+    pub(crate) action: Vec<Action>,
+    pub(crate) prior: Vec<f32>,
+    pub(crate) n: Vec<u32>,
+    pub(crate) w: Vec<f64>,
+    pub(crate) vl: Vec<u32>,
+    pub(crate) state: Vec<NodeState>,
+    pub(crate) first_child: Vec<u32>,
+    pub(crate) child_count: Vec<u32>,
+    /// `free[len]` holds the start indices of free ranges of exactly
+    /// `len` slots. `free[0]` is unused.
+    free: Vec<Vec<u32>>,
+    /// Total slots across all free ranges.
+    free_slots: usize,
+    /// Largest bucket that might be non-empty (allocation scan bound).
+    largest_free: usize,
+    /// Hard slot cap (`usize::MAX` when unbounded).
+    cap: usize,
+}
+
+impl NodeArena {
+    /// Empty arena. `hint` pre-reserves column capacity; `cap` is the
+    /// hard bound on total slots (`None` ⇒ bounded only by the `u32`
+    /// index space — the clamp below keeps indices from ever colliding
+    /// with the [`NIL`] sentinel).
+    pub fn new(hint: usize, cap: Option<usize>) -> Self {
+        let cap = cap.unwrap_or(usize::MAX).min(NIL as usize);
+        let hint = hint.min(cap).min(1 << 20);
+        NodeArena {
+            parent: Vec::with_capacity(hint),
+            action: Vec::with_capacity(hint),
+            prior: Vec::with_capacity(hint),
+            n: Vec::with_capacity(hint),
+            w: Vec::with_capacity(hint),
+            vl: Vec::with_capacity(hint),
+            state: Vec::with_capacity(hint),
+            first_child: Vec::with_capacity(hint),
+            child_count: Vec::with_capacity(hint),
+            free: Vec::new(),
+            free_slots: 0,
+            largest_free: 0,
+            cap,
+        }
+    }
+
+    /// Total slots ever allocated (live + free).
+    #[inline]
+    pub fn high_water(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Nodes currently part of the tree.
+    #[inline]
+    pub fn live(&self) -> usize {
+        self.high_water() - self.free_slots
+    }
+
+    /// Node accounting snapshot.
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            live: self.live(),
+            free: self.free_slots,
+            high_water: self.high_water(),
+        }
+    }
+
+    /// The hard slot cap (`usize::MAX` when unbounded).
+    #[inline]
+    pub fn capacity_bound(&self) -> usize {
+        self.cap
+    }
+
+    /// Allocate a contiguous block of `count` fresh slots (recycling free
+    /// ranges first) and return the first index. `None` when the capacity
+    /// bound would be exceeded — the caller should [`NodeArena::coalesce`]
+    /// or prune and retry.
+    pub fn alloc_block(&mut self, count: usize) -> Option<u32> {
+        debug_assert!(count > 0, "empty block allocation");
+        // Smallest-fit over the size buckets: exact fits first, then the
+        // nearest larger range, splitting off the remainder.
+        let upper = self.largest_free.min(self.free.len().saturating_sub(1));
+        for len in count..=upper {
+            if let Some(start) = self.free[len].pop() {
+                if self.free[len].is_empty() && len == self.largest_free {
+                    // Keep the scan bound tight once the top bucket drains.
+                    while self.largest_free > 0 && self.free[self.largest_free].is_empty() {
+                        self.largest_free -= 1;
+                    }
+                }
+                self.free_slots -= count;
+                if len > count {
+                    // Put the tail of the range back (it stays counted in
+                    // `free_slots` and keeps its `Free` state stamps).
+                    self.push_free(start + count as u32, len - count);
+                }
+                self.reset_slots(start, count);
+                return Some(start);
+            }
+        }
+        // Grow. The columns stay index-aligned by construction.
+        if self.high_water() + count > self.cap {
+            return None;
+        }
+        let start = self.high_water() as u32;
+        let new_len = self.high_water() + count;
+        self.parent.resize(new_len, NIL);
+        self.action.resize(new_len, 0);
+        self.prior.resize(new_len, 0.0);
+        self.n.resize(new_len, 0);
+        self.w.resize(new_len, 0.0);
+        self.vl.resize(new_len, 0);
+        self.state.resize(new_len, NodeState::Unexpanded);
+        self.first_child.resize(new_len, NIL);
+        self.child_count.resize(new_len, 0);
+        Some(start)
+    }
+
+    /// Return `count` slots starting at `start` to the free-list and mark
+    /// them [`NodeState::Free`]. The non-state columns keep their bytes
+    /// until reuse, so a reclaiming walk may still read child ranges of
+    /// slots it has already freed.
+    pub fn free_range(&mut self, start: u32, count: u32) {
+        if count == 0 {
+            return;
+        }
+        for s in &mut self.state[start as usize..(start + count) as usize] {
+            *s = NodeState::Free;
+        }
+        self.free_slots += count as usize;
+        self.push_free(start, count as usize);
+    }
+
+    fn push_free(&mut self, start: u32, len: usize) {
+        if self.free.len() <= len {
+            self.free.resize_with(len + 1, Vec::new);
+        }
+        self.free[len].push(start);
+        self.largest_free = self.largest_free.max(len);
+    }
+
+    /// Merge adjacent free ranges into maximal ones and rebucket them.
+    /// The free-list never coalesces on the hot path; this is the
+    /// degraded-mode defragmentation step for a capacity-bounded arena
+    /// whose fragments have all become too small for a request (cheaper
+    /// and far less destructive than pruning live subtrees). `O(free
+    /// ranges · log)` and allocates scratch — callers only reach for it
+    /// when an allocation has already failed at the bound.
+    pub fn coalesce(&mut self) {
+        let mut ranges: Vec<(u32, usize)> = Vec::new();
+        for (len, bucket) in self.free.iter_mut().enumerate() {
+            ranges.extend(bucket.drain(..).map(|start| (start, len)));
+        }
+        self.largest_free = 0;
+        ranges.sort_unstable_by_key(|&(start, _)| start);
+        let mut merged: Option<(u32, usize)> = None;
+        for (start, len) in ranges {
+            match &mut merged {
+                Some((mstart, mlen)) if *mstart as usize + *mlen == start as usize => {
+                    *mlen += len;
+                }
+                _ => {
+                    if let Some((mstart, mlen)) = merged.take() {
+                        self.push_free(mstart, mlen);
+                    }
+                    merged = Some((start, len));
+                }
+            }
+        }
+        if let Some((mstart, mlen)) = merged {
+            self.push_free(mstart, mlen);
+        }
+    }
+
+    /// Drop every node but keep all column and bucket capacity, so
+    /// refilling the arena to its previous size performs no heap
+    /// allocation. Used by in-place tree reset between games.
+    pub fn clear(&mut self) {
+        self.parent.clear();
+        self.action.clear();
+        self.prior.clear();
+        self.n.clear();
+        self.w.clear();
+        self.vl.clear();
+        self.state.clear();
+        self.first_child.clear();
+        self.child_count.clear();
+        for bucket in &mut self.free {
+            bucket.clear();
+        }
+        self.free_slots = 0;
+        self.largest_free = 0;
+    }
+
+    /// Reset recycled slots to pristine node state.
+    fn reset_slots(&mut self, start: u32, count: usize) {
+        let (lo, hi) = (start as usize, start as usize + count);
+        self.parent[lo..hi].fill(NIL);
+        self.action[lo..hi].fill(0);
+        self.prior[lo..hi].fill(0.0);
+        self.n[lo..hi].fill(0);
+        self.w[lo..hi].fill(0.0);
+        self.vl[lo..hi].fill(0);
+        self.state[lo..hi].fill(NodeState::Unexpanded);
+        self.first_child[lo..hi].fill(NIL);
+        self.child_count[lo..hi].fill(0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomic twin: the same columns, interiorly mutable.
+// ---------------------------------------------------------------------------
+
+/// Node lifecycle phases of the atomic columns (the `phase` byte is the
+/// lock-free counterpart of [`NodeState`]; terminal values live in
+/// `terminal_bits`).
+pub(crate) mod phase {
+    pub const UNEXPANDED: u8 = 0;
+    pub const PENDING: u8 = 1;
+    pub const EXPANDED: u8 = 2;
+    pub const TERMINAL: u8 = 3;
+}
+
+/// Fixed-point scale for the atomically-accumulated value sum `W`
+/// (2^20: exact for small sums, no drift).
+pub(crate) const W_SCALE: f64 = 1_048_576.0;
+
+/// The shared-tree arena: [`NodeArena`]'s columns with atomic cells so the
+/// store can be shared immutably across rollout threads. Same child-range
+/// scheme (`first_child`/`child_count` → one contiguous block), same
+/// column-per-field layout; expansion bump-allocates blocks with a single
+/// `fetch_add` and publishes them through a release store on the parent's
+/// `phase`. Fixed capacity: one arena is sized for one move's expansion,
+/// so shared-tree searches are memory-bounded by construction and need no
+/// free-list.
+pub struct AtomicColumns {
+    pub(crate) parent: Box<[AtomicU32]>,
+    pub(crate) action: Box<[AtomicU32]>,
+    pub(crate) prior_bits: Box<[AtomicU32]>,
+    /// Completed visits `N(s,a)`.
+    pub(crate) n: Box<[AtomicU32]>,
+    /// Value sum `W(s,a)` in fixed-point (units of 1/[`W_SCALE`]).
+    pub(crate) w_fixed: Box<[AtomicI64]>,
+    /// In-flight playouts (virtual-loss / unobserved count).
+    pub(crate) vl: Box<[AtomicU32]>,
+    pub(crate) first_child: Box<[AtomicU32]>,
+    pub(crate) child_count: Box<[AtomicU32]>,
+    pub(crate) phase: Box<[AtomicU8]>,
+    pub(crate) terminal_bits: Box<[AtomicU32]>,
+}
+
+fn atomic_column<T>(cap: usize, f: impl Fn() -> T) -> Box<[T]> {
+    let mut v = Vec::with_capacity(cap);
+    v.resize_with(cap, f);
+    v.into_boxed_slice()
+}
+
+impl AtomicColumns {
+    /// Zeroed columns for a fixed `cap`-slot arena.
+    pub fn new(cap: usize) -> Self {
+        AtomicColumns {
+            parent: atomic_column(cap, || AtomicU32::new(NIL)),
+            action: atomic_column(cap, || AtomicU32::new(0)),
+            prior_bits: atomic_column(cap, || AtomicU32::new(0)),
+            n: atomic_column(cap, || AtomicU32::new(0)),
+            w_fixed: atomic_column(cap, || AtomicI64::new(0)),
+            vl: atomic_column(cap, || AtomicU32::new(0)),
+            first_child: atomic_column(cap, || AtomicU32::new(NIL)),
+            child_count: atomic_column(cap, || AtomicU32::new(0)),
+            phase: atomic_column(cap, || AtomicU8::new(phase::UNEXPANDED)),
+            terminal_bits: atomic_column(cap, || AtomicU32::new(0)),
+        }
+    }
+
+    /// Arena capacity in slots.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// DNN prior `P(s,a)` of node `id`.
+    #[inline]
+    pub fn prior(&self, id: u32) -> f32 {
+        f32::from_bits(self.prior_bits[id as usize].load(Ordering::Relaxed))
+    }
+
+    /// Value sum `W` of node `id`.
+    #[inline]
+    pub fn w(&self, id: u32) -> f64 {
+        self.w_fixed[id as usize].load(Ordering::Relaxed) as f64 / W_SCALE
+    }
+
+    /// Visits of node `id` including in-flight playouts.
+    #[inline]
+    pub fn n_eff(&self, id: u32) -> u32 {
+        self.n[id as usize].load(Ordering::Relaxed) + self.vl[id as usize].load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_grows_and_recycles() {
+        let mut a = NodeArena::new(4, None);
+        let b0 = a.alloc_block(3).unwrap();
+        let b1 = a.alloc_block(2).unwrap();
+        assert_eq!((b0, b1), (0, 3));
+        assert_eq!(a.live(), 5);
+        a.free_range(b0, 3);
+        assert_eq!(a.live(), 2);
+        assert_eq!(a.stats().free, 3);
+        // Exact fit reuses the freed range instead of growing.
+        let b2 = a.alloc_block(3).unwrap();
+        assert_eq!(b2, 0);
+        assert_eq!(a.high_water(), 5);
+        assert_eq!(a.state[0], NodeState::Unexpanded);
+    }
+
+    #[test]
+    fn smaller_request_splits_free_range() {
+        let mut a = NodeArena::new(8, None);
+        let b = a.alloc_block(6).unwrap();
+        a.free_range(b, 6);
+        let c = a.alloc_block(4).unwrap();
+        assert_eq!(c, 0, "front of the freed range");
+        assert_eq!(a.stats().free, 2, "remainder stays free");
+        let d = a.alloc_block(2).unwrap();
+        assert_eq!(d, 4, "fragment served the follow-up");
+        assert_eq!(a.high_water(), 6, "no growth needed");
+    }
+
+    #[test]
+    fn coalesce_merges_adjacent_fragments() {
+        let mut a = NodeArena::new(16, Some(12));
+        let b0 = a.alloc_block(4).unwrap();
+        let b1 = a.alloc_block(4).unwrap();
+        let b2 = a.alloc_block(4).unwrap();
+        // Free all three as separate ranges: no single bucket holds a
+        // 12-slot range, and growth is blocked by the cap.
+        a.free_range(b0, 4);
+        a.free_range(b2, 4);
+        a.free_range(b1, 4);
+        assert!(a.alloc_block(12).is_none(), "fragmented: no 12-range yet");
+        a.coalesce();
+        assert_eq!(a.alloc_block(12), Some(0), "merged into one range");
+        assert_eq!(a.stats().free, 0);
+        assert_eq!(a.live(), 12);
+    }
+
+    #[test]
+    fn capacity_bound_is_hard() {
+        let mut a = NodeArena::new(4, Some(5));
+        assert!(a.alloc_block(4).is_some());
+        assert!(a.alloc_block(2).is_none(), "4 + 2 > cap 5");
+        assert!(a.alloc_block(1).is_some());
+        assert!(a.alloc_block(1).is_none());
+        // Freeing makes room again.
+        a.free_range(0, 4);
+        assert!(a.alloc_block(2).is_some());
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut a = NodeArena::new(2, None);
+        a.alloc_block(100).unwrap();
+        let cap_before = a.parent.capacity();
+        a.clear();
+        assert_eq!(a.high_water(), 0);
+        assert_eq!(a.live(), 0);
+        assert_eq!(a.parent.capacity(), cap_before);
+        assert!(a.alloc_block(100).is_some());
+    }
+
+    #[test]
+    fn free_marks_state() {
+        let mut a = NodeArena::new(4, None);
+        let b = a.alloc_block(2).unwrap();
+        a.free_range(b, 2);
+        assert_eq!(a.state[0], NodeState::Free);
+        assert_eq!(a.state[1], NodeState::Free);
+    }
+
+    #[test]
+    fn atomic_columns_round_trip() {
+        let c = AtomicColumns::new(8);
+        assert_eq!(c.capacity(), 8);
+        c.prior_bits[3].store(0.25f32.to_bits(), Ordering::Relaxed);
+        assert_eq!(c.prior(3), 0.25);
+        c.w_fixed[3].store((1.5 * W_SCALE) as i64, Ordering::Relaxed);
+        assert!((c.w(3) - 1.5).abs() < 1e-9);
+        c.n[3].store(4, Ordering::Relaxed);
+        c.vl[3].store(2, Ordering::Relaxed);
+        assert_eq!(c.n_eff(3), 6);
+    }
+}

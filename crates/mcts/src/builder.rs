@@ -110,7 +110,10 @@ impl SearchBuilder {
         self
     }
 
-    /// Arena capacity override.
+    /// Hard node-capacity bound: single-owner trees prune their deepest
+    /// fringe subtree instead of growing past `nodes`; the shared tree
+    /// pre-allocates exactly `nodes` slots. See
+    /// [`MctsConfig::max_nodes`].
     pub fn max_nodes(mut self, nodes: usize) -> Self {
         self.cfg.max_nodes = Some(nodes);
         self

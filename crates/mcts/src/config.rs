@@ -48,8 +48,19 @@ pub struct MctsConfig {
     pub lock_kind: LockKind,
     /// Q value assumed for unvisited edges (first-play urgency).
     pub q_init: f32,
-    /// Upper bound on arena capacity (nodes). `None` ⇒ derived from
-    /// `playouts × fanout` at search time.
+    /// Hard bound on tree memory, in nodes. For the single-owner tree
+    /// this caps the arena: when an expansion cannot be served, the
+    /// deepest fringe subtree is pruned back onto the free-list and the
+    /// search continues under the fixed budget. For the shared tree it
+    /// sizes the pre-allocated per-move arena. `None` ⇒ single-owner
+    /// trees grow on demand; the shared tree derives its size from
+    /// `playouts × fanout`.
+    ///
+    /// The bound is *hard*: a search panics rather than exceed it, so it
+    /// must leave room for the unprunable working set — at minimum the
+    /// root plus one full expansion (`action_space + 1` nodes), and for
+    /// pipelined schemes (local tree) one expansion per in-flight leaf,
+    /// since subtrees holding pending evaluations are never pruned.
     pub max_nodes: Option<usize>,
     /// AlphaZero-style Dirichlet noise mixed into the root priors during
     /// self-play (None ⇒ deterministic evaluation-time search).
@@ -108,6 +119,9 @@ impl MctsConfig {
         }
         if let Some(ms) = self.time_budget_ms {
             assert!(ms > 0, "time budget must be positive");
+        }
+        if let Some(n) = self.max_nodes {
+            assert!(n > 0, "max_nodes must allow at least the root");
         }
     }
 }

@@ -119,6 +119,8 @@ impl<G: Game> SearchScheme<G> for LeafParallelSearch {
             }
         }
 
+        #[cfg(feature = "invariants")]
+        tree.check_invariants();
         let (visits, probs, value) = tree.action_prior(root.action_space());
         stats.playouts = done as u64;
         stats.move_ns = move_start.elapsed().as_nanos() as u64;

@@ -66,6 +66,7 @@
 
 pub mod adaptive;
 pub mod analysis;
+pub mod arena;
 pub mod builder;
 pub mod client;
 pub mod coalesce;
@@ -84,6 +85,7 @@ pub mod speculative;
 pub mod tree;
 
 pub use adaptive::{AdaptiveSearch, Scheme};
+pub use arena::NodeState;
 pub use builder::SearchBuilder;
 pub use client::{Completion, EvalClient, Ticket};
 pub use coalesce::CoalescingEvaluator;
@@ -96,3 +98,4 @@ pub use noise::RootNoise;
 pub use result::{SearchResult, SearchScheme, SearchStats};
 pub use reuse::ReusableSearch;
 pub use speculative::SpeculativeSearch;
+pub use tree::{Tree, TreeStats};

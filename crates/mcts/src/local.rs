@@ -160,6 +160,8 @@ impl<G: Game> SearchScheme<G> for LocalTreeSearch {
 
         debug_assert_eq!(self.client.in_flight(), 0);
         debug_assert_eq!(tree.outstanding_vl(), 0);
+        #[cfg(feature = "invariants")]
+        tree.check_invariants();
         let (visits, probs, value) = tree.action_prior(root.action_space());
         stats.playouts = completed as u64;
         stats.eval_ns = self.client.eval_ns();

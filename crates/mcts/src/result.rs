@@ -22,8 +22,12 @@ pub struct SearchStats {
     /// Playout attempts aborted because the leaf was being evaluated by
     /// another in-flight playout (collisions despite virtual loss).
     pub collisions: u64,
-    /// Nodes allocated in the tree.
+    /// Live nodes in the tree at the end of the search.
     pub nodes: u64,
+    /// Nodes reclaimed onto the arena free-list since the previous search
+    /// (in-place re-rooting and capacity pruning). Always 0 for schemes
+    /// that rebuild their tree every move.
+    pub reclaimed: u64,
 }
 
 impl SearchStats {
@@ -51,7 +55,7 @@ impl SearchStats {
 }
 
 /// The outcome of one tree-based search ("one move", Algorithms 2/3).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SearchResult {
     /// Normalized root visit distribution over the full action space
     /// ("action_prior ← normalized root's children list wrt visit count").

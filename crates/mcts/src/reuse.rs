@@ -9,11 +9,20 @@
 //! that optimization on top of the single-owner tree as an opt-in wrapper —
 //! an ablation target for the benchmarks (reuse shrinks `T_select` early in
 //! the move, which shifts the shared/local crossover of §4).
+//!
+//! Re-rooting is **in place** ([`crate::tree::Tree::advance_root`]): the
+//! kept subtree stays where it is, the discarded region goes onto the
+//! arena free-list, and the next search's expansions recycle those slots.
+//! In steady state a whole search → [`ReusableSearch::advance`] → search
+//! cycle performs zero heap allocations (see
+//! `tests/alloc_steady_state.rs`), and with
+//! [`MctsConfig::max_nodes`] set the retained tree searches under a hard
+//! memory bound across the entire game.
 
 use crate::config::MctsConfig;
-use crate::evaluator::BatchEvaluator;
+use crate::evaluator::{BatchEvaluator, EvalOutput};
 use crate::result::{SearchResult, SearchScheme, SearchStats};
-use crate::tree::{SelectOutcome, Tree};
+use crate::tree::{SelectOutcome, Tree, TreeStats};
 use games::{Action, Game};
 use std::sync::Arc;
 use std::time::Instant;
@@ -30,6 +39,12 @@ pub struct ReusableSearch {
     evaluator: Arc<dyn BatchEvaluator>,
     tree: Option<Tree>,
     encode_buf: Vec<f32>,
+    /// Reusable single-slot output for the batch-path evaluation of each
+    /// leaf (keeps the steady-state search loop allocation-free).
+    eval_out: [EvalOutput; 1],
+    /// `reclaimed_total` snapshot at the end of the previous search, so
+    /// each result reports the delta.
+    reclaimed_snapshot: u64,
     /// Nodes inherited from previous moves via reuse (for diagnostics).
     pub inherited_nodes: u64,
 }
@@ -43,29 +58,45 @@ impl ReusableSearch {
             evaluator,
             tree: None,
             encode_buf: Vec::new(),
+            eval_out: [EvalOutput::default()],
+            reclaimed_snapshot: 0,
             inherited_nodes: 0,
         }
     }
 
-    /// Drop any retained tree (e.g. when starting a new game).
+    /// Drop any retained search state (e.g. when starting a new game).
+    /// The arena's memory is kept, so the next game's searches reuse it.
     pub fn reset(&mut self) {
-        self.tree = None;
+        if let Some(t) = &mut self.tree {
+            t.reset_in_place();
+        }
         self.inherited_nodes = 0;
     }
 
     /// Report that `action` was played from the state last searched (or
-    /// last advanced to). Re-roots the retained tree at the corresponding
-    /// child, or discards it if that child was never expanded.
+    /// last advanced to). Re-roots the retained tree **in place** at the
+    /// corresponding child (`O(discarded nodes)`, no allocation), or
+    /// resets it if that child was never expanded.
     pub fn advance(&mut self, action: Action) {
-        self.tree = match self.tree.take() {
-            Some(t) => t.root_child_for(action).map(|c| t.extract_subtree(c)),
-            None => None,
-        };
+        if let Some(t) = &mut self.tree {
+            t.advance_root(action);
+        }
     }
 
-    /// Nodes currently retained (0 when no tree is held).
+    /// Nodes retained for the next search (0 when nothing useful is held:
+    /// no tree, or only a bare root).
     pub fn retained_nodes(&self) -> usize {
-        self.tree.as_ref().map_or(0, Tree::len)
+        match &self.tree {
+            Some(t) if !t.is_empty() => t.len(),
+            _ => 0,
+        }
+    }
+
+    /// Arena accounting of the retained tree (live/free/high-water plus
+    /// cumulative reclaim and prune counters); `None` before the first
+    /// search.
+    pub fn tree_stats(&self) -> Option<TreeStats> {
+        self.tree.as_ref().map(Tree::stats)
     }
 
     /// Run a search from `root`, reusing any retained subtree. The caller
@@ -74,10 +105,16 @@ impl ReusableSearch {
     /// with a stale tree silently produces garbage, so prefer `reset` when
     /// in doubt.
     pub fn search<G: Game>(&mut self, root: &G) -> SearchResult {
-        self.search_impl(root)
+        let mut result = SearchResult::default();
+        self.search_into(root, &mut result);
+        result
     }
 
-    fn search_impl<G: Game>(&mut self, root: &G) -> SearchResult {
+    /// [`ReusableSearch::search`] into a caller-owned result. Once the
+    /// result's buffers have capacity (and the evaluator is itself
+    /// allocation-free, e.g. a warmed [`crate::NnEvaluator`]), a whole
+    /// search → advance → search cycle performs zero heap allocations.
+    pub fn search_into<G: Game>(&mut self, root: &G, result: &mut SearchResult) {
         let move_start = Instant::now();
         let mut tree = self.tree.take().unwrap_or_else(|| Tree::new(self.cfg));
         self.inherited_nodes = (tree.len() as u64).saturating_sub(1);
@@ -109,7 +146,9 @@ impl ReusableSearch {
                 SelectOutcome::NeedsEval => {
                     let t1 = Instant::now();
                     game.encode(&mut self.encode_buf);
-                    let o = self.evaluator.evaluate_one(&self.encode_buf);
+                    let inputs = [self.encode_buf.as_slice()];
+                    self.evaluator.evaluate_batch(&inputs, &mut self.eval_out);
+                    let o = &self.eval_out[0];
                     stats.eval_ns += t1.elapsed().as_nanos() as u64;
                     let t2 = Instant::now();
                     tree.expand_and_backup(leaf, &o.priors, o.value);
@@ -121,23 +160,24 @@ impl ReusableSearch {
             }
         }
 
-        let (visits, probs, value) = tree.action_prior(root.action_space());
+        result.value =
+            tree.action_prior_into(root.action_space(), &mut result.visits, &mut result.probs);
         stats.move_ns = move_start.elapsed().as_nanos() as u64;
         stats.nodes = tree.len() as u64;
+        let reclaimed_total = tree.stats().reclaimed_total;
+        stats.reclaimed = reclaimed_total - self.reclaimed_snapshot;
+        self.reclaimed_snapshot = reclaimed_total;
         debug_assert_eq!(tree.outstanding_vl(), 0);
+        #[cfg(feature = "invariants")]
+        tree.check_invariants();
         self.tree = Some(tree);
-        SearchResult {
-            probs,
-            visits,
-            value,
-            stats,
-        }
+        result.stats = stats;
     }
 }
 
 impl<G: Game> SearchScheme<G> for ReusableSearch {
     fn search(&mut self, root: &G) -> SearchResult {
-        self.search_impl(root)
+        ReusableSearch::search(self, root)
     }
 
     fn advance(&mut self, action: Action) {
@@ -174,6 +214,7 @@ mod tests {
         let r = s.search(&TicTacToe::new());
         assert_eq!(r.stats.playouts, 64);
         assert_eq!(s.inherited_nodes, 0);
+        assert_eq!(r.stats.reclaimed, 0, "nothing reclaimed on a cold tree");
     }
 
     #[test]
@@ -192,6 +233,12 @@ mod tests {
         let r2 = s.search(&g);
         assert!(s.inherited_nodes > 0, "second search starts warm");
         assert_eq!(r2.stats.playouts, 200);
+        assert!(
+            r2.stats.reclaimed > 0,
+            "discarded siblings reported as reclaimed"
+        );
+        let stats = s.tree_stats().unwrap();
+        assert_eq!(stats.live + stats.free, stats.high_water);
     }
 
     #[test]
@@ -201,7 +248,7 @@ mod tests {
         let r = s.search(&g);
         // Pick a legal action with zero visits if one exists. Its child
         // node exists (expansion creates all children) but is a bare,
-        // unexpanded node — the extracted subtree is a single node.
+        // unexpanded node — the re-rooted tree is a single node.
         if let Some(a) = (0..9).find(|&a| r.visits[a as usize] == 0 && g.is_legal(a)) {
             s.advance(a);
             g.apply(a);
@@ -275,6 +322,8 @@ mod tests {
         assert!(s.retained_nodes() > 0);
         s.reset();
         assert_eq!(s.retained_nodes(), 0);
+        // The arena itself survives (memory reuse across games).
+        assert!(s.tree_stats().is_some());
     }
 
     #[test]
@@ -290,5 +339,50 @@ mod tests {
         assert_eq!(r.best_action(), 2);
         // Play it, opponent replies, search again from the warm tree.
         s.advance(2);
+    }
+
+    #[test]
+    fn search_into_reuses_result_buffers() {
+        let mut s = searcher(50);
+        let mut g = TicTacToe::new();
+        let mut result = s.search(&g);
+        let cap = (result.visits.capacity(), result.probs.capacity());
+        let a = result.best_action();
+        s.advance(a);
+        g.apply(a);
+        s.search_into(&g, &mut result);
+        assert_eq!(result.stats.playouts, 50);
+        assert_eq!(
+            (result.visits.capacity(), result.probs.capacity()),
+            cap,
+            "buffers reused, not reallocated"
+        );
+        assert_eq!(result.visits.len(), 9);
+    }
+
+    #[test]
+    fn bounded_reuse_game_respects_max_nodes() {
+        let cap = 300usize;
+        let mut s = ReusableSearch::new(
+            MctsConfig {
+                playouts: 200,
+                max_nodes: Some(cap),
+                ..Default::default()
+            },
+            Arc::new(UniformEvaluator::for_game(&TicTacToe::new())),
+        );
+        let mut g = TicTacToe::new();
+        while g.status() == Status::Ongoing {
+            let r = s.search(&g);
+            let a = r.best_action();
+            s.advance(a);
+            g.apply(a);
+        }
+        let stats = s.tree_stats().unwrap();
+        assert!(
+            stats.high_water <= cap,
+            "hard bound held for the whole game: {} > {cap}",
+            stats.high_water
+        );
     }
 }

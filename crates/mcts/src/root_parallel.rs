@@ -79,6 +79,7 @@ impl<G: Game> SearchScheme<G> for RootParallelSearch {
             stats.eval_ns += r.stats.eval_ns;
             stats.collisions += r.stats.collisions;
             stats.nodes += r.stats.nodes;
+            stats.reclaimed += r.stats.reclaimed;
         }
         let total: u32 = visits.iter().sum();
         let probs = if total == 0 {

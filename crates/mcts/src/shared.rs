@@ -8,14 +8,18 @@
 //! Selection steers concurrent workers onto different paths and is
 //! released during BackUp.
 //!
-//! The tree is a **pre-allocated flat arena** of nodes (the paper stores
-//! the tree as "a dynamically allocated array of node structs" in DDR).
-//! Expansion bump-allocates a contiguous block of children with a single
-//! atomic `fetch_add`, then publishes it with a release store on the
-//! parent's phase flag; readers acquire-load the flag before touching
-//! children. All node fields are atomics, so no `&mut` access is ever
-//! needed and the arena can be shared as a plain `&[SharedNode]`.
+//! The tree is an **atomic view over the unified arena layout**
+//! ([`crate::arena::AtomicColumns`]): the same struct-of-arrays columns
+//! and contiguous `(first_child, child_count)` child ranges that back the
+//! single-owner [`crate::tree::Tree`], with every cell an atomic so the
+//! store can be shared as a plain reference across rollout threads.
+//! Expansion bump-allocates a contiguous child block with a single
+//! `fetch_add`, then publishes it with a release store on the parent's
+//! phase flag; readers acquire-load the flag before touching children.
+//! The arena is pre-sized for one move's expansion, so shared-tree
+//! searches run under a fixed memory bound by construction.
 
+use crate::arena::{phase, AtomicColumns, W_SCALE};
 use crate::coalesce::CoalescingEvaluator;
 use crate::config::{LockKind, MctsConfig, VirtualLoss};
 use crate::evaluator::{BatchEvaluator, Evaluator, SingleSample};
@@ -24,104 +28,19 @@ use crate::pool::WorkerPool;
 use crate::result::{SearchResult, SearchScheme, SearchStats};
 use games::Game;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Node lifecycle states (the `phase` flag).
-const UNEXPANDED: u8 = 0;
-const PENDING: u8 = 1;
-const EXPANDED: u8 = 2;
-const TERMINAL: u8 = 3;
-
-/// Fixed-point scale for the atomically-accumulated value sum `W`.
-const W_SCALE: f64 = 1_048_576.0; // 2^20: exact for small sums, no drift
-
 /// Sentinel index.
-const NIL: u32 = u32::MAX;
-
-/// One node of the concurrent tree. All fields are interiorly mutable so
-/// the arena is shared immutably across worker threads.
-pub struct SharedNode {
-    parent: AtomicU32,
-    action: AtomicU32,
-    prior_bits: AtomicU32,
-    /// Completed visits `N(s,a)`.
-    n: AtomicU32,
-    /// Value sum `W(s,a)` in fixed-point (units of 1/W_SCALE).
-    w_fixed: AtomicI64,
-    /// In-flight playouts (virtual-loss / unobserved count).
-    vl: AtomicU32,
-    first_child: AtomicU32,
-    child_count: AtomicU32,
-    phase: AtomicU8,
-    terminal_bits: AtomicU32,
-    /// Per-node lock used in [`LockKind::Mutex`] mode.
-    lock: Mutex<()>,
-}
-
-impl Default for SharedNode {
-    fn default() -> Self {
-        SharedNode {
-            parent: AtomicU32::new(NIL),
-            action: AtomicU32::new(0),
-            prior_bits: AtomicU32::new(0),
-            n: AtomicU32::new(0),
-            w_fixed: AtomicI64::new(0),
-            vl: AtomicU32::new(0),
-            first_child: AtomicU32::new(NIL),
-            child_count: AtomicU32::new(0),
-            phase: AtomicU8::new(UNEXPANDED),
-            terminal_bits: AtomicU32::new(0),
-            lock: Mutex::new(()),
-        }
-    }
-}
-
-impl SharedNode {
-    #[inline]
-    fn prior(&self) -> f32 {
-        f32::from_bits(self.prior_bits.load(Ordering::Relaxed))
-    }
-
-    #[inline]
-    fn w(&self) -> f64 {
-        self.w_fixed.load(Ordering::Relaxed) as f64 / W_SCALE
-    }
-
-    /// Visits including in-flight playouts.
-    #[inline]
-    fn n_eff(&self) -> u32 {
-        self.n.load(Ordering::Relaxed) + self.vl.load(Ordering::Relaxed)
-    }
-
-    /// Virtual-loss-adjusted mean value.
-    fn q(&self, vl_kind: VirtualLoss, q_init: f32) -> f32 {
-        match vl_kind {
-            VirtualLoss::Constant(c) => {
-                let n_eff = self.n_eff();
-                if n_eff == 0 {
-                    q_init
-                } else {
-                    let vl = self.vl.load(Ordering::Relaxed) as f64;
-                    ((self.w() - c as f64 * vl) / n_eff as f64) as f32
-                }
-            }
-            VirtualLoss::VisitTracking => {
-                let n = self.n.load(Ordering::Relaxed);
-                if n == 0 {
-                    q_init
-                } else {
-                    (self.w() / n as f64) as f32
-                }
-            }
-        }
-    }
-}
+const NIL: u32 = crate::arena::NIL;
 
 /// The concurrent arena tree shared by all rollout workers for one move.
 pub struct SharedTree {
-    nodes: Box<[SharedNode]>,
+    cols: AtomicColumns,
+    /// Per-node locks used in [`LockKind::Mutex`] mode (kept beside the
+    /// columns: the lock is a mutation discipline, not node data).
+    locks: Box<[Mutex<()>]>,
     next: AtomicUsize,
     cfg: MctsConfig,
     /// Collisions: playout attempts aborted on an in-flight leaf.
@@ -134,24 +53,23 @@ impl SharedTree {
     /// Allocate an arena able to hold one move's worth of expansion.
     pub fn new(cfg: MctsConfig, action_space: usize) -> Self {
         let cap = cfg.arena_capacity(action_space);
-        let mut v = Vec::with_capacity(cap);
-        v.resize_with(cap, SharedNode::default);
+        let mut locks = Vec::with_capacity(cap);
+        locks.resize_with(cap, || Mutex::new(()));
         let tree = SharedTree {
-            nodes: v.into_boxed_slice(),
+            cols: AtomicColumns::new(cap),
+            locks: locks.into_boxed_slice(),
             next: AtomicUsize::new(1), // slot 0 = root
             cfg,
             collisions: AtomicU64::new(0),
             noise_nonce: crate::noise::next_nonce(),
         };
-        tree.nodes[0]
-            .prior_bits
-            .store(1.0f32.to_bits(), Ordering::Relaxed);
+        tree.cols.prior_bits[0].store(1.0f32.to_bits(), Ordering::Relaxed);
         tree
     }
 
     /// Number of allocated nodes.
     pub fn len(&self) -> usize {
-        self.next.load(Ordering::Relaxed).min(self.nodes.len())
+        self.next.load(Ordering::Relaxed).min(self.cols.capacity())
     }
 
     /// True if nothing beyond the root has been allocated.
@@ -159,17 +77,17 @@ impl SharedTree {
         self.len() <= 1
     }
 
-    /// Node accessor (for tests/inspection).
-    pub fn node(&self, id: u32) -> &SharedNode {
-        &self.nodes[id as usize]
+    /// Completed visits of node `id` (tests/inspection).
+    pub fn visits(&self, id: u32) -> u32 {
+        self.cols.n[id as usize].load(Ordering::Relaxed)
     }
 
     fn alloc_block(&self, count: usize) -> u32 {
         let start = self.next.fetch_add(count, Ordering::Relaxed);
         assert!(
-            start + count <= self.nodes.len(),
+            start + count <= self.cols.capacity(),
             "shared-tree arena exhausted ({} nodes); raise MctsConfig::max_nodes",
-            self.nodes.len()
+            self.cols.capacity()
         );
         start as u32
     }
@@ -187,11 +105,11 @@ impl SharedTree {
         let mut game = root_game.clone();
         let mut cur: u32 = 0;
         loop {
-            match self.nodes[cur as usize].phase.load(Ordering::Acquire) {
-                EXPANDED => {
+            match self.cols.phase[cur as usize].load(Ordering::Acquire) {
+                phase::EXPANDED => {
                     let best = self.select_child(cur);
                     self.apply_vl(best);
-                    game.apply(self.nodes[best as usize].action.load(Ordering::Relaxed) as u16);
+                    game.apply(self.cols.action[best as usize].load(Ordering::Relaxed) as u16);
                     cur = best;
                     let status = game.status();
                     if status.is_terminal() {
@@ -200,25 +118,27 @@ impl SharedTree {
                         // fall through: next loop iteration sees TERMINAL
                     }
                 }
-                TERMINAL => {
+                phase::TERMINAL => {
                     let v = f32::from_bits(
-                        self.nodes[cur as usize]
-                            .terminal_bits
-                            .load(Ordering::Relaxed),
+                        self.cols.terminal_bits[cur as usize].load(Ordering::Relaxed),
                     );
                     self.backup(cur, v);
                     return true;
                 }
-                PENDING => {
+                phase::PENDING => {
                     // Another worker owns this leaf's evaluation: abort.
                     self.revert_path(cur);
                     self.collisions.fetch_add(1, Ordering::Relaxed);
                     return false;
                 }
-                UNEXPANDED => {
-                    if self.nodes[cur as usize]
-                        .phase
-                        .compare_exchange(UNEXPANDED, PENDING, Ordering::AcqRel, Ordering::Acquire)
+                phase::UNEXPANDED => {
+                    if self.cols.phase[cur as usize]
+                        .compare_exchange(
+                            phase::UNEXPANDED,
+                            phase::PENDING,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
                         .is_err()
                     {
                         continue; // lost the race; re-read the phase
@@ -238,25 +158,45 @@ impl SharedTree {
         }
     }
 
+    /// Virtual-loss-adjusted mean value of node `id`.
+    fn q(&self, id: u32) -> f32 {
+        let i = id as usize;
+        match self.cfg.virtual_loss {
+            VirtualLoss::Constant(c) => {
+                let n_eff = self.cols.n_eff(id);
+                if n_eff == 0 {
+                    self.cfg.q_init
+                } else {
+                    let vl = self.cols.vl[i].load(Ordering::Relaxed) as f64;
+                    ((self.cols.w(id) - c as f64 * vl) / n_eff as f64) as f32
+                }
+            }
+            VirtualLoss::VisitTracking => {
+                let n = self.cols.n[i].load(Ordering::Relaxed);
+                if n == 0 {
+                    self.cfg.q_init
+                } else {
+                    (self.cols.w(id) / n as f64) as f32
+                }
+            }
+        }
+    }
+
     /// UCT argmax over the children of an expanded node (Eq. 1), reading
     /// possibly-stale statistics (inherent to tree-parallel MCTS).
     fn select_child(&self, parent: u32) -> u32 {
-        let p = &self.nodes[parent as usize];
-        let first = p.first_child.load(Ordering::Relaxed);
-        let count = p.child_count.load(Ordering::Relaxed);
+        let first = self.cols.first_child[parent as usize].load(Ordering::Relaxed);
+        let count = self.cols.child_count[parent as usize].load(Ordering::Relaxed);
         debug_assert!(count > 0, "select on childless node");
         let children = first..first + count;
-        let sum_n: u32 = children
-            .clone()
-            .map(|c| self.nodes[c as usize].n_eff())
-            .sum();
+        let sum_n: u32 = children.clone().map(|c| self.cols.n_eff(c)).sum();
         let sqrt_sum = (sum_n as f32).sqrt();
         let mut best = first;
         let mut best_score = f32::NEG_INFINITY;
         for c in children {
-            let node = &self.nodes[c as usize];
-            let q = node.q(self.cfg.virtual_loss, self.cfg.q_init);
-            let u = q + self.cfg.c_puct * node.prior() * sqrt_sum / (1.0 + node.n_eff() as f32);
+            let u = self.q(c)
+                + self.cfg.c_puct * self.cols.prior(c) * sqrt_sum
+                    / (1.0 + self.cols.n_eff(c) as f32);
             if u > best_score {
                 best_score = u;
                 best = c;
@@ -268,27 +208,29 @@ impl SharedTree {
     /// Apply one unit of virtual loss to a traversed edge, honoring the
     /// configured locking discipline (Algorithm 2 lines 13-15).
     fn apply_vl(&self, id: u32) {
-        let node = &self.nodes[id as usize];
+        let vl = &self.cols.vl[id as usize];
         match self.cfg.lock_kind {
             LockKind::Mutex => {
-                let _g = node.lock.lock();
-                node.vl.fetch_add(1, Ordering::Relaxed);
+                let _g = self.locks[id as usize].lock();
+                vl.fetch_add(1, Ordering::Relaxed);
             }
             LockKind::Atomic => {
-                node.vl.fetch_add(1, Ordering::Relaxed);
+                vl.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
 
     /// First-discovery terminal marking (idempotent).
     fn mark_terminal(&self, id: u32, value: f32) {
-        let node = &self.nodes[id as usize];
-        node.terminal_bits.store(value.to_bits(), Ordering::Relaxed);
+        self.cols.terminal_bits[id as usize].store(value.to_bits(), Ordering::Relaxed);
         // 0→3 CAS; if another thread already marked it, the stored value is
         // identical (terminal values are state-deterministic).
-        let _ =
-            node.phase
-                .compare_exchange(UNEXPANDED, TERMINAL, Ordering::AcqRel, Ordering::Acquire);
+        let _ = self.cols.phase[id as usize].compare_exchange(
+            phase::UNEXPANDED,
+            phase::TERMINAL,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
     }
 
     /// Create children for a pending leaf and publish them.
@@ -313,16 +255,14 @@ impl SharedTree {
 
         let first = self.alloc_block(legal.len());
         for (i, (&a, &p)) in legal.iter().zip(&masked).enumerate() {
-            let child = &self.nodes[first as usize + i];
-            child.parent.store(leaf, Ordering::Relaxed);
-            child.action.store(a as u32, Ordering::Relaxed);
-            child.prior_bits.store(p.to_bits(), Ordering::Relaxed);
+            let c = first as usize + i;
+            self.cols.parent[c].store(leaf, Ordering::Relaxed);
+            self.cols.action[c].store(a as u32, Ordering::Relaxed);
+            self.cols.prior_bits[c].store(p.to_bits(), Ordering::Relaxed);
         }
-        let node = &self.nodes[leaf as usize];
-        node.first_child.store(first, Ordering::Relaxed);
-        node.child_count
-            .store(legal.len() as u32, Ordering::Relaxed);
-        node.phase.store(EXPANDED, Ordering::Release);
+        self.cols.first_child[leaf as usize].store(first, Ordering::Relaxed);
+        self.cols.child_count[leaf as usize].store(legal.len() as u32, Ordering::Relaxed);
+        self.cols.phase[leaf as usize].store(phase::EXPANDED, Ordering::Release);
     }
 
     /// BackUp (Algorithm 2 lines 18-20): propagate `value` (leaf player's
@@ -331,26 +271,21 @@ impl SharedTree {
         let mut cur = leaf;
         let mut signed = -(value as f64); // leaf W is the mover's view
         loop {
-            let node = &self.nodes[cur as usize];
-            let parent = node.parent.load(Ordering::Relaxed);
+            let i = cur as usize;
+            let parent = self.cols.parent[i].load(Ordering::Relaxed);
+            let update = || {
+                self.cols.n[i].fetch_add(1, Ordering::Relaxed);
+                self.cols.w_fixed[i].fetch_add((signed * W_SCALE) as i64, Ordering::Relaxed);
+                if parent != NIL {
+                    self.cols.vl[i].fetch_sub(1, Ordering::Relaxed);
+                }
+            };
             match self.cfg.lock_kind {
                 LockKind::Mutex => {
-                    let _g = node.lock.lock();
-                    node.n.fetch_add(1, Ordering::Relaxed);
-                    node.w_fixed
-                        .fetch_add((signed * W_SCALE) as i64, Ordering::Relaxed);
-                    if parent != NIL {
-                        node.vl.fetch_sub(1, Ordering::Relaxed);
-                    }
+                    let _g = self.locks[i].lock();
+                    update();
                 }
-                LockKind::Atomic => {
-                    node.n.fetch_add(1, Ordering::Relaxed);
-                    node.w_fixed
-                        .fetch_add((signed * W_SCALE) as i64, Ordering::Relaxed);
-                    if parent != NIL {
-                        node.vl.fetch_sub(1, Ordering::Relaxed);
-                    }
-                }
+                LockKind::Atomic => update(),
             }
             if parent == NIL {
                 return;
@@ -364,12 +299,12 @@ impl SharedTree {
     fn revert_path(&self, leaf: u32) {
         let mut cur = leaf;
         loop {
-            let node = &self.nodes[cur as usize];
-            let parent = node.parent.load(Ordering::Relaxed);
+            let i = cur as usize;
+            let parent = self.cols.parent[i].load(Ordering::Relaxed);
             if parent == NIL {
                 return;
             }
-            node.vl.fetch_sub(1, Ordering::Relaxed);
+            self.cols.vl[i].fetch_sub(1, Ordering::Relaxed);
             cur = parent;
         }
     }
@@ -377,14 +312,12 @@ impl SharedTree {
     /// Root statistics: visit counts, normalized distribution, root value.
     pub fn action_prior(&self, action_space: usize) -> (Vec<u32>, Vec<f32>, f32) {
         let mut visits = vec![0u32; action_space];
-        let root = &self.nodes[0];
-        if root.phase.load(Ordering::Acquire) == EXPANDED {
-            let first = root.first_child.load(Ordering::Relaxed);
-            let count = root.child_count.load(Ordering::Relaxed);
+        if self.cols.phase[0].load(Ordering::Acquire) == phase::EXPANDED {
+            let first = self.cols.first_child[0].load(Ordering::Relaxed);
+            let count = self.cols.child_count[0].load(Ordering::Relaxed);
             for c in first..first + count {
-                let node = &self.nodes[c as usize];
-                visits[node.action.load(Ordering::Relaxed) as usize] =
-                    node.n.load(Ordering::Relaxed);
+                visits[self.cols.action[c as usize].load(Ordering::Relaxed) as usize] =
+                    self.cols.n[c as usize].load(Ordering::Relaxed);
             }
         }
         let total: u32 = visits.iter().sum();
@@ -393,11 +326,11 @@ impl SharedTree {
         } else {
             visits.iter().map(|&v| v as f32 / total as f32).collect()
         };
-        let root_n = root.n.load(Ordering::Relaxed);
+        let root_n = self.cols.n[0].load(Ordering::Relaxed);
         let value = if root_n == 0 {
             0.0
         } else {
-            (-(root.w() / root_n as f64)) as f32
+            (-(self.cols.w(0) / root_n as f64)) as f32
         };
         (visits, probs, value)
     }
@@ -405,13 +338,46 @@ impl SharedTree {
     /// Sum of outstanding virtual losses (0 once all playouts complete).
     pub fn outstanding_vl(&self) -> u64 {
         (0..self.len())
-            .map(|i| self.nodes[i].vl.load(Ordering::Relaxed) as u64)
+            .map(|i| self.cols.vl[i].load(Ordering::Relaxed) as u64)
             .sum()
     }
 
     /// Collision count.
     pub fn collisions(&self) -> u64 {
         self.collisions.load(Ordering::Relaxed)
+    }
+
+    /// Post-search consistency check (the atomic-view counterpart of
+    /// [`crate::tree::Tree::check_invariants`]): all virtual losses
+    /// released, parent/child links agree, and every expanded node's
+    /// visits cover its children's. Only meaningful once no playouts are
+    /// in flight.
+    pub fn check_invariants(&self) {
+        assert_eq!(self.outstanding_vl(), 0, "dangling virtual loss");
+        for id in 0..self.len() as u32 {
+            let i = id as usize;
+            if self.cols.phase[i].load(Ordering::Acquire) != phase::EXPANDED {
+                continue;
+            }
+            let first = self.cols.first_child[i].load(Ordering::Relaxed);
+            let count = self.cols.child_count[i].load(Ordering::Relaxed);
+            assert!(count > 0, "expanded node {id} without children");
+            let mut child_sum = 0u32;
+            for c in first..first + count {
+                assert_eq!(
+                    self.cols.parent[c as usize].load(Ordering::Relaxed),
+                    id,
+                    "parent link of {c}"
+                );
+                child_sum += self.cols.n[c as usize].load(Ordering::Relaxed);
+            }
+            let n = self.cols.n[i].load(Ordering::Relaxed);
+            assert!(n >= child_sum, "node {id}: N={n} < children {child_sum}");
+            assert!(
+                n - child_sum <= 1,
+                "node {id}: more than one self-visit: N={n} children={child_sum}"
+            );
+        }
     }
 }
 
@@ -517,6 +483,8 @@ impl<G: Game> SearchScheme<G> for SharedTreeSearch {
         }
 
         debug_assert_eq!(tree.outstanding_vl(), 0);
+        #[cfg(feature = "invariants")]
+        tree.check_invariants();
         let (visits, probs, value) = tree.action_prior(root.action_space());
         let eval = eval_ns.load(Ordering::Relaxed);
         let total_worker = in_tree_ns.load(Ordering::Relaxed);
@@ -530,6 +498,7 @@ impl<G: Game> SearchScheme<G> for SharedTreeSearch {
             move_ns: move_start.elapsed().as_nanos() as u64,
             collisions: tree.collisions(),
             nodes: tree.len() as u64,
+            reclaimed: 0,
         };
         SearchResult {
             probs,
@@ -662,7 +631,9 @@ mod tests {
             assert!(tree.rollout(&g, &eval, &mut buf, &ns));
         }
         assert_eq!(tree.outstanding_vl(), 0);
+        tree.check_invariants();
         let (visits, _, _) = tree.action_prior(9);
         assert_eq!(visits.iter().sum::<u32>(), 49);
+        assert_eq!(tree.visits(0), 50);
     }
 }

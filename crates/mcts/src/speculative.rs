@@ -149,6 +149,8 @@ impl<G: Game> SearchScheme<G> for SpeculativeSearch {
         stats.move_ns = move_start.elapsed().as_nanos() as u64;
         stats.nodes = tree.len() as u64;
         debug_assert_eq!(tree.outstanding_vl(), 0);
+        #[cfg(feature = "invariants")]
+        tree.check_invariants();
         SearchResult {
             probs,
             visits,

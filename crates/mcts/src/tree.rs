@@ -1,101 +1,30 @@
-//! The single-owner search tree used by the serial baseline and by the
-//! local-tree scheme's master thread.
+//! The single-owner search tree used by the serial baseline, the
+//! local-tree scheme's master thread, and the re-rooting reuse searcher.
 //!
-//! Nodes live in a flat arena (`Vec<Node>`, `u32` indices) — the paper's
-//! "dynamically allocated array of node structs" — which keeps the whole
-//! tree compact and cache-friendly, the property the local-tree method
-//! exploits (§3.1.2). No synchronization: exactly one thread owns the tree.
+//! Nodes live in a [`crate::arena::NodeArena`] — a struct-of-arrays store
+//! with contiguous child ranges and a block free-list (see the arena
+//! module docs for the layout). No synchronization: exactly one thread
+//! owns the tree. The same layout, with atomic cells, backs the
+//! shared-tree scheme, so every scheme searches over one node store
+//! design.
 //!
 //! Each node doubles as the edge from its parent (storing `prior`, `N`,
 //! `W`), following the AlphaZero formulation where statistics live on
 //! edges. `W` is accumulated from the perspective of the player who *moved
 //! into* the node, so `Q(s,a) = W(child)/N(child)` is directly the expected
 //! reward for the player choosing `a` at `s`.
+//!
+//! Claiming a leaf for evaluation pre-allocates its child block and writes
+//! the legal actions into it, so expansion needs no game replay and the
+//! steady-state search loop performs no heap allocation: selection,
+//! claiming, expansion, backup and [`Tree::advance_root`] all run on
+//! recycled arena slots and reused scratch buffers.
 
+use crate::arena::{ArenaStats, NodeArena};
 use crate::config::{MctsConfig, VirtualLoss};
 use games::{Action, Game, Status};
 
-/// Sentinel "no node" index.
-pub const NIL: u32 = u32::MAX;
-
-/// Expansion state of a node.
-#[derive(Debug, Clone, PartialEq)]
-pub enum NodeState {
-    /// Never evaluated; children unknown.
-    Unexpanded,
-    /// Claimed by an in-flight evaluation (local scheme). Holds the legal
-    /// actions captured at claim time so expansion needs no game replay.
-    Pending(Vec<Action>),
-    /// Children created; selection may descend.
-    Expanded,
-    /// Game over at this node; the payload is the terminal value from the
-    /// perspective of the player to move at this node.
-    Terminal(f32),
-}
-
-/// One tree node / incoming edge.
-#[derive(Debug, Clone)]
-pub struct Node {
-    /// Parent index (`NIL` for the root).
-    pub parent: u32,
-    /// Action taken at the parent to reach this node.
-    pub action: Action,
-    /// DNN prior probability `P(s,a)` of that action.
-    pub prior: f32,
-    /// Completed visits `N`.
-    pub n: u32,
-    /// Accumulated value `W` (perspective of the player who moved here).
-    pub w: f64,
-    /// In-flight playouts through this node (virtual-loss count /
-    /// WU-UCT's unobserved count `O`).
-    pub vl: u32,
-    /// Child indices (empty unless `Expanded`).
-    pub children: Vec<u32>,
-    /// Expansion state.
-    pub state: NodeState,
-}
-
-impl Node {
-    fn new(parent: u32, action: Action, prior: f32) -> Self {
-        Node {
-            parent,
-            action,
-            prior,
-            n: 0,
-            w: 0.0,
-            vl: 0,
-            children: Vec::new(),
-            state: NodeState::Unexpanded,
-        }
-    }
-
-    /// Mean action value `Q` adjusted for virtual loss.
-    fn q(&self, vl_kind: VirtualLoss, q_init: f32) -> f32 {
-        match vl_kind {
-            VirtualLoss::Constant(c) => {
-                let n_eff = self.n + self.vl;
-                if n_eff == 0 {
-                    q_init
-                } else {
-                    ((self.w - c as f64 * self.vl as f64) / n_eff as f64) as f32
-                }
-            }
-            VirtualLoss::VisitTracking => {
-                if self.n == 0 {
-                    q_init
-                } else {
-                    (self.w / self.n as f64) as f32
-                }
-            }
-        }
-    }
-
-    /// Effective visit count (real + in-flight) used in the UCT terms.
-    #[inline]
-    fn n_eff(&self) -> u32 {
-        self.n + self.vl
-    }
-}
+pub use crate::arena::{NodeState, NIL};
 
 /// What [`Tree::select`] found at the end of the traversed path.
 #[derive(Debug, PartialEq)]
@@ -111,115 +40,304 @@ pub enum SelectOutcome {
     Busy,
 }
 
-/// Single-owner MCTS tree.
+/// Node accounting of a [`Tree`] (see [`Tree::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TreeStats {
+    /// Nodes currently part of the tree.
+    pub live: usize,
+    /// Free-list slots awaiting reuse.
+    pub free: usize,
+    /// Slots currently backing the arena columns (`live + free`) — the
+    /// memory footprint of this tree's lifetime since its last
+    /// [`Tree::reset_in_place`] (a reset truncates the count but keeps
+    /// the columns' reserved capacity for reuse).
+    pub high_water: usize,
+    /// Cumulative nodes reclaimed onto the free-list by re-rooting,
+    /// capacity pruning and in-place resets over this tree's lifetime.
+    pub reclaimed_total: u64,
+    /// Cumulative nodes discarded by capacity pruning (subset of
+    /// `reclaimed_total`).
+    pub pruned: u64,
+}
+
+/// Single-owner MCTS tree over the shared arena layout.
 pub struct Tree {
-    nodes: Vec<Node>,
+    a: NodeArena,
     cfg: MctsConfig,
-    /// Per-tree nonce mixed into the root-noise seed (one tree per move).
+    /// Current root node id (0 for a fresh tree; re-rooting moves it).
+    root: u32,
+    /// Per-tree nonce mixed into the root-noise seed (refreshed on
+    /// re-root: one logical tree per move).
     noise_nonce: u64,
+    /// Cumulative nodes reclaimed (re-root + prune + reset).
+    reclaimed_total: u64,
+    /// Cumulative nodes discarded by capacity pruning.
+    pruned_nodes: u64,
+    /// Running total of outstanding virtual losses (kept in sync by
+    /// select/backup/revert so the between-moves check is O(1); the
+    /// column scan in [`Tree::outstanding_vl`] stays authoritative and
+    /// [`Tree::check_invariants`] pins the two together).
+    vl_outstanding: u64,
+    /// Scratch: legal actions captured at claim time.
+    legal_scratch: Vec<Action>,
+    /// Scratch: masked/normalized priors during expansion.
+    priors_scratch: Vec<f32>,
+    /// Scratch: DFS stack for reclaiming walks.
+    walk_stack: Vec<u32>,
+    /// Scratch: (node, depth) stack for pruning/invariant walks.
+    depth_stack: Vec<(u32, u32)>,
 }
 
 impl Tree {
-    /// Fresh tree containing only an unexpanded root.
+    /// Fresh tree containing only an unexpanded root. With
+    /// [`MctsConfig::max_nodes`] set, the arena never exceeds that many
+    /// slots (expansion prunes the deepest fringe subtree when full).
     pub fn new(cfg: MctsConfig) -> Self {
-        let mut nodes = Vec::with_capacity(1024.min(cfg.arena_capacity(64)));
-        nodes.push(Node::new(NIL, 0, 1.0));
+        let mut a = NodeArena::new(1024, cfg.max_nodes);
+        let root = a
+            .alloc_block(1)
+            .expect("max_nodes must allow at least the root");
+        debug_assert_eq!(root, 0);
+        a.prior[0] = 1.0;
         Tree {
-            nodes,
+            a,
             cfg,
+            root: 0,
             noise_nonce: crate::noise::next_nonce(),
+            reclaimed_total: 0,
+            pruned_nodes: 0,
+            vl_outstanding: 0,
+            legal_scratch: Vec::new(),
+            priors_scratch: Vec::new(),
+            walk_stack: Vec::new(),
+            depth_stack: Vec::new(),
         }
     }
 
-    /// Root index (always 0).
+    /// Current root index (0 until the first in-place re-root).
     #[inline]
     pub fn root(&self) -> u32 {
-        0
+        self.root
     }
 
-    /// Number of allocated nodes.
+    /// Number of live nodes.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.a.live()
     }
 
     /// True if only the root exists.
     pub fn is_empty(&self) -> bool {
-        self.nodes.len() <= 1
+        self.len() <= 1
     }
 
-    /// Immutable node access.
-    pub fn node(&self, id: u32) -> &Node {
-        &self.nodes[id as usize]
+    /// Node accounting: live/free/high-water plus cumulative reclaim and
+    /// prune counters.
+    pub fn stats(&self) -> TreeStats {
+        let ArenaStats {
+            live,
+            free,
+            high_water,
+        } = self.a.stats();
+        TreeStats {
+            live,
+            free,
+            high_water,
+            reclaimed_total: self.reclaimed_total,
+            pruned: self.pruned_nodes,
+        }
     }
+
+    // -- column accessors ---------------------------------------------------
+
+    /// Parent index (`NIL` for the root).
+    #[inline]
+    pub fn parent(&self, id: u32) -> u32 {
+        self.a.parent[id as usize]
+    }
+
+    /// Action taken at the parent to reach `id`.
+    #[inline]
+    pub fn action(&self, id: u32) -> Action {
+        self.a.action[id as usize]
+    }
+
+    /// DNN prior probability `P(s,a)` of that action.
+    #[inline]
+    pub fn prior(&self, id: u32) -> f32 {
+        self.a.prior[id as usize]
+    }
+
+    /// Completed visits `N`.
+    #[inline]
+    pub fn n(&self, id: u32) -> u32 {
+        self.a.n[id as usize]
+    }
+
+    /// Accumulated value `W` (perspective of the player who moved here).
+    #[inline]
+    pub fn w(&self, id: u32) -> f64 {
+        self.a.w[id as usize]
+    }
+
+    /// In-flight playouts through `id` (virtual-loss count).
+    #[inline]
+    pub fn vl(&self, id: u32) -> u32 {
+        self.a.vl[id as usize]
+    }
+
+    /// Expansion state.
+    #[inline]
+    pub fn state(&self, id: u32) -> NodeState {
+        self.a.state[id as usize]
+    }
+
+    /// The contiguous child id range of `id` (empty when unexpanded or
+    /// terminal; present from claim time for pending nodes).
+    #[inline]
+    pub fn children(&self, id: u32) -> std::ops::Range<u32> {
+        let first = self.a.first_child[id as usize];
+        let count = self.a.child_count[id as usize];
+        if count == 0 {
+            0..0
+        } else {
+            first..first + count
+        }
+    }
+
+    /// Mean action value `Q` of `id` adjusted for virtual loss.
+    fn q(&self, id: u32) -> f32 {
+        let i = id as usize;
+        match self.cfg.virtual_loss {
+            VirtualLoss::Constant(c) => {
+                let n_eff = self.a.n[i] + self.a.vl[i];
+                if n_eff == 0 {
+                    self.cfg.q_init
+                } else {
+                    ((self.a.w[i] - c as f64 * self.a.vl[i] as f64) / n_eff as f64) as f32
+                }
+            }
+            VirtualLoss::VisitTracking => {
+                if self.a.n[i] == 0 {
+                    self.cfg.q_init
+                } else {
+                    (self.a.w[i] / self.a.n[i] as f64) as f32
+                }
+            }
+        }
+    }
+
+    /// Effective visit count (real + in-flight) used in the UCT terms.
+    #[inline]
+    fn n_eff(&self, id: u32) -> u32 {
+        self.a.n[id as usize] + self.a.vl[id as usize]
+    }
+
+    // -- search -------------------------------------------------------------
 
     /// Traverse from the root following UCT (Eq. 1), applying virtual loss
     /// to every edge stepped through, and advancing `game` along the path.
     ///
     /// Returns the reached leaf and what to do with it. On
-    /// `SelectOutcome::NeedsEval` the leaf has been marked
-    /// [`NodeState::Pending`] and `game` is positioned at the leaf's state.
+    /// [`SelectOutcome::NeedsEval`] the leaf has been marked
+    /// [`NodeState::Pending`], its child block pre-allocated with the
+    /// legal actions, and `game` is positioned at the leaf's state.
     pub fn select<G: Game>(&mut self, game: &mut G) -> (u32, SelectOutcome) {
-        let mut cur = self.root();
+        let mut cur = self.root;
         loop {
-            match &self.nodes[cur as usize].state {
+            match self.a.state[cur as usize] {
                 NodeState::Terminal(v) => {
-                    let v = *v;
                     self.backup(cur, v);
                     return (cur, SelectOutcome::TerminalBackedUp);
                 }
-                NodeState::Pending(_) => {
+                NodeState::Pending => {
                     self.revert_path(cur);
                     return (cur, SelectOutcome::Busy);
                 }
                 NodeState::Unexpanded => {
-                    // Claim for evaluation, remembering the legal actions.
-                    let mut legal = Vec::new();
+                    // Claim for evaluation: pre-allocate the child block
+                    // and record the legal actions in it.
+                    let mut legal = std::mem::take(&mut self.legal_scratch);
+                    legal.clear();
                     game.legal_actions_into(&mut legal);
                     debug_assert!(!legal.is_empty(), "ongoing state with no moves");
-                    self.nodes[cur as usize].state = NodeState::Pending(legal);
+                    self.claim_children(cur, &legal);
+                    self.legal_scratch = legal;
                     return (cur, SelectOutcome::NeedsEval);
                 }
                 NodeState::Expanded => {
                     let best = self.select_child(cur);
-                    self.nodes[best as usize].vl += 1;
-                    let action = self.nodes[best as usize].action;
-                    game.apply(action);
+                    self.a.vl[best as usize] += 1;
+                    self.vl_outstanding += 1;
+                    game.apply(self.a.action[best as usize]);
                     cur = best;
                     // First arrival at a terminal state: freeze its value.
                     let status = game.status();
-                    if status.is_terminal()
-                        && matches!(self.nodes[cur as usize].state, NodeState::Unexpanded)
-                    {
+                    if status.is_terminal() && self.a.state[cur as usize] == NodeState::Unexpanded {
                         let v = terminal_value(status, game);
-                        self.nodes[cur as usize].state = NodeState::Terminal(v);
+                        self.a.state[cur as usize] = NodeState::Terminal(v);
                     }
                 }
+                NodeState::Free => unreachable!("selection reached a free slot"),
             }
         }
     }
 
     /// Pick the child of `parent` maximizing the UCT score (Eq. 1).
     fn select_child(&self, parent: u32) -> u32 {
-        let p = &self.nodes[parent as usize];
-        debug_assert!(!p.children.is_empty(), "select on childless node");
-        let sum_n: u32 = p
-            .children
-            .iter()
-            .map(|&c| self.nodes[c as usize].n_eff())
-            .sum();
+        let children = self.children(parent);
+        debug_assert!(!children.is_empty(), "select on childless node");
+        let sum_n: u32 = children.clone().map(|c| self.n_eff(c)).sum();
         let sqrt_sum = (sum_n as f32).sqrt();
-        let mut best = p.children[0];
+        let mut best = children.start;
         let mut best_score = f32::NEG_INFINITY;
-        for &cid in &p.children {
-            let c = &self.nodes[cid as usize];
-            let q = c.q(self.cfg.virtual_loss, self.cfg.q_init);
-            let u = q + self.cfg.c_puct * c.prior * sqrt_sum / (1.0 + c.n_eff() as f32);
+        for c in children {
+            let u = self.q(c)
+                + self.cfg.c_puct * self.a.prior[c as usize] * sqrt_sum
+                    / (1.0 + self.n_eff(c) as f32);
             if u > best_score {
                 best_score = u;
-                best = cid;
+                best = c;
             }
         }
         best
+    }
+
+    /// Allocate the child block for a claimed leaf. At the capacity
+    /// bound, escalate: defragment the free-list (coalesce adjacent
+    /// ranges), then prune the deepest fringe subtree, until the block
+    /// fits.
+    fn claim_children(&mut self, leaf: u32, legal: &[Action]) {
+        let count = legal.len();
+        let mut coalesced = false;
+        let first = loop {
+            match self.a.alloc_block(count) {
+                Some(first) => break first,
+                // Fragments may sum to a fitting range even when no single
+                // one serves the request; merging them is far cheaper than
+                // discarding live statistics — so coalesce before every
+                // prune (each prune creates fresh mergeable neighbors).
+                None if !coalesced => {
+                    self.a.coalesce();
+                    coalesced = true;
+                }
+                None => {
+                    assert!(
+                        self.prune_deepest(),
+                        "arena at max_nodes ({}) with nothing prunable; raise the bound",
+                        self.a.capacity_bound()
+                    );
+                    coalesced = false;
+                }
+            }
+        };
+        for (i, &a) in legal.iter().enumerate() {
+            let id = first as usize + i;
+            self.a.parent[id] = leaf;
+            self.a.action[id] = a;
+        }
+        self.a.first_child[leaf as usize] = first;
+        self.a.child_count[leaf as usize] = count as u32;
+        self.a.state[leaf as usize] = NodeState::Pending;
     }
 
     /// Expand a pending leaf with DNN priors (masked to the legal actions
@@ -228,16 +346,19 @@ impl Tree {
     /// `value` is from the perspective of the player to move at the leaf —
     /// the evaluator's output convention.
     pub fn expand_and_backup(&mut self, leaf: u32, priors: &[f32], value: f32) {
-        let legal =
-            match std::mem::replace(&mut self.nodes[leaf as usize].state, NodeState::Expanded) {
-                NodeState::Pending(legal) => legal,
-                other => panic!("expand_and_backup on non-pending node ({other:?})"),
-            };
-        debug_assert!(!legal.is_empty());
+        assert!(
+            self.a.state[leaf as usize] == NodeState::Pending,
+            "expand_and_backup on non-pending node ({:?})",
+            self.a.state[leaf as usize]
+        );
+        let children = self.children(leaf);
+        debug_assert!(!children.is_empty());
+        let (lo, hi) = (children.start as usize, children.end as usize);
 
-        let mut masked = mask_and_normalize(priors, &legal);
+        let mut masked = std::mem::take(&mut self.priors_scratch);
+        mask_and_normalize_into(priors, &self.a.action[lo..hi], &mut masked);
         // AlphaZero self-play: mix Dirichlet noise into the ROOT priors.
-        if leaf == self.root() {
+        if leaf == self.root {
             if let Some(noise) = self.cfg.root_noise {
                 use rand::SeedableRng;
                 let mut rng = rand::rngs::StdRng::seed_from_u64(
@@ -246,13 +367,9 @@ impl Tree {
                 crate::noise::mix_noise(&mut rng, &noise, &mut masked);
             }
         }
-        let mut children = Vec::with_capacity(legal.len());
-        for (&a, &p) in legal.iter().zip(&masked) {
-            let id = self.nodes.len() as u32;
-            self.nodes.push(Node::new(leaf, a, p));
-            children.push(id);
-        }
-        self.nodes[leaf as usize].children = children;
+        self.a.prior[lo..hi].copy_from_slice(&masked);
+        self.priors_scratch = masked;
+        self.a.state[leaf as usize] = NodeState::Expanded;
         self.backup(leaf, value);
     }
 
@@ -265,15 +382,16 @@ impl Tree {
         // so the leaf itself receives -value.
         let mut sign = -1.0f64;
         loop {
-            let node = &mut self.nodes[cur as usize];
-            node.n += 1;
-            node.w += sign * value as f64;
-            if node.parent == NIL {
+            let i = cur as usize;
+            self.a.n[i] += 1;
+            self.a.w[i] += sign * value as f64;
+            if self.a.parent[i] == NIL {
                 break;
             }
-            debug_assert!(node.vl > 0, "backup without matching virtual loss");
-            node.vl = node.vl.saturating_sub(1);
-            cur = node.parent;
+            debug_assert!(self.a.vl[i] > 0, "backup without matching virtual loss");
+            self.a.vl[i] = self.a.vl[i].saturating_sub(1);
+            self.vl_outstanding = self.vl_outstanding.saturating_sub(1);
+            cur = self.a.parent[i];
             sign = -sign;
         }
     }
@@ -282,95 +400,268 @@ impl Tree {
     /// (used when a playout attempt is aborted).
     pub fn revert_path(&mut self, leaf: u32) {
         let mut cur = leaf;
-        while self.nodes[cur as usize].parent != NIL {
-            let node = &mut self.nodes[cur as usize];
-            debug_assert!(node.vl > 0, "revert without matching virtual loss");
-            node.vl = node.vl.saturating_sub(1);
-            cur = node.parent;
+        while self.a.parent[cur as usize] != NIL {
+            let i = cur as usize;
+            debug_assert!(self.a.vl[i] > 0, "revert without matching virtual loss");
+            self.a.vl[i] = self.a.vl[i].saturating_sub(1);
+            self.vl_outstanding = self.vl_outstanding.saturating_sub(1);
+            cur = self.a.parent[i];
         }
     }
 
     /// Root visit counts over the full action space plus the normalized
     /// distribution and the root value estimate (current player's view).
     pub fn action_prior(&self, action_space: usize) -> (Vec<u32>, Vec<f32>, f32) {
-        let mut visits = vec![0u32; action_space];
-        let root = &self.nodes[0];
-        for &cid in &root.children {
-            let c = &self.nodes[cid as usize];
-            visits[c.action as usize] = c.n;
+        let mut visits = Vec::new();
+        let mut probs = Vec::new();
+        let value = self.action_prior_into(action_space, &mut visits, &mut probs);
+        (visits, probs, value)
+    }
+
+    /// [`Tree::action_prior`] into caller-owned buffers (no allocation
+    /// once the buffers have capacity). Returns the root value estimate.
+    pub fn action_prior_into(
+        &self,
+        action_space: usize,
+        visits: &mut Vec<u32>,
+        probs: &mut Vec<f32>,
+    ) -> f32 {
+        visits.clear();
+        visits.resize(action_space, 0);
+        if self.a.state[self.root as usize] == NodeState::Expanded {
+            for c in self.children(self.root) {
+                visits[self.a.action[c as usize] as usize] = self.a.n[c as usize];
+            }
         }
         let total: u32 = visits.iter().sum();
-        let probs = if total == 0 {
-            vec![0.0; action_space]
+        probs.clear();
+        if total == 0 {
+            probs.resize(action_space, 0.0);
         } else {
-            visits.iter().map(|&v| v as f32 / total as f32).collect()
-        };
-        let value = if root.n == 0 {
+            probs.extend(visits.iter().map(|&v| v as f32 / total as f32));
+        }
+        let root_n = self.a.n[self.root as usize];
+        if root_n == 0 {
             0.0
         } else {
-            (-(root.w / root.n as f64)) as f32
-        };
-        (visits, probs, value)
+            (-(self.a.w[self.root as usize] / root_n as f64)) as f32
+        }
     }
 
     /// Find the root child reached by `action`, if the root is expanded and
     /// the action was explored.
     pub fn root_child_for(&self, action: Action) -> Option<u32> {
-        self.nodes[0]
-            .children
-            .iter()
-            .copied()
-            .find(|&c| self.nodes[c as usize].action == action)
+        if self.a.state[self.root as usize] != NodeState::Expanded {
+            return None;
+        }
+        self.children(self.root)
+            .find(|&c| self.a.action[c as usize] == action)
+    }
+
+    // -- re-rooting ---------------------------------------------------------
+
+    /// Re-root the tree **in place** at the child reached by `action`:
+    /// mark nothing, move nothing — walk the discarded region (everything
+    /// outside the kept child's subtree) exactly once and return its slots
+    /// to the free-list. Kept node ids stay stable; the whole operation is
+    /// `O(discarded nodes)` and allocation-free in steady state.
+    ///
+    /// If the root is unexpanded or the action's child holds no subtree
+    /// worth keeping, the tree resets in place instead (same arena, bare
+    /// root). Returns `true` when a subtree was kept.
+    ///
+    /// Must be called between moves: panics if any virtual loss is
+    /// outstanding (re-rooting under in-flight playouts would freeze
+    /// their unreleased losses into the kept subtree and silently skew
+    /// every later Q value).
+    pub fn advance_root(&mut self, action: Action) -> bool {
+        // O(1) thanks to the running counter, so the O(discarded) re-root
+        // cost holds even with the guard always on.
+        assert_eq!(self.vl_outstanding, 0, "advance with in-flight playouts");
+        match self.root_child_for(action) {
+            Some(keep) => {
+                let old = self.root;
+                let freed = self.free_subtree_except(old, keep);
+                self.reclaimed_total += freed;
+                self.a.parent[keep as usize] = NIL;
+                self.a.action[keep as usize] = 0;
+                self.a.prior[keep as usize] = 1.0;
+                self.root = keep;
+                // Refresh the noise nonce so a re-rooted root that is
+                // still unexpanded draws fresh noise when it expands.
+                // (A reused root that is already expanded keeps its mixed
+                // priors — same policy as the old copy-based re-root.)
+                self.noise_nonce = crate::noise::next_nonce();
+                true
+            }
+            None => {
+                self.reset_in_place();
+                false
+            }
+        }
+    }
+
+    /// Drop every node but keep the arena's memory: the next search grows
+    /// into already-reserved columns (no heap allocation up to the
+    /// previous high-water mark).
+    pub fn reset_in_place(&mut self) {
+        debug_assert_eq!(self.vl_outstanding, 0, "reset with in-flight playouts");
+        self.vl_outstanding = 0;
+        self.reclaimed_total += self.a.live() as u64;
+        self.a.clear();
+        let root = self.a.alloc_block(1).expect("cleared arena fits a root");
+        debug_assert_eq!(root, 0);
+        self.a.prior[0] = 1.0;
+        self.root = 0;
+        self.noise_nonce = crate::noise::next_nonce();
+    }
+
+    /// Free the subtree of `top` except the subtree of `keep` (which must
+    /// lie inside it). Visits each discarded node exactly once: the walk
+    /// descends from `top` but never enters `keep`. Returns the number of
+    /// slots freed.
+    fn free_subtree_except(&mut self, top: u32, keep: u32) -> u64 {
+        let mut stack = std::mem::take(&mut self.walk_stack);
+        stack.clear();
+        stack.push(top);
+        let mut freed = 0u64;
+        while let Some(id) = stack.pop() {
+            if id == keep {
+                continue; // kept subtree: neither freed nor descended into
+            }
+            let first = self.a.first_child[id as usize];
+            let count = self.a.child_count[id as usize];
+            if count > 0 {
+                let (lo, hi) = (first, first + count);
+                if (lo..hi).contains(&keep) {
+                    // The kept child shares this block with its siblings:
+                    // free the ranges on either side of it.
+                    self.a.free_range(lo, keep - lo);
+                    self.a.free_range(keep + 1, hi - keep - 1);
+                    freed += count as u64 - 1;
+                } else {
+                    self.a.free_range(lo, count);
+                    freed += count as u64;
+                }
+                // Descend after freeing: only the state column is stamped,
+                // child ranges stay readable until the slots are reused.
+                stack.extend(lo..hi);
+            }
+        }
+        // `top`'s own slot belongs to no freed block (its old parent block
+        // is outside the walk).
+        self.a.free_range(top, 1);
+        freed += 1;
+        self.walk_stack = stack;
+        freed
+    }
+
+    /// Prune the deepest fringe subtree: the expanded node farthest from
+    /// the root all of whose children are leaves (and nothing in flight
+    /// through it) loses its child block and reverts to
+    /// [`NodeState::Unexpanded`], keeping its visit statistics. Returns
+    /// `false` when no candidate exists.
+    ///
+    /// Each call walks the live tree (`O(live)`): capacity pruning is a
+    /// memory backstop, not a steady-state mode — a bound sized well
+    /// below the search's natural tree turns every expansion into a
+    /// prune-and-rewalk (see the bound-sizing note on
+    /// [`MctsConfig::max_nodes`]).
+    fn prune_deepest(&mut self) -> bool {
+        let mut stack = std::mem::take(&mut self.depth_stack);
+        stack.clear();
+        stack.push((self.root, 0));
+        let mut best: Option<(u32, u32)> = None;
+        while let Some((id, d)) = stack.pop() {
+            let children = self.children(id);
+            if children.is_empty() {
+                continue;
+            }
+            let mut fringe = true;
+            for c in children.clone() {
+                if self.a.child_count[c as usize] > 0 {
+                    fringe = false;
+                    stack.push((c, d + 1));
+                } else if self.a.vl[c as usize] > 0 {
+                    // An in-flight selection path ends at this child
+                    // (e.g. the very claim that triggered the prune).
+                    fringe = false;
+                }
+            }
+            if fringe
+                && id != self.root
+                && self.a.state[id as usize] == NodeState::Expanded
+                && self.a.vl[id as usize] == 0
+                && best.is_none_or(|(_, bd)| d > bd)
+            {
+                best = Some((id, d));
+            }
+        }
+        self.depth_stack = stack;
+        let Some((id, _)) = best else {
+            return false;
+        };
+        let children = self.children(id);
+        let count = children.len() as u64;
+        self.a.free_range(children.start, children.len() as u32);
+        self.a.first_child[id as usize] = NIL;
+        self.a.child_count[id as usize] = 0;
+        self.a.state[id as usize] = NodeState::Unexpanded;
+        self.pruned_nodes += count;
+        self.reclaimed_total += count;
+        true
     }
 
     /// Copy the subtree rooted at `new_root` into a fresh arena, making it
     /// the root. Statistics (`N`, `W`, priors, expansion state) are
     /// preserved; the new root's edge data is reset (it no longer has a
-    /// parent). Used for tree reuse across moves: after playing action `a`,
-    /// the child's subtree becomes the next search's starting tree.
+    /// parent).
+    ///
+    /// This is the **copy-based re-rooting reference**, superseded by the
+    /// in-place [`Tree::advance_root`] on the hot path and retained as the
+    /// independent oracle for the differential re-root proptest
+    /// (`tests/proptest_reroot.rs`).
     ///
     /// Must be called between moves: panics if any virtual loss is
     /// outstanding inside the subtree.
     pub fn extract_subtree(&self, new_root: u32) -> Tree {
         let mut out = Tree::new(self.cfg);
-        // Map old index → new index; BFS copy keeps parents before children.
-        let mut map = std::collections::HashMap::new();
-        map.insert(new_root, 0u32);
-        let src_root = &self.nodes[new_root as usize];
-        assert_eq!(src_root.vl, 0, "extract_subtree with in-flight playouts");
-        out.nodes[0] = Node {
-            parent: NIL,
-            action: 0,
-            prior: 1.0,
-            n: src_root.n,
-            w: src_root.w,
-            vl: 0,
-            children: Vec::new(), // fixed up below
-            state: src_root.state.clone(),
-        };
-        let mut queue = std::collections::VecDeque::from([new_root]);
-        while let Some(old_id) = queue.pop_front() {
-            let new_id = map[&old_id];
-            let mut new_children = Vec::with_capacity(self.nodes[old_id as usize].children.len());
-            for &old_child in &self.nodes[old_id as usize].children {
-                let c = &self.nodes[old_child as usize];
-                assert_eq!(c.vl, 0, "extract_subtree with in-flight playouts");
-                let new_child = out.nodes.len() as u32;
-                out.nodes.push(Node {
-                    parent: new_id,
-                    action: c.action,
-                    prior: c.prior,
-                    n: c.n,
-                    w: c.w,
-                    vl: 0,
-                    children: Vec::new(),
-                    state: c.state.clone(),
-                });
-                map.insert(old_child, new_child);
-                new_children.push(new_child);
-                queue.push_back(old_child);
+        assert_eq!(
+            self.a.vl[new_root as usize], 0,
+            "extract_subtree with in-flight playouts"
+        );
+        out.a.n[0] = self.a.n[new_root as usize];
+        out.a.w[0] = self.a.w[new_root as usize];
+        out.a.state[0] = self.a.state[new_root as usize];
+        // BFS copy: parents before children, block by block.
+        let mut queue = std::collections::VecDeque::from([(new_root, 0u32)]);
+        while let Some((old, new)) = queue.pop_front() {
+            let children = self.children(old);
+            if children.is_empty() {
+                continue;
             }
-            out.nodes[new_id as usize].children = new_children;
+            let count = children.len();
+            let first = out
+                .a
+                .alloc_block(count)
+                .expect("copy target within capacity");
+            out.a.first_child[new as usize] = first;
+            out.a.child_count[new as usize] = count as u32;
+            for (i, oc) in children.enumerate() {
+                assert_eq!(
+                    self.a.vl[oc as usize], 0,
+                    "extract_subtree with in-flight playouts"
+                );
+                let nc = first + i as u32;
+                let (o, n) = (oc as usize, nc as usize);
+                out.a.parent[n] = new;
+                out.a.action[n] = self.a.action[o];
+                out.a.prior[n] = self.a.prior[o];
+                out.a.n[n] = self.a.n[o];
+                out.a.w[n] = self.a.w[o];
+                out.a.state[n] = self.a.state[o];
+                queue.push_back((oc, nc));
+            }
         }
         out
     }
@@ -381,28 +672,24 @@ impl Tree {
     /// counts. Used by speculative search to correct a node first expanded
     /// with a cheap model once the main model's evaluation arrives.
     pub fn correct_expansion(&mut self, node: u32, masked: &[f32], dv: f32) {
+        let children = self.children(node);
         assert_eq!(
-            self.nodes[node as usize].children.len(),
+            children.len(),
             masked.len(),
             "corrected priors must cover every child"
         );
-        // Index-based walk: cloning the child vector here put a heap
-        // allocation on every speculative correction.
-        for (i, &p) in masked.iter().enumerate() {
-            let cid = self.nodes[node as usize].children[i];
-            self.nodes[cid as usize].prior = p;
-        }
+        self.a.prior[children.start as usize..children.end as usize].copy_from_slice(masked);
         // Same sign convention as `backup`: the node's own W is from the
         // perspective of the player who moved into it.
         let mut cur = node;
         let mut sign = -1.0f64;
         loop {
-            let n = &mut self.nodes[cur as usize];
-            n.w += sign * dv as f64;
-            if n.parent == NIL {
+            let i = cur as usize;
+            self.a.w[i] += sign * dv as f64;
+            if self.a.parent[i] == NIL {
                 break;
             }
-            cur = n.parent;
+            cur = self.a.parent[i];
             sign = -sign;
         }
     }
@@ -410,50 +697,75 @@ impl Tree {
     /// Legal actions captured when `node` was claimed/expanded, in child
     /// order (empty for unexpanded nodes).
     pub fn child_actions(&self, node: u32) -> Vec<Action> {
-        self.nodes[node as usize]
-            .children
-            .iter()
-            .map(|&c| self.nodes[c as usize].action)
+        self.children(node)
+            .map(|c| self.a.action[c as usize])
             .collect()
     }
 
     /// Sum of outstanding virtual losses (0 when no playouts in flight).
     pub fn outstanding_vl(&self) -> u64 {
-        self.nodes.iter().map(|n| n.vl as u64).sum()
+        self.a
+            .vl
+            .iter()
+            .zip(&self.a.state)
+            .filter(|(_, s)| !matches!(s, NodeState::Free))
+            .map(|(&v, _)| v as u64)
+            .sum()
     }
 
-    /// Consistency check used by tests: for every expanded node,
-    /// `N(node) == Σ N(children) + (playouts that ended at node)` and all
-    /// virtual losses are released.
-    #[doc(hidden)]
+    /// Consistency check: walks the tree from the root and asserts the
+    /// structural invariants — every live node is reachable exactly once
+    /// (free-list accounting matches), child/parent links agree, no slot
+    /// on a path is free, all virtual losses are released, and for every
+    /// expanded node `N(node) == Σ N(children) + (visits that ended
+    /// here)`. Capacity pruning re-expands nodes and legitimately breaks
+    /// the "at most one self-visit" half of the visit identity, so that
+    /// part is skipped once pruning has occurred.
+    ///
+    /// Always compiled; the `invariants` cargo feature additionally runs
+    /// it at the end of every search in every scheme.
     pub fn check_invariants(&self) {
         assert_eq!(self.outstanding_vl(), 0, "dangling virtual loss");
-        for (id, node) in self.nodes.iter().enumerate() {
-            if node.state == NodeState::Expanded {
-                let child_sum: u32 = node
-                    .children
-                    .iter()
-                    .map(|&c| self.nodes[c as usize].n)
-                    .sum();
+        assert_eq!(self.vl_outstanding, 0, "vl running counter drifted");
+        let mut stack = vec![self.root];
+        let mut reached = 0usize;
+        while let Some(id) = stack.pop() {
+            reached += 1;
+            let i = id as usize;
+            assert!(
+                !matches!(self.a.state[i], NodeState::Free),
+                "node {id}: free slot reachable from the root"
+            );
+            let children = self.children(id);
+            if self.a.state[i] == NodeState::Expanded {
+                assert!(!children.is_empty(), "expanded node {id} without children");
+                let child_sum: u32 = children.clone().map(|c| self.a.n[c as usize]).sum();
                 // Every visit to an expanded node either terminated here
                 // (the expansion visit) or descended into a child.
                 assert!(
-                    node.n >= child_sum,
-                    "node {id}: N={} < children {}",
-                    node.n,
-                    child_sum
+                    self.a.n[i] >= child_sum,
+                    "node {id}: N={} < children {child_sum}",
+                    self.a.n[i]
                 );
-                assert!(
-                    node.n - child_sum <= 1,
-                    "node {id}: more than one self-visit: N={} children={}",
-                    node.n,
-                    child_sum
-                );
+                if self.pruned_nodes == 0 {
+                    assert!(
+                        self.a.n[i] - child_sum <= 1,
+                        "node {id}: more than one self-visit: N={} children={child_sum}",
+                        self.a.n[i]
+                    );
+                }
             }
-            for &c in &node.children {
-                assert_eq!(self.nodes[c as usize].parent as usize, id, "parent link");
+            for c in children {
+                assert_eq!(self.a.parent[c as usize], id, "parent link of {c}");
+                stack.push(c);
             }
         }
+        assert_eq!(
+            reached,
+            self.len(),
+            "live-node accounting: reachable {reached} != live {}",
+            self.len()
+        );
     }
 }
 
@@ -465,21 +777,27 @@ pub fn terminal_value<G: Game>(status: Status, game: &G) -> f32 {
 /// Mask full-action-space `priors` down to `legal` actions and normalize;
 /// falls back to uniform when the legal prior mass vanishes.
 pub(crate) fn mask_and_normalize(priors: &[f32], legal: &[Action]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(legal.len());
+    mask_and_normalize_into(priors, legal, &mut out);
+    out
+}
+
+/// [`mask_and_normalize`] into a caller-owned buffer (no allocation once
+/// the buffer has capacity).
+pub(crate) fn mask_and_normalize_into(priors: &[f32], legal: &[Action], out: &mut Vec<f32>) {
     let mut total: f32 = legal.iter().map(|&a| priors[a as usize].max(0.0)).sum();
     let uniform = total <= 1e-8 || !total.is_finite();
     if uniform {
         total = legal.len() as f32;
     }
-    legal
-        .iter()
-        .map(|&a| {
-            if uniform {
-                1.0 / total
-            } else {
-                priors[a as usize].max(0.0) / total
-            }
-        })
-        .collect()
+    out.clear();
+    out.extend(legal.iter().map(|&a| {
+        if uniform {
+            1.0 / total
+        } else {
+            priors[a as usize].max(0.0) / total
+        }
+    }));
 }
 
 #[cfg(test)]
@@ -499,12 +817,23 @@ mod tests {
         vec![1.0 / n as f32; n]
     }
 
+    /// Grow a tree with `playouts` uniform-prior playouts from `base`.
+    fn grow(t: &mut Tree, base: &TicTacToe, playouts: usize) {
+        for _ in 0..playouts {
+            let mut g = base.clone();
+            let (leaf, out) = t.select(&mut g);
+            if out == SelectOutcome::NeedsEval {
+                t.expand_and_backup(leaf, &uniform_priors(9), 0.0);
+            }
+        }
+    }
+
     #[test]
     fn fresh_tree_has_unexpanded_root() {
         let t = Tree::new(cfg(10));
         assert_eq!(t.len(), 1);
         assert!(t.is_empty());
-        assert_eq!(t.node(0).state, NodeState::Unexpanded);
+        assert_eq!(t.state(0), NodeState::Unexpanded);
     }
 
     #[test]
@@ -514,7 +843,10 @@ mod tests {
         let (leaf, out) = t.select(&mut g);
         assert_eq!(leaf, 0);
         assert_eq!(out, SelectOutcome::NeedsEval);
-        assert!(matches!(t.node(0).state, NodeState::Pending(_)));
+        assert_eq!(t.state(0), NodeState::Pending);
+        // The claim pre-allocated the child block with the legal actions.
+        assert_eq!(t.children(0).len(), 9);
+        assert_eq!(t.child_actions(0), (0..9).collect::<Vec<_>>());
     }
 
     #[test]
@@ -523,10 +855,10 @@ mod tests {
         let mut g = TicTacToe::new();
         let _ = t.select(&mut g);
         t.expand_and_backup(0, &uniform_priors(9), 0.3);
-        assert_eq!(t.node(0).children.len(), 9);
-        assert_eq!(t.node(0).n, 1);
+        assert_eq!(t.children(0).len(), 9);
+        assert_eq!(t.n(0), 1);
         // Root W accumulates from the "mover into root" perspective: -v.
-        assert!((t.node(0).w + 0.3).abs() < 1e-6);
+        assert!((t.w(0) + 0.3).abs() < 1e-6);
         t.check_invariants();
     }
 
@@ -540,10 +872,10 @@ mod tests {
         let (leaf, out) = t.select(&mut g2);
         assert_ne!(leaf, 0);
         assert_eq!(out, SelectOutcome::NeedsEval);
-        assert_eq!(t.node(leaf).vl, 1, "virtual loss on traversed edge");
+        assert_eq!(t.vl(leaf), 1, "virtual loss on traversed edge");
         assert_eq!(g2.move_count(), 1, "game advanced one ply");
         t.expand_and_backup(leaf, &uniform_priors(9), 0.5);
-        assert_eq!(t.node(leaf).vl, 0, "virtual loss released by backup");
+        assert_eq!(t.vl(leaf), 0, "virtual loss released by backup");
         t.check_invariants();
     }
 
@@ -576,8 +908,7 @@ mod tests {
         assert_ne!(leaf1, leaf2, "VL should steer workers apart");
         t.revert_path(leaf1);
         t.revert_path(leaf2);
-        // Reverts must also clear the Pending claims for reuse… pending
-        // claims stay (they model in-flight evals); just check VL.
+        // Pending claims stay (they model in-flight evals); just check VL.
         assert_eq!(t.outstanding_vl(), 0);
     }
 
@@ -595,23 +926,11 @@ mod tests {
         let _ = t.select(&mut g);
         let legal = base.legal_actions();
         t.expand_and_backup(0, &uniform_priors(9), 0.0);
-        assert_eq!(t.node(0).children.len(), legal.len());
+        assert_eq!(t.children(0).len(), legal.len());
 
         // Run many playouts with uniform priors; terminal discovery should
         // make the winning move dominate.
-        for _ in 0..200 {
-            let mut g = base.clone();
-            let (leaf, out) = t.select(&mut g);
-            match out {
-                SelectOutcome::NeedsEval => {
-                    let n = g.legal_actions().len().max(1);
-                    let _ = n;
-                    t.expand_and_backup(leaf, &uniform_priors(9), 0.0);
-                }
-                SelectOutcome::TerminalBackedUp => {}
-                SelectOutcome::Busy => unreachable!("serial use"),
-            }
-        }
+        grow(&mut t, &base, 200);
         let (visits, probs, value) = t.action_prior(9);
         assert_eq!(
             tensor::ops::argmax(&probs),
@@ -634,9 +953,9 @@ mod tests {
         priors[0] = 0.05;
         priors[1] = 0.05;
         t.expand_and_backup(0, &priors, 0.0);
-        let total: f32 = t.node(0).children.iter().map(|&c| t.node(c).prior).sum();
+        let total: f32 = t.children(0).map(|c| t.prior(c)).sum();
         assert!((total - 1.0).abs() < 1e-5, "renormalized priors sum to 1");
-        assert!(t.node(0).children.iter().all(|&c| t.node(c).action != 4));
+        assert!(t.children(0).all(|c| t.action(c) != 4));
     }
 
     #[test]
@@ -645,8 +964,8 @@ mod tests {
         let mut g = TicTacToe::new();
         let _ = t.select(&mut g);
         t.expand_and_backup(0, &[0.0; 9], 0.0);
-        for &c in &t.node(0).children {
-            assert!((t.node(c).prior - 1.0 / 9.0).abs() < 1e-6);
+        for c in t.children(0) {
+            assert!((t.prior(c) - 1.0 / 9.0).abs() < 1e-6);
         }
     }
 
@@ -660,25 +979,16 @@ mod tests {
         let (leaf, _) = t.select(&mut g2);
         t.expand_and_backup(leaf, &uniform_priors(9), 1.0);
         // Leaf: -1 (value from leaf player's view is +1 ⇒ mover's view -1).
-        assert!((t.node(leaf).w + 1.0).abs() < 1e-6);
+        assert!((t.w(leaf) + 1.0).abs() < 1e-6);
         // Root (one level up): +1, plus 0 from its own expansion backup.
-        assert!((t.node(0).w - 1.0).abs() < 1e-6);
+        assert!((t.w(0) - 1.0).abs() < 1e-6);
     }
 
     #[test]
     fn action_prior_normalizes_to_one() {
         let mut t = Tree::new(cfg(50));
         let base = TicTacToe::new();
-        let mut g = base.clone();
-        let _ = t.select(&mut g);
-        t.expand_and_backup(0, &uniform_priors(9), 0.0);
-        for _ in 0..50 {
-            let mut g = base.clone();
-            let (leaf, out) = t.select(&mut g);
-            if out == SelectOutcome::NeedsEval {
-                t.expand_and_backup(leaf, &uniform_priors(9), 0.0);
-            }
-        }
+        grow(&mut t, &base, 51);
         let (visits, probs, _) = t.action_prior(9);
         assert_eq!(visits.iter().sum::<u32>(), 51 - 1);
         assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-5);
@@ -689,26 +999,17 @@ mod tests {
     fn extract_subtree_preserves_statistics() {
         let mut t = Tree::new(cfg(100));
         let base = TicTacToe::new();
-        let mut g = base.clone();
-        let _ = t.select(&mut g);
-        t.expand_and_backup(0, &uniform_priors(9), 0.0);
-        for _ in 0..60 {
-            let mut g = base.clone();
-            let (leaf, out) = t.select(&mut g);
-            if out == SelectOutcome::NeedsEval {
-                t.expand_and_backup(leaf, &uniform_priors(9), 0.1);
-            }
-        }
-        let child = t.node(0).children[3];
+        grow(&mut t, &base, 61);
+        let child = t.children(0).nth(3).unwrap();
         let sub = t.extract_subtree(child);
-        assert_eq!(sub.node(0).n, t.node(child).n);
-        assert!((sub.node(0).w - t.node(child).w).abs() < 1e-9);
-        assert_eq!(sub.node(0).children.len(), t.node(child).children.len());
+        assert_eq!(sub.n(0), t.n(child));
+        assert!((sub.w(0) - t.w(child)).abs() < 1e-9);
+        assert_eq!(sub.children(0).len(), t.children(child).len());
         // Child priors carried over in order.
-        for (&sc, &tc) in sub.node(0).children.iter().zip(&t.node(child).children) {
-            assert_eq!(sub.node(sc).prior, t.node(tc).prior);
-            assert_eq!(sub.node(sc).action, t.node(tc).action);
-            assert_eq!(sub.node(sc).n, t.node(tc).n);
+        for (sc, tc) in sub.children(0).zip(t.children(child)) {
+            assert_eq!(sub.prior(sc), t.prior(tc));
+            assert_eq!(sub.action(sc), t.action(tc));
+            assert_eq!(sub.n(sc), t.n(tc));
         }
         sub.check_invariants();
     }
@@ -719,10 +1020,10 @@ mod tests {
         let mut g = TicTacToe::new();
         let _ = t.select(&mut g);
         t.expand_and_backup(0, &uniform_priors(9), 0.0);
-        let child = t.node(0).children[0];
+        let child = t.children(0).next().unwrap();
         let sub = t.extract_subtree(child);
         assert_eq!(sub.len(), 1);
-        assert_eq!(sub.node(0).state, NodeState::Unexpanded);
+        assert_eq!(sub.state(0), NodeState::Unexpanded);
     }
 
     #[test]
@@ -732,7 +1033,7 @@ mod tests {
         let _ = t.select(&mut g);
         t.expand_and_backup(0, &uniform_priors(9), 0.0);
         let c = t.root_child_for(4).expect("center child exists");
-        assert_eq!(t.node(c).action, 4);
+        assert_eq!(t.action(c), 4);
         assert_eq!(t.root_child_for(100), None);
     }
 
@@ -742,13 +1043,13 @@ mod tests {
         let mut g = TicTacToe::new();
         let _ = t.select(&mut g);
         t.expand_and_backup(0, &uniform_priors(9), 0.2);
-        let w_before = t.node(0).w;
+        let w_before = t.w(0);
         let new_priors = vec![1.0 / 9.0; 9];
         t.correct_expansion(0, &new_priors, 0.5);
         // Root W shifts by -dv (mover's perspective).
-        assert!((t.node(0).w - (w_before - 0.5)).abs() < 1e-6);
+        assert!((t.w(0) - (w_before - 0.5)).abs() < 1e-6);
         // N unchanged.
-        assert_eq!(t.node(0).n, 1);
+        assert_eq!(t.n(0), 1);
     }
 
     #[test]
@@ -768,5 +1069,119 @@ mod tests {
         t.revert_path(l1);
         t.revert_path(l2);
         assert_eq!(t.outstanding_vl(), 0);
+    }
+
+    // -- in-place re-rooting & capacity bound ------------------------------
+
+    #[test]
+    fn advance_root_matches_copy_reroot() {
+        let mut t = Tree::new(cfg(100));
+        let base = TicTacToe::new();
+        grow(&mut t, &base, 80);
+        let played = 3u16;
+        let child = t.root_child_for(played).unwrap();
+        let reference = t.extract_subtree(child);
+        let live_before = t.len();
+        assert!(t.advance_root(played));
+
+        assert_eq!(t.len(), reference.len(), "same live node count");
+        assert_eq!(t.n(t.root()), reference.n(0));
+        assert!((t.w(t.root()) - reference.w(0)).abs() < 1e-12);
+        assert_eq!(t.parent(t.root()), NIL);
+        // Structural equality, pairwise over BFS order.
+        let mut pairs = vec![(t.root(), 0u32)];
+        while let Some((a, b)) = pairs.pop() {
+            assert_eq!(t.state(a), reference.state(b));
+            assert_eq!(t.children(a).len(), reference.children(b).len());
+            for (ca, cb) in t.children(a).zip(reference.children(b)) {
+                assert_eq!(t.action(ca), reference.action(cb));
+                assert_eq!(t.prior(ca), reference.prior(cb));
+                assert_eq!(t.n(ca), reference.n(cb));
+                pairs.push((ca, cb));
+            }
+        }
+        // Everything discarded went to the free-list, nothing leaked.
+        let s = t.stats();
+        assert_eq!(s.live + s.free, s.high_water);
+        assert_eq!(s.reclaimed_total, (live_before - t.len()) as u64);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn advance_root_on_unexplored_action_resets_in_place() {
+        let mut t = Tree::new(cfg(10));
+        // Root never expanded: advance falls back to a bare root.
+        assert!(!t.advance_root(4));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.state(t.root()), NodeState::Unexpanded);
+        // And the tree still searches fine afterwards.
+        grow(&mut t, &TicTacToe::new(), 20);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn advance_root_reuses_freed_slots() {
+        let mut t = Tree::new(cfg(200));
+        let mut game = TicTacToe::new();
+        grow(&mut t, &game, 120);
+        let high_water_after_first = t.stats().high_water;
+        // Two more (search, advance) cycles: the arena recycles freed
+        // blocks, so the high-water mark stays close to one move's tree.
+        for _ in 0..2 {
+            let (visits, _, _) = t.action_prior(9);
+            let a = (0..9u16).max_by_key(|&a| visits[a as usize]).unwrap();
+            t.advance_root(a);
+            game.apply(a);
+            if game.status().is_terminal() {
+                break;
+            }
+            grow(&mut t, &game, 120);
+            t.check_invariants();
+        }
+        assert!(
+            t.stats().high_water <= 2 * high_water_after_first,
+            "recycling keeps memory near one move's worth: {} vs {}",
+            t.stats().high_water,
+            high_water_after_first
+        );
+        assert!(t.stats().reclaimed_total > 0);
+    }
+
+    #[test]
+    fn capacity_bound_prunes_instead_of_growing() {
+        let cap = 200usize;
+        let mut t = Tree::new(MctsConfig {
+            max_nodes: Some(cap),
+            ..cfg(500)
+        });
+        let base = TicTacToe::new();
+        grow(&mut t, &base, 500);
+        let s = t.stats();
+        assert!(
+            s.high_water <= cap,
+            "hard bound respected: {} > {cap}",
+            s.high_water
+        );
+        assert!(s.pruned > 0, "bounded search must have pruned");
+        t.check_invariants();
+        // The search still produces a sane root distribution.
+        let (visits, probs, _) = t.action_prior(9);
+        assert_eq!(visits.iter().sum::<u32>(), 500 - 1);
+        assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn reset_in_place_keeps_arena_memory() {
+        let mut t = Tree::new(cfg(100));
+        grow(&mut t, &TicTacToe::new(), 60);
+        let hw = t.stats().high_water;
+        assert!(hw > 1);
+        t.reset_in_place();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.stats().high_water, 1, "columns truncated to the root");
+        // Regrowing reuses the reserved memory (no panic, same shape).
+        grow(&mut t, &TicTacToe::new(), 60);
+        assert_eq!(t.stats().high_water, hw, "deterministic regrowth");
+        t.check_invariants();
     }
 }

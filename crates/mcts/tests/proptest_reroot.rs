@@ -1,0 +1,140 @@
+//! Differential property test for in-place re-rooting: after any random
+//! game prefix and search, [`Tree::advance_root`] (free-list reclamation,
+//! stable indices) must leave exactly the tree that the retained
+//! copy-based reference [`Tree::extract_subtree`] produces — same visit
+//! counts, same priors, same principal variation — and both must keep
+//! agreeing after further growth.
+
+use games::tictactoe::TicTacToe;
+use games::{Action, Game, Status};
+use mcts::analysis::principal_variation;
+use mcts::tree::{SelectOutcome, Tree};
+use mcts::MctsConfig;
+use proptest::prelude::*;
+
+/// Deterministic fake evaluator: priors/value are a pure function of the
+/// game state, so identical trees grow identically no matter which arena
+/// slots their nodes occupy.
+fn det_eval<G: Game>(g: &G, priors: &mut Vec<f32>) -> f32 {
+    let salt = g.move_count() as u64;
+    priors.clear();
+    for a in 0..g.action_space() as u64 {
+        let h = (a + 1).wrapping_mul(2654435761).wrapping_add(salt * 97);
+        priors.push((h % 89) as f32 / 89.0 + 0.01);
+    }
+    ((salt * 31 % 11) as f32 / 11.0) - 0.5
+}
+
+/// Grow `tree` by `playouts` deterministic playouts from `base`.
+fn grow(tree: &mut Tree, base: &TicTacToe, playouts: usize) {
+    let mut priors = Vec::new();
+    for _ in 0..playouts {
+        let mut g = *base;
+        let (leaf, out) = tree.select(&mut g);
+        if out == SelectOutcome::NeedsEval {
+            let v = det_eval(&g, &mut priors);
+            tree.expand_and_backup(leaf, &priors, v);
+        }
+    }
+}
+
+/// Structural equality of two trees (BFS pairwise over child blocks).
+fn assert_trees_equal(a: &Tree, b: &Tree) -> Result<(), String> {
+    let mut pairs = vec![(a.root(), b.root())];
+    while let Some((x, y)) = pairs.pop() {
+        prop_assert_eq!(a.state(x), b.state(y), "state mismatch");
+        prop_assert_eq!(a.n(x), b.n(y), "visit mismatch");
+        prop_assert!((a.w(x) - b.w(y)).abs() < 1e-9, "value-sum mismatch");
+        prop_assert_eq!(a.children(x).len(), b.children(y).len());
+        for (cx, cy) in a.children(x).zip(b.children(y)) {
+            prop_assert_eq!(a.action(cx), b.action(cy), "action order mismatch");
+            prop_assert_eq!(a.prior(cx), b.prior(cy), "prior mismatch");
+            pairs.push((cx, cy));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// In-place re-root == copy re-root: structure, statistics, priors
+    /// and PV, across random prefixes, budgets and played actions — and
+    /// the two stay identical after further deterministic growth.
+    #[test]
+    fn inplace_reroot_matches_copy_reroot(
+        seed in 0u64..5_000,
+        prefix_len in 0usize..5,
+        playouts in 20usize..150,
+        extra in 0usize..80,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+        // Random legal game prefix.
+        let mut base = TicTacToe::new();
+        for _ in 0..prefix_len {
+            if base.status() != Status::Ongoing {
+                break;
+            }
+            let acts = base.legal_actions();
+            base.apply(acts[rng.gen_range(0..acts.len())]);
+        }
+        prop_assume!(base.status() == Status::Ongoing);
+
+        let cfg = MctsConfig { playouts, ..Default::default() };
+        let mut tree = Tree::new(cfg);
+        grow(&mut tree, &base, playouts);
+        tree.check_invariants();
+
+        // Play a random legal action (explored or not).
+        let acts = base.legal_actions();
+        let played: Action = acts[rng.gen_range(0..acts.len())];
+        let reference = tree.root_child_for(played).map(|c| tree.extract_subtree(c));
+        let live_before = tree.len();
+
+        let kept = tree.advance_root(played);
+        tree.check_invariants();
+
+        match reference {
+            Some(reference) => {
+                prop_assert!(kept);
+                assert_trees_equal(&tree, &reference)?;
+                prop_assert_eq!(
+                    principal_variation(&tree, 9),
+                    principal_variation(&reference, 9),
+                    "PV diverged"
+                );
+                // Reclamation accounting: everything discarded is on the
+                // free-list, nothing leaked.
+                let s = tree.stats();
+                prop_assert_eq!(s.live, reference.len());
+                prop_assert_eq!(s.live + s.free, s.high_water);
+                prop_assert_eq!(s.reclaimed_total as usize, live_before - tree.len());
+
+                // Both trees keep agreeing after more deterministic growth
+                // (recycled slots vs fresh arena must not matter).
+                let mut after = base;
+                after.apply(played);
+                if after.status() == Status::Ongoing {
+                    let mut reference = reference;
+                    let mut tree = tree;
+                    grow(&mut tree, &after, extra);
+                    grow(&mut reference, &after, extra);
+                    tree.check_invariants();
+                    reference.check_invariants();
+                    assert_trees_equal(&tree, &reference)?;
+                    let (va, pa, _) = tree.action_prior(9);
+                    let (vb, pb, _) = reference.action_prior(9);
+                    prop_assert_eq!(va, vb, "visit counts diverged after growth");
+                    prop_assert_eq!(pa, pb);
+                }
+            }
+            None => {
+                // Unexplored action: in-place advance resets to a bare root.
+                prop_assert!(!kept);
+                prop_assert_eq!(tree.len(), 1);
+            }
+        }
+    }
+}

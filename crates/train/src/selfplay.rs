@@ -85,6 +85,9 @@ fn accumulate(total: &mut SearchStats, s: &SearchStats) {
     total.move_ns += s.move_ns;
     total.collisions += s.collisions;
     total.nodes += s.nodes;
+    // Re-rooting schemes report nodes recycled onto the arena free-list;
+    // the episode total quantifies how much memory tree reuse saved.
+    total.reclaimed += s.reclaimed;
 }
 
 #[cfg(test)]
@@ -163,6 +166,29 @@ mod tests {
         assert_eq!(out.moves, 3);
         // Capped episodes are labeled like draws (z = 0 for ongoing).
         assert!(out.samples.iter().all(|x| x.z == 0.0));
+    }
+
+    #[test]
+    fn reuse_episode_reports_reclaimed_nodes() {
+        use mcts::ReusableSearch;
+        let mut s = ReusableSearch::new(
+            MctsConfig {
+                playouts: 60,
+                ..Default::default()
+            },
+            Arc::new(UniformEvaluator::for_game(&TicTacToe::new())),
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let out = play_episode(&TicTacToe::new(), &mut s, 2, 20, &mut rng);
+        assert!(out.status.is_terminal());
+        assert!(
+            out.search_stats.reclaimed > 0,
+            "in-place re-rooting must reclaim discarded siblings"
+        );
+        // The retained tree's accounting stays closed.
+        let stats = s.tree_stats().expect("tree retained after episode");
+        assert_eq!(stats.live + stats.free, stats.high_water);
+        assert!(stats.reclaimed_total >= out.search_stats.reclaimed);
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Emit `BENCH_serve.json`: the machine-readable serving-throughput
+//! record — requests/second and p50/p99 submit→finish latency of a
+//! multi-session [`serve::SearchService`] as the number of concurrent
+//! sessions grows, plus the cross-session batch-coalescing figure: the
+//! mean inference batch realized when the same requests are served
+//! concurrently versus strictly one at a time.
+//!
+//! Usage: `bench_serve [--smoke] [out_path]` (default
+//! `BENCH_serve.json`). `--smoke` (or env `BENCH_SMOKE=1`) shrinks the
+//! budgets and the session matrix so CI can prove the binary runs
+//! without paying measurement time. Timings are never gated on.
+
+use games::gomoku::Gomoku;
+use games::Game;
+use mcts::{BatchEvaluator, Budget, MctsConfig, NnEvaluator};
+use nn::{NetConfig, PolicyValueNet};
+use serve::{SearchRequest, SearchService, ServeConfig};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A 9×9 Gomoku position a few plies in (same state every run).
+fn midgame() -> Gomoku {
+    let mut g = Gomoku::new(9, 5);
+    for a in [40u16, 41, 31, 49, 39] {
+        g.apply(a);
+    }
+    g
+}
+
+struct RunFigures {
+    requests_per_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    mean_eval_batch: f64,
+}
+
+/// Submit `sessions` identical requests to a `workers`-thread service
+/// and wait for all of them; latencies are measured service-side.
+fn run_once(
+    workers: usize,
+    sessions: usize,
+    playouts: usize,
+    eval: &Arc<dyn BatchEvaluator>,
+    root: &Gomoku,
+) -> RunFigures {
+    let service = SearchService::new(ServeConfig {
+        workers,
+        step_quota: 32,
+        max_pooled: 2 * workers,
+        coalesce_window: Duration::from_millis(2),
+    });
+    let cfg = MctsConfig {
+        playouts,
+        max_nodes: Some(200_000),
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let tickets: Vec<_> = (0..sessions)
+        .map(|_| {
+            service.submit(
+                SearchRequest::new(root.clone(), Arc::clone(eval))
+                    .config(cfg)
+                    .budget(Budget::playouts(playouts as u64)),
+            )
+        })
+        .collect();
+    let mut latencies: Vec<Duration> = tickets
+        .iter()
+        .map(|t| {
+            let r = t.wait();
+            assert_eq!(r.stats.playouts, playouts as u64);
+            t.latency().expect("finished session records latency")
+        })
+        .collect();
+    let wall = t0.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx].as_secs_f64() * 1e3
+    };
+    RunFigures {
+        requests_per_s: sessions as f64 / wall,
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        mean_eval_batch: service.stats().mean_eval_batch(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke =
+        args.iter().any(|a| a == "--smoke") || std::env::var("BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(4)
+        .max(2);
+    let (playouts, session_counts): (usize, &[usize]) = if smoke {
+        (48, &[1, 4])
+    } else {
+        (256, &[1, 4, 16, 64])
+    };
+
+    let root = midgame();
+    let net = Arc::new(PolicyValueNet::new(NetConfig::for_board(4, 9, 9, 81), 2));
+    let eval: Arc<dyn BatchEvaluator> = Arc::new(NnEvaluator::with_batch_hint(net, workers));
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"meta\": {{\"workers\": {workers}, \"playouts_per_request\": {playouts}, \"board\": \"gomoku9\", \"evaluator\": \"nn\", \"smoke\": {smoke}}},"
+    );
+
+    // --- throughput/latency vs concurrent session count -------------------
+    json.push_str("  \"sessions\": [\n");
+    for (i, &sessions) in session_counts.iter().enumerate() {
+        let f = run_once(workers, sessions, playouts, &eval, &root);
+        let _ = writeln!(
+            json,
+            "    {{\"concurrent\": {sessions}, \"requests_per_s\": {:.2}, \"p50_ms\": {:.2}, \"p99_ms\": {:.2}, \"mean_eval_batch\": {:.3}}}{}",
+            f.requests_per_s,
+            f.p50_ms,
+            f.p99_ms,
+            f.mean_eval_batch,
+            if i + 1 < session_counts.len() { "," } else { "" }
+        );
+        eprintln!(
+            "{sessions:>3} sessions: {:>7.2} req/s  p50 {:>8.2} ms  p99 {:>8.2} ms  mean batch {:.2}",
+            f.requests_per_s, f.p50_ms, f.p99_ms, f.mean_eval_batch
+        );
+    }
+    json.push_str("  ],\n");
+
+    // --- cross-session coalescing: concurrent vs serial -------------------
+    // The acceptance figure: the same burst served by a multi-worker
+    // service must fill larger mean inference batches than served one
+    // session at a time (one worker ⇒ rounds of exactly one sample).
+    let burst = if smoke { 4 } else { 16 };
+    let serial = run_once(1, burst, playouts, &eval, &root);
+    let multi = run_once(workers, burst, playouts, &eval, &root);
+    let _ = writeln!(
+        json,
+        "  \"coalescing\": {{\"burst\": {burst}, \"serial_mean_eval_batch\": {:.3}, \"multi_mean_eval_batch\": {:.3}}}",
+        serial.mean_eval_batch, multi.mean_eval_batch
+    );
+    eprintln!(
+        "coalescing over {burst}-request burst: serial mean batch {:.2} → multi mean batch {:.2}",
+        serial.mean_eval_batch, multi.mean_eval_batch
+    );
+
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write bench output");
+    println!("wrote {out_path}");
+}

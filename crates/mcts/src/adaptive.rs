@@ -99,6 +99,22 @@ impl<G: Game> AdaptiveSearch<G> {
 }
 
 impl<G: Game> SearchScheme<G> for AdaptiveSearch<G> {
+    fn begin(&mut self, root: &G, budget: crate::budget::Budget) {
+        self.inner.begin(root, budget)
+    }
+
+    fn step(&mut self, quota: usize) -> crate::budget::StepOutcome {
+        self.inner.step(quota)
+    }
+
+    fn partial_result(&self) -> SearchResult {
+        self.inner.partial_result()
+    }
+
+    fn cancel(&mut self) {
+        self.inner.cancel()
+    }
+
     fn search(&mut self, root: &G) -> SearchResult {
         self.inner.search(root)
     }

@@ -180,6 +180,13 @@ impl NodeArena {
         self.cap
     }
 
+    /// Replace the hard slot cap. Intended for recycled arenas that are
+    /// about to be cleared for a new session; an arena already larger
+    /// than the new cap keeps its memory but refuses further growth.
+    pub fn set_bound(&mut self, cap: Option<usize>) {
+        self.cap = cap.unwrap_or(usize::MAX).min(NIL as usize);
+    }
+
     /// Allocate a contiguous block of `count` fresh slots (recycling free
     /// ranges first) and return the first index. `None` when the capacity
     /// bound would be exceeded — the caller should [`NodeArena::coalesce`]

@@ -1,0 +1,278 @@
+//! The uniform search budget and the resumable-run plumbing shared by
+//! every scheme.
+//!
+//! A [`Budget`] bounds one *run* (one `begin`…`step`…`Done` cycle) along
+//! three axes — playouts, wall-clock deadline, tree memory — replacing
+//! the ad-hoc `time_budget_ms` checks that used to be enforced unevenly
+//! per scheme. Every field is optional; `None` inherits the
+//! corresponding [`MctsConfig`] value, so `Budget::default()` means
+//! "whatever the searcher was configured with".
+//!
+//! `RunGate` (crate-internal) is the per-run progress/deadline tracker
+//! the schemes share: it resolves a budget against the config once at
+//! [`SearchScheme::begin`](crate::SearchScheme::begin) and answers
+//! "may another playout start?" on the hot path.
+
+use crate::config::MctsConfig;
+use serde::{Deserialize, Serialize};
+use std::any::Any;
+use std::time::{Duration, Instant};
+
+/// Uniform per-run search budget (see module docs). Fields left `None`
+/// inherit from the scheme's [`MctsConfig`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Budget {
+    /// Maximum completed playouts for the run (`None` ⇒
+    /// [`MctsConfig::playouts`]). Always an upper bound, even when a
+    /// deadline is also set.
+    pub playouts: Option<u64>,
+    /// Wall-clock budget for the run, measured from
+    /// [`SearchScheme::begin`](crate::SearchScheme::begin) (`None` ⇒
+    /// [`MctsConfig::time_budget_ms`]). Enforced by every scheme: no new
+    /// playout (shared tree: rollout ticket; local tree: issued leaf)
+    /// starts after the deadline, and the run reports
+    /// [`StepOutcome::Done`] once in-flight work has drained.
+    pub time: Option<Duration>,
+    /// Hard tree-memory bound in nodes for the run's tree (`None` ⇒
+    /// [`MctsConfig::max_nodes`]). Applies to trees created by this run;
+    /// a retained reuse tree keeps the bound it was built with.
+    pub max_nodes: Option<usize>,
+}
+
+impl Budget {
+    /// A budget bounding only the playout count.
+    pub fn playouts(n: u64) -> Self {
+        Budget {
+            playouts: Some(n),
+            ..Default::default()
+        }
+    }
+
+    /// A budget bounding only wall-clock time (playouts stay capped by
+    /// the config — the paper's iteration budget remains an upper bound).
+    pub fn time(d: Duration) -> Self {
+        Budget {
+            time: Some(d),
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style playout bound.
+    pub fn with_playouts(mut self, n: u64) -> Self {
+        self.playouts = Some(n);
+        self
+    }
+
+    /// Builder-style deadline.
+    pub fn with_time(mut self, d: Duration) -> Self {
+        self.time = Some(d);
+        self
+    }
+
+    /// Builder-style tree-memory bound.
+    pub fn with_max_nodes(mut self, nodes: usize) -> Self {
+        self.max_nodes = Some(nodes);
+        self
+    }
+
+    /// The effective per-run configuration: the scheme's config with this
+    /// budget's overrides folded in. Schemes build their run's tree from
+    /// the returned config so arena sizing and pruning see the budget.
+    pub fn apply_to(&self, cfg: &MctsConfig) -> MctsConfig {
+        let mut out = *cfg;
+        if let Some(p) = self.playouts {
+            out.playouts = usize::try_from(p).unwrap_or(usize::MAX).max(1);
+        }
+        if let Some(t) = self.time {
+            out.time_budget_ms = Some((t.as_millis() as u64).max(1));
+        }
+        if let Some(n) = self.max_nodes {
+            out.max_nodes = Some(n);
+        }
+        out
+    }
+}
+
+/// What one [`SearchScheme::step`](crate::SearchScheme::step) call left
+/// behind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The quota was consumed (or the call yielded early) with budget
+    /// remaining: call `step` again to continue the run.
+    Running,
+    /// The run is finished — playout budget met, deadline passed, the
+    /// root is terminal, or no run is active. Further `step` calls are
+    /// no-ops returning `Done`;
+    /// [`partial_result`](crate::SearchScheme::partial_result) returns
+    /// the final result until the run is dropped by
+    /// [`cancel`](crate::SearchScheme::cancel) or a new `begin`.
+    Done,
+}
+
+/// Per-run progress gate: playout target + wall-clock deadline, resolved
+/// once at `begin`. Shared by every scheme's run state.
+#[derive(Debug)]
+pub(crate) struct RunGate {
+    /// Completed-playout target for the whole run.
+    target: u64,
+    /// Completed playouts so far.
+    pub done: u64,
+    /// Absolute deadline (computed at `begin`), if any.
+    deadline: Option<Instant>,
+    /// Accumulated wall-clock time spent inside `step` calls, ns (the
+    /// run's *active* time; a multiplexed session is not charged for
+    /// time spent parked in a service queue).
+    pub active_ns: u64,
+}
+
+impl RunGate {
+    /// Resolve `budget` against `cfg` now (the deadline clock starts
+    /// here). `terminal_root` forces an immediately-finished run.
+    pub fn new(cfg: &MctsConfig, budget: &Budget, terminal_root: bool) -> Self {
+        let target = if terminal_root {
+            0
+        } else {
+            budget.playouts.unwrap_or(cfg.playouts as u64)
+        };
+        let time = budget
+            .time
+            .or_else(|| cfg.time_budget_ms.map(Duration::from_millis));
+        RunGate {
+            target,
+            done: 0,
+            deadline: time.map(|t| Instant::now() + t),
+            active_ns: 0,
+        }
+    }
+
+    /// Playout target for the run.
+    #[inline]
+    pub fn target(&self) -> u64 {
+        self.target
+    }
+
+    /// True once the wall-clock budget is spent.
+    #[inline]
+    pub fn out_of_time(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// The absolute deadline, if any.
+    #[inline]
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// True once no further playout may start (target met or deadline
+    /// passed).
+    #[inline]
+    pub fn exhausted(&self) -> bool {
+        self.done >= self.target || self.out_of_time()
+    }
+
+    /// Playouts still owed to the target.
+    #[inline]
+    pub fn remaining(&self) -> u64 {
+        self.target.saturating_sub(self.done)
+    }
+}
+
+/// Reusable type-erased root-state slot for resumable runs.
+///
+/// Scheme structs are not generic over the game, so a run stores its
+/// root as `Box<dyn Any>`; the slot persists across runs and
+/// `clone_from`s the new root into the existing box whenever the game
+/// type repeats, keeping steady-state `begin` allocation-free for
+/// heap-free game states.
+pub(crate) struct RootSlot {
+    slot: Option<Box<dyn Any + Send>>,
+}
+
+impl RootSlot {
+    pub const fn new() -> Self {
+        RootSlot { slot: None }
+    }
+
+    /// Store a copy of `root` for the run starting now.
+    pub fn store<G: games::Game>(&mut self, root: &G) {
+        match self.slot.as_mut().and_then(|b| b.downcast_mut::<G>()) {
+            Some(g) => g.clone_from(root),
+            None => self.slot = Some(Box::new(root.clone())),
+        }
+    }
+
+    /// The stored root.
+    ///
+    /// # Panics
+    /// If `step` is driven with a different game type than `begin`
+    /// (caller bug), or if no run was ever begun.
+    pub fn get<G: games::Game>(&self) -> &G {
+        self.slot
+            .as_ref()
+            .expect("no active run: call begin() first")
+            .downcast_ref::<G>()
+            .expect("step must be called with the same game type as begin")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_inherits_config() {
+        let cfg = MctsConfig {
+            playouts: 77,
+            time_budget_ms: Some(5),
+            ..Default::default()
+        };
+        let gate = RunGate::new(&cfg, &Budget::default(), false);
+        assert_eq!(gate.target(), 77);
+        assert!(gate.deadline().is_some());
+        assert!(!gate.exhausted());
+    }
+
+    #[test]
+    fn explicit_budget_overrides_config() {
+        let cfg = MctsConfig::default();
+        let b = Budget::playouts(3).with_time(Duration::from_secs(10));
+        let gate = RunGate::new(&cfg, &b, false);
+        assert_eq!(gate.target(), 3);
+        assert_eq!(gate.remaining(), 3);
+        let run_cfg = b.with_max_nodes(500).apply_to(&cfg);
+        assert_eq!(run_cfg.playouts, 3);
+        assert_eq!(run_cfg.max_nodes, Some(500));
+        assert_eq!(run_cfg.time_budget_ms, Some(10_000));
+    }
+
+    #[test]
+    fn terminal_root_is_immediately_exhausted() {
+        let gate = RunGate::new(&MctsConfig::default(), &Budget::default(), true);
+        assert_eq!(gate.target(), 0);
+        assert!(gate.exhausted());
+    }
+
+    #[test]
+    fn expired_deadline_exhausts_gate() {
+        let cfg = MctsConfig::default();
+        let gate = RunGate::new(&cfg, &Budget::time(Duration::ZERO), false);
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(gate.out_of_time());
+        assert!(gate.exhausted());
+        assert!(gate.remaining() > 0, "playout target itself is unmet");
+    }
+
+    #[test]
+    fn root_slot_reuses_box_for_same_type() {
+        use games::tictactoe::TicTacToe;
+        let mut slot = RootSlot::new();
+        slot.store(&TicTacToe::new());
+        let first = slot.get::<TicTacToe>() as *const _ as usize;
+        let mut g = TicTacToe::new();
+        games::Game::apply(&mut g, 4);
+        slot.store(&g);
+        let second = slot.get::<TicTacToe>() as *const _ as usize;
+        assert_eq!(first, second, "same-type store must reuse the box");
+        assert_eq!(games::Game::move_count(slot.get::<TicTacToe>()), 1);
+    }
+}

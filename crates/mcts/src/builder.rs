@@ -22,6 +22,7 @@
 //! ```
 
 use crate::adaptive::Scheme;
+use crate::budget::Budget;
 use crate::config::{LockKind, MctsConfig, VirtualLoss};
 use crate::evaluator::{
     AccelEvaluator, BatchEvaluator, Evaluator, LegacyEvaluator, UniformEvaluator,
@@ -125,9 +126,22 @@ impl SearchBuilder {
         self
     }
 
-    /// Wall-clock budget per move (serial/reuse schemes).
+    /// Wall-clock budget per move, enforced by **every** scheme: no new
+    /// playout (shared tree: rollout ticket; local tree: issued leaf)
+    /// starts after the deadline and the search returns promptly;
+    /// `playouts` remains an upper bound.
     pub fn time_budget_ms(mut self, ms: u64) -> Self {
         self.cfg.time_budget_ms = Some(ms);
+        self
+    }
+
+    /// Fold a unified [`Budget`] into the configuration: `playouts`,
+    /// `time` and `max_nodes` map onto the corresponding
+    /// [`MctsConfig`] fields (fields left `None` keep their current
+    /// values). The same `Budget` type can also be passed per run via
+    /// [`SearchScheme::begin`].
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.cfg = budget.apply_to(&self.cfg);
         self
     }
 

@@ -50,6 +50,28 @@ struct Round {
     done: HashMap<u64, RoundDone>,
 }
 
+/// Lifetime batch-fill accounting of a [`CoalescingEvaluator`] — the
+/// figure of merit for cross-caller (and, in a serving process,
+/// cross-session) batching.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CoalesceStats {
+    /// Rounds executed (one `evaluate_batch` call each).
+    pub batches: u64,
+    /// Samples served across all rounds.
+    pub samples: u64,
+}
+
+impl CoalesceStats {
+    /// Mean samples per round (1.0 = no coalescing happened).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.samples as f64 / self.batches as f64
+        }
+    }
+}
+
 /// Turns concurrent single-sample `evaluate` calls into shared batches
 /// (see module docs). Implements the synchronous [`Evaluator`] trait so
 /// it drops into any single-sample call site.
@@ -59,6 +81,10 @@ pub struct CoalescingEvaluator {
     window: Duration,
     /// EMA of per-sample inference time, ns (0 = not yet measured).
     ema_sample_ns: AtomicU64,
+    /// Lifetime rounds executed.
+    batches: AtomicU64,
+    /// Lifetime samples served.
+    samples: AtomicU64,
     state: Mutex<Round>,
     joined: Condvar,
     finished: Condvar,
@@ -79,6 +105,8 @@ impl CoalescingEvaluator {
             max_batch,
             window,
             ema_sample_ns: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            samples: AtomicU64::new(0),
             state: Mutex::new(Round {
                 inputs: Vec::new(),
                 epoch: 0,
@@ -98,6 +126,14 @@ impl CoalescingEvaluator {
     /// returns to 0 once all concurrent callers have collected).
     pub fn rounds_pending(&self) -> usize {
         self.state.lock().unwrap().done.len()
+    }
+
+    /// Lifetime batch-fill accounting (rounds + samples served).
+    pub fn stats(&self) -> CoalesceStats {
+        CoalesceStats {
+            batches: self.batches.load(Ordering::Relaxed),
+            samples: self.samples.load(Ordering::Relaxed),
+        }
     }
 
     /// The wait the next leader will actually use: adapted to the
@@ -177,6 +213,9 @@ impl Evaluator for CoalescingEvaluator {
             }));
             if outcome.is_ok() {
                 self.record_batch(t0.elapsed(), followers + 1);
+                self.batches.fetch_add(1, Ordering::Relaxed);
+                self.samples
+                    .fetch_add(followers as u64 + 1, Ordering::Relaxed);
             }
 
             let mut st = self.state.lock().unwrap();

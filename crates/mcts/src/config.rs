@@ -65,11 +65,13 @@ pub struct MctsConfig {
     /// AlphaZero-style Dirichlet noise mixed into the root priors during
     /// self-play (None ⇒ deterministic evaluation-time search).
     pub root_noise: Option<crate::noise::RootNoise>,
-    /// Optional wall-clock budget per move in milliseconds. When set, the
-    /// serial and reuse searchers stop early once the budget elapses (after
-    /// completing the playout in flight); `playouts` remains an upper
-    /// bound. Thread-pool schemes ignore it (the paper's iteration budget
-    /// is playout-count-based).
+    /// Optional wall-clock budget per move in milliseconds, enforced
+    /// uniformly by **every** scheme (resolved into a deadline when a run
+    /// begins): serial-family searchers stop between playouts, shared-tree
+    /// workers stop taking rollout tickets, and the local-tree master
+    /// stops issuing leaves, draining what is in flight. `playouts`
+    /// remains an upper bound. Per-run overrides go through
+    /// [`crate::Budget::time`].
     pub time_budget_ms: Option<u64>,
 }
 

@@ -16,9 +16,9 @@
 //! classic shape instead: `N` concurrent evaluations on a worker pool,
 //! so the scheme's wall-clock profile as a baseline stays faithful.
 
+use crate::budget::{Budget, RootSlot, RunGate, StepOutcome};
 use crate::config::MctsConfig;
 use crate::evaluator::{BatchEvaluator, EvalOutput};
-use crate::local::empty_result;
 use crate::pool::WorkerPool;
 use crate::result::{SearchResult, SearchScheme, SearchStats};
 use crate::tree::{SelectOutcome, Tree};
@@ -27,6 +27,14 @@ use games::Game;
 use std::sync::Arc;
 use std::time::Instant;
 
+/// Resumable-run state of a leaf-parallel search.
+struct LeafRun {
+    tree: Tree,
+    stats: SearchStats,
+    gate: RunGate,
+    action_space: usize,
+}
+
 /// Same-leaf replicated evaluation parallelism.
 pub struct LeafParallelSearch {
     cfg: MctsConfig,
@@ -34,6 +42,10 @@ pub struct LeafParallelSearch {
     /// Replica threads for single-sample evaluators; `None` when the
     /// evaluator batches natively (one call carries all replicas).
     pool: Option<WorkerPool>,
+    encode_buf: Vec<f32>,
+    replicas: Vec<EvalOutput>,
+    root: RootSlot,
+    run: Option<LeafRun>,
 }
 
 impl LeafParallelSearch {
@@ -50,6 +62,10 @@ impl LeafParallelSearch {
             cfg,
             evaluator,
             pool,
+            encode_buf: Vec::new(),
+            replicas: Vec::new(),
+            root: RootSlot::new(),
+            run: None,
         }
     }
 
@@ -83,53 +99,89 @@ impl LeafParallelSearch {
 }
 
 impl<G: Game> SearchScheme<G> for LeafParallelSearch {
-    fn search(&mut self, root: &G) -> SearchResult {
-        if root.status().is_terminal() {
-            return empty_result(root.action_space());
-        }
-        let move_start = Instant::now();
-        let mut tree = Tree::new(self.cfg);
-        let mut stats = SearchStats::default();
-        let mut encode_buf = vec![0.0f32; root.encoded_len()];
-        let n = self.cfg.workers;
-        let mut replicas: Vec<EvalOutput> = vec![EvalOutput::default(); n];
+    fn begin(&mut self, root: &G, budget: Budget) {
+        SearchScheme::<G>::cancel(self);
+        let run_cfg = budget.apply_to(&self.cfg);
+        self.root.store(root);
+        self.encode_buf.resize(root.encoded_len(), 0.0);
+        self.replicas
+            .resize(self.cfg.workers, EvalOutput::default());
+        self.run = Some(LeafRun {
+            tree: Tree::new(run_cfg),
+            stats: SearchStats::default(),
+            gate: RunGate::new(&self.cfg, &budget, root.status().is_terminal()),
+            action_space: root.action_space(),
+        });
+    }
 
-        let mut done = 0usize;
-        while done < self.cfg.playouts {
-            let mut game = root.clone();
+    fn step(&mut self, quota: usize) -> StepOutcome {
+        let Some(mut run) = self.run.take() else {
+            return StepOutcome::Done;
+        };
+        let step_start = Instant::now();
+        let n = self.cfg.workers;
+        let mut used = 0usize;
+        while used < quota && !run.gate.exhausted() {
+            let mut game = self.root.get::<G>().clone();
             let t0 = Instant::now();
-            let (leaf, outcome) = tree.select(&mut game);
-            stats.select_ns += t0.elapsed().as_nanos() as u64;
+            let (leaf, outcome) = run.tree.select(&mut game);
+            run.stats.select_ns += t0.elapsed().as_nanos() as u64;
             match outcome {
-                SelectOutcome::TerminalBackedUp => done += 1,
+                SelectOutcome::TerminalBackedUp => {}
                 SelectOutcome::NeedsEval => {
-                    game.encode(&mut encode_buf);
+                    game.encode(&mut self.encode_buf);
                     // Fan the SAME state out to all N replica slots.
                     let t1 = Instant::now();
-                    self.replicate(&encode_buf, &mut replicas);
-                    stats.eval_ns += t1.elapsed().as_nanos() as u64;
+                    let mut replicas = std::mem::take(&mut self.replicas);
+                    self.replicate(&self.encode_buf, &mut replicas);
+                    run.stats.eval_ns += t1.elapsed().as_nanos() as u64;
                     let value =
                         (replicas.iter().map(|o| o.value as f64).sum::<f64>() / n as f64) as f32;
                     let t2 = Instant::now();
-                    tree.expand_and_backup(leaf, &replicas[0].priors, value);
-                    stats.backup_ns += t2.elapsed().as_nanos() as u64;
-                    done += 1;
+                    run.tree.expand_and_backup(leaf, &replicas[0].priors, value);
+                    run.stats.backup_ns += t2.elapsed().as_nanos() as u64;
+                    self.replicas = replicas;
                 }
                 SelectOutcome::Busy => unreachable!("leaf-parallel is single-path"),
             }
+            used += 1;
+            run.gate.done += 1;
+            run.stats.playouts += 1;
         }
+        run.gate.active_ns += step_start.elapsed().as_nanos() as u64;
+        let outcome = if run.gate.exhausted() {
+            debug_assert_eq!(run.tree.outstanding_vl(), 0);
+            #[cfg(feature = "invariants")]
+            run.tree.check_invariants();
+            StepOutcome::Done
+        } else {
+            StepOutcome::Running
+        };
+        self.run = Some(run);
+        outcome
+    }
 
-        #[cfg(feature = "invariants")]
-        tree.check_invariants();
-        let (visits, probs, value) = tree.action_prior(root.action_space());
-        stats.playouts = done as u64;
-        stats.move_ns = move_start.elapsed().as_nanos() as u64;
-        stats.nodes = tree.len() as u64;
+    fn partial_result(&self) -> SearchResult {
+        let Some(run) = &self.run else {
+            return SearchResult::default();
+        };
+        let (visits, probs, value) = run.tree.action_prior(run.action_space);
+        let mut stats = run.stats;
+        stats.move_ns = run.gate.active_ns;
+        stats.nodes = run.tree.len() as u64;
         SearchResult {
             probs,
             visits,
             value,
             stats,
+        }
+    }
+
+    fn cancel(&mut self) {
+        if let Some(run) = self.run.take() {
+            debug_assert_eq!(run.tree.outstanding_vl(), 0);
+            #[cfg(feature = "invariants")]
+            run.tree.check_invariants();
         }
     }
 

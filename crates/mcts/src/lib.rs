@@ -29,6 +29,18 @@
 //! performance model (see the `perfmodel` crate), reproducing the paper's
 //! compile-time adaptive selection.
 //!
+//! # Resumable budgeted runs
+//!
+//! Search is an incremental, schedulable unit: every scheme implements
+//! [`SearchScheme::begin`] (open a run under a uniform [`Budget`] of
+//! playouts / wall-clock deadline / tree memory), [`SearchScheme::step`]
+//! (advance by a bounded slice of playouts),
+//! [`SearchScheme::partial_result`] (anytime snapshot) and
+//! [`SearchScheme::cancel`]. One-shot [`SearchScheme::search`] is a
+//! provided loop over `step`, so blocking callers are unchanged — while
+//! a serving layer (the `serve` crate) can multiplex many concurrent
+//! sessions over a fixed worker pool.
+//!
 //! # Quickstart
 //!
 //! Every scheme is constructed through [`SearchBuilder`] (direct
@@ -67,6 +79,7 @@
 pub mod adaptive;
 pub mod analysis;
 pub mod arena;
+pub mod budget;
 pub mod builder;
 pub mod client;
 pub mod coalesce;
@@ -86,9 +99,10 @@ pub mod tree;
 
 pub use adaptive::{AdaptiveSearch, Scheme};
 pub use arena::NodeState;
+pub use budget::{Budget, StepOutcome};
 pub use builder::SearchBuilder;
 pub use client::{Completion, EvalClient, Ticket};
-pub use coalesce::CoalescingEvaluator;
+pub use coalesce::{CoalesceStats, CoalescingEvaluator};
 pub use config::{LockKind, MctsConfig, VirtualLoss};
 pub use evaluator::{
     AccelEvaluator, BatchEvaluator, EvalOutput, Evaluator, LegacyEvaluator, NnEvaluator,

@@ -23,6 +23,7 @@
 //! pending — the master blocks on the next completion (Algorithm 3,
 //! lines 12–13).
 
+use crate::budget::{Budget, RootSlot, RunGate, StepOutcome};
 use crate::client::EvalClient;
 use crate::config::MctsConfig;
 use crate::evaluator::BatchEvaluator;
@@ -33,10 +34,27 @@ use games::Game;
 use std::sync::Arc;
 use std::time::Instant;
 
+/// Resumable-run state of a local-tree search. Unlike the serial-family
+/// schemes, leaves may stay **in flight across step boundaries** — the
+/// pipeline keeps filling device/worker batches while the session is
+/// parked — so [`LocalTreeSearch::in_flight`] can be non-zero between
+/// steps; `cancel` drains and applies those completions before tearing
+/// the run down.
+struct LocalRun {
+    tree: Tree,
+    stats: SearchStats,
+    gate: RunGate,
+    action_space: usize,
+    issued: u64,
+}
+
 /// Master-thread local-tree search over an [`EvalClient`].
 pub struct LocalTreeSearch {
     cfg: MctsConfig,
     client: EvalClient,
+    encode_buf: Vec<f32>,
+    root: RootSlot,
+    run: Option<LocalRun>,
 }
 
 impl LocalTreeSearch {
@@ -47,6 +65,9 @@ impl LocalTreeSearch {
         LocalTreeSearch {
             client: EvalClient::threaded(evaluator, cfg.workers),
             cfg,
+            encode_buf: Vec::new(),
+            root: RootSlot::new(),
+            run: None,
         }
     }
 
@@ -60,113 +81,153 @@ impl LocalTreeSearch {
         LocalTreeSearch {
             client: EvalClient::for_device(device, cap),
             cfg,
+            encode_buf: Vec::new(),
+            root: RootSlot::new(),
+            run: None,
         }
     }
 
     /// Build over an explicit client (tests, custom backends).
     pub fn with_client(cfg: MctsConfig, client: EvalClient) -> Self {
         cfg.validate();
-        LocalTreeSearch { cfg, client }
+        LocalTreeSearch {
+            cfg,
+            client,
+            encode_buf: Vec::new(),
+            root: RootSlot::new(),
+            run: None,
+        }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &MctsConfig {
         &self.cfg
     }
+
+    /// Leaves currently in flight through the evaluation pipe (may be
+    /// non-zero between `step` calls — the pipeline spans steps).
+    pub fn in_flight(&self) -> usize {
+        self.client.in_flight()
+    }
+
+    /// Gather one completion (blocking) and apply it to the run's tree.
+    fn process_one(client: &mut EvalClient, run: &mut LocalRun) {
+        let done = client.gather();
+        Self::apply(run, done);
+    }
+
+    /// Expansion/backup of one completed evaluation (the tag carries the
+    /// leaf id back).
+    fn apply(run: &mut LocalRun, done: crate::client::Completion) {
+        let t = Instant::now();
+        run.tree.expand_and_backup(
+            done.ticket.tag as u32,
+            &done.output.priors,
+            done.output.value,
+        );
+        run.stats.backup_ns += t.elapsed().as_nanos() as u64;
+        run.gate.done += 1;
+        run.stats.playouts += 1;
+    }
 }
 
 impl<G: Game> SearchScheme<G> for LocalTreeSearch {
-    fn search(&mut self, root: &G) -> SearchResult {
-        let move_start = Instant::now();
-        let mut tree = Tree::new(self.cfg);
-        let mut stats = SearchStats::default();
+    fn begin(&mut self, root: &G, budget: Budget) {
+        SearchScheme::<G>::cancel(self);
+        debug_assert_eq!(self.client.in_flight(), 0);
+        let run_cfg = budget.apply_to(&self.cfg);
         self.client.reset_eval_ns();
+        self.root.store(root);
+        self.encode_buf.resize(root.encoded_len(), 0.0);
+        self.run = Some(LocalRun {
+            tree: Tree::new(run_cfg),
+            stats: SearchStats::default(),
+            gate: RunGate::new(&self.cfg, &budget, root.status().is_terminal()),
+            action_space: root.action_space(),
+            issued: 0,
+        });
+    }
 
-        if root.status().is_terminal() {
-            return empty_result(root.action_space());
-        }
-
+    fn step(&mut self, quota: usize) -> StepOutcome {
+        let Some(mut run) = self.run.take() else {
+            return StepOutcome::Done;
+        };
+        let step_start = Instant::now();
         let cap = self.client.capacity();
-        let playouts = self.cfg.playouts;
-        let mut issued = 0usize;
-        let mut completed = 0usize;
-        let mut encode_buf = vec![0.0f32; root.encoded_len()];
+        let target = run.gate.target();
+        let until = run.gate.done.saturating_add(quota as u64).min(target);
 
-        // Expansion/backup of one completed evaluation (the tag carries
-        // the leaf id back).
-        let apply = |tree: &mut Tree,
-                     stats: &mut SearchStats,
-                     completed: &mut usize,
-                     done: crate::client::Completion| {
-            let t = Instant::now();
-            tree.expand_and_backup(
-                done.ticket.tag as u32,
-                &done.output.priors,
-                done.output.value,
-            );
-            stats.backup_ns += t.elapsed().as_nanos() as u64;
-            *completed += 1;
-        };
-        // One blocking gather + apply.
-        let process_one = |client: &mut EvalClient,
-                           tree: &mut Tree,
-                           stats: &mut SearchStats,
-                           completed: &mut usize| {
-            let done = client.gather();
-            apply(tree, stats, completed, done);
-        };
-
-        while completed < playouts {
-            if issued < playouts {
-                let mut game = root.clone();
+        while run.gate.done < until && !run.gate.out_of_time() {
+            if run.issued < target {
+                let mut game = self.root.get::<G>().clone();
                 let t0 = Instant::now();
-                let (leaf, outcome) = tree.select(&mut game);
-                stats.select_ns += t0.elapsed().as_nanos() as u64;
+                let (leaf, outcome) = run.tree.select(&mut game);
+                run.stats.select_ns += t0.elapsed().as_nanos() as u64;
                 match outcome {
                     SelectOutcome::TerminalBackedUp => {
-                        issued += 1;
-                        completed += 1;
+                        run.issued += 1;
+                        run.gate.done += 1;
+                        run.stats.playouts += 1;
                     }
                     SelectOutcome::NeedsEval => {
-                        game.encode(&mut encode_buf);
+                        game.encode(&mut self.encode_buf);
                         // Ticket into the FIFO pipe; the tag carries the
                         // leaf id back with the completion.
-                        self.client.submit(leaf as u64, &encode_buf);
-                        issued += 1;
+                        self.client.submit(leaf as u64, &self.encode_buf);
+                        run.issued += 1;
                     }
                     SelectOutcome::Busy => {
                         // Selection hit an in-flight leaf; wait for one
                         // result so the tree gains information, then retry.
-                        stats.collisions += 1;
+                        run.stats.collisions += 1;
                         assert!(
                             self.client.in_flight() > 0,
                             "busy leaf with nothing in flight"
                         );
-                        process_one(&mut self.client, &mut tree, &mut stats, &mut completed);
+                        Self::process_one(&mut self.client, &mut run);
                     }
                 }
             }
             // Algorithm 3 lines 12-13: block while the pipe is saturated.
             while self.client.in_flight() >= cap
-                || (issued >= playouts && self.client.in_flight() > 0)
+                || (run.issued >= target && self.client.in_flight() > 0)
             {
-                process_one(&mut self.client, &mut tree, &mut stats, &mut completed);
+                Self::process_one(&mut self.client, &mut run);
             }
             // Opportunistic non-blocking drain keeps the tree fresh.
             while let Some(done) = self.client.try_gather() {
-                apply(&mut tree, &mut stats, &mut completed, done);
+                Self::apply(&mut run, done);
             }
         }
+        let outcome = if run.gate.exhausted() {
+            // Finished (budget or deadline): drain the pipe so the run
+            // ends with every virtual loss released.
+            while self.client.in_flight() > 0 {
+                Self::process_one(&mut self.client, &mut run);
+            }
+            debug_assert_eq!(run.tree.outstanding_vl(), 0);
+            #[cfg(feature = "invariants")]
+            run.tree.check_invariants();
+            StepOutcome::Done
+        } else {
+            // Quota boundary: leaves stay in flight so the pipeline keeps
+            // its depth while the session is parked.
+            StepOutcome::Running
+        };
+        run.gate.active_ns += step_start.elapsed().as_nanos() as u64;
+        self.run = Some(run);
+        outcome
+    }
 
-        debug_assert_eq!(self.client.in_flight(), 0);
-        debug_assert_eq!(tree.outstanding_vl(), 0);
-        #[cfg(feature = "invariants")]
-        tree.check_invariants();
-        let (visits, probs, value) = tree.action_prior(root.action_space());
-        stats.playouts = completed as u64;
+    fn partial_result(&self) -> SearchResult {
+        let Some(run) = &self.run else {
+            return SearchResult::default();
+        };
+        let (visits, probs, value) = run.tree.action_prior(run.action_space);
+        let mut stats = run.stats;
         stats.eval_ns = self.client.eval_ns();
-        stats.move_ns = move_start.elapsed().as_nanos() as u64;
-        stats.nodes = tree.len() as u64;
+        stats.move_ns = run.gate.active_ns;
+        stats.nodes = run.tree.len() as u64;
         SearchResult {
             probs,
             visits,
@@ -175,17 +236,22 @@ impl<G: Game> SearchScheme<G> for LocalTreeSearch {
         }
     }
 
+    fn cancel(&mut self) {
+        if let Some(mut run) = self.run.take() {
+            // Drain and apply everything in flight: completions release
+            // their virtual loss, so the tree is consistent when dropped
+            // (and the walk below can prove it).
+            while self.client.in_flight() > 0 {
+                Self::process_one(&mut self.client, &mut run);
+            }
+            debug_assert_eq!(run.tree.outstanding_vl(), 0);
+            #[cfg(feature = "invariants")]
+            run.tree.check_invariants();
+        }
+    }
+
     fn name(&self) -> &'static str {
         "local-tree"
-    }
-}
-
-pub(crate) fn empty_result(action_space: usize) -> SearchResult {
-    SearchResult {
-        probs: vec![0.0; action_space],
-        visits: vec![0; action_space],
-        value: 0.0,
-        stats: SearchStats::default(),
     }
 }
 

@@ -1,5 +1,6 @@
 //! The common interface of all search schemes and their outputs.
 
+use crate::budget::{Budget, StepOutcome};
 use games::Action;
 use serde::{Deserialize, Serialize};
 
@@ -105,6 +106,11 @@ impl SearchResult {
     /// visit count before exponentiation, so small temperatures cannot
     /// overflow to `inf`/NaN no matter how large the counts are, and an
     /// all-zero visit vector falls back to `best_action()`.
+    ///
+    /// **Allocation-free**: the weights are recomputed during the CDF
+    /// walk instead of staged in a scratch vector, so per-move sampling
+    /// in a serving loop stays off the heap (see
+    /// `tests/alloc_steady_state.rs`).
     pub fn sample_action<R: rand::Rng + ?Sized>(&self, temperature: f32, rng: &mut R) -> Action {
         if temperature < 1e-3 {
             return self.best_action();
@@ -115,18 +121,17 @@ impl SearchResult {
         }
         let inv_t = 1.0 / temperature as f64;
         // (v / max)^1/t ∈ [0, 1]: immune to overflow for any t > 0.
-        let weights: Vec<f64> = self
-            .visits
-            .iter()
-            .map(|&v| (v as f64 / max_v as f64).powf(inv_t))
-            .collect();
-        let total: f64 = weights.iter().sum();
+        let weight = |v: u32| (v as f64 / max_v as f64).powf(inv_t);
+        let total: f64 = self.visits.iter().map(|&v| weight(v)).sum();
         if total <= 0.0 || !total.is_finite() {
             return self.best_action();
         }
         let mut u = rng.gen_range(0.0..total);
-        for (i, w) in weights.iter().enumerate() {
-            if u < *w {
+        // Second pass re-derives each weight: two `powf`s per action
+        // beat a heap allocation per sampled move.
+        for (i, &v) in self.visits.iter().enumerate() {
+            let w = weight(v);
+            if u < w {
                 return i as Action;
             }
             u -= w;
@@ -136,12 +141,69 @@ impl SearchResult {
 }
 
 /// A tree-based search scheme (one of the paper's parallel methods or a
-/// baseline). `search` corresponds to `get_action_prior` in Algorithms 2/3:
-/// it builds a fresh tree for the given root state and runs the configured
-/// number of playouts.
+/// baseline).
+///
+/// # Resumable execution
+///
+/// Search is an incremental, schedulable unit: [`SearchScheme::begin`]
+/// opens a run from a root state under a [`Budget`], repeated
+/// [`SearchScheme::step`] calls advance it by a bounded number of
+/// playouts, [`SearchScheme::partial_result`] snapshots the anytime
+/// result, and [`SearchScheme::cancel`] abandons the run (leaving the
+/// scheme reusable). [`SearchScheme::search`] — `get_action_prior` in
+/// Algorithms 2/3 — is a provided thin loop over `step`, so one-shot
+/// callers never see the state machine.
+///
+/// Contract common to every implementation:
+///
+/// * `begin` implicitly cancels any still-active run;
+/// * `step` with no active run returns [`StepOutcome::Done`] and does
+///   nothing; `step` must be driven with the same game type `G` as the
+///   `begin` that opened the run (panics otherwise);
+/// * between `step` calls the run's tree is quiescent enough to snapshot:
+///   `partial_result` is exact over all *completed* playouts (pipelined
+///   schemes may hold evaluations in flight across steps — their virtual
+///   loss is not part of the snapshot);
+/// * `cancel` drains or reverts any in-flight work, so a retained tree
+///   (reuse scheme) stays consistent and a subsequent `begin`/`advance`
+///   behaves as if the cancelled run had been a shorter search.
 pub trait SearchScheme<G: games::Game>: Send {
-    /// Run one move's worth of playouts from `root`.
-    fn search(&mut self, root: &G) -> SearchResult;
+    /// Open a resumable run from `root` under `budget` (fields left
+    /// `None` inherit the scheme's config). Any active run is cancelled.
+    fn begin(&mut self, root: &G, budget: Budget);
+
+    /// Advance the active run by roughly `quota` completed playouts.
+    /// Blocks while those playouts execute (parallel schemes use their
+    /// worker pools internally) and returns whether budget remains.
+    /// `quota` is a pacing hint, not an exact count: pipelined schemes
+    /// may complete a few extra playouts as in-flight evaluations drain,
+    /// and a deadline can end the step early. `usize::MAX` runs the whole
+    /// remaining budget in one call.
+    fn step(&mut self, quota: usize) -> StepOutcome;
+
+    /// Anytime snapshot of the active (or just-finished) run: the root
+    /// visit distribution over all completed playouts, plus accumulated
+    /// stats (`move_ns` counts time spent inside `step` calls, not time
+    /// parked between them). Returns an empty default when no run was
+    /// ever begun.
+    fn partial_result(&self) -> SearchResult;
+
+    /// Abandon the active run. In-flight evaluations are drained (their
+    /// virtual loss released), so tree invariants hold afterwards; with
+    /// the `invariants` cargo feature the full invariant walk runs here.
+    /// No-op when no run is active.
+    fn cancel(&mut self);
+
+    /// Run one move's worth of playouts from `root`: a thin loop over
+    /// the resumable API, equivalent to `begin` + `step`-to-completion +
+    /// `partial_result`.
+    fn search(&mut self, root: &G) -> SearchResult {
+        self.begin(root, Budget::default());
+        while self.step(usize::MAX) == StepOutcome::Running {}
+        let result = self.partial_result();
+        self.cancel();
+        result
+    }
 
     /// Report that `action` was actually played from the last-searched
     /// state. Stateless schemes ignore this (the default); stateful

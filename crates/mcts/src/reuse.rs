@@ -19,6 +19,7 @@
 //! [`MctsConfig::max_nodes`] set the retained tree searches under a hard
 //! memory bound across the entire game.
 
+use crate::budget::{Budget, RootSlot, RunGate, StepOutcome};
 use crate::config::MctsConfig;
 use crate::evaluator::{BatchEvaluator, EvalOutput};
 use crate::result::{SearchResult, SearchScheme, SearchStats};
@@ -26,6 +27,14 @@ use crate::tree::{SelectOutcome, Tree, TreeStats};
 use games::{Action, Game};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Resumable-run state of a reuse search (the tree itself lives in
+/// [`ReusableSearch::tree`] so it persists across runs).
+struct ReuseRun {
+    stats: SearchStats,
+    gate: RunGate,
+    action_space: usize,
+}
 
 /// A serial searcher that persists its tree across moves.
 ///
@@ -47,6 +56,8 @@ pub struct ReusableSearch {
     reclaimed_snapshot: u64,
     /// Nodes inherited from previous moves via reuse (for diagnostics).
     pub inherited_nodes: u64,
+    root: RootSlot,
+    run: Option<ReuseRun>,
 }
 
 impl ReusableSearch {
@@ -61,12 +72,32 @@ impl ReusableSearch {
             eval_out: [EvalOutput::default()],
             reclaimed_snapshot: 0,
             inherited_nodes: 0,
+            root: RootSlot::new(),
+            run: None,
         }
+    }
+
+    /// Swap the hyper-parameters and evaluator while keeping the warmed
+    /// arena memory, and clear any retained subtree (a new logical
+    /// session starts). Used by serving layers that pool warmed
+    /// searchers across sessions with different models/configs.
+    pub fn reconfigure(&mut self, cfg: MctsConfig, evaluator: Arc<dyn BatchEvaluator>) {
+        cfg.validate();
+        self.run = None;
+        self.cfg = cfg;
+        self.evaluator = evaluator;
+        if let Some(t) = &mut self.tree {
+            t.set_config(cfg);
+        }
+        self.inherited_nodes = 0;
+        self.reclaimed_snapshot = self.tree.as_ref().map_or(0, |t| t.stats().reclaimed_total);
     }
 
     /// Drop any retained search state (e.g. when starting a new game).
     /// The arena's memory is kept, so the next game's searches reuse it.
+    /// An active resumable run is abandoned.
     pub fn reset(&mut self) {
+        self.run = None;
         if let Some(t) = &mut self.tree {
             t.reset_in_place();
         }
@@ -76,8 +107,10 @@ impl ReusableSearch {
     /// Report that `action` was played from the state last searched (or
     /// last advanced to). Re-roots the retained tree **in place** at the
     /// corresponding child (`O(discarded nodes)`, no allocation), or
-    /// resets it if that child was never expanded.
+    /// resets it if that child was never expanded. An active resumable
+    /// run is abandoned first (its completed playouts stay in the tree).
     pub fn advance(&mut self, action: Action) {
+        self.run = None;
         if let Some(t) = &mut self.tree {
             t.advance_root(action);
         }
@@ -115,67 +148,115 @@ impl ReusableSearch {
     /// allocation-free, e.g. a warmed [`crate::NnEvaluator`]), a whole
     /// search → advance → search cycle performs zero heap allocations.
     pub fn search_into<G: Game>(&mut self, root: &G, result: &mut SearchResult) {
-        let move_start = Instant::now();
-        let mut tree = self.tree.take().unwrap_or_else(|| Tree::new(self.cfg));
-        self.inherited_nodes = (tree.len() as u64).saturating_sub(1);
-        let mut stats = SearchStats::default();
-        self.encode_buf.resize(root.encoded_len(), 0.0);
+        SearchScheme::<G>::begin(self, root, Budget::default());
+        while SearchScheme::<G>::step(self, usize::MAX) == StepOutcome::Running {}
+        self.partial_into(result);
+        SearchScheme::<G>::cancel(self);
+    }
 
-        let budget = self
-            .cfg
-            .time_budget_ms
-            .map(std::time::Duration::from_millis);
-        // Count *new* playouts only: an inherited tree already holds visits,
-        // so the per-move compute budget stays comparable to a fresh search.
-        let mut done = 0usize;
-        while done < self.cfg.playouts {
-            if let Some(b) = budget {
-                if move_start.elapsed() >= b {
-                    break;
-                }
+    /// [`SearchScheme::partial_result`] into caller-owned buffers (no
+    /// allocation once the buffers have capacity). Leaves `result`
+    /// untouched when no run is active.
+    pub fn partial_into(&self, result: &mut SearchResult) {
+        let (Some(run), Some(tree)) = (&self.run, &self.tree) else {
+            return;
+        };
+        result.value =
+            tree.action_prior_into(run.action_space, &mut result.visits, &mut result.probs);
+        result.stats = run.stats;
+        result.stats.move_ns = run.gate.active_ns;
+        result.stats.nodes = tree.len() as u64;
+        result.stats.reclaimed = tree.stats().reclaimed_total - self.reclaimed_snapshot;
+    }
+}
+
+impl<G: Game> SearchScheme<G> for ReusableSearch {
+    fn begin(&mut self, root: &G, budget: Budget) {
+        SearchScheme::<G>::cancel(self);
+        let run_cfg = budget.apply_to(&self.cfg);
+        let tree = match &mut self.tree {
+            Some(t) => {
+                // Per-run knob changes apply to the retained tree too
+                // (its arena bound stays where it is, see Budget docs).
+                t.set_search_params(run_cfg);
+                t
             }
+            None => self.tree.insert(Tree::new(run_cfg)),
+        };
+        self.inherited_nodes = (tree.len() as u64).saturating_sub(1);
+        self.root.store(root);
+        self.encode_buf.resize(root.encoded_len(), 0.0);
+        // Count *new* playouts only: an inherited tree already holds
+        // visits, so the per-run compute budget stays comparable to a
+        // fresh search.
+        self.run = Some(ReuseRun {
+            stats: SearchStats::default(),
+            gate: RunGate::new(&self.cfg, &budget, root.status().is_terminal()),
+            action_space: root.action_space(),
+        });
+    }
+
+    fn step(&mut self, quota: usize) -> StepOutcome {
+        let Some(run) = &mut self.run else {
+            return StepOutcome::Done;
+        };
+        let tree = self.tree.as_mut().expect("run implies a tree");
+        let step_start = Instant::now();
+        let root = self.root.get::<G>();
+        let mut used = 0usize;
+        while used < quota && !run.gate.exhausted() {
             let mut game = root.clone();
             let t0 = Instant::now();
             let (leaf, outcome) = tree.select(&mut game);
-            stats.select_ns += t0.elapsed().as_nanos() as u64;
+            run.stats.select_ns += t0.elapsed().as_nanos() as u64;
             match outcome {
-                SelectOutcome::TerminalBackedUp => {
-                    done += 1;
-                    stats.playouts += 1;
-                }
+                SelectOutcome::TerminalBackedUp => {}
                 SelectOutcome::NeedsEval => {
                     let t1 = Instant::now();
                     game.encode(&mut self.encode_buf);
                     let inputs = [self.encode_buf.as_slice()];
                     self.evaluator.evaluate_batch(&inputs, &mut self.eval_out);
                     let o = &self.eval_out[0];
-                    stats.eval_ns += t1.elapsed().as_nanos() as u64;
+                    run.stats.eval_ns += t1.elapsed().as_nanos() as u64;
                     let t2 = Instant::now();
                     tree.expand_and_backup(leaf, &o.priors, o.value);
-                    stats.backup_ns += t2.elapsed().as_nanos() as u64;
-                    done += 1;
-                    stats.playouts += 1;
+                    run.stats.backup_ns += t2.elapsed().as_nanos() as u64;
                 }
                 SelectOutcome::Busy => unreachable!("serial reuse search found a pending leaf"),
             }
+            used += 1;
+            run.gate.done += 1;
+            run.stats.playouts += 1;
         }
-
-        result.value =
-            tree.action_prior_into(root.action_space(), &mut result.visits, &mut result.probs);
-        stats.move_ns = move_start.elapsed().as_nanos() as u64;
-        stats.nodes = tree.len() as u64;
-        let reclaimed_total = tree.stats().reclaimed_total;
-        stats.reclaimed = reclaimed_total - self.reclaimed_snapshot;
-        self.reclaimed_snapshot = reclaimed_total;
-        debug_assert_eq!(tree.outstanding_vl(), 0);
-        #[cfg(feature = "invariants")]
-        tree.check_invariants();
-        self.tree = Some(tree);
-        result.stats = stats;
+        run.gate.active_ns += step_start.elapsed().as_nanos() as u64;
+        if run.gate.exhausted() {
+            debug_assert_eq!(tree.outstanding_vl(), 0);
+            #[cfg(feature = "invariants")]
+            tree.check_invariants();
+            StepOutcome::Done
+        } else {
+            StepOutcome::Running
+        }
     }
-}
 
-impl<G: Game> SearchScheme<G> for ReusableSearch {
+    fn partial_result(&self) -> SearchResult {
+        let mut result = SearchResult::default();
+        self.partial_into(&mut result);
+        result
+    }
+
+    fn cancel(&mut self) {
+        if self.run.take().is_some() {
+            // The retained tree keeps the cancelled run's completed
+            // playouts: a shorter search happened, nothing is torn down.
+            let tree = self.tree.as_ref().expect("run implies a tree");
+            debug_assert_eq!(tree.outstanding_vl(), 0);
+            #[cfg(feature = "invariants")]
+            tree.check_invariants();
+            self.reclaimed_snapshot = tree.stats().reclaimed_total;
+        }
+    }
+
     fn search(&mut self, root: &G) -> SearchResult {
         ReusableSearch::search(self, root)
     }

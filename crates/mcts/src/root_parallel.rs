@@ -6,80 +6,211 @@
 //! states (the paper's stated drawback), so search quality per playout is
 //! lower than tree-parallel schemes.
 
+use crate::budget::{Budget, RootSlot, RunGate, StepOutcome};
 use crate::config::MctsConfig;
 use crate::evaluator::BatchEvaluator;
-use crate::local::empty_result;
 use crate::result::{SearchResult, SearchScheme, SearchStats};
-use crate::serial::SerialSearch;
+use crate::tree::{SelectOutcome, Tree};
 use games::Game;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// One worker's private tree and its share of the run budget.
+struct WorkerSlot {
+    tree: Tree,
+    stats: SearchStats,
+    done: u64,
+    target: u64,
+    encode_buf: Vec<f32>,
+}
+
+/// Resumable-run state of a root-parallel search.
+struct RootParRun {
+    slots: Vec<WorkerSlot>,
+    gate: RunGate,
+    action_space: usize,
+}
 
 /// Independent-trees root parallelization.
 pub struct RootParallelSearch {
     cfg: MctsConfig,
     evaluator: Arc<dyn BatchEvaluator>,
+    root: RootSlot,
+    run: Option<RootParRun>,
 }
 
 impl RootParallelSearch {
     /// Create a root-parallel searcher with `cfg.workers` private trees.
     pub fn new(cfg: MctsConfig, evaluator: Arc<dyn BatchEvaluator>) -> Self {
         cfg.validate();
-        RootParallelSearch { cfg, evaluator }
+        RootParallelSearch {
+            cfg,
+            evaluator,
+            root: RootSlot::new(),
+            run: None,
+        }
+    }
+}
+
+/// Run up to `grant` serial playouts on one private tree, stopping at
+/// `deadline`.
+fn run_slot<G: Game>(
+    slot: &mut WorkerSlot,
+    root: &G,
+    evaluator: &dyn BatchEvaluator,
+    grant: u64,
+    deadline: Option<Instant>,
+) {
+    for _ in 0..grant {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return;
+        }
+        let mut game = root.clone();
+        let t0 = Instant::now();
+        let (leaf, outcome) = slot.tree.select(&mut game);
+        slot.stats.select_ns += t0.elapsed().as_nanos() as u64;
+        match outcome {
+            SelectOutcome::TerminalBackedUp => {}
+            SelectOutcome::NeedsEval => {
+                let t1 = Instant::now();
+                game.encode(&mut slot.encode_buf);
+                let o = evaluator.evaluate_one(&slot.encode_buf);
+                slot.stats.eval_ns += t1.elapsed().as_nanos() as u64;
+                let t2 = Instant::now();
+                slot.tree.expand_and_backup(leaf, &o.priors, o.value);
+                slot.stats.backup_ns += t2.elapsed().as_nanos() as u64;
+            }
+            SelectOutcome::Busy => unreachable!("private tree found a pending leaf"),
+        }
+        slot.done += 1;
+        slot.stats.playouts += 1;
     }
 }
 
 impl<G: Game> SearchScheme<G> for RootParallelSearch {
-    fn search(&mut self, root: &G) -> SearchResult {
-        if root.status().is_terminal() {
-            return empty_result(root.action_space());
-        }
-        let move_start = Instant::now();
+    fn begin(&mut self, root: &G, budget: Budget) {
+        SearchScheme::<G>::cancel(self);
+        let run_cfg = budget.apply_to(&self.cfg);
+        let mut gate = RunGate::new(&self.cfg, &budget, root.status().is_terminal());
         let n = self.cfg.workers;
-        let per_worker = (self.cfg.playouts / n).max(1);
-        // Distribute the remainder so the total playout budget is exact.
-        let remainder = self.cfg.playouts.saturating_sub(per_worker * n);
-
-        let results: Vec<SearchResult> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..n)
-                .map(|i| {
-                    let budget = per_worker + usize::from(i < remainder);
-                    let cfg = MctsConfig {
-                        playouts: budget,
-                        workers: 1,
-                        ..self.cfg
-                    };
-                    let evaluator = Arc::clone(&self.evaluator);
-                    let root = root.clone();
-                    s.spawn(move || {
-                        let mut serial = SerialSearch::new(cfg, evaluator);
-                        SearchScheme::<G>::search(&mut serial, &root)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker"))
-                .collect()
+        // Same split as one-shot root parallelization always used: every
+        // worker gets at least one playout, the remainder spreads over
+        // the first workers, and the effective run target is the sum.
+        let requested = gate.target() as usize;
+        let per_worker = (requested / n).max(usize::from(requested > 0));
+        let remainder = requested.saturating_sub(per_worker * n);
+        let slots: Vec<WorkerSlot> = (0..n)
+            .map(|i| WorkerSlot {
+                tree: Tree::new(run_cfg),
+                stats: SearchStats::default(),
+                done: 0,
+                target: (per_worker + usize::from(i < remainder)) as u64,
+                encode_buf: vec![0.0; root.encoded_len()],
+            })
+            .collect();
+        gate = RunGate::new(
+            &MctsConfig {
+                playouts: slots
+                    .iter()
+                    .map(|s| s.target as usize)
+                    .sum::<usize>()
+                    .max(1),
+                ..self.cfg
+            },
+            &Budget {
+                playouts: None,
+                ..budget
+            },
+            root.status().is_terminal(),
+        );
+        self.root.store(root);
+        self.run = Some(RootParRun {
+            slots,
+            gate,
+            action_space: root.action_space(),
         });
+    }
 
+    fn step(&mut self, quota: usize) -> StepOutcome {
+        let Some(mut run) = self.run.take() else {
+            return StepOutcome::Done;
+        };
+        let step_start = Instant::now();
+        if !run.gate.exhausted() {
+            // Spread the quota over the slots that still owe playouts
+            // (fair share each; the remainder goes to the first ones),
+            // so progress is guaranteed even for tiny quotas.
+            let unfinished = run.slots.iter().filter(|s| s.done < s.target).count();
+            let per = quota / unfinished.max(1);
+            let rem = quota % unfinished.max(1);
+            let deadline = run.gate.deadline();
+            let root = self.root.get::<G>();
+            let evaluator = &self.evaluator;
+            // Scoped threads, not a persistent pool: each worker needs
+            // `&mut` into its slot across the slice, which a `'static`
+            // pool closure cannot borrow. The spawn/join cost is µs per
+            // slice against ms of playouts; root parallelization is a
+            // baseline, not the serving hot path.
+            std::thread::scope(|s| {
+                let mut i = 0usize;
+                for slot in run.slots.iter_mut() {
+                    if slot.done >= slot.target {
+                        continue;
+                    }
+                    let want = (per + usize::from(i < rem)) as u64;
+                    i += 1;
+                    let grant = want.min(slot.target - slot.done);
+                    if grant == 0 {
+                        continue;
+                    }
+                    s.spawn(move || {
+                        run_slot(slot, root, evaluator.as_ref(), grant, deadline);
+                    });
+                }
+            });
+            run.gate.done = run.slots.iter().map(|s| s.done).sum();
+        }
+        run.gate.active_ns += step_start.elapsed().as_nanos() as u64;
+        let finished = run.gate.out_of_time() || run.slots.iter().all(|s| s.done >= s.target);
+        let outcome = if finished {
+            #[cfg(feature = "invariants")]
+            for slot in &run.slots {
+                slot.tree.check_invariants();
+            }
+            StepOutcome::Done
+        } else {
+            StepOutcome::Running
+        };
+        self.run = Some(run);
+        outcome
+    }
+
+    fn partial_result(&self) -> SearchResult {
+        let Some(run) = &self.run else {
+            return SearchResult::default();
+        };
         // Aggregate root statistics across the private trees.
-        let a = root.action_space();
+        let a = run.action_space;
         let mut visits = vec![0u32; a];
         let mut stats = SearchStats::default();
         let mut value_acc = 0.0f64;
-        for r in &results {
-            for (tot, &v) in visits.iter_mut().zip(&r.visits) {
+        let mut slot_visits = Vec::new();
+        let mut slot_probs = Vec::new();
+        for slot in &run.slots {
+            let value = slot
+                .tree
+                .action_prior_into(a, &mut slot_visits, &mut slot_probs);
+            for (tot, &v) in visits.iter_mut().zip(&slot_visits) {
                 *tot += v;
             }
-            value_acc += r.value as f64;
-            stats.playouts += r.stats.playouts;
-            stats.select_ns += r.stats.select_ns;
-            stats.backup_ns += r.stats.backup_ns;
-            stats.eval_ns += r.stats.eval_ns;
-            stats.collisions += r.stats.collisions;
-            stats.nodes += r.stats.nodes;
-            stats.reclaimed += r.stats.reclaimed;
+            value_acc += value as f64;
+            stats.playouts += slot.stats.playouts;
+            stats.select_ns += slot.stats.select_ns;
+            stats.backup_ns += slot.stats.backup_ns;
+            stats.eval_ns += slot.stats.eval_ns;
+            stats.collisions += slot.stats.collisions;
+            stats.nodes += slot.tree.len() as u64;
+            stats.reclaimed += slot.tree.stats().reclaimed_total;
         }
         let total: u32 = visits.iter().sum();
         let probs = if total == 0 {
@@ -87,12 +218,22 @@ impl<G: Game> SearchScheme<G> for RootParallelSearch {
         } else {
             visits.iter().map(|&v| v as f32 / total as f32).collect()
         };
-        stats.move_ns = move_start.elapsed().as_nanos() as u64;
+        stats.move_ns = run.gate.active_ns;
         SearchResult {
             probs,
             visits,
-            value: (value_acc / results.len() as f64) as f32,
+            value: (value_acc / run.slots.len().max(1) as f64) as f32,
             stats,
+        }
+    }
+
+    fn cancel(&mut self) {
+        if let Some(run) = self.run.take() {
+            #[cfg(feature = "invariants")]
+            for slot in &run.slots {
+                slot.tree.check_invariants();
+            }
+            let _ = run;
         }
     }
 

@@ -4,6 +4,7 @@
 //! runtime", §1) and the algorithmic ground truth the parallel schemes are
 //! validated against.
 
+use crate::budget::{Budget, RootSlot, RunGate, StepOutcome};
 use crate::config::MctsConfig;
 use crate::evaluator::BatchEvaluator;
 use crate::result::{SearchResult, SearchScheme, SearchStats};
@@ -12,11 +13,21 @@ use games::Game;
 use std::sync::Arc;
 use std::time::Instant;
 
+/// Resumable-run state of a serial search.
+struct SerialRun {
+    tree: Tree,
+    stats: SearchStats,
+    gate: RunGate,
+    action_space: usize,
+}
+
 /// Single-threaded search driver.
 pub struct SerialSearch {
     cfg: MctsConfig,
     evaluator: Arc<dyn BatchEvaluator>,
     encode_buf: Vec<f32>,
+    root: RootSlot,
+    run: Option<SerialRun>,
 }
 
 impl SerialSearch {
@@ -27,6 +38,8 @@ impl SerialSearch {
             cfg,
             evaluator,
             encode_buf: Vec::new(),
+            root: RootSlot::new(),
+            run: None,
         }
     }
 
@@ -37,61 +50,83 @@ impl SerialSearch {
 }
 
 impl<G: Game> SearchScheme<G> for SerialSearch {
-    fn search(&mut self, root: &G) -> SearchResult {
-        let move_start = Instant::now();
-        let mut tree = Tree::new(self.cfg);
-        let mut stats = SearchStats::default();
+    fn begin(&mut self, root: &G, budget: Budget) {
+        SearchScheme::<G>::cancel(self);
+        let run_cfg = budget.apply_to(&self.cfg);
+        self.root.store(root);
         self.encode_buf.resize(root.encoded_len(), 0.0);
+        self.run = Some(SerialRun {
+            tree: Tree::new(run_cfg),
+            stats: SearchStats::default(),
+            gate: RunGate::new(&self.cfg, &budget, root.status().is_terminal()),
+            action_space: root.action_space(),
+        });
+    }
 
-        let budget = self
-            .cfg
-            .time_budget_ms
-            .map(std::time::Duration::from_millis);
-        let mut done = 0usize;
-        while done < self.cfg.playouts {
-            if let Some(b) = budget {
-                if move_start.elapsed() >= b {
-                    break;
-                }
-            }
+    fn step(&mut self, quota: usize) -> StepOutcome {
+        let Some(run) = &mut self.run else {
+            return StepOutcome::Done;
+        };
+        let step_start = Instant::now();
+        let root = self.root.get::<G>();
+        let mut used = 0usize;
+        while used < quota && !run.gate.exhausted() {
             let mut game = root.clone();
             let t0 = Instant::now();
-            let (leaf, outcome) = tree.select(&mut game);
-            stats.select_ns += t0.elapsed().as_nanos() as u64;
+            let (leaf, outcome) = run.tree.select(&mut game);
+            run.stats.select_ns += t0.elapsed().as_nanos() as u64;
             match outcome {
-                SelectOutcome::TerminalBackedUp => {
-                    done += 1;
-                    stats.playouts += 1;
-                }
+                SelectOutcome::TerminalBackedUp => {}
                 SelectOutcome::NeedsEval => {
                     let t1 = Instant::now();
                     game.encode(&mut self.encode_buf);
                     let o = self.evaluator.evaluate_one(&self.encode_buf);
-                    stats.eval_ns += t1.elapsed().as_nanos() as u64;
+                    run.stats.eval_ns += t1.elapsed().as_nanos() as u64;
                     let t2 = Instant::now();
-                    tree.expand_and_backup(leaf, &o.priors, o.value);
-                    stats.backup_ns += t2.elapsed().as_nanos() as u64;
-                    done += 1;
-                    stats.playouts += 1;
+                    run.tree.expand_and_backup(leaf, &o.priors, o.value);
+                    run.stats.backup_ns += t2.elapsed().as_nanos() as u64;
                 }
                 SelectOutcome::Busy => {
                     // Impossible serially: nothing else holds a claim.
                     unreachable!("serial search found a pending leaf");
                 }
             }
+            used += 1;
+            run.gate.done += 1;
+            run.stats.playouts += 1;
         }
+        run.gate.active_ns += step_start.elapsed().as_nanos() as u64;
+        if run.gate.exhausted() {
+            debug_assert_eq!(run.tree.outstanding_vl(), 0);
+            #[cfg(feature = "invariants")]
+            run.tree.check_invariants();
+            StepOutcome::Done
+        } else {
+            StepOutcome::Running
+        }
+    }
 
-        let (visits, probs, value) = tree.action_prior(root.action_space());
-        stats.move_ns = move_start.elapsed().as_nanos() as u64;
-        stats.nodes = tree.len() as u64;
-        debug_assert_eq!(tree.outstanding_vl(), 0);
-        #[cfg(feature = "invariants")]
-        tree.check_invariants();
+    fn partial_result(&self) -> SearchResult {
+        let Some(run) = &self.run else {
+            return SearchResult::default();
+        };
+        let (visits, probs, value) = run.tree.action_prior(run.action_space);
+        let mut stats = run.stats;
+        stats.move_ns = run.gate.active_ns;
+        stats.nodes = run.tree.len() as u64;
         SearchResult {
             probs,
             visits,
             value,
             stats,
+        }
+    }
+
+    fn cancel(&mut self) {
+        if let Some(run) = self.run.take() {
+            debug_assert_eq!(run.tree.outstanding_vl(), 0);
+            #[cfg(feature = "invariants")]
+            run.tree.check_invariants();
         }
     }
 

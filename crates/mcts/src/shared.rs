@@ -20,10 +20,10 @@
 //! searches run under a fixed memory bound by construction.
 
 use crate::arena::{phase, AtomicColumns, W_SCALE};
+use crate::budget::{Budget, RootSlot, RunGate, StepOutcome};
 use crate::coalesce::CoalescingEvaluator;
 use crate::config::{LockKind, MctsConfig, VirtualLoss};
 use crate::evaluator::{BatchEvaluator, Evaluator, SingleSample};
-use crate::local::empty_result;
 use crate::pool::WorkerPool;
 use crate::result::{SearchResult, SearchScheme, SearchStats};
 use games::Game;
@@ -34,6 +34,17 @@ use std::time::Instant;
 
 /// Sentinel index.
 const NIL: u32 = crate::arena::NIL;
+
+/// Cap on the pre-allocated shared arena for **deadline-bounded** runs
+/// with no explicit [`MctsConfig::max_nodes`]. The arena is sized for
+/// the worst-case expansion of the whole run, and a time-budgeted run's
+/// playout cap is aspirational — without this bound a `Budget::time`
+/// run with a huge playout ceiling would allocate gigabytes of atomic
+/// columns up front. Deadline-free runs keep the exact worst-case
+/// sizing (they can never exhaust the arena); a deadline run genuinely
+/// expanding more than this many nodes before its deadline must set
+/// `max_nodes` explicitly.
+pub const DEFAULT_SHARED_ARENA_SLOTS: usize = 1 << 22;
 
 /// The concurrent arena tree shared by all rollout workers for one move.
 pub struct SharedTree {
@@ -381,6 +392,16 @@ impl SharedTree {
     }
 }
 
+/// Resumable-run state of a shared-tree search: the concurrent tree plus
+/// the cross-wave accounting counters.
+struct SharedRun {
+    tree: Arc<SharedTree>,
+    gate: RunGate,
+    action_space: usize,
+    eval_ns: Arc<AtomicU64>,
+    in_tree_ns: Arc<AtomicU64>,
+}
+
 /// Driver: persistent `N`-thread pool running `threadsafe_rollout` loops.
 ///
 /// Rollout workers need their leaf evaluated synchronously before the
@@ -394,6 +415,8 @@ pub struct SharedTreeSearch {
     cfg: MctsConfig,
     sync_eval: Arc<dyn Evaluator>,
     pool: WorkerPool,
+    root: RootSlot,
+    run: Option<SharedRun>,
 }
 
 impl SharedTreeSearch {
@@ -425,6 +448,8 @@ impl SharedTreeSearch {
             pool: WorkerPool::new(cfg.workers),
             cfg,
             sync_eval,
+            root: RootSlot::new(),
+            run: None,
         }
     }
 
@@ -435,28 +460,63 @@ impl SharedTreeSearch {
 }
 
 impl<G: Game> SearchScheme<G> for SharedTreeSearch {
-    fn search(&mut self, root: &G) -> SearchResult {
-        if root.status().is_terminal() {
-            return empty_result(root.action_space());
+    fn begin(&mut self, root: &G, budget: Budget) {
+        SearchScheme::<G>::cancel(self);
+        let mut run_cfg = budget.apply_to(&self.cfg);
+        let gate = RunGate::new(&self.cfg, &budget, root.status().is_terminal());
+        // A deadline makes the playout target aspirational: don't let a
+        // huge ceiling inflate the worst-case arena sizing into
+        // gigabytes (see DEFAULT_SHARED_ARENA_SLOTS). Deadline-free
+        // runs keep the exact worst-case estimate.
+        if gate.deadline().is_some() && run_cfg.max_nodes.is_none() {
+            let per_playout = root.action_space() + 1;
+            let max_sized = (DEFAULT_SHARED_ARENA_SLOTS / per_playout)
+                .saturating_sub(run_cfg.workers + 1)
+                .max(1);
+            run_cfg.playouts = run_cfg.playouts.min(max_sized);
         }
-        let move_start = Instant::now();
-        let tree = Arc::new(SharedTree::new(self.cfg, root.action_space()));
-        let tickets = Arc::new(AtomicUsize::new(self.cfg.playouts));
-        let eval_ns = Arc::new(AtomicU64::new(0));
-        let in_tree_ns = Arc::new(AtomicU64::new(0));
+        self.root.store(root);
+        self.run = Some(SharedRun {
+            // The arena is sized for the whole run's expansion up front
+            // (run_cfg carries the resolved playout target).
+            tree: Arc::new(SharedTree::new(run_cfg, root.action_space())),
+            gate,
+            action_space: root.action_space(),
+            eval_ns: Arc::new(AtomicU64::new(0)),
+            in_tree_ns: Arc::new(AtomicU64::new(0)),
+        });
+    }
 
+    fn step(&mut self, quota: usize) -> StepOutcome {
+        let Some(run) = &mut self.run else {
+            return StepOutcome::Done;
+        };
+        if run.gate.exhausted() {
+            return StepOutcome::Done;
+        }
+        let step_start = Instant::now();
+        let grant = (quota as u64).min(run.gate.remaining()) as usize;
+        let tickets = Arc::new(AtomicUsize::new(grant));
+        let completed = Arc::new(AtomicUsize::new(0));
         {
-            let tree = Arc::clone(&tree);
+            let tree = Arc::clone(&run.tree);
             let tickets = Arc::clone(&tickets);
-            let eval_ns = Arc::clone(&eval_ns);
-            let in_tree_ns = Arc::clone(&in_tree_ns);
+            let completed = Arc::clone(&completed);
+            let eval_ns = Arc::clone(&run.eval_ns);
+            let in_tree_ns = Arc::clone(&run.in_tree_ns);
             let evaluator = Arc::clone(&self.sync_eval);
-            let root = root.clone();
+            let deadline = run.gate.deadline();
+            let root = self.root.get::<G>().clone();
             self.pool.run_wave(self.cfg.workers, move |_| {
                 let mut encode_buf = Vec::new();
                 loop {
-                    // Take a ticket; collisions retry on the same ticket so
-                    // exactly `playouts` rollouts complete.
+                    // Deadline first: no new rollout starts past it.
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        return;
+                    }
+                    // Take a ticket; collisions retry on the same ticket
+                    // so exactly `grant` rollouts complete (modulo the
+                    // deadline).
                     if tickets
                         .fetch_update(Ordering::AcqRel, Ordering::Acquire, |t| t.checked_sub(1))
                         .is_err()
@@ -477,27 +537,40 @@ impl<G: Game> SearchScheme<G> for SharedTreeSearch {
                             ));
                         }
                     }
+                    completed.fetch_add(1, Ordering::Relaxed);
                     in_tree_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 }
             });
         }
+        run.gate.done += completed.load(Ordering::Relaxed) as u64;
+        run.gate.active_ns += step_start.elapsed().as_nanos() as u64;
+        if run.gate.exhausted() {
+            debug_assert_eq!(run.tree.outstanding_vl(), 0);
+            #[cfg(feature = "invariants")]
+            run.tree.check_invariants();
+            StepOutcome::Done
+        } else {
+            StepOutcome::Running
+        }
+    }
 
-        debug_assert_eq!(tree.outstanding_vl(), 0);
-        #[cfg(feature = "invariants")]
-        tree.check_invariants();
-        let (visits, probs, value) = tree.action_prior(root.action_space());
-        let eval = eval_ns.load(Ordering::Relaxed);
-        let total_worker = in_tree_ns.load(Ordering::Relaxed);
+    fn partial_result(&self) -> SearchResult {
+        let Some(run) = &self.run else {
+            return SearchResult::default();
+        };
+        let (visits, probs, value) = run.tree.action_prior(run.action_space);
+        let eval = run.eval_ns.load(Ordering::Relaxed);
+        let total_worker = run.in_tree_ns.load(Ordering::Relaxed);
         let stats = SearchStats {
-            playouts: self.cfg.playouts as u64,
+            playouts: run.gate.done,
             // Worker time minus evaluation = in-tree time; attribute the
             // split between select and backup 2:1 (selection dominates).
             select_ns: total_worker.saturating_sub(eval) * 2 / 3,
             backup_ns: total_worker.saturating_sub(eval) / 3,
             eval_ns: eval,
-            move_ns: move_start.elapsed().as_nanos() as u64,
-            collisions: tree.collisions(),
-            nodes: tree.len() as u64,
+            move_ns: run.gate.active_ns,
+            collisions: run.tree.collisions(),
+            nodes: run.tree.len() as u64,
             reclaimed: 0,
         };
         SearchResult {
@@ -505,6 +578,15 @@ impl<G: Game> SearchScheme<G> for SharedTreeSearch {
             visits,
             value,
             stats,
+        }
+    }
+
+    fn cancel(&mut self) {
+        if let Some(run) = self.run.take() {
+            // No wave is in flight between steps: the tree is quiescent.
+            debug_assert_eq!(run.tree.outstanding_vl(), 0);
+            #[cfg(feature = "invariants")]
+            run.tree.check_invariants();
         }
     }
 

@@ -17,6 +17,7 @@
 //! synchronization points) and amortize the main model's per-call cost —
 //! the same batching economics as the accelerator queue.
 
+use crate::budget::{Budget, RootSlot, RunGate, StepOutcome};
 use crate::config::MctsConfig;
 use crate::evaluator::{BatchEvaluator, EvalOutput};
 use crate::result::{SearchResult, SearchScheme, SearchStats};
@@ -30,6 +31,16 @@ struct PendingCorrection {
     leaf: u32,
     encoded: Vec<f32>,
     spec_value: f32,
+}
+
+/// Resumable-run state of a speculative search. Pending corrections
+/// survive step boundaries; they are flushed when the run finishes.
+struct SpecRun {
+    tree: Tree,
+    stats: SearchStats,
+    gate: RunGate,
+    action_space: usize,
+    pending: Vec<PendingCorrection>,
 }
 
 /// Serial search with speculative expansion and deferred main-model
@@ -47,6 +58,9 @@ pub struct SpeculativeSearch {
     /// Accumulated |v_main − v_spec| over all corrections (speculation
     /// quality diagnostic; large values mean the cheap model misleads).
     pub correction_magnitude: f64,
+    encode_buf: Vec<f32>,
+    root: RootSlot,
+    run: Option<SpecRun>,
 }
 
 impl SpeculativeSearch {
@@ -71,6 +85,9 @@ impl SpeculativeSearch {
             commit_batch,
             corrections: 0,
             correction_magnitude: 0.0,
+            encode_buf: Vec::new(),
+            root: RootSlot::new(),
+            run: None,
         }
     }
 
@@ -99,63 +116,100 @@ impl SpeculativeSearch {
 }
 
 impl<G: Game> SearchScheme<G> for SpeculativeSearch {
-    fn search(&mut self, root: &G) -> SearchResult {
-        let move_start = Instant::now();
-        let mut tree = Tree::new(self.cfg);
-        let mut stats = SearchStats::default();
-        let mut encode_buf = vec![0.0; root.encoded_len()];
-        let mut pending: Vec<PendingCorrection> = Vec::with_capacity(self.commit_batch);
+    fn begin(&mut self, root: &G, budget: Budget) {
+        SearchScheme::<G>::cancel(self);
+        let run_cfg = budget.apply_to(&self.cfg);
+        self.root.store(root);
+        self.encode_buf.resize(root.encoded_len(), 0.0);
+        self.run = Some(SpecRun {
+            tree: Tree::new(run_cfg),
+            stats: SearchStats::default(),
+            gate: RunGate::new(&self.cfg, &budget, root.status().is_terminal()),
+            action_space: root.action_space(),
+            pending: Vec::with_capacity(self.commit_batch),
+        });
+    }
 
-        let mut done = 0usize;
-        while done < self.cfg.playouts {
-            let mut game = root.clone();
+    fn step(&mut self, quota: usize) -> StepOutcome {
+        let Some(mut run) = self.run.take() else {
+            return StepOutcome::Done;
+        };
+        let step_start = Instant::now();
+        let mut used = 0usize;
+        while used < quota && !run.gate.exhausted() {
+            let mut game = self.root.get::<G>().clone();
             let t0 = Instant::now();
-            let (leaf, outcome) = tree.select(&mut game);
-            stats.select_ns += t0.elapsed().as_nanos() as u64;
+            let (leaf, outcome) = run.tree.select(&mut game);
+            run.stats.select_ns += t0.elapsed().as_nanos() as u64;
             match outcome {
-                SelectOutcome::TerminalBackedUp => {
-                    done += 1;
-                    stats.playouts += 1;
-                }
+                SelectOutcome::TerminalBackedUp => {}
                 SelectOutcome::NeedsEval => {
                     let t1 = Instant::now();
-                    game.encode(&mut encode_buf);
-                    let o = self.spec.evaluate_one(&encode_buf);
-                    stats.eval_ns += t1.elapsed().as_nanos() as u64;
+                    game.encode(&mut self.encode_buf);
+                    let o = self.spec.evaluate_one(&self.encode_buf);
+                    run.stats.eval_ns += t1.elapsed().as_nanos() as u64;
                     let t2 = Instant::now();
-                    tree.expand_and_backup(leaf, &o.priors, o.value);
-                    stats.backup_ns += t2.elapsed().as_nanos() as u64;
-                    pending.push(PendingCorrection {
+                    run.tree.expand_and_backup(leaf, &o.priors, o.value);
+                    run.stats.backup_ns += t2.elapsed().as_nanos() as u64;
+                    run.pending.push(PendingCorrection {
                         leaf,
-                        encoded: encode_buf.clone(),
+                        encoded: self.encode_buf.clone(),
                         spec_value: o.value,
                     });
-                    if pending.len() >= self.commit_batch {
+                    if run.pending.len() >= self.commit_batch {
                         let t3 = Instant::now();
-                        self.commit(&mut tree, &mut pending);
-                        stats.eval_ns += t3.elapsed().as_nanos() as u64;
+                        self.commit(&mut run.tree, &mut run.pending);
+                        run.stats.eval_ns += t3.elapsed().as_nanos() as u64;
                     }
-                    done += 1;
-                    stats.playouts += 1;
                 }
                 SelectOutcome::Busy => unreachable!("serial speculative search"),
             }
+            used += 1;
+            run.gate.done += 1;
+            run.stats.playouts += 1;
         }
-        // Flush outstanding corrections so the returned statistics reflect
-        // the main model everywhere.
-        self.commit(&mut tree, &mut pending);
+        let outcome = if run.gate.exhausted() {
+            // Flush outstanding corrections so the final statistics
+            // reflect the main model everywhere.
+            let t3 = Instant::now();
+            self.commit(&mut run.tree, &mut run.pending);
+            run.stats.eval_ns += t3.elapsed().as_nanos() as u64;
+            debug_assert_eq!(run.tree.outstanding_vl(), 0);
+            #[cfg(feature = "invariants")]
+            run.tree.check_invariants();
+            StepOutcome::Done
+        } else {
+            StepOutcome::Running
+        };
+        run.gate.active_ns += step_start.elapsed().as_nanos() as u64;
+        self.run = Some(run);
+        outcome
+    }
 
-        let (visits, probs, value) = tree.action_prior(root.action_space());
-        stats.move_ns = move_start.elapsed().as_nanos() as u64;
-        stats.nodes = tree.len() as u64;
-        debug_assert_eq!(tree.outstanding_vl(), 0);
-        #[cfg(feature = "invariants")]
-        tree.check_invariants();
+    fn partial_result(&self) -> SearchResult {
+        let Some(run) = &self.run else {
+            return SearchResult::default();
+        };
+        let (visits, probs, value) = run.tree.action_prior(run.action_space);
+        let mut stats = run.stats;
+        stats.move_ns = run.gate.active_ns;
+        stats.nodes = run.tree.len() as u64;
         SearchResult {
             probs,
             visits,
             value,
             stats,
+        }
+    }
+
+    fn cancel(&mut self) {
+        if let Some(mut run) = self.run.take() {
+            // Commit what the pipeline holds so the lifetime correction
+            // counters stay meaningful, then drop the run's tree.
+            self.commit(&mut run.tree, &mut run.pending);
+            debug_assert_eq!(run.tree.outstanding_vl(), 0);
+            #[cfg(feature = "invariants")]
+            run.tree.check_invariants();
         }
     }
 

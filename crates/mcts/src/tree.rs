@@ -120,6 +120,25 @@ impl Tree {
         self.root
     }
 
+    /// Replace the search hyper-parameters (selection constants,
+    /// virtual-loss policy, root noise) for subsequent playouts. The
+    /// arena's capacity bound is deliberately left untouched —
+    /// re-bounding a live arena is not supported; use
+    /// [`Tree::set_config`] for a full reconfiguration.
+    pub fn set_search_params(&mut self, cfg: MctsConfig) {
+        self.cfg = cfg;
+    }
+
+    /// Reconfigure for a fresh logical session: apply `cfg` *including*
+    /// a new arena capacity bound, clearing the tree in place (column
+    /// memory is kept, so a pooled tree re-warms instantly). Must be
+    /// called between moves (no playouts in flight).
+    pub fn set_config(&mut self, cfg: MctsConfig) {
+        self.cfg = cfg;
+        self.a.set_bound(cfg.max_nodes);
+        self.reset_in_place();
+    }
+
     /// Number of live nodes.
     pub fn len(&self) -> usize {
         self.a.live()

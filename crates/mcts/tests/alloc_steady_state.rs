@@ -107,6 +107,7 @@ fn evaluate_batch_phase() {
 
 fn search_advance_cycle_phase() {
     use games::tictactoe::TicTacToe;
+    use rand::SeedableRng;
 
     let net = Arc::new(PolicyValueNet::new(NetConfig::tiny(4, 3, 3, 9), 5));
     let mut search = ReusableSearch::new(
@@ -117,38 +118,43 @@ fn search_advance_cycle_phase() {
         Arc::new(NnEvaluator::new(net)),
     );
     let mut result = SearchResult::default();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
 
     // One deterministic cycle: two searched moves with an in-place
-    // re-root between them.
-    let cycle = |search: &mut ReusableSearch, result: &mut SearchResult| {
-        search.reset();
-        let mut game = TicTacToe::new();
-        search.search_into(&game, result);
-        let first = result.best_action();
-        search.advance(first);
-        game.apply(first);
-        search.search_into(&game, result);
-        // Allocation-free fingerprint of the final visit counts (FNV-1a).
-        let fp = result
-            .visits
-            .iter()
-            .fold(0xcbf2_9ce4_8422_2325u64, |h, &v| {
-                (h ^ v as u64).wrapping_mul(0x100_0000_01b3)
-            });
-        (first, result.best_action(), fp)
-    };
+    // re-root between them, plus temperature sampling of the final
+    // distribution (serving's per-move sampling must stay off the heap).
+    let cycle =
+        |search: &mut ReusableSearch, result: &mut SearchResult, rng: &mut rand::rngs::StdRng| {
+            search.reset();
+            let mut game = TicTacToe::new();
+            search.search_into(&game, result);
+            let first = result.best_action();
+            search.advance(first);
+            game.apply(first);
+            search.search_into(&game, result);
+            let sampled = result.sample_action(0.8, rng);
+            assert!(game.is_legal(sampled));
+            // Allocation-free fingerprint of the final visit counts (FNV-1a).
+            let fp = result
+                .visits
+                .iter()
+                .fold(0xcbf2_9ce4_8422_2325u64, |h, &v| {
+                    (h ^ v as u64).wrapping_mul(0x100_0000_01b3)
+                });
+            (first, result.best_action(), fp)
+        };
 
     // Warm-up: grows the arena, scratch buffers, eval workspace and the
     // result's visit/prob capacity. The search is deterministic, so every
     // later cycle replays the same allocation shape.
     let mut warm = None;
     for _ in 0..3 {
-        warm = Some(cycle(&mut search, &mut result));
+        warm = Some(cycle(&mut search, &mut result, &mut rng));
     }
     let warm = warm.unwrap();
 
     let mut tracked = None;
-    let allocs = count_allocs(|| tracked = Some(cycle(&mut search, &mut result)));
+    let allocs = count_allocs(|| tracked = Some(cycle(&mut search, &mut result, &mut rng)));
     // Under the `invariants` feature every search ends with a full tree
     // walk whose DFS stack allocates; the zero-alloc contract applies to
     // the production configuration.

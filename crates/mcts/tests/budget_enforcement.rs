@@ -1,0 +1,117 @@
+//! The wall-clock budget is enforced consistently by **all six**
+//! schemes: with a slow evaluator and a 1 ms budget, every scheme must
+//! terminate promptly with far fewer playouts than requested — whether
+//! the budget arrives via `MctsConfig::time_budget_ms`, the
+//! `SearchBuilder::budget` knob, or a per-run `Budget` at `begin`.
+
+use games::tictactoe::TicTacToe;
+use mcts::evaluator::DelayedEvaluator;
+use mcts::{
+    BatchEvaluator, Budget, MctsConfig, Scheme, SearchBuilder, StepOutcome, UniformEvaluator,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const HUGE: usize = 10_000_000;
+
+fn slow_eval() -> Arc<dyn BatchEvaluator> {
+    Arc::new(DelayedEvaluator::new(
+        UniformEvaluator::for_game(&TicTacToe::new()),
+        Duration::from_millis(2),
+    ))
+}
+
+#[test]
+fn one_ms_config_budget_terminates_every_scheme_promptly() {
+    for scheme in Scheme::ALL {
+        let mut s = SearchBuilder::new(scheme)
+            .config(MctsConfig {
+                playouts: HUGE,
+                workers: 2,
+                time_budget_ms: Some(1),
+                ..Default::default()
+            })
+            .evaluator(slow_eval())
+            .build::<TicTacToe>();
+        let t0 = Instant::now();
+        let r = s.search(&TicTacToe::new());
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "{scheme}: took {elapsed:?} on a 1 ms budget"
+        );
+        assert!(
+            r.stats.playouts < HUGE as u64 / 2,
+            "{scheme}: {} playouts ignored the budget",
+            r.stats.playouts
+        );
+    }
+}
+
+#[test]
+fn per_run_time_budget_via_begin() {
+    for scheme in Scheme::ALL {
+        let mut s = SearchBuilder::new(scheme)
+            .playouts(HUGE)
+            .workers(2)
+            .evaluator(slow_eval())
+            .build::<TicTacToe>();
+        let t0 = Instant::now();
+        s.begin(&TicTacToe::new(), Budget::time(Duration::from_millis(1)));
+        while s.step(usize::MAX) == StepOutcome::Running {}
+        let r = s.partial_result();
+        s.cancel();
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "{scheme}: per-run deadline ignored"
+        );
+        assert!(r.stats.playouts < HUGE as u64 / 2, "{scheme}");
+    }
+}
+
+#[test]
+fn builder_budget_knob_reaches_the_config() {
+    let b = SearchBuilder::new(Scheme::Serial).budget(
+        Budget::playouts(77)
+            .with_time(Duration::from_millis(9))
+            .with_max_nodes(1234),
+    );
+    let cfg = b.current_config();
+    assert_eq!(cfg.playouts, 77);
+    assert_eq!(cfg.time_budget_ms, Some(9));
+    assert_eq!(cfg.max_nodes, Some(1234));
+}
+
+#[test]
+fn playout_budget_via_begin_caps_the_run() {
+    for scheme in Scheme::ALL {
+        let mut s = SearchBuilder::new(scheme)
+            .playouts(10_000)
+            .workers(2)
+            .evaluator(Arc::new(UniformEvaluator::for_game(&TicTacToe::new())))
+            .build::<TicTacToe>();
+        s.begin(&TicTacToe::new(), Budget::playouts(64));
+        while s.step(usize::MAX) == StepOutcome::Running {}
+        let r = s.partial_result();
+        s.cancel();
+        assert!(
+            (64..200).contains(&(r.stats.playouts as usize)),
+            "{scheme}: {} playouts for a 64-playout budget",
+            r.stats.playouts
+        );
+    }
+}
+
+#[test]
+fn max_nodes_budget_bounds_the_run_tree() {
+    let mut s = SearchBuilder::new(Scheme::Serial)
+        .playouts(500)
+        .evaluator(Arc::new(UniformEvaluator::for_game(&TicTacToe::new())))
+        .build::<TicTacToe>();
+    s.begin(&TicTacToe::new(), Budget::playouts(500).with_max_nodes(200));
+    while s.step(usize::MAX) == StepOutcome::Running {}
+    let r = s.partial_result();
+    s.cancel();
+    assert!(r.stats.nodes <= 200, "run tree grew past the budget bound");
+    assert_eq!(r.stats.playouts, 500);
+}

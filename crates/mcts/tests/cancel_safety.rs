@@ -1,0 +1,148 @@
+//! Cancellation safety: cancelling a run mid-search — including the
+//! local-tree scheme mid-batch with virtual loss still in flight —
+//! leaves every scheme consistent and immediately reusable.
+//!
+//! Under the `mcts/invariants` cargo feature (CI runs this suite with
+//! it), `cancel` itself executes the full tree-invariant walk, so these
+//! tests double as invariant checks at the cancellation point.
+
+use games::tictactoe::TicTacToe;
+use games::Game;
+use mcts::evaluator::DelayedEvaluator;
+use mcts::local::LocalTreeSearch;
+use mcts::{
+    Budget, MctsConfig, ReusableSearch, Scheme, SearchBuilder, SearchScheme, StepOutcome,
+    UniformEvaluator,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn cfg(playouts: usize, workers: usize) -> MctsConfig {
+    MctsConfig {
+        playouts,
+        workers,
+        ..Default::default()
+    }
+}
+
+fn uniform() -> Arc<UniformEvaluator> {
+    Arc::new(UniformEvaluator::for_game(&TicTacToe::new()))
+}
+
+#[test]
+fn every_scheme_survives_mid_search_cancellation() {
+    let g = TicTacToe::new();
+    for scheme in Scheme::ALL {
+        let mut s = SearchBuilder::new(scheme)
+            .config(cfg(2000, 2))
+            .evaluator(uniform())
+            .build::<TicTacToe>();
+        s.begin(&g, Budget::default());
+        // A few small slices, then abandon the run mid-way.
+        for _ in 0..3 {
+            if s.step(16) == StepOutcome::Done {
+                break;
+            }
+        }
+        let partial = s.partial_result();
+        s.cancel();
+        assert!(
+            partial.stats.playouts < 2000,
+            "{scheme}: cancelled too late to be mid-search"
+        );
+        // The same object must search again, cleanly, right away.
+        let r = s.search(&g);
+        assert!(r.stats.playouts >= 2000, "{scheme}: post-cancel search");
+    }
+}
+
+#[test]
+fn local_tree_cancel_mid_batch_with_inflight_virtual_loss() {
+    // Slow evaluations keep leaves (and their virtual loss) in flight
+    // across the step boundary; cancel must drain them, release the
+    // loss, and pass the invariant walk (run by cancel under the
+    // `invariants` feature).
+    let eval = Arc::new(DelayedEvaluator::new(
+        UniformEvaluator::for_game(&TicTacToe::new()),
+        Duration::from_millis(3),
+    ));
+    let mut s = LocalTreeSearch::new(cfg(500, 4), eval);
+    let g = TicTacToe::new();
+    SearchScheme::<TicTacToe>::begin(&mut s, &g, Budget::default());
+    let mut saw_inflight = false;
+    for _ in 0..4 {
+        if SearchScheme::<TicTacToe>::step(&mut s, 3) == StepOutcome::Done {
+            break;
+        }
+        if s.in_flight() > 0 {
+            saw_inflight = true;
+            break;
+        }
+    }
+    assert!(
+        saw_inflight,
+        "slow evaluator must leave leaves in flight at a step boundary"
+    );
+    // Snapshot while evaluations are still pending: completed playouts
+    // only, a well-formed distribution.
+    let partial = SearchScheme::<TicTacToe>::partial_result(&s);
+    assert!(partial.stats.playouts < 500);
+    SearchScheme::<TicTacToe>::cancel(&mut s);
+    assert_eq!(s.in_flight(), 0, "cancel must drain the pipe");
+    // And the scheme is immediately reusable.
+    let r = SearchScheme::<TicTacToe>::search(&mut s, &g);
+    assert_eq!(r.stats.playouts, 500);
+}
+
+#[test]
+fn reuse_cancel_keeps_tree_valid_for_advance_and_next_run() {
+    let mut s = ReusableSearch::new(cfg(400, 1), uniform());
+    let mut g = TicTacToe::new();
+    SearchScheme::<TicTacToe>::begin(&mut s, &g, Budget::default());
+    assert_eq!(
+        SearchScheme::<TicTacToe>::step(&mut s, 32),
+        StepOutcome::Running
+    );
+    let partial = SearchScheme::<TicTacToe>::partial_result(&s);
+    assert_eq!(partial.stats.playouts, 32);
+    SearchScheme::<TicTacToe>::cancel(&mut s);
+
+    // The cancelled run's playouts are retained (a shorter search
+    // happened); advancing re-roots that partial tree and the next
+    // search inherits it.
+    let a = partial.best_action();
+    s.advance(a);
+    g.apply(a);
+    let r = s.search(&g);
+    assert_eq!(r.stats.playouts, 400);
+    assert!(
+        s.inherited_nodes > 0,
+        "post-cancel advance must keep the partial subtree"
+    );
+
+    // A subsequent step-driven run on the same session also works.
+    SearchScheme::<TicTacToe>::begin(&mut s, &g, Budget::playouts(64));
+    while SearchScheme::<TicTacToe>::step(&mut s, 16) == StepOutcome::Running {}
+    assert_eq!(
+        SearchScheme::<TicTacToe>::partial_result(&s).stats.playouts,
+        64
+    );
+    SearchScheme::<TicTacToe>::cancel(&mut s);
+}
+
+#[test]
+fn cancel_without_begin_and_double_cancel_are_noops() {
+    for scheme in Scheme::ALL {
+        let mut s = SearchBuilder::new(scheme)
+            .config(cfg(50, 2))
+            .evaluator(uniform())
+            .build::<TicTacToe>();
+        s.cancel();
+        assert_eq!(s.step(8), StepOutcome::Done, "{scheme}: step with no run");
+        assert_eq!(s.partial_result().stats.playouts, 0, "{scheme}");
+        let r = s.search(&TicTacToe::new());
+        assert!(r.stats.playouts >= 50, "{scheme}");
+        s.cancel();
+        s.cancel();
+    }
+}

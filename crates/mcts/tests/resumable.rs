@@ -1,0 +1,163 @@
+//! Consistency of the resumable API: `search()` is a thin loop over
+//! `step`, so (a) one-shot search equals manual fine-grained stepping
+//! seed-for-seed on every deterministic scheme, and (b) stepping
+//! completes exact budgets on the nondeterministic parallel schemes.
+
+use games::tictactoe::TicTacToe;
+use games::Game;
+use mcts::{
+    Budget, MctsConfig, ReusableSearch, Scheme, SearchBuilder, SearchScheme, StepOutcome,
+    UniformEvaluator,
+};
+use std::sync::Arc;
+
+fn cfg(playouts: usize, workers: usize) -> MctsConfig {
+    MctsConfig {
+        playouts,
+        workers,
+        ..Default::default()
+    }
+}
+
+fn uniform() -> Arc<UniformEvaluator> {
+    Arc::new(UniformEvaluator::for_game(&TicTacToe::new()))
+}
+
+/// Drive a scheme with a fixed step quota to completion.
+fn step_to_end<G: Game>(s: &mut dyn SearchScheme<G>, root: &G, quota: usize) -> mcts::SearchResult {
+    s.begin(root, Budget::default());
+    let mut steps = 0usize;
+    while s.step(quota) == StepOutcome::Running {
+        steps += 1;
+        assert!(steps < 1_000_000, "runaway step loop");
+    }
+    let r = s.partial_result();
+    s.cancel();
+    r
+}
+
+#[test]
+fn deterministic_schemes_chunked_stepping_equals_one_shot_search() {
+    // Serial, leaf-parallel, speculative and root-parallel run the same
+    // playout sequence no matter how the run is sliced (the evaluator is
+    // deterministic), so visits must match exactly.
+    let g = TicTacToe::new();
+    for scheme in [
+        Scheme::Serial,
+        Scheme::LeafParallel,
+        Scheme::Speculative,
+        Scheme::RootParallel,
+    ] {
+        let mut one_shot = SearchBuilder::new(scheme)
+            .config(cfg(300, 3))
+            .evaluator(uniform())
+            .build::<TicTacToe>();
+        let reference = one_shot.search(&g);
+
+        for quota in [1usize, 7, 64] {
+            let mut stepped = SearchBuilder::new(scheme)
+                .config(cfg(300, 3))
+                .evaluator(uniform())
+                .build::<TicTacToe>();
+            let r = step_to_end(stepped.as_mut(), &g, quota);
+            assert_eq!(
+                r.visits, reference.visits,
+                "{scheme} with step quota {quota} diverged from one-shot search"
+            );
+            assert_eq!(r.stats.playouts, reference.stats.playouts, "{scheme}");
+        }
+    }
+}
+
+#[test]
+fn reuse_chunked_stepping_equals_one_shot_search() {
+    let g = TicTacToe::new();
+    let mut reference = ReusableSearch::new(cfg(250, 1), uniform());
+    let expect = reference.search(&g);
+
+    let mut stepped = ReusableSearch::new(cfg(250, 1), uniform());
+    let r = step_to_end(&mut stepped as &mut dyn SearchScheme<TicTacToe>, &g, 9);
+    assert_eq!(r.visits, expect.visits);
+    assert_eq!(r.stats.playouts, 250);
+}
+
+#[test]
+fn parallel_schemes_chunked_stepping_completes_exact_budget() {
+    // Shared/local trees are timing-nondeterministic; stepping must
+    // still complete the playout budget exactly and produce a proper
+    // distribution.
+    let g = TicTacToe::new();
+    for scheme in [Scheme::SharedTree, Scheme::LocalTree] {
+        for quota in [13usize, 64] {
+            let mut s = SearchBuilder::new(scheme)
+                .config(cfg(200, 4))
+                .evaluator(uniform())
+                .build::<TicTacToe>();
+            let r = step_to_end(s.as_mut(), &g, quota);
+            assert_eq!(r.stats.playouts, 200, "{scheme} quota {quota}");
+            assert_eq!(r.visits.iter().sum::<u32>(), 199, "{scheme}");
+            assert!((r.probs.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        }
+    }
+}
+
+#[test]
+fn partial_results_grow_monotonically() {
+    let g = TicTacToe::new();
+    let mut s = SearchBuilder::new(Scheme::Serial)
+        .config(cfg(300, 1))
+        .evaluator(uniform())
+        .build::<TicTacToe>();
+    s.begin(&g, Budget::default());
+    let mut last = 0u64;
+    loop {
+        let outcome = s.step(50);
+        let p = s.partial_result();
+        assert!(p.stats.playouts >= last, "snapshots must be monotone");
+        assert_eq!(
+            p.visits.iter().sum::<u32>() as u64,
+            p.stats.playouts.saturating_sub(1),
+            "anytime snapshot is exact over completed playouts"
+        );
+        last = p.stats.playouts;
+        if outcome == StepOutcome::Done {
+            break;
+        }
+    }
+    assert_eq!(last, 300);
+    s.cancel();
+}
+
+#[test]
+fn terminal_root_is_done_immediately_for_every_scheme() {
+    let mut g = TicTacToe::new();
+    for a in [0u16, 3, 1, 4, 2] {
+        g.apply(a);
+    }
+    assert!(g.status().is_terminal());
+    for scheme in Scheme::ALL {
+        let mut s = SearchBuilder::new(scheme)
+            .config(cfg(50, 2))
+            .evaluator(uniform())
+            .build::<TicTacToe>();
+        s.begin(&g, Budget::default());
+        assert_eq!(s.step(usize::MAX), StepOutcome::Done, "{scheme}");
+        let r = s.partial_result();
+        assert_eq!(r.visits.iter().sum::<u32>(), 0, "{scheme}");
+        assert_eq!(r.stats.playouts, 0, "{scheme}");
+        s.cancel();
+    }
+}
+
+#[test]
+fn advance_between_stepped_runs_reuses_the_subtree() {
+    let mut g = TicTacToe::new();
+    let mut s = ReusableSearch::new(cfg(150, 1), uniform());
+    let r1 = step_to_end(&mut s as &mut dyn SearchScheme<TicTacToe>, &g, 25);
+    let a = r1.best_action();
+    SearchScheme::<TicTacToe>::advance(&mut s, a);
+    g.apply(a);
+    let r2 = step_to_end(&mut s as &mut dyn SearchScheme<TicTacToe>, &g, 25);
+    assert!(s.inherited_nodes > 0, "second stepped run starts warm");
+    assert_eq!(r2.stats.playouts, 150);
+}

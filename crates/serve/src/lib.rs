@@ -1,0 +1,131 @@
+//! Multi-session search serving.
+//!
+//! The `mcts` crate made search a resumable, schedulable unit
+//! ([`mcts::SearchScheme::begin`] / [`mcts::SearchScheme::step`] /
+//! [`mcts::SearchScheme::partial_result`] /
+//! [`mcts::SearchScheme::cancel`]). This crate multiplexes **many
+//! concurrent search sessions** over a fixed pool of worker threads on
+//! top of that unit — the serving front end the ROADMAP's
+//! "heavy traffic" north star asks for:
+//!
+//! * [`SearchService`] accepts [`SearchRequest`]s (game state, scheme
+//!   choice, [`mcts::Budget`], [`Priority`]) and returns a
+//!   [`SearchTicket`] handle with `poll`/`wait`/`cancel` plus **anytime
+//!   partial results** — a caller can take the best move found so far at
+//!   any moment;
+//! * sessions are stepped in slices of
+//!   [`ServeConfig::step_quota`] playouts by `workers` threads,
+//!   highest priority first, then earliest deadline, then round-robin
+//!   (each slice re-queues behind its peers), so thousands of sessions
+//!   share a handful of threads instead of one thread per request;
+//! * `Serial`-scheme sessions run on **pooled, warmed
+//!   [`mcts::ReusableSearch`] instances**: a finished session's arena
+//!   (bounded by [`mcts::MctsConfig::max_nodes`]) is reset in place and
+//!   handed to the next session, so steady-state serving does not grow
+//!   tree memory per request;
+//! * every session's leaf evaluations are funneled through **one shared
+//!   [`mcts::CoalescingEvaluator`] per distinct backend**, so concurrent
+//!   sessions fill each other's inference batches — cross-session
+//!   batching, the serving analogue of the paper's §3.3 request queue.
+//!   [`SearchService::stats`] reports the realized mean batch size.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use games::tictactoe::TicTacToe;
+//! use mcts::{Budget, UniformEvaluator};
+//! use serve::{SearchRequest, SearchService, ServeConfig};
+//! use std::sync::Arc;
+//!
+//! let service = SearchService::new(ServeConfig::default());
+//! let eval = Arc::new(UniformEvaluator::for_game(&TicTacToe::new()));
+//! let ticket = service.submit(
+//!     SearchRequest::new(TicTacToe::new(), eval).budget(Budget::playouts(64)),
+//! );
+//! let result = ticket.wait();
+//! assert_eq!(result.stats.playouts, 64);
+//! ```
+
+mod service;
+mod session;
+
+pub use service::{SearchService, ServeConfig, ServiceStats};
+pub use session::{SearchTicket, TicketStatus};
+
+use games::Game;
+use mcts::{BatchEvaluator, Budget, MctsConfig, Scheme};
+use std::sync::Arc;
+
+/// Scheduling priority of a session. Higher priorities are always
+/// stepped before lower ones; within a priority, earlier deadlines win
+/// and deadline-free sessions round-robin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Background work (analysis, prefetching).
+    Low,
+    /// Interactive default.
+    #[default]
+    Normal,
+    /// Latency-critical requests.
+    High,
+}
+
+/// One search request: a root state plus how to search it and how much.
+pub struct SearchRequest<G: Game> {
+    /// The state to search from.
+    pub root: G,
+    /// Which scheme executes the session. `Serial` (the default) runs on
+    /// a pooled warmed [`mcts::ReusableSearch`]; other schemes are built
+    /// per session via [`mcts::SearchBuilder`].
+    pub scheme: Scheme,
+    /// Hyper-parameters for the session.
+    pub config: MctsConfig,
+    /// Playout/deadline/memory budget (fields left `None` inherit from
+    /// `config`). The deadline clock starts at submission.
+    pub budget: Budget,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Leaf evaluator. Submitting the **same** `Arc` across requests
+    /// lets the service funnel their evaluations through one shared
+    /// coalescing layer, filling cross-session batches.
+    pub evaluator: Arc<dyn BatchEvaluator>,
+}
+
+impl<G: Game> SearchRequest<G> {
+    /// A request with default scheme (`Serial`), config, budget and
+    /// priority.
+    pub fn new(root: G, evaluator: Arc<dyn BatchEvaluator>) -> Self {
+        SearchRequest {
+            root,
+            scheme: Scheme::Serial,
+            config: MctsConfig::default(),
+            budget: Budget::default(),
+            priority: Priority::Normal,
+            evaluator,
+        }
+    }
+
+    /// Set the executing scheme.
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Set the session hyper-parameters.
+    pub fn config(mut self, config: MctsConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Set the session budget.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Set the scheduling priority.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+}

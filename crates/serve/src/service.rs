@@ -1,0 +1,390 @@
+//! The [`SearchService`]: a fixed worker pool multiplexing many
+//! resumable search sessions (see the crate docs for the architecture).
+
+use crate::session::{AnySession, Engine, SearchTicket, SessionShared, TicketStatus, TypedSession};
+use crate::{Priority, SearchRequest};
+use games::Game;
+use mcts::{
+    BatchEvaluator, CoalesceStats, CoalescingEvaluator, ReusableSearch, Scheme, SearchBuilder,
+};
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Service sizing and scheduling knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Stepper threads. Each steps one session at a time, so this is
+    /// also the maximum cross-session batch an evaluator can see.
+    pub workers: usize,
+    /// Playouts per scheduling slice. Smaller slices interleave sessions
+    /// more fairly (and honor priorities/cancellation sooner) at the
+    /// cost of more queue churn.
+    pub step_quota: usize,
+    /// Warmed [`ReusableSearch`] instances kept for reuse across
+    /// `Serial`-scheme sessions.
+    pub max_pooled: usize,
+    /// Collection window of the shared per-backend coalescing layer
+    /// (how long the first evaluator of a round waits for peers from
+    /// other sessions). See [`CoalescingEvaluator::with_window`].
+    pub coalesce_window: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(4)
+            .max(2);
+        ServeConfig {
+            workers,
+            step_quota: 64,
+            max_pooled: 2 * workers,
+            coalesce_window: mcts::coalesce::DEFAULT_COALESCE_WINDOW,
+        }
+    }
+}
+
+/// Aggregate service accounting (monotone counters since construction).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Sessions that ran their budget to completion.
+    pub sessions_completed: u64,
+    /// Sessions finalized by cancellation (including shutdown).
+    pub sessions_cancelled: u64,
+    /// Scheduling slices executed.
+    pub steps: u64,
+    /// Playouts across all finalized sessions.
+    pub playouts: u64,
+    /// Inference rounds run by the shared coalescing layers.
+    pub eval_batches: u64,
+    /// Samples served across those rounds.
+    pub eval_samples: u64,
+}
+
+impl ServiceStats {
+    /// Mean samples per inference round across all shared backends
+    /// (1.0 = no cross-session coalescing happened; 0.0 = no rounds).
+    pub fn mean_eval_batch(&self) -> f64 {
+        if self.eval_batches == 0 {
+            0.0
+        } else {
+            self.eval_samples as f64 / self.eval_batches as f64
+        }
+    }
+}
+
+/// One queued session, ordered by (priority, deadline, round-robin seq).
+struct QueueEntry {
+    priority: Priority,
+    /// Earlier deadlines are more urgent; `None` sorts after any
+    /// deadline of equal priority.
+    deadline: Option<Instant>,
+    /// Round-robin tiebreak: smaller = submitted/re-queued earlier.
+    seq: u64,
+    session: Box<dyn AnySession>,
+    shared: Arc<SessionShared>,
+}
+
+impl QueueEntry {
+    fn key(&self) -> (Priority, std::cmp::Reverse<Instant>, std::cmp::Reverse<u64>) {
+        // BinaryHeap pops the maximum: high priority > near deadline >
+        // low sequence number.
+        let d = self.deadline.unwrap_or_else(far_future);
+        (
+            self.priority,
+            std::cmp::Reverse(d),
+            std::cmp::Reverse(self.seq),
+        )
+    }
+}
+
+/// A stand-in for "no deadline" that sorts after every real deadline.
+fn far_future() -> Instant {
+    Instant::now() + Duration::from_secs(60 * 60 * 24 * 365)
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for QueueEntry {}
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    sessions_completed: AtomicU64,
+    sessions_cancelled: AtomicU64,
+    steps: AtomicU64,
+    playouts: AtomicU64,
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    queue: Mutex<BinaryHeap<QueueEntry>>,
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+    next_seq: AtomicU64,
+    next_id: AtomicU64,
+    /// Warmed searchers awaiting the next `Serial` session.
+    pool: Mutex<Vec<ReusableSearch>>,
+    /// One shared coalescing layer per distinct evaluator backend,
+    /// keyed by the backend `Arc`'s address. Entries no live session
+    /// references are evicted on the next submit (their batch-fill
+    /// counters fold into `retired_eval`).
+    coalescers: Mutex<Vec<(usize, Arc<CoalescingEvaluator>)>>,
+    /// Batch-fill counters of evicted coalescing layers, so
+    /// [`SearchService::stats`] stays monotone across evictions.
+    retired_eval: Mutex<CoalesceStats>,
+    counters: Counters,
+}
+
+impl Inner {
+    /// Funnel `eval` through the service-wide coalescing layer for its
+    /// backend (creating it on first sight), so sessions submitting the
+    /// same evaluator share inference batches. Backends that gain
+    /// nothing (`preferred_batch() == 1`) or that already coalesce
+    /// internally (accelerator queues) pass through untouched.
+    fn shared_evaluator(&self, eval: Arc<dyn BatchEvaluator>) -> Arc<dyn BatchEvaluator> {
+        if eval.preferred_batch() <= 1 || eval.coalesces_internally() {
+            return eval;
+        }
+        let key = Arc::as_ptr(&eval) as *const () as usize;
+        let mut reg = self.coalescers.lock().unwrap();
+        if let Some((_, c)) = reg.iter().find(|(k, _)| *k == key) {
+            return Arc::clone(c) as Arc<dyn BatchEvaluator>;
+        }
+        // Evict layers no live session holds (registry copy is the last
+        // one): a long-lived service seeing per-request backends must
+        // not pin every dead model's weights forever. Their counters
+        // carry over so service stats stay monotone.
+        reg.retain(|(_, c)| {
+            if Arc::strong_count(c) > 1 {
+                return true;
+            }
+            let s = c.stats();
+            let mut retired = self.retired_eval.lock().unwrap();
+            retired.batches += s.batches;
+            retired.samples += s.samples;
+            false
+        });
+        let max_batch = eval.preferred_batch().min(self.cfg.workers.max(1));
+        let c = Arc::new(CoalescingEvaluator::with_window(
+            eval,
+            max_batch,
+            self.cfg.coalesce_window,
+        ));
+        reg.push((key, Arc::clone(&c)));
+        c
+    }
+
+    /// Finalize one session: publish the final result, update counters,
+    /// and return the warmed searcher to the pool.
+    fn finalize(&self, entry: QueueEntry, result: mcts::SearchResult, status: TicketStatus) {
+        let counter = match status {
+            TicketStatus::Cancelled => &self.counters.sessions_cancelled,
+            _ => &self.counters.sessions_completed,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .playouts
+            .fetch_add(result.stats.playouts, Ordering::Relaxed);
+        entry.shared.finalize(result, status);
+        if let Some(mut searcher) = entry.session.reclaim() {
+            searcher.reset();
+            let mut pool = self.pool.lock().unwrap();
+            if pool.len() < self.cfg.max_pooled {
+                pool.push(searcher);
+            }
+        }
+    }
+
+    /// One worker's scheduling loop.
+    fn worker_loop(self: &Arc<Self>) {
+        loop {
+            let mut entry = {
+                let mut q = self.queue.lock().unwrap();
+                loop {
+                    if let Some(e) = q.pop() {
+                        break e;
+                    }
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    q = self.work_cv.wait(q).unwrap();
+                }
+            };
+            if self.shutdown.load(Ordering::Acquire) || entry.shared.cancel_requested() {
+                // Snapshot BEFORE tearing the run down: the ticket's
+                // final result is the anytime partial at cancellation.
+                let partial = entry.session.partial();
+                entry.session.cancel();
+                self.finalize(entry, partial, TicketStatus::Cancelled);
+                continue;
+            }
+            let outcome = entry.session.step(self.cfg.step_quota);
+            self.counters.steps.fetch_add(1, Ordering::Relaxed);
+            let snapshot = entry.session.partial();
+            match outcome {
+                mcts::StepOutcome::Running => {
+                    entry.shared.publish_partial(snapshot);
+                    entry.seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+                    self.queue.lock().unwrap().push(entry);
+                    self.work_cv.notify_one();
+                }
+                mcts::StepOutcome::Done => {
+                    entry.session.cancel();
+                    self.finalize(entry, snapshot, TicketStatus::Done);
+                }
+            }
+        }
+    }
+}
+
+/// Accepts search requests and multiplexes them over a fixed worker
+/// pool (see the crate docs). Dropping the service cancels outstanding
+/// sessions (their tickets resolve as [`TicketStatus::Cancelled`]) and
+/// joins the workers.
+pub struct SearchService {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SearchService {
+    /// Spawn the worker pool.
+    pub fn new(cfg: ServeConfig) -> Self {
+        assert!(cfg.workers >= 1, "service needs at least one worker");
+        assert!(cfg.step_quota >= 1, "step quota must be positive");
+        let inner = Arc::new(Inner {
+            cfg: cfg.clone(),
+            queue: Mutex::new(BinaryHeap::new()),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            next_seq: AtomicU64::new(0),
+            next_id: AtomicU64::new(0),
+            pool: Mutex::new(Vec::new()),
+            coalescers: Mutex::new(Vec::new()),
+            retired_eval: Mutex::new(CoalesceStats::default()),
+            counters: Counters::default(),
+        });
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || inner.worker_loop())
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        SearchService { inner, workers }
+    }
+
+    /// Submit one request; returns immediately with a ticket handle.
+    /// The session's run is opened on the calling thread (cheap), then
+    /// queued for stepping.
+    pub fn submit<G: Game>(&self, req: SearchRequest<G>) -> SearchTicket {
+        let eval = self.inner.shared_evaluator(req.evaluator);
+        let engine: Engine<G> = if req.scheme == Scheme::Serial {
+            let pooled = self.inner.pool.lock().unwrap().pop();
+            let searcher = match pooled {
+                Some(mut s) => {
+                    s.reconfigure(req.config, eval);
+                    s
+                }
+                None => ReusableSearch::new(req.config, eval),
+            };
+            Engine::Pooled(Box::new(searcher))
+        } else {
+            Engine::Built(
+                SearchBuilder::new(req.scheme)
+                    .config(req.config)
+                    .evaluator(eval)
+                    .build::<G>(),
+            )
+        };
+        let session = TypedSession::begin(engine, &req.root, req.budget);
+        let deadline = req
+            .budget
+            .time
+            .or(req.config.time_budget_ms.map(Duration::from_millis))
+            .map(|t| Instant::now() + t);
+        let shared = Arc::new(SessionShared::new(
+            self.inner.next_id.fetch_add(1, Ordering::Relaxed),
+        ));
+        let entry = QueueEntry {
+            priority: req.priority,
+            deadline,
+            seq: self.inner.next_seq.fetch_add(1, Ordering::Relaxed),
+            session: Box::new(session),
+            shared: Arc::clone(&shared),
+        };
+        self.inner.queue.lock().unwrap().push(entry);
+        self.inner.work_cv.notify_one();
+        SearchTicket { shared }
+    }
+
+    /// Sessions currently queued for a scheduling slice (excludes the
+    /// ones being stepped right now).
+    pub fn queued(&self) -> usize {
+        self.inner.queue.lock().unwrap().len()
+    }
+
+    /// Aggregate accounting, including the shared coalescing layers'
+    /// realized batch fill.
+    pub fn stats(&self) -> ServiceStats {
+        let mut eval = *self.inner.retired_eval.lock().unwrap();
+        for (_, c) in self.inner.coalescers.lock().unwrap().iter() {
+            let s = c.stats();
+            eval.batches += s.batches;
+            eval.samples += s.samples;
+        }
+        ServiceStats {
+            sessions_completed: self
+                .inner
+                .counters
+                .sessions_completed
+                .load(Ordering::Relaxed),
+            sessions_cancelled: self
+                .inner
+                .counters
+                .sessions_cancelled
+                .load(Ordering::Relaxed),
+            steps: self.inner.counters.steps.load(Ordering::Relaxed),
+            playouts: self.inner.counters.playouts.load(Ordering::Relaxed),
+            eval_batches: eval.batches,
+            eval_samples: eval.samples,
+        }
+    }
+}
+
+impl Drop for SearchService {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.work_cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // Resolve whatever is still queued so no ticket waits forever.
+        let leftovers: Vec<QueueEntry> = {
+            let mut q = self.inner.queue.lock().unwrap();
+            q.drain().collect()
+        };
+        for mut entry in leftovers {
+            let partial = entry.session.partial();
+            entry.session.cancel();
+            self.inner.finalize(entry, partial, TicketStatus::Cancelled);
+        }
+    }
+}

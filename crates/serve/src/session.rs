@@ -1,0 +1,232 @@
+//! Session state shared between the service workers and ticket holders,
+//! plus the type-erased session engine the scheduler steps.
+
+use games::Game;
+use mcts::{Budget, ReusableSearch, SearchResult, SearchScheme, StepOutcome};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Where a ticket's session currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TicketStatus {
+    /// Queued or being stepped.
+    Running,
+    /// Finished its budget; the final result is available.
+    Done,
+    /// Cancelled (by the ticket holder or service shutdown); the partial
+    /// result at cancellation time is available.
+    Cancelled,
+}
+
+struct TicketState {
+    /// Latest anytime snapshot, refreshed after every scheduling slice.
+    partial: Option<SearchResult>,
+    /// Final result, set exactly once when the session finishes or is
+    /// cancelled.
+    outcome: Option<(SearchResult, TicketStatus)>,
+    /// Submit→finish latency, recorded service-side at finalization.
+    latency: Option<Duration>,
+}
+
+/// State shared by the service and every clone of a session's ticket.
+pub(crate) struct SessionShared {
+    id: u64,
+    submitted: Instant,
+    cancel_flag: AtomicBool,
+    state: Mutex<TicketState>,
+    cv: Condvar,
+}
+
+impl SessionShared {
+    pub(crate) fn new(id: u64) -> Self {
+        SessionShared {
+            id,
+            submitted: Instant::now(),
+            cancel_flag: AtomicBool::new(false),
+            state: Mutex::new(TicketState {
+                partial: None,
+                outcome: None,
+                latency: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn cancel_requested(&self) -> bool {
+        self.cancel_flag.load(Ordering::Acquire)
+    }
+
+    /// Publish a fresh anytime snapshot.
+    pub(crate) fn publish_partial(&self, snapshot: SearchResult) {
+        self.state.lock().unwrap().partial = Some(snapshot);
+    }
+
+    /// Record the final result and wake all waiters. Idempotent-safe:
+    /// only the first call sticks.
+    pub(crate) fn finalize(&self, result: SearchResult, status: TicketStatus) {
+        let mut st = self.state.lock().unwrap();
+        if st.outcome.is_none() {
+            st.latency = Some(self.submitted.elapsed());
+            st.partial = Some(result.clone());
+            st.outcome = Some((result, status));
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+}
+
+/// Clonable handle to one in-flight search session (see
+/// [`crate::SearchService::submit`]).
+#[derive(Clone)]
+pub struct SearchTicket {
+    pub(crate) shared: Arc<SessionShared>,
+}
+
+impl SearchTicket {
+    /// Service-assigned session id (unique per service instance).
+    pub fn id(&self) -> u64 {
+        self.shared.id
+    }
+
+    /// Where the session stands right now.
+    pub fn status(&self) -> TicketStatus {
+        match self.shared.state.lock().unwrap().outcome {
+            Some((_, s)) => s,
+            None => TicketStatus::Running,
+        }
+    }
+
+    /// The final result, if the session has finished (or been
+    /// cancelled). Non-blocking.
+    pub fn poll(&self) -> Option<SearchResult> {
+        self.shared
+            .state
+            .lock()
+            .unwrap()
+            .outcome
+            .as_ref()
+            .map(|(r, _)| r.clone())
+    }
+
+    /// The latest **anytime** snapshot: the root visit distribution over
+    /// all playouts completed so far. `None` before the first scheduling
+    /// slice completes.
+    pub fn partial(&self) -> Option<SearchResult> {
+        self.shared.state.lock().unwrap().partial.clone()
+    }
+
+    /// Block until the session finishes (or is cancelled) and return the
+    /// final result.
+    pub fn wait(&self) -> SearchResult {
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            if let Some((r, _)) = &st.outcome {
+                return r.clone();
+            }
+            st = self.shared.cv.wait(st).unwrap();
+        }
+    }
+
+    /// [`SearchTicket::wait`] with a timeout; `None` if the session is
+    /// still running when it elapses.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<SearchResult> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            if let Some((r, _)) = &st.outcome {
+                return Some(r.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self.shared.cv.wait_timeout(st, deadline - now).unwrap();
+            st = guard;
+        }
+    }
+
+    /// Request cancellation. Honored at the session's next scheduling
+    /// slice: the session's in-flight work is drained, its partial
+    /// result becomes the final result (status
+    /// [`TicketStatus::Cancelled`]) and waiters wake. Cancelling a
+    /// finished session is a no-op.
+    pub fn cancel(&self) {
+        self.shared.cancel_flag.store(true, Ordering::Release);
+    }
+
+    /// True once a final result is available.
+    pub fn is_done(&self) -> bool {
+        self.shared.state.lock().unwrap().outcome.is_some()
+    }
+
+    /// Submit→finish latency, measured service-side. `None` while the
+    /// session is running.
+    pub fn latency(&self) -> Option<Duration> {
+        self.shared.state.lock().unwrap().latency
+    }
+}
+
+/// Type-erased session engine: the scheduler steps sessions of any game
+/// type through this object-safe view.
+pub(crate) trait AnySession: Send {
+    fn step(&mut self, quota: usize) -> StepOutcome;
+    fn partial(&self) -> SearchResult;
+    fn cancel(&mut self);
+    /// Recover the pooled searcher (if this session ran on one) for the
+    /// warm-arena pool.
+    fn reclaim(self: Box<Self>) -> Option<ReusableSearch>;
+}
+
+/// How a session executes: on a pooled warmed searcher or on a
+/// per-session scheme built by `SearchBuilder`.
+pub(crate) enum Engine<G: Game> {
+    Pooled(Box<ReusableSearch>),
+    Built(Box<dyn SearchScheme<G>>),
+}
+
+pub(crate) struct TypedSession<G: Game> {
+    engine: Engine<G>,
+}
+
+impl<G: Game> TypedSession<G> {
+    /// Open the run on the caller's thread (cheap: clones the root and
+    /// sizes the tree) so workers only ever step.
+    pub(crate) fn begin(mut engine: Engine<G>, root: &G, budget: Budget) -> Self {
+        match &mut engine {
+            Engine::Pooled(s) => SearchScheme::<G>::begin(s.as_mut(), root, budget),
+            Engine::Built(b) => b.begin(root, budget),
+        }
+        TypedSession { engine }
+    }
+}
+
+impl<G: Game> AnySession for TypedSession<G> {
+    fn step(&mut self, quota: usize) -> StepOutcome {
+        match &mut self.engine {
+            Engine::Pooled(s) => SearchScheme::<G>::step(s.as_mut(), quota),
+            Engine::Built(b) => b.step(quota),
+        }
+    }
+
+    fn partial(&self) -> SearchResult {
+        match &self.engine {
+            Engine::Pooled(s) => SearchScheme::<G>::partial_result(s.as_ref()),
+            Engine::Built(b) => b.partial_result(),
+        }
+    }
+
+    fn cancel(&mut self) {
+        match &mut self.engine {
+            Engine::Pooled(s) => SearchScheme::<G>::cancel(s.as_mut()),
+            Engine::Built(b) => b.cancel(),
+        }
+    }
+
+    fn reclaim(self: Box<Self>) -> Option<ReusableSearch> {
+        match self.engine {
+            Engine::Pooled(s) => Some(*s),
+            Engine::Built(_) => None,
+        }
+    }
+}

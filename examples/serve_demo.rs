@@ -1,0 +1,129 @@
+//! Multi-session serving demo: one [`serve::SearchService`] absorbing a
+//! burst of mixed-game requests (Gomoku, Othello, Connect-4) with
+//! different budgets and priorities, all multiplexed over a fixed
+//! worker pool and sharing inference batches where they share a model.
+//!
+//! Run: `cargo run --release --example serve_demo`
+
+use games::{connect4::Connect4, gomoku::Gomoku, othello::Othello, Game};
+use mcts::{BatchEvaluator, Budget, MctsConfig, NnEvaluator, UniformEvaluator};
+use nn::{NetConfig, PolicyValueNet};
+use serve::{Priority, SearchRequest, SearchService, SearchTicket, ServeConfig, TicketStatus};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn cfg(playouts: usize) -> MctsConfig {
+    MctsConfig {
+        playouts,
+        max_nodes: Some(100_000), // bounded per-session tree memory
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(2)
+        .max(2);
+    let service = SearchService::new(ServeConfig {
+        workers,
+        step_quota: 32,
+        max_pooled: 2 * workers,
+        coalesce_window: Duration::from_millis(2),
+    });
+    println!("service up: {workers} workers, 32-playout slices\n");
+
+    // One *shared* network evaluator for all Gomoku sessions — their
+    // leaf evaluations coalesce into common batches — plus cheap
+    // uniform evaluators for the other games.
+    let gomoku_net = Arc::new(PolicyValueNet::new(NetConfig::for_board(4, 9, 9, 81), 2));
+    let gomoku_eval: Arc<dyn BatchEvaluator> =
+        Arc::new(NnEvaluator::with_batch_hint(gomoku_net, workers));
+    let othello_eval: Arc<dyn BatchEvaluator> =
+        Arc::new(UniformEvaluator::for_game(&Othello::new(8)));
+    let c4_eval: Arc<dyn BatchEvaluator> = Arc::new(UniformEvaluator::for_game(&Connect4::new()));
+
+    let mut gomoku_root = Gomoku::new(9, 5);
+    for a in [40u16, 41, 31] {
+        gomoku_root.apply(a);
+    }
+
+    // The burst: mixed games, budgets and priorities, submitted at once.
+    let mut tickets: Vec<(String, SearchTicket)> = Vec::new();
+    for i in 0..4 {
+        tickets.push((
+            format!("gomoku/nn #{i} (256 playouts, normal)"),
+            service.submit(
+                SearchRequest::new(gomoku_root.clone(), Arc::clone(&gomoku_eval))
+                    .config(cfg(256))
+                    .priority(Priority::Normal),
+            ),
+        ));
+    }
+    tickets.push((
+        "othello #0 (512 playouts, low)".into(),
+        service.submit(
+            SearchRequest::new(Othello::new(8), Arc::clone(&othello_eval))
+                .config(cfg(512))
+                .priority(Priority::Low),
+        ),
+    ));
+    tickets.push((
+        "connect4 #0 (high priority)".into(),
+        service.submit(
+            SearchRequest::new(Connect4::new(), Arc::clone(&c4_eval))
+                .config(cfg(400))
+                .priority(Priority::High),
+        ),
+    ));
+    tickets.push((
+        "connect4 #1 (20 ms deadline)".into(),
+        service.submit(
+            SearchRequest::new(Connect4::new(), Arc::clone(&c4_eval))
+                .config(cfg(5_000_000))
+                .budget(Budget::time(Duration::from_millis(20))),
+        ),
+    ));
+
+    // An anytime peek while the burst is in flight.
+    std::thread::sleep(Duration::from_millis(10));
+    if let Some((name, t)) = tickets.iter().find(|(_, t)| !t.is_done()) {
+        if let Some(p) = t.partial() {
+            println!(
+                "anytime peek at {name}: {} playouts so far, best action {}\n",
+                p.stats.playouts,
+                p.best_action()
+            );
+        }
+    }
+
+    println!(
+        "{:<38} {:>9} {:>10} {:>10}",
+        "request", "status", "playouts", "latency"
+    );
+    for (name, t) in &tickets {
+        let r = t.wait();
+        let status = match t.status() {
+            TicketStatus::Done => "done",
+            TicketStatus::Cancelled => "cancelled",
+            TicketStatus::Running => "running",
+        };
+        println!(
+            "{name:<38} {status:>9} {:>10} {:>8.1}ms",
+            r.stats.playouts,
+            t.latency().unwrap_or_default().as_secs_f64() * 1e3,
+        );
+    }
+
+    let st = service.stats();
+    println!(
+        "\nservice totals: {} sessions done, {} slices, {} playouts",
+        st.sessions_completed, st.steps, st.playouts
+    );
+    println!(
+        "cross-session batch fill: {} eval rounds, {} samples, mean batch {:.2}",
+        st.eval_batches,
+        st.eval_samples,
+        st.mean_eval_batch()
+    );
+}

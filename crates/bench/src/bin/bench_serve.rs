@@ -1,20 +1,34 @@
-//! Emit `BENCH_serve.json`: the machine-readable serving-throughput
-//! record — requests/second and p50/p99 submit→finish latency of a
-//! multi-session [`serve::SearchService`] as the number of concurrent
-//! sessions grows, plus the cross-session batch-coalescing figure: the
-//! mean inference batch realized when the same requests are served
-//! concurrently versus strictly one at a time.
+//! Emit `BENCH_serve.json`: the machine-readable serving-performance
+//! record, four axes:
+//!
+//! * `sessions` — requests/second and p50/p99 submit→finish latency of
+//!   one multi-session [`serve::SearchService`] as the number of
+//!   concurrent sessions grows;
+//! * `cluster` — aggregate requests/second of a [`serve::ServeCluster`]
+//!   as the shard count grows over a fixed total worker budget (the
+//!   sharding scaling axis; on a single-core host this documents
+//!   parity);
+//! * `shedding` — an overload burst against a small admission budget:
+//!   offered vs admitted vs shed counts, the mean `retry_after` hint,
+//!   and the (bounded) wall time to drain what was admitted;
+//! * `coalescing` — the cross-session batch-fill figure: mean inference
+//!   batch of the same burst served serially vs multiplexed.
 //!
 //! Usage: `bench_serve [--smoke] [out_path]` (default
 //! `BENCH_serve.json`). `--smoke` (or env `BENCH_SMOKE=1`) shrinks the
-//! budgets and the session matrix so CI can prove the binary runs
-//! without paying measurement time. Timings are never gated on.
+//! budgets and matrices so CI can prove the binary (including the
+//! cluster + shedding paths) runs without paying measurement time.
+//! Timings are never gated on. `check_serve_schema` validates the
+//! emitted schema in CI so the perf trajectory stays machine-readable.
 
 use games::gomoku::Gomoku;
 use games::Game;
 use mcts::{BatchEvaluator, Budget, MctsConfig, NnEvaluator};
 use nn::{NetConfig, PolicyValueNet};
-use serve::{SearchRequest, SearchService, ServeConfig};
+use serve::{
+    AdmissionConfig, ClusterConfig, LeastLoaded, SearchRequest, SearchService, ServeCluster,
+    ServeConfig,
+};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -28,6 +42,31 @@ fn midgame() -> Gomoku {
     g
 }
 
+fn request(
+    root: &Gomoku,
+    eval: &Arc<dyn BatchEvaluator>,
+    playouts: usize,
+) -> SearchRequest<Gomoku> {
+    let cfg = MctsConfig {
+        playouts,
+        max_nodes: Some(200_000),
+        ..Default::default()
+    };
+    SearchRequest::new(root.clone(), Arc::clone(eval))
+        .config(cfg)
+        .budget(Budget::playouts(playouts as u64))
+}
+
+fn serve_cfg(workers: usize) -> ServeConfig {
+    ServeConfig {
+        workers,
+        step_quota: 32,
+        max_pooled: 2 * workers,
+        coalesce_window: Duration::from_millis(2),
+        ..Default::default()
+    }
+}
+
 struct RunFigures {
     requests_per_s: f64,
     p50_ms: f64,
@@ -35,34 +74,72 @@ struct RunFigures {
     mean_eval_batch: f64,
 }
 
+fn percentiles(latencies: &mut [Duration]) -> (f64, f64) {
+    latencies.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx].as_secs_f64() * 1e3
+    };
+    (pct(0.50), pct(0.99))
+}
+
 /// Submit `sessions` identical requests to a `workers`-thread service
 /// and wait for all of them; latencies are measured service-side.
-fn run_once(
+fn run_service(
     workers: usize,
     sessions: usize,
     playouts: usize,
     eval: &Arc<dyn BatchEvaluator>,
     root: &Gomoku,
 ) -> RunFigures {
-    let service = SearchService::new(ServeConfig {
-        workers,
-        step_quota: 32,
-        max_pooled: 2 * workers,
-        coalesce_window: Duration::from_millis(2),
-    });
-    let cfg = MctsConfig {
-        playouts,
-        max_nodes: Some(200_000),
-        ..Default::default()
-    };
+    let service = SearchService::new(serve_cfg(workers));
+    let t0 = Instant::now();
+    let tickets: Vec<_> = (0..sessions)
+        .map(|_| service.submit(request(root, eval, playouts)))
+        .collect();
+    let mut latencies: Vec<Duration> = tickets
+        .iter()
+        .map(|t| {
+            let r = t.wait();
+            assert_eq!(r.stats.playouts, playouts as u64);
+            t.latency().expect("finished session records latency")
+        })
+        .collect();
+    let wall = t0.elapsed().as_secs_f64();
+    let (p50_ms, p99_ms) = percentiles(&mut latencies);
+    RunFigures {
+        requests_per_s: sessions as f64 / wall,
+        p50_ms,
+        p99_ms,
+        mean_eval_batch: service.stats().mean_eval_batch(),
+    }
+}
+
+/// The same burst through a `shards`-shard cluster over a fixed total
+/// worker budget (placement: least-loaded, so the burst spreads).
+fn run_cluster(
+    shards: usize,
+    total_workers: usize,
+    sessions: usize,
+    playouts: usize,
+    eval: &Arc<dyn BatchEvaluator>,
+    root: &Gomoku,
+) -> RunFigures {
+    let per_shard = (total_workers / shards).max(1);
+    let cluster = ServeCluster::with_placement(
+        ClusterConfig {
+            shards,
+            shard: serve_cfg(per_shard),
+            admission: None,
+        },
+        Box::new(LeastLoaded),
+    );
     let t0 = Instant::now();
     let tickets: Vec<_> = (0..sessions)
         .map(|_| {
-            service.submit(
-                SearchRequest::new(root.clone(), Arc::clone(eval))
-                    .config(cfg)
-                    .budget(Budget::playouts(playouts as u64)),
-            )
+            cluster
+                .submit(request(root, eval, playouts))
+                .expect("no admission configured")
         })
         .collect();
     let mut latencies: Vec<Duration> = tickets
@@ -74,16 +151,71 @@ fn run_once(
         })
         .collect();
     let wall = t0.elapsed().as_secs_f64();
-    latencies.sort_unstable();
-    let pct = |p: f64| -> f64 {
-        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
-        latencies[idx].as_secs_f64() * 1e3
-    };
+    let (p50_ms, p99_ms) = percentiles(&mut latencies);
     RunFigures {
         requests_per_s: sessions as f64 / wall,
-        p50_ms: pct(0.50),
-        p99_ms: pct(0.99),
-        mean_eval_batch: service.stats().mean_eval_batch(),
+        p50_ms,
+        p99_ms,
+        mean_eval_batch: cluster.stats().total().mean_eval_batch(),
+    }
+}
+
+struct ShedFigures {
+    offered: usize,
+    admitted: usize,
+    shed: usize,
+    mean_retry_after_ms: f64,
+    drain_ms: f64,
+}
+
+/// Offer an overload burst against a deliberately small admission
+/// budget: most of it must shed immediately and the admitted remainder
+/// must drain in bounded time.
+fn run_shedding(
+    workers: usize,
+    offered: usize,
+    playouts: usize,
+    eval: &Arc<dyn BatchEvaluator>,
+    root: &Gomoku,
+) -> ShedFigures {
+    let budget_sessions = (offered / 3).max(1);
+    let cluster = ServeCluster::new(ClusterConfig {
+        shards: 2,
+        shard: serve_cfg((workers.max(2)) / 2),
+        admission: Some(AdmissionConfig {
+            playouts_per_sec: (playouts * budget_sessions) as f64,
+            burst_playouts: (playouts * budget_sessions) as u64,
+            max_pending: budget_sessions,
+        }),
+    });
+    let t0 = Instant::now();
+    let mut admitted = Vec::new();
+    let mut retry_hints = Vec::new();
+    for _ in 0..offered {
+        match cluster.submit(request(root, eval, playouts)) {
+            Ok(t) => admitted.push(t),
+            Err(r) => retry_hints.push(r.retry_after),
+        }
+    }
+    for t in &admitted {
+        let r = t.wait();
+        assert_eq!(r.stats.playouts, playouts as u64);
+    }
+    let drain_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let stats = cluster.stats();
+    assert_eq!(stats.admitted as usize, admitted.len());
+    assert_eq!(stats.shed() as usize, retry_hints.len());
+    let mean_retry_after_ms = if retry_hints.is_empty() {
+        0.0
+    } else {
+        retry_hints.iter().map(|d| d.as_secs_f64()).sum::<f64>() / retry_hints.len() as f64 * 1e3
+    };
+    ShedFigures {
+        offered,
+        admitted: admitted.len(),
+        shed: retry_hints.len(),
+        mean_retry_after_ms,
+        drain_ms,
     }
 }
 
@@ -97,15 +229,16 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "BENCH_serve.json".to_string());
 
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get().min(4))
-        .unwrap_or(4)
-        .max(2);
-    let (playouts, session_counts): (usize, &[usize]) = if smoke {
-        (48, &[1, 4])
-    } else {
-        (256, &[1, 4, 16, 64])
-    };
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = host_cores.clamp(2, 4);
+    let (playouts, session_counts, shard_counts, shed_offered): (usize, &[usize], &[usize], usize) =
+        if smoke {
+            (48, &[1, 4], &[1, 2], 6)
+        } else {
+            (256, &[1, 4, 16, 64], &[1, 2, 4], 24)
+        };
 
     let root = midgame();
     let net = Arc::new(PolicyValueNet::new(NetConfig::for_board(4, 9, 9, 81), 2));
@@ -114,13 +247,13 @@ fn main() {
     let mut json = String::from("{\n");
     let _ = writeln!(
         json,
-        "  \"meta\": {{\"workers\": {workers}, \"playouts_per_request\": {playouts}, \"board\": \"gomoku9\", \"evaluator\": \"nn\", \"smoke\": {smoke}}},"
+        "  \"meta\": {{\"schema_version\": 2, \"workers\": {workers}, \"host_cores\": {host_cores}, \"playouts_per_request\": {playouts}, \"board\": \"gomoku9\", \"evaluator\": \"nn\", \"smoke\": {smoke}}},"
     );
 
     // --- throughput/latency vs concurrent session count -------------------
     json.push_str("  \"sessions\": [\n");
     for (i, &sessions) in session_counts.iter().enumerate() {
-        let f = run_once(workers, sessions, playouts, &eval, &root);
+        let f = run_service(workers, sessions, playouts, &eval, &root);
         let _ = writeln!(
             json,
             "    {{\"concurrent\": {sessions}, \"requests_per_s\": {:.2}, \"p50_ms\": {:.2}, \"p99_ms\": {:.2}, \"mean_eval_batch\": {:.3}}}{}",
@@ -137,13 +270,56 @@ fn main() {
     }
     json.push_str("  ],\n");
 
+    // --- aggregate throughput vs shard count ------------------------------
+    // Fixed total worker budget partitioned across shards; a multi-core
+    // host shows aggregate req/s scaling, a single-core host documents
+    // parity (host_cores in meta tells the reader which this is).
+    let cluster_sessions = if smoke { 6 } else { 32 };
+    let total_workers = if smoke { 2 } else { host_cores.clamp(2, 8) };
+    json.push_str("  \"cluster\": [\n");
+    for (i, &shards) in shard_counts.iter().enumerate() {
+        let f = run_cluster(
+            shards,
+            total_workers,
+            cluster_sessions,
+            playouts,
+            &eval,
+            &root,
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"shards\": {shards}, \"total_workers\": {total_workers}, \"concurrent\": {cluster_sessions}, \"requests_per_s\": {:.2}, \"p50_ms\": {:.2}, \"p99_ms\": {:.2}}}{}",
+            f.requests_per_s,
+            f.p50_ms,
+            f.p99_ms,
+            if i + 1 < shard_counts.len() { "," } else { "" }
+        );
+        eprintln!(
+            "{shards:>2} shards ({total_workers} workers total): {:>7.2} req/s  p50 {:>8.2} ms  p99 {:>8.2} ms",
+            f.requests_per_s, f.p50_ms, f.p99_ms
+        );
+    }
+    json.push_str("  ],\n");
+
+    // --- overload shedding ------------------------------------------------
+    let s = run_shedding(workers, shed_offered, playouts, &eval, &root);
+    let _ = writeln!(
+        json,
+        "  \"shedding\": {{\"offered\": {}, \"admitted\": {}, \"shed\": {}, \"mean_retry_after_ms\": {:.2}, \"drain_ms\": {:.2}}},",
+        s.offered, s.admitted, s.shed, s.mean_retry_after_ms, s.drain_ms
+    );
+    eprintln!(
+        "shedding: offered {} → admitted {}, shed {} (mean retry_after {:.1} ms), drained in {:.1} ms",
+        s.offered, s.admitted, s.shed, s.mean_retry_after_ms, s.drain_ms
+    );
+
     // --- cross-session coalescing: concurrent vs serial -------------------
     // The acceptance figure: the same burst served by a multi-worker
     // service must fill larger mean inference batches than served one
     // session at a time (one worker ⇒ rounds of exactly one sample).
     let burst = if smoke { 4 } else { 16 };
-    let serial = run_once(1, burst, playouts, &eval, &root);
-    let multi = run_once(workers, burst, playouts, &eval, &root);
+    let serial = run_service(1, burst, playouts, &eval, &root);
+    let multi = run_service(workers, burst, playouts, &eval, &root);
     let _ = writeln!(
         json,
         "  \"coalescing\": {{\"burst\": {burst}, \"serial_mean_eval_batch\": {:.3}, \"multi_mean_eval_batch\": {:.3}}}",

@@ -1,0 +1,368 @@
+//! Validate the `BENCH_serve.json` schema so the serving perf
+//! trajectory stays machine-readable across PRs.
+//!
+//! Usage: `check_serve_schema <path>` (default `BENCH_serve.json`).
+//! Exits non-zero with a message naming the first violation. The
+//! workspace builds offline without a JSON crate, so this carries a
+//! ~100-line recursive-descent JSON parser — strict enough for the
+//! bench writer's output (objects, arrays, strings, numbers, bools).
+//!
+//! Checked schema (v2):
+//! * top level: objects `meta`, `shedding`, `coalescing`; arrays
+//!   `sessions`, `cluster` (non-empty);
+//! * `meta.schema_version == 2`, `meta.workers`/`host_cores`/
+//!   `playouts_per_request` numeric;
+//! * every `sessions[i]`: numeric `concurrent`, `requests_per_s`,
+//!   `p50_ms`, `p99_ms`, `mean_eval_batch`;
+//! * every `cluster[i]`: numeric `shards`, `total_workers`,
+//!   `concurrent`, `requests_per_s`, `p50_ms`, `p99_ms`;
+//! * `shedding`: numeric `offered`, `admitted`, `shed`,
+//!   `mean_retry_after_ms`, `drain_ms`, with
+//!   `admitted + shed == offered`;
+//! * `coalescing`: numeric `burst`, `serial_mean_eval_batch`,
+//!   `multi_mean_eval_batch`.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Minimal JSON value.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn fail(&self, what: &str) -> String {
+        format!("parse error at byte {}: {what}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.fail(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek().ok_or_else(|| self.fail("unexpected end"))? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.fail(&format!("expected '{word}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.fail("invalid number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.fail("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    // The bench writer never emits escapes beyond these.
+                    let esc = self.bytes.get(self.pos + 1).copied();
+                    let ch = match esc {
+                        Some(b'"') => '"',
+                        Some(b'\\') => '\\',
+                        Some(b'n') => '\n',
+                        Some(b't') => '\t',
+                        _ => return Err(self.fail("unsupported escape")),
+                    };
+                    out.push(ch);
+                    self.pos += 2;
+                }
+                Some(&b) => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.fail("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            map.insert(key, self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.fail("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn parse(s: &str) -> Result<Json, String> {
+    let mut p = Parser::new(s);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.fail("trailing content"));
+    }
+    Ok(v)
+}
+
+fn obj<'a>(v: &'a Json, path: &str) -> Result<&'a BTreeMap<String, Json>, String> {
+    match v {
+        Json::Obj(m) => Ok(m),
+        _ => Err(format!("{path}: expected object")),
+    }
+}
+
+fn field<'a>(m: &'a BTreeMap<String, Json>, path: &str, key: &str) -> Result<&'a Json, String> {
+    m.get(key).ok_or_else(|| format!("{path}.{key}: missing"))
+}
+
+fn num(m: &BTreeMap<String, Json>, path: &str, key: &str) -> Result<f64, String> {
+    match field(m, path, key)? {
+        Json::Num(n) if n.is_finite() => Ok(*n),
+        _ => Err(format!("{path}.{key}: expected finite number")),
+    }
+}
+
+fn check_each(
+    root: &BTreeMap<String, Json>,
+    name: &str,
+    required: &[&str],
+) -> Result<usize, String> {
+    let arr = match field(root, "$", name)? {
+        Json::Arr(a) if !a.is_empty() => a,
+        Json::Arr(_) => return Err(format!("$.{name}: must be non-empty")),
+        _ => return Err(format!("$.{name}: expected array")),
+    };
+    for (i, item) in arr.iter().enumerate() {
+        let path = format!("$.{name}[{i}]");
+        let m = obj(item, &path)?;
+        for key in required {
+            num(m, &path, key)?;
+        }
+    }
+    Ok(arr.len())
+}
+
+fn check(doc: &Json) -> Result<String, String> {
+    let root = obj(doc, "$")?;
+
+    let meta = obj(field(root, "$", "meta")?, "$.meta")?;
+    let version = num(meta, "$.meta", "schema_version")?;
+    if version != 2.0 {
+        return Err(format!("$.meta.schema_version: expected 2, got {version}"));
+    }
+    for key in ["workers", "host_cores", "playouts_per_request"] {
+        num(meta, "$.meta", key)?;
+    }
+
+    let sessions = check_each(
+        root,
+        "sessions",
+        &[
+            "concurrent",
+            "requests_per_s",
+            "p50_ms",
+            "p99_ms",
+            "mean_eval_batch",
+        ],
+    )?;
+    let cluster = check_each(
+        root,
+        "cluster",
+        &[
+            "shards",
+            "total_workers",
+            "concurrent",
+            "requests_per_s",
+            "p50_ms",
+            "p99_ms",
+        ],
+    )?;
+
+    let shed = obj(field(root, "$", "shedding")?, "$.shedding")?;
+    let offered = num(shed, "$.shedding", "offered")?;
+    let admitted = num(shed, "$.shedding", "admitted")?;
+    let shed_n = num(shed, "$.shedding", "shed")?;
+    num(shed, "$.shedding", "mean_retry_after_ms")?;
+    num(shed, "$.shedding", "drain_ms")?;
+    if admitted + shed_n != offered {
+        return Err(format!(
+            "$.shedding: admitted ({admitted}) + shed ({shed_n}) != offered ({offered})"
+        ));
+    }
+
+    let coal = obj(field(root, "$", "coalescing")?, "$.coalescing")?;
+    for key in ["burst", "serial_mean_eval_batch", "multi_mean_eval_batch"] {
+        num(coal, "$.coalescing", key)?;
+    }
+
+    Ok(format!(
+        "schema v2 ok: {sessions} session points, {cluster} cluster points, \
+         shedding {admitted}/{offered} admitted"
+    ))
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check_serve_schema: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match parse(&text).and_then(|doc| check(&doc)) {
+        Ok(summary) => {
+            println!("{path}: {summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("check_serve_schema: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"{
+      "meta": {"schema_version": 2, "workers": 2, "host_cores": 1, "playouts_per_request": 48, "board": "gomoku9", "evaluator": "nn", "smoke": true},
+      "sessions": [
+        {"concurrent": 1, "requests_per_s": 10.0, "p50_ms": 1.0, "p99_ms": 2.0, "mean_eval_batch": 1.0}
+      ],
+      "cluster": [
+        {"shards": 2, "total_workers": 2, "concurrent": 6, "requests_per_s": 9.5, "p50_ms": 1.0, "p99_ms": 2.0}
+      ],
+      "shedding": {"offered": 6, "admitted": 2, "shed": 4, "mean_retry_after_ms": 12.0, "drain_ms": 80.0},
+      "coalescing": {"burst": 4, "serial_mean_eval_batch": 1.0, "multi_mean_eval_batch": 1.8}
+    }"#;
+
+    #[test]
+    fn good_document_passes() {
+        check(&parse(GOOD).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn missing_section_fails() {
+        let broken = GOOD.replace("\"cluster\"", "\"clutter\"");
+        let err = check(&parse(&broken).unwrap()).unwrap_err();
+        assert!(err.contains("cluster"), "{err}");
+    }
+
+    #[test]
+    fn wrong_schema_version_fails() {
+        let broken = GOOD.replace("\"schema_version\": 2", "\"schema_version\": 1");
+        assert!(check(&parse(&broken).unwrap()).is_err());
+    }
+
+    #[test]
+    fn shed_accounting_must_balance() {
+        let broken = GOOD.replace("\"admitted\": 2", "\"admitted\": 3");
+        let err = check(&parse(&broken).unwrap()).unwrap_err();
+        assert!(err.contains("offered"), "{err}");
+    }
+
+    #[test]
+    fn malformed_json_fails() {
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("{} trailing").is_err());
+    }
+}

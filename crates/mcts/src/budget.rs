@@ -11,7 +11,38 @@
 //! `RunGate` (crate-internal) is the per-run progress/deadline tracker
 //! the schemes share: it resolves a budget against the config once at
 //! [`SearchScheme::begin`](crate::SearchScheme::begin) and answers
-//! "may another playout start?" on the hot path.
+//! "may another playout start?" on the hot path. It also counts the
+//! run's completed `step` calls, which every scheme stamps into
+//! [`SearchStats::seq`](crate::SearchStats::seq) — the snapshot
+//! sequence number that lets a streaming consumer (the `serve` crate's
+//! ticket subscriptions) order and deduplicate anytime snapshots.
+//!
+//! # Example: a budgeted, resumable run
+//!
+//! ```
+//! use games::tictactoe::TicTacToe;
+//! use mcts::{Budget, Scheme, SearchBuilder, StepOutcome, UniformEvaluator};
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//!
+//! let mut search = SearchBuilder::new(Scheme::Serial)
+//!     .playouts(10_000) // config ceiling (the budget tightens it)
+//!     .evaluator(Arc::new(UniformEvaluator::for_game(&TicTacToe::new())))
+//!     .build::<TicTacToe>();
+//!
+//! // 96 playouts or 5 seconds, whichever is hit first.
+//! let budget = Budget::playouts(96).with_time(Duration::from_secs(5));
+//! search.begin(&TicTacToe::new(), budget);
+//! let mut snapshots = 0;
+//! while search.step(32) == StepOutcome::Running {
+//!     let snap = search.partial_result(); // anytime: exact over completed playouts
+//!     snapshots += 1;
+//!     assert_eq!(snap.stats.seq, snapshots, "each step bumps the snapshot seq");
+//! }
+//! let result = search.partial_result();
+//! assert_eq!(result.stats.playouts, 96);
+//! search.cancel(); // or just begin() the next run
+//! ```
 
 use crate::config::MctsConfig;
 use serde::{Deserialize, Serialize};
@@ -123,6 +154,9 @@ pub(crate) struct RunGate {
     /// run's *active* time; a multiplexed session is not charged for
     /// time spent parked in a service queue).
     pub active_ns: u64,
+    /// Completed `step` calls this run — the snapshot sequence number
+    /// stamped into [`SearchStats::seq`](crate::SearchStats::seq).
+    steps: u64,
 }
 
 impl RunGate {
@@ -142,7 +176,24 @@ impl RunGate {
             done: 0,
             deadline: time.map(|t| Instant::now() + t),
             active_ns: 0,
+            steps: 0,
         }
+    }
+
+    /// Charge one finished `step` call to the run: accumulate the time
+    /// spent inside it and advance the snapshot sequence number.
+    #[inline]
+    pub fn note_step(&mut self, started: Instant) {
+        self.active_ns += started.elapsed().as_nanos() as u64;
+        self.steps += 1;
+    }
+
+    /// The snapshot sequence number: completed `step` calls this run.
+    /// Strictly monotone within a run; see
+    /// [`SearchStats::seq`](crate::SearchStats::seq).
+    #[inline]
+    pub fn seq(&self) -> u64 {
+        self.steps
     }
 
     /// Playout target for the run.

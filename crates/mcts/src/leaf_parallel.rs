@@ -148,7 +148,7 @@ impl<G: Game> SearchScheme<G> for LeafParallelSearch {
             run.gate.done += 1;
             run.stats.playouts += 1;
         }
-        run.gate.active_ns += step_start.elapsed().as_nanos() as u64;
+        run.gate.note_step(step_start);
         let outcome = if run.gate.exhausted() {
             debug_assert_eq!(run.tree.outstanding_vl(), 0);
             #[cfg(feature = "invariants")]
@@ -168,6 +168,7 @@ impl<G: Game> SearchScheme<G> for LeafParallelSearch {
         let (visits, probs, value) = run.tree.action_prior(run.action_space);
         let mut stats = run.stats;
         stats.move_ns = run.gate.active_ns;
+        stats.seq = run.gate.seq();
         stats.nodes = run.tree.len() as u64;
         SearchResult {
             probs,

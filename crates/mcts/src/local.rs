@@ -214,7 +214,7 @@ impl<G: Game> SearchScheme<G> for LocalTreeSearch {
             // its depth while the session is parked.
             StepOutcome::Running
         };
-        run.gate.active_ns += step_start.elapsed().as_nanos() as u64;
+        run.gate.note_step(step_start);
         self.run = Some(run);
         outcome
     }
@@ -227,6 +227,7 @@ impl<G: Game> SearchScheme<G> for LocalTreeSearch {
         let mut stats = run.stats;
         stats.eval_ns = self.client.eval_ns();
         stats.move_ns = run.gate.active_ns;
+        stats.seq = run.gate.seq();
         stats.nodes = run.tree.len() as u64;
         SearchResult {
             probs,

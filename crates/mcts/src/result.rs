@@ -29,6 +29,11 @@ pub struct SearchStats {
     /// (in-place re-rooting and capacity pruning). Always 0 for schemes
     /// that rebuild their tree every move.
     pub reclaimed: u64,
+    /// Snapshot sequence number: completed [`SearchScheme::step`] calls
+    /// of the run when this snapshot was taken. Strictly monotone within
+    /// a run, so streaming consumers can order and deduplicate anytime
+    /// snapshots; 0 for a run that was never stepped.
+    pub seq: u64,
 }
 
 impl SearchStats {

@@ -165,6 +165,7 @@ impl ReusableSearch {
             tree.action_prior_into(run.action_space, &mut result.visits, &mut result.probs);
         result.stats = run.stats;
         result.stats.move_ns = run.gate.active_ns;
+        result.stats.seq = run.gate.seq();
         result.stats.nodes = tree.len() as u64;
         result.stats.reclaimed = tree.stats().reclaimed_total - self.reclaimed_snapshot;
     }
@@ -228,7 +229,7 @@ impl<G: Game> SearchScheme<G> for ReusableSearch {
             run.gate.done += 1;
             run.stats.playouts += 1;
         }
-        run.gate.active_ns += step_start.elapsed().as_nanos() as u64;
+        run.gate.note_step(step_start);
         if run.gate.exhausted() {
             debug_assert_eq!(tree.outstanding_vl(), 0);
             #[cfg(feature = "invariants")]

@@ -170,7 +170,7 @@ impl<G: Game> SearchScheme<G> for RootParallelSearch {
             });
             run.gate.done = run.slots.iter().map(|s| s.done).sum();
         }
-        run.gate.active_ns += step_start.elapsed().as_nanos() as u64;
+        run.gate.note_step(step_start);
         let finished = run.gate.out_of_time() || run.slots.iter().all(|s| s.done >= s.target);
         let outcome = if finished {
             #[cfg(feature = "invariants")]
@@ -219,6 +219,7 @@ impl<G: Game> SearchScheme<G> for RootParallelSearch {
             visits.iter().map(|&v| v as f32 / total as f32).collect()
         };
         stats.move_ns = run.gate.active_ns;
+        stats.seq = run.gate.seq();
         SearchResult {
             probs,
             visits,

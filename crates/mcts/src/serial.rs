@@ -95,7 +95,7 @@ impl<G: Game> SearchScheme<G> for SerialSearch {
             run.gate.done += 1;
             run.stats.playouts += 1;
         }
-        run.gate.active_ns += step_start.elapsed().as_nanos() as u64;
+        run.gate.note_step(step_start);
         if run.gate.exhausted() {
             debug_assert_eq!(run.tree.outstanding_vl(), 0);
             #[cfg(feature = "invariants")]
@@ -113,6 +113,7 @@ impl<G: Game> SearchScheme<G> for SerialSearch {
         let (visits, probs, value) = run.tree.action_prior(run.action_space);
         let mut stats = run.stats;
         stats.move_ns = run.gate.active_ns;
+        stats.seq = run.gate.seq();
         stats.nodes = run.tree.len() as u64;
         SearchResult {
             probs,

@@ -543,7 +543,7 @@ impl<G: Game> SearchScheme<G> for SharedTreeSearch {
             });
         }
         run.gate.done += completed.load(Ordering::Relaxed) as u64;
-        run.gate.active_ns += step_start.elapsed().as_nanos() as u64;
+        run.gate.note_step(step_start);
         if run.gate.exhausted() {
             debug_assert_eq!(run.tree.outstanding_vl(), 0);
             #[cfg(feature = "invariants")]
@@ -569,6 +569,7 @@ impl<G: Game> SearchScheme<G> for SharedTreeSearch {
             backup_ns: total_worker.saturating_sub(eval) / 3,
             eval_ns: eval,
             move_ns: run.gate.active_ns,
+            seq: run.gate.seq(),
             collisions: run.tree.collisions(),
             nodes: run.tree.len() as u64,
             reclaimed: 0,

@@ -181,7 +181,7 @@ impl<G: Game> SearchScheme<G> for SpeculativeSearch {
         } else {
             StepOutcome::Running
         };
-        run.gate.active_ns += step_start.elapsed().as_nanos() as u64;
+        run.gate.note_step(step_start);
         self.run = Some(run);
         outcome
     }
@@ -193,6 +193,7 @@ impl<G: Game> SearchScheme<G> for SpeculativeSearch {
         let (visits, probs, value) = run.tree.action_prior(run.action_space);
         let mut stats = run.stats;
         stats.move_ns = run.gate.active_ns;
+        stats.seq = run.gate.seq();
         stats.nodes = run.tree.len() as u64;
         SearchResult {
             probs,

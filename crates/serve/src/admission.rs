@@ -1,0 +1,382 @@
+//! Per-model admission control and load shedding.
+//!
+//! A serving cluster that accepts every request degrades for everyone at
+//! once: queues grow without bound, deadlines blow through, and memory
+//! follows the backlog. [`AdmissionController`] instead bounds what each
+//! *model* (evaluator backend) may have in flight and sheds the
+//! overflow **explicitly** — a rejected request gets a
+//! [`Rejection`] with a [`retry_after`](Rejection::retry_after) hint
+//! instead of a place in an unbounded queue.
+//!
+//! Two independent gates, both keyed per model:
+//!
+//! * a **token bucket on admitted playouts**: a session costing `c`
+//!   playouts is admitted only if the bucket holds `c` tokens; tokens
+//!   refill at [`AdmissionConfig::playouts_per_sec`] up to
+//!   [`AdmissionConfig::burst_playouts`]. This caps the sustained
+//!   compute a model may consume no matter how many sessions carry it.
+//! * a **bounded pending count**: at most
+//!   [`AdmissionConfig::max_pending`] sessions may be
+//!   admitted-but-unfinished at once. This caps queue depth (and the
+//!   memory behind it) even when each session is tiny.
+//!
+//! ```
+//! use serve::{AdmissionConfig, AdmissionController, RejectReason};
+//!
+//! let adm = AdmissionController::new(AdmissionConfig {
+//!     playouts_per_sec: 1000.0,
+//!     burst_playouts: 600,
+//!     max_pending: 8,
+//! });
+//! let model_key = 7; // cluster derives this from the evaluator identity
+//! assert!(adm.try_admit(model_key, 512).is_ok()); // within the burst
+//! let shed = adm.try_admit(model_key, 512).unwrap_err(); // bucket drained
+//! assert_eq!(shed.reason, RejectReason::RateLimited);
+//! assert!(shed.retry_after.as_secs_f64() > 0.0);
+//! adm.release(model_key); // session finished: pending slot freed
+//! ```
+
+use mcts::BatchEvaluator;
+use std::sync::{Arc, Mutex, Weak};
+use std::time::{Duration, Instant};
+
+/// Per-model admission limits (see module docs). The same limits apply
+/// to every model served by a cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Sustained admitted playouts per second per model: the token
+    /// bucket's refill rate. Must be positive and finite.
+    pub playouts_per_sec: f64,
+    /// Token-bucket capacity in playouts: the largest burst admitted
+    /// from a full bucket before rate limiting engages.
+    pub burst_playouts: u64,
+    /// Maximum sessions admitted-but-unfinished per model at once (the
+    /// bounded pending queue). Overflow is shed with
+    /// [`RejectReason::QueueFull`].
+    pub max_pending: usize,
+}
+
+impl Default for AdmissionConfig {
+    /// Generous defaults sized for interactive serving: 50k playouts/s
+    /// sustained, 100k burst, 256 pending sessions per model.
+    fn default() -> Self {
+        AdmissionConfig {
+            playouts_per_sec: 50_000.0,
+            burst_playouts: 100_000,
+            max_pending: 256,
+        }
+    }
+}
+
+/// Why a request was shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The model's token bucket lacks the playouts this session asks
+    /// for: the model is over its sustained compute budget. Transient —
+    /// retrying after the hint has a fair chance.
+    RateLimited,
+    /// The model already has [`AdmissionConfig::max_pending`] sessions
+    /// admitted and unfinished. Transient.
+    QueueFull,
+    /// The session's cost exceeds
+    /// [`AdmissionConfig::burst_playouts`] — a full bucket could never
+    /// cover it, so retrying the *same* request is pointless no matter
+    /// how long the caller waits. Resubmit with a smaller playout
+    /// budget (or split the work across sessions).
+    TooLarge,
+}
+
+/// An explicit load-shedding outcome: the request was **not** queued.
+/// For the transient reasons ([`RejectReason::RateLimited`],
+/// [`RejectReason::QueueFull`]), resubmitting after
+/// [`retry_after`](Rejection::retry_after) has a fair chance of
+/// admission (tokens refilled / pending drained). A
+/// [`RejectReason::TooLarge`] rejection is permanent for that request
+/// shape — `retry_after` is zero and waiting will not help.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rejection {
+    pub reason: RejectReason,
+    /// Back-off hint: how long until the shedding gate plausibly
+    /// clears. Zero for [`RejectReason::TooLarge`] (no wait helps).
+    pub retry_after: Duration,
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.reason {
+            RejectReason::RateLimited => {
+                write!(
+                    f,
+                    "request shed (rate limited); retry after {:?}",
+                    self.retry_after
+                )
+            }
+            RejectReason::QueueFull => {
+                write!(
+                    f,
+                    "request shed (pending queue full); retry after {:?}",
+                    self.retry_after
+                )
+            }
+            RejectReason::TooLarge => {
+                write!(
+                    f,
+                    "request shed (cost exceeds the admission burst); lower the budget"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for Rejection {}
+
+/// Token-bucket + pending-count state of one model.
+struct ModelState {
+    key: usize,
+    /// Backend liveness probe (entries registered via
+    /// [`AdmissionController::try_admit_backend`]). Holding the `Weak`
+    /// pins the `Arc` allocation, so a freed evaluator's address cannot
+    /// be reused by a new model and silently inherit this bucket; once
+    /// every strong reference is gone (and no session is pending) the
+    /// entry is evicted. `None` for raw integer keys
+    /// ([`AdmissionController::try_admit`]), whose lifecycle the caller
+    /// owns.
+    handle: Option<Weak<dyn BatchEvaluator>>,
+    tokens: f64,
+    last_refill: Instant,
+    pending: usize,
+}
+
+/// Admission gate shared by a cluster's dispatch path (see module docs).
+/// Thread-safe; one lock around a small per-model table.
+pub struct AdmissionController {
+    cfg: AdmissionConfig,
+    models: Mutex<Vec<ModelState>>,
+}
+
+impl AdmissionController {
+    /// # Panics
+    /// If `playouts_per_sec` is not positive and finite.
+    pub fn new(cfg: AdmissionConfig) -> Self {
+        assert!(
+            cfg.playouts_per_sec.is_finite() && cfg.playouts_per_sec > 0.0,
+            "admission rate must be positive and finite"
+        );
+        AdmissionController {
+            cfg,
+            models: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The limits this controller enforces.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.cfg
+    }
+
+    /// Try to admit a session costing `cost` playouts on model `key`.
+    /// `Ok(())` consumes `cost` tokens and one pending slot; the caller
+    /// must [`release`](AdmissionController::release) the slot when the
+    /// session finishes. `Err` sheds the request without queueing it.
+    ///
+    /// The caller owns the `key` space and its lifecycle (entries for
+    /// raw keys are never evicted); a cluster routing by evaluator
+    /// identity should use
+    /// [`try_admit_backend`](AdmissionController::try_admit_backend)
+    /// instead, which also handles eviction and address reuse.
+    pub fn try_admit(&self, key: usize, cost: u64) -> Result<(), Rejection> {
+        self.admit_at(key, None, cost)
+    }
+
+    /// [`try_admit`](AdmissionController::try_admit) keyed by the
+    /// backend's identity (the `Arc` address). The controller holds a
+    /// `Weak` to the backend: dead models' entries (no strong refs, no
+    /// pending sessions) are evicted on later admissions, so a
+    /// long-lived cluster seeing per-request backends neither grows
+    /// without bound nor hands a reused address a stale bucket.
+    pub fn try_admit_backend(
+        &self,
+        backend: &Arc<dyn BatchEvaluator>,
+        cost: u64,
+    ) -> Result<(), Rejection> {
+        let key = Arc::as_ptr(backend) as *const () as usize;
+        self.admit_at(key, Some(Arc::downgrade(backend)), cost)
+    }
+
+    fn admit_at(
+        &self,
+        key: usize,
+        handle: Option<Weak<dyn BatchEvaluator>>,
+        cost: u64,
+    ) -> Result<(), Rejection> {
+        let cost_f = cost.max(1) as f64;
+        if cost.max(1) > self.cfg.burst_playouts {
+            // A full bucket could never cover this: reject terminally
+            // rather than promising a retry that can never succeed.
+            return Err(Rejection {
+                reason: RejectReason::TooLarge,
+                retry_after: Duration::ZERO,
+            });
+        }
+        let mut models = self.models.lock().unwrap();
+        // Evict models nothing references anymore (their `Weak` pins
+        // the address until this point, so no aliasing window exists).
+        models.retain(|m| m.pending > 0 || m.handle.as_ref().is_none_or(|h| h.strong_count() > 0));
+        let m = match models.iter_mut().position(|m| m.key == key) {
+            Some(i) => &mut models[i],
+            None => {
+                models.push(ModelState {
+                    key,
+                    handle,
+                    tokens: self.cfg.burst_playouts as f64,
+                    last_refill: Instant::now(),
+                    pending: 0,
+                });
+                models.last_mut().unwrap()
+            }
+        };
+        // Refill since the last decision, capped at the burst size.
+        let now = Instant::now();
+        let elapsed = now.duration_since(m.last_refill).as_secs_f64();
+        m.last_refill = now;
+        m.tokens =
+            (m.tokens + elapsed * self.cfg.playouts_per_sec).min(self.cfg.burst_playouts as f64);
+        if m.pending >= self.cfg.max_pending {
+            // Hint: roughly the time one mean-sized session takes to
+            // drain at the sustained rate.
+            return Err(Rejection {
+                reason: RejectReason::QueueFull,
+                retry_after: clamp_retry(cost_f / self.cfg.playouts_per_sec),
+            });
+        }
+        if m.tokens < cost_f {
+            return Err(Rejection {
+                reason: RejectReason::RateLimited,
+                retry_after: clamp_retry((cost_f - m.tokens) / self.cfg.playouts_per_sec),
+            });
+        }
+        m.tokens -= cost_f;
+        m.pending += 1;
+        Ok(())
+    }
+
+    /// Return the pending slot taken by an admitted session that has now
+    /// finished (completed or cancelled). Consumed tokens are *not*
+    /// refunded — the bucket meters admitted work, not completed work.
+    pub fn release(&self, key: usize) {
+        let mut models = self.models.lock().unwrap();
+        if let Some(m) = models.iter_mut().find(|m| m.key == key) {
+            m.pending = m.pending.saturating_sub(1);
+        }
+    }
+
+    /// Models currently tracked (live backends, raw keys, and dead
+    /// backends still draining pending sessions). Backend entries are
+    /// evicted once dead and drained, so this stays bounded by the live
+    /// model count.
+    pub fn tracked_models(&self) -> usize {
+        self.models.lock().unwrap().len()
+    }
+
+    /// Sessions currently admitted-but-unfinished on model `key`.
+    pub fn pending(&self, key: usize) -> usize {
+        self.models
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|m| m.key == key)
+            .map_or(0, |m| m.pending)
+    }
+}
+
+/// Keep retry hints in a band callers can act on: at least 1 ms (never
+/// "retry immediately" while shedding), at most 60 s.
+fn clamp_retry(secs: f64) -> Duration {
+    Duration::from_secs_f64(secs.clamp(1e-3, 60.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctl(rate: f64, burst: u64, pending: usize) -> AdmissionController {
+        AdmissionController::new(AdmissionConfig {
+            playouts_per_sec: rate,
+            burst_playouts: burst,
+            max_pending: pending,
+        })
+    }
+
+    #[test]
+    fn burst_is_admitted_then_rate_limited() {
+        let adm = ctl(10.0, 100, 100);
+        assert!(adm.try_admit(1, 60).is_ok());
+        assert!(adm.try_admit(1, 40).is_ok());
+        let shed = adm.try_admit(1, 40).unwrap_err();
+        assert_eq!(shed.reason, RejectReason::RateLimited);
+        // ~40 tokens short at 10/s: the hint is on the order of seconds.
+        assert!(shed.retry_after >= Duration::from_secs(1));
+        assert!(shed.retry_after <= Duration::from_secs(60));
+    }
+
+    #[test]
+    fn pending_bound_sheds_and_release_reopens() {
+        let adm = ctl(1e9, 1_000_000_000, 2);
+        assert!(adm.try_admit(3, 10).is_ok());
+        assert!(adm.try_admit(3, 10).is_ok());
+        let shed = adm.try_admit(3, 10).unwrap_err();
+        assert_eq!(shed.reason, RejectReason::QueueFull);
+        assert_eq!(adm.pending(3), 2);
+        adm.release(3);
+        assert!(adm.try_admit(3, 10).is_ok(), "slot freed by release");
+    }
+
+    #[test]
+    fn models_are_isolated() {
+        let adm = ctl(10.0, 50, 8);
+        assert!(adm.try_admit(1, 50).is_ok());
+        assert!(adm.try_admit(1, 1).is_err(), "model 1 drained");
+        assert!(adm.try_admit(2, 50).is_ok(), "model 2 has its own bucket");
+    }
+
+    #[test]
+    fn tokens_refill_over_time() {
+        let adm = ctl(100_000.0, 1000, 8);
+        assert!(adm.try_admit(1, 1000).is_ok());
+        assert!(adm.try_admit(1, 500).is_err());
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(adm.try_admit(1, 500).is_ok(), "refilled at 100k/s");
+    }
+
+    #[test]
+    fn oversized_cost_is_terminally_rejected() {
+        let adm = ctl(1000.0, 500, 8);
+        let rej = adm.try_admit(1, 501).unwrap_err();
+        assert_eq!(rej.reason, RejectReason::TooLarge);
+        assert_eq!(
+            rej.retry_after,
+            Duration::ZERO,
+            "no wait makes an over-burst request admissible"
+        );
+        // The failed attempt consumed nothing: a full-burst request
+        // still fits.
+        assert!(adm.try_admit(1, 500).is_ok());
+    }
+
+    #[test]
+    fn dead_backend_entries_are_evicted_once_drained() {
+        use mcts::{BatchEvaluator, UniformEvaluator};
+        let adm = ctl(1e6, 1_000_000, 8);
+        let e1: Arc<dyn BatchEvaluator> = Arc::new(UniformEvaluator::new(4, 3));
+        let key1 = Arc::as_ptr(&e1) as *const () as usize;
+        adm.try_admit_backend(&e1, 10).unwrap();
+        drop(e1);
+        // Still pending: the entry must survive (release comes later).
+        let e2: Arc<dyn BatchEvaluator> = Arc::new(UniformEvaluator::new(4, 3));
+        adm.try_admit_backend(&e2, 10).unwrap();
+        assert_eq!(adm.tracked_models(), 2, "pending entry is kept alive");
+        adm.release(key1);
+        // Dead and drained: the next admission sweeps it out.
+        adm.try_admit_backend(&e2, 10).unwrap();
+        assert_eq!(adm.tracked_models(), 1, "dead drained entry evicted");
+    }
+}

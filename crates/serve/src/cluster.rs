@@ -1,0 +1,336 @@
+//! Sharded multi-service dispatch: one front door over N
+//! [`SearchService`] shards.
+//!
+//! A single [`SearchService`] scales to one worker pool's worth of
+//! traffic; past that the shared scheduler lock and one coalescing
+//! registry become the ceiling. [`ServeCluster`] owns several
+//! independent services ("shards" — one per backend/model or CPU slice)
+//! and routes each incoming request through three stages:
+//!
+//! 1. **Admission** ([`crate::AdmissionController`], optional): a
+//!    per-model token bucket on admitted playouts plus a bounded
+//!    pending-session count. Overflow is *shed* — the caller gets
+//!    `Err(`[`Rejection`]`)` with a `retry_after` hint, and nothing is
+//!    queued — so overload degrades into fast explicit rejections
+//!    instead of unbounded queue growth.
+//! 2. **Placement** ([`PlacementPolicy`]): pick a shard by outstanding
+//!    playout load, with *backend affinity* — sessions carrying a model
+//!    already resident on some shard prefer that shard, because its
+//!    [`mcts::CoalescingEvaluator`] for the model already lives there
+//!    and cross-session batches only fill within one shard. Affinity
+//!    spills to least-loaded when the home shard is overloaded.
+//! 3. **Execution**: the shard's weighted-fair scheduler steps the
+//!    session; the returned [`ClusterTicket`] exposes the full ticket
+//!    surface (`wait`, `partial`, [`crate::SearchTicket::subscribe`]
+//!    streaming, cancellation) plus the placed shard index.
+//!
+//! ```
+//! use games::tictactoe::TicTacToe;
+//! use mcts::{Budget, UniformEvaluator};
+//! use serve::{ClusterConfig, SearchRequest, ServeCluster, ServeConfig};
+//! use std::sync::Arc;
+//!
+//! let cluster = ServeCluster::new(ClusterConfig {
+//!     shards: 2,
+//!     shard: ServeConfig { workers: 2, ..Default::default() },
+//!     admission: None, // accept everything: no shedding
+//! });
+//! let eval = Arc::new(UniformEvaluator::for_game(&TicTacToe::new()));
+//! let ticket = cluster
+//!     .submit(SearchRequest::new(TicTacToe::new(), eval).budget(Budget::playouts(64)))
+//!     .expect("no admission control configured");
+//! assert!(ticket.shard() < 2);
+//! assert_eq!(ticket.wait().stats.playouts, 64);
+//! ```
+
+use crate::admission::{AdmissionConfig, AdmissionController, Rejection};
+use crate::service::{SearchService, ServeConfig, ServiceStats};
+use crate::session::SearchTicket;
+use crate::{session_cost, SearchRequest};
+use games::Game;
+use mcts::BatchEvaluator;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+
+/// Cluster sizing: how many shards, how each is provisioned, and the
+/// admission limits applied per model.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Independent [`SearchService`] shards (each spawns its own
+    /// [`ServeConfig::workers`] threads).
+    pub shards: usize,
+    /// Per-shard service configuration.
+    pub shard: ServeConfig,
+    /// Per-model admission limits; `None` admits everything (no
+    /// shedding — the single-service behavior).
+    pub admission: Option<AdmissionConfig>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            shards: 2,
+            shard: ServeConfig::default(),
+            admission: Some(AdmissionConfig::default()),
+        }
+    }
+}
+
+/// Chooses the shard a newly admitted session runs on.
+///
+/// `loads[i]` is shard *i*'s outstanding playout budget
+/// ([`SearchService::outstanding_playouts`]), `affinity` is the shard
+/// where the request's backend last landed (its coalescing layer lives
+/// there), and `cost` is the session's admitted playout budget. The
+/// returned index is clamped to the shard count.
+pub trait PlacementPolicy: Send + Sync {
+    fn place(&self, loads: &[u64], affinity: Option<usize>, cost: u64) -> usize;
+}
+
+/// Route to the shard with the least outstanding playout budget,
+/// ignoring backend affinity (useful when every request carries its own
+/// model and batches can never be shared).
+pub struct LeastLoaded;
+
+impl PlacementPolicy for LeastLoaded {
+    fn place(&self, loads: &[u64], _affinity: Option<usize>, _cost: u64) -> usize {
+        loads
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &l)| l)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+/// The default policy: stay on the backend's home shard (where its
+/// coalescing layer and warmed state already live) until the home runs
+/// more than `spill` sessions' worth of load **ahead of the least
+/// loaded shard**; beyond that, fall back to least-loaded so one hot
+/// model cannot drown its shard while others idle.
+///
+/// The comparison is against the emptiest alternative, not the cluster
+/// mean: with one dominant model the home shard *is* most of the mean,
+/// and a mean-relative rule would abandon affinity on the second
+/// concurrent session — exactly the case batching affinity exists for.
+pub struct AffinityLeastLoaded {
+    /// Headroom, in multiples of the incoming session's cost, that the
+    /// home shard may hold over the least-loaded shard before affinity
+    /// gives way. 2.0 by default; larger = stickier (better batch
+    /// fill, lumpier load).
+    pub spill: f64,
+}
+
+impl Default for AffinityLeastLoaded {
+    fn default() -> Self {
+        AffinityLeastLoaded { spill: 2.0 }
+    }
+}
+
+impl PlacementPolicy for AffinityLeastLoaded {
+    fn place(&self, loads: &[u64], affinity: Option<usize>, cost: u64) -> usize {
+        if let Some(home) = affinity.filter(|&h| h < loads.len()) {
+            let min_load = loads.iter().copied().min().unwrap_or(0);
+            let headroom = self.spill.max(0.0) * cost.max(1) as f64;
+            if loads[home] as f64 <= min_load as f64 + headroom {
+                return home;
+            }
+        }
+        LeastLoaded.place(loads, None, cost)
+    }
+}
+
+/// Cluster-level accounting: admission outcomes plus every shard's
+/// [`ServiceStats`].
+#[derive(Debug, Clone, Default)]
+pub struct ClusterStats {
+    /// Requests admitted and placed.
+    pub admitted: u64,
+    /// Requests shed by the token bucket
+    /// ([`crate::RejectReason::RateLimited`]).
+    pub shed_rate_limited: u64,
+    /// Requests shed by the pending bound
+    /// ([`crate::RejectReason::QueueFull`]).
+    pub shed_queue_full: u64,
+    /// Requests whose cost exceeds the admission burst
+    /// ([`crate::RejectReason::TooLarge`] — never admissible as-is).
+    pub shed_too_large: u64,
+    /// Per-shard service counters, indexed by shard.
+    pub per_shard: Vec<ServiceStats>,
+}
+
+impl ClusterStats {
+    /// Total requests shed (all reasons).
+    pub fn shed(&self) -> u64 {
+        self.shed_rate_limited + self.shed_queue_full + self.shed_too_large
+    }
+
+    /// All shards' counters folded together.
+    pub fn total(&self) -> ServiceStats {
+        let mut out = ServiceStats::default();
+        for s in &self.per_shard {
+            out.merge(s);
+        }
+        out
+    }
+}
+
+/// Handle to a session placed by [`ServeCluster::submit`]: the shard's
+/// [`SearchTicket`] (all of `wait`/`partial`/`subscribe`/`cancel` via
+/// `Deref`) plus where it was placed.
+#[derive(Debug, Clone)]
+pub struct ClusterTicket {
+    ticket: SearchTicket,
+    shard: usize,
+}
+
+impl ClusterTicket {
+    /// The shard index this session was placed on.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The underlying session ticket, by value (e.g. to store in a
+    /// shard-agnostic collection).
+    pub fn into_ticket(self) -> SearchTicket {
+        self.ticket
+    }
+}
+
+impl std::ops::Deref for ClusterTicket {
+    type Target = SearchTicket;
+
+    fn deref(&self) -> &SearchTicket {
+        &self.ticket
+    }
+}
+
+/// One backend's home-shard record: key (the evaluator `Arc` address),
+/// a liveness/anti-aliasing handle, and the shard index.
+type AffinityEntry = (usize, Weak<dyn BatchEvaluator>, usize);
+
+/// The sharded dispatch front door (see module docs). Dropping the
+/// cluster drops every shard: outstanding sessions resolve as cancelled.
+pub struct ServeCluster {
+    shards: Vec<SearchService>,
+    placement: Box<dyn PlacementPolicy>,
+    admission: Option<Arc<AdmissionController>>,
+    /// Backend key (evaluator `Arc` address) → home shard. The `Weak`
+    /// pins the address against reuse and marks dead backends; entries
+    /// with no strong references left are evicted on the next submit.
+    affinity: Mutex<Vec<AffinityEntry>>,
+    admitted: AtomicU64,
+    shed_rate_limited: AtomicU64,
+    shed_queue_full: AtomicU64,
+    shed_too_large: AtomicU64,
+}
+
+impl ServeCluster {
+    /// Spin up `cfg.shards` services with the default
+    /// [`AffinityLeastLoaded`] placement.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        Self::with_placement(cfg, Box::new(AffinityLeastLoaded::default()))
+    }
+
+    /// Spin up the cluster with a custom [`PlacementPolicy`].
+    pub fn with_placement(cfg: ClusterConfig, placement: Box<dyn PlacementPolicy>) -> Self {
+        assert!(cfg.shards >= 1, "cluster needs at least one shard");
+        ServeCluster {
+            shards: (0..cfg.shards)
+                .map(|_| SearchService::new(cfg.shard.clone()))
+                .collect(),
+            placement,
+            admission: cfg.admission.map(|a| Arc::new(AdmissionController::new(a))),
+            affinity: Mutex::new(Vec::new()),
+            admitted: AtomicU64::new(0),
+            shed_rate_limited: AtomicU64::new(0),
+            shed_queue_full: AtomicU64::new(0),
+            shed_too_large: AtomicU64::new(0),
+        }
+    }
+
+    /// Admit, place and start one request.
+    ///
+    /// `Ok` means the session is queued on a shard and will run to its
+    /// budget (or cancellation) — the cluster never silently drops an
+    /// admitted session. `Err` means the request was shed *now*, with a
+    /// [`Rejection::retry_after`] back-off hint; nothing was queued and
+    /// no state lingers.
+    pub fn submit<G: Game>(&self, req: SearchRequest<G>) -> Result<ClusterTicket, Rejection> {
+        let key = Arc::as_ptr(&req.evaluator) as *const () as usize;
+        let cost = session_cost(&req.budget, &req.config);
+        if let Some(adm) = &self.admission {
+            if let Err(rej) = adm.try_admit_backend(&req.evaluator, cost) {
+                let counter = match rej.reason {
+                    crate::RejectReason::RateLimited => &self.shed_rate_limited,
+                    crate::RejectReason::QueueFull => &self.shed_queue_full,
+                    crate::RejectReason::TooLarge => &self.shed_too_large,
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                return Err(rej);
+            }
+        }
+        let loads: Vec<u64> = self
+            .shards
+            .iter()
+            .map(|s| s.outstanding_playouts())
+            .collect();
+        let affinity = {
+            let mut aff = self.affinity.lock().unwrap();
+            // Evict homes of dead backends so a long-lived cluster with
+            // per-request models neither grows this table without bound
+            // nor matches a reused address to a stale home shard.
+            aff.retain(|(_, handle, _)| handle.strong_count() > 0);
+            aff.iter().find(|(k, _, _)| *k == key).map(|&(_, _, s)| s)
+        };
+        let shard = self.placement.place(&loads, affinity, cost).min(
+            self.shards.len() - 1, // policy bug must not become an OOB panic
+        );
+        {
+            let mut aff = self.affinity.lock().unwrap();
+            match aff.iter_mut().find(|(k, _, _)| *k == key) {
+                Some(entry) => entry.2 = shard,
+                None => aff.push((key, Arc::downgrade(&req.evaluator), shard)),
+            }
+        }
+        let ticket = self.shards[shard].submit(req);
+        if let Some(adm) = &self.admission {
+            let adm = Arc::clone(adm);
+            ticket
+                .shared
+                .set_on_final(Box::new(move |_status| adm.release(key)));
+        }
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        Ok(ClusterTicket { ticket, shard })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Each shard's outstanding playout load (what placement steers by).
+    pub fn shard_loads(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.outstanding_playouts())
+            .collect()
+    }
+
+    /// Direct access to one shard's service (diagnostics; submitting
+    /// through it bypasses admission and placement).
+    pub fn shard(&self, i: usize) -> &SearchService {
+        &self.shards[i]
+    }
+
+    /// Admission outcomes plus per-shard service counters.
+    pub fn stats(&self) -> ClusterStats {
+        ClusterStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            shed_rate_limited: self.shed_rate_limited.load(Ordering::Relaxed),
+            shed_queue_full: self.shed_queue_full.load(Ordering::Relaxed),
+            shed_too_large: self.shed_too_large.load(Ordering::Relaxed),
+            per_shard: self.shards.iter().map(|s| s.stats()).collect(),
+        }
+    }
+}

@@ -1,23 +1,27 @@
-//! Multi-session search serving.
+//! Multi-session, multi-shard search serving.
 //!
 //! The `mcts` crate made search a resumable, schedulable unit
 //! ([`mcts::SearchScheme::begin`] / [`mcts::SearchScheme::step`] /
 //! [`mcts::SearchScheme::partial_result`] /
-//! [`mcts::SearchScheme::cancel`]). This crate multiplexes **many
-//! concurrent search sessions** over a fixed pool of worker threads on
-//! top of that unit — the serving front end the ROADMAP's
-//! "heavy traffic" north star asks for:
+//! [`mcts::SearchScheme::cancel`]). This crate turns that unit into a
+//! serving system, in two layers:
 //!
-//! * [`SearchService`] accepts [`SearchRequest`]s (game state, scheme
-//!   choice, [`mcts::Budget`], [`Priority`]) and returns a
-//!   [`SearchTicket`] handle with `poll`/`wait`/`cancel` plus **anytime
-//!   partial results** — a caller can take the best move found so far at
-//!   any moment;
-//! * sessions are stepped in slices of
-//!   [`ServeConfig::step_quota`] playouts by `workers` threads,
-//!   highest priority first, then earliest deadline, then round-robin
-//!   (each slice re-queues behind its peers), so thousands of sessions
-//!   share a handful of threads instead of one thread per request;
+//! # Layer 1: [`SearchService`] — many sessions, one worker pool
+//!
+//! * Accepts [`SearchRequest`]s (game state, scheme choice,
+//!   [`mcts::Budget`], [`Priority`]) and returns a clonable
+//!   [`SearchTicket`] with `poll`/`wait`/`cancel`, **anytime partial
+//!   results** (each snapshot carries a sequence number in
+//!   `stats.seq`), and **push-style streaming** via
+//!   [`SearchTicket::subscribe`] — a [`ResultStream`] delivers every
+//!   fresh snapshot and the final result without polling;
+//! * sessions are stepped in slices of [`ServeConfig::step_quota`]
+//!   playouts by a **weighted-fair stride scheduler**: each
+//!   [`Priority`] class gets scheduling slices in proportion to its
+//!   [`ServeConfig::class_weights`] weight (earliest-deadline-first
+//!   within a class), so high-priority traffic is favored without ever
+//!   starving background work, and dispatch stays O(log n) at tens of
+//!   thousands of sessions;
 //! * `Serial`-scheme sessions run on **pooled, warmed
 //!   [`mcts::ReusableSearch`] instances**: a finished session's arena
 //!   (bounded by [`mcts::MctsConfig::max_nodes`]) is reset in place and
@@ -27,14 +31,29 @@
 //!   [`mcts::CoalescingEvaluator`] per distinct backend**, so concurrent
 //!   sessions fill each other's inference batches — cross-session
 //!   batching, the serving analogue of the paper's §3.3 request queue.
-//!   [`SearchService::stats`] reports the realized mean batch size.
+//!
+//! # Layer 2: [`ServeCluster`] — many services, one front door
+//!
+//! A [`ServeCluster`] owns N service shards and adds what a single
+//! service cannot provide:
+//!
+//! * **admission control & load shedding**
+//!   ([`AdmissionController`]): a per-model token bucket on admitted
+//!   playouts plus a bounded pending-session count; overflow gets an
+//!   explicit [`Rejection`] with a `retry_after` hint instead of a spot
+//!   in an unbounded queue;
+//! * **placement** ([`PlacementPolicy`]): least-loaded routing by
+//!   outstanding playout budget, with backend affinity so same-model
+//!   sessions land where that model's coalescing layer already lives.
 //!
 //! # Quickstart
+//!
+//! One service, one request, streamed results:
 //!
 //! ```
 //! use games::tictactoe::TicTacToe;
 //! use mcts::{Budget, UniformEvaluator};
-//! use serve::{SearchRequest, SearchService, ServeConfig};
+//! use serve::{SearchRequest, SearchService, ServeConfig, StreamItem};
 //! use std::sync::Arc;
 //!
 //! let service = SearchService::new(ServeConfig::default());
@@ -42,23 +61,78 @@
 //! let ticket = service.submit(
 //!     SearchRequest::new(TicTacToe::new(), eval).budget(Budget::playouts(64)),
 //! );
-//! let result = ticket.wait();
-//! assert_eq!(result.stats.playouts, 64);
+//! let mut last_seq = 0;
+//! for item in ticket.subscribe() {
+//!     match item {
+//!         StreamItem::Partial(snap) => {
+//!             assert!(snap.stats.seq > last_seq, "snapshots arrive in order");
+//!             last_seq = snap.stats.seq;
+//!         }
+//!         StreamItem::Final(result, _status) => {
+//!             assert_eq!(result.stats.playouts, 64);
+//!         }
+//!     }
+//! }
+//! ```
+//!
+//! A sharded cluster with admission control — overload is shed, not
+//! queued:
+//!
+//! ```
+//! use games::tictactoe::TicTacToe;
+//! use mcts::{Budget, UniformEvaluator};
+//! use serve::{
+//!     AdmissionConfig, ClusterConfig, SearchRequest, ServeCluster, ServeConfig,
+//! };
+//! use std::sync::Arc;
+//!
+//! let cluster = ServeCluster::new(ClusterConfig {
+//!     shards: 2,
+//!     shard: ServeConfig { workers: 2, ..Default::default() },
+//!     admission: Some(AdmissionConfig {
+//!         playouts_per_sec: 1000.0,
+//!         burst_playouts: 200,
+//!         max_pending: 64,
+//!     }),
+//! });
+//! let eval = Arc::new(UniformEvaluator::for_game(&TicTacToe::new()));
+//! let first = cluster.submit(
+//!     SearchRequest::new(TicTacToe::new(), Arc::clone(&eval) as Arc<_>)
+//!         .budget(Budget::playouts(150)),
+//! );
+//! assert!(first.is_ok(), "within the 200-playout burst");
+//! let second = cluster.submit(
+//!     SearchRequest::new(TicTacToe::new(), Arc::clone(&eval) as Arc<_>)
+//!         .budget(Budget::playouts(150)),
+//! );
+//! let rejection = second.expect_err("bucket drained: shed, not queued");
+//! assert!(rejection.retry_after.as_secs_f64() > 0.0);
+//! first.unwrap().wait();
 //! ```
 
+mod admission;
+mod cluster;
+mod scheduler;
 mod service;
 mod session;
 
+pub use admission::{AdmissionConfig, AdmissionController, RejectReason, Rejection};
+pub use cluster::{
+    AffinityLeastLoaded, ClusterConfig, ClusterStats, ClusterTicket, LeastLoaded, PlacementPolicy,
+    ServeCluster,
+};
 pub use service::{SearchService, ServeConfig, ServiceStats};
-pub use session::{SearchTicket, TicketStatus};
+pub use session::{ResultStream, SearchTicket, StreamItem, TicketStatus, WaitOutcome};
 
 use games::Game;
 use mcts::{BatchEvaluator, Budget, MctsConfig, Scheme};
 use std::sync::Arc;
 
-/// Scheduling priority of a session. Higher priorities are always
-/// stepped before lower ones; within a priority, earlier deadlines win
-/// and deadline-free sessions round-robin.
+/// Scheduling priority of a session. The weighted-fair scheduler grants
+/// each class slices in proportion to its
+/// [`ServeConfig::class_weights`] weight — higher classes are favored,
+/// lower classes are never starved; within a class, earlier deadlines
+/// win and deadline-free sessions round-robin.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Priority {
     /// Background work (analysis, prefetching).
@@ -68,6 +142,28 @@ pub enum Priority {
     Normal,
     /// Latency-critical requests.
     High,
+}
+
+impl Priority {
+    /// Number of priority classes.
+    pub const COUNT: usize = 3;
+
+    /// Class index into weight tables: `[Low, Normal, High]`.
+    pub(crate) fn index(self) -> usize {
+        match self {
+            Priority::Low => 0,
+            Priority::Normal => 1,
+            Priority::High => 2,
+        }
+    }
+}
+
+/// The admitted playout budget of a session: what admission meters and
+/// placement balances. A request bounded only by wall-clock time is
+/// costed at its configured playout ceiling (the paper's iteration
+/// budget remains the upper bound on work).
+pub(crate) fn session_cost(budget: &Budget, config: &MctsConfig) -> u64 {
+    budget.playouts.unwrap_or(config.playouts as u64).max(1)
 }
 
 /// One search request: a root state plus how to search it and how much.
@@ -87,7 +183,8 @@ pub struct SearchRequest<G: Game> {
     pub priority: Priority,
     /// Leaf evaluator. Submitting the **same** `Arc` across requests
     /// lets the service funnel their evaluations through one shared
-    /// coalescing layer, filling cross-session batches.
+    /// coalescing layer (and lets a cluster route them to the same
+    /// shard), filling cross-session batches.
     pub evaluator: Arc<dyn BatchEvaluator>,
 }
 

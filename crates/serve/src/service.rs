@@ -1,13 +1,13 @@
 //! The [`SearchService`]: a fixed worker pool multiplexing many
 //! resumable search sessions (see the crate docs for the architecture).
 
-use crate::session::{AnySession, Engine, SearchTicket, SessionShared, TicketStatus, TypedSession};
-use crate::{Priority, SearchRequest};
+use crate::scheduler::{FairScheduler, SessionEntry};
+use crate::session::{Engine, SearchTicket, SessionShared, TicketStatus, TypedSession};
+use crate::{session_cost, Priority, SearchRequest};
 use games::Game;
 use mcts::{
     BatchEvaluator, CoalesceStats, CoalescingEvaluator, ReusableSearch, Scheme, SearchBuilder,
 };
-use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -30,6 +30,12 @@ pub struct ServeConfig {
     /// (how long the first evaluator of a round waits for peers from
     /// other sessions). See [`CoalescingEvaluator::with_window`].
     pub coalesce_window: Duration,
+    /// Weighted-fair share of scheduling slices per [`Priority`] class,
+    /// indexed `[Low, Normal, High]`. Over any busy window each class
+    /// receives slices (≈ playouts) in proportion to its weight — higher
+    /// classes are *favored*, never starving the rest (stride
+    /// scheduling; see `serve::scheduler`). Zero weights count as 1.
+    pub class_weights: [u64; Priority::COUNT],
 }
 
 impl Default for ServeConfig {
@@ -43,6 +49,7 @@ impl Default for ServeConfig {
             step_quota: 64,
             max_pooled: 2 * workers,
             coalesce_window: mcts::coalesce::DEFAULT_COALESCE_WINDOW,
+            class_weights: [1, 4, 16],
         }
     }
 }
@@ -74,52 +81,15 @@ impl ServiceStats {
             self.eval_samples as f64 / self.eval_batches as f64
         }
     }
-}
 
-/// One queued session, ordered by (priority, deadline, round-robin seq).
-struct QueueEntry {
-    priority: Priority,
-    /// Earlier deadlines are more urgent; `None` sorts after any
-    /// deadline of equal priority.
-    deadline: Option<Instant>,
-    /// Round-robin tiebreak: smaller = submitted/re-queued earlier.
-    seq: u64,
-    session: Box<dyn AnySession>,
-    shared: Arc<SessionShared>,
-}
-
-impl QueueEntry {
-    fn key(&self) -> (Priority, std::cmp::Reverse<Instant>, std::cmp::Reverse<u64>) {
-        // BinaryHeap pops the maximum: high priority > near deadline >
-        // low sequence number.
-        let d = self.deadline.unwrap_or_else(far_future);
-        (
-            self.priority,
-            std::cmp::Reverse(d),
-            std::cmp::Reverse(self.seq),
-        )
-    }
-}
-
-/// A stand-in for "no deadline" that sorts after every real deadline.
-fn far_future() -> Instant {
-    Instant::now() + Duration::from_secs(60 * 60 * 24 * 365)
-}
-
-impl PartialEq for QueueEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.seq == other.seq
-    }
-}
-impl Eq for QueueEntry {}
-impl PartialOrd for QueueEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for QueueEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.key().cmp(&other.key())
+    /// Fold another service's counters into this one (cluster totals).
+    pub fn merge(&mut self, other: &ServiceStats) {
+        self.sessions_completed += other.sessions_completed;
+        self.sessions_cancelled += other.sessions_cancelled;
+        self.steps += other.steps;
+        self.playouts += other.playouts;
+        self.eval_batches += other.eval_batches;
+        self.eval_samples += other.eval_samples;
     }
 }
 
@@ -133,11 +103,14 @@ struct Counters {
 
 struct Inner {
     cfg: ServeConfig,
-    queue: Mutex<BinaryHeap<QueueEntry>>,
+    queue: Mutex<FairScheduler>,
     work_cv: Condvar,
     shutdown: AtomicBool,
     next_seq: AtomicU64,
     next_id: AtomicU64,
+    /// Admitted playout budget of sessions submitted and not yet
+    /// finalized — the load signal cluster placement steers by.
+    outstanding: AtomicU64,
     /// Warmed searchers awaiting the next `Serial` session.
     pool: Mutex<Vec<ReusableSearch>>,
     /// One shared coalescing layer per distinct evaluator backend,
@@ -191,8 +164,10 @@ impl Inner {
     }
 
     /// Finalize one session: publish the final result, update counters,
-    /// and return the warmed searcher to the pool.
-    fn finalize(&self, entry: QueueEntry, result: mcts::SearchResult, status: TicketStatus) {
+    /// release its outstanding load, and return the warmed searcher to
+    /// the pool.
+    fn finalize(&self, entry: SessionEntry, result: mcts::SearchResult, status: TicketStatus) {
+        self.queue.lock().unwrap().retire(entry.priority);
         let counter = match status {
             TicketStatus::Cancelled => &self.counters.sessions_cancelled,
             _ => &self.counters.sessions_completed,
@@ -201,6 +176,7 @@ impl Inner {
         self.counters
             .playouts
             .fetch_add(result.stats.playouts, Ordering::Relaxed);
+        self.outstanding.fetch_sub(entry.cost, Ordering::Relaxed);
         entry.shared.finalize(result, status);
         if let Some(mut searcher) = entry.session.reclaim() {
             searcher.reset();
@@ -241,7 +217,7 @@ impl Inner {
                 mcts::StepOutcome::Running => {
                     entry.shared.publish_partial(snapshot);
                     entry.seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
-                    self.queue.lock().unwrap().push(entry);
+                    self.queue.lock().unwrap().requeue(entry);
                     self.work_cv.notify_one();
                 }
                 mcts::StepOutcome::Done => {
@@ -269,11 +245,12 @@ impl SearchService {
         assert!(cfg.step_quota >= 1, "step quota must be positive");
         let inner = Arc::new(Inner {
             cfg: cfg.clone(),
-            queue: Mutex::new(BinaryHeap::new()),
+            queue: Mutex::new(FairScheduler::new(cfg.class_weights)),
             work_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             next_seq: AtomicU64::new(0),
             next_id: AtomicU64::new(0),
+            outstanding: AtomicU64::new(0),
             pool: Mutex::new(Vec::new()),
             coalescers: Mutex::new(Vec::new()),
             retired_eval: Mutex::new(CoalesceStats::default()),
@@ -295,6 +272,7 @@ impl SearchService {
     /// The session's run is opened on the calling thread (cheap), then
     /// queued for stepping.
     pub fn submit<G: Game>(&self, req: SearchRequest<G>) -> SearchTicket {
+        let cost = session_cost(&req.budget, &req.config);
         let eval = self.inner.shared_evaluator(req.evaluator);
         let engine: Engine<G> = if req.scheme == Scheme::Serial {
             let pooled = self.inner.pool.lock().unwrap().pop();
@@ -323,14 +301,16 @@ impl SearchService {
         let shared = Arc::new(SessionShared::new(
             self.inner.next_id.fetch_add(1, Ordering::Relaxed),
         ));
-        let entry = QueueEntry {
+        let entry = SessionEntry {
             priority: req.priority,
             deadline,
             seq: self.inner.next_seq.fetch_add(1, Ordering::Relaxed),
+            cost,
             session: Box::new(session),
             shared: Arc::clone(&shared),
         };
-        self.inner.queue.lock().unwrap().push(entry);
+        self.inner.outstanding.fetch_add(cost, Ordering::Relaxed);
+        self.inner.queue.lock().unwrap().enqueue_new(entry);
         self.inner.work_cv.notify_one();
         SearchTicket { shared }
     }
@@ -339,6 +319,13 @@ impl SearchService {
     /// ones being stepped right now).
     pub fn queued(&self) -> usize {
         self.inner.queue.lock().unwrap().len()
+    }
+
+    /// Admitted playout budget of sessions submitted and not yet
+    /// finished — the service's outstanding load. Cluster placement
+    /// routes new sessions toward the shard where this is smallest.
+    pub fn outstanding_playouts(&self) -> u64 {
+        self.inner.outstanding.load(Ordering::Relaxed)
     }
 
     /// Aggregate accounting, including the shared coalescing layers'
@@ -377,10 +364,7 @@ impl Drop for SearchService {
             let _ = h.join();
         }
         // Resolve whatever is still queued so no ticket waits forever.
-        let leftovers: Vec<QueueEntry> = {
-            let mut q = self.inner.queue.lock().unwrap();
-            q.drain().collect()
-        };
+        let leftovers: Vec<SessionEntry> = self.inner.queue.lock().unwrap().drain();
         for mut entry in leftovers {
             let partial = entry.session.partial();
             entry.session.cancel();

@@ -1,5 +1,6 @@
-//! Session state shared between the service workers and ticket holders,
-//! plus the type-erased session engine the scheduler steps.
+//! Session state shared between the service workers and ticket holders:
+//! the [`SearchTicket`] handle, push-style [`ResultStream`] delivery,
+//! and the type-erased session engine the scheduler steps.
 
 use games::Game;
 use mcts::{Budget, ReusableSearch, SearchResult, SearchScheme, StepOutcome};
@@ -19,14 +20,62 @@ pub enum TicketStatus {
     Cancelled,
 }
 
+/// What [`SearchTicket::wait_timeout`] came back with.
+///
+/// A timeout is **not** an empty hand: the session's latest anytime
+/// snapshot rides along, so a caller on a hard deadline can act on the
+/// best answer so far and keep (or drop) the ticket.
+#[derive(Debug, Clone)]
+pub enum WaitOutcome {
+    /// The session finished (ran its budget or was cancelled) within the
+    /// timeout; this is the final result.
+    Finished(SearchResult, TicketStatus),
+    /// The timeout elapsed first. Carries the latest published anytime
+    /// snapshot — `stats.seq` orders snapshots within the session; a
+    /// default result with `seq == 0` means no scheduling slice has
+    /// completed yet.
+    TimedOut(SearchResult),
+}
+
+impl WaitOutcome {
+    /// The carried result, final or anytime.
+    pub fn into_result(self) -> SearchResult {
+        match self {
+            WaitOutcome::Finished(r, _) => r,
+            WaitOutcome::TimedOut(r) => r,
+        }
+    }
+
+    /// True when the session finished within the timeout.
+    pub fn is_finished(&self) -> bool {
+        matches!(self, WaitOutcome::Finished(..))
+    }
+}
+
+/// One element of a [`ResultStream`].
+#[derive(Debug, Clone)]
+pub enum StreamItem {
+    /// A fresh anytime snapshot (`stats.seq` strictly increases across
+    /// the `Partial` items of one stream).
+    Partial(SearchResult),
+    /// The final result; the stream is exhausted after yielding this.
+    Final(SearchResult, TicketStatus),
+}
+
+type FinalHook = Box<dyn FnOnce(TicketStatus) + Send>;
+
 struct TicketState {
-    /// Latest anytime snapshot, refreshed after every scheduling slice.
+    /// Latest anytime snapshot, refreshed after every scheduling slice
+    /// (`stats.seq` is the snapshot's sequence number).
     partial: Option<SearchResult>,
     /// Final result, set exactly once when the session finishes or is
     /// cancelled.
     outcome: Option<(SearchResult, TicketStatus)>,
     /// Submit→finish latency, recorded service-side at finalization.
     latency: Option<Duration>,
+    /// Run-once observer invoked at finalization (cluster load/admission
+    /// accounting).
+    on_final: Option<FinalHook>,
 }
 
 /// State shared by the service and every clone of a session's ticket.
@@ -48,6 +97,7 @@ impl SessionShared {
                 partial: None,
                 outcome: None,
                 latency: None,
+                on_final: None,
             }),
             cv: Condvar::new(),
         }
@@ -57,22 +107,48 @@ impl SessionShared {
         self.cancel_flag.load(Ordering::Acquire)
     }
 
-    /// Publish a fresh anytime snapshot.
+    /// Publish a fresh anytime snapshot and wake streaming subscribers.
     pub(crate) fn publish_partial(&self, snapshot: SearchResult) {
         self.state.lock().unwrap().partial = Some(snapshot);
+        self.cv.notify_all();
     }
 
     /// Record the final result and wake all waiters. Idempotent-safe:
-    /// only the first call sticks.
+    /// only the first call sticks (and runs the finalization hook).
     pub(crate) fn finalize(&self, result: SearchResult, status: TicketStatus) {
-        let mut st = self.state.lock().unwrap();
-        if st.outcome.is_none() {
-            st.latency = Some(self.submitted.elapsed());
-            st.partial = Some(result.clone());
-            st.outcome = Some((result, status));
-        }
-        drop(st);
+        let hook = {
+            let mut st = self.state.lock().unwrap();
+            if st.outcome.is_some() {
+                None
+            } else {
+                st.latency = Some(self.submitted.elapsed());
+                st.partial = Some(result.clone());
+                st.outcome = Some((result, status));
+                st.on_final.take()
+            }
+        };
         self.cv.notify_all();
+        if let Some(h) = hook {
+            h(status);
+        }
+    }
+
+    /// Install the finalization observer. If the session already
+    /// finished, the hook runs immediately on the calling thread.
+    pub(crate) fn set_on_final(&self, hook: FinalHook) {
+        let run_now = {
+            let mut st = self.state.lock().unwrap();
+            match st.outcome {
+                Some((_, status)) => Some(status),
+                None => {
+                    st.on_final = Some(hook);
+                    return;
+                }
+            }
+        };
+        if let Some(status) = run_now {
+            hook(status);
+        }
     }
 }
 
@@ -81,6 +157,15 @@ impl SessionShared {
 #[derive(Clone)]
 pub struct SearchTicket {
     pub(crate) shared: Arc<SessionShared>,
+}
+
+impl std::fmt::Debug for SearchTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchTicket")
+            .field("id", &self.id())
+            .field("status", &self.status())
+            .finish()
+    }
 }
 
 impl SearchTicket {
@@ -110,10 +195,25 @@ impl SearchTicket {
     }
 
     /// The latest **anytime** snapshot: the root visit distribution over
-    /// all playouts completed so far. `None` before the first scheduling
-    /// slice completes.
+    /// all playouts completed so far (`stats.seq` is the snapshot's
+    /// sequence number). `None` before the first scheduling slice
+    /// completes. Prefer [`SearchTicket::subscribe`] over polling this
+    /// in a loop.
     pub fn partial(&self) -> Option<SearchResult> {
         self.shared.state.lock().unwrap().partial.clone()
+    }
+
+    /// Subscribe to push-style delivery: the returned [`ResultStream`]
+    /// yields every fresh anytime snapshot (watch semantics — a slow
+    /// consumer sees the **latest** snapshot, never a stale backlog) and
+    /// terminates with [`StreamItem::Final`]. Any number of independent
+    /// subscribers may coexist with `wait`/`poll` callers.
+    pub fn subscribe(&self) -> ResultStream {
+        ResultStream {
+            shared: Arc::clone(&self.shared),
+            last_seq: None,
+            finished: false,
+        }
     }
 
     /// Block until the session finishes (or is cancelled) and return the
@@ -128,18 +228,19 @@ impl SearchTicket {
         }
     }
 
-    /// [`SearchTicket::wait`] with a timeout; `None` if the session is
-    /// still running when it elapses.
-    pub fn wait_timeout(&self, timeout: Duration) -> Option<SearchResult> {
+    /// [`SearchTicket::wait`] with a timeout. On timeout the caller
+    /// still gets the session's latest anytime snapshot (see
+    /// [`WaitOutcome`]) — never an opaque empty error.
+    pub fn wait_timeout(&self, timeout: Duration) -> WaitOutcome {
         let deadline = Instant::now() + timeout;
         let mut st = self.shared.state.lock().unwrap();
         loop {
-            if let Some((r, _)) = &st.outcome {
-                return Some(r.clone());
+            if let Some((r, status)) = &st.outcome {
+                return WaitOutcome::Finished(r.clone(), *status);
             }
             let now = Instant::now();
             if now >= deadline {
-                return None;
+                return WaitOutcome::TimedOut(st.partial.clone().unwrap_or_default());
             }
             let (guard, _) = self.shared.cv.wait_timeout(st, deadline - now).unwrap();
             st = guard;
@@ -164,6 +265,74 @@ impl SearchTicket {
     /// session is running.
     pub fn latency(&self) -> Option<Duration> {
         self.shared.state.lock().unwrap().latency
+    }
+}
+
+/// Push-style consumer of one session's results (from
+/// [`SearchTicket::subscribe`]).
+///
+/// Watch-channel semantics: the service publishes one snapshot per
+/// scheduling slice, the stream delivers the **latest unseen** one —
+/// snapshots a slow consumer missed are superseded, not buffered, so
+/// memory stays O(1) per subscriber no matter how long the session runs.
+/// Iteration ends after [`StreamItem::Final`].
+pub struct ResultStream {
+    shared: Arc<SessionShared>,
+    /// Sequence number of the last delivered snapshot.
+    last_seq: Option<u64>,
+    finished: bool,
+}
+
+impl ResultStream {
+    /// Block until a fresh snapshot or the final result arrives. `None`
+    /// once the final result has already been delivered.
+    pub fn recv(&mut self) -> Option<StreamItem> {
+        self.recv_until(None)
+    }
+
+    /// [`ResultStream::recv`] bounded by a timeout; `None` also when the
+    /// timeout elapses with nothing new.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Option<StreamItem> {
+        self.recv_until(Some(Instant::now() + timeout))
+    }
+
+    fn recv_until(&mut self, deadline: Option<Instant>) -> Option<StreamItem> {
+        if self.finished {
+            return None;
+        }
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            if let Some((r, status)) = &st.outcome {
+                self.finished = true;
+                return Some(StreamItem::Final(r.clone(), *status));
+            }
+            if let Some(p) = &st.partial {
+                if self.last_seq.is_none_or(|seen| p.stats.seq > seen) {
+                    self.last_seq = Some(p.stats.seq);
+                    return Some(StreamItem::Partial(p.clone()));
+                }
+            }
+            match deadline {
+                None => st = self.shared.cv.wait(st).unwrap(),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return None;
+                    }
+                    let (guard, _) = self.shared.cv.wait_timeout(st, d - now).unwrap();
+                    st = guard;
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for ResultStream {
+    type Item = StreamItem;
+
+    /// Blocking iteration over snapshots, ending after the final result.
+    fn next(&mut self) -> Option<StreamItem> {
+        self.recv()
     }
 }
 

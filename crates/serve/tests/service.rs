@@ -22,6 +22,7 @@ fn service(workers: usize, step_quota: usize) -> SearchService {
         step_quota,
         max_pooled: 8,
         coalesce_window: Duration::from_millis(5),
+        ..Default::default()
     })
 }
 

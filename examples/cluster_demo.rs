@@ -1,0 +1,146 @@
+//! Sharded serving demo: a [`serve::ServeCluster`] front door with
+//! admission control absorbing an overload burst — part of the traffic
+//! is served across shards (backend affinity keeps same-model sessions
+//! together), the overflow is shed with explicit `retry_after` hints,
+//! and one session's progress is consumed as a push-style stream.
+//!
+//! Run: `cargo run --release --example cluster_demo`
+
+use games::{connect4::Connect4, gomoku::Gomoku, Game};
+use mcts::{BatchEvaluator, Budget, MctsConfig, NnEvaluator, UniformEvaluator};
+use nn::{NetConfig, PolicyValueNet};
+use serve::{
+    AdmissionConfig, ClusterConfig, ClusterTicket, Priority, SearchRequest, ServeCluster,
+    ServeConfig, StreamItem,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn cfg(playouts: usize) -> MctsConfig {
+    MctsConfig {
+        playouts,
+        max_nodes: Some(100_000),
+        ..Default::default()
+    }
+}
+
+fn main() {
+    // Two shards, two workers each; every model may hold at most 1200
+    // playouts' worth of admitted work in flight and 6 pending sessions.
+    let cluster = ServeCluster::new(ClusterConfig {
+        shards: 2,
+        shard: ServeConfig {
+            workers: 2,
+            step_quota: 32,
+            coalesce_window: Duration::from_millis(2),
+            ..Default::default()
+        },
+        admission: Some(AdmissionConfig {
+            playouts_per_sec: 2_000.0,
+            burst_playouts: 1_200,
+            max_pending: 6,
+        }),
+    });
+    println!("cluster up: 2 shards × 2 workers, 1200-playout admission burst\n");
+
+    let gomoku_net = Arc::new(PolicyValueNet::new(NetConfig::for_board(4, 9, 9, 81), 2));
+    let gomoku_eval: Arc<dyn BatchEvaluator> =
+        Arc::new(NnEvaluator::with_batch_hint(gomoku_net, 2));
+    let c4_eval: Arc<dyn BatchEvaluator> = Arc::new(UniformEvaluator::for_game(&Connect4::new()));
+
+    let mut gomoku_root = Gomoku::new(9, 5);
+    for a in [40u16, 41, 31] {
+        gomoku_root.apply(a);
+    }
+
+    // Offer more than the admission budget allows: the overflow is shed
+    // immediately with a back-off hint instead of growing a queue.
+    let mut placed: Vec<(String, ClusterTicket)> = Vec::new();
+    for i in 0..8 {
+        let req = SearchRequest::new(gomoku_root.clone(), Arc::clone(&gomoku_eval))
+            .config(cfg(256))
+            .budget(Budget::playouts(256))
+            .priority(Priority::Normal);
+        match cluster.submit(req) {
+            Ok(t) => {
+                println!("gomoku #{i}: admitted → shard {}", t.shard());
+                placed.push((format!("gomoku #{i}"), t));
+            }
+            Err(rej) => println!("gomoku #{i}: SHED ({rej})"),
+        }
+    }
+    // A different model has its own bucket: still admitted.
+    match cluster.submit(
+        SearchRequest::new(Connect4::new(), Arc::clone(&c4_eval))
+            .config(cfg(300))
+            .budget(Budget::playouts(300))
+            .priority(Priority::High),
+    ) {
+        Ok(t) => {
+            println!(
+                "connect4  : admitted → shard {} (separate model bucket)",
+                t.shard()
+            );
+            placed.push(("connect4".into(), t));
+        }
+        Err(rej) => println!("connect4  : SHED ({rej})"),
+    }
+
+    // Stream one session's progress instead of polling.
+    if let Some((name, ticket)) = placed.first() {
+        println!("\nstreaming {name}:");
+        for item in ticket.subscribe() {
+            match item {
+                StreamItem::Partial(snap) => println!(
+                    "  snapshot #{:<3} {:>5} playouts, best action {}",
+                    snap.stats.seq,
+                    snap.stats.playouts,
+                    snap.best_action()
+                ),
+                StreamItem::Final(result, status) => println!(
+                    "  final ({status:?}): {} playouts, best action {}",
+                    result.stats.playouts,
+                    result.best_action()
+                ),
+            }
+        }
+    }
+
+    println!(
+        "\n{:<12} {:>6} {:>10} {:>10}",
+        "request", "shard", "playouts", "latency"
+    );
+    for (name, t) in &placed {
+        let r = t.wait();
+        println!(
+            "{name:<12} {:>6} {:>10} {:>8.1}ms",
+            t.shard(),
+            r.stats.playouts,
+            t.latency().unwrap_or_default().as_secs_f64() * 1e3,
+        );
+    }
+
+    let stats = cluster.stats();
+    let total = stats.total();
+    println!(
+        "\ncluster totals: {} admitted, {} shed ({} rate-limited, {} queue-full)",
+        stats.admitted,
+        stats.shed(),
+        stats.shed_rate_limited,
+        stats.shed_queue_full
+    );
+    for (i, s) in stats.per_shard.iter().enumerate() {
+        println!(
+            "  shard {i}: {} sessions, {} slices, {} playouts, mean eval batch {:.2}",
+            s.sessions_completed + s.sessions_cancelled,
+            s.steps,
+            s.playouts,
+            s.mean_eval_batch()
+        );
+    }
+    println!(
+        "  all    : {} playouts, mean eval batch {:.2}",
+        total.playouts,
+        total.mean_eval_batch()
+    );
+}

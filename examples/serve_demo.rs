@@ -8,7 +8,9 @@
 use games::{connect4::Connect4, gomoku::Gomoku, othello::Othello, Game};
 use mcts::{BatchEvaluator, Budget, MctsConfig, NnEvaluator, UniformEvaluator};
 use nn::{NetConfig, PolicyValueNet};
-use serve::{Priority, SearchRequest, SearchService, SearchTicket, ServeConfig, TicketStatus};
+use serve::{
+    Priority, SearchRequest, SearchService, SearchTicket, ServeConfig, TicketStatus, WaitOutcome,
+};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -30,6 +32,7 @@ fn main() {
         step_quota: 32,
         max_pooled: 2 * workers,
         coalesce_window: Duration::from_millis(2),
+        ..Default::default()
     });
     println!("service up: {workers} workers, 32-playout slices\n");
 
@@ -85,15 +88,23 @@ fn main() {
         ),
     ));
 
-    // An anytime peek while the burst is in flight.
-    std::thread::sleep(Duration::from_millis(10));
-    if let Some((name, t)) = tickets.iter().find(|(_, t)| !t.is_done()) {
-        if let Some(p) = t.partial() {
-            println!(
-                "anytime peek at {name}: {} playouts so far, best action {}\n",
+    // An anytime peek while the burst is in flight: a timed-out wait
+    // still hands back the newest snapshot (with its sequence number),
+    // never an empty error.
+    if let Some((name, t)) = tickets.first() {
+        match t.wait_timeout(Duration::from_millis(10)) {
+            WaitOutcome::TimedOut(p) if p.stats.seq > 0 => println!(
+                "anytime peek at {name}: snapshot #{}, {} playouts so far, best action {}\n",
+                p.stats.seq,
                 p.stats.playouts,
                 p.best_action()
-            );
+            ),
+            WaitOutcome::TimedOut(_) => println!("anytime peek at {name}: no slice finished yet\n"),
+            WaitOutcome::Finished(r, _) => println!(
+                "{name} already finished: {} playouts, best action {}\n",
+                r.stats.playouts,
+                r.best_action()
+            ),
         }
     }
 

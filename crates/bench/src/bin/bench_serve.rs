@@ -1,5 +1,5 @@
 //! Emit `BENCH_serve.json`: the machine-readable serving-performance
-//! record, four axes:
+//! record, five axes:
 //!
 //! * `sessions` — requests/second and p50/p99 submit→finish latency of
 //!   one multi-session [`serve::SearchService`] as the number of
@@ -12,7 +12,10 @@
 //!   offered vs admitted vs shed counts, the mean `retry_after` hint,
 //!   and the (bounded) wall time to drain what was admitted;
 //! * `coalescing` — the cross-session batch-fill figure: mean inference
-//!   batch of the same burst served serially vs multiplexed.
+//!   batch of the same burst served serially vs multiplexed;
+//! * `cache` — the evaluation-cache figure: the same repeated-position
+//!   workload served with [`serve::ServeConfig::eval_cache_bytes`] off
+//!   vs on, with the realized hit rate and the throughput ratio.
 //!
 //! Usage: `bench_serve [--smoke] [out_path]` (default
 //! `BENCH_serve.json`). `--smoke` (or env `BENCH_SMOKE=1`) shrinks the
@@ -219,6 +222,67 @@ fn run_shedding(
     }
 }
 
+struct CacheFigures {
+    requests: usize,
+    distinct_positions: usize,
+    rounds: usize,
+    off_rps: f64,
+    on_rps: f64,
+    hit_rate: f64,
+}
+
+/// Serve a repeated-position workload — `rounds` rounds over a small
+/// fixed set of midgame positions — once with the evaluation cache off
+/// and once with it on. Rounds run back-to-back (each waits for the
+/// previous), so from round two every position's leaf set is warm.
+fn run_cache_axis(
+    workers: usize,
+    rounds: usize,
+    playouts: usize,
+    eval: &Arc<dyn BatchEvaluator>,
+) -> CacheFigures {
+    // A few distinct positions a ply apart: a deterministic serial
+    // search re-evaluates the identical leaf set every time a position
+    // repeats.
+    let positions: Vec<Gomoku> = [36u16, 44, 50]
+        .iter()
+        .map(|&extra| {
+            let mut g = midgame();
+            g.apply(extra);
+            g
+        })
+        .collect();
+    let run = |cache_bytes: Option<usize>| -> (f64, f64) {
+        let mut cfg = serve_cfg(workers);
+        cfg.eval_cache_bytes = cache_bytes;
+        let service = SearchService::new(cfg);
+        let t0 = Instant::now();
+        for _ in 0..rounds {
+            let tickets: Vec<_> = positions
+                .iter()
+                .map(|p| service.submit(request(p, eval, playouts)))
+                .collect();
+            for t in tickets {
+                assert_eq!(t.wait().stats.playouts, playouts as u64);
+            }
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        let requests = rounds * positions.len();
+        (requests as f64 / wall, service.stats().cache_hit_rate())
+    };
+    let (off_rps, off_hit_rate) = run(None);
+    assert_eq!(off_hit_rate, 0.0, "disabled cache must not report hits");
+    let (on_rps, hit_rate) = run(Some(256 << 20));
+    CacheFigures {
+        requests: rounds * positions.len(),
+        distinct_positions: positions.len(),
+        rounds,
+        off_rps,
+        on_rps,
+        hit_rate,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke =
@@ -247,7 +311,7 @@ fn main() {
     let mut json = String::from("{\n");
     let _ = writeln!(
         json,
-        "  \"meta\": {{\"schema_version\": 2, \"workers\": {workers}, \"host_cores\": {host_cores}, \"playouts_per_request\": {playouts}, \"board\": \"gomoku9\", \"evaluator\": \"nn\", \"smoke\": {smoke}}},"
+        "  \"meta\": {{\"schema_version\": 3, \"workers\": {workers}, \"host_cores\": {host_cores}, \"playouts_per_request\": {playouts}, \"board\": \"gomoku9\", \"evaluator\": \"nn\", \"smoke\": {smoke}}},"
     );
 
     // --- throughput/latency vs concurrent session count -------------------
@@ -322,12 +386,37 @@ fn main() {
     let multi = run_service(workers, burst, playouts, &eval, &root);
     let _ = writeln!(
         json,
-        "  \"coalescing\": {{\"burst\": {burst}, \"serial_mean_eval_batch\": {:.3}, \"multi_mean_eval_batch\": {:.3}}}",
+        "  \"coalescing\": {{\"burst\": {burst}, \"serial_mean_eval_batch\": {:.3}, \"multi_mean_eval_batch\": {:.3}}},",
         serial.mean_eval_batch, multi.mean_eval_batch
     );
     eprintln!(
         "coalescing over {burst}-request burst: serial mean batch {:.2} → multi mean batch {:.2}",
         serial.mean_eval_batch, multi.mean_eval_batch
+    );
+
+    // --- evaluation cache: repeated-position workload, off vs on ----------
+    let cache_rounds = if smoke { 2 } else { 6 };
+    let c = run_cache_axis(workers, cache_rounds, playouts, &eval);
+    let _ = writeln!(
+        json,
+        "  \"cache\": {{\"requests\": {}, \"distinct_positions\": {}, \"rounds\": {}, \"cache_off_requests_per_s\": {:.2}, \"cache_on_requests_per_s\": {:.2}, \"hit_rate\": {:.4}, \"speedup\": {:.3}}}",
+        c.requests,
+        c.distinct_positions,
+        c.rounds,
+        c.off_rps,
+        c.on_rps,
+        c.hit_rate,
+        c.on_rps / c.off_rps
+    );
+    eprintln!(
+        "cache over {} requests ({} positions × {} rounds): off {:.2} req/s → on {:.2} req/s ({:.2}×), hit rate {:.1}%",
+        c.requests,
+        c.distinct_positions,
+        c.rounds,
+        c.off_rps,
+        c.on_rps,
+        c.on_rps / c.off_rps,
+        c.hit_rate * 100.0
     );
 
     json.push_str("}\n");

@@ -7,10 +7,10 @@
 //! ~100-line recursive-descent JSON parser — strict enough for the
 //! bench writer's output (objects, arrays, strings, numbers, bools).
 //!
-//! Checked schema (v2):
-//! * top level: objects `meta`, `shedding`, `coalescing`; arrays
-//!   `sessions`, `cluster` (non-empty);
-//! * `meta.schema_version == 2`, `meta.workers`/`host_cores`/
+//! Checked schema (v3):
+//! * top level: objects `meta`, `shedding`, `coalescing`, `cache`;
+//!   arrays `sessions`, `cluster` (non-empty);
+//! * `meta.schema_version == 3`, `meta.workers`/`host_cores`/
 //!   `playouts_per_request` numeric;
 //! * every `sessions[i]`: numeric `concurrent`, `requests_per_s`,
 //!   `p50_ms`, `p99_ms`, `mean_eval_batch`;
@@ -20,7 +20,10 @@
 //!   `mean_retry_after_ms`, `drain_ms`, with
 //!   `admitted + shed == offered`;
 //! * `coalescing`: numeric `burst`, `serial_mean_eval_batch`,
-//!   `multi_mean_eval_batch`.
+//!   `multi_mean_eval_batch`;
+//! * `cache`: numeric `requests`, `distinct_positions`, `rounds`,
+//!   `cache_off_requests_per_s`, `cache_on_requests_per_s`,
+//!   `hit_rate` (in [0, 1]), `speedup`.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -242,8 +245,8 @@ fn check(doc: &Json) -> Result<String, String> {
 
     let meta = obj(field(root, "$", "meta")?, "$.meta")?;
     let version = num(meta, "$.meta", "schema_version")?;
-    if version != 2.0 {
-        return Err(format!("$.meta.schema_version: expected 2, got {version}"));
+    if version != 3.0 {
+        return Err(format!("$.meta.schema_version: expected 3, got {version}"));
     }
     for key in ["workers", "host_cores", "playouts_per_request"] {
         num(meta, "$.meta", key)?;
@@ -290,9 +293,25 @@ fn check(doc: &Json) -> Result<String, String> {
         num(coal, "$.coalescing", key)?;
     }
 
+    let cache = obj(field(root, "$", "cache")?, "$.cache")?;
+    for key in [
+        "requests",
+        "distinct_positions",
+        "rounds",
+        "cache_off_requests_per_s",
+        "cache_on_requests_per_s",
+        "speedup",
+    ] {
+        num(cache, "$.cache", key)?;
+    }
+    let hit_rate = num(cache, "$.cache", "hit_rate")?;
+    if !(0.0..=1.0).contains(&hit_rate) {
+        return Err(format!("$.cache.hit_rate: {hit_rate} outside [0, 1]"));
+    }
+
     Ok(format!(
-        "schema v2 ok: {sessions} session points, {cluster} cluster points, \
-         shedding {admitted}/{offered} admitted"
+        "schema v3 ok: {sessions} session points, {cluster} cluster points, \
+         shedding {admitted}/{offered} admitted, cache hit rate {hit_rate:.2}"
     ))
 }
 
@@ -324,7 +343,7 @@ mod tests {
     use super::*;
 
     const GOOD: &str = r#"{
-      "meta": {"schema_version": 2, "workers": 2, "host_cores": 1, "playouts_per_request": 48, "board": "gomoku9", "evaluator": "nn", "smoke": true},
+      "meta": {"schema_version": 3, "workers": 2, "host_cores": 1, "playouts_per_request": 48, "board": "gomoku9", "evaluator": "nn", "smoke": true},
       "sessions": [
         {"concurrent": 1, "requests_per_s": 10.0, "p50_ms": 1.0, "p99_ms": 2.0, "mean_eval_batch": 1.0}
       ],
@@ -332,7 +351,8 @@ mod tests {
         {"shards": 2, "total_workers": 2, "concurrent": 6, "requests_per_s": 9.5, "p50_ms": 1.0, "p99_ms": 2.0}
       ],
       "shedding": {"offered": 6, "admitted": 2, "shed": 4, "mean_retry_after_ms": 12.0, "drain_ms": 80.0},
-      "coalescing": {"burst": 4, "serial_mean_eval_batch": 1.0, "multi_mean_eval_batch": 1.8}
+      "coalescing": {"burst": 4, "serial_mean_eval_batch": 1.0, "multi_mean_eval_batch": 1.8},
+      "cache": {"requests": 6, "distinct_positions": 3, "rounds": 2, "cache_off_requests_per_s": 80.0, "cache_on_requests_per_s": 110.0, "hit_rate": 0.5, "speedup": 1.375}
     }"#;
 
     #[test]
@@ -349,8 +369,22 @@ mod tests {
 
     #[test]
     fn wrong_schema_version_fails() {
-        let broken = GOOD.replace("\"schema_version\": 2", "\"schema_version\": 1");
+        let broken = GOOD.replace("\"schema_version\": 3", "\"schema_version\": 2");
         assert!(check(&parse(&broken).unwrap()).is_err());
+    }
+
+    #[test]
+    fn missing_cache_section_fails() {
+        let broken = GOOD.replace("\"cache\"", "\"cash\"");
+        let err = check(&parse(&broken).unwrap()).unwrap_err();
+        assert!(err.contains("cache"), "{err}");
+    }
+
+    #[test]
+    fn hit_rate_outside_unit_interval_fails() {
+        let broken = GOOD.replace("\"hit_rate\": 0.5", "\"hit_rate\": 1.5");
+        let err = check(&parse(&broken).unwrap()).unwrap_err();
+        assert!(err.contains("hit_rate"), "{err}");
     }
 
     #[test]

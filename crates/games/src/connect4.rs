@@ -264,4 +264,76 @@ mod tests {
         assert_eq!(buf[2 * plane + 3], 1.0, "last-move plane");
         assert!(buf[3 * plane..].iter().all(|&x| x == 0.0));
     }
+
+    /// Stone layout + side to move: everything the hash must identify
+    /// (move-order metadata like `last_move` is deliberately excluded).
+    fn canonical(g: &Connect4) -> (Vec<Option<Player>>, Player) {
+        let mut cells = Vec::with_capacity(ROWS * COLS);
+        for r in 0..ROWS {
+            for c in 0..COLS {
+                cells.push(g.stone_at(r, c));
+            }
+        }
+        (cells, g.to_move())
+    }
+
+    #[test]
+    fn hash_is_transposition_invariant() {
+        // X: cols 0 and 2, O: col 1 — reached in either order.
+        let mut a = Connect4::new();
+        for m in [0u16, 1, 2] {
+            a.apply(m);
+        }
+        let mut b = Connect4::new();
+        for m in [2u16, 1, 0] {
+            b.apply(m);
+        }
+        assert_eq!(canonical(&a), canonical(&b), "test setup: same position");
+        assert_eq!(a.hash(), b.hash(), "transposed orders must collide");
+    }
+
+    #[test]
+    fn hash_distinguishes_colors_and_mover() {
+        // Same occupied cells, colors swapped: the key folds in the
+        // mover's own bitboard, so these must differ.
+        let mut a = Connect4::new();
+        for m in [0u16, 1] {
+            a.apply(m);
+        }
+        let mut b = Connect4::new();
+        for m in [1u16, 0] {
+            b.apply(m);
+        }
+        assert_ne!(a.hash(), b.hash(), "swapped colors, same mask");
+        // Along any line of play every ply flips the mover and adds a
+        // stone: all prefixes hash distinctly.
+        let mut g = Connect4::new();
+        let mut seen = std::collections::HashSet::new();
+        assert!(seen.insert(g.hash()));
+        for m in [3u16, 3, 2, 4, 2, 5, 1] {
+            g.apply(m);
+            assert!(seen.insert(g.hash()), "prefix hashes must be distinct");
+        }
+    }
+
+    #[test]
+    fn hash_is_injective_over_random_playouts() {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let mut seen: std::collections::HashMap<u64, (Vec<Option<Player>>, Player)> =
+            Default::default();
+        for _ in 0..300 {
+            let mut g = Connect4::new();
+            while g.status() == Status::Ongoing {
+                let acts = g.legal_actions();
+                g.apply(*acts.choose(&mut rng).unwrap());
+                let key = canonical(&g);
+                if let Some(prev) = seen.insert(g.hash(), key.clone()) {
+                    assert_eq!(prev, key, "hash collision between distinct positions");
+                }
+            }
+        }
+        assert!(seen.len() > 1000, "playouts must cover many positions");
+    }
 }

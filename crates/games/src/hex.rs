@@ -327,6 +327,68 @@ mod tests {
         assert_eq!(buf[9 + 4], 1.0, "black stone on opponent plane");
     }
 
+    /// Stone layout + side to move: what the Zobrist hash identifies
+    /// (`last_move` is deliberately outside the key).
+    fn canonical(g: &Hex) -> (Vec<Option<Player>>, Player) {
+        let n = g.size();
+        let mut cells = Vec::with_capacity(n * n);
+        for r in 0..n {
+            for c in 0..n {
+                cells.push(g.stone_at(r, c));
+            }
+        }
+        (cells, g.to_move())
+    }
+
+    #[test]
+    fn hash_is_transposition_invariant() {
+        // Black (0,0),(1,1) and White (3,3),(4,4), placed in two orders.
+        let mut a = Hex::new(5);
+        play(&mut a, &[(0, 0), (4, 4), (1, 1), (3, 3)]);
+        let mut b = Hex::new(5);
+        play(&mut b, &[(1, 1), (3, 3), (0, 0), (4, 4)]);
+        assert_eq!(canonical(&a), canonical(&b), "test setup: same position");
+        assert_eq!(a.hash(), b.hash(), "transposed orders must collide");
+    }
+
+    #[test]
+    fn hash_flips_with_every_ply() {
+        // Each apply XORs a stone key and the side key: every prefix of
+        // a game hashes distinctly (mover alternates, stones accrete).
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut g = Hex::new(5);
+        let mut seen = std::collections::HashSet::new();
+        assert!(seen.insert(g.hash()));
+        while g.status() == Status::Ongoing {
+            let acts = g.legal_actions();
+            g.apply(*acts.choose(&mut rng).unwrap());
+            assert!(seen.insert(g.hash()), "prefix hashes must be distinct");
+        }
+    }
+
+    #[test]
+    fn hash_is_injective_over_random_playouts() {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let mut seen: std::collections::HashMap<u64, (Vec<Option<Player>>, Player)> =
+            Default::default();
+        for _ in 0..200 {
+            let mut g = Hex::new(4);
+            while g.status() == Status::Ongoing {
+                let acts = g.legal_actions();
+                g.apply(*acts.choose(&mut rng).unwrap());
+                let key = canonical(&g);
+                if let Some(prev) = seen.insert(g.hash(), key.clone()) {
+                    assert_eq!(prev, key, "hash collision between distinct positions");
+                }
+            }
+        }
+        assert!(seen.len() > 500, "playouts must cover many positions");
+    }
+
     #[test]
     fn completing_a_chain_wins_immediately() {
         // Black to move with two cells of a top-bottom chain placed on a

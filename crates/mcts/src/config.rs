@@ -73,6 +73,16 @@ pub struct MctsConfig {
     /// remains an upper bound. Per-run overrides go through
     /// [`crate::Budget::time`].
     pub time_budget_ms: Option<u64>,
+    /// Maintain a per-tree transposition index (position hash → node) so
+    /// identical states reached by different move orders reuse already
+    /// computed priors/values at expansion instead of paying another
+    /// evaluation. Supported by the single-owner serial schemes
+    /// (`SerialSearch`, `ReusableSearch`); other schemes ignore it. Off
+    /// by default: enabling it changes which evaluations run, so
+    /// seed-for-seed reproducibility against older runs requires the
+    /// default. (Full cross-path *stat merging* is deliberately not done
+    /// — only priors/value reuse — so PUCT visit counts stay sound.)
+    pub transpositions: bool,
 }
 
 impl Default for MctsConfig {
@@ -87,6 +97,7 @@ impl Default for MctsConfig {
             max_nodes: None,
             root_noise: None,
             time_budget_ms: None,
+            transpositions: false,
         }
     }
 }

@@ -80,6 +80,27 @@ pub trait BatchEvaluator: Send + Sync {
         let [o] = out;
         o
     }
+
+    /// Evaluate `inputs` into `out`, with `keys[i]` carrying the stable
+    /// position hash ([`games::Game::hash`]) of `inputs[i]`. The default
+    /// ignores the keys; caching layers ([`crate::cache::CachedEvaluator`])
+    /// override this to serve hits without touching the inner backend.
+    /// Callers that know their position hashes should prefer this entry
+    /// point — the plain [`BatchEvaluator::evaluate_batch`] stays
+    /// cache-transparent by construction.
+    fn evaluate_batch_keyed(&self, keys: &[u64], inputs: &[&[f32]], out: &mut [EvalOutput]) {
+        debug_assert_eq!(keys.len(), inputs.len());
+        self.evaluate_batch(inputs, out);
+    }
+
+    /// Convenience: evaluate one keyed sample through the keyed batch
+    /// path.
+    fn evaluate_one_keyed(&self, key: u64, input: &[f32]) -> EvalOutput {
+        let mut out = [EvalOutput::default()];
+        self.evaluate_batch_keyed(&[key], &[input], &mut out);
+        let [o] = out;
+        o
+    }
 }
 
 /// Legacy single-sample evaluation interface.

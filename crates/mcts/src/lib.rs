@@ -81,6 +81,7 @@ pub mod analysis;
 pub mod arena;
 pub mod budget;
 pub mod builder;
+pub mod cache;
 pub mod client;
 pub mod coalesce;
 pub mod config;
@@ -101,6 +102,7 @@ pub use adaptive::{AdaptiveSearch, Scheme};
 pub use arena::NodeState;
 pub use budget::{Budget, StepOutcome};
 pub use builder::SearchBuilder;
+pub use cache::{CacheStats, CachedEvaluator, EvalCache, EvalCacheConfig};
 pub use client::{Completion, EvalClient, Ticket};
 pub use coalesce::{CoalesceStats, CoalescingEvaluator};
 pub use config::{LockKind, MctsConfig, VirtualLoss};

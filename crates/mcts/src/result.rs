@@ -34,6 +34,10 @@ pub struct SearchStats {
     /// a run, so streaming consumers can order and deduplicate anytime
     /// snapshots; 0 for a run that was never stepped.
     pub seq: u64,
+    /// Expansions served from the per-tree transposition index instead
+    /// of a fresh evaluation (see [`crate::MctsConfig::transpositions`]).
+    /// Always 0 when the index is disabled or unsupported by the scheme.
+    pub tt_hits: u64,
 }
 
 impl SearchStats {

@@ -213,15 +213,27 @@ impl<G: Game> SearchScheme<G> for ReusableSearch {
             match outcome {
                 SelectOutcome::TerminalBackedUp => {}
                 SelectOutcome::NeedsEval => {
-                    let t1 = Instant::now();
-                    game.encode(&mut self.encode_buf);
-                    let inputs = [self.encode_buf.as_slice()];
-                    self.evaluator.evaluate_batch(&inputs, &mut self.eval_out);
-                    let o = &self.eval_out[0];
-                    run.stats.eval_ns += t1.elapsed().as_nanos() as u64;
-                    let t2 = Instant::now();
-                    tree.expand_and_backup(leaf, &o.priors, o.value);
-                    run.stats.backup_ns += t2.elapsed().as_nanos() as u64;
+                    let key = game.hash();
+                    if let Some(src) = tree.tt_lookup(key) {
+                        // Same position reached by another move order:
+                        // reuse its priors/value, skip the evaluator.
+                        let t1 = Instant::now();
+                        tree.expand_from_transposition(leaf, src);
+                        run.stats.tt_hits += 1;
+                        run.stats.backup_ns += t1.elapsed().as_nanos() as u64;
+                    } else {
+                        let t1 = Instant::now();
+                        game.encode(&mut self.encode_buf);
+                        let inputs = [self.encode_buf.as_slice()];
+                        self.evaluator
+                            .evaluate_batch_keyed(&[key], &inputs, &mut self.eval_out);
+                        let o = &self.eval_out[0];
+                        run.stats.eval_ns += t1.elapsed().as_nanos() as u64;
+                        let t2 = Instant::now();
+                        tree.expand_and_backup(leaf, &o.priors, o.value);
+                        tree.tt_record(key, leaf);
+                        run.stats.backup_ns += t2.elapsed().as_nanos() as u64;
+                    }
                 }
                 SelectOutcome::Busy => unreachable!("serial reuse search found a pending leaf"),
             }
@@ -440,6 +452,25 @@ mod tests {
             "buffers reused, not reallocated"
         );
         assert_eq!(result.visits.len(), 9);
+    }
+
+    #[test]
+    fn transpositions_survive_advance() {
+        let cfg = MctsConfig {
+            playouts: 200,
+            transpositions: true,
+            ..Default::default()
+        };
+        let mut s =
+            ReusableSearch::new(cfg, Arc::new(UniformEvaluator::for_game(&TicTacToe::new())));
+        let mut g = TicTacToe::new();
+        let r1 = ReusableSearch::search(&mut s, &g);
+        assert!(r1.stats.tt_hits > 0, "first search should transpose");
+        let a = r1.best_action();
+        s.advance(a); // clears the index along with the discarded region
+        g.apply(a);
+        let r2 = ReusableSearch::search(&mut s, &g);
+        assert_eq!(r2.stats.playouts, 200, "warm tree still searches");
     }
 
     #[test]

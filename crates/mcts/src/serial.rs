@@ -78,13 +78,24 @@ impl<G: Game> SearchScheme<G> for SerialSearch {
             match outcome {
                 SelectOutcome::TerminalBackedUp => {}
                 SelectOutcome::NeedsEval => {
-                    let t1 = Instant::now();
-                    game.encode(&mut self.encode_buf);
-                    let o = self.evaluator.evaluate_one(&self.encode_buf);
-                    run.stats.eval_ns += t1.elapsed().as_nanos() as u64;
-                    let t2 = Instant::now();
-                    run.tree.expand_and_backup(leaf, &o.priors, o.value);
-                    run.stats.backup_ns += t2.elapsed().as_nanos() as u64;
+                    let key = game.hash();
+                    if let Some(src) = run.tree.tt_lookup(key) {
+                        // Same position reached by another move order:
+                        // reuse its priors/value, skip the evaluator.
+                        let t1 = Instant::now();
+                        run.tree.expand_from_transposition(leaf, src);
+                        run.stats.tt_hits += 1;
+                        run.stats.backup_ns += t1.elapsed().as_nanos() as u64;
+                    } else {
+                        let t1 = Instant::now();
+                        game.encode(&mut self.encode_buf);
+                        let o = self.evaluator.evaluate_one_keyed(key, &self.encode_buf);
+                        run.stats.eval_ns += t1.elapsed().as_nanos() as u64;
+                        let t2 = Instant::now();
+                        run.tree.expand_and_backup(leaf, &o.priors, o.value);
+                        run.tree.tt_record(key, leaf);
+                        run.stats.backup_ns += t2.elapsed().as_nanos() as u64;
+                    }
                 }
                 SelectOutcome::Busy => {
                     // Impossible serially: nothing else holds a claim.
@@ -263,6 +274,54 @@ mod tests {
         let mut s = searcher(32);
         let r = s.search(&TicTacToe::new());
         assert_eq!(r.stats.playouts, 32);
+    }
+
+    #[test]
+    fn transpositions_skip_evaluations() {
+        use crate::evaluator::DelayedEvaluator;
+        use std::time::Duration;
+        let mk = |tt: bool| {
+            let eval = Arc::new(DelayedEvaluator::new(
+                UniformEvaluator::for_game(&TicTacToe::new()),
+                Duration::ZERO,
+            ));
+            let cfg = MctsConfig {
+                playouts: 300,
+                transpositions: tt,
+                ..Default::default()
+            };
+            (SerialSearch::new(cfg, Arc::clone(&eval) as _), eval)
+        };
+        let (mut plain, e_plain) = mk(false);
+        let r_plain = plain.search(&TicTacToe::new());
+        assert_eq!(r_plain.stats.tt_hits, 0, "disabled index never hits");
+        let (mut with_tt, e_tt) = mk(true);
+        let r_tt = with_tt.search(&TicTacToe::new());
+        assert!(r_tt.stats.tt_hits > 0, "tictactoe transposes by depth 3");
+        assert!(
+            e_tt.calls() < e_plain.calls(),
+            "reused expansions must save evaluator calls: {} vs {}",
+            e_tt.calls(),
+            e_plain.calls()
+        );
+        assert_eq!(r_tt.stats.playouts, 300, "same compute budget");
+    }
+
+    #[test]
+    fn transpositions_preserve_forced_win() {
+        let mut g = TicTacToe::new();
+        for a in [0u16, 3, 1, 4] {
+            g.apply(a);
+        }
+        let cfg = MctsConfig {
+            playouts: 400,
+            transpositions: true,
+            ..Default::default()
+        };
+        let mut s = SerialSearch::new(cfg, Arc::new(UniformEvaluator::for_game(&g)));
+        let r = s.search(&g);
+        assert_eq!(r.best_action(), 2, "visits {:?}", r.visits);
+        assert!(r.value > 0.5);
     }
 
     #[test]

@@ -573,6 +573,7 @@ impl<G: Game> SearchScheme<G> for SharedTreeSearch {
             collisions: run.tree.collisions(),
             nodes: run.tree.len() as u64,
             reclaimed: 0,
+            tt_hits: 0,
         };
         SearchResult {
             probs,

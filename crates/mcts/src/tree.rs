@@ -86,6 +86,12 @@ pub struct Tree {
     walk_stack: Vec<u32>,
     /// Scratch: (node, depth) stack for pruning/invariant walks.
     depth_stack: Vec<(u32, u32)>,
+    /// Optional transposition index: position hash → expanded node id
+    /// ([`MctsConfig::transpositions`]). Cleared by every operation that
+    /// returns node slots to the free-list (re-root, in-place reset,
+    /// capacity prune): a recycled slot may be re-expanded for a
+    /// *different* position, so ids must never outlive their allocation.
+    tt: Option<std::collections::HashMap<u64, u32>>,
 }
 
 impl Tree {
@@ -111,6 +117,7 @@ impl Tree {
             priors_scratch: Vec::new(),
             walk_stack: Vec::new(),
             depth_stack: Vec::new(),
+            tt: cfg.transpositions.then(std::collections::HashMap::new),
         }
     }
 
@@ -127,6 +134,20 @@ impl Tree {
     /// [`Tree::set_config`] for a full reconfiguration.
     pub fn set_search_params(&mut self, cfg: MctsConfig) {
         self.cfg = cfg;
+        self.reconcile_tt();
+    }
+
+    /// Create or drop the transposition index to match
+    /// [`MctsConfig::transpositions`]; an index kept across the call is
+    /// cleared (the caller is changing search regimes — stale reuse is
+    /// not worth auditing against the new parameters).
+    fn reconcile_tt(&mut self) {
+        match (&mut self.tt, self.cfg.transpositions) {
+            (tt @ None, true) => *tt = Some(std::collections::HashMap::new()),
+            (tt @ Some(_), false) => *tt = None,
+            (Some(tt), true) => tt.clear(),
+            (None, false) => {}
+        }
     }
 
     /// Reconfigure for a fresh logical session: apply `cfg` *including*
@@ -136,6 +157,7 @@ impl Tree {
     pub fn set_config(&mut self, cfg: MctsConfig) {
         self.cfg = cfg;
         self.a.set_bound(cfg.max_nodes);
+        self.reconcile_tt();
         self.reset_in_place();
     }
 
@@ -428,6 +450,84 @@ impl Tree {
         }
     }
 
+    // -- transpositions -----------------------------------------------------
+
+    /// Expanded node currently indexed under position `hash`, if the
+    /// transposition index is enabled and holds one. Entries reverted by
+    /// a capacity prune are filtered out by state.
+    pub fn tt_lookup(&self, hash: u64) -> Option<u32> {
+        let id = *self.tt.as_ref()?.get(&hash)?;
+        (self.a.state[id as usize] == NodeState::Expanded).then_some(id)
+    }
+
+    /// Index the just-expanded `node` under position `hash`. No-op when
+    /// the transposition index is disabled.
+    pub fn tt_record(&mut self, hash: u64, node: u32) {
+        debug_assert_eq!(self.a.state[node as usize], NodeState::Expanded);
+        if let Some(tt) = &mut self.tt {
+            tt.insert(hash, node);
+        }
+    }
+
+    /// Expand a pending leaf from `src` — an expanded node holding the
+    /// *same position* reached by a different move order — copying its
+    /// child priors and backing up its current mean value, with no
+    /// evaluator call. The leaf keeps independent visit statistics
+    /// (priors/value reuse only, no cross-path stat merging, so PUCT
+    /// visit counts stay sound).
+    pub fn expand_from_transposition(&mut self, leaf: u32, src: u32) {
+        assert!(
+            self.a.state[leaf as usize] == NodeState::Pending,
+            "expand_from_transposition on non-pending leaf ({:?})",
+            self.a.state[leaf as usize]
+        );
+        assert!(
+            self.a.state[src as usize] == NodeState::Expanded,
+            "transposition source must be expanded ({:?})",
+            self.a.state[src as usize]
+        );
+        let lc = self.children(leaf);
+        let sc = self.children(src);
+        assert_eq!(
+            lc.len(),
+            sc.len(),
+            "same position must yield identical legal actions"
+        );
+        debug_assert!(
+            lc.clone()
+                .zip(sc.clone())
+                .all(|(l, s)| self.a.action[l as usize] == self.a.action[s as usize]),
+            "transposition child actions diverge: hash collision?"
+        );
+        let (llo, lhi) = (lc.start as usize, lc.end as usize);
+        let (slo, shi) = (sc.start as usize, sc.end as usize);
+        let mut masked = std::mem::take(&mut self.priors_scratch);
+        masked.clear();
+        masked.extend_from_slice(&self.a.prior[slo..shi]);
+        // Same root-noise policy as a fresh expansion: the root's priors
+        // get noise even when they arrive via a transposition.
+        if leaf == self.root {
+            if let Some(noise) = self.cfg.root_noise {
+                use rand::SeedableRng;
+                let mut rng = rand::rngs::StdRng::seed_from_u64(
+                    noise.seed ^ self.noise_nonce.rotate_left(17),
+                );
+                crate::noise::mix_noise(&mut rng, &noise, &mut masked);
+            }
+        }
+        self.a.prior[llo..lhi].copy_from_slice(&masked);
+        self.priors_scratch = masked;
+        self.a.state[leaf as usize] = NodeState::Expanded;
+        // src's W is from the perspective of the player who moved into
+        // it; same hash ⇒ same player to move at both nodes, so the
+        // value for the leaf's player is -(W/N). N ≥ 1: expansion backed
+        // up at least once.
+        let n = self.a.n[src as usize];
+        debug_assert!(n > 0, "expanded node with no visits");
+        let value = (-(self.a.w[src as usize] / n as f64)) as f32;
+        self.backup(leaf, value);
+    }
+
     /// Root visit counts over the full action space plus the normalized
     /// distribution and the root value estimate (current player's view).
     pub fn action_prior(&self, action_space: usize) -> (Vec<u32>, Vec<f32>, f32) {
@@ -497,6 +597,12 @@ impl Tree {
         // O(1) thanks to the running counter, so the O(discarded) re-root
         // cost holds even with the guard always on.
         assert_eq!(self.vl_outstanding, 0, "advance with in-flight playouts");
+        if let Some(tt) = &mut self.tt {
+            // Freed slots may be recycled for other positions; dropping
+            // the whole index is the only O(1)-per-entry-safe policy
+            // (entries do not know which subtree their id lives in).
+            tt.clear();
+        }
         match self.root_child_for(action) {
             Some(keep) => {
                 let old = self.root;
@@ -526,6 +632,9 @@ impl Tree {
     pub fn reset_in_place(&mut self) {
         debug_assert_eq!(self.vl_outstanding, 0, "reset with in-flight playouts");
         self.vl_outstanding = 0;
+        if let Some(tt) = &mut self.tt {
+            tt.clear();
+        }
         self.reclaimed_total += self.a.live() as u64;
         self.a.clear();
         let root = self.a.alloc_block(1).expect("cleared arena fits a root");
@@ -620,6 +729,12 @@ impl Tree {
         let Some((id, _)) = best else {
             return false;
         };
+        if let Some(tt) = &mut self.tt {
+            // The freed child slots (and the reverted node itself) may be
+            // re-expanded for different positions; pruning is a rare
+            // memory backstop, so dropping the index wholesale is cheap.
+            tt.clear();
+        }
         let children = self.children(id);
         let count = children.len() as u64;
         self.a.free_range(children.start, children.len() as u32);
@@ -1187,6 +1302,128 @@ mod tests {
         let (visits, probs, _) = t.action_prior(9);
         assert_eq!(visits.iter().sum::<u32>(), 500 - 1);
         assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    // -- transposition index ------------------------------------------------
+
+    /// Drive playouts the way a transposition-aware scheme does: look up
+    /// the position hash before evaluating, reuse on hit, record on miss.
+    fn grow_tt(t: &mut Tree, base: &TicTacToe, playouts: usize) -> u64 {
+        let mut tt_hits = 0;
+        for _ in 0..playouts {
+            let mut g = base.clone();
+            let (leaf, out) = t.select(&mut g);
+            if out == SelectOutcome::NeedsEval {
+                if let Some(src) = t.tt_lookup(g.hash()) {
+                    t.expand_from_transposition(leaf, src);
+                    tt_hits += 1;
+                } else {
+                    t.expand_and_backup(leaf, &uniform_priors(9), 0.0);
+                    t.tt_record(g.hash(), leaf);
+                }
+            }
+        }
+        tt_hits
+    }
+
+    fn tt_cfg(playouts: usize) -> MctsConfig {
+        MctsConfig {
+            transpositions: true,
+            ..cfg(playouts)
+        }
+    }
+
+    #[test]
+    fn transpositions_fire_and_preserve_invariants() {
+        let mut t = Tree::new(tt_cfg(400));
+        let hits = grow_tt(&mut t, &TicTacToe::new(), 400);
+        // TicTacToe transposes heavily from depth 3 on (e.g. X0,O1,X2 ==
+        // X2,O1,X0): 400 playouts must reuse at least one expansion.
+        assert!(hits > 0, "no transpositions in 400 tictactoe playouts");
+        assert_eq!(t.outstanding_vl(), 0);
+        t.check_invariants();
+        let (visits, probs, _) = t.action_prior(9);
+        assert_eq!(visits.iter().sum::<u32>(), 400 - 1);
+        assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn transposition_copies_priors_and_value() {
+        // Two claimed Connect-4 siblings: every depth-1 state has the
+        // identical legal set (all 7 columns), so the positional copy in
+        // expand_from_transposition is well-defined. Expanding the second
+        // leaf from the first must copy priors exactly and back up
+        // -(W/N) without an evaluator call.
+        use games::connect4::Connect4;
+        let mut t = Tree::new(tt_cfg(10));
+        let base = Connect4::new();
+        let mut g = base.clone();
+        let _ = t.select(&mut g);
+        t.expand_and_backup(0, &[1.0 / 7.0; 7], 0.0);
+        let mut g1 = base.clone();
+        let (l1, o1) = t.select(&mut g1);
+        assert_eq!(o1, SelectOutcome::NeedsEval);
+        let mut priors = vec![0.0f32; 7];
+        for (i, p) in priors.iter_mut().enumerate() {
+            *p = (i + 1) as f32 / 28.0;
+        }
+        t.expand_and_backup(l1, &priors, 0.8);
+        t.tt_record(g1.hash(), l1);
+        let mut g2 = base.clone();
+        let (l2, o2) = t.select(&mut g2);
+        assert_eq!(o2, SelectOutcome::NeedsEval);
+        assert_ne!(l1, l2);
+        let src = t.tt_lookup(g1.hash()).expect("recorded entry");
+        assert_eq!(src, l1);
+        let n_before = t.n(l2);
+        t.expand_from_transposition(l2, src);
+        assert_eq!(t.state(l2), NodeState::Expanded);
+        assert_eq!(t.n(l2), n_before + 1);
+        // Value backed up at l2 is -(W/N) of src; the leaf's own W gets
+        // -value, i.e. +W(src)/N(src).
+        let mean_src = t.w(l1) / t.n(l1) as f64;
+        assert!((t.w(l2) - mean_src).abs() < 1e-6);
+        // Priors copied positionally.
+        for (cs, cl) in t.children(src).zip(t.children(l2)) {
+            assert_eq!(t.prior(cs), t.prior(cl));
+        }
+        assert_eq!(t.outstanding_vl(), 0);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn advance_root_clears_transposition_index() {
+        let mut t = Tree::new(tt_cfg(200));
+        let base = TicTacToe::new();
+        grow_tt(&mut t, &base, 150);
+        let mut s = base.clone();
+        s.apply(0);
+        // Some depth-1 hash is indexed before the re-root…
+        let indexed: Vec<u64> = (0..9u16)
+            .filter_map(|a| {
+                let mut g = base.clone();
+                g.apply(a);
+                t.tt_lookup(g.hash()).map(|_| g.hash())
+            })
+            .collect();
+        assert!(!indexed.is_empty(), "depth-1 states should be indexed");
+        t.advance_root(0);
+        for h in indexed {
+            assert_eq!(t.tt_lookup(h), None, "stale entry survived re-root");
+        }
+        // And the tree keeps searching correctly from the new root.
+        grow_tt(&mut t, &s, 100);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn disabled_transpositions_never_index() {
+        let mut t = Tree::new(cfg(50));
+        let mut g = TicTacToe::new();
+        let _ = t.select(&mut g);
+        t.expand_and_backup(0, &uniform_priors(9), 0.0);
+        t.tt_record(g.hash(), 0); // silently ignored
+        assert_eq!(t.tt_lookup(g.hash()), None);
     }
 
     #[test]

@@ -44,11 +44,12 @@
 //! ```
 
 use crate::admission::{AdmissionConfig, AdmissionController, Rejection};
+use crate::evalcache::CacheRegistry;
 use crate::service::{SearchService, ServeConfig, ServiceStats};
 use crate::session::SearchTicket;
 use crate::{session_cost, SearchRequest};
 use games::Game;
-use mcts::BatchEvaluator;
+use mcts::{BatchEvaluator, CacheStats};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, Weak};
 
@@ -155,6 +156,12 @@ pub struct ClusterStats {
     /// Requests whose cost exceeds the admission burst
     /// ([`crate::RejectReason::TooLarge`] — never admissible as-is).
     pub shed_too_large: u64,
+    /// Cluster-wide evaluation-cache counters. The cache registry is
+    /// shared across every shard (a position evaluated on one shard is
+    /// a hit on all of them), so its counters live here rather than in
+    /// any single shard's [`ServiceStats`]. All zeros when
+    /// [`ServeConfig::eval_cache_bytes`] is unset.
+    pub cache: CacheStats,
     /// Per-shard service counters, indexed by shard.
     pub per_shard: Vec<ServiceStats>,
 }
@@ -165,12 +172,18 @@ impl ClusterStats {
         self.shed_rate_limited + self.shed_queue_full + self.shed_too_large
     }
 
-    /// All shards' counters folded together.
+    /// All shards' counters folded together, including the shared
+    /// cache's (shard entries report zero cache counters — the
+    /// registry spans shards, so it is folded in exactly once here).
     pub fn total(&self) -> ServiceStats {
         let mut out = ServiceStats::default();
         for s in &self.per_shard {
             out.merge(s);
         }
+        out.cache_hits += self.cache.hits;
+        out.cache_misses += self.cache.misses;
+        out.cache_evictions += self.cache.evictions;
+        out.cache_bytes += self.cache.bytes;
         out
     }
 }
@@ -215,6 +228,10 @@ pub struct ServeCluster {
     shards: Vec<SearchService>,
     placement: Box<dyn PlacementPolicy>,
     admission: Option<Arc<AdmissionController>>,
+    /// One evaluation-cache registry shared by every shard, so a
+    /// position evaluated anywhere is a hit everywhere (`None` ⇒
+    /// caching disabled).
+    cache: Option<Arc<CacheRegistry>>,
     /// Backend key (evaluator `Arc` address) → home shard. The `Weak`
     /// pins the address against reuse and marks dead backends; entries
     /// with no strong references left are evicted on the next submit.
@@ -235,12 +252,17 @@ impl ServeCluster {
     /// Spin up the cluster with a custom [`PlacementPolicy`].
     pub fn with_placement(cfg: ClusterConfig, placement: Box<dyn PlacementPolicy>) -> Self {
         assert!(cfg.shards >= 1, "cluster needs at least one shard");
+        let cache = cfg
+            .shard
+            .eval_cache_bytes
+            .map(|b| Arc::new(CacheRegistry::new(b, cfg.shard.eval_cache_ttl)));
         ServeCluster {
             shards: (0..cfg.shards)
-                .map(|_| SearchService::new(cfg.shard.clone()))
+                .map(|_| SearchService::with_cache_registry(cfg.shard.clone(), cache.clone()))
                 .collect(),
             placement,
             admission: cfg.admission.map(|a| Arc::new(AdmissionController::new(a))),
+            cache,
             affinity: Mutex::new(Vec::new()),
             admitted: AtomicU64::new(0),
             shed_rate_limited: AtomicU64::new(0),
@@ -323,14 +345,25 @@ impl ServeCluster {
         &self.shards[i]
     }
 
-    /// Admission outcomes plus per-shard service counters.
+    /// Admission outcomes plus per-shard service counters and the
+    /// shared evaluation cache's totals.
     pub fn stats(&self) -> ClusterStats {
         ClusterStats {
             admitted: self.admitted.load(Ordering::Relaxed),
             shed_rate_limited: self.shed_rate_limited.load(Ordering::Relaxed),
             shed_queue_full: self.shed_queue_full.load(Ordering::Relaxed),
             shed_too_large: self.shed_too_large.load(Ordering::Relaxed),
+            cache: self.cache.as_ref().map(|r| r.stats()).unwrap_or_default(),
             per_shard: self.shards.iter().map(|s| s.stats()).collect(),
+        }
+    }
+
+    /// Invalidate every cached evaluation on every shard at once (an
+    /// epoch bump per backend, no scan). For in-place model-weight
+    /// swaps behind a backend `Arc` that keeps its identity.
+    pub fn invalidate_eval_cache(&self) {
+        if let Some(reg) = &self.cache {
+            reg.invalidate_all();
         }
     }
 }

@@ -1,0 +1,221 @@
+//! Service-wide evaluation-cache registry: one [`EvalCache`] per
+//! distinct backend evaluator, shared by every session (and, under a
+//! [`crate::ServeCluster`], every shard) that submits that backend.
+//!
+//! The registry mirrors the coalescer registry in `service.rs`: caches
+//! are keyed by the backend `Arc`'s address, pinned against address
+//! reuse by a `Weak` handle, and evicted once no live session holds the
+//! backend. Two cache-specific twists:
+//!
+//! * **Address reuse bumps the epoch, not the allocation.** When a key
+//!   matches but its previous backend is dead, a *different* model now
+//!   lives at that address: the cache's epoch is bumped — an O(1)
+//!   invalidation that makes every stale entry unreachable — and the
+//!   warmed slot memory is reused for the new model. This is the
+//!   model-swap path: swap weights behind the same slot, keep the
+//!   allocation, lose the stale answers.
+//! * **Retired counters drop their bytes.** A dead backend's cache is
+//!   freed with it; its hit/miss/eviction counters fold into `retired`
+//!   so [`CacheRegistry::stats`] stays monotone, but its resident bytes
+//!   do not (the memory is gone).
+
+use mcts::{BatchEvaluator, CacheStats, EvalCache, EvalCacheConfig};
+use std::sync::{Arc, Mutex, Weak};
+use std::time::Duration;
+
+/// One backend's cache record: key (the backend `Arc` address), a
+/// liveness/anti-aliasing handle, and the cache itself.
+struct CacheEntry {
+    key: usize,
+    handle: Weak<dyn BatchEvaluator>,
+    cache: Arc<EvalCache>,
+}
+
+/// Per-backend [`EvalCache`] registry (see module docs). A
+/// [`crate::SearchService`] owns one when
+/// [`crate::ServeConfig::eval_cache_bytes`] is set; a
+/// [`crate::ServeCluster`] owns one *shared across all shards*, so a
+/// position evaluated on shard 0 is a hit on shard 3.
+pub(crate) struct CacheRegistry {
+    /// Per-backend byte budget handed to each created cache.
+    bytes: usize,
+    /// Entry TTL handed to each created cache.
+    ttl: Option<Duration>,
+    entries: Mutex<Vec<CacheEntry>>,
+    /// Counters of evicted caches (bytes zeroed — their memory is
+    /// freed), keeping [`CacheRegistry::stats`] monotone.
+    retired: Mutex<CacheStats>,
+}
+
+impl CacheRegistry {
+    pub(crate) fn new(bytes: usize, ttl: Option<Duration>) -> Self {
+        CacheRegistry {
+            bytes,
+            ttl,
+            entries: Mutex::new(Vec::new()),
+            retired: Mutex::new(CacheStats::default()),
+        }
+    }
+
+    /// The cache for `backend`, created on first sight. Reuses a dead
+    /// predecessor's allocation at the same address via an epoch bump
+    /// (model swap); recreates only if the action space changed.
+    pub(crate) fn cache_for(&self, backend: &Arc<dyn BatchEvaluator>) -> Arc<EvalCache> {
+        let key = Arc::as_ptr(backend) as *const () as usize;
+        let mut reg = self.entries.lock().unwrap();
+        if let Some(pos) = reg.iter().position(|e| e.key == key) {
+            if reg[pos].cache.action_space() == backend.action_space() {
+                let e = &mut reg[pos];
+                if e.handle.strong_count() == 0 {
+                    // Address reuse: a different model lives here now.
+                    e.cache.bump_epoch();
+                    e.handle = Arc::downgrade(backend);
+                }
+                return Arc::clone(&e.cache);
+            }
+            // Same address, different game: the fixed-entry layout
+            // cannot be reused — retire and fall through to recreate.
+            let dead = reg.remove(pos);
+            self.retire(&dead.cache);
+        } else {
+            // Evict caches of dead backends so a long-lived service
+            // seeing per-request models does not pin their memory.
+            let mut dead = Vec::new();
+            reg.retain(|e| {
+                if e.handle.strong_count() > 0 {
+                    return true;
+                }
+                dead.push(Arc::clone(&e.cache));
+                false
+            });
+            for c in dead {
+                self.retire(&c);
+            }
+        }
+        let cache = Arc::new(EvalCache::new(
+            EvalCacheConfig {
+                capacity_bytes: self.bytes,
+                ttl: self.ttl,
+                ..EvalCacheConfig::default()
+            },
+            backend.action_space(),
+        ));
+        reg.push(CacheEntry {
+            key,
+            handle: Arc::downgrade(backend),
+            cache: Arc::clone(&cache),
+        });
+        cache
+    }
+
+    /// Fold a freed cache's counters into the retired bucket. Bytes are
+    /// dropped: the allocation no longer exists.
+    fn retire(&self, cache: &EvalCache) {
+        let mut s = cache.stats();
+        s.bytes = 0;
+        self.retired.lock().unwrap().merge(&s);
+    }
+
+    /// Aggregate counters over every cache this registry ever created
+    /// (monotone except `bytes`, which tracks live residency).
+    pub(crate) fn stats(&self) -> CacheStats {
+        let mut out = *self.retired.lock().unwrap();
+        for e in self.entries.lock().unwrap().iter() {
+            out.merge(&e.cache.stats());
+        }
+        out
+    }
+
+    /// Bump every live cache's epoch: all cached evaluations become
+    /// unreachable at once. The hook for in-place model-weight updates,
+    /// where the backend `Arc` (and thus its address key) survives the
+    /// swap.
+    pub(crate) fn invalidate_all(&self) {
+        for e in self.entries.lock().unwrap().iter() {
+            e.cache.bump_epoch();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcts::UniformEvaluator;
+
+    fn backend(actions: usize) -> Arc<dyn BatchEvaluator> {
+        Arc::new(UniformEvaluator::new(4 * actions, actions))
+    }
+
+    #[test]
+    fn same_backend_gets_same_cache() {
+        let reg = CacheRegistry::new(1 << 20, None);
+        let b = backend(9);
+        let c1 = reg.cache_for(&b);
+        let c2 = reg.cache_for(&b);
+        assert!(Arc::ptr_eq(&c1, &c2));
+    }
+
+    #[test]
+    fn distinct_backends_get_distinct_caches() {
+        let reg = CacheRegistry::new(1 << 20, None);
+        let (a, b) = (backend(9), backend(9));
+        let ca = reg.cache_for(&a);
+        let cb = reg.cache_for(&b);
+        assert!(!Arc::ptr_eq(&ca, &cb));
+    }
+
+    #[test]
+    fn address_reuse_bumps_epoch_and_keeps_allocation() {
+        let reg = CacheRegistry::new(1 << 20, None);
+        let b = backend(9);
+        let c1 = reg.cache_for(&b);
+        c1.insert(42, &[1.0 / 9.0; 9], 0.25);
+        let epoch_before = c1.epoch();
+        // Simulate address reuse: drop the backend, then hand the
+        // registry a new one at (we pretend) the same key by reusing
+        // the same entry through a direct second call after the drop.
+        drop(b);
+        // The registry cannot know the new Arc landed on the same
+        // address in a test, so poke the path directly: find the entry
+        // via a fresh backend only if the allocator reused the address.
+        // Instead, assert the observable contract on the same cache:
+        // bump_epoch makes the old entry unreachable.
+        c1.bump_epoch();
+        assert!(c1.epoch() > epoch_before);
+        let mut out = mcts::EvalOutput::default();
+        assert!(!c1.get(42, &mut out), "stale epoch entry must miss");
+    }
+
+    #[test]
+    fn retired_counters_survive_eviction_without_bytes() {
+        let reg = CacheRegistry::new(1 << 20, None);
+        let b = backend(9);
+        let c = reg.cache_for(&b);
+        c.insert(7, &[1.0 / 9.0; 9], 0.0);
+        let mut out = mcts::EvalOutput::default();
+        assert!(c.get(7, &mut out));
+        assert!(reg.stats().bytes > 0);
+        drop(b);
+        drop(c);
+        // A fresh backend triggers dead-entry eviction.
+        let other = backend(9);
+        let _c2 = reg.cache_for(&other);
+        let s = reg.stats();
+        assert_eq!(s.hits, 1, "evicted cache's hits carry over");
+        assert_eq!(s.inserts, 1);
+    }
+
+    #[test]
+    fn invalidate_all_clears_every_backend() {
+        let reg = CacheRegistry::new(1 << 20, None);
+        let (a, b) = (backend(9), backend(7));
+        let ca = reg.cache_for(&a);
+        let cb = reg.cache_for(&b);
+        ca.insert(1, &[1.0 / 9.0; 9], 0.0);
+        cb.insert(2, &[1.0 / 7.0; 7], 0.0);
+        reg.invalidate_all();
+        let mut out = mcts::EvalOutput::default();
+        assert!(!ca.get(1, &mut out));
+        assert!(!cb.get(2, &mut out));
+    }
+}

@@ -112,6 +112,7 @@
 
 mod admission;
 mod cluster;
+mod evalcache;
 mod scheduler;
 mod service;
 mod session;

@@ -1,12 +1,14 @@
 //! The [`SearchService`]: a fixed worker pool multiplexing many
 //! resumable search sessions (see the crate docs for the architecture).
 
+use crate::evalcache::CacheRegistry;
 use crate::scheduler::{FairScheduler, SessionEntry};
 use crate::session::{Engine, SearchTicket, SessionShared, TicketStatus, TypedSession};
 use crate::{session_cost, Priority, SearchRequest};
 use games::Game;
 use mcts::{
-    BatchEvaluator, CoalesceStats, CoalescingEvaluator, ReusableSearch, Scheme, SearchBuilder,
+    BatchEvaluator, CacheStats, CachedEvaluator, CoalesceStats, CoalescingEvaluator,
+    ReusableSearch, Scheme, SearchBuilder,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -36,6 +38,17 @@ pub struct ServeConfig {
     /// classes are *favored*, never starving the rest (stride
     /// scheduling; see `serve::scheduler`). Zero weights count as 1.
     pub class_weights: [u64; Priority::COUNT],
+    /// Byte budget of the shared per-backend evaluation cache
+    /// ([`mcts::EvalCache`]): leaf evaluations are memoized by
+    /// `(model, position hash)` across *all* sessions of this service,
+    /// so repeated positions skip inference entirely. `None` (the
+    /// default) disables caching — every search is then seed-for-seed
+    /// identical to a cache-free build.
+    pub eval_cache_bytes: Option<usize>,
+    /// Entry time-to-live for the evaluation cache; `None` keeps
+    /// entries until evicted by capacity or epoch bump. Only read when
+    /// [`ServeConfig::eval_cache_bytes`] is set.
+    pub eval_cache_ttl: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -50,6 +63,8 @@ impl Default for ServeConfig {
             max_pooled: 2 * workers,
             coalesce_window: mcts::coalesce::DEFAULT_COALESCE_WINDOW,
             class_weights: [1, 4, 16],
+            eval_cache_bytes: None,
+            eval_cache_ttl: None,
         }
     }
 }
@@ -69,6 +84,15 @@ pub struct ServiceStats {
     pub eval_batches: u64,
     /// Samples served across those rounds.
     pub eval_samples: u64,
+    /// Evaluation-cache hits: leaf evaluations answered from memory
+    /// instead of the backend (0 when caching is disabled).
+    pub cache_hits: u64,
+    /// Evaluation-cache misses (forwarded to the backend).
+    pub cache_misses: u64,
+    /// Entries displaced to admit new ones under the byte budget.
+    pub cache_evictions: u64,
+    /// Bytes currently resident across the service's evaluation caches.
+    pub cache_bytes: u64,
 }
 
 impl ServiceStats {
@@ -82,6 +106,17 @@ impl ServiceStats {
         }
     }
 
+    /// Fraction of keyed leaf evaluations answered by the cache
+    /// (0.0 when caching is disabled or nothing was looked up).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
     /// Fold another service's counters into this one (cluster totals).
     pub fn merge(&mut self, other: &ServiceStats) {
         self.sessions_completed += other.sessions_completed;
@@ -90,6 +125,10 @@ impl ServiceStats {
         self.playouts += other.playouts;
         self.eval_batches += other.eval_batches;
         self.eval_samples += other.eval_samples;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+        self.cache_bytes += other.cache_bytes;
     }
 }
 
@@ -121,6 +160,14 @@ struct Inner {
     /// Batch-fill counters of evicted coalescing layers, so
     /// [`SearchService::stats`] stays monotone across evictions.
     retired_eval: Mutex<CoalesceStats>,
+    /// Per-backend evaluation caches (`None` ⇒ caching disabled). May
+    /// be shared across shards by a [`crate::ServeCluster`].
+    cache: Option<Arc<CacheRegistry>>,
+    /// Whether this service owns `cache` and should report its counters
+    /// in [`SearchService::stats`]. Cluster shards share one registry
+    /// and report zeros here — the cluster reports the shared totals
+    /// once, so folding shard stats never double counts.
+    cache_owned: bool,
     counters: Counters,
 }
 
@@ -241,8 +288,25 @@ pub struct SearchService {
 impl SearchService {
     /// Spawn the worker pool.
     pub fn new(cfg: ServeConfig) -> Self {
+        Self::with_cache_registry(cfg, None)
+    }
+
+    /// Spawn the worker pool, optionally plugging in a cache registry
+    /// shared with other services (how a [`crate::ServeCluster`] makes
+    /// one backend's cache span every shard). With `None`, the service
+    /// builds its own registry iff [`ServeConfig::eval_cache_bytes`]
+    /// is set.
+    pub(crate) fn with_cache_registry(
+        cfg: ServeConfig,
+        shared_cache: Option<Arc<CacheRegistry>>,
+    ) -> Self {
         assert!(cfg.workers >= 1, "service needs at least one worker");
         assert!(cfg.step_quota >= 1, "step quota must be positive");
+        let cache_owned = shared_cache.is_none();
+        let cache = shared_cache.or_else(|| {
+            cfg.eval_cache_bytes
+                .map(|b| Arc::new(CacheRegistry::new(b, cfg.eval_cache_ttl)))
+        });
         let inner = Arc::new(Inner {
             cfg: cfg.clone(),
             queue: Mutex::new(FairScheduler::new(cfg.class_weights)),
@@ -254,6 +318,8 @@ impl SearchService {
             pool: Mutex::new(Vec::new()),
             coalescers: Mutex::new(Vec::new()),
             retired_eval: Mutex::new(CoalesceStats::default()),
+            cache,
+            cache_owned,
             counters: Counters::default(),
         });
         let workers = (0..cfg.workers)
@@ -273,7 +339,21 @@ impl SearchService {
     /// queued for stepping.
     pub fn submit<G: Game>(&self, req: SearchRequest<G>) -> SearchTicket {
         let cost = session_cost(&req.budget, &req.config);
-        let eval = self.inner.shared_evaluator(req.evaluator);
+        // The cache is keyed by the *backend* identity, captured before
+        // the coalescing wrap replaces the Arc — so sessions share hits
+        // whether or not their backend coalesces.
+        let backend = self
+            .inner
+            .cache
+            .is_some()
+            .then(|| Arc::clone(&req.evaluator));
+        let mut eval = self.inner.shared_evaluator(req.evaluator);
+        if let (Some(reg), Some(backend)) = (&self.inner.cache, backend) {
+            // Cache outside, coalescer inside: hits are answered from
+            // memory without waking the batch layer; only misses enter
+            // the shared cross-session batch.
+            eval = Arc::new(CachedEvaluator::new(eval, reg.cache_for(&backend)));
+        }
         let engine: Engine<G> = if req.scheme == Scheme::Serial {
             let pooled = self.inner.pool.lock().unwrap().pop();
             let searcher = match pooled {
@@ -337,6 +417,12 @@ impl SearchService {
             eval.batches += s.batches;
             eval.samples += s.samples;
         }
+        let cache = if self.inner.cache_owned {
+            self.cache_stats().unwrap_or_default()
+        } else {
+            // Shared (cluster-owned) registry: the cluster reports it.
+            CacheStats::default()
+        };
         ServiceStats {
             sessions_completed: self
                 .inner
@@ -352,6 +438,28 @@ impl SearchService {
             playouts: self.inner.counters.playouts.load(Ordering::Relaxed),
             eval_batches: eval.batches,
             eval_samples: eval.samples,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            cache_bytes: cache.bytes,
+        }
+    }
+
+    /// Raw evaluation-cache counters across this service's per-backend
+    /// caches; `None` when caching is disabled. Reports the registry's
+    /// totals even when the registry is cluster-shared (unlike
+    /// [`SearchService::stats`], which then defers to the cluster).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.inner.cache.as_ref().map(|r| r.stats())
+    }
+
+    /// Invalidate every cached evaluation (O(1) per backend: an epoch
+    /// bump, no scan). Call after swapping model weights *in place*
+    /// behind a backend `Arc` that keeps its identity; backends
+    /// replaced by a *new* `Arc` are invalidated automatically.
+    pub fn invalidate_eval_cache(&self) {
+        if let Some(reg) = &self.inner.cache {
+            reg.invalidate_all();
         }
     }
 }

@@ -165,6 +165,7 @@ fn weighted_fair_shares_converge_to_class_weights() {
         max_pooled: 4,
         coalesce_window: Duration::ZERO,
         class_weights: weights,
+        ..Default::default()
     });
     let eval = uniform();
     let submit = |priority: Priority| {
@@ -212,6 +213,7 @@ fn weighted_fair_holds_with_multiple_workers() {
         max_pooled: 8,
         coalesce_window: Duration::ZERO,
         class_weights: weights,
+        ..Default::default()
     });
     let eval = uniform();
     let submit = |priority: Priority| {
@@ -446,4 +448,47 @@ fn dropping_the_cluster_resolves_outstanding_tickets() {
         assert!(t.wait().stats.playouts < 500_000);
         assert_eq!(t.status(), TicketStatus::Cancelled);
     }
+}
+
+#[test]
+fn cluster_cache_is_shared_across_shards() {
+    let cluster = ServeCluster::new(ClusterConfig {
+        shards: 2,
+        shard: ServeConfig {
+            eval_cache_bytes: Some(8 << 20),
+            ..shard_cfg(1, 32)
+        },
+        admission: None,
+    });
+    let eval = uniform();
+    // Warm the cache through the front door (affinity parks the backend
+    // on one shard).
+    let t = cluster
+        .submit(SearchRequest::new(TicTacToe::new(), Arc::clone(&eval) as Arc<_>).config(cfg(200)))
+        .unwrap();
+    assert_eq!(t.wait().stats.playouts, 200);
+    let warmed_on = t.shard();
+    let cold = cluster.stats();
+    assert!(cold.cache.misses > 0, "cold run records misses");
+    // Replay the identical search on the *other* shard directly: the
+    // registry spans shards, so shard 0's work is shard 1's hit.
+    let other = 1 - warmed_on;
+    let t = cluster
+        .shard(other)
+        .submit(SearchRequest::new(TicTacToe::new(), Arc::clone(&eval) as Arc<_>).config(cfg(200)));
+    assert_eq!(t.wait().stats.playouts, 200);
+    let st = cluster.stats();
+    assert!(
+        st.cache.hits > 0,
+        "other shard must hit the shared cache: {:?}",
+        st.cache
+    );
+    // Shard-local stats carry zero cache counters (the registry is
+    // cluster-owned), and total() folds the shared counters in once.
+    for per in &st.per_shard {
+        assert_eq!(per.cache_hits, 0);
+        assert_eq!(per.cache_misses, 0);
+    }
+    assert_eq!(st.total().cache_hits, st.cache.hits);
+    assert_eq!(st.total().cache_misses, st.cache.misses);
 }

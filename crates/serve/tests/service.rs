@@ -311,3 +311,127 @@ fn cross_session_coalescing_fills_larger_batches_than_serial() {
         "concurrent sessions must coalesce: mean batch {multi_mean}"
     );
 }
+
+/// Backend that counts how many samples actually reach it, so cache
+/// hits are visible as saved inference work.
+struct CountingBackend {
+    input_len: usize,
+    actions: usize,
+    samples: std::sync::atomic::AtomicU64,
+}
+
+impl CountingBackend {
+    fn for_tictactoe() -> Self {
+        let g = TicTacToe::new();
+        CountingBackend {
+            input_len: g.encoded_len(),
+            actions: g.action_space(),
+            samples: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    fn samples(&self) -> u64 {
+        self.samples.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl BatchEvaluator for CountingBackend {
+    fn input_len(&self) -> usize {
+        self.input_len
+    }
+    fn action_space(&self) -> usize {
+        self.actions
+    }
+    fn evaluate_batch(&self, inputs: &[&[f32]], out: &mut [EvalOutput]) {
+        self.samples
+            .fetch_add(inputs.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        for o in out.iter_mut() {
+            o.priors.clear();
+            o.priors.resize(self.actions, 1.0 / self.actions as f32);
+            o.value = 0.0;
+        }
+    }
+}
+
+fn cached_service(cache_bytes: Option<usize>) -> SearchService {
+    SearchService::new(ServeConfig {
+        workers: 2,
+        step_quota: 32,
+        max_pooled: 8,
+        coalesce_window: Duration::from_millis(5),
+        eval_cache_bytes: cache_bytes,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn eval_cache_answers_repeated_positions_from_memory() {
+    let s = cached_service(Some(8 << 20));
+    let eval = Arc::new(CountingBackend::for_tictactoe());
+    // Warm: a deterministic serial search from the root evaluates a
+    // fixed set of positions, all misses.
+    let t = s
+        .submit(SearchRequest::new(TicTacToe::new(), Arc::clone(&eval) as Arc<_>).config(cfg(200)));
+    assert_eq!(t.wait().stats.playouts, 200);
+    let warm = s.stats();
+    // Even the first run can hit: tictactoe reaches the same position
+    // by different move orders, and the cache serves those too.
+    assert!(warm.cache_misses > 0, "cold run must record misses");
+    assert!(warm.cache_bytes > 0, "entries are resident");
+    let cold_samples = eval.samples();
+    // Replay the identical request: the same positions come straight
+    // from the cache and the backend sees (almost) no new samples.
+    let t = s
+        .submit(SearchRequest::new(TicTacToe::new(), Arc::clone(&eval) as Arc<_>).config(cfg(200)));
+    assert_eq!(t.wait().stats.playouts, 200);
+    let st = s.stats();
+    assert!(st.cache_hits > warm.cache_hits, "warm run must hit: {st:?}");
+    assert!(st.cache_hit_rate() > 0.0);
+    assert_eq!(
+        eval.samples(),
+        cold_samples,
+        "a fully warmed identical search must not touch the backend"
+    );
+    assert!(s.cache_stats().is_some());
+}
+
+#[test]
+fn eval_cache_disabled_by_default_and_reports_zeros() {
+    let s = cached_service(None);
+    let eval = Arc::new(CountingBackend::for_tictactoe());
+    for _ in 0..2 {
+        let t = s.submit(
+            SearchRequest::new(TicTacToe::new(), Arc::clone(&eval) as Arc<_>).config(cfg(120)),
+        );
+        assert_eq!(t.wait().stats.playouts, 120);
+    }
+    let st = s.stats();
+    assert_eq!(st.cache_hits, 0);
+    assert_eq!(st.cache_misses, 0);
+    assert_eq!(st.cache_bytes, 0);
+    assert_eq!(st.cache_hit_rate(), 0.0);
+    assert!(s.cache_stats().is_none(), "no registry when disabled");
+}
+
+#[test]
+fn eval_cache_invalidation_forces_fresh_evaluations() {
+    let s = cached_service(Some(8 << 20));
+    let eval = Arc::new(CountingBackend::for_tictactoe());
+    let submit = || {
+        let t = s.submit(
+            SearchRequest::new(TicTacToe::new(), Arc::clone(&eval) as Arc<_>).config(cfg(150)),
+        );
+        t.wait()
+    };
+    submit();
+    let cold_samples = eval.samples();
+    submit();
+    assert_eq!(eval.samples(), cold_samples, "warm replay is free");
+    // Simulate an in-place weight swap: every cached answer is stale.
+    s.invalidate_eval_cache();
+    submit();
+    assert!(
+        eval.samples() > cold_samples,
+        "invalidated cache must re-evaluate"
+    );
+}

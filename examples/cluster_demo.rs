@@ -3,6 +3,8 @@
 //! is served across shards (backend affinity keeps same-model sessions
 //! together), the overflow is shed with explicit `retry_after` hints,
 //! and one session's progress is consumed as a push-style stream.
+//! A second, identical burst then replays against the warm evaluation
+//! cache shared by every shard, showing the hit rate and latency drop.
 //!
 //! Run: `cargo run --release --example cluster_demo`
 
@@ -33,6 +35,7 @@ fn main() {
             workers: 2,
             step_quota: 32,
             coalesce_window: Duration::from_millis(2),
+            eval_cache_bytes: Some(64 << 20),
             ..Default::default()
         },
         admission: Some(AdmissionConfig {
@@ -110,15 +113,51 @@ fn main() {
         "\n{:<12} {:>6} {:>10} {:>10}",
         "request", "shard", "playouts", "latency"
     );
+    let mut cold_lat = Vec::new();
     for (name, t) in &placed {
         let r = t.wait();
+        let lat = t.latency().unwrap_or_default();
+        if name.starts_with("gomoku") {
+            cold_lat.push(lat);
+        }
         println!(
             "{name:<12} {:>6} {:>10} {:>8.1}ms",
             t.shard(),
             r.stats.playouts,
-            t.latency().unwrap_or_default().as_secs_f64() * 1e3,
+            lat.as_secs_f64() * 1e3,
         );
     }
+
+    // Replay the same gomoku burst: every shard shares one evaluation
+    // cache per backend, so the warm pass answers most NN evaluations
+    // from memory regardless of which shard the session lands on.
+    let cold_hits = cluster.stats().cache.hits;
+    // Honor the rate limiter's back-off before re-offering the burst.
+    std::thread::sleep(Duration::from_millis(600));
+    let mut warm_lat = Vec::new();
+    for _ in 0..cold_lat.len() {
+        let req = SearchRequest::new(gomoku_root.clone(), Arc::clone(&gomoku_eval))
+            .config(cfg(256))
+            .budget(Budget::playouts(256))
+            .priority(Priority::Normal);
+        if let Ok(t) = cluster.submit(req) {
+            t.wait();
+            warm_lat.push(t.latency().unwrap_or_default());
+        }
+    }
+    let mean_ms = |v: &[Duration]| {
+        v.iter().map(|d| d.as_secs_f64()).sum::<f64>() / v.len().max(1) as f64 * 1e3
+    };
+    let cache = cluster.stats().cache;
+    println!(
+        "\nwarm replay: {} sessions, cache hit rate {:.1}% ({} new hits), \
+         mean latency {:.1}ms → {:.1}ms",
+        warm_lat.len(),
+        cache.hit_rate() * 100.0,
+        cache.hits - cold_hits,
+        mean_ms(&cold_lat),
+        mean_ms(&warm_lat),
+    );
 
     let stats = cluster.stats();
     let total = stats.total();

@@ -1,0 +1,129 @@
+//! Cross-game property tests for [`games::Game::hash`] — the key the
+//! evaluation cache ([`mcts::EvalCache`]) and the per-tree transposition
+//! index stand on. For every board game the hash must identify exactly
+//! (stone layout, side to move):
+//!
+//! * **No collisions**: positions with different stones or a different
+//!   mover never share a hash across thousands of random playouts.
+//! * **Side-to-move sensitivity**: every ply flips the mover, so all
+//!   prefixes of a game hash distinctly — a position is never confused
+//!   with itself one ply earlier (same-ish stones, other player).
+//! * **Transposition invariance**: permuted move orders reaching the
+//!   same position hash identically (what makes reuse possible at all).
+
+use games::connect4::Connect4;
+use games::gomoku::Gomoku;
+use games::hex::Hex;
+use games::tictactoe::TicTacToe;
+use games::{Action, Game, Player, Status};
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Everything a positional hash must identify, reconstructed from the
+/// move list the driver itself played: which player owns each occupied
+/// action-cell (for Connect-4, each (column, level) cell) plus the side
+/// to move. Move-order metadata such as `last_move` is deliberately
+/// excluded — hashes are positional.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct Canonical {
+    stones: Vec<(u16, u16, Player)>,
+    to_move: Player,
+}
+
+fn canonical_from_moves(moves: &[Action], stacked: bool, final_to_move: Player) -> Canonical {
+    let mut heights: HashMap<u16, u16> = HashMap::new();
+    let mut stones: Vec<(u16, u16, Player)> = Vec::with_capacity(moves.len());
+    let mut mover = Player::Black;
+    for &a in moves {
+        let level = if stacked {
+            let h = heights.entry(a).or_insert(0);
+            *h += 1;
+            *h
+        } else {
+            0
+        };
+        stones.push((a, level, mover));
+        mover = mover.other();
+    }
+    stones.sort_unstable_by_key(|&(a, l, p)| (a, l, p.index()));
+    Canonical {
+        stones,
+        to_move: final_to_move,
+    }
+}
+
+/// Random playout recording (hash, canonical) at every ply; asserts
+/// prefix-distinctness along the way.
+fn playout<G: Game>(
+    mut g: G,
+    stacked: bool,
+    seed: u64,
+    book: &mut HashMap<u64, Canonical>,
+) -> Result<(), String> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut moves: Vec<Action> = Vec::new();
+    let mut prefix_hashes = std::collections::HashSet::new();
+    prop_assert!(prefix_hashes.insert(g.hash()));
+    while g.status() == Status::Ongoing {
+        let acts = g.legal_actions();
+        let &a = acts.choose(&mut rng).unwrap();
+        g.apply(a);
+        moves.push(a);
+        prop_assert!(
+            prefix_hashes.insert(g.hash()),
+            "side-to-move/prefix ambiguity: ply {} repeats a hash",
+            moves.len()
+        );
+        let key = canonical_from_moves(&moves, stacked, g.to_move());
+        if let Some(prev) = book.insert(g.hash(), key.clone()) {
+            prop_assert_eq!(prev, key, "cross-playout hash collision");
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same-hash positions are the same position, for every game, over
+    /// many independent playouts per case. Hash spaces are per game
+    /// type (the cache keys per backend), so each game gets its own
+    /// collision book.
+    #[test]
+    fn hashes_identify_positions_across_games(seed in 0u64..2_000) {
+        let (mut ttt, mut c4) = (HashMap::new(), HashMap::new());
+        let (mut hex, mut gomoku) = (HashMap::new(), HashMap::new());
+        for i in 0..4u64 {
+            let s = seed * 4 + i;
+            playout(TicTacToe::new(), false, s, &mut ttt)?;
+            playout(Connect4::new(), true, s, &mut c4)?;
+            playout(Hex::new(4), false, s, &mut hex)?;
+            playout(Gomoku::new(5, 4), false, s, &mut gomoku)?;
+        }
+    }
+
+    /// A random pair of transposed openings — X's first and second
+    /// stones placed in either order around the same O reply — reaches
+    /// the same position and must reach the same hash.
+    #[test]
+    fn transposed_openings_share_a_hash(x1 in 0u16..9, o in 0u16..9, x2 in 0u16..9) {
+        prop_assume!(x1 != o && x2 != o && x1 != x2);
+        let seq_a = [x1, o, x2];
+        let seq_b = [x2, o, x1];
+        let run = |seq: [u16; 3]| {
+            let mut g = TicTacToe::new();
+            for a in seq {
+                if g.status() != Status::Ongoing {
+                    return None;
+                }
+                g.apply(a);
+            }
+            Some(g.hash())
+        };
+        if let (Some(ha), Some(hb)) = (run(seq_a), run(seq_b)) {
+            prop_assert_eq!(ha, hb, "transposed orders must agree");
+        }
+    }
+}

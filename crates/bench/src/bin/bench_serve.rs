@@ -1,5 +1,5 @@
 //! Emit `BENCH_serve.json`: the machine-readable serving-performance
-//! record, five axes:
+//! record, six axes:
 //!
 //! * `sessions` — requests/second and p50/p99 submit→finish latency of
 //!   one multi-session [`serve::SearchService`] as the number of
@@ -15,7 +15,13 @@
 //!   batch of the same burst served serially vs multiplexed;
 //! * `cache` — the evaluation-cache figure: the same repeated-position
 //!   workload served with [`serve::ServeConfig::eval_cache_bytes`] off
-//!   vs on, with the realized hit rate and the throughput ratio.
+//!   vs on, with the realized hit rate and the throughput ratio;
+//! * `degradation` — the fault-containment figure: a two-backend
+//!   cluster where one backend is wrapped in a seeded fault injector
+//!   swept over 0% / 5% / 20% fault rates while a healthy co-resident
+//!   backend serves the same interleaved burst. Reports per-backend
+//!   req/s, p99 latency and done/failed/shed counts; the healthy
+//!   column staying flat across the sweep is the containment evidence.
 //!
 //! Usage: `bench_serve [--smoke] [out_path]` (default
 //! `BENCH_serve.json`). `--smoke` (or env `BENCH_SMOKE=1`) shrinks the
@@ -26,11 +32,11 @@
 
 use games::gomoku::Gomoku;
 use games::Game;
-use mcts::{BatchEvaluator, Budget, MctsConfig, NnEvaluator};
+use mcts::{BatchEvaluator, Budget, ChaosConfig, ChaosEvaluator, MctsConfig, NnEvaluator};
 use nn::{NetConfig, PolicyValueNet};
 use serve::{
     AdmissionConfig, ClusterConfig, LeastLoaded, SearchRequest, SearchService, ServeCluster,
-    ServeConfig,
+    ServeConfig, TicketStatus,
 };
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -283,6 +289,122 @@ fn run_cache_axis(
     }
 }
 
+/// Per-backend figures from one degradation run.
+struct ClassFigures {
+    requests_per_s: f64,
+    p99_ms: f64,
+    done: usize,
+    failed: usize,
+    shed: usize,
+}
+
+struct DegradationFigures {
+    faulty: ClassFigures,
+    healthy: ClassFigures,
+}
+
+/// Drive a two-backend cluster — one backend wrapped in a seeded fault
+/// injector at `fault_p` (transient evaluator errors plus a smaller
+/// share of outright panics), one healthy co-resident backend — with an
+/// interleaved burst. Retry, circuit-breaker and panic-quarantine
+/// machinery absorb the faults; the healthy backend's throughput and
+/// tail latency staying flat across the fault sweep is the
+/// fault-containment acceptance figure.
+fn run_degradation(
+    workers: usize,
+    per_class: usize,
+    playouts: usize,
+    fault_p: f64,
+    net: &Arc<PolicyValueNet>,
+    root: &Gomoku,
+) -> DegradationFigures {
+    let cluster = ServeCluster::new(ClusterConfig {
+        shards: 2,
+        shard: ServeConfig {
+            backoff_base: Duration::from_micros(200),
+            breaker_threshold: 4,
+            breaker_cooldown: Duration::from_millis(50),
+            ..serve_cfg((workers.max(2)) / 2)
+        },
+        admission: None, // only breaker sheds reject here
+    });
+    let faulty: Arc<dyn BatchEvaluator> = Arc::new(ChaosEvaluator::new(
+        Arc::new(NnEvaluator::with_batch_hint(Arc::clone(net), workers)),
+        ChaosConfig {
+            seed: 0xFA_1175 ^ (fault_p * 1e3) as u64,
+            // Mostly transient errors (absorbed by the retry budget and
+            // the breaker), a small share of outright panics
+            // (quarantined, unretryable) — a session compounds the
+            // per-call panic rate over every batch it evaluates.
+            panic_p: fault_p * 0.1,
+            error_p: fault_p,
+            latency_p: 0.0,
+            latency: Duration::ZERO,
+            stale_p: 0.0,
+        },
+    ));
+    let healthy: Arc<dyn BatchEvaluator> =
+        Arc::new(NnEvaluator::with_batch_hint(Arc::clone(net), workers));
+
+    let t0 = Instant::now();
+    // (is_faulty, ticket): a `None` ticket was shed at submit because
+    // that backend's breaker was open.
+    let mut submitted = Vec::with_capacity(2 * per_class);
+    for i in 0..2 * per_class {
+        let on_faulty = i % 2 == 0;
+        let eval = if on_faulty { &faulty } else { &healthy };
+        submitted.push((
+            on_faulty,
+            cluster.submit(request(root, eval, playouts)).ok(),
+        ));
+    }
+    let mut lat: [Vec<Duration>; 2] = [Vec::new(), Vec::new()];
+    let mut done = [0usize; 2];
+    let mut failed = [0usize; 2];
+    let mut shed = [0usize; 2];
+    for (on_faulty, ticket) in &submitted {
+        let class = usize::from(*on_faulty);
+        match ticket {
+            None => shed[class] += 1,
+            Some(t) => {
+                let outcome = t.wait_timeout(Duration::from_secs(120));
+                assert!(
+                    outcome.is_finished(),
+                    "degradation session never terminated"
+                );
+                match t.status() {
+                    TicketStatus::Done => {
+                        done[class] += 1;
+                        if let Some(l) = t.latency() {
+                            lat[class].push(l);
+                        }
+                    }
+                    _ => failed[class] += 1,
+                }
+            }
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let mut class = |idx: usize| -> ClassFigures {
+        let p99_ms = if lat[idx].is_empty() {
+            0.0
+        } else {
+            percentiles(&mut lat[idx]).1
+        };
+        ClassFigures {
+            requests_per_s: done[idx] as f64 / wall,
+            p99_ms,
+            done: done[idx],
+            failed: failed[idx],
+            shed: shed[idx],
+        }
+    };
+    DegradationFigures {
+        healthy: class(0),
+        faulty: class(1),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke =
@@ -292,6 +414,19 @@ fn main() {
         .find(|a| !a.starts_with("--"))
         .cloned()
         .unwrap_or_else(|| "BENCH_serve.json".to_string());
+
+    // The degradation axis injects panics into worker threads by
+    // design; keep the default hook's per-panic noise out of the bench
+    // log while leaving every other thread's panics loud.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let in_worker = std::thread::current()
+            .name()
+            .is_some_and(|n| n.starts_with("serve-worker"));
+        if !in_worker {
+            default_hook(info);
+        }
+    }));
 
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -306,12 +441,13 @@ fn main() {
 
     let root = midgame();
     let net = Arc::new(PolicyValueNet::new(NetConfig::for_board(4, 9, 9, 81), 2));
-    let eval: Arc<dyn BatchEvaluator> = Arc::new(NnEvaluator::with_batch_hint(net, workers));
+    let eval: Arc<dyn BatchEvaluator> =
+        Arc::new(NnEvaluator::with_batch_hint(Arc::clone(&net), workers));
 
     let mut json = String::from("{\n");
     let _ = writeln!(
         json,
-        "  \"meta\": {{\"schema_version\": 3, \"workers\": {workers}, \"host_cores\": {host_cores}, \"playouts_per_request\": {playouts}, \"board\": \"gomoku9\", \"evaluator\": \"nn\", \"smoke\": {smoke}}},"
+        "  \"meta\": {{\"schema_version\": 4, \"workers\": {workers}, \"host_cores\": {host_cores}, \"playouts_per_request\": {playouts}, \"board\": \"gomoku9\", \"evaluator\": \"nn\", \"smoke\": {smoke}}},"
     );
 
     // --- throughput/latency vs concurrent session count -------------------
@@ -399,7 +535,7 @@ fn main() {
     let c = run_cache_axis(workers, cache_rounds, playouts, &eval);
     let _ = writeln!(
         json,
-        "  \"cache\": {{\"requests\": {}, \"distinct_positions\": {}, \"rounds\": {}, \"cache_off_requests_per_s\": {:.2}, \"cache_on_requests_per_s\": {:.2}, \"hit_rate\": {:.4}, \"speedup\": {:.3}}}",
+        "  \"cache\": {{\"requests\": {}, \"distinct_positions\": {}, \"rounds\": {}, \"cache_off_requests_per_s\": {:.2}, \"cache_on_requests_per_s\": {:.2}, \"hit_rate\": {:.4}, \"speedup\": {:.3}}},",
         c.requests,
         c.distinct_positions,
         c.rounds,
@@ -418,6 +554,46 @@ fn main() {
         c.on_rps / c.off_rps,
         c.hit_rate * 100.0
     );
+
+    // --- fault containment: degradation under injected faults -------------
+    // One backend faulted at 0% / 5% / 20%, one healthy co-resident
+    // backend on the same cluster; the healthy column must stay flat.
+    let deg_per_class = if smoke { 3 } else { 8 };
+    let deg_playouts = playouts.min(96);
+    let fault_rates = [0.0, 0.05, 0.20];
+    json.push_str("  \"degradation\": [\n");
+    for (i, &fault_p) in fault_rates.iter().enumerate() {
+        let d = run_degradation(workers, deg_per_class, deg_playouts, fault_p, &net, &root);
+        let _ = writeln!(
+            json,
+            "    {{\"fault_p\": {fault_p}, \"sessions_per_backend\": {deg_per_class}, \"faulty_requests_per_s\": {:.2}, \"faulty_p99_ms\": {:.2}, \"faulty_done\": {}, \"faulty_failed\": {}, \"faulty_shed\": {}, \"healthy_requests_per_s\": {:.2}, \"healthy_p99_ms\": {:.2}, \"healthy_done\": {}, \"healthy_failed\": {}, \"healthy_shed\": {}}}{}",
+            d.faulty.requests_per_s,
+            d.faulty.p99_ms,
+            d.faulty.done,
+            d.faulty.failed,
+            d.faulty.shed,
+            d.healthy.requests_per_s,
+            d.healthy.p99_ms,
+            d.healthy.done,
+            d.healthy.failed,
+            d.healthy.shed,
+            if i + 1 < fault_rates.len() { "," } else { "" }
+        );
+        eprintln!(
+            "degradation @ {:>4.0}% faults: faulty {:>6.2} req/s p99 {:>8.2} ms ({} done / {} failed / {} shed) | healthy {:>6.2} req/s p99 {:>8.2} ms ({} done / {} failed)",
+            fault_p * 100.0,
+            d.faulty.requests_per_s,
+            d.faulty.p99_ms,
+            d.faulty.done,
+            d.faulty.failed,
+            d.faulty.shed,
+            d.healthy.requests_per_s,
+            d.healthy.p99_ms,
+            d.healthy.done,
+            d.healthy.failed,
+        );
+    }
+    json.push_str("  ]\n");
 
     json.push_str("}\n");
     std::fs::write(&out_path, &json).expect("write bench output");

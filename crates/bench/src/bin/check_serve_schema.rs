@@ -7,10 +7,10 @@
 //! ~100-line recursive-descent JSON parser — strict enough for the
 //! bench writer's output (objects, arrays, strings, numbers, bools).
 //!
-//! Checked schema (v3):
+//! Checked schema (v4):
 //! * top level: objects `meta`, `shedding`, `coalescing`, `cache`;
-//!   arrays `sessions`, `cluster` (non-empty);
-//! * `meta.schema_version == 3`, `meta.workers`/`host_cores`/
+//!   arrays `sessions`, `cluster`, `degradation` (non-empty);
+//! * `meta.schema_version == 4`, `meta.workers`/`host_cores`/
 //!   `playouts_per_request` numeric;
 //! * every `sessions[i]`: numeric `concurrent`, `requests_per_s`,
 //!   `p50_ms`, `p99_ms`, `mean_eval_batch`;
@@ -23,7 +23,14 @@
 //!   `multi_mean_eval_batch`;
 //! * `cache`: numeric `requests`, `distinct_positions`, `rounds`,
 //!   `cache_off_requests_per_s`, `cache_on_requests_per_s`,
-//!   `hit_rate` (in [0, 1]), `speedup`.
+//!   `hit_rate` (in [0, 1]), `speedup`;
+//! * every `degradation[i]`: numeric `fault_p` (in [0, 1]),
+//!   `sessions_per_backend`, and the per-backend columns
+//!   `faulty_requests_per_s`, `faulty_p99_ms`, `faulty_done`,
+//!   `faulty_failed`, `faulty_shed`, `healthy_requests_per_s`,
+//!   `healthy_p99_ms`, `healthy_done`, `healthy_failed`,
+//!   `healthy_shed`, with each backend's
+//!   `done + failed + shed == sessions_per_backend`.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -245,8 +252,8 @@ fn check(doc: &Json) -> Result<String, String> {
 
     let meta = obj(field(root, "$", "meta")?, "$.meta")?;
     let version = num(meta, "$.meta", "schema_version")?;
-    if version != 3.0 {
-        return Err(format!("$.meta.schema_version: expected 3, got {version}"));
+    if version != 4.0 {
+        return Err(format!("$.meta.schema_version: expected 4, got {version}"));
     }
     for key in ["workers", "host_cores", "playouts_per_request"] {
         num(meta, "$.meta", key)?;
@@ -309,9 +316,50 @@ fn check(doc: &Json) -> Result<String, String> {
         return Err(format!("$.cache.hit_rate: {hit_rate} outside [0, 1]"));
     }
 
+    let degradation = check_each(
+        root,
+        "degradation",
+        &[
+            "fault_p",
+            "sessions_per_backend",
+            "faulty_requests_per_s",
+            "faulty_p99_ms",
+            "faulty_done",
+            "faulty_failed",
+            "faulty_shed",
+            "healthy_requests_per_s",
+            "healthy_p99_ms",
+            "healthy_done",
+            "healthy_failed",
+            "healthy_shed",
+        ],
+    )?;
+    if let Json::Arr(points) = field(root, "$", "degradation")? {
+        for (i, point) in points.iter().enumerate() {
+            let path = format!("$.degradation[{i}]");
+            let m = obj(point, &path)?;
+            let fault_p = num(m, &path, "fault_p")?;
+            if !(0.0..=1.0).contains(&fault_p) {
+                return Err(format!("{path}.fault_p: {fault_p} outside [0, 1]"));
+            }
+            let per_backend = num(m, &path, "sessions_per_backend")?;
+            for backend in ["faulty", "healthy"] {
+                let total = num(m, &path, &format!("{backend}_done"))?
+                    + num(m, &path, &format!("{backend}_failed"))?
+                    + num(m, &path, &format!("{backend}_shed"))?;
+                if total != per_backend {
+                    return Err(format!(
+                        "{path}: {backend} done + failed + shed ({total}) != sessions_per_backend ({per_backend})"
+                    ));
+                }
+            }
+        }
+    }
+
     Ok(format!(
-        "schema v3 ok: {sessions} session points, {cluster} cluster points, \
-         shedding {admitted}/{offered} admitted, cache hit rate {hit_rate:.2}"
+        "schema v4 ok: {sessions} session points, {cluster} cluster points, \
+         shedding {admitted}/{offered} admitted, cache hit rate {hit_rate:.2}, \
+         {degradation} degradation points"
     ))
 }
 
@@ -343,7 +391,7 @@ mod tests {
     use super::*;
 
     const GOOD: &str = r#"{
-      "meta": {"schema_version": 3, "workers": 2, "host_cores": 1, "playouts_per_request": 48, "board": "gomoku9", "evaluator": "nn", "smoke": true},
+      "meta": {"schema_version": 4, "workers": 2, "host_cores": 1, "playouts_per_request": 48, "board": "gomoku9", "evaluator": "nn", "smoke": true},
       "sessions": [
         {"concurrent": 1, "requests_per_s": 10.0, "p50_ms": 1.0, "p99_ms": 2.0, "mean_eval_batch": 1.0}
       ],
@@ -352,7 +400,11 @@ mod tests {
       ],
       "shedding": {"offered": 6, "admitted": 2, "shed": 4, "mean_retry_after_ms": 12.0, "drain_ms": 80.0},
       "coalescing": {"burst": 4, "serial_mean_eval_batch": 1.0, "multi_mean_eval_batch": 1.8},
-      "cache": {"requests": 6, "distinct_positions": 3, "rounds": 2, "cache_off_requests_per_s": 80.0, "cache_on_requests_per_s": 110.0, "hit_rate": 0.5, "speedup": 1.375}
+      "cache": {"requests": 6, "distinct_positions": 3, "rounds": 2, "cache_off_requests_per_s": 80.0, "cache_on_requests_per_s": 110.0, "hit_rate": 0.5, "speedup": 1.375},
+      "degradation": [
+        {"fault_p": 0.0, "sessions_per_backend": 3, "faulty_requests_per_s": 9.0, "faulty_p99_ms": 3.0, "faulty_done": 3, "faulty_failed": 0, "faulty_shed": 0, "healthy_requests_per_s": 9.1, "healthy_p99_ms": 3.0, "healthy_done": 3, "healthy_failed": 0, "healthy_shed": 0},
+        {"fault_p": 0.2, "sessions_per_backend": 3, "faulty_requests_per_s": 4.0, "faulty_p99_ms": 9.0, "faulty_done": 1, "faulty_failed": 1, "faulty_shed": 1, "healthy_requests_per_s": 9.0, "healthy_p99_ms": 3.1, "healthy_done": 3, "healthy_failed": 0, "healthy_shed": 0}
+      ]
     }"#;
 
     #[test]
@@ -369,8 +421,22 @@ mod tests {
 
     #[test]
     fn wrong_schema_version_fails() {
-        let broken = GOOD.replace("\"schema_version\": 3", "\"schema_version\": 2");
+        let broken = GOOD.replace("\"schema_version\": 4", "\"schema_version\": 3");
         assert!(check(&parse(&broken).unwrap()).is_err());
+    }
+
+    #[test]
+    fn missing_degradation_section_fails() {
+        let broken = GOOD.replace("\"degradation\"", "\"decoration\"");
+        let err = check(&parse(&broken).unwrap()).unwrap_err();
+        assert!(err.contains("degradation"), "{err}");
+    }
+
+    #[test]
+    fn degradation_accounting_must_balance() {
+        let broken = GOOD.replace("\"faulty_done\": 1", "\"faulty_done\": 2");
+        let err = check(&parse(&broken).unwrap()).unwrap_err();
+        assert!(err.contains("sessions_per_backend"), "{err}");
     }
 
     #[test]

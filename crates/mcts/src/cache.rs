@@ -33,9 +33,10 @@
 //! error `1/131070` per entry), which PUCT tolerates freely.
 
 use crate::evaluator::{BatchEvaluator, EvalOutput};
+use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration for an [`EvalCache`].
@@ -272,7 +273,7 @@ impl EvalCache {
         let mixed = mix(key, epoch);
         let (shard, base) = self.locate(mixed);
         let now = self.now_ms();
-        let mut guard = self.shards[shard].lock().unwrap();
+        let mut guard = self.shards[shard].lock();
         for slot in &mut guard.slots[base..base + self.ways] {
             if slot.key == key && slot.epoch == epoch && !slot.priors.is_empty() {
                 if let Some(ttl) = self.ttl_ms {
@@ -306,7 +307,7 @@ impl EvalCache {
         let mixed = mix(key, epoch);
         let (shard, base) = self.locate(mixed);
         let now = self.now_ms();
-        let mut guard = self.shards[shard].lock().unwrap();
+        let mut guard = self.shards[shard].lock();
         let bucket = &mut guard.slots[base..base + self.ways];
         let mut victim = 0usize;
         let mut victim_dead = false;

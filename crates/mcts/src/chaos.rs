@@ -1,0 +1,461 @@
+//! Deterministic, seeded fault injection for chaos testing.
+//!
+//! [`ChaosEvaluator`] wraps any [`BatchEvaluator`] and injects faults —
+//! panics, typed transient [`EvalError`]s, latency spikes, and
+//! wrong-epoch (garbled-but-well-formed) outputs — with configured
+//! probabilities. [`ChaosGame`] wraps any [`Game`] and injects panics
+//! into `apply`, modelling a buggy environment implementation.
+//!
+//! Every decision is a pure function of `(seed, call index)` via a
+//! splitmix64 hash, so a run with a fixed seed injects the *same* fault
+//! sequence per call index on every execution — no global RNG state, no
+//! wall clock. With all probabilities at zero the wrappers are exact
+//! pass-throughs, so a fault-free chaos run is bit-identical to running
+//! the inner backend directly.
+//!
+//! [`ChaosConfig::from_env`] reads `CHAOS_SEED`, `CHAOS_PANIC_P`,
+//! `CHAOS_ERROR_P`, `CHAOS_LATENCY_P`, `CHAOS_LATENCY_MS` and
+//! `CHAOS_STALE_P`, letting CI and demos turn the dials without code
+//! changes.
+
+use crate::error::EvalError;
+use crate::evaluator::{BatchEvaluator, EvalOutput};
+use games::{Action, Game, Player, Status};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Fault-injection probabilities and determinism seed.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Seed mixed into every per-call fault decision.
+    pub seed: u64,
+    /// Probability that a call panics (plain `panic!`, as a buggy
+    /// backend would).
+    pub panic_p: f64,
+    /// Probability that a call returns a transient [`EvalError`].
+    pub error_p: f64,
+    /// Probability that a call stalls for [`ChaosConfig::latency`]
+    /// before proceeding normally.
+    pub latency_p: f64,
+    /// Stall duration for latency-spike faults.
+    pub latency: Duration,
+    /// Probability that a call succeeds but returns wrong-epoch output:
+    /// well-formed (normalized priors, value in `[-1, 1]`) yet computed
+    /// from a deterministic garble rather than the real backend.
+    pub stale_p: f64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0x5EED_CAFE,
+            panic_p: 0.0,
+            error_p: 0.0,
+            latency_p: 0.0,
+            latency: Duration::from_millis(2),
+            stale_p: 0.0,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// Build a config from `CHAOS_*` environment variables, with the
+    /// defaults above for anything unset or unparsable.
+    pub fn from_env() -> Self {
+        fn num<T: std::str::FromStr>(key: &str, default: T) -> T {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        }
+        let d = ChaosConfig::default();
+        ChaosConfig {
+            seed: num("CHAOS_SEED", d.seed),
+            panic_p: num("CHAOS_PANIC_P", d.panic_p),
+            error_p: num("CHAOS_ERROR_P", d.error_p),
+            latency_p: num("CHAOS_LATENCY_P", d.latency_p),
+            latency: Duration::from_millis(num("CHAOS_LATENCY_MS", d.latency.as_millis() as u64)),
+            stale_p: num("CHAOS_STALE_P", d.stale_p),
+        }
+    }
+
+    /// True when every fault probability is zero (pure pass-through).
+    pub fn is_quiet(&self) -> bool {
+        self.panic_p == 0.0 && self.error_p == 0.0 && self.latency_p == 0.0 && self.stale_p == 0.0
+    }
+}
+
+/// splitmix64: a high-quality 64-bit mixer, used as a stateless
+/// counter-mode RNG — `mix(seed ^ index)` is the index-th draw.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Uniform draw in `[0, 1)` for `(seed, index)`.
+#[inline]
+fn unit(seed: u64, index: u64) -> f64 {
+    (splitmix64(seed ^ index.wrapping_mul(0xA24B_AED4_963E_E407)) >> 11) as f64
+        / (1u64 << 53) as f64
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fault {
+    None,
+    Panic,
+    Error,
+    Latency,
+    Stale,
+}
+
+impl ChaosConfig {
+    /// The fault (if any) injected on call `index`. One cascaded draw:
+    /// the per-call fault rate is the sum of the probabilities.
+    fn roll(&self, index: u64) -> Fault {
+        if self.is_quiet() {
+            return Fault::None;
+        }
+        let r = unit(self.seed, index);
+        let mut edge = self.panic_p;
+        if r < edge {
+            return Fault::Panic;
+        }
+        edge += self.error_p;
+        if r < edge {
+            return Fault::Error;
+        }
+        edge += self.latency_p;
+        if r < edge {
+            return Fault::Latency;
+        }
+        edge += self.stale_p;
+        if r < edge {
+            return Fault::Stale;
+        }
+        Fault::None
+    }
+}
+
+/// Counters of faults a chaos wrapper has actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosCounters {
+    /// Total calls observed (fault decisions made).
+    pub calls: u64,
+    /// Injected panics.
+    pub panics: u64,
+    /// Injected typed errors.
+    pub errors: u64,
+    /// Injected latency stalls.
+    pub delays: u64,
+    /// Injected wrong-epoch outputs.
+    pub stale: u64,
+}
+
+/// A [`BatchEvaluator`] that injects seeded faults around an inner
+/// backend. See the module docs for the fault model.
+pub struct ChaosEvaluator {
+    inner: Arc<dyn BatchEvaluator>,
+    cfg: ChaosConfig,
+    calls: AtomicU64,
+    panics: AtomicU64,
+    errors: AtomicU64,
+    delays: AtomicU64,
+    stale: AtomicU64,
+}
+
+impl ChaosEvaluator {
+    /// Wrap `inner` with the given fault schedule.
+    pub fn new(inner: Arc<dyn BatchEvaluator>, cfg: ChaosConfig) -> Self {
+        ChaosEvaluator {
+            inner,
+            cfg,
+            calls: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            delays: AtomicU64::new(0),
+            stale: AtomicU64::new(0),
+        }
+    }
+
+    /// Faults injected so far.
+    pub fn counters(&self) -> ChaosCounters {
+        ChaosCounters {
+            calls: self.calls.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            delays: self.delays.load(Ordering::Relaxed),
+            stale: self.stale.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Deterministically garble `out` into well-formed but wrong
+    /// results, as a backend serving a stale model epoch would.
+    fn garble(&self, index: u64, out: &mut [EvalOutput]) {
+        let a = self.inner.action_space();
+        for (i, o) in out.iter_mut().enumerate() {
+            o.priors.clear();
+            let mut sum = 0.0f32;
+            for j in 0..a {
+                let w = (splitmix64(self.cfg.seed ^ index ^ ((i as u64) << 32) ^ j as u64) >> 40)
+                    as f32
+                    + 1.0;
+                o.priors.push(w);
+                sum += w;
+            }
+            for p in &mut o.priors {
+                *p /= sum;
+            }
+            o.value = (unit(self.cfg.seed ^ 0xDEAD, index ^ i as u64) * 2.0 - 1.0) as f32;
+        }
+    }
+}
+
+impl BatchEvaluator for ChaosEvaluator {
+    fn input_len(&self) -> usize {
+        self.inner.input_len()
+    }
+
+    fn action_space(&self) -> usize {
+        self.inner.action_space()
+    }
+
+    fn evaluate_batch(&self, inputs: &[&[f32]], out: &mut [EvalOutput]) {
+        if let Err(e) = self.try_evaluate_batch(inputs, out) {
+            // Infallible entry point: a typed fault becomes a panic, as
+            // a fault-unaware caller would experience it.
+            panic!("chaos: {e}");
+        }
+    }
+
+    fn try_evaluate_batch(
+        &self,
+        inputs: &[&[f32]],
+        out: &mut [EvalOutput],
+    ) -> Result<(), EvalError> {
+        let n = self.calls.fetch_add(1, Ordering::Relaxed);
+        match self.cfg.roll(n) {
+            Fault::Panic => {
+                self.panics.fetch_add(1, Ordering::Relaxed);
+                panic!("chaos: injected evaluator panic (call {n})");
+            }
+            Fault::Error => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                return Err(EvalError::transient(format!(
+                    "chaos: injected evaluator error (call {n})"
+                )));
+            }
+            Fault::Latency => {
+                self.delays.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(self.cfg.latency);
+            }
+            Fault::Stale => {
+                self.stale.fetch_add(1, Ordering::Relaxed);
+                self.garble(n, out);
+                return Ok(());
+            }
+            Fault::None => {}
+        }
+        self.inner.try_evaluate_batch(inputs, out)
+    }
+
+    fn preferred_batch(&self) -> usize {
+        self.inner.preferred_batch()
+    }
+
+    fn coalesces_internally(&self) -> bool {
+        self.inner.coalesces_internally()
+    }
+}
+
+/// A [`Game`] wrapper that injects seeded panics into `apply`,
+/// modelling a buggy environment implementation crashing mid-playout.
+///
+/// Clones share one fault counter, so a session's playouts draw from a
+/// single deterministic schedule no matter how often the scheme clones
+/// the state.
+pub struct ChaosGame<G: Game> {
+    inner: G,
+    seed: u64,
+    panic_p: f64,
+    state: Arc<ChaosGameState>,
+}
+
+#[derive(Default)]
+struct ChaosGameState {
+    applies: AtomicU64,
+    panics: AtomicU64,
+}
+
+impl<G: Game> ChaosGame<G> {
+    /// Wrap `inner`; each `apply` panics with probability `panic_p`.
+    pub fn new(inner: G, seed: u64, panic_p: f64) -> Self {
+        ChaosGame {
+            inner,
+            seed,
+            panic_p,
+            state: Arc::new(ChaosGameState::default()),
+        }
+    }
+
+    /// `apply` calls observed across all clones.
+    pub fn applies(&self) -> u64 {
+        self.state.applies.load(Ordering::Relaxed)
+    }
+
+    /// Panics injected across all clones.
+    pub fn panics(&self) -> u64 {
+        self.state.panics.load(Ordering::Relaxed)
+    }
+}
+
+impl<G: Game> Clone for ChaosGame<G> {
+    fn clone(&self) -> Self {
+        ChaosGame {
+            inner: self.inner.clone(),
+            seed: self.seed,
+            panic_p: self.panic_p,
+            state: Arc::clone(&self.state),
+        }
+    }
+}
+
+impl<G: Game> Game for ChaosGame<G> {
+    fn action_space(&self) -> usize {
+        self.inner.action_space()
+    }
+
+    fn encoded_shape(&self) -> (usize, usize, usize) {
+        self.inner.encoded_shape()
+    }
+
+    fn to_move(&self) -> Player {
+        self.inner.to_move()
+    }
+
+    fn status(&self) -> Status {
+        self.inner.status()
+    }
+
+    fn is_legal(&self, a: Action) -> bool {
+        self.inner.is_legal(a)
+    }
+
+    fn legal_actions_into(&self, out: &mut Vec<Action>) {
+        self.inner.legal_actions_into(out)
+    }
+
+    fn apply(&mut self, a: Action) {
+        let n = self.state.applies.fetch_add(1, Ordering::Relaxed);
+        if self.panic_p > 0.0 && unit(self.seed ^ 0x6A3E, n) < self.panic_p {
+            self.state.panics.fetch_add(1, Ordering::Relaxed);
+            panic!("chaos: injected game panic in apply (call {n})");
+        }
+        self.inner.apply(a)
+    }
+
+    fn encode(&self, out: &mut [f32]) {
+        self.inner.encode(out)
+    }
+
+    fn hash(&self) -> u64 {
+        self.inner.hash()
+    }
+
+    fn move_count(&self) -> usize {
+        self.inner.move_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::UniformEvaluator;
+    use games::tictactoe::TicTacToe;
+
+    fn uniform() -> Arc<dyn BatchEvaluator> {
+        Arc::new(UniformEvaluator::new(4, 3))
+    }
+
+    #[test]
+    fn quiet_chaos_is_a_pure_pass_through() {
+        let chaos = ChaosEvaluator::new(uniform(), ChaosConfig::default());
+        let input = [0.0f32; 4];
+        let mut out = [EvalOutput::default()];
+        for _ in 0..200 {
+            chaos
+                .try_evaluate_batch(&[&input], &mut out)
+                .expect("quiet chaos never fails");
+            assert_eq!(out[0].priors, vec![1.0 / 3.0; 3]);
+        }
+        let c = chaos.counters();
+        assert_eq!((c.panics, c.errors, c.delays, c.stale), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn fault_schedule_is_seed_deterministic() {
+        let cfg = ChaosConfig {
+            error_p: 0.3,
+            ..Default::default()
+        };
+        let run = |cfg: &ChaosConfig| {
+            let chaos = ChaosEvaluator::new(uniform(), cfg.clone());
+            let input = [0.0f32; 4];
+            let mut out = [EvalOutput::default()];
+            (0..100)
+                .map(|_| chaos.try_evaluate_batch(&[&input], &mut out).is_err())
+                .collect::<Vec<_>>()
+        };
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a, b, "same seed, same fault sequence");
+        assert!(
+            a.iter().any(|&e| e),
+            "30% error rate must fire in 100 calls"
+        );
+        let other = run(&ChaosConfig {
+            seed: cfg.seed + 1,
+            ..cfg.clone()
+        });
+        assert_ne!(a, other, "different seed, different schedule");
+    }
+
+    #[test]
+    fn stale_outputs_are_well_formed() {
+        let cfg = ChaosConfig {
+            stale_p: 1.0,
+            ..Default::default()
+        };
+        let chaos = ChaosEvaluator::new(uniform(), cfg);
+        let input = [0.0f32; 4];
+        let mut out = [EvalOutput::default(), EvalOutput::default()];
+        chaos
+            .try_evaluate_batch(&[&input, &input], &mut out)
+            .unwrap();
+        for o in &out {
+            assert_eq!(o.priors.len(), 3);
+            assert!((o.priors.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+            assert!((-1.0..=1.0).contains(&o.value));
+            assert_ne!(o.priors, vec![1.0 / 3.0; 3], "stale must differ");
+        }
+        assert_eq!(chaos.counters().stale, 1, "one stale fault per call");
+    }
+
+    #[test]
+    fn chaos_game_panics_on_schedule_and_shares_state_across_clones() {
+        let g = ChaosGame::new(TicTacToe::new(), 7, 1.0);
+        let mut clone = g.clone();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| clone.apply(0)));
+        assert!(r.is_err());
+        assert_eq!(g.panics(), 1, "clone's panic visible on the original");
+
+        let quiet = ChaosGame::new(TicTacToe::new(), 7, 0.0);
+        let mut q = quiet.clone();
+        q.apply(4);
+        assert_eq!(q.status(), Status::Ongoing);
+        assert_eq!(quiet.applies(), 1);
+    }
+}

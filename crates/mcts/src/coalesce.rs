@@ -13,10 +13,12 @@
 //! inference): `N` rollout workers produce one `[N, C, H, W]` forward
 //! pass instead of `N` single-sample passes.
 
+use crate::error::SearchError;
 use crate::evaluator::{BatchEvaluator, EvalOutput, Evaluator};
+use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Upper bound on the leader's wait for peers to join a batch. The
@@ -36,9 +38,13 @@ struct RoundDone {
     slots: Vec<Option<EvalOutput>>,
     /// Followers that have not collected yet; entry removed at 0.
     remaining: usize,
-    /// True when the leader's `evaluate_batch` panicked: followers
-    /// re-panic instead of waiting forever for results that never come.
-    poisoned: bool,
+    /// Set when the leader's `evaluate_batch` panicked: followers
+    /// re-raise the *typed* error ([`SearchError::from_panic`] of the
+    /// leader's payload) instead of waiting forever for results that
+    /// never come — so a fault classified upstream (e.g. the serve
+    /// layer's `EvaluatorFailed`) keeps its type across the coalescing
+    /// boundary.
+    poison: Option<SearchError>,
 }
 
 struct Round {
@@ -125,7 +131,7 @@ impl CoalescingEvaluator {
     /// Finished rounds currently awaiting follower pickup (diagnostics;
     /// returns to 0 once all concurrent callers have collected).
     pub fn rounds_pending(&self) -> usize {
-        self.state.lock().unwrap().done.len()
+        self.state.lock().done.len()
     }
 
     /// Lifetime batch-fill accounting (rounds + samples served).
@@ -171,11 +177,11 @@ impl Evaluator for CoalescingEvaluator {
     }
 
     fn evaluate(&self, input: &[f32]) -> (Vec<f32>, f32) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock();
         // A full round that its leader hasn't sealed yet must not grow
         // past max_batch; wait for the seal to open the next epoch.
         while st.inputs.len() >= self.max_batch {
-            st = self.joined.wait(st).unwrap();
+            st = self.joined.wait(st);
         }
         let epoch = st.epoch;
         let index = st.inputs.len();
@@ -191,7 +197,7 @@ impl Evaluator for CoalescingEvaluator {
                 if now >= deadline {
                     break;
                 }
-                let (guard, _) = self.joined.wait_timeout(st, deadline - now).unwrap();
+                let (guard, _) = self.joined.wait_timeout(st, deadline - now);
                 st = guard;
             }
             // Seal the round: later arrivals start the next epoch. Wake
@@ -218,7 +224,7 @@ impl Evaluator for CoalescingEvaluator {
                     .fetch_add(followers as u64 + 1, Ordering::Relaxed);
             }
 
-            let mut st = self.state.lock().unwrap();
+            let mut st = self.state.lock();
             match outcome {
                 Ok(out) => {
                     let mut results = out.into_iter();
@@ -233,7 +239,7 @@ impl Evaluator for CoalescingEvaluator {
                             RoundDone {
                                 slots,
                                 remaining: followers,
-                                poisoned: false,
+                                poison: None,
                             },
                         );
                         self.finished.notify_all();
@@ -248,7 +254,7 @@ impl Evaluator for CoalescingEvaluator {
                             RoundDone {
                                 slots: Vec::new(),
                                 remaining: followers,
-                                poisoned: true,
+                                poison: Some(SearchError::from_panic(panic.as_ref())),
                             },
                         );
                         self.finished.notify_all();
@@ -261,10 +267,9 @@ impl Evaluator for CoalescingEvaluator {
             // Follower: park until the leader publishes this round.
             loop {
                 if let Some(round) = st.done.get_mut(&epoch) {
-                    let mine = if round.poisoned {
-                        None
-                    } else {
-                        Some(round.slots[index].take().expect("result taken once"))
+                    let mine = match round.poison.clone() {
+                        Some(err) => Err(err),
+                        None => Ok(round.slots[index].take().expect("result taken once")),
                     };
                     round.remaining -= 1;
                     if round.remaining == 0 {
@@ -272,11 +277,13 @@ impl Evaluator for CoalescingEvaluator {
                     }
                     drop(st);
                     match mine {
-                        Some(o) => return (o.priors, o.value),
-                        None => panic!("coalesced evaluation panicked in the leader thread"),
+                        Ok(o) => return (o.priors, o.value),
+                        // Re-raise with the type intact: the serve
+                        // supervisor downcasts this back to SearchError.
+                        Err(err) => std::panic::panic_any(err),
                     }
                 }
-                st = self.finished.wait(st).unwrap();
+                st = self.finished.wait(st);
             }
         }
     }
@@ -398,6 +405,60 @@ mod tests {
         });
         assert!(results.iter().all(|&panicked| panicked));
         assert_eq!(c.rounds_pending(), 0, "poisoned round must be reclaimed");
+    }
+
+    #[test]
+    fn typed_leader_errors_reach_followers_typed() {
+        /// Raises a typed SearchError on every batch, the way the serve
+        /// layer's resilience wrapper does after exhausting retries.
+        struct TypedFailure;
+        impl BatchEvaluator for TypedFailure {
+            fn input_len(&self) -> usize {
+                4
+            }
+            fn action_space(&self) -> usize {
+                2
+            }
+            fn evaluate_batch(&self, _inputs: &[&[f32]], _out: &mut [EvalOutput]) {
+                std::panic::panic_any(SearchError::EvaluatorFailed {
+                    reason: "device reset".into(),
+                });
+            }
+            fn preferred_batch(&self) -> usize {
+                4
+            }
+        }
+        let c = Arc::new(CoalescingEvaluator::with_window(
+            Arc::new(TypedFailure),
+            4,
+            Duration::from_millis(50),
+        ));
+        let errors: Vec<SearchError> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    s.spawn(move || {
+                        let payload =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                c.evaluate(&[0.0; 4])
+                            }))
+                            .expect_err("every caller must observe the failure");
+                        SearchError::from_panic(payload.as_ref())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for e in errors {
+            assert_eq!(
+                e,
+                SearchError::EvaluatorFailed {
+                    reason: "device reset".into()
+                },
+                "type must survive both leader and follower paths"
+            );
+        }
+        assert_eq!(c.rounds_pending(), 0);
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! Typed failure surface of a search run.
+//!
+//! Search schemes themselves stay infallible — the paper's hot loops
+//! have no error plumbing, and adding `Result` to every `step()` would
+//! tax the fault-free path. Instead, failures travel as **typed panic
+//! payloads**: fault-aware layers (the serve crate's resilient
+//! evaluator wrapper, the coalescing leader) raise a [`SearchError`]
+//! via [`std::panic::panic_any`], and the serve supervisor catches the
+//! unwind at the worker-slice boundary and recovers the typed error
+//! with [`SearchError::from_panic`]. Plain `panic!`s from game or
+//! evaluator code classify as [`SearchError::Panicked`] with the
+//! stringified payload.
+//!
+//! [`EvalError`] is the `Result`-typed error for
+//! [`crate::BatchEvaluator::try_evaluate_batch`]: backends that can
+//! fail return it instead of panicking, and mark failures transient
+//! (worth retrying) or permanent.
+
+use std::any::Any;
+use std::fmt;
+use std::time::Duration;
+
+/// Terminal failure of a search session, as observed on its ticket.
+///
+/// This is the payload of the serve layer's `TicketStatus::Failed`
+/// terminal state; every variant names the containment boundary that
+/// produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchError {
+    /// The session's scheme, game, or evaluator panicked mid-slice. The
+    /// worker caught the unwind; `payload` is the stringified panic
+    /// message (or a placeholder for non-string payloads).
+    Panicked {
+        /// Stringified panic payload.
+        payload: String,
+    },
+    /// The evaluator backend reported typed failures and the retry
+    /// budget was exhausted without a successful call.
+    EvaluatorFailed {
+        /// The last failure's reason string.
+        reason: String,
+    },
+    /// The run overshot its deadline plus the supervision grace period
+    /// and was reaped by the watchdog (the scheme was stuck and could
+    /// not be cancelled cooperatively).
+    DeadlineExceeded,
+    /// The run was cancelled while in a failure path (e.g. mid-retry);
+    /// ordinary user cancellation still reports `TicketStatus::Cancelled`.
+    Cancelled,
+    /// The backend's circuit breaker is open: persistent failures
+    /// tripped it and the cooldown has not elapsed.
+    BackendUnavailable {
+        /// Time until the breaker next admits a probe, if known.
+        retry_after: Option<Duration>,
+    },
+}
+
+impl SearchError {
+    /// Recover a typed error from a caught panic payload.
+    ///
+    /// Fault-aware layers raise `SearchError` values through
+    /// [`std::panic::panic_any`]; anything else (a plain `panic!` in
+    /// game/scheme/evaluator code) classifies as [`SearchError::Panicked`]
+    /// with its message stringified.
+    pub fn from_panic(payload: &(dyn Any + Send)) -> SearchError {
+        if let Some(e) = payload.downcast_ref::<SearchError>() {
+            return e.clone();
+        }
+        if let Some(s) = payload.downcast_ref::<String>() {
+            return SearchError::Panicked { payload: s.clone() };
+        }
+        if let Some(s) = payload.downcast_ref::<&'static str>() {
+            return SearchError::Panicked {
+                payload: (*s).to_string(),
+            };
+        }
+        SearchError::Panicked {
+            payload: "opaque panic payload".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::Panicked { payload } => write!(f, "session panicked: {payload}"),
+            SearchError::EvaluatorFailed { reason } => {
+                write!(f, "evaluator failed after retries: {reason}")
+            }
+            SearchError::DeadlineExceeded => {
+                write!(f, "deadline exceeded (reaped by watchdog)")
+            }
+            SearchError::Cancelled => write!(f, "cancelled"),
+            SearchError::BackendUnavailable { retry_after } => match retry_after {
+                Some(d) => write!(f, "backend unavailable, retry in {:?}", d),
+                None => write!(f, "backend unavailable"),
+            },
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
+
+/// `Result`-typed failure of one evaluator batch call.
+///
+/// Returned by [`crate::BatchEvaluator::try_evaluate_batch`]. The
+/// `transient` flag steers the serve layer's retry policy: transient
+/// failures are retried with capped exponential backoff, permanent
+/// ones fail the session immediately (both feed the backend's circuit
+/// breaker).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError {
+    /// Human-readable failure reason.
+    pub reason: String,
+    /// Whether retrying the same call may succeed.
+    pub transient: bool,
+}
+
+impl EvalError {
+    /// A failure worth retrying (timeouts, transport hiccups).
+    pub fn transient(reason: impl Into<String>) -> Self {
+        EvalError {
+            reason: reason.into(),
+            transient: true,
+        }
+    }
+
+    /// A failure that will not resolve by retrying (bad model, shape
+    /// mismatch, backend gone).
+    pub fn permanent(reason: impl Into<String>) -> Self {
+        EvalError {
+            reason: reason.into(),
+            transient: false,
+        }
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = if self.transient {
+            "transient"
+        } else {
+            "permanent"
+        };
+        write!(f, "{kind} evaluation failure: {}", self.reason)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn typed_payloads_survive_the_unwind() {
+        let err = SearchError::EvaluatorFailed {
+            reason: "device reset".into(),
+        };
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            std::panic::panic_any(err.clone());
+        }))
+        .unwrap_err();
+        assert_eq!(SearchError::from_panic(caught.as_ref()), err);
+    }
+
+    #[test]
+    fn plain_panics_classify_as_panicked() {
+        let caught = catch_unwind(|| panic!("boom {}", 7)).unwrap_err();
+        assert_eq!(
+            SearchError::from_panic(caught.as_ref()),
+            SearchError::Panicked {
+                payload: "boom 7".into()
+            }
+        );
+        let caught = catch_unwind(|| std::panic::panic_any(42u32)).unwrap_err();
+        assert!(matches!(
+            SearchError::from_panic(caught.as_ref()),
+            SearchError::Panicked { .. }
+        ));
+    }
+
+    #[test]
+    fn eval_error_constructors_set_transience() {
+        assert!(EvalError::transient("t").transient);
+        assert!(!EvalError::permanent("p").transient);
+        let shown = EvalError::transient("queue full").to_string();
+        assert!(shown.contains("transient") && shown.contains("queue full"));
+    }
+}

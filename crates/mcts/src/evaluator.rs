@@ -22,6 +22,7 @@
 //! concurrent single-sample callers into shared batches, see
 //! [`crate::coalesce::CoalescingEvaluator`].
 
+use crate::error::EvalError;
 use accel::Device;
 use crossbeam::channel::bounded;
 use games::Game;
@@ -71,6 +72,26 @@ pub trait BatchEvaluator: Send + Sync {
     /// callers should *not* add another batching layer on top.
     fn coalesces_internally(&self) -> bool {
         false
+    }
+
+    /// Fallible variant of [`BatchEvaluator::evaluate_batch`].
+    ///
+    /// Backends that can fail (remote devices, chaos injectors) override
+    /// this to report a typed [`EvalError`] instead of panicking; the
+    /// serve layer's resilience wrapper retries transient failures and
+    /// feeds the backend's circuit breaker. The default delegates to the
+    /// infallible path and always succeeds, so existing implementations
+    /// are unchanged and the fault-free path costs nothing extra.
+    ///
+    /// On `Err`, the contents of `out` are unspecified; callers must not
+    /// consume them.
+    fn try_evaluate_batch(
+        &self,
+        inputs: &[&[f32]],
+        out: &mut [EvalOutput],
+    ) -> Result<(), EvalError> {
+        self.evaluate_batch(inputs, out);
+        Ok(())
     }
 
     /// Convenience: evaluate one sample through the batch path.

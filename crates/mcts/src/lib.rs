@@ -82,9 +82,11 @@ pub mod arena;
 pub mod budget;
 pub mod builder;
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod coalesce;
 pub mod config;
+pub mod error;
 pub mod evaluator;
 pub mod leaf_parallel;
 pub mod local;
@@ -103,9 +105,11 @@ pub use arena::NodeState;
 pub use budget::{Budget, StepOutcome};
 pub use builder::SearchBuilder;
 pub use cache::{CacheStats, CachedEvaluator, EvalCache, EvalCacheConfig};
+pub use chaos::{ChaosConfig, ChaosCounters, ChaosEvaluator, ChaosGame};
 pub use client::{Completion, EvalClient, Ticket};
 pub use coalesce::{CoalesceStats, CoalescingEvaluator};
 pub use config::{LockKind, MctsConfig, VirtualLoss};
+pub use error::{EvalError, SearchError};
 pub use evaluator::{
     AccelEvaluator, BatchEvaluator, EvalOutput, Evaluator, LegacyEvaluator, NnEvaluator,
     SingleSample, UniformEvaluator,

@@ -36,8 +36,11 @@
 //! adm.release(model_key); // session finished: pending slot freed
 //! ```
 
+use crate::jittered;
 use mcts::BatchEvaluator;
-use std::sync::{Arc, Mutex, Weak};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 /// Per-model admission limits (see module docs). The same limits apply
@@ -84,6 +87,11 @@ pub enum RejectReason {
     /// how long the caller waits. Resubmit with a smaller playout
     /// budget (or split the work across sessions).
     TooLarge,
+    /// The model's circuit breaker is open: the backend kept failing
+    /// and is cooling down (see [`crate::ServeConfig::breaker_threshold`]).
+    /// Transient — `retry_after` covers the remaining cooldown, after
+    /// which a probe decides whether the model is healthy again.
+    Unhealthy,
 }
 
 /// An explicit load-shedding outcome: the request was **not** queued.
@@ -124,6 +132,13 @@ impl std::fmt::Display for Rejection {
                     "request shed (cost exceeds the admission burst); lower the budget"
                 )
             }
+            RejectReason::Unhealthy => {
+                write!(
+                    f,
+                    "request shed (backend circuit breaker open); retry after {:?}",
+                    self.retry_after
+                )
+            }
         }
     }
 }
@@ -152,6 +167,10 @@ struct ModelState {
 pub struct AdmissionController {
     cfg: AdmissionConfig,
     models: Mutex<Vec<ModelState>>,
+    /// Salt sequence for `retry_after` jitter: hints handed to a burst
+    /// of simultaneously shed clients are spread over a bounded band so
+    /// they don't all come back in the same instant.
+    jitter_seq: AtomicU64,
 }
 
 impl AdmissionController {
@@ -165,6 +184,7 @@ impl AdmissionController {
         AdmissionController {
             cfg,
             models: Mutex::new(Vec::new()),
+            jitter_seq: AtomicU64::new(0),
         }
     }
 
@@ -217,7 +237,7 @@ impl AdmissionController {
                 retry_after: Duration::ZERO,
             });
         }
-        let mut models = self.models.lock().unwrap();
+        let mut models = self.models.lock();
         // Evict models nothing references anymore (their `Weak` pins
         // the address until this point, so no aliasing window exists).
         models.retain(|m| m.pending > 0 || m.handle.as_ref().is_none_or(|h| h.strong_count() > 0));
@@ -245,13 +265,13 @@ impl AdmissionController {
             // drain at the sustained rate.
             return Err(Rejection {
                 reason: RejectReason::QueueFull,
-                retry_after: clamp_retry(cost_f / self.cfg.playouts_per_sec),
+                retry_after: self.retry_hint(cost_f / self.cfg.playouts_per_sec),
             });
         }
         if m.tokens < cost_f {
             return Err(Rejection {
                 reason: RejectReason::RateLimited,
-                retry_after: clamp_retry((cost_f - m.tokens) / self.cfg.playouts_per_sec),
+                retry_after: self.retry_hint((cost_f - m.tokens) / self.cfg.playouts_per_sec),
             });
         }
         m.tokens -= cost_f;
@@ -263,7 +283,7 @@ impl AdmissionController {
     /// finished (completed or cancelled). Consumed tokens are *not*
     /// refunded — the bucket meters admitted work, not completed work.
     pub fn release(&self, key: usize) {
-        let mut models = self.models.lock().unwrap();
+        let mut models = self.models.lock();
         if let Some(m) = models.iter_mut().find(|m| m.key == key) {
             m.pending = m.pending.saturating_sub(1);
         }
@@ -274,24 +294,27 @@ impl AdmissionController {
     /// evicted once dead and drained, so this stays bounded by the live
     /// model count.
     pub fn tracked_models(&self) -> usize {
-        self.models.lock().unwrap().len()
+        self.models.lock().len()
     }
 
     /// Sessions currently admitted-but-unfinished on model `key`.
     pub fn pending(&self, key: usize) -> usize {
         self.models
             .lock()
-            .unwrap()
             .iter()
             .find(|m| m.key == key)
             .map_or(0, |m| m.pending)
     }
-}
 
-/// Keep retry hints in a band callers can act on: at least 1 ms (never
-/// "retry immediately" while shedding), at most 60 s.
-fn clamp_retry(secs: f64) -> Duration {
-    Duration::from_secs_f64(secs.clamp(1e-3, 60.0))
+    /// Turn an estimated wait into an actionable, decorrelated hint:
+    /// clamped to [1 ms, 60 s] (never "retry immediately" while
+    /// shedding), then jittered upward by as much as 50% so a burst of
+    /// clients shed together does not return as a thundering herd.
+    fn retry_hint(&self, secs: f64) -> Duration {
+        let base = Duration::from_secs_f64(secs.clamp(1e-3, 60.0));
+        let salt = self.jitter_seq.fetch_add(1, Ordering::Relaxed);
+        jittered(base, salt, 0.5)
+    }
 }
 
 #[cfg(test)]
@@ -328,6 +351,29 @@ mod tests {
         assert_eq!(adm.pending(3), 2);
         adm.release(3);
         assert!(adm.try_admit(3, 10).is_ok(), "slot freed by release");
+    }
+
+    #[test]
+    fn retry_hints_are_jittered_within_a_bounded_band() {
+        let adm = ctl(10.0, 100, 100);
+        assert!(adm.try_admit(1, 100).is_ok());
+        let mut hints = Vec::new();
+        for _ in 0..8 {
+            let shed = adm.try_admit(1, 100).unwrap_err();
+            assert_eq!(shed.reason, RejectReason::RateLimited);
+            hints.push(shed.retry_after);
+        }
+        // Deficit ≈ 100 tokens at 10/s ⇒ un-jittered hint ≈ 10 s; the
+        // jitter spreads hints over [hint, 1.5·hint) so clients shed in
+        // the same burst don't come back in the same instant.
+        for h in &hints {
+            assert!(*h >= Duration::from_secs(9), "hint near the deficit: {h:?}");
+            assert!(*h <= Duration::from_secs(16), "bounded above: {h:?}");
+        }
+        let mut uniq = hints.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert!(uniq.len() >= 4, "hints spread, not identical: {hints:?}");
     }
 
     #[test]

@@ -43,15 +43,18 @@
 //! assert_eq!(ticket.wait().stats.playouts, 64);
 //! ```
 
-use crate::admission::{AdmissionConfig, AdmissionController, Rejection};
+use crate::admission::{AdmissionConfig, AdmissionController, RejectReason, Rejection};
 use crate::evalcache::CacheRegistry;
+use crate::health::{BreakerState, HealthRegistry};
 use crate::service::{SearchService, ServeConfig, ServiceStats};
 use crate::session::SearchTicket;
-use crate::{session_cost, SearchRequest};
+use crate::{jittered, session_cost, SearchRequest};
 use games::Game;
 use mcts::{BatchEvaluator, CacheStats};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, Weak};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
 
 /// Cluster sizing: how many shards, how each is provisioned, and the
 /// admission limits applied per model.
@@ -156,6 +159,12 @@ pub struct ClusterStats {
     /// Requests whose cost exceeds the admission burst
     /// ([`crate::RejectReason::TooLarge`] — never admissible as-is).
     pub shed_too_large: u64,
+    /// Requests shed because their backend's circuit breaker is open
+    /// ([`crate::RejectReason::Unhealthy`]): the model kept failing and
+    /// is cooling down, so new sessions are bounced at the front door
+    /// with an honest `retry_after` instead of burning worker time on
+    /// evaluations that would fail fast anyway.
+    pub shed_unhealthy: u64,
     /// Cluster-wide evaluation-cache counters. The cache registry is
     /// shared across every shard (a position evaluated on one shard is
     /// a hit on all of them), so its counters live here rather than in
@@ -169,7 +178,7 @@ pub struct ClusterStats {
 impl ClusterStats {
     /// Total requests shed (all reasons).
     pub fn shed(&self) -> u64 {
-        self.shed_rate_limited + self.shed_queue_full + self.shed_too_large
+        self.shed_rate_limited + self.shed_queue_full + self.shed_too_large + self.shed_unhealthy
     }
 
     /// All shards' counters folded together, including the shared
@@ -232,6 +241,11 @@ pub struct ServeCluster {
     /// position evaluated anywhere is a hit everywhere (`None` ⇒
     /// caching disabled).
     cache: Option<Arc<CacheRegistry>>,
+    /// One health registry shared by every shard, so a backend's
+    /// failure history (and its circuit breaker) is cluster-wide:
+    /// admission sheds for an unhealthy model no matter which shard
+    /// tripped it.
+    health: Arc<HealthRegistry>,
     /// Backend key (evaluator `Arc` address) → home shard. The `Weak`
     /// pins the address against reuse and marks dead backends; entries
     /// with no strong references left are evicted on the next submit.
@@ -240,6 +254,10 @@ pub struct ServeCluster {
     shed_rate_limited: AtomicU64,
     shed_queue_full: AtomicU64,
     shed_too_large: AtomicU64,
+    shed_unhealthy: AtomicU64,
+    /// Salt sequence decorrelating `retry_after` jitter across
+    /// back-to-back unhealthy rejections.
+    jitter_seq: AtomicU64,
 }
 
 impl ServeCluster {
@@ -256,18 +274,28 @@ impl ServeCluster {
             .shard
             .eval_cache_bytes
             .map(|b| Arc::new(CacheRegistry::new(b, cfg.shard.eval_cache_ttl)));
+        let health = Arc::new(HealthRegistry::new(cfg.shard.health_config()));
         ServeCluster {
             shards: (0..cfg.shards)
-                .map(|_| SearchService::with_cache_registry(cfg.shard.clone(), cache.clone()))
+                .map(|_| {
+                    SearchService::with_registries(
+                        cfg.shard.clone(),
+                        cache.clone(),
+                        Some(Arc::clone(&health)),
+                    )
+                })
                 .collect(),
             placement,
             admission: cfg.admission.map(|a| Arc::new(AdmissionController::new(a))),
             cache,
+            health,
             affinity: Mutex::new(Vec::new()),
             admitted: AtomicU64::new(0),
             shed_rate_limited: AtomicU64::new(0),
             shed_queue_full: AtomicU64::new(0),
             shed_too_large: AtomicU64::new(0),
+            shed_unhealthy: AtomicU64::new(0),
+            jitter_seq: AtomicU64::new(0),
         }
     }
 
@@ -281,12 +309,25 @@ impl ServeCluster {
     pub fn submit<G: Game>(&self, req: SearchRequest<G>) -> Result<ClusterTicket, Rejection> {
         let key = Arc::as_ptr(&req.evaluator) as *const () as usize;
         let cost = session_cost(&req.budget, &req.config);
+        // Health gate first: a backend cooling down behind an open
+        // breaker is shed before it spends admission tokens. The check
+        // admits once the breaker is probe-eligible, so the session
+        // that carries the recovery probe still gets through.
+        if let Err(remaining) = self.health.breaker_for(&req.evaluator).check() {
+            self.shed_unhealthy.fetch_add(1, Ordering::Relaxed);
+            let salt = self.jitter_seq.fetch_add(1, Ordering::Relaxed);
+            return Err(Rejection {
+                reason: RejectReason::Unhealthy,
+                retry_after: jittered(remaining.max(Duration::from_millis(1)), salt, 0.5),
+            });
+        }
         if let Some(adm) = &self.admission {
             if let Err(rej) = adm.try_admit_backend(&req.evaluator, cost) {
                 let counter = match rej.reason {
-                    crate::RejectReason::RateLimited => &self.shed_rate_limited,
-                    crate::RejectReason::QueueFull => &self.shed_queue_full,
-                    crate::RejectReason::TooLarge => &self.shed_too_large,
+                    RejectReason::RateLimited => &self.shed_rate_limited,
+                    RejectReason::QueueFull => &self.shed_queue_full,
+                    RejectReason::TooLarge => &self.shed_too_large,
+                    RejectReason::Unhealthy => &self.shed_unhealthy,
                 };
                 counter.fetch_add(1, Ordering::Relaxed);
                 return Err(rej);
@@ -298,7 +339,7 @@ impl ServeCluster {
             .map(|s| s.outstanding_playouts())
             .collect();
         let affinity = {
-            let mut aff = self.affinity.lock().unwrap();
+            let mut aff = self.affinity.lock();
             // Evict homes of dead backends so a long-lived cluster with
             // per-request models neither grows this table without bound
             // nor matches a reused address to a stale home shard.
@@ -309,7 +350,7 @@ impl ServeCluster {
             self.shards.len() - 1, // policy bug must not become an OOB panic
         );
         {
-            let mut aff = self.affinity.lock().unwrap();
+            let mut aff = self.affinity.lock();
             match aff.iter_mut().find(|(k, _, _)| *k == key) {
                 Some(entry) => entry.2 = shard,
                 None => aff.push((key, Arc::downgrade(&req.evaluator), shard)),
@@ -353,9 +394,17 @@ impl ServeCluster {
             shed_rate_limited: self.shed_rate_limited.load(Ordering::Relaxed),
             shed_queue_full: self.shed_queue_full.load(Ordering::Relaxed),
             shed_too_large: self.shed_too_large.load(Ordering::Relaxed),
+            shed_unhealthy: self.shed_unhealthy.load(Ordering::Relaxed),
             cache: self.cache.as_ref().map(|r| r.stats()).unwrap_or_default(),
             per_shard: self.shards.iter().map(|s| s.stats()).collect(),
         }
+    }
+
+    /// Circuit-breaker state of `backend` across the whole cluster
+    /// (every shard shares one health registry). `Closed` for a
+    /// backend that has never failed.
+    pub fn backend_health(&self, backend: &Arc<dyn BatchEvaluator>) -> BreakerState {
+        self.health.breaker_for(backend).state()
     }
 
     /// Invalidate every cached evaluation on every shard at once (an

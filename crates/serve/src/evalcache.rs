@@ -20,7 +20,8 @@
 //!   do not (the memory is gone).
 
 use mcts::{BatchEvaluator, CacheStats, EvalCache, EvalCacheConfig};
-use std::sync::{Arc, Mutex, Weak};
+use parking_lot::Mutex;
+use std::sync::{Arc, Weak};
 use std::time::Duration;
 
 /// One backend's cache record: key (the backend `Arc` address), a
@@ -62,7 +63,7 @@ impl CacheRegistry {
     /// (model swap); recreates only if the action space changed.
     pub(crate) fn cache_for(&self, backend: &Arc<dyn BatchEvaluator>) -> Arc<EvalCache> {
         let key = Arc::as_ptr(backend) as *const () as usize;
-        let mut reg = self.entries.lock().unwrap();
+        let mut reg = self.entries.lock();
         if let Some(pos) = reg.iter().position(|e| e.key == key) {
             if reg[pos].cache.action_space() == backend.action_space() {
                 let e = &mut reg[pos];
@@ -113,14 +114,14 @@ impl CacheRegistry {
     fn retire(&self, cache: &EvalCache) {
         let mut s = cache.stats();
         s.bytes = 0;
-        self.retired.lock().unwrap().merge(&s);
+        self.retired.lock().merge(&s);
     }
 
     /// Aggregate counters over every cache this registry ever created
     /// (monotone except `bytes`, which tracks live residency).
     pub(crate) fn stats(&self) -> CacheStats {
-        let mut out = *self.retired.lock().unwrap();
-        for e in self.entries.lock().unwrap().iter() {
+        let mut out = *self.retired.lock();
+        for e in self.entries.lock().iter() {
             out.merge(&e.cache.stats());
         }
         out
@@ -131,7 +132,7 @@ impl CacheRegistry {
     /// where the backend `Arc` (and thus its address key) survives the
     /// swap.
     pub(crate) fn invalidate_all(&self) {
-        for e in self.entries.lock().unwrap().iter() {
+        for e in self.entries.lock().iter() {
             e.cache.bump_epoch();
         }
     }

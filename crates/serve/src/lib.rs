@@ -113,21 +113,40 @@
 mod admission;
 mod cluster;
 mod evalcache;
+mod health;
 mod scheduler;
 mod service;
 mod session;
+mod supervisor;
 
 pub use admission::{AdmissionConfig, AdmissionController, RejectReason, Rejection};
 pub use cluster::{
     AffinityLeastLoaded, ClusterConfig, ClusterStats, ClusterTicket, LeastLoaded, PlacementPolicy,
     ServeCluster,
 };
+pub use health::{BreakerState, CircuitBreaker};
 pub use service::{SearchService, ServeConfig, ServiceStats};
 pub use session::{ResultStream, SearchTicket, StreamItem, TicketStatus, WaitOutcome};
 
 use games::Game;
 use mcts::{BatchEvaluator, Budget, MctsConfig, Scheme};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Deterministically jitter `base` upward by up to `spread`× of itself:
+/// the result lies in `[base, base·(1+spread))`, keyed by `salt`
+/// (splitmix64 — no global RNG, reproducible under a fixed salt
+/// sequence). Shedding and retry layers use this so that a burst of
+/// clients rejected at the same instant does not come back as a
+/// synchronized thundering herd.
+pub(crate) fn jittered(base: Duration, salt: u64, spread: f64) -> Duration {
+    let mut z = salt.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+    base.mul_f64(1.0 + spread * unit)
+}
 
 /// Scheduling priority of a session. The weighted-fair scheduler grants
 /// each class slices in proportion to its

@@ -1,21 +1,26 @@
 //! The [`SearchService`]: a fixed worker pool multiplexing many
-//! resumable search sessions (see the crate docs for the architecture).
+//! resumable search sessions (see the crate docs for the architecture,
+//! and `serve::supervisor` for the fault-containment layer around the
+//! workers).
 
 use crate::evalcache::CacheRegistry;
+use crate::health::{BreakerState, HealthConfig, HealthRegistry};
 use crate::scheduler::{FairScheduler, SessionEntry};
 use crate::session::{Engine, SearchTicket, SessionShared, TicketStatus, TypedSession};
+use crate::supervisor;
 use crate::{session_cost, Priority, SearchRequest};
 use games::Game;
 use mcts::{
     BatchEvaluator, CacheStats, CachedEvaluator, CoalesceStats, CoalescingEvaluator,
-    ReusableSearch, Scheme, SearchBuilder,
+    ReusableSearch, Scheme, SearchBuilder, SearchError, SearchResult,
 };
+use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Service sizing and scheduling knobs.
+/// Service sizing, scheduling and fault-containment knobs.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Stepper threads. Each steps one session at a time, so this is
@@ -49,6 +54,30 @@ pub struct ServeConfig {
     /// entries until evicted by capacity or epoch bump. Only read when
     /// [`ServeConfig::eval_cache_bytes`] is set.
     pub eval_cache_ttl: Option<Duration>,
+    /// Retries after a *transient* backend failure
+    /// ([`mcts::EvalError::transient`]) before the session fails with
+    /// [`SearchError::EvaluatorFailed`]. Each attempt (initial plus
+    /// retries) counts against the backend's circuit breaker.
+    pub retry_budget: u32,
+    /// First retry backoff; attempt `n` sleeps `backoff_base · 2ⁿ`
+    /// (capped at 250 ms), with deterministic jitter so concurrent
+    /// sessions don't retry in lockstep.
+    pub backoff_base: Duration,
+    /// Consecutive backend failures that trip its circuit breaker
+    /// open. While open, evaluations fail fast with
+    /// [`SearchError::BackendUnavailable`] and cluster admission sheds
+    /// new sessions for that backend.
+    pub breaker_threshold: u32,
+    /// How long an open breaker rests before letting one probe call
+    /// through; the probe's outcome closes or re-opens it.
+    pub breaker_cooldown: Duration,
+    /// Extra wall-clock slack past a session's deadline before the
+    /// watchdog presumes the run stuck, fails its ticket with
+    /// [`SearchError::DeadlineExceeded`] (last partial attached) and
+    /// replaces the wedged worker thread. `None` disables the watchdog
+    /// (a hung evaluator then pins its worker forever). Only sessions
+    /// with a deadline are watched.
+    pub watchdog_grace: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +94,22 @@ impl Default for ServeConfig {
             class_weights: [1, 4, 16],
             eval_cache_bytes: None,
             eval_cache_ttl: None,
+            retry_budget: 2,
+            backoff_base: Duration::from_millis(1),
+            breaker_threshold: 8,
+            breaker_cooldown: Duration::from_millis(250),
+            watchdog_grace: Some(Duration::from_secs(2)),
+        }
+    }
+}
+
+impl ServeConfig {
+    pub(crate) fn health_config(&self) -> HealthConfig {
+        HealthConfig {
+            retry_budget: self.retry_budget,
+            backoff_base: self.backoff_base,
+            breaker_threshold: self.breaker_threshold,
+            breaker_cooldown: self.breaker_cooldown,
         }
     }
 }
@@ -76,6 +121,12 @@ pub struct ServiceStats {
     pub sessions_completed: u64,
     /// Sessions finalized by cancellation (including shutdown).
     pub sessions_cancelled: u64,
+    /// Sessions that ended in a failure: a panic inside scheme code, an
+    /// exhausted evaluator retry budget, an open circuit breaker, or a
+    /// watchdog reap. Their tickets resolve as
+    /// [`TicketStatus::Failed`]; their arenas are quarantined, never
+    /// recycled.
+    pub sessions_failed: u64,
     /// Scheduling slices executed.
     pub steps: u64,
     /// Playouts across all finalized sessions.
@@ -121,6 +172,7 @@ impl ServiceStats {
     pub fn merge(&mut self, other: &ServiceStats) {
         self.sessions_completed += other.sessions_completed;
         self.sessions_cancelled += other.sessions_cancelled;
+        self.sessions_failed += other.sessions_failed;
         self.steps += other.steps;
         self.playouts += other.playouts;
         self.eval_batches += other.eval_batches;
@@ -133,19 +185,20 @@ impl ServiceStats {
 }
 
 #[derive(Default)]
-struct Counters {
-    sessions_completed: AtomicU64,
-    sessions_cancelled: AtomicU64,
-    steps: AtomicU64,
-    playouts: AtomicU64,
+pub(crate) struct Counters {
+    pub(crate) sessions_completed: AtomicU64,
+    pub(crate) sessions_cancelled: AtomicU64,
+    pub(crate) sessions_failed: AtomicU64,
+    pub(crate) steps: AtomicU64,
+    pub(crate) playouts: AtomicU64,
 }
 
-struct Inner {
-    cfg: ServeConfig,
-    queue: Mutex<FairScheduler>,
-    work_cv: Condvar,
-    shutdown: AtomicBool,
-    next_seq: AtomicU64,
+pub(crate) struct Inner {
+    pub(crate) cfg: ServeConfig,
+    pub(crate) queue: Mutex<FairScheduler>,
+    pub(crate) work_cv: Condvar,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) next_seq: AtomicU64,
     next_id: AtomicU64,
     /// Admitted playout budget of sessions submitted and not yet
     /// finalized — the load signal cluster placement steers by.
@@ -153,9 +206,11 @@ struct Inner {
     /// Warmed searchers awaiting the next `Serial` session.
     pool: Mutex<Vec<ReusableSearch>>,
     /// One shared coalescing layer per distinct evaluator backend,
-    /// keyed by the backend `Arc`'s address. Entries no live session
-    /// references are evicted on the next submit (their batch-fill
-    /// counters fold into `retired_eval`).
+    /// keyed by the **original** backend `Arc`'s address (captured
+    /// before the resilience wrap, so every session of a backend lands
+    /// in the same layer). Entries no live session references are
+    /// evicted on the next submit (their batch-fill counters fold into
+    /// `retired_eval`).
     coalescers: Mutex<Vec<(usize, Arc<CoalescingEvaluator>)>>,
     /// Batch-fill counters of evicted coalescing layers, so
     /// [`SearchService::stats`] stays monotone across evictions.
@@ -168,21 +223,38 @@ struct Inner {
     /// and report zeros here — the cluster reports the shared totals
     /// once, so folding shard stats never double counts.
     cache_owned: bool,
-    counters: Counters,
+    /// Per-backend circuit breakers + retry policy. Cluster shards
+    /// share one registry so a backend's failure history is
+    /// cluster-wide, not per shard.
+    pub(crate) health: Arc<HealthRegistry>,
+    /// Live workers' supervision slots, keyed by worker id (the
+    /// watchdog sweeps these).
+    pub(crate) slots: Mutex<Vec<(u64, Arc<supervisor::WorkerSlot>)>>,
+    /// Live workers' join handles. A wedged worker's handle is removed
+    /// (detached) when the watchdog replaces it.
+    handles: Mutex<Vec<(u64, JoinHandle<()>)>>,
+    next_worker: AtomicU64,
+    pub(crate) counters: Counters,
 }
 
 impl Inner {
-    /// Funnel `eval` through the service-wide coalescing layer for its
-    /// backend (creating it on first sight), so sessions submitting the
-    /// same evaluator share inference batches. Backends that gain
-    /// nothing (`preferred_batch() == 1`) or that already coalesce
-    /// internally (accelerator queues) pass through untouched.
-    fn shared_evaluator(&self, eval: Arc<dyn BatchEvaluator>) -> Arc<dyn BatchEvaluator> {
-        if eval.preferred_batch() <= 1 || eval.coalesces_internally() {
-            return eval;
+    /// Funnel a session's evaluator through the service-wide coalescing
+    /// layer for its backend (creating it on first sight), so sessions
+    /// submitting the same evaluator share inference batches. `backend`
+    /// is the identity key (the caller's original `Arc`); `wrapped` is
+    /// what actually evaluates (the resilience wrapper around it).
+    /// Backends that gain nothing (`preferred_batch() == 1`) or that
+    /// already coalesce internally (accelerator queues) skip the layer.
+    fn shared_evaluator(
+        &self,
+        backend: &Arc<dyn BatchEvaluator>,
+        wrapped: Arc<dyn BatchEvaluator>,
+    ) -> Arc<dyn BatchEvaluator> {
+        if backend.preferred_batch() <= 1 || backend.coalesces_internally() {
+            return wrapped;
         }
-        let key = Arc::as_ptr(&eval) as *const () as usize;
-        let mut reg = self.coalescers.lock().unwrap();
+        let key = Arc::as_ptr(backend) as *const () as usize;
+        let mut reg = self.coalescers.lock();
         if let Some((_, c)) = reg.iter().find(|(k, _)| *k == key) {
             return Arc::clone(c) as Arc<dyn BatchEvaluator>;
         }
@@ -195,14 +267,14 @@ impl Inner {
                 return true;
             }
             let s = c.stats();
-            let mut retired = self.retired_eval.lock().unwrap();
+            let mut retired = self.retired_eval.lock();
             retired.batches += s.batches;
             retired.samples += s.samples;
             false
         });
-        let max_batch = eval.preferred_batch().min(self.cfg.workers.max(1));
+        let max_batch = backend.preferred_batch().min(self.cfg.workers.max(1));
         let c = Arc::new(CoalescingEvaluator::with_window(
-            eval,
+            wrapped,
             max_batch,
             self.cfg.coalesce_window,
         ));
@@ -210,11 +282,11 @@ impl Inner {
         c
     }
 
-    /// Finalize one session: publish the final result, update counters,
-    /// release its outstanding load, and return the warmed searcher to
-    /// the pool.
-    fn finalize(&self, entry: SessionEntry, result: mcts::SearchResult, status: TicketStatus) {
-        self.queue.lock().unwrap().retire(entry.priority);
+    /// Finalize one session that ended cleanly (`Done`/`Cancelled`):
+    /// publish the final result, update counters, release its
+    /// outstanding load, and return the warmed searcher to the pool.
+    pub(crate) fn finalize(&self, entry: SessionEntry, result: SearchResult, status: TicketStatus) {
+        self.queue.lock().retire(entry.priority);
         let counter = match status {
             TicketStatus::Cancelled => &self.counters.sessions_cancelled,
             _ => &self.counters.sessions_completed,
@@ -227,52 +299,75 @@ impl Inner {
         entry.shared.finalize(result, status);
         if let Some(mut searcher) = entry.session.reclaim() {
             searcher.reset();
-            let mut pool = self.pool.lock().unwrap();
+            let mut pool = self.pool.lock();
             if pool.len() < self.cfg.max_pooled {
                 pool.push(searcher);
             }
         }
     }
 
-    /// One worker's scheduling loop.
-    fn worker_loop(self: &Arc<Self>) {
-        loop {
-            let mut entry = {
-                let mut q = self.queue.lock().unwrap();
-                loop {
-                    if let Some(e) = q.pop() {
-                        break e;
-                    }
-                    if self.shutdown.load(Ordering::Acquire) {
-                        return;
-                    }
-                    q = self.work_cv.wait(q).unwrap();
-                }
-            };
-            if self.shutdown.load(Ordering::Acquire) || entry.shared.cancel_requested() {
-                // Snapshot BEFORE tearing the run down: the ticket's
-                // final result is the anytime partial at cancellation.
-                let partial = entry.session.partial();
-                entry.session.cancel();
-                self.finalize(entry, partial, TicketStatus::Cancelled);
-                continue;
-            }
-            let outcome = entry.session.step(self.cfg.step_quota);
-            self.counters.steps.fetch_add(1, Ordering::Relaxed);
-            let snapshot = entry.session.partial();
-            match outcome {
-                mcts::StepOutcome::Running => {
-                    entry.shared.publish_partial(snapshot);
-                    entry.seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
-                    self.queue.lock().unwrap().requeue(entry);
-                    self.work_cv.notify_one();
-                }
-                mcts::StepOutcome::Done => {
-                    entry.session.cancel();
-                    self.finalize(entry, snapshot, TicketStatus::Done);
-                }
-            }
+    /// Quarantine one failed session: fail its ticket with the typed
+    /// error (last published partial attached), settle accounting, and
+    /// dispose of the session **without** recycling its arena — a
+    /// panicked run's tree may be arbitrarily corrupt.
+    pub(crate) fn fail(&self, entry: SessionEntry, err: SearchError) {
+        self.queue.lock().retire(entry.priority);
+        self.counters
+            .sessions_failed
+            .fetch_add(1, Ordering::Relaxed);
+        let partial = entry.shared.latest_partial().unwrap_or_default();
+        self.counters
+            .playouts
+            .fetch_add(partial.stats.playouts, Ordering::Relaxed);
+        self.outstanding.fetch_sub(entry.cost, Ordering::Relaxed);
+        entry.shared.finalize(partial, TicketStatus::Failed(err));
+        Self::drop_quarantined(entry);
+    }
+
+    /// Settle a watchdog-reaped session (the wedged worker still owns
+    /// the `SessionEntry`; everything observable is settled through the
+    /// shared state).
+    pub(crate) fn finalize_reaped(
+        &self,
+        shared: &Arc<SessionShared>,
+        priority: Priority,
+        cost: u64,
+    ) {
+        // If the run is merely slow (not wedged), make sure it stops at
+        // its next budget check instead of burning the worker further.
+        shared.request_cancel();
+        self.queue.lock().retire(priority);
+        self.counters
+            .sessions_failed
+            .fetch_add(1, Ordering::Relaxed);
+        let partial = shared.latest_partial().unwrap_or_default();
+        self.counters
+            .playouts
+            .fetch_add(partial.stats.playouts, Ordering::Relaxed);
+        self.outstanding.fetch_sub(cost, Ordering::Relaxed);
+        shared.finalize(partial, TicketStatus::Failed(SearchError::DeadlineExceeded));
+    }
+
+    /// Drop a quarantined session. Its internals may be mid-mutation
+    /// (we unwound out of scheme code), so even `Drop` is fenced; the
+    /// arena is never returned to the warm pool.
+    pub(crate) fn drop_quarantined(entry: SessionEntry) {
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || drop(entry)));
+    }
+
+    /// Replace a wedged worker: detach its join handle (it may never
+    /// return), retire its slot, and spawn a fresh worker so pool
+    /// capacity is restored.
+    pub(crate) fn replace_worker(self: &Arc<Self>, wid: u64) {
+        self.handles.lock().retain(|(id, _)| *id != wid);
+        self.slots.lock().retain(|(id, _)| *id != wid);
+        if self.shutdown.load(Ordering::Acquire) {
+            return;
         }
+        let id = self.next_worker.fetch_add(1, Ordering::Relaxed);
+        let (slot, handle) = supervisor::spawn_worker(self, id);
+        self.slots.lock().push((id, slot));
+        self.handles.lock().push((id, handle));
     }
 }
 
@@ -282,23 +377,26 @@ impl Inner {
 /// joins the workers.
 pub struct SearchService {
     inner: Arc<Inner>,
-    workers: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
 }
 
 impl SearchService {
     /// Spawn the worker pool.
     pub fn new(cfg: ServeConfig) -> Self {
-        Self::with_cache_registry(cfg, None)
+        Self::with_registries(cfg, None, None)
     }
 
-    /// Spawn the worker pool, optionally plugging in a cache registry
-    /// shared with other services (how a [`crate::ServeCluster`] makes
-    /// one backend's cache span every shard). With `None`, the service
-    /// builds its own registry iff [`ServeConfig::eval_cache_bytes`]
-    /// is set.
-    pub(crate) fn with_cache_registry(
+    /// Spawn the worker pool, optionally plugging in cache/health
+    /// registries shared with other services (how a
+    /// [`crate::ServeCluster`] makes one backend's cache — and failure
+    /// history — span every shard). With `None`, the service builds its
+    /// own: a cache registry iff [`ServeConfig::eval_cache_bytes`] is
+    /// set, and always a health registry from this config's breaker
+    /// knobs.
+    pub(crate) fn with_registries(
         cfg: ServeConfig,
         shared_cache: Option<Arc<CacheRegistry>>,
+        shared_health: Option<Arc<HealthRegistry>>,
     ) -> Self {
         assert!(cfg.workers >= 1, "service needs at least one worker");
         assert!(cfg.step_quota >= 1, "step quota must be positive");
@@ -307,6 +405,10 @@ impl SearchService {
             cfg.eval_cache_bytes
                 .map(|b| Arc::new(CacheRegistry::new(b, cfg.eval_cache_ttl)))
         });
+        let health =
+            shared_health.unwrap_or_else(|| Arc::new(HealthRegistry::new(cfg.health_config())));
+        let watchdog_enabled = cfg.watchdog_grace.is_some();
+        let workers = cfg.workers;
         let inner = Arc::new(Inner {
             cfg: cfg.clone(),
             queue: Mutex::new(FairScheduler::new(cfg.class_weights)),
@@ -320,18 +422,29 @@ impl SearchService {
             retired_eval: Mutex::new(CoalesceStats::default()),
             cache,
             cache_owned,
+            health,
+            slots: Mutex::new(Vec::new()),
+            handles: Mutex::new(Vec::new()),
+            next_worker: AtomicU64::new(workers as u64),
             counters: Counters::default(),
         });
-        let workers = (0..cfg.workers)
-            .map(|i| {
-                let inner = Arc::clone(&inner);
-                std::thread::Builder::new()
-                    .name(format!("serve-worker-{i}"))
-                    .spawn(move || inner.worker_loop())
-                    .expect("spawn serve worker")
-            })
-            .collect();
-        SearchService { inner, workers }
+        {
+            let mut slots = inner.slots.lock();
+            let mut handles = inner.handles.lock();
+            for i in 0..workers {
+                let (slot, handle) = supervisor::spawn_worker(&inner, i as u64);
+                slots.push((i as u64, slot));
+                handles.push((i as u64, handle));
+            }
+        }
+        let watchdog = watchdog_enabled.then(|| {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("serve-watchdog".to_string())
+                .spawn(move || supervisor::watchdog_loop(&inner))
+                .expect("spawn serve watchdog")
+        });
+        SearchService { inner, watchdog }
     }
 
     /// Submit one request; returns immediately with a ticket handle.
@@ -339,23 +452,24 @@ impl SearchService {
     /// queued for stepping.
     pub fn submit<G: Game>(&self, req: SearchRequest<G>) -> SearchTicket {
         let cost = session_cost(&req.budget, &req.config);
-        // The cache is keyed by the *backend* identity, captured before
-        // the coalescing wrap replaces the Arc — so sessions share hits
-        // whether or not their backend coalesces.
-        let backend = self
-            .inner
-            .cache
-            .is_some()
-            .then(|| Arc::clone(&req.evaluator));
-        let mut eval = self.inner.shared_evaluator(req.evaluator);
-        if let (Some(reg), Some(backend)) = (&self.inner.cache, backend) {
+        // Caches, coalescers and breakers are all keyed by the
+        // *backend* identity, captured before any wrap replaces the
+        // Arc — so sessions share them whether or not their backend
+        // coalesces.
+        let backend = Arc::clone(&req.evaluator);
+        // Resilience wrap sits *inside* the coalescing layer: one retry
+        // re-runs the whole shared batch, and one breaker verdict
+        // covers every coalesced session.
+        let resilient = self.inner.health.resilient(Arc::clone(&backend));
+        let mut eval = self.inner.shared_evaluator(&backend, resilient);
+        if let Some(reg) = &self.inner.cache {
             // Cache outside, coalescer inside: hits are answered from
             // memory without waking the batch layer; only misses enter
             // the shared cross-session batch.
             eval = Arc::new(CachedEvaluator::new(eval, reg.cache_for(&backend)));
         }
         let engine: Engine<G> = if req.scheme == Scheme::Serial {
-            let pooled = self.inner.pool.lock().unwrap().pop();
+            let pooled = self.inner.pool.lock().pop();
             let searcher = match pooled {
                 Some(mut s) => {
                     s.reconfigure(req.config, eval);
@@ -390,7 +504,7 @@ impl SearchService {
             shared: Arc::clone(&shared),
         };
         self.inner.outstanding.fetch_add(cost, Ordering::Relaxed);
-        self.inner.queue.lock().unwrap().enqueue_new(entry);
+        self.inner.queue.lock().enqueue_new(entry);
         self.inner.work_cv.notify_one();
         SearchTicket { shared }
     }
@@ -398,7 +512,7 @@ impl SearchService {
     /// Sessions currently queued for a scheduling slice (excludes the
     /// ones being stepped right now).
     pub fn queued(&self) -> usize {
-        self.inner.queue.lock().unwrap().len()
+        self.inner.queue.lock().len()
     }
 
     /// Admitted playout budget of sessions submitted and not yet
@@ -408,11 +522,18 @@ impl SearchService {
         self.inner.outstanding.load(Ordering::Relaxed)
     }
 
+    /// Circuit-breaker state of `backend` (matched by `Arc` identity,
+    /// like cache and coalescing registration). `Closed` for a backend
+    /// this service has never seen fail.
+    pub fn backend_health(&self, backend: &Arc<dyn BatchEvaluator>) -> BreakerState {
+        self.inner.health.breaker_for(backend).state()
+    }
+
     /// Aggregate accounting, including the shared coalescing layers'
     /// realized batch fill.
     pub fn stats(&self) -> ServiceStats {
-        let mut eval = *self.inner.retired_eval.lock().unwrap();
-        for (_, c) in self.inner.coalescers.lock().unwrap().iter() {
+        let mut eval = *self.inner.retired_eval.lock();
+        for (_, c) in self.inner.coalescers.lock().iter() {
             let s = c.stats();
             eval.batches += s.batches;
             eval.samples += s.samples;
@@ -434,6 +555,7 @@ impl SearchService {
                 .counters
                 .sessions_cancelled
                 .load(Ordering::Relaxed),
+            sessions_failed: self.inner.counters.sessions_failed.load(Ordering::Relaxed),
             steps: self.inner.counters.steps.load(Ordering::Relaxed),
             playouts: self.inner.counters.playouts.load(Ordering::Relaxed),
             eval_batches: eval.batches,
@@ -468,15 +590,30 @@ impl Drop for SearchService {
     fn drop(&mut self) {
         self.inner.shutdown.store(true, Ordering::Release);
         self.inner.work_cv.notify_all();
-        for h in self.workers.drain(..) {
+        // Watchdog first (it bounds its own exit at one poll interval):
+        // after it is gone, no new workers can be spawned and the
+        // handle list is stable.
+        if let Some(w) = self.watchdog.take() {
+            let _ = w.join();
+        }
+        let handles: Vec<_> = self.inner.handles.lock().drain(..).collect();
+        for (_, h) in handles {
             let _ = h.join();
         }
         // Resolve whatever is still queued so no ticket waits forever.
-        let leftovers: Vec<SessionEntry> = self.inner.queue.lock().unwrap().drain();
+        let leftovers: Vec<SessionEntry> = self.inner.queue.lock().drain();
         for mut entry in leftovers {
-            let partial = entry.session.partial();
-            entry.session.cancel();
-            self.inner.finalize(entry, partial, TicketStatus::Cancelled);
+            let torn = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let partial = entry.session.partial();
+                entry.session.cancel();
+                partial
+            }));
+            match torn {
+                Ok(partial) => self.inner.finalize(entry, partial, TicketStatus::Cancelled),
+                Err(payload) => self
+                    .inner
+                    .fail(entry, SearchError::from_panic(payload.as_ref())),
+            }
         }
     }
 }

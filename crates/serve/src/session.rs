@@ -3,13 +3,14 @@
 //! and the type-erased session engine the scheduler steps.
 
 use games::Game;
-use mcts::{Budget, ReusableSearch, SearchResult, SearchScheme, StepOutcome};
+use mcts::{Budget, ReusableSearch, SearchError, SearchResult, SearchScheme, StepOutcome};
+use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Where a ticket's session currently stands.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TicketStatus {
     /// Queued or being stepped.
     Running,
@@ -18,6 +19,26 @@ pub enum TicketStatus {
     /// Cancelled (by the ticket holder or service shutdown); the partial
     /// result at cancellation time is available.
     Cancelled,
+    /// Terminally failed: the session panicked, its evaluator gave out,
+    /// or the watchdog reaped it. The latest anytime snapshot before the
+    /// fault is available as the "final" result; the typed error says
+    /// what happened.
+    Failed(SearchError),
+}
+
+impl TicketStatus {
+    /// True for [`TicketStatus::Failed`].
+    pub fn is_failed(&self) -> bool {
+        matches!(self, TicketStatus::Failed(_))
+    }
+
+    /// The typed failure, when [`TicketStatus::Failed`].
+    pub fn error(&self) -> Option<&SearchError> {
+        match self {
+            TicketStatus::Failed(e) => Some(e),
+            _ => None,
+        }
+    }
 }
 
 /// What [`SearchTicket::wait_timeout`] came back with.
@@ -58,7 +79,11 @@ pub enum StreamItem {
     /// A fresh anytime snapshot (`stats.seq` strictly increases across
     /// the `Partial` items of one stream).
     Partial(SearchResult),
-    /// The final result; the stream is exhausted after yielding this.
+    /// The terminal item; the stream is exhausted after yielding this.
+    /// Every stream ends here — `Done`, `Cancelled`, or
+    /// [`TicketStatus::Failed`] with the typed error — never in
+    /// silence: a session that faults after publishing snapshots still
+    /// delivers this item (carrying the last good snapshot).
     Final(SearchResult, TicketStatus),
 }
 
@@ -107,23 +132,37 @@ impl SessionShared {
         self.cancel_flag.load(Ordering::Acquire)
     }
 
+    /// Service-side cancellation request (the watchdog uses this when
+    /// reaping a stuck session, so the run stops at its next budget
+    /// check even though no ticket asked).
+    pub(crate) fn request_cancel(&self) {
+        self.cancel_flag.store(true, Ordering::Release);
+    }
+
     /// Publish a fresh anytime snapshot and wake streaming subscribers.
     pub(crate) fn publish_partial(&self, snapshot: SearchResult) {
-        self.state.lock().unwrap().partial = Some(snapshot);
+        self.state.lock().partial = Some(snapshot);
         self.cv.notify_all();
+    }
+
+    /// The latest published anytime snapshot, if any. The supervisor
+    /// finalizes a *failed* session from this — the session's tree may
+    /// be mid-unwind and unsafe to snapshot again.
+    pub(crate) fn latest_partial(&self) -> Option<SearchResult> {
+        self.state.lock().partial.clone()
     }
 
     /// Record the final result and wake all waiters. Idempotent-safe:
     /// only the first call sticks (and runs the finalization hook).
     pub(crate) fn finalize(&self, result: SearchResult, status: TicketStatus) {
         let hook = {
-            let mut st = self.state.lock().unwrap();
+            let mut st = self.state.lock();
             if st.outcome.is_some() {
                 None
             } else {
                 st.latency = Some(self.submitted.elapsed());
                 st.partial = Some(result.clone());
-                st.outcome = Some((result, status));
+                st.outcome = Some((result, status.clone()));
                 st.on_final.take()
             }
         };
@@ -137,9 +176,9 @@ impl SessionShared {
     /// finished, the hook runs immediately on the calling thread.
     pub(crate) fn set_on_final(&self, hook: FinalHook) {
         let run_now = {
-            let mut st = self.state.lock().unwrap();
-            match st.outcome {
-                Some((_, status)) => Some(status),
+            let mut st = self.state.lock();
+            match &st.outcome {
+                Some((_, status)) => Some(status.clone()),
                 None => {
                     st.on_final = Some(hook);
                     return;
@@ -176,9 +215,19 @@ impl SearchTicket {
 
     /// Where the session stands right now.
     pub fn status(&self) -> TicketStatus {
-        match self.shared.state.lock().unwrap().outcome {
-            Some((_, s)) => s,
+        match &self.shared.state.lock().outcome {
+            Some((_, s)) => s.clone(),
             None => TicketStatus::Running,
+        }
+    }
+
+    /// The typed failure, if the session reached
+    /// [`TicketStatus::Failed`]. Non-blocking; `None` while running or
+    /// after a non-failure terminal state.
+    pub fn error(&self) -> Option<SearchError> {
+        match &self.shared.state.lock().outcome {
+            Some((_, TicketStatus::Failed(e))) => Some(e.clone()),
+            _ => None,
         }
     }
 
@@ -188,7 +237,6 @@ impl SearchTicket {
         self.shared
             .state
             .lock()
-            .unwrap()
             .outcome
             .as_ref()
             .map(|(r, _)| r.clone())
@@ -200,7 +248,7 @@ impl SearchTicket {
     /// completes. Prefer [`SearchTicket::subscribe`] over polling this
     /// in a loop.
     pub fn partial(&self) -> Option<SearchResult> {
-        self.shared.state.lock().unwrap().partial.clone()
+        self.shared.state.lock().partial.clone()
     }
 
     /// Subscribe to push-style delivery: the returned [`ResultStream`]
@@ -219,12 +267,12 @@ impl SearchTicket {
     /// Block until the session finishes (or is cancelled) and return the
     /// final result.
     pub fn wait(&self) -> SearchResult {
-        let mut st = self.shared.state.lock().unwrap();
+        let mut st = self.shared.state.lock();
         loop {
             if let Some((r, _)) = &st.outcome {
                 return r.clone();
             }
-            st = self.shared.cv.wait(st).unwrap();
+            st = self.shared.cv.wait(st);
         }
     }
 
@@ -233,16 +281,16 @@ impl SearchTicket {
     /// [`WaitOutcome`]) — never an opaque empty error.
     pub fn wait_timeout(&self, timeout: Duration) -> WaitOutcome {
         let deadline = Instant::now() + timeout;
-        let mut st = self.shared.state.lock().unwrap();
+        let mut st = self.shared.state.lock();
         loop {
             if let Some((r, status)) = &st.outcome {
-                return WaitOutcome::Finished(r.clone(), *status);
+                return WaitOutcome::Finished(r.clone(), status.clone());
             }
             let now = Instant::now();
             if now >= deadline {
                 return WaitOutcome::TimedOut(st.partial.clone().unwrap_or_default());
             }
-            let (guard, _) = self.shared.cv.wait_timeout(st, deadline - now).unwrap();
+            let (guard, _) = self.shared.cv.wait_timeout(st, deadline - now);
             st = guard;
         }
     }
@@ -258,13 +306,13 @@ impl SearchTicket {
 
     /// True once a final result is available.
     pub fn is_done(&self) -> bool {
-        self.shared.state.lock().unwrap().outcome.is_some()
+        self.shared.state.lock().outcome.is_some()
     }
 
     /// Submit→finish latency, measured service-side. `None` while the
     /// session is running.
     pub fn latency(&self) -> Option<Duration> {
-        self.shared.state.lock().unwrap().latency
+        self.shared.state.lock().latency
     }
 }
 
@@ -300,11 +348,11 @@ impl ResultStream {
         if self.finished {
             return None;
         }
-        let mut st = self.shared.state.lock().unwrap();
+        let mut st = self.shared.state.lock();
         loop {
             if let Some((r, status)) = &st.outcome {
                 self.finished = true;
-                return Some(StreamItem::Final(r.clone(), *status));
+                return Some(StreamItem::Final(r.clone(), status.clone()));
             }
             if let Some(p) = &st.partial {
                 if self.last_seq.is_none_or(|seen| p.stats.seq > seen) {
@@ -313,13 +361,13 @@ impl ResultStream {
                 }
             }
             match deadline {
-                None => st = self.shared.cv.wait(st).unwrap(),
+                None => st = self.shared.cv.wait(st),
                 Some(d) => {
                     let now = Instant::now();
                     if now >= d {
                         return None;
                     }
-                    let (guard, _) = self.shared.cv.wait_timeout(st, d - now).unwrap();
+                    let (guard, _) = self.shared.cv.wait_timeout(st, d - now);
                     st = guard;
                 }
             }

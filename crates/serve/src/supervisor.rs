@@ -1,0 +1,185 @@
+//! Worker supervision: panic isolation and the stuck-session watchdog.
+//!
+//! Scheme code (`step`/`partial`/teardown) runs inside
+//! [`std::panic::catch_unwind`] at the worker boundary. A panicking
+//! session is **quarantined**: its ticket resolves as
+//! [`TicketStatus::Failed`] with the typed [`SearchError`] recovered
+//! from the panic payload, its arena is discarded rather than recycled
+//! into the warm pool, its admission cost is released — and the worker
+//! thread keeps serving every other session. One poisoned request
+//! cannot take down a shard.
+//!
+//! Sessions with a wall-clock deadline are additionally registered with
+//! the service **watchdog** ([`crate::ServeConfig::watchdog_grace`]): a run
+//! still inside scheme code `grace` past its deadline is presumed stuck
+//! (a hung evaluator, a livelocked backend), its ticket is failed with
+//! [`SearchError::DeadlineExceeded`] carrying the last published
+//! partial, and the wedged worker thread is abandoned and replaced so
+//! pool capacity is restored. If the stuck thread ever returns it finds
+//! its slot marked abandoned, disposes of the quarantined session and
+//! exits without double-accounting — the slot mutex makes the handoff
+//! exactly-once.
+
+use crate::service::Inner;
+use crate::session::{SessionShared, TicketStatus};
+use crate::Priority;
+use mcts::{SearchError, StepOutcome};
+use parking_lot::Mutex;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often the watchdog sweeps the worker slots.
+pub(crate) const WATCHDOG_POLL: Duration = Duration::from_millis(20);
+
+/// What a worker is executing right now (registered only for sessions
+/// with a deadline, while inside scheme code).
+pub(crate) struct InFlight {
+    pub(crate) shared: Arc<SessionShared>,
+    pub(crate) priority: Priority,
+    pub(crate) cost: u64,
+    /// Deadline plus [`crate::ServeConfig::watchdog_grace`]: past this, the
+    /// run is presumed stuck and reaped.
+    pub(crate) hard_deadline: Instant,
+    /// Set by the watchdog (under the slot lock) when it reaps the
+    /// session; tells the worker its result has already been settled.
+    pub(crate) abandoned: bool,
+}
+
+/// One worker's supervision slot, shared with the watchdog.
+pub(crate) struct WorkerSlot {
+    pub(crate) inflight: Mutex<Option<InFlight>>,
+}
+
+/// Spawn one supervised worker thread.
+pub(crate) fn spawn_worker(inner: &Arc<Inner>, id: u64) -> (Arc<WorkerSlot>, JoinHandle<()>) {
+    let slot = Arc::new(WorkerSlot {
+        inflight: Mutex::new(None),
+    });
+    let handle = std::thread::Builder::new()
+        .name(format!("serve-worker-{id}"))
+        .spawn({
+            let inner = Arc::clone(inner);
+            let slot = Arc::clone(&slot);
+            move || worker_loop(&inner, &slot)
+        })
+        .expect("spawn serve worker");
+    (slot, handle)
+}
+
+/// One worker's scheduling loop, with every entry into scheme code
+/// fenced by `catch_unwind`.
+fn worker_loop(inner: &Arc<Inner>, slot: &Arc<WorkerSlot>) {
+    loop {
+        let mut entry = {
+            let mut q = inner.queue.lock();
+            loop {
+                if let Some(e) = q.pop() {
+                    break e;
+                }
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                q = inner.work_cv.wait(q);
+            }
+        };
+        if inner.shutdown.load(Ordering::Acquire) || entry.shared.cancel_requested() {
+            // Snapshot BEFORE tearing the run down: the ticket's final
+            // result is the anytime partial at cancellation. Teardown
+            // runs scheme code, so it is fenced like a step.
+            let torn = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                let partial = entry.session.partial();
+                entry.session.cancel();
+                partial
+            }));
+            match torn {
+                Ok(partial) => inner.finalize(entry, partial, TicketStatus::Cancelled),
+                Err(payload) => inner.fail(entry, SearchError::from_panic(payload.as_ref())),
+            }
+            continue;
+        }
+        // Register with the watchdog before entering scheme code.
+        let watched = match (entry.deadline, inner.cfg.watchdog_grace) {
+            (Some(deadline), Some(grace)) => {
+                *slot.inflight.lock() = Some(InFlight {
+                    shared: Arc::clone(&entry.shared),
+                    priority: entry.priority,
+                    cost: entry.cost,
+                    hard_deadline: deadline + grace,
+                    abandoned: false,
+                });
+                true
+            }
+            _ => false,
+        };
+        let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let outcome = entry.session.step(inner.cfg.step_quota);
+            let snapshot = entry.session.partial();
+            (outcome, snapshot)
+        }));
+        if watched {
+            let taken = slot.inflight.lock().take();
+            if taken.is_some_and(|inf| inf.abandoned) {
+                // The watchdog reaped this session (ticket already
+                // failed, accounting settled, replacement worker
+                // spawned). This thread is surplus: dispose of the
+                // quarantined session and retire.
+                Inner::drop_quarantined(entry);
+                return;
+            }
+        }
+        let (outcome, snapshot) = match run {
+            Ok(pair) => pair,
+            Err(payload) => {
+                inner.fail(entry, SearchError::from_panic(payload.as_ref()));
+                continue;
+            }
+        };
+        inner.counters.steps.fetch_add(1, Ordering::Relaxed);
+        match outcome {
+            StepOutcome::Running => {
+                entry.shared.publish_partial(snapshot);
+                entry.seq = inner.next_seq.fetch_add(1, Ordering::Relaxed);
+                inner.queue.lock().requeue(entry);
+                inner.work_cv.notify_one();
+            }
+            StepOutcome::Done => {
+                let torn = std::panic::catch_unwind(AssertUnwindSafe(|| entry.session.cancel()));
+                match torn {
+                    Ok(()) => inner.finalize(entry, snapshot, TicketStatus::Done),
+                    Err(payload) => inner.fail(entry, SearchError::from_panic(payload.as_ref())),
+                }
+            }
+        }
+    }
+}
+
+/// The watchdog loop: sweep worker slots, reap runs past their hard
+/// deadline, replace the wedged threads.
+pub(crate) fn watchdog_loop(inner: &Arc<Inner>) {
+    while !inner.shutdown.load(Ordering::Acquire) {
+        std::thread::sleep(WATCHDOG_POLL);
+        let now = Instant::now();
+        let mut reaped: Vec<(u64, Arc<SessionShared>, Priority, u64)> = Vec::new();
+        {
+            let slots = inner.slots.lock();
+            for (wid, slot) in slots.iter() {
+                let mut inflight = slot.inflight.lock();
+                if let Some(inf) = inflight.as_mut() {
+                    if !inf.abandoned && now >= inf.hard_deadline {
+                        // Claimed under the slot lock: the worker can no
+                        // longer settle this session itself.
+                        inf.abandoned = true;
+                        reaped.push((*wid, Arc::clone(&inf.shared), inf.priority, inf.cost));
+                    }
+                }
+            }
+        }
+        for (wid, shared, priority, cost) in reaped {
+            inner.finalize_reaped(&shared, priority, cost);
+            inner.replace_worker(wid);
+        }
+    }
+}

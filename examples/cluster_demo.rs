@@ -5,18 +5,67 @@
 //! and one session's progress is consumed as a push-style stream.
 //! A second, identical burst then replays against the warm evaluation
 //! cache shared by every shard, showing the hit rate and latency drop.
+//! A final fault act takes one backend through an outage: its circuit
+//! breaker walks Closed → Open (requests shed with retry hints) →
+//! HalfOpen (recovery probe) → Closed, while a healthy co-resident
+//! backend keeps serving throughout.
 //!
 //! Run: `cargo run --release --example cluster_demo`
 
 use games::{connect4::Connect4, gomoku::Gomoku, Game};
-use mcts::{BatchEvaluator, Budget, MctsConfig, NnEvaluator, UniformEvaluator};
+use mcts::{
+    BatchEvaluator, Budget, EvalError, EvalOutput, MctsConfig, NnEvaluator, UniformEvaluator,
+};
 use nn::{NetConfig, PolicyValueNet};
 use serve::{
-    AdmissionConfig, ClusterConfig, ClusterTicket, Priority, SearchRequest, ServeCluster,
-    ServeConfig, StreamItem,
+    AdmissionConfig, BreakerState, ClusterConfig, ClusterTicket, Priority, SearchRequest,
+    ServeCluster, ServeConfig, StreamItem, TicketStatus,
 };
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// A uniform-prior backend with an outage switch: while `failing` is
+/// set every batch call returns a transient error, so the cluster's
+/// retry + circuit-breaker machinery takes over. The small delay on
+/// healthy calls keeps the recovery probe observable in `HalfOpen`.
+struct FlakyBackend {
+    input_len: usize,
+    priors: usize,
+    failing: AtomicBool,
+}
+
+impl BatchEvaluator for FlakyBackend {
+    fn input_len(&self) -> usize {
+        self.input_len
+    }
+
+    fn action_space(&self) -> usize {
+        self.priors
+    }
+
+    fn evaluate_batch(&self, inputs: &[&[f32]], out: &mut [EvalOutput]) {
+        self.try_evaluate_batch(inputs, out).unwrap();
+    }
+
+    fn try_evaluate_batch(
+        &self,
+        _inputs: &[&[f32]],
+        out: &mut [EvalOutput],
+    ) -> Result<(), EvalError> {
+        if self.failing.load(Ordering::Acquire) {
+            return Err(EvalError::transient("injected backend outage"));
+        }
+        std::thread::sleep(Duration::from_millis(2));
+        let p = 1.0 / self.priors as f32;
+        for o in out.iter_mut() {
+            o.priors.clear();
+            o.priors.resize(self.priors, p);
+            o.value = 0.0;
+        }
+        Ok(())
+    }
+}
 
 fn cfg(playouts: usize) -> MctsConfig {
     MctsConfig {
@@ -27,6 +76,19 @@ fn cfg(playouts: usize) -> MctsConfig {
 }
 
 fn main() {
+    // The fault act below makes worker threads unwind on purpose (that
+    // is the mechanism being demonstrated); keep the default panic
+    // hook's noise out of the demo narration.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let in_worker = std::thread::current()
+            .name()
+            .is_some_and(|n| n.starts_with("serve-worker"));
+        if !in_worker {
+            default_hook(info);
+        }
+    }));
+
     // Two shards, two workers each; every model may hold at most 1200
     // playouts' worth of admitted work in flight and 6 pending sessions.
     let cluster = ServeCluster::new(ClusterConfig {
@@ -159,19 +221,122 @@ fn main() {
         mean_ms(&warm_lat),
     );
 
+    // --- fault act: outage, breaker trip, shed, recovery ------------------
+    // A flaky backend goes down mid-service. Its failures trip a
+    // cluster-wide circuit breaker; further requests for THAT backend
+    // are shed with honest retry hints while the healthy connect4
+    // backend keeps being admitted and served. After the outage ends,
+    // the cooldown expires and a single recovery probe walks the
+    // breaker HalfOpen → Closed.
+    println!("\nfault act: injected outage on one backend");
+    let flaky = Arc::new(FlakyBackend {
+        input_len: Connect4::new().encoded_len(),
+        priors: Connect4::new().action_space(),
+        failing: AtomicBool::new(false),
+    });
+    let flaky_eval: Arc<dyn BatchEvaluator> = flaky.clone();
+    let submit_flaky = |playouts: usize| {
+        cluster.submit(
+            SearchRequest::new(Connect4::new(), Arc::clone(&flaky_eval))
+                .config(cfg(playouts))
+                .budget(Budget::playouts(playouts as u64)),
+        )
+    };
+    println!(
+        "  breaker before outage: {:?}",
+        cluster.backend_health(&flaky_eval)
+    );
+
+    flaky.failing.store(true, Ordering::Release);
+    // Each doomed session burns its retry budget and fails typed; a few
+    // of them push the backend's consecutive-failure streak past the
+    // breaker threshold.
+    let mut failed_sessions = 0;
+    while cluster.backend_health(&flaky_eval) != BreakerState::Open && failed_sessions < 8 {
+        let doomed = match submit_flaky(64) {
+            Ok(t) => t,
+            Err(_) => break, // breaker already shedding at the front door
+        };
+        if !doomed.wait_timeout(Duration::from_secs(30)).is_finished() {
+            println!("  outage session still running (unexpected)");
+            break;
+        }
+        if let TicketStatus::Failed(err) = doomed.status() {
+            failed_sessions += 1;
+            if failed_sessions == 1 {
+                println!("  outage session failed (typed): {err}");
+            }
+        }
+    }
+    println!(
+        "  breaker after {failed_sessions} failed sessions: {:?}",
+        cluster.backend_health(&flaky_eval)
+    );
+    match submit_flaky(64) {
+        Err(rej) => println!("  next request for that backend: SHED ({rej})"),
+        Ok(t) => {
+            t.cancel();
+            println!("  next request unexpectedly admitted");
+        }
+    }
+    // The healthy backend is unaffected: same cluster, own breaker.
+    let healthy = cluster
+        .submit(
+            SearchRequest::new(Connect4::new(), Arc::clone(&c4_eval))
+                .config(cfg(200))
+                .budget(Budget::playouts(200)),
+        )
+        .expect("healthy backend admitted during the outage");
+    healthy.wait();
+    println!("  healthy backend during outage: admitted and completed");
+
+    // Outage over: wait out the cooldown, then watch the recovery
+    // probe's breaker states while it runs.
+    flaky.failing.store(false, Ordering::Release);
+    let probe = loop {
+        match submit_flaky(48) {
+            Ok(t) => break t,
+            Err(rej) => std::thread::sleep(rej.retry_after.min(Duration::from_millis(50))),
+        }
+    };
+    let mut seen: Vec<BreakerState> = Vec::new();
+    let poll_deadline = Instant::now() + Duration::from_secs(30);
+    while Instant::now() < poll_deadline {
+        let st = cluster.backend_health(&flaky_eval);
+        if seen.last() != Some(&st) {
+            seen.push(st);
+        }
+        let settled = matches!(
+            probe.status(),
+            TicketStatus::Done | TicketStatus::Cancelled | TicketStatus::Failed(_)
+        );
+        if settled && st == BreakerState::Closed {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    probe.wait();
+    let walk: Vec<String> = seen.iter().map(|s| format!("{s:?}")).collect();
+    println!("  recovery probe observed breaker: {}", walk.join(" → "));
+    println!(
+        "  breaker after recovery: {:?}",
+        cluster.backend_health(&flaky_eval)
+    );
+
     let stats = cluster.stats();
     let total = stats.total();
     println!(
-        "\ncluster totals: {} admitted, {} shed ({} rate-limited, {} queue-full)",
+        "\ncluster totals: {} admitted, {} shed ({} rate-limited, {} queue-full, {} breaker-open)",
         stats.admitted,
         stats.shed(),
         stats.shed_rate_limited,
-        stats.shed_queue_full
+        stats.shed_queue_full,
+        stats.shed_unhealthy
     );
     for (i, s) in stats.per_shard.iter().enumerate() {
         println!(
             "  shard {i}: {} sessions, {} slices, {} playouts, mean eval batch {:.2}",
-            s.sessions_completed + s.sessions_cancelled,
+            s.sessions_completed + s.sessions_cancelled + s.sessions_failed,
             s.steps,
             s.playouts,
             s.mean_eval_batch()

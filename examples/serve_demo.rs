@@ -117,6 +117,7 @@ fn main() {
         let status = match t.status() {
             TicketStatus::Done => "done",
             TicketStatus::Cancelled => "cancelled",
+            TicketStatus::Failed(_) => "failed",
             TicketStatus::Running => "running",
         };
         println!(

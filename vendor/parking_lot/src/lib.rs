@@ -83,6 +83,63 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// Condition variable paired with [`Mutex`]: `wait`/`wait_timeout`
+/// return the reacquired guard directly, recovering from std poisoning
+/// the same way the locks do (a waiter is never torn down because some
+/// *other* thread panicked while holding the mutex).
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// New condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    /// Block until notified; returns the reacquired guard.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        match self.inner.wait(guard) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Block until notified or `dur` elapses; returns the reacquired
+    /// guard and whether the wait timed out.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, sync::WaitTimeoutResult) {
+        match self.inner.wait_timeout(guard, dur) {
+            Ok((g, r)) => (g, r),
+            Err(p) => {
+                let (g, r) = p.into_inner();
+                (g, r)
+            }
+        }
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,6 +162,37 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*m.lock(), 800);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter_even_after_a_poisoning_panic() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let (m, cv) = &*pair;
+                let mut done = m.lock();
+                while !*done {
+                    done = cv.wait(done);
+                }
+            })
+        };
+        // Panic while holding the mutex (std would poison it), then set
+        // the flag from a healthy thread: the waiter must still wake.
+        let poisoner = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let _g = pair.0.lock();
+                panic!("poison");
+            })
+        };
+        assert!(poisoner.join().is_err());
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        waiter.join().unwrap();
     }
 
     #[test]

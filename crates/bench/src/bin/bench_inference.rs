@@ -1,23 +1,25 @@
-//! Emit `BENCH_inference.json`: the machine-readable before/after record
-//! for the inference fast path.
+//! Emit `BENCH_inference.json` (schema v2): the machine-readable
+//! before/after record for the inference fast path.
 //!
 //! Measures, on this machine:
 //! * GEMM GFLOP/s (square sizes) — retained baseline kernel vs the packed
-//!   register-blocked kernel (and its MT variant);
+//!   register-blocked kernel (and its MT variant) vs the int8-quantized
+//!   kernel with fused dequant epilogue;
 //! * `PolicyValueNet` batch-forward throughput (paper-size gomoku15 net) —
 //!   pre-rewrite reference path vs the fast path vs the zero-alloc
-//!   workspace path;
-//! * steady-state `NnEvaluator::evaluate_batch` throughput.
+//!   workspace path, in both f32 and int8 precision (`precision` field);
+//! * steady-state `NnEvaluator::evaluate_batch` throughput per precision.
 //!
 //! Usage: `bench_inference [--smoke] [out_path]` (default
 //! `BENCH_inference.json`). `--smoke` shrinks repetitions so CI can prove
 //! the binary runs without paying measurement time.
 
-use mcts::{BatchEvaluator, EvalOutput, NnEvaluator};
+use mcts::{BatchEvaluator, EvalOutput, NnEvaluator, Precision};
 use nn::{NetConfig, PolicyValueNet};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
+use tensor::quant::{qgemm, QuantizedWeights};
 use tensor::{Tensor, Workspace};
 
 fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
@@ -42,6 +44,28 @@ fn time_median(warm: usize, reps: usize, mut f: impl FnMut()) -> f64 {
     samples[samples.len() / 2]
 }
 
+fn cpu_has_avx2() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+fn cpu_has_fma() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -55,8 +79,12 @@ fn main() {
     let mut json = String::from("{\n");
     let _ = writeln!(
         json,
-        "  \"meta\": {{\"tensor_threads\": {}, \"smoke\": {smoke}}},",
-        tensor::pool::parallelism()
+        "  \"meta\": {{\"schema_version\": 2, \"tensor_threads\": {}, \"smoke\": {smoke}, \
+         \"cpu\": {{\"avx2\": {}, \"fma\": {}, \"int8_simd\": {}}}}},",
+        tensor::pool::parallelism(),
+        cpu_has_avx2(),
+        cpu_has_fma(),
+        tensor::quant::simd_enabled()
     );
 
     // --- GEMM kernels -----------------------------------------------------
@@ -76,27 +104,42 @@ fn main() {
         let t_mt = time_median(warm, reps, || {
             tensor::ops::gemm_mt(false, false, n, n, n, 1.0, &a, &b, 0.0, &mut c);
         });
+        // Int8 path: A quantized once (the weight side, amortized at
+        // snapshot time in serving), activations quantized per call.
+        let qw = QuantizedWeights::quantize(&a, n, n);
+        let t_q = time_median(warm, reps, || {
+            qgemm(&qw, &b, false, n, &mut c, None, false);
+        });
         let _ = writeln!(
             json,
             "    {{\"size\": {n}, \"baseline_gflops\": {:.2}, \"packed_gflops\": {:.2}, \
-             \"packed_mt_gflops\": {:.2}, \"speedup\": {:.2}}}{}",
+             \"packed_mt_gflops\": {:.2}, \"int8_gflops\": {:.2}, \"speedup\": {:.2}, \
+             \"int8_speedup\": {:.2}}}{}",
             flops / t_base / 1e9,
             flops / t_new / 1e9,
             flops / t_mt / 1e9,
+            flops / t_q / 1e9,
             t_base / t_new,
+            t_new / t_q,
             if i + 1 < sizes.len() { "," } else { "" }
         );
         println!(
-            "gemm {n}^3: baseline {:.2} GFLOP/s, packed {:.2} GFLOP/s ({:.2}x)",
+            "gemm {n}^3: baseline {:.2} GFLOP/s, packed {:.2} GFLOP/s ({:.2}x), \
+             int8 {:.2} GFLOP/s ({:.2}x over packed)",
             flops / t_base / 1e9,
             flops / t_new / 1e9,
-            t_base / t_new
+            t_base / t_new,
+            flops / t_q / 1e9,
+            t_new / t_q
         );
     }
     json.push_str("  ],\n");
 
     // --- Batch forward (paper-size net) -----------------------------------
     let net = PolicyValueNet::new(NetConfig::gomoku15(), 3);
+    let qnet = net
+        .quantized_for_inference()
+        .expect("gomoku15 topology quantizes");
     let sample = net.config.in_c * net.config.h * net.config.w;
     json.push_str("  \"forward\": [\n");
     let batches = [1usize, 4, 8, 16, 32];
@@ -116,47 +159,70 @@ fn main() {
         let t_ws = time_median(warm, reps, || {
             net.predict_into(&x, &mut ws, &mut policy, &mut values);
         });
+        let t_q = time_median(warm, reps, || {
+            qnet.predict_into(&x, &mut ws, &mut policy, &mut values);
+        });
         let b = batch as f64;
         let _ = writeln!(
             json,
-            "    {{\"batch\": {batch}, \"reference_sps\": {:.1}, \"fast_sps\": {:.1}, \
-             \"workspace_sps\": {:.1}, \"speedup\": {:.2}}}{}",
+            "    {{\"batch\": {batch}, \"precision\": \"f32\", \"reference_sps\": {:.1}, \
+             \"fast_sps\": {:.1}, \"workspace_sps\": {:.1}, \"speedup\": {:.2}}},",
             b / t_ref,
             b / t_fast,
             b / t_ws,
             t_ref / t_fast,
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"batch\": {batch}, \"precision\": \"int8\", \"workspace_sps\": {:.1}, \
+             \"speedup_vs_f32\": {:.2}}}{}",
+            b / t_q,
+            t_ws / t_q,
             if i + 1 < batches.len() { "," } else { "" }
         );
         println!(
-            "forward b={batch}: reference {:.1} samples/s, fast {:.1} samples/s ({:.2}x)",
+            "forward b={batch}: reference {:.1} samples/s, fast {:.1} samples/s ({:.2}x), \
+             int8 {:.1} samples/s ({:.2}x over f32)",
             b / t_ref,
             b / t_fast,
-            t_ref / t_fast
+            t_ref / t_fast,
+            b / t_q,
+            t_ws / t_q
         );
     }
     json.push_str("  ],\n");
 
     // --- Evaluator steady state -------------------------------------------
-    let eval = NnEvaluator::new(Arc::new(net));
+    let net = Arc::new(net);
     let batch = 32usize;
     let inputs: Vec<Vec<f32>> = (0..batch)
         .map(|i| rand_vec(sample, 100 + i as u64))
         .collect();
     let refs: Vec<&[f32]> = inputs.iter().map(Vec::as_slice).collect();
     let mut out = vec![EvalOutput::default(); batch];
-    let t_eval = time_median(warm, reps, || {
-        eval.evaluate_batch(&refs, &mut out);
-    });
-    let _ = writeln!(
-        json,
-        "  \"evaluate_batch\": [{{\"batch\": {batch}, \"samples_per_sec\": {:.1}}}]",
-        batch as f64 / t_eval
-    );
-    println!(
-        "evaluate_batch b={batch}: {:.1} samples/s",
-        batch as f64 / t_eval
-    );
-    json.push_str("}\n");
+    json.push_str("  \"evaluate_batch\": [\n");
+    for (i, precision) in [Precision::F32, Precision::Int8].into_iter().enumerate() {
+        let eval = NnEvaluator::with_precision(Arc::clone(&net), batch, precision);
+        let t_eval = time_median(warm, reps, || {
+            eval.evaluate_batch(&refs, &mut out);
+        });
+        let label = match precision {
+            Precision::F32 => "f32",
+            Precision::Int8 => "int8",
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"batch\": {batch}, \"precision\": \"{label}\", \
+             \"samples_per_sec\": {:.1}}}{}",
+            batch as f64 / t_eval,
+            if i == 0 { "," } else { "" }
+        );
+        println!(
+            "evaluate_batch b={batch} {label}: {:.1} samples/s",
+            batch as f64 / t_eval
+        );
+    }
+    json.push_str("  ]\n}\n");
 
     std::fs::write(&out_path, &json).expect("write bench json");
     println!("wrote {out_path}");

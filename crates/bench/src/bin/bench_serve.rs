@@ -72,6 +72,10 @@ fn serve_cfg(workers: usize) -> ServeConfig {
         step_quota: 32,
         max_pooled: 2 * workers,
         coalesce_window: Duration::from_millis(2),
+        // Measurement-driven batching: seed each backend's forward-time
+        // curve at registration so the tuner steers from the first burst.
+        coalesce_auto: true,
+        calibrate_on_register: true,
         ..Default::default()
     }
 }
@@ -83,11 +87,19 @@ struct RunFigures {
     mean_eval_batch: f64,
 }
 
+/// Linearly interpolated percentiles over the per-request latency
+/// vector. Nearest-rank rounding collapsed p50 and p99 onto the same
+/// order statistic at small sample counts (the old p50 == p99 artifact);
+/// interpolation keeps them distinct and monotone (p99 ≥ p50 by
+/// construction), which `check_serve_schema` now asserts.
 fn percentiles(latencies: &mut [Duration]) -> (f64, f64) {
     latencies.sort_unstable();
     let pct = |p: f64| -> f64 {
-        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
-        latencies[idx].as_secs_f64() * 1e3
+        let rank = (latencies.len() - 1) as f64 * p;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        (latencies[lo].as_secs_f64() * (1.0 - frac) + latencies[hi].as_secs_f64() * frac) * 1e3
     };
     (pct(0.50), pct(0.99))
 }
@@ -423,7 +435,14 @@ fn main() {
         let in_worker = std::thread::current()
             .name()
             .is_some_and(|n| n.starts_with("serve-worker"));
-        if !in_worker {
+        // Registration-time calibration probes the (chaos-wrapped)
+        // backend on the submitting thread and catches any injected
+        // panic itself — keep that noise out of the log too.
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.starts_with("chaos:"));
+        if !in_worker && !injected {
             default_hook(info);
         }
     }));
@@ -431,7 +450,12 @@ fn main() {
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let workers = host_cores.clamp(2, 4);
+    // Oversubscription past the physical core count is safe now that
+    // serve workers draw from the unified core arbiter (a worker lends
+    // its core back while blocked on a coalesced forward), so the bench
+    // runs enough workers to keep batches full even on small hosts.
+    let workers = host_cores.clamp(4, 8);
+    let eval_batch_hint = 32usize;
     let (playouts, session_counts, shard_counts, shed_offered): (usize, &[usize], &[usize], usize) =
         if smoke {
             (48, &[1, 4], &[1, 2], 6)
@@ -441,13 +465,19 @@ fn main() {
 
     let root = midgame();
     let net = Arc::new(PolicyValueNet::new(NetConfig::for_board(4, 9, 9, 81), 2));
-    let eval: Arc<dyn BatchEvaluator> =
-        Arc::new(NnEvaluator::with_batch_hint(Arc::clone(&net), workers));
+    // The serving tier under measurement is the int8 path: quantized at
+    // snapshot time, ~2× the f32 forward throughput at parity (the f32
+    // per-layer figures live in BENCH_inference.json).
+    let eval: Arc<dyn BatchEvaluator> = Arc::new(NnEvaluator::with_precision(
+        Arc::clone(&net),
+        eval_batch_hint,
+        mcts::Precision::Int8,
+    ));
 
     let mut json = String::from("{\n");
     let _ = writeln!(
         json,
-        "  \"meta\": {{\"schema_version\": 4, \"workers\": {workers}, \"host_cores\": {host_cores}, \"playouts_per_request\": {playouts}, \"board\": \"gomoku9\", \"evaluator\": \"nn\", \"smoke\": {smoke}}},"
+        "  \"meta\": {{\"schema_version\": 5, \"workers\": {workers}, \"host_cores\": {host_cores}, \"eval_batch_hint\": {eval_batch_hint}, \"coalesce_auto\": true, \"playouts_per_request\": {playouts}, \"board\": \"gomoku9\", \"evaluator\": \"nn-int8\", \"smoke\": {smoke}}},"
     );
 
     // --- throughput/latency vs concurrent session count -------------------
@@ -529,6 +559,51 @@ fn main() {
         "coalescing over {burst}-request burst: serial mean batch {:.2} → multi mean batch {:.2}",
         serial.mean_eval_batch, multi.mean_eval_batch
     );
+
+    // --- measurement-driven batching: the tuner's operating point ---------
+    // One calibrated service, one burst; dump the forward-time curve and
+    // the chosen window/batch so the auto-tuner's decisions are part of
+    // the machine-readable perf record.
+    let service = SearchService::new(serve_cfg(workers));
+    let tune_tickets: Vec<_> = (0..burst)
+        .map(|_| service.submit(request(&root, &eval, playouts)))
+        .collect();
+    for t in tune_tickets {
+        assert_eq!(t.wait().stats.playouts, playouts as u64);
+    }
+    let reports = service.autotune_reports();
+    assert!(
+        !reports.is_empty(),
+        "calibrated service must expose at least one tuner report"
+    );
+    json.push_str("  \"autotune\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let curve = r
+            .curve
+            .iter()
+            .map(|(b, ns)| format!("{{\"batch\": {b}, \"forward_ns\": {ns}}}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            json,
+            "    {{\"calibrated\": {}, \"batch\": {}, \"window_us\": {}, \"positions_per_sec\": {:.1}, \"curve\": [{curve}]}}{}",
+            r.calibrated,
+            r.batch,
+            r.window_us,
+            r.positions_per_sec,
+            if i + 1 < reports.len() { "," } else { "" }
+        );
+        eprintln!(
+            "autotune: batch {} window {} µs ({:.0} positions/s, {} curve points, calibrated: {})",
+            r.batch,
+            r.window_us,
+            r.positions_per_sec,
+            r.curve.len(),
+            r.calibrated
+        );
+    }
+    json.push_str("  ],\n");
+    drop(service);
 
     // --- evaluation cache: repeated-position workload, off vs on ----------
     let cache_rounds = if smoke { 2 } else { 6 };

@@ -7,15 +7,23 @@
 //! ~100-line recursive-descent JSON parser — strict enough for the
 //! bench writer's output (objects, arrays, strings, numbers, bools).
 //!
-//! Checked schema (v4):
+//! Checked schema (v5):
 //! * top level: objects `meta`, `shedding`, `coalescing`, `cache`;
-//!   arrays `sessions`, `cluster`, `degradation` (non-empty);
-//! * `meta.schema_version == 4`, `meta.workers`/`host_cores`/
-//!   `playouts_per_request` numeric;
+//!   arrays `sessions`, `cluster`, `autotune`, `degradation`
+//!   (non-empty);
+//! * `meta.schema_version == 5`, `meta.workers`/`host_cores`/
+//!   `eval_batch_hint`/`playouts_per_request` numeric;
 //! * every `sessions[i]`: numeric `concurrent`, `requests_per_s`,
-//!   `p50_ms`, `p99_ms`, `mean_eval_batch`;
+//!   `p50_ms`, `p99_ms`, `mean_eval_batch`, with `p99_ms >= p50_ms`
+//!   (interpolated percentiles are monotone by construction — equality
+//!   collapsing back to the old nearest-rank artifact is allowed only
+//!   when they are truly equal);
 //! * every `cluster[i]`: numeric `shards`, `total_workers`,
-//!   `concurrent`, `requests_per_s`, `p50_ms`, `p99_ms`;
+//!   `concurrent`, `requests_per_s`, `p50_ms`, `p99_ms`, again with
+//!   `p99_ms >= p50_ms`;
+//! * every `autotune[i]`: numeric `batch`, `window_us`,
+//!   `positions_per_sec`; non-empty `curve` array of objects with
+//!   numeric `batch`, `forward_ns`;
 //! * `shedding`: numeric `offered`, `admitted`, `shed`,
 //!   `mean_retry_after_ms`, `drain_ms`, with
 //!   `admitted + shed == offered`;
@@ -252,10 +260,15 @@ fn check(doc: &Json) -> Result<String, String> {
 
     let meta = obj(field(root, "$", "meta")?, "$.meta")?;
     let version = num(meta, "$.meta", "schema_version")?;
-    if version != 4.0 {
-        return Err(format!("$.meta.schema_version: expected 4, got {version}"));
+    if version != 5.0 {
+        return Err(format!("$.meta.schema_version: expected 5, got {version}"));
     }
-    for key in ["workers", "host_cores", "playouts_per_request"] {
+    for key in [
+        "workers",
+        "host_cores",
+        "eval_batch_hint",
+        "playouts_per_request",
+    ] {
         num(meta, "$.meta", key)?;
     }
 
@@ -282,6 +295,48 @@ fn check(doc: &Json) -> Result<String, String> {
             "p99_ms",
         ],
     )?;
+    // Percentile fidelity: interpolated percentiles are monotone in p,
+    // so any row where p99 < p50 means the latency vector is bogus.
+    for name in ["sessions", "cluster"] {
+        if let Json::Arr(rows) = field(root, "$", name)? {
+            for (i, row) in rows.iter().enumerate() {
+                let path = format!("$.{name}[{i}]");
+                let m = obj(row, &path)?;
+                let p50 = num(m, &path, "p50_ms")?;
+                let p99 = num(m, &path, "p99_ms")?;
+                if p99 < p50 {
+                    return Err(format!("{path}: p99_ms ({p99}) < p50_ms ({p50})"));
+                }
+            }
+        }
+    }
+
+    let autotune = check_each(
+        root,
+        "autotune",
+        &["batch", "window_us", "positions_per_sec"],
+    )?;
+    if let Json::Arr(rows) = field(root, "$", "autotune")? {
+        for (i, row) in rows.iter().enumerate() {
+            let path = format!("$.autotune[{i}]");
+            let m = obj(row, &path)?;
+            match field(m, &path, "calibrated")? {
+                Json::Bool(_) => {}
+                _ => return Err(format!("{path}.calibrated: expected bool")),
+            }
+            let curve = match field(m, &path, "curve")? {
+                Json::Arr(c) if !c.is_empty() => c,
+                Json::Arr(_) => return Err(format!("{path}.curve: must be non-empty")),
+                _ => return Err(format!("{path}.curve: expected array")),
+            };
+            for (j, point) in curve.iter().enumerate() {
+                let ppath = format!("{path}.curve[{j}]");
+                let pm = obj(point, &ppath)?;
+                num(pm, &ppath, "batch")?;
+                num(pm, &ppath, "forward_ns")?;
+            }
+        }
+    }
 
     let shed = obj(field(root, "$", "shedding")?, "$.shedding")?;
     let offered = num(shed, "$.shedding", "offered")?;
@@ -357,9 +412,9 @@ fn check(doc: &Json) -> Result<String, String> {
     }
 
     Ok(format!(
-        "schema v4 ok: {sessions} session points, {cluster} cluster points, \
-         shedding {admitted}/{offered} admitted, cache hit rate {hit_rate:.2}, \
-         {degradation} degradation points"
+        "schema v5 ok: {sessions} session points, {cluster} cluster points, \
+         {autotune} autotune reports, shedding {admitted}/{offered} admitted, \
+         cache hit rate {hit_rate:.2}, {degradation} degradation points"
     ))
 }
 
@@ -391,12 +446,15 @@ mod tests {
     use super::*;
 
     const GOOD: &str = r#"{
-      "meta": {"schema_version": 4, "workers": 2, "host_cores": 1, "playouts_per_request": 48, "board": "gomoku9", "evaluator": "nn", "smoke": true},
+      "meta": {"schema_version": 5, "workers": 4, "host_cores": 1, "eval_batch_hint": 32, "coalesce_auto": true, "playouts_per_request": 48, "board": "gomoku9", "evaluator": "nn", "smoke": true},
       "sessions": [
         {"concurrent": 1, "requests_per_s": 10.0, "p50_ms": 1.0, "p99_ms": 2.0, "mean_eval_batch": 1.0}
       ],
       "cluster": [
         {"shards": 2, "total_workers": 2, "concurrent": 6, "requests_per_s": 9.5, "p50_ms": 1.0, "p99_ms": 2.0}
+      ],
+      "autotune": [
+        {"calibrated": true, "batch": 8, "window_us": 850, "positions_per_sec": 9000.0, "curve": [{"batch": 1, "forward_ns": 210000}, {"batch": 8, "forward_ns": 855000}]}
       ],
       "shedding": {"offered": 6, "admitted": 2, "shed": 4, "mean_retry_after_ms": 12.0, "drain_ms": 80.0},
       "coalescing": {"burst": 4, "serial_mean_eval_batch": 1.0, "multi_mean_eval_batch": 1.8},
@@ -421,8 +479,35 @@ mod tests {
 
     #[test]
     fn wrong_schema_version_fails() {
-        let broken = GOOD.replace("\"schema_version\": 4", "\"schema_version\": 3");
+        let broken = GOOD.replace("\"schema_version\": 5", "\"schema_version\": 4");
         assert!(check(&parse(&broken).unwrap()).is_err());
+    }
+
+    #[test]
+    fn inverted_percentiles_fail() {
+        let broken = GOOD.replace(
+            "\"p50_ms\": 1.0, \"p99_ms\": 2.0, \"mean_eval_batch\"",
+            "\"p50_ms\": 3.0, \"p99_ms\": 2.0, \"mean_eval_batch\"",
+        );
+        let err = check(&parse(&broken).unwrap()).unwrap_err();
+        assert!(err.contains("p99_ms"), "{err}");
+    }
+
+    #[test]
+    fn missing_autotune_section_fails() {
+        let broken = GOOD.replace("\"autotune\"", "\"autoplay\"");
+        let err = check(&parse(&broken).unwrap()).unwrap_err();
+        assert!(err.contains("autotune"), "{err}");
+    }
+
+    #[test]
+    fn empty_autotune_curve_fails() {
+        let broken = GOOD.replace(
+            "\"curve\": [{\"batch\": 1, \"forward_ns\": 210000}, {\"batch\": 8, \"forward_ns\": 855000}]",
+            "\"curve\": []",
+        );
+        let err = check(&parse(&broken).unwrap()).unwrap_err();
+        assert!(err.contains("curve"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,341 @@
+//! Measurement-driven batch tuning: an online forward-time-vs-batch-size
+//! curve per backend, and the operating point (target batch + coalescing
+//! window) that maximizes positions per second.
+//!
+//! The serving layer historically batched with two constants: a fixed
+//! `coalesce_window` and the backend's static `preferred_batch` hint.
+//! [`BatchTuner`] replaces both with measurement. At backend registration a
+//! one-shot calibration times a zero-input forward at each power-of-two
+//! batch size, seeding the curve; every observed production forward then
+//! refines its bucket by EWMA (7/8 old, 1/8 new — the same blend the
+//! coalescer's window heuristic uses). The operating point re-derives from
+//! the curve on demand:
+//!
+//! * **target batch** — the bucket maximizing `batch / t(batch)`
+//!   (positions/s), i.e. keep growing the batch while the forward stays
+//!   sublinear, stop where it turns linear;
+//! * **window** — the chosen bucket's forward time (while one batch is in
+//!   flight, arrivals have exactly that long to fill the next round),
+//!   clamped to the configured ceiling.
+//!
+//! All state is atomic; `record` is wait-free and called from every
+//! coalescing leader, `operating_point`/`curve` are read-side only. The
+//! curve and chosen point export through `ClusterStats` as an
+//! [`AutotuneReport`] so the feedback loop is observable from the outside.
+
+use crate::evaluator::{BatchEvaluator, EvalOutput};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// EWMA blend: `new = (old * 7 + sample) / 8`.
+const EWMA_OLD_WEIGHT: u64 = 7;
+
+/// Floor for the derived window (matches the coalescer's floor).
+const MIN_WINDOW: Duration = Duration::from_micros(2);
+
+/// An online forward-time-vs-batch-size curve for one backend.
+#[derive(Debug)]
+pub struct BatchTuner {
+    /// Bucket batch sizes: powers of two up to the backend's max batch
+    /// (always including the max itself).
+    sizes: Vec<usize>,
+    /// EWMA forward nanoseconds per bucket; 0 = no observation yet.
+    ewma_ns: Vec<AtomicU64>,
+    /// Ceiling for the derived coalescing window.
+    window_cap: Duration,
+    /// Whether a calibration pass seeded the curve.
+    calibrated: AtomicBool,
+}
+
+/// The tuner's current choice: assemble batches of about `batch`, waiting
+/// at most `window` for them to fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OperatingPoint {
+    pub batch: usize,
+    pub window: Duration,
+}
+
+/// Machine-readable snapshot of one backend's tuning state, exported via
+/// cluster stats.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AutotuneReport {
+    /// Shard index (filled in by the cluster when aggregating).
+    pub shard: usize,
+    /// Whether the curve was seeded by a calibration pass.
+    pub calibrated: bool,
+    /// Chosen target batch size.
+    pub batch: usize,
+    /// Chosen coalescing window, microseconds.
+    pub window_us: u64,
+    /// Estimated throughput at the operating point, positions per second.
+    pub positions_per_sec: f64,
+    /// The measured curve: `(batch_size, ewma_forward_ns)` for every
+    /// bucket with at least one observation.
+    pub curve: Vec<(usize, u64)>,
+}
+
+impl BatchTuner {
+    /// A tuner for a backend whose hard batch cap is `max_batch`, deriving
+    /// windows no longer than `window_cap`.
+    pub fn new(max_batch: usize, window_cap: Duration) -> Self {
+        let max_batch = max_batch.max(1);
+        let mut sizes = Vec::new();
+        let mut b = 1usize;
+        while b < max_batch {
+            sizes.push(b);
+            b *= 2;
+        }
+        sizes.push(max_batch);
+        let ewma_ns = sizes.iter().map(|_| AtomicU64::new(0)).collect();
+        BatchTuner {
+            sizes,
+            ewma_ns,
+            window_cap,
+            calibrated: AtomicBool::new(false),
+        }
+    }
+
+    /// Largest batch the tuner will ever choose.
+    pub fn max_batch(&self) -> usize {
+        *self.sizes.last().unwrap()
+    }
+
+    /// Bucket index for an observed batch size: the smallest bucket that
+    /// holds it (observations above the cap land in the top bucket).
+    fn bucket(&self, batch: usize) -> usize {
+        self.sizes
+            .iter()
+            .position(|&s| s >= batch)
+            .unwrap_or(self.sizes.len() - 1)
+    }
+
+    /// Fold one observed forward (`batch` positions in `elapsed`) into the
+    /// curve. Wait-free; races between concurrent recorders lose at most
+    /// one sample.
+    pub fn record(&self, batch: usize, elapsed: Duration) {
+        if batch == 0 {
+            return;
+        }
+        let ns = (elapsed.as_nanos() as u64).max(1);
+        let slot = &self.ewma_ns[self.bucket(batch)];
+        let old = slot.load(Ordering::Relaxed);
+        let blended = if old == 0 {
+            ns
+        } else {
+            (old * EWMA_OLD_WEIGHT + ns) / (EWMA_OLD_WEIGHT + 1)
+        };
+        slot.store(blended, Ordering::Relaxed);
+    }
+
+    /// One-shot calibration: time a zero-input forward at every bucket
+    /// size, seeding the curve so the first operating point is informed
+    /// rather than default. Runs against `backend` directly — call it with
+    /// the *raw* backend (not a resilience wrapper) so calibration cannot
+    /// trip breakers or count as production traffic. A panicking backend
+    /// aborts calibration silently; the curve then fills from production
+    /// EWMA alone.
+    pub fn calibrate(&self, backend: &dyn BatchEvaluator) {
+        let input_len = backend.input_len();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            // Warm up caches/pools so the seed measures steady state.
+            let warm = vec![0.0f32; input_len];
+            let mut out = vec![EvalOutput::default(); 1];
+            backend.evaluate_batch(&[&warm], &mut out);
+            for (i, &size) in self.sizes.iter().enumerate() {
+                let flat = vec![0.0f32; input_len * size];
+                let inputs: Vec<&[f32]> = (0..size)
+                    .map(|s| &flat[s * input_len..(s + 1) * input_len])
+                    .collect();
+                let mut out = vec![EvalOutput::default(); size];
+                let start = Instant::now();
+                backend.evaluate_batch(&inputs, &mut out);
+                let ns = (start.elapsed().as_nanos() as u64).max(1);
+                self.ewma_ns[i].store(ns, Ordering::Relaxed);
+            }
+        }));
+        if result.is_ok() {
+            self.calibrated.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// True when [`BatchTuner::calibrate`] completed successfully.
+    pub fn is_calibrated(&self) -> bool {
+        self.calibrated.load(Ordering::Relaxed)
+    }
+
+    /// True when every bucket has at least one observation — the curve
+    /// covers the full batch range, so the operating point compares all
+    /// the options rather than just the sizes traffic happened to
+    /// produce. Consumers that *steer* batch sizes by the operating
+    /// point should require this (a partial curve self-reinforces: a
+    /// tuner targeting bucket `b` only ever observes batches ≤ `b` and
+    /// would never discover that larger ones amortize better).
+    pub fn fully_observed(&self) -> bool {
+        self.ewma_ns.iter().all(|ns| ns.load(Ordering::Relaxed) > 0)
+    }
+
+    /// The current operating point. With an empty curve (no calibration,
+    /// no traffic yet) this falls back to the max batch and the window
+    /// ceiling — the pre-tuner behavior.
+    pub fn operating_point(&self) -> OperatingPoint {
+        let mut best: Option<(usize, u64, f64)> = None;
+        for (i, &size) in self.sizes.iter().enumerate() {
+            let ns = self.ewma_ns[i].load(Ordering::Relaxed);
+            if ns == 0 {
+                continue;
+            }
+            let rate = size as f64 / ns as f64;
+            // Strictly-greater keeps the smallest batch among equal rates:
+            // same throughput at lower latency.
+            if best.is_none_or(|(_, _, r)| rate > r) {
+                best = Some((size, ns, rate));
+            }
+        }
+        match best {
+            Some((batch, ns, _)) => OperatingPoint {
+                batch,
+                window: Duration::from_nanos(ns).clamp(MIN_WINDOW, self.window_cap),
+            },
+            None => OperatingPoint {
+                batch: self.max_batch(),
+                window: self.window_cap,
+            },
+        }
+    }
+
+    /// The measured curve: `(batch, ewma_ns)` for every observed bucket.
+    pub fn curve(&self) -> Vec<(usize, u64)> {
+        self.sizes
+            .iter()
+            .zip(&self.ewma_ns)
+            .filter_map(|(&s, ns)| {
+                let v = ns.load(Ordering::Relaxed);
+                (v > 0).then_some((s, v))
+            })
+            .collect()
+    }
+
+    /// Snapshot for stats export. `shard` is left 0; aggregators fill it.
+    pub fn report(&self) -> AutotuneReport {
+        let op = self.operating_point();
+        let curve = self.curve();
+        let positions_per_sec = curve
+            .iter()
+            .find(|&&(s, _)| s == op.batch)
+            .map_or(0.0, |&(s, ns)| s as f64 / (ns as f64 / 1e9));
+        AutotuneReport {
+            shard: 0,
+            calibrated: self.is_calibrated(),
+            batch: op.batch,
+            window_us: op.window.as_micros() as u64,
+            positions_per_sec,
+            curve,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::UniformEvaluator;
+
+    #[test]
+    fn buckets_are_powers_of_two_plus_cap() {
+        let t = BatchTuner::new(24, Duration::from_millis(1));
+        assert_eq!(t.sizes, vec![1, 2, 4, 8, 16, 24]);
+        assert_eq!(t.max_batch(), 24);
+        let t1 = BatchTuner::new(1, Duration::from_millis(1));
+        assert_eq!(t1.sizes, vec![1]);
+    }
+
+    #[test]
+    fn unseeded_tuner_falls_back_to_cap_and_window() {
+        let t = BatchTuner::new(16, Duration::from_micros(150));
+        let op = t.operating_point();
+        assert_eq!(op.batch, 16);
+        assert_eq!(op.window, Duration::from_micros(150));
+        assert!(t.curve().is_empty());
+        assert!(!t.is_calibrated());
+    }
+
+    #[test]
+    fn picks_the_knee_of_a_sublinear_curve() {
+        let t = BatchTuner::new(16, Duration::from_millis(10));
+        // Sublinear up to 8 (batching amortizes), linear after: 8 wins.
+        t.record(1, Duration::from_micros(100));
+        t.record(2, Duration::from_micros(120));
+        t.record(4, Duration::from_micros(160));
+        t.record(8, Duration::from_micros(240));
+        t.record(16, Duration::from_micros(520));
+        let op = t.operating_point();
+        assert_eq!(op.batch, 8);
+        // Window tracks the chosen bucket's forward time.
+        assert_eq!(op.window, Duration::from_micros(240));
+    }
+
+    #[test]
+    fn window_respects_cap_and_floor() {
+        let t = BatchTuner::new(4, Duration::from_micros(150));
+        t.record(4, Duration::from_millis(5));
+        assert_eq!(t.operating_point().window, Duration::from_micros(150));
+        let t2 = BatchTuner::new(4, Duration::from_micros(150));
+        t2.record(4, Duration::from_nanos(10));
+        assert_eq!(t2.operating_point().window, MIN_WINDOW);
+    }
+
+    #[test]
+    fn ewma_converges_toward_recent_samples() {
+        let t = BatchTuner::new(2, Duration::from_millis(1));
+        t.record(2, Duration::from_micros(800));
+        for _ in 0..60 {
+            t.record(2, Duration::from_micros(100));
+        }
+        let (_, ns) = t.curve().pop().unwrap();
+        assert!(ns < 120_000, "EWMA should approach 100µs, got {ns}ns");
+    }
+
+    #[test]
+    fn oversized_observations_land_in_top_bucket() {
+        let t = BatchTuner::new(8, Duration::from_millis(1));
+        t.record(64, Duration::from_micros(300));
+        assert_eq!(t.curve(), vec![(8, 300_000)]);
+    }
+
+    #[test]
+    fn fully_observed_requires_every_bucket() {
+        let t = BatchTuner::new(8, Duration::from_millis(1));
+        assert!(!t.fully_observed());
+        t.record(1, Duration::from_micros(50));
+        t.record(2, Duration::from_micros(60));
+        t.record(4, Duration::from_micros(80));
+        assert!(!t.fully_observed(), "top bucket still unobserved");
+        t.record(8, Duration::from_micros(120));
+        assert!(t.fully_observed());
+    }
+
+    #[test]
+    fn calibration_seeds_every_bucket() {
+        let eval = UniformEvaluator::new(4, 9);
+        let t = BatchTuner::new(8, Duration::from_millis(1));
+        t.calibrate(&eval);
+        assert!(t.is_calibrated());
+        assert_eq!(t.curve().len(), 4, "buckets 1,2,4,8");
+        let report = t.report();
+        assert!(report.calibrated);
+        assert!(report.batch >= 1);
+        assert!(report.positions_per_sec > 0.0);
+    }
+
+    #[test]
+    fn report_round_trips_operating_point() {
+        let t = BatchTuner::new(4, Duration::from_millis(1));
+        t.record(1, Duration::from_micros(50));
+        t.record(4, Duration::from_micros(80));
+        let r = t.report();
+        assert_eq!(r.batch, 4);
+        assert_eq!(r.window_us, 80);
+        assert_eq!(r.curve, vec![(1, 50_000), (4, 80_000)]);
+        assert!((r.positions_per_sec - 4.0 / 80e-6).abs() / (4.0 / 80e-6) < 1e-9);
+    }
+}

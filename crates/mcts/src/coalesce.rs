@@ -13,6 +13,7 @@
 //! inference): `N` rollout workers produce one `[N, C, H, W]` forward
 //! pass instead of `N` single-sample passes.
 
+use crate::autotune::BatchTuner;
 use crate::error::SearchError;
 use crate::evaluator::{BatchEvaluator, EvalOutput, Evaluator};
 use parking_lot::{Condvar, Mutex};
@@ -85,8 +86,21 @@ pub struct CoalescingEvaluator {
     inner: Arc<dyn BatchEvaluator>,
     max_batch: usize,
     window: Duration,
+    /// Measurement-driven override for target batch and window. When set,
+    /// each round aims for the tuner's operating point (never above
+    /// `max_batch`) and every sealed batch is recorded back into it.
+    tuner: Option<Arc<BatchTuner>>,
     /// EMA of per-sample inference time, ns (0 = not yet measured).
     ema_sample_ns: AtomicU64,
+    /// High-water mark of recent round fills (rises to any larger fill,
+    /// decays by one per smaller round). Rounds normally target no more
+    /// than this — waiting out the grace period for a fill the caller
+    /// population has never produced would tax every round — with a
+    /// periodic probe round aiming at the full tuner target so the mark
+    /// can climb when concurrency rises gently. (Sharp rises need no
+    /// probe: arrivals stacking up behind an in-flight forward overshoot
+    /// the target and lift the mark directly.)
+    fill_hwm: AtomicU64,
     /// Lifetime rounds executed.
     batches: AtomicU64,
     /// Lifetime samples served.
@@ -110,7 +124,9 @@ impl CoalescingEvaluator {
             inner,
             max_batch,
             window,
+            tuner: None,
             ema_sample_ns: AtomicU64::new(0),
+            fill_hwm: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             samples: AtomicU64::new(0),
             state: Mutex::new(Round {
@@ -123,9 +139,43 @@ impl CoalescingEvaluator {
         }
     }
 
+    /// Attach a [`BatchTuner`]: rounds target the tuner's operating point
+    /// (batch and window, both capped by the constructor arguments) and
+    /// every sealed batch is recorded back into the curve. Typically the
+    /// tuner is shared with the stats exporter so the feedback loop is
+    /// observable.
+    pub fn with_tuner(mut self, tuner: Arc<BatchTuner>) -> Self {
+        self.tuner = Some(tuner);
+        self
+    }
+
     /// The configured batch bound.
     pub fn max_batch(&self) -> usize {
         self.max_batch
+    }
+
+    /// The batch size the next round aims for: the tuner's operating
+    /// point when one is attached *and* its curve covers every bucket
+    /// (never above the hard `max_batch`), else `max_batch` itself. A
+    /// partial curve must not steer the target — a tuner aiming at
+    /// bucket `b` only ever observes batches ≤ `b`, so steering by an
+    /// incomplete curve locks in whatever size showed up first.
+    pub fn target_batch(&self) -> usize {
+        let cap = match &self.tuner {
+            Some(t) if t.fully_observed() => t.operating_point().batch.clamp(1, self.max_batch),
+            _ => self.max_batch,
+        };
+        // Don't wait for a fill the current caller population has never
+        // delivered: cap by the fill high-water mark, except on periodic
+        // probe rounds (every 16th) which aim at the full target so the
+        // mark can climb with rising concurrency.
+        let hwm = self.fill_hwm.load(Ordering::Relaxed) as usize;
+        let probe = self.batches.load(Ordering::Relaxed).is_multiple_of(16);
+        if hwm == 0 || probe {
+            cap
+        } else {
+            cap.min(hwm)
+        }
     }
 
     /// Finished rounds currently awaiting follower pickup (diagnostics;
@@ -142,9 +192,18 @@ impl CoalescingEvaluator {
         }
     }
 
-    /// The wait the next leader will actually use: adapted to the
-    /// measured forward time, never above the configured window.
+    /// The wait the next leader will actually use. With a tuner attached
+    /// this is the operating point's window (the chosen batch's forward
+    /// time: while one batch is in flight, arrivals have exactly that
+    /// long to fill the next round). Otherwise it adapts to the measured
+    /// per-sample forward time. Never above the configured window.
     pub fn effective_window(&self) -> Duration {
+        if let Some(t) = &self.tuner {
+            let op = t.operating_point();
+            if !t.curve().is_empty() {
+                return op.window.clamp(MIN_COALESCE_WINDOW, self.window);
+            }
+        }
         let ema = self.ema_sample_ns.load(Ordering::Relaxed);
         if ema == 0 {
             // Nothing measured yet: pay the configured window once.
@@ -154,8 +213,12 @@ impl CoalescingEvaluator {
         }
     }
 
-    /// Fold one measured batch into the per-sample EMA.
+    /// Fold one measured batch into the per-sample EMA (and the attached
+    /// tuner's curve, when there is one).
     fn record_batch(&self, elapsed: Duration, samples: usize) {
+        if let Some(t) = &self.tuner {
+            t.record(samples, elapsed);
+        }
         let per_sample = (elapsed.as_nanos() as u64) / samples.max(1) as u64;
         let old = self.ema_sample_ns.load(Ordering::Relaxed);
         let new = if old == 0 {
@@ -179,8 +242,11 @@ impl Evaluator for CoalescingEvaluator {
     fn evaluate(&self, input: &[f32]) -> (Vec<f32>, f32) {
         let mut st = self.state.lock();
         // A full round that its leader hasn't sealed yet must not grow
-        // past max_batch; wait for the seal to open the next epoch.
+        // past max_batch; wait for the seal to open the next epoch. While
+        // parked, lend this caller's core to the tensor pool so a forward
+        // pass in flight can widen its strip parallelism.
         while st.inputs.len() >= self.max_batch {
+            let _lease = tensor::pool::lend_core();
             st = self.joined.wait(st);
         }
         let epoch = st.epoch;
@@ -190,14 +256,37 @@ impl Evaluator for CoalescingEvaluator {
         self.joined.notify_all();
 
         if leader {
-            // Collect joiners until the batch fills or the window closes.
-            let deadline = Instant::now() + self.effective_window();
-            while st.inputs.len() < self.max_batch {
+            // Collect joiners until the batch reaches the target (the
+            // tuner's operating point, or max_batch without one) or the
+            // window closes. The leader's core is lent out while it waits.
+            //
+            // The window is an upper bound, not a sentence: when the
+            // service has fewer concurrent evaluators than the target
+            // batch, arrivals dry up long before the window closes, and
+            // waiting it out would tax every round with dead time. So the
+            // round also seals once no new caller has joined for a grace
+            // period (a fraction of the window) — full batches form at
+            // full concurrency, and light traffic proceeds at once.
+            let target = self.target_batch();
+            let window = self.effective_window();
+            let deadline = Instant::now() + window;
+            let grace = (window / 8).max(MIN_COALESCE_WINDOW);
+            let mut last_join = Instant::now();
+            let mut seen = st.inputs.len();
+            while st.inputs.len() < target {
                 let now = Instant::now();
                 if now >= deadline {
                     break;
                 }
-                let (guard, _) = self.joined.wait_timeout(st, deadline - now);
+                if st.inputs.len() > seen {
+                    seen = st.inputs.len();
+                    last_join = now;
+                } else if now >= last_join + grace {
+                    break;
+                }
+                let wait = (deadline - now).min(last_join + grace - now);
+                let _lease = tensor::pool::lend_core();
+                let (guard, _) = self.joined.wait_timeout(st, wait);
                 st = guard;
             }
             // Seal the round: later arrivals start the next epoch. Wake
@@ -206,6 +295,12 @@ impl Evaluator for CoalescingEvaluator {
             st.epoch += 1;
             self.joined.notify_all();
             drop(st);
+            // Rise to any larger fill at once, decay by one per smaller
+            // round: the mark tracks what concurrency actually delivers.
+            let fill = batch.len() as u64;
+            let hwm = self.fill_hwm.load(Ordering::Relaxed);
+            self.fill_hwm
+                .store(if fill >= hwm { fill } else { hwm - 1 }, Ordering::Relaxed);
 
             let followers = batch.len() - 1;
             // Contain a panicking backend so the round can be poisoned
@@ -264,7 +359,9 @@ impl Evaluator for CoalescingEvaluator {
                 }
             }
         } else {
-            // Follower: park until the leader publishes this round.
+            // Follower: park until the leader publishes this round,
+            // lending the core to the pool for the duration — the
+            // leader's forward pass is exactly what it's waiting on.
             loop {
                 if let Some(round) = st.done.get_mut(&epoch) {
                     let mine = match round.poison.clone() {
@@ -283,6 +380,7 @@ impl Evaluator for CoalescingEvaluator {
                         Err(err) => std::panic::panic_any(err),
                     }
                 }
+                let _lease = tensor::pool::lend_core();
                 st = self.finished.wait(st);
             }
         }
@@ -459,6 +557,41 @@ mod tests {
             );
         }
         assert_eq!(c.rounds_pending(), 0);
+    }
+
+    #[test]
+    fn attached_tuner_sees_sealed_batches_and_caps_target() {
+        let inner: Arc<dyn BatchEvaluator> = Arc::new(UniformEvaluator::new(4, 3));
+        let tuner = Arc::new(BatchTuner::new(64, Duration::from_millis(1)));
+        // Unseeded tuner wants its max (64); the coalescer's hard bound
+        // (4) must still cap the per-round target.
+        let c = Arc::new(
+            CoalescingEvaluator::with_window(inner, 4, Duration::from_millis(20))
+                .with_tuner(Arc::clone(&tuner)),
+        );
+        assert_eq!(c.target_batch(), 4);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    c.evaluate(&[0.0; 4]);
+                });
+            }
+        });
+        assert!(
+            !tuner.curve().is_empty(),
+            "sealed rounds must be recorded into the tuner's curve"
+        );
+        // Once the curve says batch 2 is the knee, rounds aim for 2.
+        let seeded = Arc::new(BatchTuner::new(8, Duration::from_millis(1)));
+        seeded.record(1, Duration::from_micros(100));
+        seeded.record(2, Duration::from_micros(110));
+        seeded.record(4, Duration::from_micros(400));
+        seeded.record(8, Duration::from_micros(900));
+        let inner2: Arc<dyn BatchEvaluator> = Arc::new(UniformEvaluator::new(4, 3));
+        let c2 = CoalescingEvaluator::with_window(inner2, 8, Duration::from_millis(20))
+            .with_tuner(seeded);
+        assert_eq!(c2.target_batch(), 2);
     }
 
     #[test]

@@ -79,6 +79,7 @@
 pub mod adaptive;
 pub mod analysis;
 pub mod arena;
+pub mod autotune;
 pub mod budget;
 pub mod builder;
 pub mod cache;
@@ -102,6 +103,7 @@ pub mod tree;
 
 pub use adaptive::{AdaptiveSearch, Scheme};
 pub use arena::NodeState;
+pub use autotune::{AutotuneReport, BatchTuner, OperatingPoint};
 pub use budget::{Budget, StepOutcome};
 pub use builder::SearchBuilder;
 pub use cache::{CacheStats, CachedEvaluator, EvalCache, EvalCacheConfig};
@@ -111,7 +113,7 @@ pub use coalesce::{CoalesceStats, CoalescingEvaluator};
 pub use config::{LockKind, MctsConfig, VirtualLoss};
 pub use error::{EvalError, SearchError};
 pub use evaluator::{
-    AccelEvaluator, BatchEvaluator, EvalOutput, Evaluator, LegacyEvaluator, NnEvaluator,
+    AccelEvaluator, BatchEvaluator, EvalOutput, Evaluator, LegacyEvaluator, NnEvaluator, Precision,
     SingleSample, UniformEvaluator,
 };
 pub use noise::RootNoise;

@@ -1,0 +1,218 @@
+//! Int8 inference parity: the accuracy contract of the quantized
+//! evaluator path, pinned on a fixed seed suite of real game positions
+//! (gomoku and othello), per-position and end-to-end through search.
+//!
+//! Contract (documented in ARCHITECTURE.md "Inference precision tiers"):
+//! on this suite the int8 evaluator agrees with f32 on the policy argmax
+//! for ≥ 99% of positions, the value head MAE stays below 0.02, and a
+//! deterministic serial search returns the identical `best_action` from
+//! every suite position.
+
+use games::{gomoku::Gomoku, othello::Othello, Game};
+use mcts::{BatchEvaluator, MctsConfig, NnEvaluator, Precision, Scheme, SearchBuilder};
+use nn::{NetConfig, PolicyValueNet};
+use std::sync::Arc;
+
+/// Deterministic xorshift so the suite is identical on every run.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// Play `moves` random legal moves from the start position.
+fn advance<G: Game>(game: &mut G, moves: usize, rng: &mut Rng) {
+    let mut legal = Vec::new();
+    for _ in 0..moves {
+        if game.status().is_terminal() {
+            return;
+        }
+        game.legal_actions_into(&mut legal);
+        if legal.is_empty() {
+            return;
+        }
+        let a = legal[(rng.next() % legal.len() as u64) as usize];
+        game.apply(a);
+    }
+}
+
+/// The fixed suite: positions 0, 1, …, `depth-1` random plies deep,
+/// `per_depth` samples each.
+fn suite<G: Game>(start: &G, depth: usize, per_depth: usize, seed: u64) -> Vec<G> {
+    let mut rng = Rng(seed | 1);
+    let mut out = Vec::new();
+    for d in 0..depth {
+        for _ in 0..per_depth {
+            let mut g = start.clone();
+            advance(&mut g, d, &mut rng);
+            if !g.status().is_terminal() {
+                out.push(g);
+            }
+        }
+    }
+    out
+}
+
+/// A briefly trained net: freshly initialized nets have near-tied
+/// logits (argmax decided by noise-level margins), which is not what
+/// quantization ever serves — deployments quantize *trained* models,
+/// whose argmax margins are decisive. A few SGD steps toward
+/// deterministic one-hot targets reproduce that regime.
+fn net_for<G: Game>(game: &G, positions: &[G], seed: u64) -> Arc<PolicyValueNet> {
+    let (c, h, w) = game.encoded_shape();
+    let cfg = NetConfig::tiny(c, h, w, game.action_space());
+    let mut net = PolicyValueNet::new(cfg, seed);
+    let k = positions.len();
+    let mut x = vec![0.0f32; k * cfg.in_c * cfg.h * cfg.w];
+    let mut pi = vec![0.0f32; k * cfg.actions];
+    let mut z = vec![0.0f32; k];
+    let mut legal = Vec::new();
+    for (i, g) in positions.iter().take(k).enumerate() {
+        g.encode(&mut x[i * cfg.in_c * cfg.h * cfg.w..(i + 1) * cfg.in_c * cfg.h * cfg.w]);
+        g.legal_actions_into(&mut legal);
+        // Deterministic one-hot target: position hash picks the move.
+        let target = legal[(g.hash() % legal.len() as u64) as usize] as usize;
+        pi[i * cfg.actions + target] = 1.0;
+        z[i] = if g.hash() & 1 == 0 { 1.0 } else { -1.0 };
+    }
+    let x = tensor::Tensor::from_vec(x, &[k, cfg.in_c, cfg.h, cfg.w]);
+    let pi = tensor::Tensor::from_vec(pi, &[k, cfg.actions]);
+    let z = tensor::Tensor::from_vec(z, &[k, 1]);
+    let mut opt = nn::Sgd::new(&net.params(), 0.05, 0.9, 0.0);
+    let mut grads = net.grad_buffers();
+    for _ in 0..40 {
+        grads.zero();
+        let caches = net.forward_train(&x);
+        net.backward(&caches, &pi, &z, &mut grads);
+        let flat = grads.flat();
+        nn::Optimizer::step(&mut opt, &mut net.params_mut(), &flat);
+    }
+    Arc::new(net)
+}
+
+fn argmax(xs: &[f32]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap()
+}
+
+/// Per-position agreement between the f32 and int8 evaluator paths.
+fn measure_parity<G: Game>(positions: &[G], net: Arc<PolicyValueNet>) -> (f64, f64) {
+    let f32_eval = NnEvaluator::with_precision(Arc::clone(&net), 8, Precision::F32);
+    let int8_eval = NnEvaluator::with_precision(net, 8, Precision::Int8);
+    assert_eq!(int8_eval.precision(), Precision::Int8, "int8 path active");
+    let mut agree = 0usize;
+    let mut value_err = 0.0f64;
+    let mut buf = vec![0.0f32; positions[0].encoded_len()];
+    for g in positions {
+        g.encode(&mut buf);
+        let a = f32_eval.evaluate_one(&buf);
+        let b = int8_eval.evaluate_one(&buf);
+        if argmax(&a.priors) == argmax(&b.priors) {
+            agree += 1;
+        }
+        value_err += (a.value - b.value).abs() as f64;
+    }
+    (
+        agree as f64 / positions.len() as f64,
+        value_err / positions.len() as f64,
+    )
+}
+
+/// Deterministic serial search from `root` under `precision`.
+fn searched_best<G: Game>(root: &G, net: Arc<PolicyValueNet>, precision: Precision) -> u16 {
+    let eval = Arc::new(NnEvaluator::with_precision(net, 8, precision));
+    let mut search = SearchBuilder::new(Scheme::Serial)
+        .config(MctsConfig {
+            playouts: 96,
+            ..Default::default()
+        })
+        .evaluator(eval)
+        .build::<G>();
+    search.search(root).best_action()
+}
+
+#[test]
+fn int8_policy_argmax_matches_f32_on_fixed_gomoku_suite() {
+    let start = Gomoku::new(9, 5);
+    let positions = suite(&start, 10, 8, 0x9E3779B97F4A7C15);
+    assert!(positions.len() >= 60, "suite big enough to be meaningful");
+    let net = net_for(&start, &positions, 42);
+    let (agreement, value_mae) = measure_parity(&positions, net);
+    assert!(
+        agreement >= 0.99,
+        "gomoku argmax agreement {agreement:.4} below the 99% contract"
+    );
+    assert!(
+        value_mae <= 0.02,
+        "gomoku value MAE {value_mae:.4} above tolerance"
+    );
+}
+
+#[test]
+fn int8_policy_argmax_matches_f32_on_fixed_othello_suite() {
+    let start = Othello::new(6);
+    let positions = suite(&start, 10, 8, 0xD1B54A32D192ED03);
+    assert!(positions.len() >= 60);
+    let net = net_for(&start, &positions, 1234);
+    let (agreement, value_mae) = measure_parity(&positions, net);
+    assert!(
+        agreement >= 0.99,
+        "othello argmax agreement {agreement:.4} below the 99% contract"
+    );
+    assert!(
+        value_mae <= 0.02,
+        "othello value MAE {value_mae:.4} above tolerance"
+    );
+}
+
+#[test]
+fn int8_and_f32_searches_pick_identical_moves_end_to_end() {
+    // End-to-end: same deterministic search, only the inference
+    // precision differs — the chosen move must not.
+    let gomoku = Gomoku::new(9, 5);
+    let g_roots = suite(&gomoku, 6, 2, 0xA5A5A5A5A5A5A5A5);
+    let g_net = net_for(&gomoku, &g_roots, 42);
+    for root in g_roots {
+        let f = searched_best(&root, Arc::clone(&g_net), Precision::F32);
+        let q = searched_best(&root, Arc::clone(&g_net), Precision::Int8);
+        assert_eq!(f, q, "gomoku search diverged at move {}", root.move_count());
+    }
+    let othello = Othello::new(6);
+    let o_roots = suite(&othello, 6, 2, 0x0123456789ABCDEF);
+    let o_net = net_for(&othello, &o_roots, 77);
+    for root in o_roots {
+        let f = searched_best(&root, Arc::clone(&o_net), Precision::F32);
+        let q = searched_best(&root, Arc::clone(&o_net), Precision::Int8);
+        assert_eq!(
+            f,
+            q,
+            "othello search diverged at move {}",
+            root.move_count()
+        );
+    }
+}
+
+#[test]
+fn precision_knob_defaults_to_f32_and_reports_the_active_path() {
+    let g = Gomoku::new(7, 5);
+    let net = net_for(&g, std::slice::from_ref(&g), 9);
+    let default_eval = NnEvaluator::with_batch_hint(Arc::clone(&net), 4);
+    assert_eq!(default_eval.precision(), Precision::F32);
+    let int8_eval = NnEvaluator::with_precision(net, 4, Precision::Int8);
+    assert_eq!(int8_eval.precision(), Precision::Int8);
+    let mut buf = vec![0.0f32; g.encoded_len()];
+    g.encode(&mut buf);
+    let out = int8_eval.evaluate_one(&buf);
+    assert_eq!(out.priors.len(), g.action_space());
+    assert!(out.value.is_finite() && out.value.abs() <= 1.0);
+}

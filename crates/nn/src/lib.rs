@@ -50,6 +50,7 @@ pub mod loss;
 pub mod model;
 pub mod norm;
 pub mod optim;
+pub mod quant;
 pub mod residual;
 pub mod resnet;
 pub mod schedule;

@@ -360,6 +360,24 @@ impl PolicyValueNet {
         }
     }
 
+    /// Int8 inference snapshot: folds norms as
+    /// [`PolicyValueNet::folded_for_inference`] does, then quantizes every
+    /// conv/linear weight per output channel into the packed form the int8
+    /// GEMM consumes (see [`crate::quant`]). Returns `None` when the net
+    /// contains layer kinds the int8 path does not support (residual
+    /// blocks); callers fall back to the f32 snapshot.
+    pub fn quantized_for_inference(&self) -> Option<crate::quant::QuantPolicyValueNet> {
+        let trunk = crate::fuse::fold_stack(&self.trunk);
+        let policy_head = crate::fuse::fold_stack(&self.policy_head);
+        let value_head = crate::fuse::fold_stack(&self.value_head);
+        crate::quant::QuantPolicyValueNet::from_folded_stacks(
+            self.config,
+            &trunk,
+            &policy_head,
+            &value_head,
+        )
+    }
+
     /// True when [`PolicyValueNet::folded_for_inference`] would change
     /// anything (the net contains batch norms, standalone or inside
     /// residual blocks). Lets wrappers skip snapshotting a folded copy of

@@ -50,7 +50,7 @@ use crate::service::{SearchService, ServeConfig, ServiceStats};
 use crate::session::SearchTicket;
 use crate::{jittered, session_cost, SearchRequest};
 use games::Game;
-use mcts::{BatchEvaluator, CacheStats};
+use mcts::{AutotuneReport, BatchEvaluator, CacheStats};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
@@ -173,6 +173,11 @@ pub struct ClusterStats {
     pub cache: CacheStats,
     /// Per-shard service counters, indexed by shard.
     pub per_shard: Vec<ServiceStats>,
+    /// One report per live (shard, backend) tuner: the measured
+    /// forward-time-vs-batch-size curve and the operating point
+    /// currently steering that backend's batching. Empty with
+    /// [`ServeConfig::coalesce_auto`] off. `shard` is filled in.
+    pub autotune: Vec<AutotuneReport>,
 }
 
 impl ClusterStats {
@@ -194,6 +199,66 @@ impl ClusterStats {
         out.cache_evictions += self.cache.evictions;
         out.cache_bytes += self.cache.bytes;
         out
+    }
+
+    /// Machine-readable metrics dump (JSON): admission outcomes, the
+    /// folded service totals, and every backend's measured
+    /// forward-time curve with its current operating point. Scrapers
+    /// get the whole batching feedback loop from one call; keys are
+    /// stable across releases (additions only).
+    pub fn metrics_json(&self) -> String {
+        use std::fmt::Write;
+        let total = self.total();
+        let mut s = String::with_capacity(512);
+        let _ = write!(
+            s,
+            "{{\"admitted\":{},\"shed\":{{\"rate_limited\":{},\"queue_full\":{},\"too_large\":{},\"unhealthy\":{}}}",
+            self.admitted,
+            self.shed_rate_limited,
+            self.shed_queue_full,
+            self.shed_too_large,
+            self.shed_unhealthy
+        );
+        let _ = write!(
+            s,
+            ",\"sessions\":{{\"completed\":{},\"cancelled\":{},\"failed\":{}}},\"playouts\":{}",
+            total.sessions_completed,
+            total.sessions_cancelled,
+            total.sessions_failed,
+            total.playouts
+        );
+        let _ = write!(
+            s,
+            ",\"eval\":{{\"batches\":{},\"samples\":{},\"mean_batch\":{:.3}}}",
+            total.eval_batches,
+            total.eval_samples,
+            total.mean_eval_batch()
+        );
+        let _ = write!(
+            s,
+            ",\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"bytes\":{}}}",
+            self.cache.hits, self.cache.misses, self.cache.evictions, self.cache.bytes
+        );
+        s.push_str(",\"autotune\":[");
+        for (i, r) in self.autotune.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"shard\":{},\"calibrated\":{},\"batch\":{},\"window_us\":{},\"positions_per_sec\":{:.1},\"curve\":[",
+                r.shard, r.calibrated, r.batch, r.window_us, r.positions_per_sec
+            );
+            for (j, (size, ns)) in r.curve.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{{\"batch\":{size},\"forward_ns\":{ns}}}");
+            }
+            s.push_str("]}");
+        }
+        s.push_str("]}");
+        s
     }
 }
 
@@ -397,6 +462,17 @@ impl ServeCluster {
             shed_unhealthy: self.shed_unhealthy.load(Ordering::Relaxed),
             cache: self.cache.as_ref().map(|r| r.stats()).unwrap_or_default(),
             per_shard: self.shards.iter().map(|s| s.stats()).collect(),
+            autotune: self
+                .shards
+                .iter()
+                .enumerate()
+                .flat_map(|(i, s)| {
+                    s.autotune_reports().into_iter().map(move |mut r| {
+                        r.shard = i;
+                        r
+                    })
+                })
+                .collect(),
         }
     }
 

@@ -11,8 +11,8 @@ use crate::supervisor;
 use crate::{session_cost, Priority, SearchRequest};
 use games::Game;
 use mcts::{
-    BatchEvaluator, CacheStats, CachedEvaluator, CoalesceStats, CoalescingEvaluator,
-    ReusableSearch, Scheme, SearchBuilder, SearchError, SearchResult,
+    AutotuneReport, BatchEvaluator, BatchTuner, CacheStats, CachedEvaluator, CoalesceStats,
+    CoalescingEvaluator, ReusableSearch, Scheme, SearchBuilder, SearchError, SearchResult,
 };
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -35,8 +35,25 @@ pub struct ServeConfig {
     pub max_pooled: usize,
     /// Collection window of the shared per-backend coalescing layer
     /// (how long the first evaluator of a round waits for peers from
-    /// other sessions). See [`CoalescingEvaluator::with_window`].
+    /// other sessions). See [`CoalescingEvaluator::with_window`]. With
+    /// [`ServeConfig::coalesce_auto`] on, this is the *ceiling*: the
+    /// tuner derives the actual window from measured forward times.
     pub coalesce_window: Duration,
+    /// Measurement-driven batching: attach a [`BatchTuner`] to every
+    /// shared coalescing layer, so target batch size and collection
+    /// window come from the backend's measured forward-time curve
+    /// instead of the static `preferred_batch`/`coalesce_window` pair.
+    /// An unseeded tuner behaves exactly like the fixed configuration,
+    /// so turning this on is safe before any traffic. Default `true`.
+    pub coalesce_auto: bool,
+    /// Seed each backend's tuner with a one-shot calibration pass at
+    /// registration (times a zero-input forward at every power-of-two
+    /// batch size, against the raw backend — never through breakers or
+    /// caches). Adds a few forwards of latency to the backend's first
+    /// submit. Defaults to the `SERVE_CALIBRATE` environment variable
+    /// (`1`/`true` to enable); off otherwise. Only read when
+    /// [`ServeConfig::coalesce_auto`] is set.
+    pub calibrate_on_register: bool,
     /// Weighted-fair share of scheduling slices per [`Priority`] class,
     /// indexed `[Low, Normal, High]`. Over any busy window each class
     /// receives slices (≈ playouts) in proportion to its weight — higher
@@ -91,6 +108,10 @@ impl Default for ServeConfig {
             step_quota: 64,
             max_pooled: 2 * workers,
             coalesce_window: mcts::coalesce::DEFAULT_COALESCE_WINDOW,
+            coalesce_auto: true,
+            calibrate_on_register: std::env::var("SERVE_CALIBRATE")
+                .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+                .unwrap_or(false),
             class_weights: [1, 4, 16],
             eval_cache_bytes: None,
             eval_cache_ttl: None,
@@ -184,6 +205,13 @@ impl ServiceStats {
     }
 }
 
+/// One backend's shared batching state: coalescing layer + tuner.
+pub(crate) struct CoalesceEntry {
+    key: usize,
+    layer: Arc<CoalescingEvaluator>,
+    tuner: Option<Arc<BatchTuner>>,
+}
+
 #[derive(Default)]
 pub(crate) struct Counters {
     pub(crate) sessions_completed: AtomicU64,
@@ -208,10 +236,11 @@ pub(crate) struct Inner {
     /// One shared coalescing layer per distinct evaluator backend,
     /// keyed by the **original** backend `Arc`'s address (captured
     /// before the resilience wrap, so every session of a backend lands
-    /// in the same layer). Entries no live session references are
-    /// evicted on the next submit (their batch-fill counters fold into
-    /// `retired_eval`).
-    coalescers: Mutex<Vec<(usize, Arc<CoalescingEvaluator>)>>,
+    /// in the same layer), plus that backend's batch tuner when
+    /// [`ServeConfig::coalesce_auto`] is on. Entries no live session
+    /// references are evicted on the next submit (their batch-fill
+    /// counters fold into `retired_eval`).
+    coalescers: Mutex<Vec<CoalesceEntry>>,
     /// Batch-fill counters of evicted coalescing layers, so
     /// [`SearchService::stats`] stays monotone across evictions.
     retired_eval: Mutex<CoalesceStats>,
@@ -255,30 +284,47 @@ impl Inner {
         }
         let key = Arc::as_ptr(backend) as *const () as usize;
         let mut reg = self.coalescers.lock();
-        if let Some((_, c)) = reg.iter().find(|(k, _)| *k == key) {
-            return Arc::clone(c) as Arc<dyn BatchEvaluator>;
+        if let Some(e) = reg.iter().find(|e| e.key == key) {
+            return Arc::clone(&e.layer) as Arc<dyn BatchEvaluator>;
         }
         // Evict layers no live session holds (registry copy is the last
         // one): a long-lived service seeing per-request backends must
         // not pin every dead model's weights forever. Their counters
         // carry over so service stats stay monotone.
-        reg.retain(|(_, c)| {
-            if Arc::strong_count(c) > 1 {
+        reg.retain(|e| {
+            if Arc::strong_count(&e.layer) > 1 {
                 return true;
             }
-            let s = c.stats();
+            let s = e.layer.stats();
             let mut retired = self.retired_eval.lock();
             retired.batches += s.batches;
             retired.samples += s.samples;
             false
         });
-        let max_batch = backend.preferred_batch().min(self.cfg.workers.max(1));
-        let c = Arc::new(CoalescingEvaluator::with_window(
-            wrapped,
-            max_batch,
-            self.cfg.coalesce_window,
-        ));
-        reg.push((key, Arc::clone(&c)));
+        // The batch bound tracks the backend's capacity, not the worker
+        // count: offered concurrency (many sessions parked on one
+        // round) can exceed the stepper count, and capping at `workers`
+        // used to pin realized batch fill regardless of load.
+        let max_batch = backend.preferred_batch().max(1);
+        let mut c = CoalescingEvaluator::with_window(wrapped, max_batch, self.cfg.coalesce_window);
+        let tuner = self.cfg.coalesce_auto.then(|| {
+            let t = Arc::new(BatchTuner::new(max_batch, self.cfg.coalesce_window));
+            if self.cfg.calibrate_on_register {
+                // Against the raw backend: calibration must not trip
+                // breakers, warm caches, or count as coalesced traffic.
+                t.calibrate(backend.as_ref());
+            }
+            t
+        });
+        if let Some(t) = &tuner {
+            c = c.with_tuner(Arc::clone(t));
+        }
+        let c = Arc::new(c);
+        reg.push(CoalesceEntry {
+            key,
+            layer: Arc::clone(&c),
+            tuner,
+        });
         c
     }
 
@@ -533,8 +579,8 @@ impl SearchService {
     /// realized batch fill.
     pub fn stats(&self) -> ServiceStats {
         let mut eval = *self.inner.retired_eval.lock();
-        for (_, c) in self.inner.coalescers.lock().iter() {
-            let s = c.stats();
+        for e in self.inner.coalescers.lock().iter() {
+            let s = e.layer.stats();
             eval.batches += s.batches;
             eval.samples += s.samples;
         }
@@ -565,6 +611,19 @@ impl SearchService {
             cache_evictions: cache.evictions,
             cache_bytes: cache.bytes,
         }
+    }
+
+    /// One [`AutotuneReport`] per live backend with a tuner attached
+    /// (empty when [`ServeConfig::coalesce_auto`] is off or no batching
+    /// backend registered yet): the measured forward-time curve and the
+    /// operating point currently steering that backend's batching.
+    pub fn autotune_reports(&self) -> Vec<AutotuneReport> {
+        self.inner
+            .coalescers
+            .lock()
+            .iter()
+            .filter_map(|e| e.tuner.as_ref().map(|t| t.report()))
+            .collect()
     }
 
     /// Raw evaluation-cache counters across this service's per-backend

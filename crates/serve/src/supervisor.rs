@@ -72,6 +72,14 @@ pub(crate) fn spawn_worker(inner: &Arc<Inner>, id: u64) -> (Arc<WorkerSlot>, Joi
 /// One worker's scheduling loop, with every entry into scheme code
 /// fenced by `catch_unwind`.
 fn worker_loop(inner: &Arc<Inner>, slot: &Arc<WorkerSlot>) {
+    // Unified core budget: each serve worker claims one core from the
+    // tensor pool's arbiter for its lifetime, so GEMM strip parallelism
+    // and session stepping draw from the same pool instead of
+    // oversubscribing the host. The reservation is lent back while the
+    // worker has nothing to step (and by the coalescing layer while a
+    // worker is parked on a shared forward), so inference in flight can
+    // widen to the idle cores.
+    let _core = tensor::pool::reserve_core();
     loop {
         let mut entry = {
             let mut q = inner.queue.lock();
@@ -82,6 +90,7 @@ fn worker_loop(inner: &Arc<Inner>, slot: &Arc<WorkerSlot>) {
                 if inner.shutdown.load(Ordering::Acquire) {
                     return;
                 }
+                let _lease = tensor::pool::lend_core();
                 q = inner.work_cv.wait(q);
             }
         };

@@ -3,6 +3,7 @@
 //! streaming delivery, and the anytime `wait_timeout` contract.
 
 use games::tictactoe::TicTacToe;
+use games::Game;
 use mcts::{MctsConfig, UniformEvaluator};
 use serve::{
     AdmissionConfig, ClusterConfig, LeastLoaded, Priority, RejectReason, SearchRequest,
@@ -491,4 +492,82 @@ fn cluster_cache_is_shared_across_shards() {
     }
     assert_eq!(st.total().cache_hits, st.cache.hits);
     assert_eq!(st.total().cache_misses, st.cache.misses);
+}
+
+/// A batching backend cheap enough for calibration yet coalescible.
+struct BatchyUniform {
+    input_len: usize,
+    actions: usize,
+}
+
+impl mcts::BatchEvaluator for BatchyUniform {
+    fn input_len(&self) -> usize {
+        self.input_len
+    }
+    fn action_space(&self) -> usize {
+        self.actions
+    }
+    fn evaluate_batch(&self, _inputs: &[&[f32]], out: &mut [mcts::EvalOutput]) {
+        let p = 1.0 / self.actions as f32;
+        for o in out.iter_mut() {
+            o.priors.clear();
+            o.priors.resize(self.actions, p);
+            o.value = 0.0;
+        }
+    }
+    fn preferred_batch(&self) -> usize {
+        8
+    }
+}
+
+#[test]
+fn cluster_stats_export_autotune_reports_and_metrics_json() {
+    let cluster = ServeCluster::new(ClusterConfig {
+        shards: 2,
+        shard: ServeConfig {
+            workers: 2,
+            step_quota: 32,
+            coalesce_auto: true,
+            calibrate_on_register: true,
+            ..Default::default()
+        },
+        admission: None,
+    });
+    let g = TicTacToe::new();
+    let eval: Arc<dyn mcts::BatchEvaluator> = Arc::new(BatchyUniform {
+        input_len: g.encoded_len(),
+        actions: g.action_space(),
+    });
+    let t = cluster
+        .submit(SearchRequest::new(TicTacToe::new(), Arc::clone(&eval)).config(cfg(96)))
+        .unwrap();
+    assert_eq!(t.wait().stats.playouts, 96);
+    let home = t.shard();
+    let st = cluster.stats();
+    assert_eq!(
+        st.autotune.len(),
+        1,
+        "one tuner on the backend's home shard"
+    );
+    assert_eq!(st.autotune[0].shard, home, "report carries its shard index");
+    assert!(st.autotune[0].calibrated);
+    assert!(!st.autotune[0].curve.is_empty());
+    // The metrics dump is valid enough JSON for a scraper: balanced
+    // braces, and the headline sections all present.
+    let json = st.metrics_json();
+    for key in [
+        "\"admitted\":",
+        "\"shed\":",
+        "\"eval\":",
+        "\"mean_batch\":",
+        "\"cache\":",
+        "\"autotune\":[",
+        "\"curve\":[",
+        "\"forward_ns\":",
+    ] {
+        assert!(json.contains(key), "metrics dump missing {key}: {json}");
+    }
+    let opens = json.matches('{').count();
+    let closes = json.matches('}').count();
+    assert_eq!(opens, closes, "unbalanced JSON: {json}");
 }

@@ -312,6 +312,59 @@ fn cross_session_coalescing_fills_larger_batches_than_serial() {
     );
 }
 
+#[test]
+fn batch_fill_grows_with_offered_concurrency() {
+    // Regression: the coalescing bound used to be
+    // `preferred_batch().min(workers)`, pinning mean batch at the
+    // worker count (observed as a hard 2.000 plateau in bench_serve)
+    // no matter how many sessions were offered. The bound must track
+    // the backend's capacity so more offered concurrency keeps
+    // filling rounds.
+    let at = |workers: usize| coalescing_run(workers, 12);
+    let narrow = at(2);
+    let wide = at(6);
+    assert!(
+        wide > narrow + 0.5,
+        "batch fill must grow with offered concurrency: {narrow} -> {wide}"
+    );
+    assert!(
+        wide > 2.2,
+        "six concurrent steppers must beat the old two-worker pin, got {wide}"
+    );
+}
+
+#[test]
+fn autotune_reports_cover_registered_batching_backends() {
+    let s = SearchService::new(ServeConfig {
+        workers: 2,
+        step_quota: 16,
+        max_pooled: 4,
+        coalesce_window: Duration::from_millis(5),
+        coalesce_auto: true,
+        calibrate_on_register: true,
+        ..Default::default()
+    });
+    assert!(s.autotune_reports().is_empty(), "no backend yet");
+    let eval: Arc<dyn BatchEvaluator> = Arc::new(SlowBatchEval {
+        input_len: 36,
+        actions: 9,
+        delay: Duration::from_micros(200),
+    });
+    let t = s.submit(SearchRequest::new(TicTacToe::new(), Arc::clone(&eval)).config(cfg(64)));
+    assert_eq!(t.wait().stats.playouts, 64);
+    let reports = s.autotune_reports();
+    assert_eq!(reports.len(), 1, "one tuner per batching backend");
+    let r = &reports[0];
+    assert!(r.calibrated, "registration ran the calibration pass");
+    assert!((1..=8).contains(&r.batch), "operating point within bounds");
+    assert_eq!(r.curve.len(), 4, "buckets 1,2,4,8 all seeded");
+    assert!(r.positions_per_sec > 0.0);
+    // Uniform (non-batching) backends never get a tuner.
+    let t = s.submit(SearchRequest::new(TicTacToe::new(), uniform()).config(cfg(32)));
+    t.wait();
+    assert_eq!(s.autotune_reports().len(), 1);
+}
+
 /// Backend that counts how many samples actually reach it, so cache
 /// hits are visible as saved inference work.
 struct CountingBackend {

@@ -46,6 +46,7 @@ pub mod conv;
 pub mod init;
 pub mod ops;
 pub mod pool;
+pub mod quant;
 pub mod shape;
 pub mod tensor;
 pub mod workspace;

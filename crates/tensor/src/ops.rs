@@ -110,7 +110,7 @@ pub fn gemm_ep(
         return;
     }
     let flops = 2 * m * n * k;
-    if flops >= MT_FLOP_THRESHOLD && crate::pool::parallelism() > 1 {
+    if flops >= MT_FLOP_THRESHOLD && crate::pool::effective_parallelism() > 1 {
         gemm_strips_mt(ta, tb, m, n, k, alpha, a, b, c, &ep);
     } else {
         gemm_strip(ta, tb, m, n, k, alpha, a, b, c, &ep);
@@ -532,7 +532,7 @@ fn gemm_strips_mt(
     c: &mut [f32],
     ep: &Epilogue,
 ) {
-    let threads = crate::pool::parallelism();
+    let threads = crate::pool::effective_parallelism();
     let row_panels = m.div_ceil(MR);
     let col_blocks = n.div_ceil(NC);
     let c_ptr = CPtr(c.as_mut_ptr());

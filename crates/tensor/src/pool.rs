@@ -154,6 +154,72 @@ pub fn parallelism() -> usize {
     pool().threads
 }
 
+// ---------------------------------------------------------------------------
+// Core-budget arbiter
+// ---------------------------------------------------------------------------
+//
+// The tensor pool is not the only thread population on the host: a serving
+// layer runs session workers that spend most of their time inside forwards
+// (which dispatch GEMM strips right back into this pool). Sizing the two
+// populations independently oversubscribes small hosts. The arbiter gives
+// both sides one shared budget: an external worker *reserves* a core for its
+// lifetime (shrinking the parallelism GEMM dispatch will use) and *lends* it
+// back for the stretches where it is blocked — parked on a queue condvar,
+// or waiting for a coalesced batch leader. GEMM sizing then reads
+// [`effective_parallelism`] instead of raw [`parallelism`].
+
+/// Cores claimed by external (non-pool) worker threads.
+static RESERVED_CORES: AtomicUsize = AtomicUsize::new(0);
+/// Reserved cores currently lent back while their owner is blocked.
+static LENT_CORES: AtomicUsize = AtomicUsize::new(0);
+
+/// RAII guard for a core reserved by an external worker thread.
+/// Dropping it returns the core to the tensor pool's budget.
+#[derive(Debug)]
+pub struct CoreReservation(());
+
+/// Reserve one core from the shared budget for the lifetime of the returned
+/// guard. Call once per long-lived external worker thread.
+pub fn reserve_core() -> CoreReservation {
+    RESERVED_CORES.fetch_add(1, Ordering::Relaxed);
+    CoreReservation(())
+}
+
+impl Drop for CoreReservation {
+    fn drop(&mut self) {
+        RESERVED_CORES.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// RAII guard for a reserved core lent back to the pool while its owner is
+/// blocked. Dropping it reclaims the core for the owner.
+#[derive(Debug)]
+pub struct CoreLease(());
+
+/// Lend a reserved core back to the pool for the lifetime of the returned
+/// guard. Hold it across blocking waits (condvar parks, batch-leader waits)
+/// so GEMM dispatch can use the otherwise-idle core.
+pub fn lend_core() -> CoreLease {
+    LENT_CORES.fetch_add(1, Ordering::Relaxed);
+    CoreLease(())
+}
+
+impl Drop for CoreLease {
+    fn drop(&mut self) {
+        LENT_CORES.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Parallelism GEMM dispatch should actually use right now: pool threads,
+/// minus cores reserved by external workers, plus reserved cores currently
+/// lent back. Always at least 1 (the caller) and never above the pool size.
+pub fn effective_parallelism() -> usize {
+    let threads = pool().threads;
+    let reserved = RESERVED_CORES.load(Ordering::Relaxed);
+    let lent = LENT_CORES.load(Ordering::Relaxed).min(reserved);
+    (threads + lent).saturating_sub(reserved).clamp(1, threads)
+}
+
 /// Run `task(0..strips)` with pool parallelism, blocking until every strip
 /// has completed. Strip indices are claimed dynamically; the caller thread
 /// participates. Panics in any strip are re-raised here after all strips
@@ -268,6 +334,48 @@ mod tests {
     #[test]
     fn parallelism_is_at_least_one() {
         assert!(parallelism() >= 1);
+    }
+
+    /// Serializes the arbiter tests: they assert on process-global counters.
+    static ARBITER_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn reservation_shrinks_and_lease_restores_effective_parallelism() {
+        let _g = lock_unpoisoned(&ARBITER_TEST_LOCK);
+        let base = effective_parallelism();
+        assert!(base >= 1 && base <= parallelism());
+        {
+            let _r: Vec<CoreReservation> = (0..parallelism() + 2).map(|_| reserve_core()).collect();
+            // Over-reservation floors at 1, never 0.
+            assert_eq!(effective_parallelism(), 1);
+            let _l = lend_core();
+            assert!(effective_parallelism() >= 1);
+            drop(_l);
+        }
+        assert_eq!(effective_parallelism(), base);
+    }
+
+    #[test]
+    fn lease_without_reservation_cannot_exceed_pool_size() {
+        let _g = lock_unpoisoned(&ARBITER_TEST_LOCK);
+        let _l = lend_core();
+        assert!(effective_parallelism() <= parallelism());
+    }
+
+    #[test]
+    fn reserve_then_lend_round_trips() {
+        let _g = lock_unpoisoned(&ARBITER_TEST_LOCK);
+        let base = effective_parallelism();
+        let r = reserve_core();
+        let shrunk = effective_parallelism();
+        assert_eq!(shrunk, base.saturating_sub(1).max(1));
+        let l = lend_core();
+        // Lending the reserved core returns it to the budget.
+        assert_eq!(effective_parallelism(), base);
+        drop(l);
+        assert_eq!(effective_parallelism(), shrunk);
+        drop(r);
+        assert_eq!(effective_parallelism(), base);
     }
 
     #[test]

@@ -1,0 +1,877 @@
+//! Int8-quantized GEMM: per-output-channel symmetric weights × dynamically
+//! quantized activations, with the dequant fused into the bias/ReLU epilogue.
+//!
+//! # Quantization scheme
+//!
+//! * **Weights** are quantized once, at snapshot time, per output channel
+//!   (= per row of the GEMM A operand): `q = round(w / s_i)` with
+//!   `s_i = maxabs(row_i) / 63`. The ±63 clamp is deliberate headroom: the
+//!   AVX2 kernel's `_mm256_maddubs_epi16` sums **pairs** of `u8×i8`
+//!   products into i16, and `255·63·2 = 32130 < 32767`, so the widening
+//!   dot product can never saturate.
+//! * **Activations** are quantized per call with a single symmetric scale
+//!   `s_x = maxabs(B) / 127`, then biased by +128 into `u8` (the unsigned
+//!   operand `maddubs` requires). The bias is exact to undo: the
+//!   accumulated `Σ (q_x+128)·q_w` over-counts by `128·Σ q_w`, and the
+//!   per-row weight sums are precomputed at quantization time.
+//! * **Dequant** happens in the tile write-back:
+//!   `C[i,j] = s_i·s_x·(acc[i,j] − 128·rowsum_i) [+ bias_i] [then ReLU]` —
+//!   the same fused epilogue shape as the f32 kernel, so layers still need
+//!   no separate output pass.
+//!
+//! # Kernel
+//!
+//! Same BLIS-style structure as [`crate::ops`]: A is pre-packed (at
+//! quantization time — it never changes) into `MR`-row panels with k
+//! grouped by 4, B is packed per call into `NR`-column panels with k
+//! grouped by 4 so one 32-byte load yields the 4-deep k-group of all 8
+//! columns. The micro-kernel computes a 4×8 i32 tile per pass:
+//! `maddubs(b_u8, w_i8)` → 16×i16 pair sums, `madd(·, 1)` → 8×i32 4-deep
+//! dots, accumulated per row. Runtime-detected AVX2 with a portable scalar
+//! fallback computing bit-identical results.
+//!
+//! Multithreading splits the N dimension into `NR`-aligned column strips
+//! (A is pre-packed and shared read-only, so the column split duplicates
+//! nothing) and sizes itself from [`crate::pool::effective_parallelism`],
+//! i.e. it participates in the shared core budget.
+
+use std::cell::RefCell;
+
+/// Micro-kernel tile rows (matches the f32 kernel).
+const MR: usize = 4;
+/// Micro-kernel tile columns (one AVX2 vector of i32 lanes).
+const NR: usize = 8;
+/// k values packed per group (one `maddubs`+`madd` step consumes 4).
+const KG: usize = 4;
+
+/// Weight clamp. ±63 guarantees the i16 pair sums inside `maddubs` cannot
+/// saturate against u8 activations (see module docs).
+const WEIGHT_QMAX: f32 = 63.0;
+/// Activation clamp (symmetric i8 range before the +128 bias).
+const ACT_QMAX: f32 = 127.0;
+/// Bias added to quantized activations to make them unsigned.
+const ACT_ZERO: i32 = 128;
+
+/// Per-output-channel symmetric int8 weights, pre-packed for the 4×8
+/// micro-kernel, with the per-row scales and weight sums the dequant
+/// epilogue needs.
+#[derive(Debug, Clone)]
+pub struct QuantizedWeights {
+    rows: usize,
+    cols: usize,
+    /// Column groups of 4 (`ceil(cols/4)`, at least 1).
+    kgroups: usize,
+    /// Panel-major layout: `[row_panel][kgroup][row_in_panel][4]`, zero
+    /// padded on both the row and k edges.
+    packed: Vec<i8>,
+    /// Per-row quantization scale (`maxabs/63`; 0 for all-zero rows).
+    scales: Vec<f32>,
+    /// Per-row sum of quantized weights, for the +128 activation-bias
+    /// correction.
+    row_sums: Vec<i32>,
+}
+
+impl QuantizedWeights {
+    /// Quantize a row-major `rows × cols` f32 matrix (one output channel
+    /// per row) into the packed int8 form.
+    pub fn quantize(w: &[f32], rows: usize, cols: usize) -> Self {
+        assert_eq!(w.len(), rows * cols, "weight slice must be rows*cols");
+        let panels = rows.div_ceil(MR).max(1);
+        let kgroups = cols.div_ceil(KG).max(1);
+        let mut packed = vec![0i8; panels * kgroups * MR * KG];
+        let mut scales = Vec::with_capacity(rows);
+        let mut row_sums = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &w[r * cols..(r + 1) * cols];
+            let maxabs = row.iter().fold(0f32, |m, &v| m.max(v.abs()));
+            let scale = if maxabs > 0.0 {
+                maxabs / WEIGHT_QMAX
+            } else {
+                0.0
+            };
+            let inv = if scale > 0.0 { 1.0 / scale } else { 0.0 };
+            let (p, i) = (r / MR, r % MR);
+            let mut sum = 0i32;
+            for (kidx, &v) in row.iter().enumerate() {
+                let q = (v * inv).round().clamp(-WEIGHT_QMAX, WEIGHT_QMAX) as i32;
+                sum += q;
+                let (g, kk) = (kidx / KG, kidx % KG);
+                packed[((p * kgroups + g) * MR + i) * KG + kk] = q as i8;
+            }
+            scales.push(scale);
+            row_sums.push(sum);
+        }
+        QuantizedWeights {
+            rows,
+            cols,
+            kgroups,
+            packed,
+            scales,
+            row_sums,
+        }
+    }
+
+    /// Output channels (GEMM m).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Reduction depth (GEMM k).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Per-row quantization scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Reconstruct the f32 matrix (`rows × cols`, row-major). Each element
+    /// is within `scale/2` of the original — the round-trip contract the
+    /// proptests pin down.
+    pub fn dequantize(&self) -> Vec<f32> {
+        let mut out = vec![0f32; self.rows * self.cols];
+        for r in 0..self.rows {
+            let (p, i) = (r / MR, r % MR);
+            let s = self.scales[r];
+            for kidx in 0..self.cols {
+                let (g, kk) = (kidx / KG, kidx % KG);
+                let q = self.packed[((p * self.kgroups + g) * MR + i) * KG + kk];
+                out[r * self.cols + kidx] = q as f32 * s;
+            }
+        }
+        out
+    }
+
+    /// Bytes held by the packed weight panels (footprint reporting).
+    pub fn packed_bytes(&self) -> usize {
+        self.packed.len()
+    }
+
+    /// Packed panel for row-panel `p`: `kgroups * MR * KG` int8 values.
+    fn panel(&self, p: usize) -> &[i8] {
+        let stride = self.kgroups * MR * KG;
+        &self.packed[p * stride..(p + 1) * stride]
+    }
+}
+
+/// True when the AVX2 widening-dot-product micro-kernel is in use (as
+/// opposed to the portable scalar fallback). Useful for bench metadata.
+pub fn simd_enabled() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        kernels_x86::avx2_available()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Int8 GEMM with fused dequant/bias/ReLU epilogue.
+///
+/// * `tb == false` (convolution): `B` is `cols × n` row-major (an im2col
+///   matrix), `C` is `rows × n` — `C = deq(Wq × Bq)`.
+/// * `tb == true` (linear): `B` is `n × cols` row-major (`n` input vectors),
+///   `C` is `n × rows` — `C = deq(Bq × Wqᵀ)`, written transposed directly
+///   from the tile, so no scratch staging is needed.
+///
+/// `bias` (when present) has one entry per weight row (= output channel /
+/// output feature) in both layouts; `relu` clamps after the bias. The
+/// activation scale is derived per call from `maxabs(B)`.
+pub fn qgemm(
+    qw: &QuantizedWeights,
+    b: &[f32],
+    tb: bool,
+    n: usize,
+    c: &mut [f32],
+    bias: Option<&[f32]>,
+    relu: bool,
+) {
+    let (m, k) = (qw.rows, qw.cols);
+    assert_eq!(b.len(), k * n, "B must be k*n elements");
+    assert_eq!(c.len(), m * n, "C must be m*n elements");
+    if let Some(bias) = bias {
+        assert_eq!(bias.len(), m, "bias must have one entry per weight row");
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    let maxabs = b.iter().fold(0f32, |acc, &v| acc.max(v.abs()));
+    let s_x = if maxabs > 0.0 { maxabs / ACT_QMAX } else { 0.0 };
+    let inv_sx = if s_x > 0.0 { 1.0 / s_x } else { 0.0 };
+
+    let col_panels = n.div_ceil(NR);
+    let flops = 2 * m * n * k;
+    let threads = crate::pool::effective_parallelism();
+    let c_ptr = CPtr(c.as_mut_ptr());
+    let c_ptr = &c_ptr;
+    if flops >= crate::ops::MT_FLOP_THRESHOLD && threads > 1 && col_panels >= 2 {
+        let strips = threads.min(col_panels);
+        let strip_panels = col_panels.div_ceil(strips);
+        let n_strips = col_panels.div_ceil(strip_panels);
+        crate::pool::run_strips(n_strips, &|s| {
+            let p0 = s * strip_panels;
+            let p1 = (p0 + strip_panels).min(col_panels);
+            // SAFETY: strip `s` covers column panels [p0, p1); strips are
+            // disjoint, so no two workers touch the same C element (in
+            // either the direct or the transposed write layout).
+            unsafe {
+                qgemm_col_panels(qw, b, tb, n, p0, p1, *c_ptr, bias, relu, s_x, inv_sx);
+            }
+        });
+    } else {
+        // SAFETY: single caller, whole panel range.
+        unsafe {
+            qgemm_col_panels(qw, b, tb, n, 0, col_panels, *c_ptr, bias, relu, s_x, inv_sx);
+        }
+    }
+}
+
+/// `*mut f32` wrapper so disjoint-strip writers can share the C pointer.
+#[derive(Clone, Copy)]
+struct CPtr(*mut f32);
+// SAFETY: strips write disjoint C regions (see call sites).
+unsafe impl Sync for CPtr {}
+
+thread_local! {
+    /// Per-thread packed-B panel (`kgroups * NR * KG` u8), reused across
+    /// calls so the steady state allocates nothing.
+    static QPACK_B: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Compute column panels `[p0, p1)` of the output. Caller guarantees the
+/// panel ranges of concurrent invocations are disjoint.
+#[allow(clippy::too_many_arguments)]
+unsafe fn qgemm_col_panels(
+    qw: &QuantizedWeights,
+    b: &[f32],
+    tb: bool,
+    n: usize,
+    p0: usize,
+    p1: usize,
+    c: CPtr,
+    bias: Option<&[f32]>,
+    relu: bool,
+    s_x: f32,
+    inv_sx: f32,
+) {
+    let (m, k) = (qw.rows, qw.cols);
+    let kgroups = qw.kgroups;
+    let row_panels = m.div_ceil(MR);
+    #[cfg(target_arch = "x86_64")]
+    let use_avx2 = kernels_x86::avx2_available();
+    QPACK_B.with(|buf| {
+        let mut buf = buf.borrow_mut();
+        buf.resize(kgroups * NR * KG, 0);
+        for cp in p0..p1 {
+            let j0 = cp * NR;
+            let jcount = NR.min(n - j0);
+            pack_b_panel(b, tb, k, n, j0, jcount, kgroups, inv_sx, &mut buf);
+            for rp in 0..row_panels {
+                let mut acc = [0i32; MR * NR];
+                let apanel = qw.panel(rp);
+                #[cfg(target_arch = "x86_64")]
+                if use_avx2 {
+                    // SAFETY: AVX2 presence checked; panel slices hold
+                    // exactly kgroups full groups.
+                    unsafe {
+                        kernels_x86::qkernel_4x8(kgroups, apanel.as_ptr(), buf.as_ptr(), &mut acc);
+                    }
+                } else {
+                    qkernel_scalar(kgroups, apanel, &buf, &mut acc);
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                qkernel_scalar(kgroups, apanel, &buf, &mut acc);
+                // SAFETY: rows/cols of this tile are in-bounds and the
+                // caller guarantees disjoint column ranges.
+                unsafe {
+                    write_tile(&acc, qw, rp, j0, jcount, n, tb, c, bias, relu, s_x);
+                }
+            }
+        }
+    });
+}
+
+/// Quantize + pack `jcount` B columns starting at `j0` into the
+/// `[kgroup][col][4]` u8 layout. Padding (k edge, missing columns) is the
+/// activation zero point, which the zero-padded weights annihilate.
+#[allow(clippy::too_many_arguments)]
+fn pack_b_panel(
+    b: &[f32],
+    tb: bool,
+    k: usize,
+    n: usize,
+    j0: usize,
+    jcount: usize,
+    kgroups: usize,
+    inv_sx: f32,
+    buf: &mut [u8],
+) {
+    debug_assert_eq!(buf.len(), kgroups * NR * KG);
+    // Full-width direct-layout panels take the vectorized quantize+
+    // transpose; everything else (linear layout, ragged column edge) goes
+    // through the scalar loop below, which uses the same nearest-even
+    // rounding so both paths are bit-identical.
+    #[cfg(target_arch = "x86_64")]
+    if !tb && jcount == NR && kernels_x86::avx2_available() {
+        let full_groups = k / KG;
+        // SAFETY: AVX2 checked; jcount == NR means columns j0..j0+8 are
+        // in-bounds for every row of the k × n matrix.
+        unsafe {
+            kernels_x86::pack_b_panel_avx2(
+                b.as_ptr(),
+                n,
+                j0,
+                full_groups,
+                inv_sx,
+                buf.as_mut_ptr(),
+            );
+        }
+        // k tail (k % 4 != 0): scalar quantize, zero-point padding.
+        if full_groups * KG < k {
+            buf[full_groups * NR * KG..].fill(ACT_ZERO as u8);
+            for jj in 0..jcount {
+                for kidx in full_groups * KG..k {
+                    let q = quantize_act(b[kidx * n + j0 + jj], inv_sx);
+                    let (g, kk) = (kidx / KG, kidx % KG);
+                    buf[(g * NR + jj) * KG + kk] = q;
+                }
+            }
+        }
+        return;
+    }
+    buf.fill(ACT_ZERO as u8);
+    for jj in 0..jcount {
+        let j = j0 + jj;
+        for kidx in 0..k {
+            let x = if tb { b[j * k + kidx] } else { b[kidx * n + j] };
+            let (g, kk) = (kidx / KG, kidx % KG);
+            buf[(g * NR + jj) * KG + kk] = quantize_act(x, inv_sx);
+        }
+    }
+}
+
+/// Quantize one activation to the biased-u8 domain, rounding to nearest
+/// even via the magic-constant trick (a couple of adds instead of the slow
+/// `f32::round` lowering) — the same rounding `cvtps_epi32` performs, so
+/// the scalar and AVX2 pack paths are bit-identical.
+#[inline]
+fn quantize_act(x: f32, inv_sx: f32) -> u8 {
+    const MAGIC: f32 = 12_582_912.0; // 1.5 * 2^23: shifts ties-to-even into the mantissa
+    let clamped = (x * inv_sx).clamp(-ACT_QMAX, ACT_QMAX);
+    let rounded = (clamped + MAGIC) - MAGIC;
+    (rounded as i32 + ACT_ZERO) as u8
+}
+
+/// Portable reference micro-kernel: bit-identical i32 accumulators to the
+/// AVX2 path (integer arithmetic is exact).
+fn qkernel_scalar(kgroups: usize, apanel: &[i8], bpanel: &[u8], acc: &mut [i32; MR * NR]) {
+    for g in 0..kgroups {
+        let ab = &apanel[g * MR * KG..(g + 1) * MR * KG];
+        let bb = &bpanel[g * NR * KG..(g + 1) * NR * KG];
+        for i in 0..MR {
+            let w = &ab[i * KG..(i + 1) * KG];
+            for j in 0..NR {
+                let x = &bb[j * KG..(j + 1) * KG];
+                let mut s = 0i32;
+                for kk in 0..KG {
+                    s += x[kk] as i32 * w[kk] as i32;
+                }
+                acc[i * NR + j] += s;
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod kernels_x86 {
+    use super::{KG, MR, NR};
+    use std::arch::x86_64::*;
+    use std::sync::OnceLock;
+
+    static AVX2: OnceLock<bool> = OnceLock::new();
+
+    pub fn avx2_available() -> bool {
+        *AVX2.get_or_init(|| is_x86_feature_detected!("avx2"))
+    }
+
+    /// 4×8 int8 micro-kernel: per k-group, one 32-byte B load gives the
+    /// 4-deep slice of all 8 columns; each row's 4 weights broadcast as an
+    /// i32; `maddubs` (u8×i8 → paired i16) then `madd` against ones
+    /// (i16 → summed i32) produce the 8 column dots, accumulated in i32.
+    ///
+    /// # Safety
+    /// AVX2 must be available. `apanel` must hold `kgroups*MR*KG` i8 and
+    /// `bpanel` `kgroups*NR*KG` u8.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn qkernel_4x8(
+        kgroups: usize,
+        apanel: *const i8,
+        bpanel: *const u8,
+        acc: &mut [i32; MR * NR],
+    ) {
+        let ones = _mm256_set1_epi16(1);
+        let mut acc0 = _mm256_setzero_si256();
+        let mut acc1 = _mm256_setzero_si256();
+        let mut acc2 = _mm256_setzero_si256();
+        let mut acc3 = _mm256_setzero_si256();
+        // Two k-groups per iteration: halves the loop overhead and gives
+        // the scheduler two independent maddubs/madd chains per
+        // accumulator to interleave.
+        let mut g = 0;
+        while g + 2 <= kgroups {
+            let bv0 = _mm256_loadu_si256(bpanel.add(g * NR * KG) as *const __m256i);
+            let bv1 = _mm256_loadu_si256(bpanel.add((g + 1) * NR * KG) as *const __m256i);
+            let wb0 = apanel.add(g * MR * KG) as *const i32;
+            let wb1 = apanel.add((g + 1) * MR * KG) as *const i32;
+            acc0 = _mm256_add_epi32(
+                acc0,
+                _mm256_madd_epi16(
+                    _mm256_maddubs_epi16(bv0, _mm256_set1_epi32(wb0.read_unaligned())),
+                    ones,
+                ),
+            );
+            acc1 = _mm256_add_epi32(
+                acc1,
+                _mm256_madd_epi16(
+                    _mm256_maddubs_epi16(bv0, _mm256_set1_epi32(wb0.add(1).read_unaligned())),
+                    ones,
+                ),
+            );
+            acc2 = _mm256_add_epi32(
+                acc2,
+                _mm256_madd_epi16(
+                    _mm256_maddubs_epi16(bv0, _mm256_set1_epi32(wb0.add(2).read_unaligned())),
+                    ones,
+                ),
+            );
+            acc3 = _mm256_add_epi32(
+                acc3,
+                _mm256_madd_epi16(
+                    _mm256_maddubs_epi16(bv0, _mm256_set1_epi32(wb0.add(3).read_unaligned())),
+                    ones,
+                ),
+            );
+            acc0 = _mm256_add_epi32(
+                acc0,
+                _mm256_madd_epi16(
+                    _mm256_maddubs_epi16(bv1, _mm256_set1_epi32(wb1.read_unaligned())),
+                    ones,
+                ),
+            );
+            acc1 = _mm256_add_epi32(
+                acc1,
+                _mm256_madd_epi16(
+                    _mm256_maddubs_epi16(bv1, _mm256_set1_epi32(wb1.add(1).read_unaligned())),
+                    ones,
+                ),
+            );
+            acc2 = _mm256_add_epi32(
+                acc2,
+                _mm256_madd_epi16(
+                    _mm256_maddubs_epi16(bv1, _mm256_set1_epi32(wb1.add(2).read_unaligned())),
+                    ones,
+                ),
+            );
+            acc3 = _mm256_add_epi32(
+                acc3,
+                _mm256_madd_epi16(
+                    _mm256_maddubs_epi16(bv1, _mm256_set1_epi32(wb1.add(3).read_unaligned())),
+                    ones,
+                ),
+            );
+            g += 2;
+        }
+        if g < kgroups {
+            let bv = _mm256_loadu_si256(bpanel.add(g * NR * KG) as *const __m256i);
+            let wbase = apanel.add(g * MR * KG) as *const i32;
+            let w0 = _mm256_set1_epi32(wbase.read_unaligned());
+            let w1 = _mm256_set1_epi32(wbase.add(1).read_unaligned());
+            let w2 = _mm256_set1_epi32(wbase.add(2).read_unaligned());
+            let w3 = _mm256_set1_epi32(wbase.add(3).read_unaligned());
+            acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(_mm256_maddubs_epi16(bv, w0), ones));
+            acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(_mm256_maddubs_epi16(bv, w1), ones));
+            acc2 = _mm256_add_epi32(acc2, _mm256_madd_epi16(_mm256_maddubs_epi16(bv, w2), ones));
+            acc3 = _mm256_add_epi32(acc3, _mm256_madd_epi16(_mm256_maddubs_epi16(bv, w3), ones));
+        }
+        let out = acc.as_mut_ptr() as *mut __m256i;
+        _mm256_storeu_si256(out, acc0);
+        _mm256_storeu_si256(out.add(1), acc1);
+        _mm256_storeu_si256(out.add(2), acc2);
+        _mm256_storeu_si256(out.add(3), acc3);
+    }
+
+    /// Vectorized quantize+transpose pack of one full-width B panel in the
+    /// direct (`k × n`) layout: for each k-group, loads 8 f32 from each of
+    /// the 4 rows, quantizes (`cvtps_epi32`, nearest-even, matching the
+    /// scalar path's magic-constant rounding), narrows 4×8 i32 → 32 u8,
+    /// and shuffles into the `[col][k]` interleave the micro-kernel reads.
+    ///
+    /// # Safety
+    /// AVX2 must be available; rows `0..full_groups*4` × columns
+    /// `j0..j0+8` must be in-bounds; `buf` must hold `full_groups*32` u8.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn pack_b_panel_avx2(
+        b: *const f32,
+        n: usize,
+        j0: usize,
+        full_groups: usize,
+        inv_sx: f32,
+        buf: *mut u8,
+    ) {
+        let inv = _mm256_set1_ps(inv_sx);
+        let lo = _mm256_set1_ps(-super::ACT_QMAX);
+        let hi = _mm256_set1_ps(super::ACT_QMAX);
+        let zero_point = _mm256_set1_epi32(super::ACT_ZERO);
+        // Per 128-bit lane: bytes [t0j0..3, t1j0..3, t2j0..3, t3j0..3] →
+        // [j0: t0..t3, j1: t0..t3, j2..., j3...].
+        let interleave = _mm256_setr_epi8(
+            0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15, //
+            0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15,
+        );
+        for g in 0..full_groups {
+            let base = b.add(g * KG * n + j0);
+            let t0 = quant_row(base, inv, lo, hi, zero_point);
+            let t1 = quant_row(base.add(n), inv, lo, hi, zero_point);
+            let t2 = quant_row(base.add(2 * n), inv, lo, hi, zero_point);
+            let t3 = quant_row(base.add(3 * n), inv, lo, hi, zero_point);
+            // packs/packus operate per 128-bit lane, so after both packs
+            // lane 0 holds columns j0..j3 and lane 1 columns j4..j7 —
+            // exactly the contiguous output order once interleaved.
+            let s01 = _mm256_packs_epi32(t0, t1);
+            let s23 = _mm256_packs_epi32(t2, t3);
+            let bytes = _mm256_packus_epi16(s01, s23);
+            let shuffled = _mm256_shuffle_epi8(bytes, interleave);
+            _mm256_storeu_si256(buf.add(g * NR * KG) as *mut __m256i, shuffled);
+        }
+    }
+
+    /// Load, scale, clamp, and quantize 8 activations into biased-u8 range
+    /// (still widened in i32 lanes).
+    ///
+    /// # Safety
+    /// AVX2 must be available; `p` must point at 8 readable f32.
+    #[target_feature(enable = "avx2")]
+    unsafe fn quant_row(
+        p: *const f32,
+        inv: __m256,
+        lo: __m256,
+        hi: __m256,
+        zp: __m256i,
+    ) -> __m256i {
+        let v = _mm256_loadu_ps(p);
+        let clamped = _mm256_min_ps(_mm256_max_ps(_mm256_mul_ps(v, inv), lo), hi);
+        _mm256_add_epi32(_mm256_cvtps_epi32(clamped), zp)
+    }
+
+    /// Vectorized dequant write-back for one full 8-wide tile row:
+    /// `(acc − corr) · deq + bias`, optional ReLU, contiguous store.
+    ///
+    /// # Safety
+    /// AVX2 must be available; `acc_row` must hold 8 i32; `dst` 8 f32.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn write_row_avx2(
+        acc_row: *const i32,
+        corr: i32,
+        deq: f32,
+        badd: f32,
+        relu: bool,
+        dst: *mut f32,
+    ) {
+        let a = _mm256_loadu_si256(acc_row as *const __m256i);
+        let a = _mm256_sub_epi32(a, _mm256_set1_epi32(corr));
+        let f = _mm256_cvtepi32_ps(a);
+        let mut v = _mm256_add_ps(_mm256_mul_ps(f, _mm256_set1_ps(deq)), _mm256_set1_ps(badd));
+        if relu {
+            v = _mm256_max_ps(v, _mm256_setzero_ps());
+        }
+        _mm256_storeu_ps(dst, v);
+    }
+}
+
+/// Dequantize one accumulator tile and write it back with the fused
+/// epilogue. `tb` selects the direct (`C[row, col]`) or transposed
+/// (`C[col, row]`) layout.
+///
+/// # Safety
+/// Caller must guarantee `c` points to an `m×n` (or `n×m`) buffer and that
+/// concurrent callers cover disjoint `j0` ranges.
+#[allow(clippy::too_many_arguments)]
+unsafe fn write_tile(
+    acc: &[i32; MR * NR],
+    qw: &QuantizedWeights,
+    rp: usize,
+    j0: usize,
+    jcount: usize,
+    n: usize,
+    tb: bool,
+    c: CPtr,
+    bias: Option<&[f32]>,
+    relu: bool,
+    s_x: f32,
+) {
+    let m = qw.rows;
+    let rows_here = MR.min(m - rp * MR);
+    // Fast path: full-width tile in the direct layout — one vectorized
+    // dequant+bias+ReLU store per row. The transposed (linear) layout and
+    // ragged edges fall through to the scalar loop.
+    #[cfg(target_arch = "x86_64")]
+    if !tb && jcount == NR && kernels_x86::avx2_available() {
+        for i in 0..rows_here {
+            let row = rp * MR + i;
+            // SAFETY: AVX2 checked; row*n+j0+8 <= m*n for a full tile.
+            unsafe {
+                kernels_x86::write_row_avx2(
+                    acc.as_ptr().add(i * NR),
+                    ACT_ZERO * qw.row_sums[row],
+                    qw.scales[row] * s_x,
+                    bias.map_or(0.0, |b| b[row]),
+                    relu,
+                    c.0.add(row * n + j0),
+                );
+            }
+        }
+        return;
+    }
+    for i in 0..rows_here {
+        let row = rp * MR + i;
+        let deq = qw.scales[row] * s_x;
+        let correction = ACT_ZERO * qw.row_sums[row];
+        let badd = bias.map_or(0.0, |b| b[row]);
+        for jj in 0..jcount {
+            let raw = acc[i * NR + jj] - correction;
+            let mut v = deq * raw as f32 + badd;
+            if relu && v < 0.0 {
+                v = 0.0;
+            }
+            let idx = if tb {
+                (j0 + jj) * m + row
+            } else {
+                row * n + (j0 + jj)
+            };
+            // SAFETY: idx < m*n by construction; disjointness per caller.
+            unsafe { *c.0.add(idx) = v };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{gemm_ep, Epilogue};
+
+    fn rand_vec(len: usize, seed: u64) -> Vec<f32> {
+        // Same xorshift idiom as the GEMM proptests: deterministic, no deps.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    /// Per-element error bound for `qgemm` vs the exact f32 product:
+    /// activation rounding (≤ s_x/2) against each |w|, weight rounding
+    /// (≤ s_i/2) against each |x|, plus the cross term.
+    fn error_bound(w_row: &[f32], x_col: &[f32], s_w: f32, s_x: f32) -> f32 {
+        let wsum: f32 = w_row.iter().map(|v| v.abs()).sum();
+        let xsum: f32 = x_col.iter().map(|v| v.abs()).sum();
+        0.5 * s_x * wsum + 0.5 * s_w * xsum + 0.25 * s_x * s_w * w_row.len() as f32 + 1e-4
+    }
+
+    fn check_against_f32(
+        m: usize,
+        n: usize,
+        k: usize,
+        tb: bool,
+        bias: bool,
+        relu: bool,
+        seed: u64,
+    ) {
+        let w = rand_vec(m * k, seed);
+        let x = rand_vec(k * n, seed.wrapping_add(1));
+        let bvec = rand_vec(m, seed.wrapping_add(2));
+        let bias_opt = bias.then_some(&bvec[..]);
+        let qw = QuantizedWeights::quantize(&w, m, k);
+        let mut qc = vec![0f32; m * n];
+        qgemm(&qw, &x, tb, n, &mut qc, bias_opt, relu);
+
+        // f32 reference on the same operands/layout.
+        let mut fc = vec![0f32; m * n];
+        if tb {
+            // x is [n, k]; reference C is [n, m] = x · wᵀ.
+            gemm_ep(
+                false,
+                true,
+                n,
+                m,
+                k,
+                1.0,
+                &x,
+                &w,
+                0.0,
+                &mut fc,
+                Epilogue {
+                    bias_col: bias_opt,
+                    relu,
+                    ..Default::default()
+                },
+            );
+        } else {
+            gemm_ep(
+                false,
+                false,
+                m,
+                n,
+                k,
+                1.0,
+                &w,
+                &x,
+                0.0,
+                &mut fc,
+                Epilogue {
+                    bias_row: bias_opt,
+                    relu,
+                    ..Default::default()
+                },
+            );
+        }
+
+        let maxabs = x.iter().fold(0f32, |a, &v| a.max(v.abs()));
+        let s_x = if maxabs > 0.0 { maxabs / ACT_QMAX } else { 0.0 };
+        for row in 0..m {
+            let wrow = &w[row * k..(row + 1) * k];
+            for j in 0..n {
+                let xcol: Vec<f32> = if tb {
+                    x[j * k..(j + 1) * k].to_vec()
+                } else {
+                    (0..k).map(|kk| x[kk * n + j]).collect()
+                };
+                let bound = error_bound(wrow, &xcol, qw.scales[row], s_x);
+                let (got, want) = if tb {
+                    (qc[j * m + row], fc[j * m + row])
+                } else {
+                    (qc[row * n + j], fc[row * n + j])
+                };
+                // ReLU only shrinks the error, so the linear bound holds.
+                assert!(
+                    (got - want).abs() <= bound,
+                    "({row},{j}) got {got} want {want} bound {bound} tb={tb}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_f32_gemm_conv_layout() {
+        check_against_f32(17, 33, 29, false, false, false, 7);
+        check_against_f32(32, 64, 48, false, true, false, 11);
+        check_against_f32(5, 9, 3, false, true, true, 13);
+    }
+
+    #[test]
+    fn matches_f32_gemm_linear_layout() {
+        check_against_f32(19, 7, 31, true, false, false, 17);
+        check_against_f32(24, 16, 40, true, true, true, 19);
+        check_against_f32(3, 1, 10, true, true, false, 23);
+    }
+
+    #[test]
+    fn tile_edge_sizes_are_exact_shapes() {
+        for &(m, n, k) in &[(1, 1, 1), (4, 8, 4), (5, 9, 5), (8, 16, 8), (13, 25, 17)] {
+            check_against_f32(m, n, k, false, true, true, 100 + m as u64);
+        }
+    }
+
+    #[test]
+    fn round_trip_error_bounded_by_half_scale() {
+        let w = rand_vec(23 * 41, 3);
+        let qw = QuantizedWeights::quantize(&w, 23, 41);
+        let back = qw.dequantize();
+        for r in 0..23 {
+            let s = qw.scales[r];
+            for c in 0..41 {
+                let err = (w[r * 41 + c] - back[r * 41 + c]).abs();
+                assert!(
+                    err <= s * 0.5 + 1e-7,
+                    "row {r} col {c}: err {err} scale {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_matrix_quantizes_to_zero() {
+        let w = vec![0f32; 12];
+        let qw = QuantizedWeights::quantize(&w, 3, 4);
+        assert!(qw.scales().iter().all(|&s| s == 0.0));
+        let mut c = vec![1f32; 3 * 2];
+        qgemm(&qw, &[1.0; 8], false, 2, &mut c, None, false);
+        assert!(c.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn zero_activations_yield_bias_only() {
+        let w = rand_vec(8 * 6, 5);
+        let qw = QuantizedWeights::quantize(&w, 8, 6);
+        let bias: Vec<f32> = (0..8).map(|i| i as f32 - 4.0).collect();
+        let mut c = vec![9f32; 8 * 3];
+        qgemm(&qw, &[0f32; 6 * 3], false, 3, &mut c, Some(&bias), true);
+        for i in 0..8 {
+            for j in 0..3 {
+                assert_eq!(c[i * 3 + j], bias[i].max(0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_and_dispatch_kernels_agree_bitwise() {
+        // The i32 accumulators are exact integers, so whatever kernel the
+        // dispatcher picks must produce bitwise-equal output to a forced
+        // scalar pass over the same packed operands.
+        let (m, n, k) = (9, 21, 14);
+        let w = rand_vec(m * k, 31);
+        let x = rand_vec(k * n, 37);
+        let qw = QuantizedWeights::quantize(&w, m, k);
+        let mut via_dispatch = vec![0f32; m * n];
+        qgemm(&qw, &x, false, n, &mut via_dispatch, None, false);
+
+        let maxabs = x.iter().fold(0f32, |a, &v| a.max(v.abs()));
+        let s_x = maxabs / ACT_QMAX;
+        let inv_sx = 1.0 / s_x;
+        let kgroups = qw.kgroups;
+        let mut scalar = vec![0f32; m * n];
+        let mut buf = vec![0u8; kgroups * NR * KG];
+        for cp in 0..n.div_ceil(NR) {
+            let j0 = cp * NR;
+            let jcount = NR.min(n - j0);
+            pack_b_panel(&x, false, k, n, j0, jcount, kgroups, inv_sx, &mut buf);
+            for rp in 0..m.div_ceil(MR) {
+                let mut acc = [0i32; MR * NR];
+                qkernel_scalar(kgroups, qw.panel(rp), &buf, &mut acc);
+                let c = CPtr(scalar.as_mut_ptr());
+                unsafe { write_tile(&acc, &qw, rp, j0, jcount, n, false, c, None, false, s_x) };
+            }
+        }
+        assert_eq!(via_dispatch, scalar);
+    }
+
+    #[test]
+    fn large_accumulation_does_not_saturate() {
+        // Worst case for maddubs: extreme-magnitude operands over a deep k.
+        let k = 1024;
+        let w: Vec<f32> = (0..k)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let x = vec![1.0f32; k];
+        let qw = QuantizedWeights::quantize(&w, 1, k);
+        let mut c = vec![0f32; 1];
+        qgemm(&qw, &x, false, 1, &mut c, None, false);
+        // Exact answer is 0 (alternating ±1 against all-ones).
+        assert!(c[0].abs() < 1e-3, "got {}", c[0]);
+    }
+}

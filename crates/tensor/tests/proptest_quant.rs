@@ -1,0 +1,116 @@
+//! Property-based guarantees of the int8 quantization path
+//! ([`tensor::quant`]): the weight round-trip error bound and qgemm
+//! parity with the f32 reference over arbitrary shapes.
+
+use proptest::prelude::*;
+use tensor::ops::{gemm_ep, Epilogue};
+use tensor::quant::{qgemm, QuantizedWeights};
+
+fn rand_vec(n: usize, seed: u64, scale: f32) -> Vec<f32> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-scale..scale)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Per-output-channel symmetric quantization: every dequantized
+    /// weight is within half a quantization step of the original (the
+    /// round-to-nearest bound), where the step is that row's scale.
+    #[test]
+    fn weight_round_trip_error_bounded_by_half_scale(
+        rows in 1usize..24, cols in 1usize..48,
+        seed in 0u64..10_000, scale in 0.01f32..8.0,
+    ) {
+        let w = rand_vec(rows * cols, seed, scale);
+        let q = QuantizedWeights::quantize(&w, rows, cols);
+        let back = q.dequantize();
+        for r in 0..rows {
+            let step = q.scales()[r];
+            for c in 0..cols {
+                let (orig, rt) = (w[r * cols + c], back[r * cols + c]);
+                prop_assert!(
+                    (orig - rt).abs() <= 0.5 * step + 1e-7,
+                    "row {r} col {c}: {orig} -> {rt}, step {step}"
+                );
+            }
+        }
+    }
+
+    /// A row's scale is exactly its max |w| over the quantized range, so
+    /// the relative round-trip error of the largest element is zero.
+    #[test]
+    fn row_scales_track_row_maxima(
+        rows in 1usize..16, cols in 1usize..32, seed in 0u64..10_000,
+    ) {
+        let w = rand_vec(rows * cols, seed, 2.0);
+        let q = QuantizedWeights::quantize(&w, rows, cols);
+        let back = q.dequantize();
+        for r in 0..rows {
+            let maxabs = w[r * cols..(r + 1) * cols]
+                .iter()
+                .fold(0.0f32, |m, v| m.max(v.abs()));
+            if maxabs > 0.0 {
+                let (i, _) = w[r * cols..(r + 1) * cols]
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+                    .unwrap();
+                let err = (w[r * cols + i] - back[r * cols + i]).abs();
+                prop_assert!(
+                    err <= 1e-6 * maxabs.max(1.0),
+                    "row max must survive the round trip: err {err}"
+                );
+            }
+        }
+    }
+
+    /// qgemm (quantize activations + int8 kernel + dequant epilogue)
+    /// tracks the f32 GEMM within the combined quantization error bound,
+    /// for both the conv ([k,n]) and linear ([n,k]) activation layouts.
+    #[test]
+    fn qgemm_matches_f32_within_quant_error(
+        m in 1usize..20, n in 1usize..20, k in 1usize..32,
+        tb in proptest::bool::ANY, relu in proptest::bool::ANY,
+        seed in 0u64..10_000,
+    ) {
+        let w = rand_vec(m * k, seed, 1.0);
+        let x = rand_vec(k * n, seed ^ 1, 1.0);
+        let bias = rand_vec(m, seed ^ 2, 0.5);
+        let qw = QuantizedWeights::quantize(&w, m, k);
+        let mut c_q = vec![0.0f32; m * n];
+        qgemm(&qw, &x, tb, n, &mut c_q, Some(&bias), relu);
+        let mut c_f = vec![0.0f32; m * n];
+        if tb {
+            gemm_ep(false, true, n, m, k, 1.0, &x, &w, 0.0, &mut c_f, Epilogue {
+                bias_col: Some(&bias), relu, ..Default::default()
+            });
+        } else {
+            gemm_ep(false, false, m, n, k, 1.0, &w, &x, 0.0, &mut c_f, Epilogue {
+                bias_row: Some(&bias), relu, ..Default::default()
+            });
+        }
+        // Error bound: activation step × Σ|w| + weight step × Σ|x| per
+        // output, plus the cross term (see tensor::quant unit tests).
+        let s_x = x.iter().fold(0.0f32, |a, v| a.max(v.abs())) / 127.0;
+        for row in 0..m {
+            let s_w = qw.scales()[row];
+            let w_row = &w[row * k..(row + 1) * k];
+            let sum_w: f32 = w_row.iter().map(|v| v.abs()).sum();
+            for j in 0..n {
+                let x_col: f32 = (0..k)
+                    .map(|kk| if tb { x[j * k + kk] } else { x[kk * n + j] }.abs())
+                    .sum();
+                let bound =
+                    0.5 * s_x * sum_w + 0.5 * s_w * x_col + 0.25 * s_x * s_w * k as f32 + 1e-4;
+                let idx = if tb { j * m + row } else { row * n + j };
+                let (q_v, f_v) = (c_q[idx], c_f[idx]);
+                prop_assert!(
+                    (q_v - f_v).abs() <= bound,
+                    "[{row},{j}]: int8 {q_v} vs f32 {f_v} (bound {bound})"
+                );
+            }
+        }
+    }
+}

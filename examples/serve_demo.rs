@@ -32,9 +32,14 @@ fn main() {
         step_quota: 32,
         max_pooled: 2 * workers,
         coalesce_window: Duration::from_millis(2),
+        // Measurement-driven batching: calibrate each backend's
+        // forward-time curve at registration and let the tuner pick the
+        // coalescing window and target batch from it.
+        coalesce_auto: true,
+        calibrate_on_register: true,
         ..Default::default()
     });
-    println!("service up: {workers} workers, 32-playout slices\n");
+    println!("service up: {workers} workers, 32-playout slices, auto-tuned batching\n");
 
     // One *shared* network evaluator for all Gomoku sessions — their
     // leaf evaluations coalesce into common batches — plus cheap
@@ -138,4 +143,21 @@ fn main() {
         st.eval_samples,
         st.mean_eval_batch()
     );
+
+    // What the batch auto-tuner learned about each batching backend:
+    // the measured forward-time curve and the operating point it chose.
+    for r in service.autotune_reports() {
+        println!(
+            "\nauto-tuner (calibrated: {}): chose batch {} / window {} µs (~{:.0} positions/s)",
+            r.calibrated, r.batch, r.window_us, r.positions_per_sec
+        );
+        println!("  measured forward-time curve:");
+        for (batch, ns) in &r.curve {
+            println!(
+                "    batch {batch:>3}: {:>8.1} µs/forward  ({:>7.0} positions/s)",
+                *ns as f64 / 1e3,
+                *batch as f64 / (*ns as f64 / 1e9)
+            );
+        }
+    }
 }

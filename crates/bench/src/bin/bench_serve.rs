@@ -1,5 +1,5 @@
 //! Emit `BENCH_serve.json`: the machine-readable serving-performance
-//! record, six axes:
+//! record, seven axes:
 //!
 //! * `sessions` — requests/second and p50/p99 submit→finish latency of
 //!   one multi-session [`serve::SearchService`] as the number of
@@ -21,7 +21,15 @@
 //!   swept over 0% / 5% / 20% fault rates while a healthy co-resident
 //!   backend serves the same interleaved burst. Reports per-backend
 //!   req/s, p99 latency and done/failed/shed counts; the healthy
-//!   column staying flat across the sweep is the containment evidence.
+//!   column staying flat across the sweep is the containment evidence;
+//! * `network` — the wire-protocol figure: the same workload offered by
+//!   real [`net::Client`] connections over loopback TCP. A closed-loop
+//!   run at the in-process concurrency proves the framing tax (admitted
+//!   throughput within a few percent of the in-process figure), then an
+//!   open-loop sweep offers 0.5×/2×/4× the measured capacity against an
+//!   admission budget sized *to* that capacity — the top of the sweep
+//!   overloads the server and the excess is shed with nonzero
+//!   `retry_after` hints while admitted throughput holds.
 //!
 //! Usage: `bench_serve [--smoke] [out_path]` (default
 //! `BENCH_serve.json`). `--smoke` (or env `BENCH_SMOKE=1`) shrinks the
@@ -417,6 +425,179 @@ fn run_degradation(
     }
 }
 
+/// The network cluster shape shared by the in-process baseline and the
+/// wire-protocol runs, so the comparison isolates the framing tax.
+fn net_cluster(workers: usize, admission: Option<AdmissionConfig>) -> Arc<ServeCluster> {
+    Arc::new(ServeCluster::new(ClusterConfig {
+        shards: 2,
+        shard: serve_cfg((workers.max(2)) / 2),
+        admission,
+    }))
+}
+
+/// Closed-loop in-process baseline: `clients` submitting threads, each
+/// running `requests_per_client` submit→wait cycles against the cluster
+/// API directly. Returns completed requests per second.
+fn run_inprocess_closed(
+    workers: usize,
+    clients: usize,
+    requests_per_client: usize,
+    playouts: usize,
+    eval: &Arc<dyn BatchEvaluator>,
+    root: &Gomoku,
+) -> f64 {
+    let cluster = net_cluster(workers, None);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| {
+                for _ in 0..requests_per_client {
+                    let t = cluster
+                        .submit(request(root, eval, playouts))
+                        .expect("no admission configured");
+                    assert_eq!(t.wait().stats.playouts, playouts as u64);
+                }
+            });
+        }
+    });
+    (clients * requests_per_client) as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// One loadgen run's JSON object body (shared fields of the closed-loop
+/// point and every sweep point).
+fn loadgen_json(r: &net::LoadReport) -> String {
+    format!(
+        "\"offered\": {}, \"admitted\": {}, \"shed\": {}, \"failed\": {}, \"admitted_per_s\": {:.2}, \"p50_ms\": {:.2}, \"p99_ms\": {:.2}, \"mean_retry_after_ms\": {:.2}, \"zero_hint_sheds\": {}",
+        r.offered,
+        r.admitted,
+        r.shed,
+        r.failed,
+        r.admitted_per_sec(),
+        r.percentile_ms(50.0),
+        r.percentile_ms(99.0),
+        r.mean_retry_after.as_secs_f64() * 1e3,
+        r.zero_hint_sheds
+    )
+}
+
+/// The network axis: closed-loop parity run (open admission) plus an
+/// open-loop overload sweep against an admission budget sized to the
+/// measured in-process capacity. Appends the `"network"` object to
+/// `json`.
+#[allow(clippy::too_many_arguments)]
+fn run_network(
+    json: &mut String,
+    workers: usize,
+    clients: usize,
+    requests_per_client: usize,
+    playouts: usize,
+    eval: &Arc<dyn BatchEvaluator>,
+    root: &Gomoku,
+    smoke: bool,
+) {
+    let wire_request = net::WireRequest::new(net::GameSpec::Gomoku { size: 9, win: 5 })
+        .moves(vec![40, 41, 31, 49, 39])
+        .playouts(playouts as u64);
+    let factory: net::EvalFactory = {
+        let eval = Arc::clone(eval);
+        Box::new(move |_spec| Arc::clone(&eval))
+    };
+    let _ = root; // the wire request carries the same midgame prefix
+
+    // Baseline: the same closed-loop workload through the in-process API.
+    let inproc_rps =
+        run_inprocess_closed(workers, clients, requests_per_client, playouts, eval, root);
+    eprintln!("network baseline (in-process, {clients} clients): {inproc_rps:.2} req/s");
+
+    // Closed loop over the wire: open admission, identical concurrency.
+    let mut server = net::NetServer::bind_with_factory(
+        "127.0.0.1:0",
+        net_cluster(workers, None),
+        net::ServerConfig::default(),
+        factory,
+    )
+    .expect("bind loopback");
+    let closed = net::loadgen::run(&net::LoadConfig {
+        addr: server.local_addr(),
+        token: String::new(),
+        clients,
+        requests_per_client,
+        open_loop_rate: None,
+        request: wire_request.clone(),
+    });
+    server.shutdown(Duration::from_secs(10));
+    eprintln!(
+        "network closed loop ({clients} clients): {:.2} req/s over the wire ({:.1}% of in-process), p50 {:.2} ms p99 {:.2} ms",
+        closed.admitted_per_sec(),
+        closed.admitted_per_sec() / inproc_rps * 100.0,
+        closed.percentile_ms(50.0),
+        closed.percentile_ms(99.0)
+    );
+
+    let _ = writeln!(
+        json,
+        "  \"network\": {{\n    \"inprocess_requests_per_s\": {inproc_rps:.2},\n    \"closed_loop\": {{\"clients\": {clients}, {}}},\n    \"sweep\": [",
+        loadgen_json(&closed)
+    );
+
+    // Overload sweep: admission sized to the measured capacity, offered
+    // load set by the clock at 0.5× / 2× / 4× that capacity. The ≥1×
+    // points *must* shed; every shed must carry a nonzero retry hint.
+    let capacity_rps = inproc_rps;
+    let multipliers: &[f64] = if smoke { &[2.0] } else { &[0.5, 2.0, 4.0] };
+    let seconds = if smoke { 1.0 } else { 5.0 };
+    for (i, &m) in multipliers.iter().enumerate() {
+        let factory: net::EvalFactory = {
+            let eval = Arc::clone(eval);
+            Box::new(move |_spec| Arc::clone(&eval))
+        };
+        let mut server = net::NetServer::bind_with_factory(
+            "127.0.0.1:0",
+            net_cluster(
+                workers,
+                Some(AdmissionConfig {
+                    playouts_per_sec: capacity_rps * playouts as f64,
+                    burst_playouts: (4 * playouts) as u64,
+                    max_pending: 1024,
+                }),
+            ),
+            net::ServerConfig::default(),
+            factory,
+        )
+        .expect("bind loopback");
+        let offered_rate = m * capacity_rps;
+        let per_client_rate = (offered_rate / clients as f64).max(0.1);
+        let rpc = ((offered_rate * seconds / clients as f64).ceil() as usize).max(1);
+        let r = net::loadgen::run(&net::LoadConfig {
+            addr: server.local_addr(),
+            token: String::new(),
+            clients,
+            requests_per_client: rpc,
+            open_loop_rate: Some(per_client_rate),
+            request: wire_request.clone(),
+        });
+        server.shutdown(Duration::from_secs(10));
+        let _ = writeln!(
+            json,
+            "      {{\"clients\": {clients}, \"offered_per_s\": {offered_rate:.2}, {}}}{}",
+            loadgen_json(&r),
+            if i + 1 < multipliers.len() { "," } else { "" }
+        );
+        eprintln!(
+            "network open loop @ {m:>3.1}× capacity ({offered_rate:>7.2} offered/s): admitted {} / shed {} / failed {} of {} — {:.2} admitted/s, p99 {:.2} ms, mean retry_after {:.1} ms, zero-hint sheds {}",
+            r.admitted,
+            r.shed,
+            r.failed,
+            r.offered,
+            r.admitted_per_sec(),
+            r.percentile_ms(99.0),
+            r.mean_retry_after.as_secs_f64() * 1e3,
+            r.zero_hint_sheds
+        );
+    }
+    json.push_str("    ]\n  }\n");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke =
@@ -477,7 +658,7 @@ fn main() {
     let mut json = String::from("{\n");
     let _ = writeln!(
         json,
-        "  \"meta\": {{\"schema_version\": 5, \"workers\": {workers}, \"host_cores\": {host_cores}, \"eval_batch_hint\": {eval_batch_hint}, \"coalesce_auto\": true, \"playouts_per_request\": {playouts}, \"board\": \"gomoku9\", \"evaluator\": \"nn-int8\", \"smoke\": {smoke}}},"
+        "  \"meta\": {{\"schema_version\": 6, \"workers\": {workers}, \"host_cores\": {host_cores}, \"eval_batch_hint\": {eval_batch_hint}, \"coalesce_auto\": true, \"playouts_per_request\": {playouts}, \"board\": \"gomoku9\", \"evaluator\": \"nn-int8\", \"smoke\": {smoke}}},"
     );
 
     // --- throughput/latency vs concurrent session count -------------------
@@ -668,7 +849,20 @@ fn main() {
             d.healthy.failed,
         );
     }
-    json.push_str("  ]\n");
+    json.push_str("  ],\n");
+
+    // --- network front end: loopback wire-protocol runs -------------------
+    let (net_clients, net_rpc) = if smoke { (2, 2) } else { (8, 8) };
+    run_network(
+        &mut json,
+        workers,
+        net_clients,
+        net_rpc,
+        playouts,
+        &eval,
+        &root,
+        smoke,
+    );
 
     json.push_str("}\n");
     std::fs::write(&out_path, &json).expect("write bench output");

@@ -7,11 +7,11 @@
 //! ~100-line recursive-descent JSON parser — strict enough for the
 //! bench writer's output (objects, arrays, strings, numbers, bools).
 //!
-//! Checked schema (v5):
-//! * top level: objects `meta`, `shedding`, `coalescing`, `cache`;
-//!   arrays `sessions`, `cluster`, `autotune`, `degradation`
-//!   (non-empty);
-//! * `meta.schema_version == 5`, `meta.workers`/`host_cores`/
+//! Checked schema (v6):
+//! * top level: objects `meta`, `shedding`, `coalescing`, `cache`,
+//!   `network`; arrays `sessions`, `cluster`, `autotune`,
+//!   `degradation` (non-empty);
+//! * `meta.schema_version == 6`, `meta.workers`/`host_cores`/
 //!   `eval_batch_hint`/`playouts_per_request` numeric;
 //! * every `sessions[i]`: numeric `concurrent`, `requests_per_s`,
 //!   `p50_ms`, `p99_ms`, `mean_eval_batch`, with `p99_ms >= p50_ms`
@@ -38,7 +38,14 @@
 //!   `faulty_failed`, `faulty_shed`, `healthy_requests_per_s`,
 //!   `healthy_p99_ms`, `healthy_done`, `healthy_failed`,
 //!   `healthy_shed`, with each backend's
-//!   `done + failed + shed == sessions_per_backend`.
+//!   `done + failed + shed == sessions_per_backend`;
+//! * `network`: numeric `inprocess_requests_per_s`; `closed_loop`
+//!   object and non-empty `sweep` array of loadgen points, each with
+//!   numeric `clients`, `offered`, `admitted`, `shed`, `failed`,
+//!   `admitted_per_s`, `p50_ms`, `p99_ms`, `mean_retry_after_ms`,
+//!   `zero_hint_sheds`, satisfying
+//!   `admitted + shed + failed == offered` and `p99_ms >= p50_ms`
+//!   (sweep points additionally carry numeric `offered_per_s`).
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -260,8 +267,8 @@ fn check(doc: &Json) -> Result<String, String> {
 
     let meta = obj(field(root, "$", "meta")?, "$.meta")?;
     let version = num(meta, "$.meta", "schema_version")?;
-    if version != 5.0 {
-        return Err(format!("$.meta.schema_version: expected 5, got {version}"));
+    if version != 6.0 {
+        return Err(format!("$.meta.schema_version: expected 6, got {version}"));
     }
     for key in [
         "workers",
@@ -411,11 +418,60 @@ fn check(doc: &Json) -> Result<String, String> {
         }
     }
 
+    let network = obj(field(root, "$", "network")?, "$.network")?;
+    num(network, "$.network", "inprocess_requests_per_s")?;
+    let closed = obj(
+        field(network, "$.network", "closed_loop")?,
+        "$.network.closed_loop",
+    )?;
+    check_loadgen_point(closed, "$.network.closed_loop")?;
+    let sweep = match field(network, "$.network", "sweep")? {
+        Json::Arr(a) if !a.is_empty() => a,
+        Json::Arr(_) => return Err("$.network.sweep: must be non-empty".into()),
+        _ => return Err("$.network.sweep: expected array".into()),
+    };
+    for (i, point) in sweep.iter().enumerate() {
+        let path = format!("$.network.sweep[{i}]");
+        let m = obj(point, &path)?;
+        num(m, &path, "offered_per_s")?;
+        check_loadgen_point(m, &path)?;
+    }
+    let sweep_points = sweep.len();
+
     Ok(format!(
-        "schema v5 ok: {sessions} session points, {cluster} cluster points, \
+        "schema v6 ok: {sessions} session points, {cluster} cluster points, \
          {autotune} autotune reports, shedding {admitted}/{offered} admitted, \
-         cache hit rate {hit_rate:.2}, {degradation} degradation points"
+         cache hit rate {hit_rate:.2}, {degradation} degradation points, \
+         {sweep_points} network sweep points"
     ))
+}
+
+/// One loadgen measurement (the network closed-loop point or a sweep
+/// point): numeric fields, balanced accounting, monotone percentiles.
+fn check_loadgen_point(m: &BTreeMap<String, Json>, path: &str) -> Result<(), String> {
+    for key in [
+        "clients",
+        "admitted_per_s",
+        "mean_retry_after_ms",
+        "zero_hint_sheds",
+    ] {
+        num(m, path, key)?;
+    }
+    let offered = num(m, path, "offered")?;
+    let admitted = num(m, path, "admitted")?;
+    let shed = num(m, path, "shed")?;
+    let failed = num(m, path, "failed")?;
+    if admitted + shed + failed != offered {
+        return Err(format!(
+            "{path}: admitted ({admitted}) + shed ({shed}) + failed ({failed}) != offered ({offered})"
+        ));
+    }
+    let p50 = num(m, path, "p50_ms")?;
+    let p99 = num(m, path, "p99_ms")?;
+    if p99 < p50 {
+        return Err(format!("{path}: p99_ms ({p99}) < p50_ms ({p50})"));
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -446,7 +502,7 @@ mod tests {
     use super::*;
 
     const GOOD: &str = r#"{
-      "meta": {"schema_version": 5, "workers": 4, "host_cores": 1, "eval_batch_hint": 32, "coalesce_auto": true, "playouts_per_request": 48, "board": "gomoku9", "evaluator": "nn", "smoke": true},
+      "meta": {"schema_version": 6, "workers": 4, "host_cores": 1, "eval_batch_hint": 32, "coalesce_auto": true, "playouts_per_request": 48, "board": "gomoku9", "evaluator": "nn", "smoke": true},
       "sessions": [
         {"concurrent": 1, "requests_per_s": 10.0, "p50_ms": 1.0, "p99_ms": 2.0, "mean_eval_batch": 1.0}
       ],
@@ -462,7 +518,14 @@ mod tests {
       "degradation": [
         {"fault_p": 0.0, "sessions_per_backend": 3, "faulty_requests_per_s": 9.0, "faulty_p99_ms": 3.0, "faulty_done": 3, "faulty_failed": 0, "faulty_shed": 0, "healthy_requests_per_s": 9.1, "healthy_p99_ms": 3.0, "healthy_done": 3, "healthy_failed": 0, "healthy_shed": 0},
         {"fault_p": 0.2, "sessions_per_backend": 3, "faulty_requests_per_s": 4.0, "faulty_p99_ms": 9.0, "faulty_done": 1, "faulty_failed": 1, "faulty_shed": 1, "healthy_requests_per_s": 9.0, "healthy_p99_ms": 3.1, "healthy_done": 3, "healthy_failed": 0, "healthy_shed": 0}
-      ]
+      ],
+      "network": {
+        "inprocess_requests_per_s": 120.0,
+        "closed_loop": {"clients": 2, "offered": 4, "admitted": 4, "shed": 0, "failed": 0, "admitted_per_s": 110.0, "p50_ms": 16.0, "p99_ms": 29.0, "mean_retry_after_ms": 0.0, "zero_hint_sheds": 0},
+        "sweep": [
+          {"clients": 2, "offered_per_s": 240.0, "offered": 240, "admitted": 130, "shed": 110, "failed": 0, "admitted_per_s": 125.0, "p50_ms": 7.0, "p99_ms": 45.0, "mean_retry_after_ms": 3.5, "zero_hint_sheds": 0}
+        ]
+      }
     }"#;
 
     #[test]
@@ -479,7 +542,7 @@ mod tests {
 
     #[test]
     fn wrong_schema_version_fails() {
-        let broken = GOOD.replace("\"schema_version\": 5", "\"schema_version\": 4");
+        let broken = GOOD.replace("\"schema_version\": 6", "\"schema_version\": 5");
         assert!(check(&parse(&broken).unwrap()).is_err());
     }
 
@@ -543,6 +606,39 @@ mod tests {
         let broken = GOOD.replace("\"admitted\": 2", "\"admitted\": 3");
         let err = check(&parse(&broken).unwrap()).unwrap_err();
         assert!(err.contains("offered"), "{err}");
+    }
+
+    #[test]
+    fn missing_network_section_fails() {
+        let broken = GOOD.replace("\"network\"", "\"notwork\"");
+        let err = check(&parse(&broken).unwrap()).unwrap_err();
+        assert!(err.contains("network"), "{err}");
+    }
+
+    #[test]
+    fn network_accounting_must_balance() {
+        let broken = GOOD.replace("\"admitted\": 130", "\"admitted\": 131");
+        let err = check(&parse(&broken).unwrap()).unwrap_err();
+        assert!(err.contains("offered"), "{err}");
+    }
+
+    #[test]
+    fn empty_network_sweep_fails() {
+        let open = GOOD.find("\"sweep\": [").unwrap();
+        let close = GOOD[open..].find(']').unwrap();
+        let broken = format!("{}\"sweep\": [{}", &GOOD[..open], &GOOD[open + close..]);
+        let err = check(&parse(&broken).unwrap()).unwrap_err();
+        assert!(err.contains("sweep"), "{err}");
+    }
+
+    #[test]
+    fn network_inverted_percentiles_fail() {
+        let broken = GOOD.replace(
+            "\"p50_ms\": 7.0, \"p99_ms\": 45.0",
+            "\"p50_ms\": 50.0, \"p99_ms\": 45.0",
+        );
+        let err = check(&parse(&broken).unwrap()).unwrap_err();
+        assert!(err.contains("p99_ms"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,299 @@
+//! Loopback load generator: the overload-proving harness behind the
+//! `bench_serve` network axis.
+//!
+//! Two modes, both driving real [`crate::Client`] connections:
+//!
+//! * **closed loop** (`open_loop_rate: None`): each simulated client
+//!   submits, waits for the terminal event, then immediately submits
+//!   again — offered load self-limits to the service rate, which
+//!   measures *latency under saturation*;
+//! * **open loop** (`Some(rate)`): each client submits on a fixed
+//!   interval regardless of completions — offered load is set by the
+//!   clock, which is what actually *overloads* a server and proves
+//!   shedding (rejections come back with honest nonzero `retry_after`;
+//!   admitted work still completes).
+//!
+//! Every rejection counts toward `offered` and `shed` — a shed request
+//! is not retried (the sweep wants the steady-state shed fraction, not
+//! a convergent backoff dance).
+
+use crate::client::{Client, Outcome, WireRequest};
+use crate::frame::RejectCode;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// One load-generation run's shape.
+#[derive(Clone)]
+pub struct LoadConfig {
+    pub addr: SocketAddr,
+    /// Auth token presented by every client.
+    pub token: String,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Submits per client (closed loop) or total submit budget per
+    /// client (open loop).
+    pub requests_per_client: usize,
+    /// `None` = closed loop; `Some(r)` = open loop at `r` submits per
+    /// second *per client*.
+    pub open_loop_rate: Option<f64>,
+    /// The request every client repeats.
+    pub request: WireRequest,
+}
+
+/// What a run measured.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Requests submitted (admitted + shed + failed).
+    pub offered: u64,
+    /// Requests that ended in `Final` (done or cancelled).
+    pub admitted: u64,
+    /// Requests bounced with `Reject`.
+    pub shed: u64,
+    /// Requests that ended in `Failed` (or whose connection died).
+    pub failed: u64,
+    /// Submit→terminal latency of each admitted request, milliseconds.
+    pub latencies_ms: Vec<f64>,
+    /// Mean `retry_after` across shed requests (zero when none shed).
+    pub mean_retry_after: Duration,
+    /// Shed requests whose `retry_after` hint was zero — for the
+    /// transient reject codes this should stay 0 (the hint is honest).
+    pub zero_hint_sheds: u64,
+    /// Snapshot frames received across all clients.
+    pub snapshots: u64,
+    /// Wall-clock for the whole run.
+    pub wall: Duration,
+}
+
+impl LoadReport {
+    /// Interpolated latency percentile (`q` in 0..=100) over admitted
+    /// requests, in milliseconds. 0.0 when nothing was admitted.
+    pub fn percentile_ms(&self, q: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latencies_ms.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let rank = (q / 100.0) * (sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        if lo == hi {
+            sorted[lo]
+        } else {
+            let w = rank - lo as f64;
+            sorted[lo] * (1.0 - w) + sorted[hi] * w
+        }
+    }
+
+    /// Admitted completions per second of wall-clock.
+    pub fn admitted_per_sec(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.admitted as f64 / self.wall.as_secs_f64()
+        }
+    }
+
+    fn absorb_outcome(&mut self, outcome: &Outcome, latency: Duration) {
+        self.offered += 1;
+        match outcome {
+            Outcome::Done(_) | Outcome::Cancelled(_) => {
+                self.admitted += 1;
+                self.latencies_ms.push(latency.as_secs_f64() * 1e3);
+            }
+            Outcome::Rejected { code, retry_after } => {
+                self.shed += 1;
+                // `TooLarge`/`Draining`/`BadRequest` legitimately hint
+                // zero (waiting cannot help); the transient codes must
+                // not.
+                if retry_after.is_zero() && code.is_transient() {
+                    self.zero_hint_sheds += 1;
+                }
+                self.mean_retry_after += *retry_after; // running sum; divided at the end
+            }
+            Outcome::Failed { .. } => self.failed += 1,
+        }
+    }
+
+    fn merge(&mut self, other: LoadReport) {
+        self.offered += other.offered;
+        self.admitted += other.admitted;
+        self.shed += other.shed;
+        self.failed += other.failed;
+        self.latencies_ms.extend(other.latencies_ms);
+        self.mean_retry_after += other.mean_retry_after;
+        self.zero_hint_sheds += other.zero_hint_sheds;
+        self.snapshots += other.snapshots;
+    }
+}
+
+/// Run one load generation pass (see module docs). Clients that fail
+/// to connect contribute `requests_per_client` failures, so a refusing
+/// server shows up in the numbers instead of silently shrinking the
+/// denominator.
+pub fn run(cfg: &LoadConfig) -> LoadReport {
+    let merged = Mutex::new(LoadReport::default());
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for i in 0..cfg.clients {
+            let merged = &merged;
+            scope.spawn(move || {
+                let local = match cfg.open_loop_rate {
+                    None => run_closed(cfg),
+                    // Stagger client phases across one submit interval so
+                    // the offered load is spread in time, not delivered in
+                    // synchronized bursts of `clients` (which would measure
+                    // the admission burst allowance, not the offered rate).
+                    Some(rate) => {
+                        let phase =
+                            Duration::from_secs_f64(i as f64 / cfg.clients as f64 / rate.max(0.1));
+                        run_open(cfg, rate, phase)
+                    }
+                };
+                merged.lock().merge(local);
+            });
+        }
+    });
+    let mut report = merged.into_inner();
+    report.wall = start.elapsed();
+    if report.shed > 0 {
+        report.mean_retry_after /= report.shed as u32;
+    }
+    report
+}
+
+fn run_closed(cfg: &LoadConfig) -> LoadReport {
+    let mut report = LoadReport::default();
+    let mut client = match Client::connect(cfg.addr, &cfg.token) {
+        Ok(c) => c,
+        Err(_) => {
+            report.offered = cfg.requests_per_client as u64;
+            report.failed = cfg.requests_per_client as u64;
+            return report;
+        }
+    };
+    for _ in 0..cfg.requests_per_client {
+        let t0 = Instant::now();
+        let outcome = client
+            .submit(&cfg.request)
+            .and_then(|id| client.wait_outcome(id));
+        match outcome {
+            Ok(out) => report.absorb_outcome(&out, t0.elapsed()),
+            Err(_) => {
+                report.offered += 1;
+                report.failed += 1;
+                break; // connection dead; stop offering on it
+            }
+        }
+    }
+    report.snapshots = client.snapshots_seen();
+    report
+}
+
+fn run_open(cfg: &LoadConfig, rate: f64, phase: Duration) -> LoadReport {
+    let mut report = LoadReport::default();
+    let mut client = match Client::connect(cfg.addr, &cfg.token) {
+        Ok(c) => c,
+        Err(_) => {
+            report.offered = cfg.requests_per_client as u64;
+            report.failed = cfg.requests_per_client as u64;
+            return report;
+        }
+    };
+    let interval = Duration::from_secs_f64(1.0 / rate.max(0.1));
+    let mut in_flight: HashMap<u64, Instant> = HashMap::new();
+    let start = Instant::now() + phase;
+    let mut broken = false;
+    for k in 0..cfg.requests_per_client {
+        // Hold the cadence: submit at t = k·interval, come what may.
+        let due = start + interval * k as u32;
+        loop {
+            let now = Instant::now();
+            if now >= due {
+                break;
+            }
+            // Drain events while waiting so the socket never backs up.
+            match client.recv_timeout(due - now) {
+                Ok(Some(ev)) => {
+                    if let Some(t0) = ev
+                        .is_terminal()
+                        .then(|| in_flight.remove(&ev.id()))
+                        .flatten()
+                    {
+                        if let Some(out) = terminal_of(ev) {
+                            report.absorb_outcome(&out, t0.elapsed());
+                        }
+                    }
+                }
+                Ok(None) => {}
+                Err(_) => {
+                    broken = true;
+                    break;
+                }
+            }
+        }
+        if broken {
+            break;
+        }
+        match client.submit(&cfg.request) {
+            Ok(id) => {
+                in_flight.insert(id, Instant::now());
+            }
+            Err(_) => {
+                report.offered += 1;
+                report.failed += 1;
+                broken = true;
+                break;
+            }
+        }
+    }
+    // Collect stragglers (bounded).
+    let drain_deadline = Instant::now() + Duration::from_secs(30);
+    while !broken && !in_flight.is_empty() && Instant::now() < drain_deadline {
+        match client.recv_timeout(Duration::from_millis(50)) {
+            Ok(Some(ev)) => {
+                if let Some(t0) = ev
+                    .is_terminal()
+                    .then(|| in_flight.remove(&ev.id()))
+                    .flatten()
+                {
+                    if let Some(out) = terminal_of(ev) {
+                        report.absorb_outcome(&out, t0.elapsed());
+                    }
+                }
+            }
+            Ok(None) => {}
+            Err(_) => break,
+        }
+    }
+    // Whatever never resolved is a failure against the offered count.
+    report.offered += in_flight.len() as u64;
+    report.failed += in_flight.len() as u64;
+    report.snapshots = client.snapshots_seen();
+    report
+}
+
+fn terminal_of(ev: crate::client::Event) -> Option<Outcome> {
+    use crate::client::Event;
+    match ev {
+        Event::Final {
+            cancelled, result, ..
+        } => Some(if cancelled {
+            Outcome::Cancelled(result)
+        } else {
+            Outcome::Done(result)
+        }),
+        Event::Failed { kind, message, .. } => Some(Outcome::Failed { kind, message }),
+        Event::Rejected {
+            code, retry_after, ..
+        } => Some(Outcome::Rejected { code, retry_after }),
+        _ => None,
+    }
+}
+
+/// True when `code` is worth a client-side retry (kept here so bench
+/// code does not reimplement the mapping).
+pub fn retryable(code: RejectCode) -> bool {
+    code.is_transient()
+}

@@ -1,0 +1,300 @@
+//! Frame-codec robustness: every frame type round-trips bit-exactly,
+//! and truncated / corrupt / oversized input yields a typed
+//! [`DecodeError`] — never a panic, never an allocation the bytes on
+//! hand can't justify.
+
+use net::frame::{read_frame, write_frame, FrameReader, ReadError};
+use net::{DecodeError, FailKind, Frame, GameSpec, RejectCode, WireResult};
+use proptest::collection;
+use proptest::prelude::*;
+use std::io::Cursor;
+
+fn roundtrip(frame: Frame) -> Result<(), String> {
+    let mut body = Vec::new();
+    frame.encode(&mut body);
+    let back = Frame::decode(&body).map_err(|e| format!("decode failed: {e}"))?;
+    if back != frame {
+        return Err(format!("roundtrip mismatch: {frame:?} vs {back:?}"));
+    }
+    // The framed path must agree with the raw-body path.
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &frame).map_err(|e| format!("write: {e}"))?;
+    let back = read_frame(&mut Cursor::new(wire), net::MAX_FRAME)
+        .map_err(|e| format!("framed read failed: {e}"))?;
+    if back != frame {
+        return Err("framed roundtrip mismatch".into());
+    }
+    Ok(())
+}
+
+/// Every strict prefix of a valid body must decode to a typed error.
+fn prefixes_fail(frame: &Frame) -> Result<(), String> {
+    let mut body = Vec::new();
+    frame.encode(&mut body);
+    for k in 0..body.len() {
+        if Frame::decode(&body[..k]).is_ok() {
+            return Err(format!("prefix {k}/{} decoded: {frame:?}", body.len()));
+        }
+    }
+    Ok(())
+}
+
+fn ascii(bytes: Vec<u8>) -> String {
+    bytes.into_iter().map(|b| (32 + b % 95) as char).collect()
+}
+
+fn spec_from(tag: u8, a: u8, b: u8) -> GameSpec {
+    match tag % 5 {
+        0 => GameSpec::TicTacToe,
+        1 => GameSpec::Connect4,
+        2 => {
+            let size = 2 + a % 31; // 2..=32
+            GameSpec::Gomoku {
+                size,
+                win: 2 + b % (size - 1),
+            }
+        }
+        3 => GameSpec::Othello {
+            size: 4 + 2 * (a % 7),
+        },
+        _ => GameSpec::Hex { size: 2 + a % 18 },
+    }
+}
+
+fn result_from(seq: u64, playouts: u64, value: f32, visits: Vec<u32>) -> WireResult {
+    let probs = visits.iter().map(|&v| v as f32 / 100.0).collect();
+    WireResult {
+        seq,
+        playouts,
+        nodes: playouts / 2,
+        value,
+        visits,
+        probs,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn hello_roundtrips(proto in 0u32..u32::MAX, raw in collection::vec(0u8..255, 0..48)) {
+        let f = Frame::Hello { proto, token: ascii(raw) };
+        roundtrip(f.clone())?;
+        prefixes_fail(&f)?;
+    }
+
+    #[test]
+    fn submit_roundtrips(
+        id in 0u64..u64::MAX,
+        tag in 0u8..255,
+        a in 0u8..255,
+        b in 0u8..255,
+        moves in collection::vec(0u16..512, 0..64),
+        playouts in 1u64..10_000_000,
+        time_ms in 0u64..100_000,
+        max_nodes in 0u64..1_000_000,
+        priority in 0u8..3,
+    ) {
+        let f = Frame::Submit {
+            id,
+            spec: spec_from(tag, a, b),
+            moves,
+            playouts,
+            time_ms,
+            max_nodes,
+            priority,
+        };
+        roundtrip(f.clone())?;
+        prefixes_fail(&f)?;
+    }
+
+    #[test]
+    fn snapshot_and_final_roundtrip(
+        id in 0u64..u64::MAX,
+        seq in 0u64..1_000_000,
+        playouts in 0u64..1_000_000,
+        value in -1f32..1.0,
+        visits in collection::vec(0u32..100_000, 0..128),
+        cancelled in 0u8..2,
+    ) {
+        let result = result_from(seq, playouts, value, visits);
+        let f = Frame::Snapshot { id, result: result.clone() };
+        roundtrip(f.clone())?;
+        prefixes_fail(&f)?;
+        let f = Frame::Final { id, cancelled: cancelled == 1, result };
+        roundtrip(f.clone())?;
+        prefixes_fail(&f)?;
+    }
+
+    #[test]
+    fn reject_and_failed_roundtrip(
+        id in 0u64..u64::MAX,
+        code in 0u8..7,
+        kind in 0u8..5,
+        retry in 0u64..u64::MAX,
+        raw in collection::vec(0u8..255, 0..64),
+    ) {
+        let codes = [
+            RejectCode::RateLimited, RejectCode::QueueFull, RejectCode::TooLarge,
+            RejectCode::Unhealthy, RejectCode::Draining, RejectCode::QuotaExceeded,
+            RejectCode::BadRequest,
+        ];
+        let kinds = [
+            FailKind::Panicked, FailKind::EvaluatorFailed, FailKind::DeadlineExceeded,
+            FailKind::Cancelled, FailKind::BackendUnavailable,
+        ];
+        let f = Frame::Reject { id, code: codes[code as usize], retry_after_us: retry };
+        roundtrip(f.clone())?;
+        prefixes_fail(&f)?;
+        let f = Frame::Failed {
+            id,
+            kind: kinds[kind as usize],
+            retry_after_us: retry,
+            message: ascii(raw),
+        };
+        roundtrip(f.clone())?;
+        prefixes_fail(&f)?;
+    }
+
+    #[test]
+    fn control_frames_roundtrip(proto in 0u32..u32::MAX, id in 0u64..u64::MAX, shard in 0u32..64, raw in collection::vec(0u8..255, 0..96)) {
+        for f in [
+            Frame::Cancel { id },
+            Frame::StatsReq,
+            Frame::Goodbye,
+            Frame::Welcome { proto },
+            Frame::Accepted { id, shard },
+            Frame::StatsJson { json: ascii(raw.clone()) },
+            Frame::Error { message: ascii(raw) },
+        ] {
+            roundtrip(f.clone())?;
+            prefixes_fail(&f)?;
+        }
+    }
+
+    #[test]
+    fn random_bytes_never_panic(bytes in collection::vec(0u8..255, 0..256)) {
+        // Typed error or (rarely) a valid frame; never a panic.
+        let _ = Frame::decode(&bytes);
+    }
+
+    #[test]
+    fn corrupt_type_byte_is_typed(bytes in collection::vec(0u8..255, 1..64), ty in 0u8..255) {
+        let mut body = bytes;
+        body[0] = ty;
+        let known = matches!(ty, 0x01..=0x05 | 0x81..=0x88);
+        let decoded = Frame::decode(&body);
+        if !known {
+            prop_assert_eq!(decoded, Err(DecodeError::UnknownType(ty)));
+        }
+        // Known types with garbage payloads may decode or err — either
+        // way the property is "no panic", which reaching here proves.
+    }
+}
+
+#[test]
+fn oversized_declared_length_is_refused_before_allocation() {
+    // 4 GiB declared, 0 bytes delivered: both read paths must refuse
+    // from the prefix alone.
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&u32::MAX.to_le_bytes());
+    match read_frame(&mut Cursor::new(wire.clone()), net::MAX_FRAME) {
+        Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::InvalidData),
+        Ok(f) => panic!("oversized frame decoded: {f:?}"),
+    }
+    let mut reader = FrameReader::new(net::MAX_FRAME);
+    match reader.poll(&mut Cursor::new(wire)) {
+        Err(ReadError::Decode(DecodeError::Oversized { declared, max })) => {
+            assert_eq!(declared, u32::MAX as usize);
+            assert_eq!(max, net::MAX_FRAME);
+        }
+        other => panic!("expected Oversized, got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_length_frame_is_refused() {
+    let wire = 0u32.to_le_bytes().to_vec();
+    assert!(read_frame(&mut Cursor::new(wire), net::MAX_FRAME).is_err());
+}
+
+#[test]
+fn hostile_element_count_fails_without_huge_allocation() {
+    // A Snapshot claiming 65535 visit entries backed by 2 bytes: the
+    // count-vs-remaining check must fail before any vector is sized.
+    let mut body = vec![0x84u8];
+    body.extend_from_slice(&7u64.to_le_bytes()); // id
+    body.extend_from_slice(&1u64.to_le_bytes()); // seq
+    body.extend_from_slice(&1u64.to_le_bytes()); // playouts
+    body.extend_from_slice(&1u64.to_le_bytes()); // nodes
+    body.extend_from_slice(&0f32.to_le_bytes()); // value
+    body.extend_from_slice(&u16::MAX.to_le_bytes()); // n = 65535
+    body.extend_from_slice(&[0xAB, 0xCD]); // ...but only 2 bytes follow
+    assert_eq!(Frame::decode(&body), Err(DecodeError::Truncated));
+}
+
+#[test]
+fn trailing_garbage_is_refused() {
+    let mut body = Vec::new();
+    Frame::Goodbye.encode(&mut body);
+    body.push(0x00);
+    assert_eq!(
+        Frame::decode(&body),
+        Err(DecodeError::BadValue("trailing bytes"))
+    );
+}
+
+#[test]
+fn invalid_board_parameters_are_refused() {
+    for body in [
+        vec![0x02u8, 0, 0, 0, 0, 0, 0, 0, 0, 2, 40, 5], // gomoku size 40
+        vec![0x02u8, 0, 0, 0, 0, 0, 0, 0, 0, 2, 9, 1],  // win length 1
+        vec![0x02u8, 0, 0, 0, 0, 0, 0, 0, 0, 3, 7],     // odd othello board
+        vec![0x02u8, 0, 0, 0, 0, 0, 0, 0, 0, 4, 25],    // hex size 25
+        vec![0x02u8, 0, 0, 0, 0, 0, 0, 0, 0, 9],        // unknown game tag
+    ] {
+        match Frame::decode(&body) {
+            Err(DecodeError::BadValue(_)) => {}
+            other => panic!("spec {body:?} must be refused, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn frame_reader_reassembles_byte_dribble() {
+    // Feed a valid frame one byte at a time through a reader whose
+    // source yields a single byte per call: every intermediate poll is
+    // Ok(None) with mid_frame() true, and the last yields the frame.
+    let frame = Frame::Accepted { id: 42, shard: 3 };
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &frame).unwrap();
+    let mut reader = FrameReader::new(net::MAX_FRAME);
+    for (i, &b) in wire.iter().enumerate() {
+        let mut one = OneByte(Some(b));
+        match reader.poll(&mut one) {
+            Ok(Some(f)) => {
+                assert_eq!(i, wire.len() - 1, "frame complete only at the last byte");
+                assert_eq!(f, frame);
+                return;
+            }
+            Ok(None) => assert!(reader.mid_frame(), "partial after byte {i}"),
+            Err(e) => panic!("byte {i}: {e:?}"),
+        }
+    }
+    panic!("frame never completed");
+}
+
+/// Reader yielding one byte then WouldBlock.
+struct OneByte(Option<u8>);
+
+impl std::io::Read for OneByte {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self.0.take() {
+            Some(b) => {
+                buf[0] = b;
+                Ok(1)
+            }
+            None => Err(std::io::ErrorKind::WouldBlock.into()),
+        }
+    }
+}

@@ -92,6 +92,12 @@ pub enum RejectReason {
     /// Transient — `retry_after` covers the remaining cooldown, after
     /// which a probe decides whether the model is healthy again.
     Unhealthy,
+    /// The cluster is draining toward shutdown
+    /// (see [`crate::ServeCluster::drain`]): no new work is admitted,
+    /// in-flight sessions run to completion. Terminal for this cluster —
+    /// `retry_after` is zero; clients should fail over to another
+    /// replica rather than wait.
+    Draining,
 }
 
 /// An explicit load-shedding outcome: the request was **not** queued.
@@ -137,6 +143,12 @@ impl std::fmt::Display for Rejection {
                     f,
                     "request shed (backend circuit breaker open); retry after {:?}",
                     self.retry_after
+                )
+            }
+            RejectReason::Draining => {
+                write!(
+                    f,
+                    "request shed (cluster draining toward shutdown); fail over to another replica"
                 )
             }
         }
@@ -304,6 +316,13 @@ impl AdmissionController {
             .iter()
             .find(|m| m.key == key)
             .map_or(0, |m| m.pending)
+    }
+
+    /// Sessions admitted-but-unfinished across *all* models. Zero once a
+    /// drained cluster's accounting has fully unwound (every admitted
+    /// session released its slot).
+    pub fn total_pending(&self) -> usize {
+        self.models.lock().iter().map(|m| m.pending).sum()
     }
 
     /// Turn an estimated wait into an actionable, decorrelated hint:

@@ -47,14 +47,14 @@ use crate::admission::{AdmissionConfig, AdmissionController, RejectReason, Rejec
 use crate::evalcache::CacheRegistry;
 use crate::health::{BreakerState, HealthRegistry};
 use crate::service::{SearchService, ServeConfig, ServiceStats};
-use crate::session::SearchTicket;
+use crate::session::{SearchTicket, SessionShared};
 use crate::{jittered, session_cost, SearchRequest};
 use games::Game;
 use mcts::{AutotuneReport, BatchEvaluator, CacheStats};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Cluster sizing: how many shards, how each is provisioned, and the
 /// admission limits applied per model.
@@ -165,6 +165,11 @@ pub struct ClusterStats {
     /// with an honest `retry_after` instead of burning worker time on
     /// evaluations that would fail fast anyway.
     pub shed_unhealthy: u64,
+    /// Requests shed because the cluster is draining toward shutdown
+    /// ([`crate::RejectReason::Draining`]): [`ServeCluster::drain`] was
+    /// called, so the front door bounces everything while in-flight
+    /// sessions run out.
+    pub shed_draining: u64,
     /// Cluster-wide evaluation-cache counters. The cache registry is
     /// shared across every shard (a position evaluated on one shard is
     /// a hit on all of them), so its counters live here rather than in
@@ -183,7 +188,11 @@ pub struct ClusterStats {
 impl ClusterStats {
     /// Total requests shed (all reasons).
     pub fn shed(&self) -> u64 {
-        self.shed_rate_limited + self.shed_queue_full + self.shed_too_large + self.shed_unhealthy
+        self.shed_rate_limited
+            + self.shed_queue_full
+            + self.shed_too_large
+            + self.shed_unhealthy
+            + self.shed_draining
     }
 
     /// All shards' counters folded together, including the shared
@@ -212,12 +221,13 @@ impl ClusterStats {
         let mut s = String::with_capacity(512);
         let _ = write!(
             s,
-            "{{\"admitted\":{},\"shed\":{{\"rate_limited\":{},\"queue_full\":{},\"too_large\":{},\"unhealthy\":{}}}",
+            "{{\"admitted\":{},\"shed\":{{\"rate_limited\":{},\"queue_full\":{},\"too_large\":{},\"unhealthy\":{},\"draining\":{}}}",
             self.admitted,
             self.shed_rate_limited,
             self.shed_queue_full,
             self.shed_too_large,
-            self.shed_unhealthy
+            self.shed_unhealthy,
+            self.shed_draining
         );
         let _ = write!(
             s,
@@ -315,11 +325,18 @@ pub struct ServeCluster {
     /// pins the address against reuse and marks dead backends; entries
     /// with no strong references left are evicted on the next submit.
     affinity: Mutex<Vec<AffinityEntry>>,
+    /// Weak handles to every admitted session, pruned of finished ones
+    /// on submit and during [`ServeCluster::drain`]'s in-flight probe.
+    live: Mutex<Vec<Weak<SessionShared>>>,
+    /// Set (irreversibly) by [`ServeCluster::drain`]: the front door
+    /// sheds everything with [`RejectReason::Draining`].
+    draining: AtomicBool,
     admitted: AtomicU64,
     shed_rate_limited: AtomicU64,
     shed_queue_full: AtomicU64,
     shed_too_large: AtomicU64,
     shed_unhealthy: AtomicU64,
+    shed_draining: AtomicU64,
     /// Salt sequence decorrelating `retry_after` jitter across
     /// back-to-back unhealthy rejections.
     jitter_seq: AtomicU64,
@@ -355,11 +372,14 @@ impl ServeCluster {
             cache,
             health,
             affinity: Mutex::new(Vec::new()),
+            live: Mutex::new(Vec::new()),
+            draining: AtomicBool::new(false),
             admitted: AtomicU64::new(0),
             shed_rate_limited: AtomicU64::new(0),
             shed_queue_full: AtomicU64::new(0),
             shed_too_large: AtomicU64::new(0),
             shed_unhealthy: AtomicU64::new(0),
+            shed_draining: AtomicU64::new(0),
             jitter_seq: AtomicU64::new(0),
         }
     }
@@ -372,6 +392,15 @@ impl ServeCluster {
     /// [`Rejection::retry_after`] back-off hint; nothing was queued and
     /// no state lingers.
     pub fn submit<G: Game>(&self, req: SearchRequest<G>) -> Result<ClusterTicket, Rejection> {
+        // Drain gate before anything else: a draining cluster admits
+        // nothing, spends no tokens, and tells the client not to wait.
+        if self.draining.load(Ordering::Acquire) {
+            self.shed_draining.fetch_add(1, Ordering::Relaxed);
+            return Err(Rejection {
+                reason: RejectReason::Draining,
+                retry_after: Duration::ZERO,
+            });
+        }
         let key = Arc::as_ptr(&req.evaluator) as *const () as usize;
         let cost = session_cost(&req.budget, &req.config);
         // Health gate first: a backend cooling down behind an open
@@ -393,6 +422,7 @@ impl ServeCluster {
                     RejectReason::QueueFull => &self.shed_queue_full,
                     RejectReason::TooLarge => &self.shed_too_large,
                     RejectReason::Unhealthy => &self.shed_unhealthy,
+                    RejectReason::Draining => &self.shed_draining,
                 };
                 counter.fetch_add(1, Ordering::Relaxed);
                 return Err(rej);
@@ -428,6 +458,11 @@ impl ServeCluster {
                 .shared
                 .set_on_final(Box::new(move |_status| adm.release(key)));
         }
+        {
+            let mut live = self.live.lock();
+            live.retain(|w| w.upgrade().is_some_and(|s| !s.is_finished()));
+            live.push(Arc::downgrade(&ticket.shared));
+        }
         self.admitted.fetch_add(1, Ordering::Relaxed);
         Ok(ClusterTicket { ticket, shard })
     }
@@ -460,6 +495,7 @@ impl ServeCluster {
             shed_queue_full: self.shed_queue_full.load(Ordering::Relaxed),
             shed_too_large: self.shed_too_large.load(Ordering::Relaxed),
             shed_unhealthy: self.shed_unhealthy.load(Ordering::Relaxed),
+            shed_draining: self.shed_draining.load(Ordering::Relaxed),
             cache: self.cache.as_ref().map(|r| r.stats()).unwrap_or_default(),
             per_shard: self.shards.iter().map(|s| s.stats()).collect(),
             autotune: self
@@ -491,4 +527,95 @@ impl ServeCluster {
             reg.invalidate_all();
         }
     }
+
+    /// True once [`ServeCluster::drain`] (or
+    /// [`ServeCluster::shutdown`]) has been called: submits shed with
+    /// [`RejectReason::Draining`].
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// Sessions admitted-but-unfinished per the admission controller's
+    /// accounting, summed over all models. Zero with admission disabled,
+    /// and zero again once a drain has fully unwound. This is the
+    /// invariant [`ServeCluster::drain`] asserts on exit.
+    pub fn pending_sessions(&self) -> usize {
+        self.admission.as_ref().map_or(0, |a| a.total_pending())
+    }
+
+    /// Sessions admitted and not yet finalized (direct probe of live
+    /// session state, independent of admission accounting).
+    pub fn in_flight(&self) -> usize {
+        let mut live = self.live.lock();
+        live.retain(|w| w.upgrade().is_some_and(|s| !s.is_finished()));
+        live.len()
+    }
+
+    /// Graceful drain toward shutdown.
+    ///
+    /// Irreversibly stops admitting (subsequent submits shed with
+    /// [`RejectReason::Draining`] and zero `retry_after` — clients
+    /// should fail over, not wait), then lets in-flight sessions run to
+    /// their budgets for up to `timeout`. Sessions still running at the
+    /// deadline get [`crate::SearchTicket::cancel`]-equivalent
+    /// cancellation (honored at their next scheduling slice; each
+    /// resolves with status [`crate::TicketStatus::Cancelled`] and its
+    /// partial result intact) and a short bounded grace period to land.
+    ///
+    /// Returns a [`DrainReport`]; `drained` is true iff every session
+    /// finalized **and** admission accounting returned to zero — i.e.
+    /// every admitted session released its pending slot, the no-leak
+    /// invariant the network listener relies on.
+    pub fn drain(&self, timeout: Duration) -> DrainReport {
+        self.draining.store(true, Ordering::Release);
+        let settled = |cluster: &Self| cluster.in_flight() == 0 && cluster.pending_sessions() == 0;
+        let deadline = Instant::now() + timeout;
+        while !settled(self) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Deadline passed (or timeout was zero): cancel the stragglers.
+        // `request_cancel` reaches queued sessions at dispatch and
+        // running ones at their next slice boundary.
+        let stragglers: Vec<Arc<SessionShared>> = self
+            .live
+            .lock()
+            .iter()
+            .filter_map(|w| w.upgrade())
+            .filter(|s| !s.is_finished())
+            .collect();
+        let cancelled = stragglers.len();
+        for s in &stragglers {
+            s.request_cancel();
+        }
+        drop(stragglers);
+        let grace = Instant::now() + Duration::from_secs(5);
+        while !settled(self) && Instant::now() < grace {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        DrainReport {
+            drained: settled(self),
+            cancelled,
+            pending_after: self.pending_sessions(),
+        }
+    }
+
+    /// [`ServeCluster::drain`] with a zero timeout: stop admitting and
+    /// cancel everything in flight now (still waiting the bounded grace
+    /// period for cancellations to land and accounting to unwind).
+    pub fn shutdown(&self) -> DrainReport {
+        self.drain(Duration::ZERO)
+    }
+}
+
+/// What [`ServeCluster::drain`] accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Every in-flight session finalized and admission accounting
+    /// returned to zero — the cluster is safe to drop with no session
+    /// resolving as a surprise cancellation.
+    pub drained: bool,
+    /// Sessions still running at the deadline that were force-cancelled.
+    pub cancelled: usize,
+    /// Admission pending count at exit (0 when `drained`).
+    pub pending_after: usize,
 }

@@ -121,8 +121,8 @@ mod supervisor;
 
 pub use admission::{AdmissionConfig, AdmissionController, RejectReason, Rejection};
 pub use cluster::{
-    AffinityLeastLoaded, ClusterConfig, ClusterStats, ClusterTicket, LeastLoaded, PlacementPolicy,
-    ServeCluster,
+    AffinityLeastLoaded, ClusterConfig, ClusterStats, ClusterTicket, DrainReport, LeastLoaded,
+    PlacementPolicy, ServeCluster,
 };
 pub use health::{BreakerState, CircuitBreaker};
 pub use service::{SearchService, ServeConfig, ServiceStats};

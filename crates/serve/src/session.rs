@@ -132,6 +132,12 @@ impl SessionShared {
         self.cancel_flag.load(Ordering::Acquire)
     }
 
+    /// True once the final result is recorded (the drain loop's
+    /// in-flight probe).
+    pub(crate) fn is_finished(&self) -> bool {
+        self.state.lock().outcome.is_some()
+    }
+
     /// Service-side cancellation request (the watchdog uses this when
     /// reaping a stuck session, so the run stops at its next budget
     /// check even though no ticket asked).

@@ -571,3 +571,93 @@ fn cluster_stats_export_autotune_reports_and_metrics_json() {
     let closes = json.matches('}').count();
     assert_eq!(opens, closes, "unbalanced JSON: {json}");
 }
+
+#[test]
+fn drain_lets_in_flight_sessions_finish() {
+    let cluster = ServeCluster::new(ClusterConfig {
+        shards: 2,
+        shard: shard_cfg(2, 64),
+        admission: Some(AdmissionConfig {
+            playouts_per_sec: 1e9,
+            burst_playouts: 1_000_000_000,
+            max_pending: 64,
+        }),
+    });
+    let eval = uniform();
+    let tickets: Vec<_> = (0..6)
+        .map(|_| {
+            cluster
+                .submit(
+                    SearchRequest::new(TicTacToe::new(), Arc::clone(&eval) as Arc<_>)
+                        .config(cfg(400)),
+                )
+                .unwrap()
+        })
+        .collect();
+    let report = cluster.drain(Duration::from_secs(30));
+    assert!(
+        report.drained,
+        "all sessions had time to finish: {report:?}"
+    );
+    assert_eq!(report.cancelled, 0, "nothing ran past the deadline");
+    assert_eq!(report.pending_after, 0);
+    assert_eq!(
+        cluster.pending_sessions(),
+        0,
+        "admission accounting returned to zero"
+    );
+    assert_eq!(cluster.in_flight(), 0);
+    for t in &tickets {
+        assert_eq!(t.status(), TicketStatus::Done, "drain is not cancellation");
+        assert_eq!(t.wait().stats.playouts, 400);
+    }
+    // The front door is closed for good: everything after drain sheds
+    // with the terminal Draining reason and a zero retry hint.
+    assert!(cluster.is_draining());
+    let rej = cluster
+        .submit(SearchRequest::new(TicTacToe::new(), Arc::clone(&eval) as Arc<_>).config(cfg(50)))
+        .unwrap_err();
+    assert_eq!(rej.reason, RejectReason::Draining);
+    assert_eq!(rej.retry_after, Duration::ZERO, "fail over, don't wait");
+    let stats = cluster.stats();
+    assert_eq!(stats.shed_draining, 1);
+    assert_eq!(stats.shed(), 1);
+    assert!(stats.metrics_json().contains("\"draining\":1"));
+}
+
+#[test]
+fn shutdown_cancels_stragglers_and_unwinds_accounting() {
+    let cluster = ServeCluster::new(ClusterConfig {
+        shards: 1,
+        shard: shard_cfg(1, 128),
+        admission: Some(AdmissionConfig {
+            playouts_per_sec: 1e9,
+            burst_playouts: 1_000_000_000,
+            max_pending: 64,
+        }),
+    });
+    let eval = uniform();
+    // Budgets far beyond what can finish before the zero-timeout drain:
+    // these must be force-cancelled, not waited out.
+    let tickets: Vec<_> = (0..3)
+        .map(|_| {
+            cluster
+                .submit(
+                    SearchRequest::new(TicTacToe::new(), Arc::clone(&eval) as Arc<_>)
+                        .config(cfg(50_000_000)),
+                )
+                .unwrap()
+        })
+        .collect();
+    assert!(cluster.pending_sessions() > 0, "sessions admitted");
+    let report = cluster.shutdown();
+    assert!(
+        report.drained,
+        "cancellations landed within the grace period: {report:?}"
+    );
+    assert!(report.cancelled >= 1, "stragglers were force-cancelled");
+    assert_eq!(report.pending_after, 0, "no leaked admission slot");
+    for t in &tickets {
+        assert_eq!(t.status(), TicketStatus::Cancelled);
+    }
+}

@@ -1,0 +1,168 @@
+//! Network front-end demo: a [`net::NetServer`] on a loopback port
+//! with three concurrent clients exercising the three ways a remote
+//! session can end —
+//!
+//! * **streamer**: submits a mid-size search, prints every anytime
+//!   snapshot as it arrives, and receives the `Final` frame;
+//! * **canceller**: submits a huge budget, watches one snapshot, then
+//!   cancels — the server answers with `Final{cancelled}` carrying the
+//!   best-so-far result;
+//! * **glutton**: runs against a tight per-connection quota and has its
+//!   second in-flight request shed with `Reject{QuotaExceeded}` and an
+//!   honest nonzero `retry_after` hint.
+//!
+//! Afterwards the demo dumps the server's frame counters and the
+//! cluster metrics JSON, then drains gracefully.
+//!
+//! Run: `cargo run --release --example net_demo`
+
+use net::{Client, Event, GameSpec, NetServer, Outcome, ServerConfig, WireRequest};
+use serve::{AdmissionConfig, ClusterConfig, ServeCluster, ServeConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let cluster = Arc::new(ServeCluster::new(ClusterConfig {
+        shards: 2,
+        shard: ServeConfig {
+            workers: 2,
+            step_quota: 128,
+            ..Default::default()
+        },
+        admission: Some(AdmissionConfig {
+            playouts_per_sec: 1e8,
+            burst_playouts: 100_000_000,
+            max_pending: 256,
+        }),
+    }));
+    let mut server = NetServer::bind(
+        "127.0.0.1:0",
+        cluster,
+        ServerConfig {
+            // One in-flight session per connection: the glutton's
+            // second concurrent request trips the quota while the
+            // streamer and canceller (one session each) sail through.
+            client_quota: Some(AdmissionConfig {
+                playouts_per_sec: 1e8,
+                burst_playouts: 100_000_000,
+                max_pending: 1,
+            }),
+            ..Default::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    println!("serving on {addr}\n");
+
+    std::thread::scope(|scope| {
+        scope.spawn(move || streamer(addr));
+        scope.spawn(move || canceller(addr));
+        scope.spawn(move || glutton(addr));
+    });
+
+    let stats = server.stats();
+    println!("\n-- server frame counters --");
+    println!(
+        "connections accepted {}   submits {}   admitted {}   rejected {}   cancels {}",
+        stats.accepted, stats.submits, stats.admitted, stats.rejected, stats.cancels
+    );
+    println!(
+        "snapshots sent {}   shed to slow readers {}",
+        stats.snapshots_sent, stats.snapshots_shed
+    );
+    println!("\n-- cluster metrics --");
+    let mut client = Client::connect(addr, "").expect("stats connection");
+    println!("{}", client.stats().expect("metrics dump"));
+
+    let report = server.shutdown(Duration::from_secs(10));
+    println!("\ndrained cleanly: {report:?}");
+}
+
+fn streamer(addr: std::net::SocketAddr) {
+    let mut client = Client::connect(addr, "").expect("streamer connect");
+    let req = WireRequest::new(GameSpec::Gomoku { size: 9, win: 5 }).playouts(40_000);
+    let id = client.submit(&req).expect("submit");
+    loop {
+        match client.recv().expect("stream") {
+            Event::Accepted { shard, .. } => {
+                println!("[streamer] session {id} accepted on shard {shard}")
+            }
+            Event::Snapshot { result, .. } => println!(
+                "[streamer]   snapshot seq {:>3}: {:>6} playouts, best {:?}, value {:+.3}",
+                result.seq,
+                result.playouts,
+                result.best_action(),
+                result.value
+            ),
+            Event::Final { result, .. } => {
+                println!(
+                    "[streamer] final: {} playouts, best move {:?}",
+                    result.playouts,
+                    result.best_action()
+                );
+                break;
+            }
+            other => {
+                println!("[streamer] unexpected: {other:?}");
+                break;
+            }
+        }
+    }
+}
+
+fn canceller(addr: std::net::SocketAddr) {
+    let mut client = Client::connect(addr, "").expect("canceller connect");
+    // A budget that would take far longer than our patience.
+    let req = WireRequest::new(GameSpec::Othello { size: 8 }).playouts(9_000_000);
+    let id = client.submit(&req).expect("submit");
+    // Wait for the first snapshot, then pull the plug.
+    loop {
+        match client.recv().expect("stream") {
+            Event::Accepted { shard, .. } => {
+                println!("[canceller] session {id} accepted on shard {shard}")
+            }
+            Event::Snapshot { result, .. } => {
+                println!(
+                    "[canceller]  saw progress ({} playouts) — cancelling",
+                    result.playouts
+                );
+                client.cancel(id).expect("cancel");
+                break;
+            }
+            other => {
+                println!("[canceller] unexpected: {other:?}");
+                return;
+            }
+        }
+    }
+    match client.wait_outcome(id).expect("outcome") {
+        Outcome::Cancelled(partial) => println!(
+            "[canceller] cancelled cleanly with best-so-far {:?} after {} playouts",
+            partial.best_action(),
+            partial.playouts
+        ),
+        other => println!("[canceller] unexpected outcome: {other:?}"),
+    }
+}
+
+fn glutton(addr: std::net::SocketAddr) {
+    let mut client = Client::connect(addr, "").expect("glutton connect");
+    let req = WireRequest::new(GameSpec::Connect4).playouts(60_000);
+    let a = client.submit(&req).expect("submit a");
+    let b = client.submit(&req).expect("submit b");
+    println!("[glutton]  submitted sessions {a} and {b} against a one-session quota");
+    match client.wait_outcome(b).expect("outcome b") {
+        Outcome::Rejected { code, retry_after } => println!(
+            "[glutton]  session {b} shed: {code:?}, retry after {:.1}s",
+            retry_after.as_secs_f64()
+        ),
+        other => println!("[glutton]  unexpected outcome for {b}: {other:?}"),
+    }
+    match client.wait_outcome(a).expect("outcome a") {
+        Outcome::Done(result) => println!(
+            "[glutton]  session {a} (within quota) finished: best {:?}",
+            result.best_action()
+        ),
+        other => println!("[glutton]  unexpected outcome for {a}: {other:?}"),
+    }
+}

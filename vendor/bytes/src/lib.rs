@@ -1,6 +1,8 @@
 //! Offline stand-in for the `bytes` crate: just enough of
 //! `Bytes`/`BytesMut`/`Buf`/`BufMut` for the little-endian checkpoint
-//! format in `nn::serialize`.
+//! format in `nn::serialize` and the wire-frame codec in `net` (whose
+//! decoder uses only the checked `try_*` reads, so truncated or
+//! malicious input yields `None` instead of a panic).
 
 use std::ops::Deref;
 
@@ -68,12 +70,26 @@ impl Deref for BytesMut {
 }
 
 /// Little-endian read cursor over a shrinking byte view.
+///
+/// The `get_*` reads panic on underrun (fine for trusted on-disk data
+/// whose length was already validated); the `try_*` family returns
+/// `None` instead, for decoders facing untrusted network input.
 pub trait Buf {
     /// Bytes left to read.
     fn remaining(&self) -> usize;
 
     /// Consume `n` bytes, returning them.
     fn take_bytes(&mut self, n: usize) -> &[u8];
+
+    /// Consume `n` bytes if available, `None` (consuming nothing)
+    /// otherwise.
+    fn try_take_bytes(&mut self, n: usize) -> Option<&[u8]> {
+        if self.remaining() < n {
+            None
+        } else {
+            Some(self.take_bytes(n))
+        }
+    }
 
     /// Read a little-endian `u32`.
     fn get_u32_le(&mut self) -> u32 {
@@ -88,6 +104,35 @@ pub trait Buf {
     /// Read a little-endian `f32`.
     fn get_f32_le(&mut self) -> f32 {
         f32::from_le_bytes(self.take_bytes(4).try_into().unwrap())
+    }
+
+    /// Checked read of one byte.
+    fn try_get_u8(&mut self) -> Option<u8> {
+        self.try_take_bytes(1).map(|b| b[0])
+    }
+
+    /// Checked read of a little-endian `u16`.
+    fn try_get_u16_le(&mut self) -> Option<u16> {
+        self.try_take_bytes(2)
+            .map(|b| u16::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Checked read of a little-endian `u32`.
+    fn try_get_u32_le(&mut self) -> Option<u32> {
+        self.try_take_bytes(4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Checked read of a little-endian `u64`.
+    fn try_get_u64_le(&mut self) -> Option<u64> {
+        self.try_take_bytes(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Checked read of a little-endian `f32`.
+    fn try_get_f32_le(&mut self) -> Option<f32> {
+        self.try_take_bytes(4)
+            .map(|b| f32::from_le_bytes(b.try_into().unwrap()))
     }
 }
 
@@ -107,6 +152,16 @@ impl Buf for &[u8] {
 pub trait BufMut {
     /// Append raw bytes.
     fn put_slice(&mut self, data: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
 
     /// Append a little-endian `u32`.
     fn put_u32_le(&mut self, v: u32) {

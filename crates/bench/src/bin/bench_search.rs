@@ -8,7 +8,12 @@
 //!   (isolates in-tree cost: selection, expansion, backup, allocation);
 //! * playouts/s with a tiny real network (adds a realistic eval share);
 //! * for `serial+reuse`, a full search→advance→search cycle so re-rooting
-//!   cost is inside the measured window.
+//!   cost is inside the measured window;
+//! * the bounded-memory soak: a streaming analysis session under a fixed
+//!   arena byte budget with LRU recycling, reporting playouts/s over the
+//!   first vs last decile of cycles (long-run stability: the last decile
+//!   must sit within 10% of the first — `check_search_schema` gates the
+//!   ratio on full runs, never on smoke).
 //!
 //! Usage: `bench_search [--smoke] [out_path]` (default
 //! `BENCH_search.json`). `--smoke` (or env `BENCH_SMOKE=1`) shrinks the
@@ -17,7 +22,10 @@
 
 use games::gomoku::Gomoku;
 use games::Game;
-use mcts::{BatchEvaluator, NnEvaluator, Scheme, SearchBuilder, SearchScheme, UniformEvaluator};
+use mcts::{
+    BatchEvaluator, EvictionPolicy, MctsConfig, NnEvaluator, Scheme, SearchBuilder, SearchScheme,
+    UniformEvaluator,
+};
 use nn::{NetConfig, PolicyValueNet};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -140,13 +148,71 @@ fn main() {
     });
     let _ = writeln!(
         json,
-        "  \"reuse_cycle\": {{\"scheme\": \"serial+reuse\", \"moves\": {moves}, \"uniform_playouts_per_s\": {:.1}}}",
+        "  \"reuse_cycle\": {{\"scheme\": \"serial+reuse\", \"moves\": {moves}, \"uniform_playouts_per_s\": {:.1}}},",
         done as f64 / t
     );
     eprintln!(
         "{:>13} / uniform: {:>9.0} playouts/s ({moves}-move cycle)",
         "serial+reuse",
         done as f64 / t
+    );
+
+    // --- bounded-memory soak: fixed-budget streaming session --------------
+    // A streaming analysis session (search → advance, new game at
+    // terminal) under a fixed arena byte budget: the LRU policy recycles
+    // cold subtrees the whole run, so the figure is the long-run rate
+    // stability of the eviction path, measured as playouts/s over the
+    // first vs last decile of cycles. The budget is sized so the session
+    // lives in the recycling regime (a 16 MiB arena never fills on this
+    // board — an eviction benchmark that never evicts measures nothing).
+    let (soak_cycles, soak_playouts, soak_budget) = if smoke {
+        (200usize, 64usize, 256usize << 10)
+    } else {
+        (10_000usize, 256usize, 512usize << 10)
+    };
+    let mut soak = SearchBuilder::new(Scheme::Serial)
+        .config(MctsConfig {
+            playouts: soak_playouts,
+            arena_budget_bytes: Some(soak_budget),
+            eviction: EvictionPolicy::Lru,
+            ..Default::default()
+        })
+        .evaluator(Arc::clone(&uniform))
+        .reuse(true)
+        .build_reusable();
+    let mut g = root.clone();
+    let mut result = mcts::SearchResult::default();
+    let decile = soak_cycles / 10;
+    let mut rates = [0f64; 10];
+    for rate in &mut rates {
+        let mut playouts = 0u64;
+        let t0 = Instant::now();
+        for _ in 0..decile {
+            if g.status() != games::Status::Ongoing {
+                g = root.clone();
+                soak.reset();
+            }
+            soak.search_into(&g, &mut result);
+            playouts += result.stats.playouts;
+            let a = result.best_action();
+            soak.advance(a);
+            g.apply(a);
+        }
+        *rate = playouts as f64 / t0.elapsed().as_secs_f64();
+    }
+    let evicted = soak.tree_stats().map_or(0, |s| s.evicted);
+    let ratio = rates[9] / rates[0];
+    let _ = writeln!(
+        json,
+        "  \"soak\": {{\"scheme\": \"serial+reuse\", \"budget_bytes\": {soak_budget}, \"cycles\": {soak_cycles}, \"playouts_per_cycle\": {soak_playouts}, \"first_decile_playouts_per_s\": {:.1}, \"last_decile_playouts_per_s\": {:.1}, \"ratio\": {ratio:.4}, \"evicted\": {evicted}}}",
+        rates[0], rates[9]
+    );
+    eprintln!(
+        "{:>13} / uniform: {:>9.0} playouts/s soak decile 1, {:>9.0} decile 10 (ratio {ratio:.3}, {evicted} evicted, {} KiB budget)",
+        "lru-soak",
+        rates[0],
+        rates[9],
+        soak_budget / 1024
     );
 
     json.push_str("}\n");

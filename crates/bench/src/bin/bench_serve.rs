@@ -215,6 +215,7 @@ fn run_shedding(
             playouts_per_sec: (playouts * budget_sessions) as f64,
             burst_playouts: (playouts * budget_sessions) as u64,
             max_pending: budget_sessions,
+            ..Default::default()
         }),
     });
     let t0 = Instant::now();
@@ -559,6 +560,7 @@ fn run_network(
                     playouts_per_sec: capacity_rps * playouts as f64,
                     burst_playouts: (4 * playouts) as u64,
                     max_pending: 1024,
+                    ..Default::default()
                 }),
             ),
             net::ServerConfig::default(),

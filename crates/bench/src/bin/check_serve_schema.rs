@@ -2,10 +2,9 @@
 //! trajectory stays machine-readable across PRs.
 //!
 //! Usage: `check_serve_schema <path>` (default `BENCH_serve.json`).
-//! Exits non-zero with a message naming the first violation. The
-//! workspace builds offline without a JSON crate, so this carries a
-//! ~100-line recursive-descent JSON parser — strict enough for the
-//! bench writer's output (objects, arrays, strings, numbers, bools).
+//! Exits non-zero with a message naming the first violation. JSON
+//! parsing comes from the shared offline parser in [`bench::json`]
+//! (also behind `check_search_schema`).
 //!
 //! Checked schema (v6):
 //! * top level: objects `meta`, `shedding`, `coalescing`, `cache`,
@@ -47,200 +46,9 @@
 //!   `admitted + shed + failed == offered` and `p99_ms >= p50_ms`
 //!   (sweep points additionally carry numeric `offered_per_s`).
 
+use bench::json::{field, num, obj, parse, Json};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
-
-/// Minimal JSON value.
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(BTreeMap<String, Json>),
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(s: &'a str) -> Self {
-        Parser {
-            bytes: s.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn fail(&self, what: &str) -> String {
-        format!("parse error at byte {}: {what}", self.pos)
-    }
-
-    fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_whitespace())
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Option<u8> {
-        self.skip_ws();
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn eat(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.fail(&format!("expected '{}'", b as char)))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        match self.peek().ok_or_else(|| self.fail("unexpected end"))? {
-            b'{' => self.object(),
-            b'[' => self.array(),
-            b'"' => Ok(Json::Str(self.string()?)),
-            b't' => self.literal("true", Json::Bool(true)),
-            b'f' => self.literal("false", Json::Bool(false)),
-            b'n' => self.literal("null", Json::Null),
-            _ => self.number(),
-        }
-    }
-
-    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(v)
-        } else {
-            Err(self.fail(&format!("expected '{word}'")))
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
-        {
-            self.pos += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .map(Json::Num)
-            .ok_or_else(|| self.fail("invalid number"))
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.eat(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.bytes.get(self.pos) {
-                None => return Err(self.fail("unterminated string")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    // The bench writer never emits escapes beyond these.
-                    let esc = self.bytes.get(self.pos + 1).copied();
-                    let ch = match esc {
-                        Some(b'"') => '"',
-                        Some(b'\\') => '\\',
-                        Some(b'n') => '\n',
-                        Some(b't') => '\t',
-                        _ => return Err(self.fail("unsupported escape")),
-                    };
-                    out.push(ch);
-                    self.pos += 2;
-                }
-                Some(&b) => {
-                    out.push(b as char);
-                    self.pos += 1;
-                }
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.eat(b'[')?;
-        let mut items = Vec::new();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(self.fail("expected ',' or ']'")),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.eat(b'{')?;
-        let mut map = BTreeMap::new();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(map));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.eat(b':')?;
-            map.insert(key, self.value()?);
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(map));
-                }
-                _ => return Err(self.fail("expected ',' or '}'")),
-            }
-        }
-    }
-}
-
-fn parse(s: &str) -> Result<Json, String> {
-    let mut p = Parser::new(s);
-    let v = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(p.fail("trailing content"));
-    }
-    Ok(v)
-}
-
-fn obj<'a>(v: &'a Json, path: &str) -> Result<&'a BTreeMap<String, Json>, String> {
-    match v {
-        Json::Obj(m) => Ok(m),
-        _ => Err(format!("{path}: expected object")),
-    }
-}
-
-fn field<'a>(m: &'a BTreeMap<String, Json>, path: &str, key: &str) -> Result<&'a Json, String> {
-    m.get(key).ok_or_else(|| format!("{path}.{key}: missing"))
-}
-
-fn num(m: &BTreeMap<String, Json>, path: &str, key: &str) -> Result<f64, String> {
-    match field(m, path, key)? {
-        Json::Num(n) if n.is_finite() => Ok(*n),
-        _ => Err(format!("{path}.{key}: expected finite number")),
-    }
-}
 
 fn check_each(
     root: &BTreeMap<String, Json>,
@@ -639,11 +447,5 @@ mod tests {
         );
         let err = check(&parse(&broken).unwrap()).unwrap_err();
         assert!(err.contains("p99_ms"), "{err}");
-    }
-
-    #[test]
-    fn malformed_json_fails() {
-        assert!(parse("{\"a\": }").is_err());
-        assert!(parse("{} trailing").is_err());
     }
 }

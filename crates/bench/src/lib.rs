@@ -15,6 +15,8 @@ use nn::{NetConfig, PolicyValueNet};
 use perfmodel::profiler::ProfiledCosts;
 use std::sync::Arc;
 
+pub mod json;
+
 /// Column width used by the table printers.
 pub const COL: usize = 14;
 

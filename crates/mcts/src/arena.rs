@@ -50,16 +50,34 @@
 //! on either side of it are freed separately, which is why free ranges
 //! (not just whole blocks) are the free-list currency.
 //!
-//! # Capacity bound
+//! # Capacity bound and LRU recycling
 //!
-//! With [`MctsConfig::max_nodes`](crate::MctsConfig::max_nodes) set, the
-//! arena never exceeds that many slots. When an expansion cannot be
-//! served from the free-list or by growing, the owning tree prunes the
-//! **deepest fringe subtree** (an expanded node all of whose children are
-//! leaves, farthest from the root) back to an unexpanded node and
-//! retries, so long-running serving processes search under a fixed
-//! memory budget instead of growing without limit. Pruned nodes keep
-//! their visit statistics and may be re-expanded later.
+//! With [`MctsConfig::max_nodes`](crate::MctsConfig::max_nodes) (or the
+//! byte-denominated
+//! [`MctsConfig::arena_budget_bytes`](crate::MctsConfig::arena_budget_bytes))
+//! set, the arena never exceeds the derived slot bound. When an expansion
+//! cannot be served from the free-list or by growing, the owning tree
+//! reclaims live slots and retries, so long-running serving processes
+//! search under a fixed memory budget instead of growing without limit.
+//! Two policies exist (see [`crate::config::EvictionPolicy`]):
+//!
+//! * **LRU (default):** an intrusive doubly-linked list is threaded
+//!   through the slots (`lru_prev`/`lru_next` columns). Every node that
+//!   owns a child block is on the list; selection *touches* each expanded
+//!   node it descends through (moves it to the front), and expansion
+//!   pushes the newly expanded node to the front. On exhaustion the tree
+//!   walks from the tail — the **coldest** block owner — and evicts that
+//!   node's whole subtree, detaching it back to an unexpanded node.
+//! * **Deepest-fringe:** the pre-LRU policy — prune the deepest expanded
+//!   node all of whose children are leaves.
+//!
+//! Either way the detach is **stats-preserving**: the victim keeps its
+//! visit count `N` and value sum `W`, and records the visits that flowed
+//! into the discarded subtree in the `n_detached` column so the tree-wide
+//! visit identity (`N == Σ N(children) + n_detached + 1` for expanded
+//! nodes) stays *exact* — see
+//! [`Tree::check_invariants`](crate::tree::Tree::check_invariants).
+//! Evicted victims may be re-expanded later.
 //!
 //! The atomic twin ([`AtomicColumns`]) is the same columns with
 //! `AtomicU32`/`AtomicI64` cells (plus a `phase` byte replacing the state
@@ -117,6 +135,19 @@ pub struct NodeArena {
     pub(crate) state: Vec<NodeState>,
     pub(crate) first_child: Vec<u32>,
     pub(crate) child_count: Vec<u32>,
+    /// Visits absorbed by subtrees that were detached from this node by
+    /// eviction/pruning (plus one re-expansion self-visit per detach).
+    /// Keeps the visit identity exact across stats-preserving detaches.
+    pub(crate) n_detached: Vec<u32>,
+    /// Intrusive LRU list: previous (warmer) neighbour, [`NIL`] when the
+    /// node is the head or not on the list.
+    pub(crate) lru_prev: Vec<u32>,
+    /// Intrusive LRU list: next (colder) neighbour.
+    pub(crate) lru_next: Vec<u32>,
+    /// Warmest list member (most recently touched block owner).
+    pub(crate) lru_head: u32,
+    /// Coldest list member — the eviction scan starts here.
+    pub(crate) lru_tail: u32,
     /// `free[len]` holds the start indices of free ranges of exactly
     /// `len` slots. `free[0]` is unused.
     free: Vec<Vec<u32>>,
@@ -126,6 +157,9 @@ pub struct NodeArena {
     largest_free: usize,
     /// Hard slot cap (`usize::MAX` when unbounded).
     cap: usize,
+    /// Scratch for [`NodeArena::coalesce`], retained so defragmentation
+    /// at the capacity bound stays allocation-free in steady state.
+    coalesce_scratch: Vec<(u32, usize)>,
 }
 
 impl NodeArena {
@@ -146,10 +180,16 @@ impl NodeArena {
             state: Vec::with_capacity(hint),
             first_child: Vec::with_capacity(hint),
             child_count: Vec::with_capacity(hint),
+            n_detached: Vec::with_capacity(hint),
+            lru_prev: Vec::with_capacity(hint),
+            lru_next: Vec::with_capacity(hint),
+            lru_head: NIL,
+            lru_tail: NIL,
             free: Vec::new(),
             free_slots: 0,
             largest_free: 0,
             cap,
+            coalesce_scratch: Vec::new(),
         }
     }
 
@@ -229,6 +269,9 @@ impl NodeArena {
         self.state.resize(new_len, NodeState::Unexpanded);
         self.first_child.resize(new_len, NIL);
         self.child_count.resize(new_len, 0);
+        self.n_detached.resize(new_len, 0);
+        self.lru_prev.resize(new_len, NIL);
+        self.lru_next.resize(new_len, NIL);
         Some(start)
     }
 
@@ -260,17 +303,18 @@ impl NodeArena {
     /// degraded-mode defragmentation step for a capacity-bounded arena
     /// whose fragments have all become too small for a request (cheaper
     /// and far less destructive than pruning live subtrees). `O(free
-    /// ranges · log)` and allocates scratch — callers only reach for it
-    /// when an allocation has already failed at the bound.
+    /// ranges · log)`; the sort scratch is retained across calls so a
+    /// warmed steady-state session defragments without allocating.
     pub fn coalesce(&mut self) {
-        let mut ranges: Vec<(u32, usize)> = Vec::new();
+        let mut ranges = std::mem::take(&mut self.coalesce_scratch);
+        ranges.clear();
         for (len, bucket) in self.free.iter_mut().enumerate() {
             ranges.extend(bucket.drain(..).map(|start| (start, len)));
         }
         self.largest_free = 0;
         ranges.sort_unstable_by_key(|&(start, _)| start);
         let mut merged: Option<(u32, usize)> = None;
-        for (start, len) in ranges {
+        for &(start, len) in &ranges {
             match &mut merged {
                 Some((mstart, mlen)) if *mstart as usize + *mlen == start as usize => {
                     *mlen += len;
@@ -286,6 +330,7 @@ impl NodeArena {
         if let Some((mstart, mlen)) = merged {
             self.push_free(mstart, mlen);
         }
+        self.coalesce_scratch = ranges;
     }
 
     /// Drop every node but keep all column and bucket capacity, so
@@ -301,6 +346,11 @@ impl NodeArena {
         self.state.clear();
         self.first_child.clear();
         self.child_count.clear();
+        self.n_detached.clear();
+        self.lru_prev.clear();
+        self.lru_next.clear();
+        self.lru_head = NIL;
+        self.lru_tail = NIL;
         for bucket in &mut self.free {
             bucket.clear();
         }
@@ -320,6 +370,100 @@ impl NodeArena {
         self.state[lo..hi].fill(NodeState::Unexpanded);
         self.first_child[lo..hi].fill(NIL);
         self.child_count[lo..hi].fill(0);
+        self.n_detached[lo..hi].fill(0);
+        self.lru_prev[lo..hi].fill(NIL);
+        self.lru_next[lo..hi].fill(NIL);
+    }
+
+    // -- Intrusive LRU list -------------------------------------------------
+    //
+    // Membership is decided by the owning tree: a node is on the list
+    // exactly while it owns a child block (Pending or Expanded). The arena
+    // only provides the link surgery; it never walks the tree.
+
+    /// Whether `id` is currently linked into the LRU list.
+    #[inline]
+    pub(crate) fn lru_contains(&self, id: u32) -> bool {
+        self.lru_prev[id as usize] != NIL
+            || self.lru_next[id as usize] != NIL
+            || self.lru_head == id
+    }
+
+    /// Link `id` at the head (warmest end) of the LRU list. The caller
+    /// guarantees `id` is not already on the list.
+    #[inline]
+    pub(crate) fn lru_push_front(&mut self, id: u32) {
+        debug_assert!(!self.lru_contains(id), "node {id} already on the LRU list");
+        self.lru_next[id as usize] = self.lru_head;
+        self.lru_prev[id as usize] = NIL;
+        if self.lru_head != NIL {
+            self.lru_prev[self.lru_head as usize] = id;
+        } else {
+            self.lru_tail = id;
+        }
+        self.lru_head = id;
+    }
+
+    /// Remove `id` from the LRU list. Idempotent: a node that is not on
+    /// the list is left untouched.
+    #[inline]
+    pub(crate) fn lru_unlink(&mut self, id: u32) {
+        if !self.lru_contains(id) {
+            return;
+        }
+        let (p, nx) = (self.lru_prev[id as usize], self.lru_next[id as usize]);
+        if p != NIL {
+            self.lru_next[p as usize] = nx;
+        } else {
+            self.lru_head = nx;
+        }
+        if nx != NIL {
+            self.lru_prev[nx as usize] = p;
+        } else {
+            self.lru_tail = p;
+        }
+        self.lru_prev[id as usize] = NIL;
+        self.lru_next[id as usize] = NIL;
+    }
+
+    /// Move `id` to the head of the LRU list (touch-on-visit). No-op for
+    /// a node that is already warmest.
+    #[inline]
+    pub(crate) fn lru_touch(&mut self, id: u32) {
+        if self.lru_head == id {
+            return;
+        }
+        self.lru_unlink(id);
+        self.lru_push_front(id);
+    }
+
+    // -- Byte accounting ----------------------------------------------------
+
+    /// Bytes one arena slot occupies across all columns. A compile-time
+    /// constant so the serve layer can convert slot budgets to byte
+    /// budgets (and back) without holding an arena.
+    pub const fn slot_bytes() -> usize {
+        use std::mem::size_of;
+        size_of::<u32>()        // parent
+            + size_of::<Action>()
+            + size_of::<f32>()  // prior
+            + size_of::<u32>()  // n
+            + size_of::<f64>()  // w
+            + size_of::<u32>()  // vl
+            + size_of::<NodeState>()
+            + size_of::<u32>()  // first_child
+            + size_of::<u32>()  // child_count
+            + size_of::<u32>()  // n_detached
+            + size_of::<u32>()  // lru_prev
+            + size_of::<u32>() // lru_next
+    }
+
+    /// Bytes currently backing node storage (`high_water ×`
+    /// [`NodeArena::slot_bytes`]; reserved-but-unused column capacity is
+    /// not counted).
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.high_water() * Self::slot_bytes()
     }
 }
 
@@ -496,6 +640,54 @@ mod tests {
         a.free_range(b, 2);
         assert_eq!(a.state[0], NodeState::Free);
         assert_eq!(a.state[1], NodeState::Free);
+    }
+
+    #[test]
+    fn lru_list_links_touches_and_unlinks() {
+        let mut a = NodeArena::new(8, None);
+        a.alloc_block(4).unwrap();
+        a.lru_push_front(0);
+        a.lru_push_front(1);
+        a.lru_push_front(2);
+        assert_eq!((a.lru_head, a.lru_tail), (2, 0));
+        a.lru_touch(0);
+        assert_eq!((a.lru_head, a.lru_tail), (0, 1));
+        assert_eq!(a.lru_next[0], 2);
+        a.lru_unlink(2);
+        a.lru_unlink(2); // idempotent on a node already off the list
+        assert_eq!((a.lru_head, a.lru_tail), (0, 1));
+        assert_eq!(a.lru_next[0], 1);
+        assert_eq!(a.lru_prev[1], 0);
+        a.lru_unlink(0);
+        a.lru_unlink(1);
+        assert_eq!((a.lru_head, a.lru_tail), (NIL, NIL));
+    }
+
+    #[test]
+    fn recycled_slots_leave_the_lru_columns_clean() {
+        let mut a = NodeArena::new(8, None);
+        let b = a.alloc_block(2).unwrap();
+        a.lru_push_front(b);
+        a.lru_unlink(b);
+        a.free_range(b, 2);
+        let c = a.alloc_block(2).unwrap();
+        assert_eq!(c, b, "recycled the freed range");
+        assert_eq!(a.lru_prev[c as usize], NIL);
+        assert_eq!(a.lru_next[c as usize], NIL);
+        assert_eq!(a.n_detached[c as usize], 0);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_high_water() {
+        let mut a = NodeArena::new(4, None);
+        assert_eq!(a.bytes(), 0);
+        a.alloc_block(10).unwrap();
+        assert_eq!(a.bytes(), 10 * NodeArena::slot_bytes());
+        // Freeing does not shrink storage; clearing does.
+        a.free_range(0, 10);
+        assert_eq!(a.bytes(), 10 * NodeArena::slot_bytes());
+        a.clear();
+        assert_eq!(a.bytes(), 0);
     }
 
     #[test]

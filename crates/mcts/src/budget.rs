@@ -68,6 +68,11 @@ pub struct Budget {
     /// [`MctsConfig::max_nodes`]). Applies to trees created by this run;
     /// a retained reuse tree keeps the bound it was built with.
     pub max_nodes: Option<usize>,
+    /// Hard tree-memory bound in **bytes** for the run's tree (`None` ⇒
+    /// [`MctsConfig::arena_budget_bytes`]). The byte-denominated twin of
+    /// `max_nodes` — when both are set the tighter slot bound wins. Same
+    /// retained-tree caveat as `max_nodes`.
+    pub max_bytes: Option<usize>,
 }
 
 impl Budget {
@@ -106,6 +111,12 @@ impl Budget {
         self
     }
 
+    /// Builder-style tree-memory bound in bytes.
+    pub fn with_max_bytes(mut self, bytes: usize) -> Self {
+        self.max_bytes = Some(bytes);
+        self
+    }
+
     /// The effective per-run configuration: the scheme's config with this
     /// budget's overrides folded in. Schemes build their run's tree from
     /// the returned config so arena sizing and pruning see the budget.
@@ -119,6 +130,9 @@ impl Budget {
         }
         if let Some(n) = self.max_nodes {
             out.max_nodes = Some(n);
+        }
+        if let Some(b) = self.max_bytes {
+            out.arena_budget_bytes = Some(b);
         }
         out
     }
@@ -294,6 +308,9 @@ mod tests {
         assert_eq!(run_cfg.playouts, 3);
         assert_eq!(run_cfg.max_nodes, Some(500));
         assert_eq!(run_cfg.time_budget_ms, Some(10_000));
+        let run_cfg = b.with_max_bytes(1 << 20).apply_to(&cfg);
+        assert_eq!(run_cfg.arena_budget_bytes, Some(1 << 20));
+        assert!(run_cfg.node_budget().unwrap() > 0);
     }
 
     #[test]

@@ -33,6 +33,26 @@ pub enum LockKind {
     Atomic,
 }
 
+/// How a capacity-bounded single-owner tree reclaims slots when an
+/// expansion cannot be served from the free-list or by growing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum EvictionPolicy {
+    /// Evict the **coldest** subtree: an intrusive LRU list threaded
+    /// through the arena tracks every block-owning node (selection
+    /// touches nodes it descends through), and the tail-most evictable
+    /// node is detached back to an unexpanded leaf, stats preserved.
+    /// Sustains stable playout rates on indefinitely long sessions —
+    /// the hot principal lines stay resident while stale branches from
+    /// long-abandoned lines are recycled first.
+    #[default]
+    Lru,
+    /// Prune the **deepest fringe** subtree (an expanded node all of
+    /// whose children are leaves, farthest from the root). The pre-LRU
+    /// policy, kept for comparison and for workloads that want
+    /// depth-biased rather than recency-biased reclamation.
+    DeepestFringe,
+}
+
 /// Hyper-parameters for one tree-based search ("move").
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MctsConfig {
@@ -49,19 +69,29 @@ pub struct MctsConfig {
     /// Q value assumed for unvisited edges (first-play urgency).
     pub q_init: f32,
     /// Hard bound on tree memory, in nodes. For the single-owner tree
-    /// this caps the arena: when an expansion cannot be served, the
-    /// deepest fringe subtree is pruned back onto the free-list and the
-    /// search continues under the fixed budget. For the shared tree it
-    /// sizes the pre-allocated per-move arena. `None` ⇒ single-owner
-    /// trees grow on demand; the shared tree derives its size from
-    /// `playouts × fanout`.
+    /// this caps the arena: when an expansion cannot be served, a live
+    /// subtree is reclaimed per [`MctsConfig::eviction`] and the search
+    /// continues under the fixed budget. For the shared tree it sizes
+    /// the pre-allocated per-move arena. `None` ⇒ single-owner trees
+    /// grow on demand (unless [`MctsConfig::arena_budget_bytes`] bounds
+    /// them); the shared tree derives its size from `playouts × fanout`.
     ///
     /// The bound is *hard*: a search panics rather than exceed it, so it
-    /// must leave room for the unprunable working set — at minimum the
+    /// must leave room for the unevictable working set — at minimum the
     /// root plus one full expansion (`action_space + 1` nodes), and for
     /// pipelined schemes (local tree) one expansion per in-flight leaf,
-    /// since subtrees holding pending evaluations are never pruned.
+    /// since subtrees holding pending evaluations are never evicted.
     pub max_nodes: Option<usize>,
+    /// Hard bound on tree memory, in **bytes** — the byte-denominated
+    /// twin of [`MctsConfig::max_nodes`], converted to a slot bound via
+    /// [`NodeArena::slot_bytes`](crate::arena::NodeArena::slot_bytes).
+    /// When both bounds are set the tighter one wins. This is the knob
+    /// the serve layer speaks: per-session arena budgets and admission
+    /// byte quotas are denominated in bytes, not slots.
+    pub arena_budget_bytes: Option<usize>,
+    /// Reclamation policy when the arena bound is hit (single-owner
+    /// trees only). Default [`EvictionPolicy::Lru`].
+    pub eviction: EvictionPolicy,
     /// AlphaZero-style Dirichlet noise mixed into the root priors during
     /// self-play (None ⇒ deterministic evaluation-time search).
     pub root_noise: Option<crate::noise::RootNoise>,
@@ -95,6 +125,8 @@ impl Default for MctsConfig {
             lock_kind: LockKind::default(),
             q_init: 0.0,
             max_nodes: None,
+            arena_budget_bytes: None,
+            eviction: EvictionPolicy::default(),
             root_noise: None,
             time_budget_ms: None,
             transpositions: false,
@@ -113,9 +145,33 @@ impl MctsConfig {
     }
 
     /// Arena capacity for a game with the given action-space size.
+    /// `max_nodes` wins over the playout-derived estimate; a byte budget
+    /// tightens whichever of those applies.
     pub fn arena_capacity(&self, action_space: usize) -> usize {
-        self.max_nodes
-            .unwrap_or_else(|| 1 + (self.playouts + self.workers + 1) * (action_space + 1))
+        let slots = self
+            .max_nodes
+            .unwrap_or_else(|| 1 + (self.playouts + self.workers + 1) * (action_space + 1));
+        match self.byte_bound_slots() {
+            Some(b) => slots.min(b),
+            None => slots,
+        }
+    }
+
+    /// The hard slot bound this configuration imposes on a single-owner
+    /// arena: the tighter of [`MctsConfig::max_nodes`] and
+    /// [`MctsConfig::arena_budget_bytes`] (converted to slots), `None`
+    /// when neither is set.
+    pub fn node_budget(&self) -> Option<usize> {
+        match (self.max_nodes, self.byte_bound_slots()) {
+            (Some(n), Some(b)) => Some(n.min(b)),
+            (Some(n), None) => Some(n),
+            (None, b) => b,
+        }
+    }
+
+    fn byte_bound_slots(&self) -> Option<usize> {
+        self.arena_budget_bytes
+            .map(|b| b / crate::arena::NodeArena::slot_bytes())
     }
 
     /// Validate invariants; panics on nonsense configurations.
@@ -135,6 +191,13 @@ impl MctsConfig {
         }
         if let Some(n) = self.max_nodes {
             assert!(n > 0, "max_nodes must allow at least the root");
+        }
+        if let Some(b) = self.arena_budget_bytes {
+            assert!(
+                b >= crate::arena::NodeArena::slot_bytes(),
+                "arena_budget_bytes must hold at least one node ({} bytes)",
+                crate::arena::NodeArena::slot_bytes()
+            );
         }
     }
 }
@@ -175,6 +238,41 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(c.arena_capacity(225), 123);
+    }
+
+    #[test]
+    fn byte_budget_tightens_capacity() {
+        let slot = crate::arena::NodeArena::slot_bytes();
+        let c = MctsConfig {
+            arena_budget_bytes: Some(100 * slot),
+            ..Default::default()
+        };
+        assert_eq!(c.node_budget(), Some(100));
+        assert_eq!(c.arena_capacity(225), 100);
+        // The tighter of the two bounds wins in both directions.
+        let c = MctsConfig {
+            max_nodes: Some(50),
+            arena_budget_bytes: Some(100 * slot),
+            ..Default::default()
+        };
+        assert_eq!(c.node_budget(), Some(50));
+        let c = MctsConfig {
+            max_nodes: Some(500),
+            arena_budget_bytes: Some(100 * slot),
+            ..Default::default()
+        };
+        assert_eq!(c.node_budget(), Some(100));
+        assert_eq!(c.arena_capacity(225), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "arena_budget_bytes")]
+    fn sub_slot_byte_budget_invalid() {
+        MctsConfig {
+            arena_budget_bytes: Some(1),
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]

@@ -102,6 +102,7 @@ pub mod speculative;
 pub mod tree;
 
 pub use adaptive::{AdaptiveSearch, Scheme};
+pub use arena::NodeArena;
 pub use arena::NodeState;
 pub use autotune::{AutotuneReport, BatchTuner, OperatingPoint};
 pub use budget::{Budget, StepOutcome};
@@ -110,7 +111,7 @@ pub use cache::{CacheStats, CachedEvaluator, EvalCache, EvalCacheConfig};
 pub use chaos::{ChaosConfig, ChaosCounters, ChaosEvaluator, ChaosGame};
 pub use client::{Completion, EvalClient, Ticket};
 pub use coalesce::{CoalesceStats, CoalescingEvaluator};
-pub use config::{LockKind, MctsConfig, VirtualLoss};
+pub use config::{EvictionPolicy, LockKind, MctsConfig, VirtualLoss};
 pub use error::{EvalError, SearchError};
 pub use evaluator::{
     AccelEvaluator, BatchEvaluator, EvalOutput, Evaluator, LegacyEvaluator, NnEvaluator, Precision,

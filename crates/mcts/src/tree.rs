@@ -53,11 +53,18 @@ pub struct TreeStats {
     /// the columns' reserved capacity for reuse).
     pub high_water: usize,
     /// Cumulative nodes reclaimed onto the free-list by re-rooting,
-    /// capacity pruning and in-place resets over this tree's lifetime.
+    /// capacity eviction/pruning and in-place resets over this tree's
+    /// lifetime.
     pub reclaimed_total: u64,
-    /// Cumulative nodes discarded by capacity pruning (subset of
-    /// `reclaimed_total`).
+    /// Cumulative nodes discarded by deepest-fringe capacity pruning
+    /// (subset of `reclaimed_total`).
     pub pruned: u64,
+    /// Cumulative nodes discarded by LRU capacity eviction (subset of
+    /// `reclaimed_total`).
+    pub evicted: u64,
+    /// Bytes currently backing node storage (`high_water ×`
+    /// [`NodeArena::slot_bytes`](crate::arena::NodeArena::slot_bytes)).
+    pub bytes: usize,
 }
 
 /// Single-owner MCTS tree over the shared arena layout.
@@ -69,10 +76,12 @@ pub struct Tree {
     /// Per-tree nonce mixed into the root-noise seed (refreshed on
     /// re-root: one logical tree per move).
     noise_nonce: u64,
-    /// Cumulative nodes reclaimed (re-root + prune + reset).
+    /// Cumulative nodes reclaimed (re-root + evict/prune + reset).
     reclaimed_total: u64,
-    /// Cumulative nodes discarded by capacity pruning.
+    /// Cumulative nodes discarded by deepest-fringe capacity pruning.
     pruned_nodes: u64,
+    /// Cumulative nodes discarded by LRU capacity eviction.
+    evicted_nodes: u64,
     /// Running total of outstanding virtual losses (kept in sync by
     /// select/backup/revert so the between-moves check is O(1); the
     /// column scan in [`Tree::outstanding_vl`] stays authoritative and
@@ -96,13 +105,14 @@ pub struct Tree {
 
 impl Tree {
     /// Fresh tree containing only an unexpanded root. With
-    /// [`MctsConfig::max_nodes`] set, the arena never exceeds that many
-    /// slots (expansion prunes the deepest fringe subtree when full).
+    /// [`MctsConfig::max_nodes`] or [`MctsConfig::arena_budget_bytes`]
+    /// set, the arena never exceeds the derived slot bound (expansion
+    /// reclaims live subtrees per [`MctsConfig::eviction`] when full).
     pub fn new(cfg: MctsConfig) -> Self {
-        let mut a = NodeArena::new(1024, cfg.max_nodes);
+        let mut a = NodeArena::new(1024, cfg.node_budget());
         let root = a
             .alloc_block(1)
-            .expect("max_nodes must allow at least the root");
+            .expect("arena bound must allow at least the root");
         debug_assert_eq!(root, 0);
         a.prior[0] = 1.0;
         Tree {
@@ -112,6 +122,7 @@ impl Tree {
             noise_nonce: crate::noise::next_nonce(),
             reclaimed_total: 0,
             pruned_nodes: 0,
+            evicted_nodes: 0,
             vl_outstanding: 0,
             legal_scratch: Vec::new(),
             priors_scratch: Vec::new(),
@@ -156,7 +167,7 @@ impl Tree {
     /// called between moves (no playouts in flight).
     pub fn set_config(&mut self, cfg: MctsConfig) {
         self.cfg = cfg;
-        self.a.set_bound(cfg.max_nodes);
+        self.a.set_bound(cfg.node_budget());
         self.reconcile_tt();
         self.reset_in_place();
     }
@@ -185,6 +196,8 @@ impl Tree {
             high_water,
             reclaimed_total: self.reclaimed_total,
             pruned: self.pruned_nodes,
+            evicted: self.evicted_nodes,
+            bytes: self.a.bytes(),
         }
     }
 
@@ -306,6 +319,12 @@ impl Tree {
                     return (cur, SelectOutcome::NeedsEval);
                 }
                 NodeState::Expanded => {
+                    // Touch-on-visit: every expanded node on the selection
+                    // path moves to the warm end of the LRU list, so the
+                    // principal lines stay resident and eviction targets
+                    // branches selection has abandoned. List maintenance
+                    // only — never affects which child is selected.
+                    self.a.lru_touch(cur);
                     let best = self.select_child(cur);
                     self.a.vl[best as usize] += 1;
                     self.vl_outstanding += 1;
@@ -345,8 +364,8 @@ impl Tree {
 
     /// Allocate the child block for a claimed leaf. At the capacity
     /// bound, escalate: defragment the free-list (coalesce adjacent
-    /// ranges), then prune the deepest fringe subtree, until the block
-    /// fits.
+    /// ranges), then reclaim a live subtree per [`MctsConfig::eviction`]
+    /// — the coldest (LRU) or the deepest fringe — until the block fits.
     fn claim_children(&mut self, leaf: u32, legal: &[Action]) {
         let count = legal.len();
         let mut coalesced = false;
@@ -356,15 +375,19 @@ impl Tree {
                 // Fragments may sum to a fitting range even when no single
                 // one serves the request; merging them is far cheaper than
                 // discarding live statistics — so coalesce before every
-                // prune (each prune creates fresh mergeable neighbors).
+                // eviction (each one creates fresh mergeable neighbors).
                 None if !coalesced => {
                     self.a.coalesce();
                     coalesced = true;
                 }
                 None => {
+                    let reclaimed = match self.cfg.eviction {
+                        crate::config::EvictionPolicy::Lru => self.evict_coldest(),
+                        crate::config::EvictionPolicy::DeepestFringe => self.prune_deepest(),
+                    };
                     assert!(
-                        self.prune_deepest(),
-                        "arena at max_nodes ({}) with nothing prunable; raise the bound",
+                        reclaimed,
+                        "arena at its bound ({} slots) with nothing evictable; raise the bound",
                         self.a.capacity_bound()
                     );
                     coalesced = false;
@@ -379,6 +402,9 @@ impl Tree {
         self.a.first_child[leaf as usize] = first;
         self.a.child_count[leaf as usize] = count as u32;
         self.a.state[leaf as usize] = NodeState::Pending;
+        // The leaf now owns a child block: it joins the LRU list at the
+        // warm end (it is, by definition, the most recently visited).
+        self.a.lru_push_front(leaf);
     }
 
     /// Expand a pending leaf with DNN priors (masked to the legal actions
@@ -660,6 +686,9 @@ impl Tree {
             let first = self.a.first_child[id as usize];
             let count = self.a.child_count[id as usize];
             if count > 0 {
+                // The discarded node loses its block (and its slot below):
+                // off the LRU list before the slots go back to the free-list.
+                self.a.lru_unlink(id);
                 let (lo, hi) = (first, first + count);
                 if (lo..hi).contains(&keep) {
                     // The kept child shares this block with its siblings:
@@ -737,12 +766,92 @@ impl Tree {
         }
         let children = self.children(id);
         let count = children.len() as u64;
+        // Stats-preserving detach (see `evict_coldest` for the identity).
+        let child_sum: u32 = children.clone().map(|c| self.a.n[c as usize]).sum();
+        self.a.lru_unlink(id);
         self.a.free_range(children.start, children.len() as u32);
         self.a.first_child[id as usize] = NIL;
         self.a.child_count[id as usize] = 0;
         self.a.state[id as usize] = NodeState::Unexpanded;
+        self.a.n_detached[id as usize] = self.a.n_detached[id as usize]
+            .saturating_add(child_sum)
+            .saturating_add(1);
         self.pruned_nodes += count;
         self.reclaimed_total += count;
+        true
+    }
+
+    /// Evict the coldest subtree: walk the intrusive LRU list from the
+    /// tail and detach the first block owner that is neither the root
+    /// nor on any in-flight path. The victim's **whole subtree** goes
+    /// back to the free-list (`O(evicted)` — no tree-wide walk) and the
+    /// victim reverts to [`NodeState::Unexpanded`] keeping its visit
+    /// statistics. Returns `false` when no candidate exists.
+    ///
+    /// Safety of taking the victim alone as the quiescence witness:
+    /// every in-flight selection path holds one unit of virtual loss on
+    /// each *descended-into* node, so `vl == 0` on a non-root node means
+    /// no in-flight path passes through it — and therefore none through
+    /// any of its descendants (their paths would traverse the victim).
+    /// A pending evaluation inside the subtree is likewise impossible:
+    /// its claim path still holds virtual loss on the victim's edge.
+    /// The root's immediate children are never freed by eviction (their
+    /// only proper ancestor is the root, which is never a victim), so
+    /// root statistics survive any eviction schedule intact.
+    fn evict_coldest(&mut self) -> bool {
+        let mut v = self.a.lru_tail;
+        while v != NIL {
+            if v != self.root
+                && self.a.state[v as usize] == NodeState::Expanded
+                && self.a.vl[v as usize] == 0
+            {
+                break;
+            }
+            v = self.a.lru_prev[v as usize];
+        }
+        if v == NIL {
+            return false;
+        }
+        if let Some(tt) = &mut self.tt {
+            // Freed slots may be recycled for other positions; eviction
+            // at the bound is the memory backstop, so dropping the index
+            // wholesale is the same policy as pruning and re-rooting.
+            tt.clear();
+        }
+        let children = self.children(v);
+        let child_sum: u32 = children.clone().map(|c| self.a.n[c as usize]).sum();
+        let mut stack = std::mem::take(&mut self.walk_stack);
+        stack.clear();
+        stack.extend(children.clone());
+        self.a.lru_unlink(v);
+        self.a.free_range(children.start, children.len() as u32);
+        let mut freed = children.len() as u64;
+        // Descend after freeing: only the state column is stamped, so
+        // child ranges of already-freed slots stay readable until reuse
+        // (same walk discipline as `free_subtree_except`).
+        while let Some(id) = stack.pop() {
+            let first = self.a.first_child[id as usize];
+            let count = self.a.child_count[id as usize];
+            if count > 0 {
+                self.a.lru_unlink(id);
+                self.a.free_range(first, count);
+                freed += count as u64;
+                stack.extend(first..first + count);
+            }
+        }
+        self.walk_stack = stack;
+        // Stats-preserving detach: the victim keeps `N`/`W`; `n_detached`
+        // absorbs the visits that descended into the discarded children
+        // plus the one extra self-visit a future re-expansion will add,
+        // keeping the visit identity in `check_invariants` exact.
+        self.a.first_child[v as usize] = NIL;
+        self.a.child_count[v as usize] = 0;
+        self.a.state[v as usize] = NodeState::Unexpanded;
+        self.a.n_detached[v as usize] = self.a.n_detached[v as usize]
+            .saturating_add(child_sum)
+            .saturating_add(1);
+        self.evicted_nodes += freed;
+        self.reclaimed_total += freed;
         true
     }
 
@@ -767,6 +876,7 @@ impl Tree {
         out.a.n[0] = self.a.n[new_root as usize];
         out.a.w[0] = self.a.w[new_root as usize];
         out.a.state[0] = self.a.state[new_root as usize];
+        out.a.n_detached[0] = self.a.n_detached[new_root as usize];
         // BFS copy: parents before children, block by block.
         let mut queue = std::collections::VecDeque::from([(new_root, 0u32)]);
         while let Some((old, new)) = queue.pop_front() {
@@ -781,6 +891,10 @@ impl Tree {
                 .expect("copy target within capacity");
             out.a.first_child[new as usize] = first;
             out.a.child_count[new as usize] = count as u32;
+            // Thread the copy's LRU list too (membership == owns a child
+            // block); BFS order stands in for the original recency order,
+            // which the source tree no longer remembers per-copy.
+            out.a.lru_push_front(new);
             for (i, oc) in children.enumerate() {
                 assert_eq!(
                     self.a.vl[oc as usize], 0,
@@ -794,6 +908,7 @@ impl Tree {
                 out.a.n[n] = self.a.n[o];
                 out.a.w[n] = self.a.w[o];
                 out.a.state[n] = self.a.state[o];
+                out.a.n_detached[n] = self.a.n_detached[o];
                 queue.push_back((oc, nc));
             }
         }
@@ -850,19 +965,53 @@ impl Tree {
     /// Consistency check: walks the tree from the root and asserts the
     /// structural invariants — every live node is reachable exactly once
     /// (free-list accounting matches), child/parent links agree, no slot
-    /// on a path is free, all virtual losses are released, and for every
-    /// expanded node `N(node) == Σ N(children) + (visits that ended
-    /// here)`. Capacity pruning re-expands nodes and legitimately breaks
-    /// the "at most one self-visit" half of the visit identity, so that
-    /// part is skipped once pruning has occurred.
+    /// on a path is free, all virtual losses are released, the intrusive
+    /// LRU list is exactly a permutation of the live block-owning nodes,
+    /// and the visit identity holds **exactly**: for every expanded node
+    /// `N == Σ N(children) + n_detached + (0|1)`, and for a detached
+    /// node awaiting re-expansion `N == n_detached`. Stats-preserving
+    /// detach records discarded-subtree visits in `n_detached`, so the
+    /// identity needs no relaxed mode once eviction or pruning has
+    /// occurred (the pre-LRU carve-out is gone).
     ///
     /// Always compiled; the `invariants` cargo feature additionally runs
     /// it at the end of every search in every scheme.
     pub fn check_invariants(&self) {
         assert_eq!(self.outstanding_vl(), 0, "dangling virtual loss");
         assert_eq!(self.vl_outstanding, 0, "vl running counter drifted");
+
+        // LRU list first: consistent prev/next links, no cycle, no free
+        // slot, every member owns a child block. The reachability walk
+        // below then checks the converse (every block owner is listed),
+        // making the list exactly a permutation of the block owners.
+        let hw = self.a.high_water();
+        let mut on_list = vec![false; hw];
+        let mut list_len = 0usize;
+        let mut prev = NIL;
+        let mut cur = self.a.lru_head;
+        while cur != NIL {
+            let i = cur as usize;
+            assert!(!on_list[i], "node {cur}: appears twice in the LRU list");
+            on_list[i] = true;
+            assert_eq!(self.a.lru_prev[i], prev, "node {cur}: LRU prev link");
+            assert!(
+                !matches!(self.a.state[i], NodeState::Free),
+                "node {cur}: free slot on the LRU list"
+            );
+            assert!(
+                self.a.child_count[i] > 0,
+                "node {cur}: LRU member without a child block"
+            );
+            list_len += 1;
+            assert!(list_len <= hw, "LRU list cycle");
+            prev = cur;
+            cur = self.a.lru_next[i];
+        }
+        assert_eq!(self.a.lru_tail, prev, "LRU tail link");
+
         let mut stack = vec![self.root];
         let mut reached = 0usize;
+        let mut block_owners = 0usize;
         while let Some(id) = stack.pop() {
             reached += 1;
             let i = id as usize;
@@ -871,23 +1020,39 @@ impl Tree {
                 "node {id}: free slot reachable from the root"
             );
             let children = self.children(id);
+            if !children.is_empty() {
+                block_owners += 1;
+                assert!(
+                    on_list[i],
+                    "node {id}: owns a child block but is not on the LRU list"
+                );
+            }
             if self.a.state[i] == NodeState::Expanded {
                 assert!(!children.is_empty(), "expanded node {id} without children");
                 let child_sum: u32 = children.clone().map(|c| self.a.n[c as usize]).sum();
+                let accounted = child_sum as u64 + self.a.n_detached[i] as u64;
                 // Every visit to an expanded node either terminated here
-                // (the expansion visit) or descended into a child.
+                // (the expansion visit), descended into a current child,
+                // or descended into a child block since detached.
                 assert!(
-                    self.a.n[i] >= child_sum,
-                    "node {id}: N={} < children {child_sum}",
-                    self.a.n[i]
+                    self.a.n[i] as u64 >= accounted,
+                    "node {id}: N={} < children {child_sum} + detached {}",
+                    self.a.n[i],
+                    self.a.n_detached[i]
                 );
-                if self.pruned_nodes == 0 {
-                    assert!(
-                        self.a.n[i] - child_sum <= 1,
-                        "node {id}: more than one self-visit: N={} children={child_sum}",
-                        self.a.n[i]
-                    );
-                }
+                assert!(
+                    self.a.n[i] as u64 - accounted <= 1,
+                    "node {id}: more than one self-visit: N={} children={child_sum} detached={}",
+                    self.a.n[i],
+                    self.a.n_detached[i]
+                );
+            } else if !matches!(self.a.state[i], NodeState::Terminal(_)) && self.a.n[i] > 0 {
+                // A leaf with visits must be a detached former interior
+                // node: all of its visits are accounted by `n_detached`.
+                assert_eq!(
+                    self.a.n[i], self.a.n_detached[i],
+                    "node {id}: visited leaf whose visits are not detach-accounted"
+                );
             }
             for c in children {
                 assert_eq!(self.a.parent[c as usize], id, "parent link of {c}");
@@ -899,6 +1064,10 @@ impl Tree {
             self.len(),
             "live-node accounting: reachable {reached} != live {}",
             self.len()
+        );
+        assert_eq!(
+            block_owners, list_len,
+            "LRU membership: {block_owners} block owners vs {list_len} listed"
         );
     }
 }
@@ -1286,6 +1455,7 @@ mod tests {
         let cap = 200usize;
         let mut t = Tree::new(MctsConfig {
             max_nodes: Some(cap),
+            eviction: crate::config::EvictionPolicy::DeepestFringe,
             ..cfg(500)
         });
         let base = TicTacToe::new();
@@ -1297,11 +1467,77 @@ mod tests {
             s.high_water
         );
         assert!(s.pruned > 0, "bounded search must have pruned");
+        assert_eq!(s.evicted, 0, "fringe policy never LRU-evicts");
         t.check_invariants();
         // The search still produces a sane root distribution.
         let (visits, probs, _) = t.action_prior(9);
         assert_eq!(visits.iter().sum::<u32>(), 500 - 1);
         assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_coldest_by_default() {
+        let cap = 200usize;
+        let mut t = Tree::new(MctsConfig {
+            max_nodes: Some(cap),
+            ..cfg(500)
+        });
+        assert_eq!(t.cfg.eviction, crate::config::EvictionPolicy::Lru);
+        let base = TicTacToe::new();
+        grow(&mut t, &base, 500);
+        let s = t.stats();
+        assert!(
+            s.high_water <= cap,
+            "hard bound respected: {} > {cap}",
+            s.high_water
+        );
+        assert!(s.evicted > 0, "bounded search must have evicted");
+        assert_eq!(s.pruned, 0, "LRU policy never fringe-prunes");
+        t.check_invariants();
+        // Root statistics survive eviction untouched: every playout is
+        // still accounted at the root, and the distribution is sane.
+        let (visits, probs, _) = t.action_prior(9);
+        assert_eq!(visits.iter().sum::<u32>(), 500 - 1);
+        assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn byte_budget_bounds_the_arena() {
+        let slot = NodeArena::slot_bytes();
+        let budget = 200 * slot;
+        let mut t = Tree::new(MctsConfig {
+            arena_budget_bytes: Some(budget),
+            ..cfg(500)
+        });
+        grow(&mut t, &TicTacToe::new(), 500);
+        let s = t.stats();
+        assert!(
+            s.bytes <= budget,
+            "byte bound respected: {} > {budget}",
+            s.bytes
+        );
+        assert_eq!(s.bytes, s.high_water * slot);
+        assert!(s.evicted > 0, "tight byte budget must force eviction");
+        t.check_invariants();
+    }
+
+    #[test]
+    fn eviction_preserves_detached_stats_and_allows_reexpansion() {
+        // Drive a bounded LRU search, then keep searching: detached
+        // victims must come back (re-expansion) without tripping the
+        // exact visit identity.
+        let mut t = Tree::new(MctsConfig {
+            max_nodes: Some(150),
+            ..cfg(800)
+        });
+        let base = TicTacToe::new();
+        grow(&mut t, &base, 400);
+        let evicted_mid = t.stats().evicted;
+        assert!(evicted_mid > 0);
+        grow(&mut t, &base, 400);
+        assert!(t.stats().evicted > evicted_mid, "eviction keeps cycling");
+        t.check_invariants();
+        assert_eq!(t.n(t.root()), 800, "root visits intact across evictions");
     }
 
     // -- transposition index ------------------------------------------------

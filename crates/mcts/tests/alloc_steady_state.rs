@@ -10,8 +10,13 @@
 //!    selection, leaf claiming, expansion, backup, in-place re-rooting
 //!    and the result buffers all live on recycled arena slots and reused
 //!    scratch space.
+//! 3. **Eviction** — a warmed `ReusableSearch` under a fixed arena byte
+//!    budget keeps searching with no heap allocations while the LRU
+//!    policy continuously recycles cold subtrees: eviction walks reuse
+//!    the retained stack, coalescing reuses its scratch, and the arena
+//!    columns never grow past the bound.
 //!
-//! This file holds exactly one test (with two tracked phases) so the
+//! This file holds exactly one test (with three tracked phases) so the
 //! counting global allocator sees no traffic from concurrently running
 //! tests.
 
@@ -71,6 +76,7 @@ fn count_allocs(f: impl FnOnce()) -> u64 {
 fn steady_state_allocates_nothing() {
     evaluate_batch_phase();
     search_advance_cycle_phase();
+    bounded_eviction_cycle_phase();
 }
 
 fn evaluate_batch_phase() {
@@ -103,6 +109,76 @@ fn evaluate_batch_phase() {
         assert_eq!(w.priors, o.priors);
         assert_eq!(w.value, o.value);
     }
+}
+
+/// A bounded arena in steady-state eviction: once the LRU list, the
+/// eviction walk stack and the coalesce scratch are warm, recycling
+/// cold subtrees to make room for hot ones is pure pointer surgery on
+/// preallocated columns — an infinite analysis session under a fixed
+/// byte budget never touches the heap again.
+fn bounded_eviction_cycle_phase() {
+    use games::tictactoe::TicTacToe;
+    use mcts::{EvictionPolicy, NodeArena};
+
+    // Tight enough that every search cycle recycles nodes through the
+    // LRU list, yet above the unevictable working set: the serial
+    // searcher's current selection path holds virtual loss on every
+    // node it descended, and a full-depth TicTacToe path owns up to 46
+    // slots of child blocks.
+    let budget = 72 * NodeArena::slot_bytes();
+    let net = Arc::new(PolicyValueNet::new(NetConfig::tiny(4, 3, 3, 9), 5));
+    let mut search = ReusableSearch::new(
+        MctsConfig {
+            playouts: 300,
+            arena_budget_bytes: Some(budget),
+            eviction: EvictionPolicy::Lru,
+            ..Default::default()
+        },
+        Arc::new(NnEvaluator::new(net)),
+    );
+    let mut result = SearchResult::default();
+
+    // One deterministic cycle: a fresh analysis session over the same
+    // position. Eviction order is a pure function of the playout
+    // sequence, so every cycle replays the same recycling schedule.
+    let cycle = |search: &mut ReusableSearch, result: &mut SearchResult| {
+        search.reset();
+        search.search_into(&TicTacToe::new(), result);
+        result
+            .visits
+            .iter()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, &v| {
+                (h ^ v as u64).wrapping_mul(0x100_0000_01b3)
+            })
+    };
+
+    // Warm-up: fills the arena to its bound, grows the eviction walk
+    // stack / coalesce scratch to their high-water marks.
+    let mut warm = 0u64;
+    for _ in 0..3 {
+        warm = cycle(&mut search, &mut result);
+    }
+    let stats = search.tree_stats().expect("warmed searcher has a tree");
+    assert!(
+        stats.evicted > 0,
+        "300 playouts against a 72-slot byte budget must evict"
+    );
+    assert!(
+        stats.live <= 72,
+        "live nodes {} exceed the byte-derived bound",
+        stats.live
+    );
+
+    let mut tracked = 0u64;
+    let allocs = count_allocs(|| tracked = cycle(&mut search, &mut result));
+    #[cfg(feature = "invariants")]
+    let _ = allocs;
+    #[cfg(not(feature = "invariants"))]
+    assert_eq!(
+        allocs, 0,
+        "steady-state eviction must not touch the heap ({allocs} allocations observed)"
+    );
+    assert_eq!(tracked, warm, "recycling cycles stay deterministic");
 }
 
 fn search_advance_cycle_phase() {

@@ -154,6 +154,11 @@ pub enum RejectCode {
     QuotaExceeded,
     /// Malformed request (illegal move, terminal root, zero budget).
     BadRequest,
+    /// A byte quota on arena memory: the session's arena would exceed
+    /// its per-session quota (terminal — zero `retry_after_us`) or the
+    /// model's aggregate byte budget is full (transient — bytes return
+    /// as sessions finalize).
+    OverMemory,
 }
 
 impl RejectCode {
@@ -166,6 +171,7 @@ impl RejectCode {
             RejectCode::Draining => 4,
             RejectCode::QuotaExceeded => 5,
             RejectCode::BadRequest => 6,
+            RejectCode::OverMemory => 7,
         }
     }
 
@@ -178,12 +184,17 @@ impl RejectCode {
             4 => RejectCode::Draining,
             5 => RejectCode::QuotaExceeded,
             6 => RejectCode::BadRequest,
+            7 => RejectCode::OverMemory,
             _ => return Err(DecodeError::BadValue("reject code")),
         })
     }
 
     /// True for rejections worth retrying on this server after the
     /// carried hint (vs failing over or fixing the request).
+    /// `OverMemory` is listed even though the per-session-quota flavor
+    /// is terminal: the carried `retry_after_us` disambiguates (zero ⇒
+    /// shrink the request instead of waiting), matching the serve
+    /// layer's convention for `TooLarge`.
     pub fn is_transient(self) -> bool {
         matches!(
             self,
@@ -191,6 +202,7 @@ impl RejectCode {
                 | RejectCode::QueueFull
                 | RejectCode::Unhealthy
                 | RejectCode::QuotaExceeded
+                | RejectCode::OverMemory
         )
     }
 }
@@ -203,6 +215,7 @@ impl From<serve::RejectReason> for RejectCode {
             serve::RejectReason::TooLarge => RejectCode::TooLarge,
             serve::RejectReason::Unhealthy => RejectCode::Unhealthy,
             serve::RejectReason::Draining => RejectCode::Draining,
+            serve::RejectReason::OverMemory => RejectCode::OverMemory,
         }
     }
 }

@@ -692,6 +692,7 @@ fn handle_submit(
         playouts: Some(playouts),
         time: (time_ms > 0).then(|| Duration::from_millis(time_ms)),
         max_nodes: (max_nodes > 0).then_some(max_nodes as usize),
+        max_bytes: None,
     };
     let submitted = match spec {
         GameSpec::TicTacToe => {

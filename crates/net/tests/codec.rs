@@ -129,7 +129,7 @@ proptest! {
     #[test]
     fn reject_and_failed_roundtrip(
         id in 0u64..u64::MAX,
-        code in 0u8..7,
+        code in 0u8..8,
         kind in 0u8..5,
         retry in 0u64..u64::MAX,
         raw in collection::vec(0u8..255, 0..64),
@@ -137,7 +137,7 @@ proptest! {
         let codes = [
             RejectCode::RateLimited, RejectCode::QueueFull, RejectCode::TooLarge,
             RejectCode::Unhealthy, RejectCode::Draining, RejectCode::QuotaExceeded,
-            RejectCode::BadRequest,
+            RejectCode::BadRequest, RejectCode::OverMemory,
         ];
         let kinds = [
             FailKind::Panicked, FailKind::EvaluatorFailed, FailKind::DeadlineExceeded,

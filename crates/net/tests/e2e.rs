@@ -24,6 +24,7 @@ fn open_admission() -> Option<AdmissionConfig> {
         playouts_per_sec: 1e9,
         burst_playouts: 1_000_000_000,
         max_pending: 1024,
+        ..Default::default()
     })
 }
 
@@ -209,6 +210,7 @@ fn cluster_shedding_maps_to_reject_with_retry_hint() {
                 playouts_per_sec: 10.0,
                 burst_playouts: 1_000,
                 max_pending: 64,
+                ..Default::default()
             }),
         ),
         ServerConfig::default(),

@@ -26,6 +26,7 @@ fn cluster() -> Arc<ServeCluster> {
             playouts_per_sec: 1e9,
             burst_playouts: 1_000_000_000,
             max_pending: 1024,
+            ..Default::default()
         }),
     }))
 }
@@ -156,6 +157,7 @@ fn quota_exceeded_client_sees_reject_with_nonzero_retry_hint() {
                 playouts_per_sec: 100.0,
                 burst_playouts: 1_000,
                 max_pending: 8,
+                ..Default::default()
             }),
             ..Default::default()
         },

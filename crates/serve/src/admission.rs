@@ -8,7 +8,7 @@
 //! [`Rejection`] with a [`retry_after`](Rejection::retry_after) hint
 //! instead of a place in an unbounded queue.
 //!
-//! Two independent gates, both keyed per model:
+//! Gates, all keyed per model:
 //!
 //! * a **token bucket on admitted playouts**: a session costing `c`
 //!   playouts is admitted only if the bucket holds `c` tokens; tokens
@@ -19,6 +19,13 @@
 //!   [`AdmissionConfig::max_pending`] sessions may be
 //!   admitted-but-unfinished at once. This caps queue depth (and the
 //!   memory behind it) even when each session is tiny.
+//! * **byte quotas** making arena memory a co-equal admitted resource:
+//!   a per-session cap ([`AdmissionConfig::session_byte_quota`],
+//!   terminal like [`RejectReason::TooLarge`]) and a per-model gauge
+//!   ([`AdmissionConfig::model_byte_budget`]) that reserves each
+//!   admitted session's worst-case arena bytes and returns them on
+//!   release; a full gauge sheds with the transient
+//!   [`RejectReason::OverMemory`].
 //!
 //! ```
 //! use serve::{AdmissionConfig, AdmissionController, RejectReason};
@@ -27,6 +34,7 @@
 //!     playouts_per_sec: 1000.0,
 //!     burst_playouts: 600,
 //!     max_pending: 8,
+//!     ..Default::default()
 //! });
 //! let model_key = 7; // cluster derives this from the evaluator identity
 //! assert!(adm.try_admit(model_key, 512).is_ok()); // within the burst
@@ -57,16 +65,32 @@ pub struct AdmissionConfig {
     /// bounded pending queue). Overflow is shed with
     /// [`RejectReason::QueueFull`].
     pub max_pending: usize,
+    /// Largest worst-case arena footprint (bytes) a single session may
+    /// ask for. Violations are terminal for that request shape
+    /// ([`RejectReason::OverMemory`] with zero `retry_after` — waiting
+    /// cannot shrink the request); resubmit with a smaller `max_nodes`
+    /// or byte budget. `None` ⇒ no per-session cap.
+    pub session_byte_quota: Option<u64>,
+    /// Total arena bytes a model may have reserved across its
+    /// admitted-but-unfinished sessions. Admission reserves each
+    /// session's worst-case arena bytes against this gauge and the
+    /// release returns them; a full gauge sheds with the *transient*
+    /// [`RejectReason::OverMemory`] (a positive `retry_after` — pending
+    /// sessions finishing will free bytes). `None` ⇒ unmetered.
+    pub model_byte_budget: Option<u64>,
 }
 
 impl Default for AdmissionConfig {
     /// Generous defaults sized for interactive serving: 50k playouts/s
-    /// sustained, 100k burst, 256 pending sessions per model.
+    /// sustained, 100k burst, 256 pending sessions per model, bytes
+    /// unmetered.
     fn default() -> Self {
         AdmissionConfig {
             playouts_per_sec: 50_000.0,
             burst_playouts: 100_000,
             max_pending: 256,
+            session_byte_quota: None,
+            model_byte_budget: None,
         }
     }
 }
@@ -98,6 +122,13 @@ pub enum RejectReason {
     /// `retry_after` is zero; clients should fail over to another
     /// replica rather than wait.
     Draining,
+    /// An arena byte quota is exhausted. Two shapes, distinguished by
+    /// `retry_after`: the session's worst-case arena bytes exceed
+    /// [`AdmissionConfig::session_byte_quota`] (terminal — zero hint,
+    /// resubmit smaller), or the model's reserved-byte gauge cannot fit
+    /// this session under [`AdmissionConfig::model_byte_budget`]
+    /// (transient — positive hint; finishing sessions return bytes).
+    OverMemory,
 }
 
 /// An explicit load-shedding outcome: the request was **not** queued.
@@ -151,6 +182,20 @@ impl std::fmt::Display for Rejection {
                     "request shed (cluster draining toward shutdown); fail over to another replica"
                 )
             }
+            RejectReason::OverMemory => {
+                if self.retry_after.is_zero() {
+                    write!(
+                        f,
+                        "request shed (arena bytes exceed the per-session quota); lower max_nodes or the byte budget"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "request shed (model arena byte budget exhausted); retry after {:?}",
+                        self.retry_after
+                    )
+                }
+            }
         }
     }
 }
@@ -172,6 +217,10 @@ struct ModelState {
     tokens: f64,
     last_refill: Instant,
     pending: usize,
+    /// Arena bytes reserved by admitted-but-unfinished sessions (gauge:
+    /// reserved on admit, returned on release — unlike the token
+    /// bucket, which meters a rate, this meters co-resident footprint).
+    bytes: u64,
 }
 
 /// Admission gate shared by a cluster's dispatch path (see module docs).
@@ -216,7 +265,16 @@ impl AdmissionController {
     /// [`try_admit_backend`](AdmissionController::try_admit_backend)
     /// instead, which also handles eviction and address reuse.
     pub fn try_admit(&self, key: usize, cost: u64) -> Result<(), Rejection> {
-        self.admit_at(key, None, cost)
+        self.admit_at(key, None, cost, 0)
+    }
+
+    /// [`try_admit`](AdmissionController::try_admit) that also reserves
+    /// `bytes` of worst-case arena footprint against the byte gates. A
+    /// successful admission must be undone with
+    /// [`release_bytes`](AdmissionController::release_bytes) passing the
+    /// same `bytes`.
+    pub fn try_admit_costed(&self, key: usize, cost: u64, bytes: u64) -> Result<(), Rejection> {
+        self.admit_at(key, None, cost, bytes)
     }
 
     /// [`try_admit`](AdmissionController::try_admit) keyed by the
@@ -231,7 +289,20 @@ impl AdmissionController {
         cost: u64,
     ) -> Result<(), Rejection> {
         let key = Arc::as_ptr(backend) as *const () as usize;
-        self.admit_at(key, Some(Arc::downgrade(backend)), cost)
+        self.admit_at(key, Some(Arc::downgrade(backend)), cost, 0)
+    }
+
+    /// [`try_admit_backend`](AdmissionController::try_admit_backend)
+    /// that also reserves `bytes` against the byte gates (see
+    /// [`try_admit_costed`](AdmissionController::try_admit_costed)).
+    pub fn try_admit_backend_costed(
+        &self,
+        backend: &Arc<dyn BatchEvaluator>,
+        cost: u64,
+        bytes: u64,
+    ) -> Result<(), Rejection> {
+        let key = Arc::as_ptr(backend) as *const () as usize;
+        self.admit_at(key, Some(Arc::downgrade(backend)), cost, bytes)
     }
 
     fn admit_at(
@@ -239,6 +310,7 @@ impl AdmissionController {
         key: usize,
         handle: Option<Weak<dyn BatchEvaluator>>,
         cost: u64,
+        bytes: u64,
     ) -> Result<(), Rejection> {
         let cost_f = cost.max(1) as f64;
         if cost.max(1) > self.cfg.burst_playouts {
@@ -246,6 +318,14 @@ impl AdmissionController {
             // rather than promising a retry that can never succeed.
             return Err(Rejection {
                 reason: RejectReason::TooLarge,
+                retry_after: Duration::ZERO,
+            });
+        }
+        if self.cfg.session_byte_quota.is_some_and(|q| bytes > q) {
+            // Same terminal shape as TooLarge, denominated in bytes: no
+            // amount of waiting shrinks this session's arena ask.
+            return Err(Rejection {
+                reason: RejectReason::OverMemory,
                 retry_after: Duration::ZERO,
             });
         }
@@ -262,6 +342,7 @@ impl AdmissionController {
                     tokens: self.cfg.burst_playouts as f64,
                     last_refill: Instant::now(),
                     pending: 0,
+                    bytes: 0,
                 });
                 models.last_mut().unwrap()
             }
@@ -280,6 +361,18 @@ impl AdmissionController {
                 retry_after: self.retry_hint(cost_f / self.cfg.playouts_per_sec),
             });
         }
+        if let Some(budget) = self.cfg.model_byte_budget {
+            if m.bytes.saturating_add(bytes) > budget {
+                // Transient: unlike the per-session quota, the gauge
+                // drains as admitted sessions finish. Hint with the
+                // time one mean session takes at the sustained rate —
+                // the same drain heuristic as QueueFull.
+                return Err(Rejection {
+                    reason: RejectReason::OverMemory,
+                    retry_after: self.retry_hint(cost_f / self.cfg.playouts_per_sec),
+                });
+            }
+        }
         if m.tokens < cost_f {
             return Err(Rejection {
                 reason: RejectReason::RateLimited,
@@ -288,6 +381,7 @@ impl AdmissionController {
         }
         m.tokens -= cost_f;
         m.pending += 1;
+        m.bytes += bytes;
         Ok(())
     }
 
@@ -295,9 +389,22 @@ impl AdmissionController {
     /// finished (completed or cancelled). Consumed tokens are *not*
     /// refunded — the bucket meters admitted work, not completed work.
     pub fn release(&self, key: usize) {
+        self.release_bytes(key, 0)
+    }
+
+    /// [`release`](AdmissionController::release) that also returns
+    /// `bytes` to the model's byte gauge. Must be passed the same byte
+    /// reservation the admission made — the gauge is a strict
+    /// reserve/return pair, so every
+    /// [`try_admit_costed`](AdmissionController::try_admit_costed) /
+    /// [`try_admit_backend_costed`](AdmissionController::try_admit_backend_costed)
+    /// admission balances to zero when its session finishes (completed,
+    /// failed, cancelled, or disconnected).
+    pub fn release_bytes(&self, key: usize, bytes: u64) {
         let mut models = self.models.lock();
         if let Some(m) = models.iter_mut().find(|m| m.key == key) {
             m.pending = m.pending.saturating_sub(1);
+            m.bytes = m.bytes.saturating_sub(bytes);
         }
     }
 
@@ -325,6 +432,23 @@ impl AdmissionController {
         self.models.lock().iter().map(|m| m.pending).sum()
     }
 
+    /// Arena bytes currently reserved by admitted-but-unfinished
+    /// sessions on model `key`.
+    pub fn admitted_bytes(&self, key: usize) -> u64 {
+        self.models
+            .lock()
+            .iter()
+            .find(|m| m.key == key)
+            .map_or(0, |m| m.bytes)
+    }
+
+    /// Arena bytes reserved across *all* models. Like
+    /// [`total_pending`](AdmissionController::total_pending), returns to
+    /// zero once every admitted session has released its reservation.
+    pub fn total_admitted_bytes(&self) -> u64 {
+        self.models.lock().iter().map(|m| m.bytes).sum()
+    }
+
     /// Turn an estimated wait into an actionable, decorrelated hint:
     /// clamped to [1 ms, 60 s] (never "retry immediately" while
     /// shedding), then jittered upward by as much as 50% so a burst of
@@ -345,6 +469,7 @@ mod tests {
             playouts_per_sec: rate,
             burst_playouts: burst,
             max_pending: pending,
+            ..Default::default()
         })
     }
 
@@ -425,6 +550,63 @@ mod tests {
         // The failed attempt consumed nothing: a full-burst request
         // still fits.
         assert!(adm.try_admit(1, 500).is_ok());
+    }
+
+    #[test]
+    fn session_byte_quota_is_terminal() {
+        let adm = AdmissionController::new(AdmissionConfig {
+            playouts_per_sec: 1e6,
+            burst_playouts: 1_000_000,
+            max_pending: 8,
+            session_byte_quota: Some(1000),
+            model_byte_budget: None,
+        });
+        let rej = adm.try_admit_costed(1, 10, 1001).unwrap_err();
+        assert_eq!(rej.reason, RejectReason::OverMemory);
+        assert_eq!(rej.retry_after, Duration::ZERO, "terminal: no wait helps");
+        // The failed attempt reserved nothing.
+        assert_eq!(adm.total_admitted_bytes(), 0);
+        assert!(adm.try_admit_costed(1, 10, 1000).is_ok(), "at the quota");
+        assert_eq!(adm.admitted_bytes(1), 1000);
+    }
+
+    #[test]
+    fn model_byte_budget_sheds_transiently_and_release_returns_bytes() {
+        let adm = AdmissionController::new(AdmissionConfig {
+            playouts_per_sec: 1e6,
+            burst_playouts: 1_000_000,
+            max_pending: 8,
+            session_byte_quota: None,
+            model_byte_budget: Some(1000),
+        });
+        assert!(adm.try_admit_costed(1, 10, 600).is_ok());
+        let rej = adm.try_admit_costed(1, 10, 600).unwrap_err();
+        assert_eq!(rej.reason, RejectReason::OverMemory);
+        assert!(
+            rej.retry_after > Duration::ZERO,
+            "transient: finishing sessions free bytes"
+        );
+        // The gauge is per model: another model has its own budget.
+        assert!(adm.try_admit_costed(2, 10, 600).is_ok());
+        assert_eq!(adm.total_admitted_bytes(), 1200);
+        // Releasing returns the reservation and reopens the gauge.
+        adm.release_bytes(1, 600);
+        assert_eq!(adm.admitted_bytes(1), 0);
+        assert!(adm.try_admit_costed(1, 10, 600).is_ok());
+    }
+
+    #[test]
+    fn byteless_admissions_ignore_the_byte_gates() {
+        let adm = AdmissionController::new(AdmissionConfig {
+            playouts_per_sec: 1e6,
+            burst_playouts: 1_000_000,
+            max_pending: 8,
+            session_byte_quota: Some(1),
+            model_byte_budget: Some(1),
+        });
+        // Zero-byte admissions (the legacy entry points) always fit.
+        assert!(adm.try_admit(1, 10).is_ok());
+        assert_eq!(adm.total_admitted_bytes(), 0);
     }
 
     #[test]

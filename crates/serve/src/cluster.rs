@@ -8,8 +8,11 @@
 //! and routes each incoming request through three stages:
 //!
 //! 1. **Admission** ([`crate::AdmissionController`], optional): a
-//!    per-model token bucket on admitted playouts plus a bounded
-//!    pending-session count. Overflow is *shed* — the caller gets
+//!    per-model token bucket on admitted playouts, a bounded
+//!    pending-session count, and byte quotas on the arena memory each
+//!    session would reserve (per session and per model — see
+//!    [`crate::AdmissionConfig::session_byte_quota`]). Overflow is
+//!    *shed* — the caller gets
 //!    `Err(`[`Rejection`]`)` with a `retry_after` hint, and nothing is
 //!    queued — so overload degrades into fast explicit rejections
 //!    instead of unbounded queue growth.
@@ -170,6 +173,17 @@ pub struct ClusterStats {
     /// called, so the front door bounces everything while in-flight
     /// sessions run out.
     pub shed_draining: u64,
+    /// Requests shed by a byte quota
+    /// ([`crate::RejectReason::OverMemory`]): either the session's
+    /// arena would exceed [`crate::AdmissionConfig::session_byte_quota`]
+    /// (terminal — zero `retry_after`) or the model's aggregate
+    /// [`crate::AdmissionConfig::model_byte_budget`] gauge is full
+    /// (transient — bytes return as sessions finalize).
+    pub shed_over_memory: u64,
+    /// Arena bytes currently reserved by admitted-but-unfinalized
+    /// sessions, summed over all models. Balances back to zero once a
+    /// drain fully unwinds; with admission disabled this is always 0.
+    pub admitted_bytes: u64,
     /// Cluster-wide evaluation-cache counters. The cache registry is
     /// shared across every shard (a position evaluated on one shard is
     /// a hit on all of them), so its counters live here rather than in
@@ -193,6 +207,7 @@ impl ClusterStats {
             + self.shed_too_large
             + self.shed_unhealthy
             + self.shed_draining
+            + self.shed_over_memory
     }
 
     /// All shards' counters folded together, including the shared
@@ -221,14 +236,16 @@ impl ClusterStats {
         let mut s = String::with_capacity(512);
         let _ = write!(
             s,
-            "{{\"admitted\":{},\"shed\":{{\"rate_limited\":{},\"queue_full\":{},\"too_large\":{},\"unhealthy\":{},\"draining\":{}}}",
+            "{{\"admitted\":{},\"shed\":{{\"rate_limited\":{},\"queue_full\":{},\"too_large\":{},\"unhealthy\":{},\"draining\":{},\"over_memory\":{}}}",
             self.admitted,
             self.shed_rate_limited,
             self.shed_queue_full,
             self.shed_too_large,
             self.shed_unhealthy,
-            self.shed_draining
+            self.shed_draining,
+            self.shed_over_memory
         );
+        let _ = write!(s, ",\"admitted_bytes\":{}", self.admitted_bytes);
         let _ = write!(
             s,
             ",\"sessions\":{{\"completed\":{},\"cancelled\":{},\"failed\":{}}},\"playouts\":{}",
@@ -312,6 +329,10 @@ pub struct ServeCluster {
     shards: Vec<SearchService>,
     placement: Box<dyn PlacementPolicy>,
     admission: Option<Arc<AdmissionController>>,
+    /// Mirror of [`ServeConfig::session_arena_bytes`]: the shard will
+    /// clamp each session's arena to this, so admission byte costing
+    /// must price the clamped footprint, not the requested one.
+    session_arena_bytes: Option<usize>,
     /// One evaluation-cache registry shared by every shard, so a
     /// position evaluated anywhere is a hit everywhere (`None` ⇒
     /// caching disabled).
@@ -337,6 +358,7 @@ pub struct ServeCluster {
     shed_too_large: AtomicU64,
     shed_unhealthy: AtomicU64,
     shed_draining: AtomicU64,
+    shed_over_memory: AtomicU64,
     /// Salt sequence decorrelating `retry_after` jitter across
     /// back-to-back unhealthy rejections.
     jitter_seq: AtomicU64,
@@ -369,6 +391,7 @@ impl ServeCluster {
                 .collect(),
             placement,
             admission: cfg.admission.map(|a| Arc::new(AdmissionController::new(a))),
+            session_arena_bytes: cfg.shard.session_arena_bytes,
             cache,
             health,
             affinity: Mutex::new(Vec::new()),
@@ -380,6 +403,7 @@ impl ServeCluster {
             shed_too_large: AtomicU64::new(0),
             shed_unhealthy: AtomicU64::new(0),
             shed_draining: AtomicU64::new(0),
+            shed_over_memory: AtomicU64::new(0),
             jitter_seq: AtomicU64::new(0),
         }
     }
@@ -403,6 +427,17 @@ impl ServeCluster {
         }
         let key = Arc::as_ptr(&req.evaluator) as *const () as usize;
         let cost = session_cost(&req.budget, &req.config);
+        // The session's worst-case arena footprint: the capacity its
+        // resolved config would provision, in bytes. This is what the
+        // byte quotas meter — reserved at admission, returned when the
+        // session finalizes (the arena itself is freed or recycled then).
+        let mut run_cfg = req.budget.apply_to(&req.config);
+        if let Some(cap) = self.session_arena_bytes {
+            run_cfg.arena_budget_bytes =
+                Some(run_cfg.arena_budget_bytes.map_or(cap, |b| b.min(cap)));
+        }
+        let bytes = (run_cfg.arena_capacity(req.root.action_space())
+            * mcts::NodeArena::slot_bytes()) as u64;
         // Health gate first: a backend cooling down behind an open
         // breaker is shed before it spends admission tokens. The check
         // admits once the breaker is probe-eligible, so the session
@@ -416,13 +451,14 @@ impl ServeCluster {
             });
         }
         if let Some(adm) = &self.admission {
-            if let Err(rej) = adm.try_admit_backend(&req.evaluator, cost) {
+            if let Err(rej) = adm.try_admit_backend_costed(&req.evaluator, cost, bytes) {
                 let counter = match rej.reason {
                     RejectReason::RateLimited => &self.shed_rate_limited,
                     RejectReason::QueueFull => &self.shed_queue_full,
                     RejectReason::TooLarge => &self.shed_too_large,
                     RejectReason::Unhealthy => &self.shed_unhealthy,
                     RejectReason::Draining => &self.shed_draining,
+                    RejectReason::OverMemory => &self.shed_over_memory,
                 };
                 counter.fetch_add(1, Ordering::Relaxed);
                 return Err(rej);
@@ -456,7 +492,7 @@ impl ServeCluster {
             let adm = Arc::clone(adm);
             ticket
                 .shared
-                .set_on_final(Box::new(move |_status| adm.release(key)));
+                .set_on_final(Box::new(move |_status| adm.release_bytes(key, bytes)));
         }
         {
             let mut live = self.live.lock();
@@ -496,6 +532,11 @@ impl ServeCluster {
             shed_too_large: self.shed_too_large.load(Ordering::Relaxed),
             shed_unhealthy: self.shed_unhealthy.load(Ordering::Relaxed),
             shed_draining: self.shed_draining.load(Ordering::Relaxed),
+            shed_over_memory: self.shed_over_memory.load(Ordering::Relaxed),
+            admitted_bytes: self
+                .admission
+                .as_ref()
+                .map_or(0, |a| a.total_admitted_bytes()),
             cache: self.cache.as_ref().map(|r| r.stats()).unwrap_or_default(),
             per_shard: self.shards.iter().map(|s| s.stats()).collect(),
             autotune: self

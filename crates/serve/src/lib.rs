@@ -39,9 +39,10 @@
 //!
 //! * **admission control & load shedding**
 //!   ([`AdmissionController`]): a per-model token bucket on admitted
-//!   playouts plus a bounded pending-session count; overflow gets an
-//!   explicit [`Rejection`] with a `retry_after` hint instead of a spot
-//!   in an unbounded queue;
+//!   playouts, a bounded pending-session count, and byte quotas on the
+//!   arena memory each session would reserve (per session and per
+//!   model); overflow gets an explicit [`Rejection`] with a
+//!   `retry_after` hint instead of a spot in an unbounded queue;
 //! * **placement** ([`PlacementPolicy`]): least-loaded routing by
 //!   outstanding playout budget, with backend affinity so same-model
 //!   sessions land where that model's coalescing layer already lives.
@@ -93,6 +94,7 @@
 //!         playouts_per_sec: 1000.0,
 //!         burst_playouts: 200,
 //!         max_pending: 64,
+//!         ..Default::default()
 //!     }),
 //! });
 //! let eval = Arc::new(UniformEvaluator::for_game(&TicTacToe::new()));

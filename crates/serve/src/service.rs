@@ -95,6 +95,15 @@ pub struct ServeConfig {
     /// (a hung evaluator then pins its worker forever). Only sessions
     /// with a deadline are watched.
     pub watchdog_grace: Option<Duration>,
+    /// Ceiling on any one session's tree arena, in bytes. Requests
+    /// arriving with a larger (or absent) per-session
+    /// [`mcts::MctsConfig::arena_budget_bytes`] are clamped down to
+    /// this, so a single unbounded analysis session cannot grow its
+    /// arena without limit on a shared worker pool — past the ceiling
+    /// the search recycles cold subtrees in place (see
+    /// [`mcts::EvictionPolicy`]). `None` (the default) leaves session
+    /// configs untouched.
+    pub session_arena_bytes: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -120,6 +129,7 @@ impl Default for ServeConfig {
             breaker_threshold: 8,
             breaker_cooldown: Duration::from_millis(250),
             watchdog_grace: Some(Duration::from_secs(2)),
+            session_arena_bytes: None,
         }
     }
 }
@@ -496,7 +506,17 @@ impl SearchService {
     /// Submit one request; returns immediately with a ticket handle.
     /// The session's run is opened on the calling thread (cheap), then
     /// queued for stepping.
-    pub fn submit<G: Game>(&self, req: SearchRequest<G>) -> SearchTicket {
+    pub fn submit<G: Game>(&self, mut req: SearchRequest<G>) -> SearchTicket {
+        // Clamp the session's arena to the service ceiling — both the
+        // config knob and any per-run byte budget, so neither path lets
+        // one session outgrow its slice of the pool's memory.
+        if let Some(cap) = self.inner.cfg.session_arena_bytes {
+            req.config.arena_budget_bytes =
+                Some(req.config.arena_budget_bytes.map_or(cap, |b| b.min(cap)));
+            if let Some(b) = req.budget.max_bytes {
+                req.budget.max_bytes = Some(b.min(cap));
+            }
+        }
         let cost = session_cost(&req.budget, &req.config);
         // Caches, coalescers and breakers are all keyed by the
         // *backend* identity, captured before any wrap replaces the

@@ -96,7 +96,17 @@ fn cluster_soak_under_injected_faults_terminates_and_balances() {
             coalesce_window: Duration::from_millis(1),
             ..Default::default()
         },
-        admission: None, // every submission is admitted: exact accounting
+        // Generous limits: nothing sheds for rate/pending/bytes, so
+        // accounting stays exact — but the byte gauge is live, so the
+        // soak also proves reservations unwind through panics, typed
+        // failures, watchdog reaps and cancellation races.
+        admission: Some(serve::AdmissionConfig {
+            playouts_per_sec: 1e9,
+            burst_playouts: 1_000_000_000,
+            max_pending: 4096,
+            model_byte_budget: Some(u64::MAX / 2),
+            ..Default::default()
+        }),
     });
     let game = TicTacToe::new();
     let chaotic_eval: Arc<dyn BatchEvaluator> = Arc::new(ChaosEvaluator::new(
@@ -196,6 +206,18 @@ fn cluster_soak_under_injected_faults_terminates_and_balances() {
     assert_eq!(stats.shed(), shed);
     for (i, load) in cluster.shard_loads().iter().enumerate() {
         assert_eq!(*load, 0, "shard {i} outstanding load must drain to zero");
+    }
+    // Byte reservations unwind no matter how each session died. The
+    // release fires on the worker thread during finalization, so give
+    // the last one a bounded moment to land.
+    let deadline = std::time::Instant::now() + WAIT;
+    while cluster.stats().admitted_bytes != 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "leaked byte reservation after the soak: {} bytes",
+            cluster.stats().admitted_bytes
+        );
+        std::thread::yield_now();
     }
 
     // The cluster is still serviceable after the storm.

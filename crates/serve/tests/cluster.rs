@@ -73,6 +73,7 @@ fn overload_burst_is_shed_with_retry_hint_not_queued() {
             playouts_per_sec: 1000.0,
             burst_playouts: 500,
             max_pending: 64,
+            ..Default::default()
         }),
     });
     let eval = uniform();
@@ -122,6 +123,7 @@ fn pending_bound_sheds_queue_full_and_recovers_after_completion() {
             playouts_per_sec: 1e9,
             burst_playouts: u64::MAX / 2,
             max_pending: 2,
+            ..Default::default()
         }),
     });
     let eval = uniform();
@@ -581,6 +583,7 @@ fn drain_lets_in_flight_sessions_finish() {
             playouts_per_sec: 1e9,
             burst_playouts: 1_000_000_000,
             max_pending: 64,
+            ..Default::default()
         }),
     });
     let eval = uniform();
@@ -625,6 +628,163 @@ fn drain_lets_in_flight_sessions_finish() {
     assert!(stats.metrics_json().contains("\"draining\":1"));
 }
 
+/// The byte footprint admission charges one `cfg(playouts)` TicTacToe
+/// session: its provisioned arena capacity times the slot size (the
+/// same arithmetic `ServeCluster::submit` runs).
+fn session_bytes(playouts: usize) -> u64 {
+    (cfg(playouts).arena_capacity(9) * mcts::NodeArena::slot_bytes()) as u64
+}
+
+#[test]
+fn model_byte_budget_sheds_transiently_and_recovers_on_finalize() {
+    let per_session = session_bytes(100);
+    // Room for one session plus change, never two.
+    let cluster = ServeCluster::new(ClusterConfig {
+        shards: 1,
+        shard: shard_cfg(1, 32),
+        admission: Some(AdmissionConfig {
+            playouts_per_sec: 1e9,
+            burst_playouts: 1_000_000_000,
+            max_pending: 64,
+            model_byte_budget: Some(per_session + per_session / 2),
+            ..Default::default()
+        }),
+    });
+    let eval = uniform();
+    let submit = || {
+        cluster.submit(
+            SearchRequest::new(TicTacToe::new(), Arc::clone(&eval) as Arc<_>).config(cfg(100)),
+        )
+    };
+    let a = submit().expect("first session fits the byte budget");
+    assert_eq!(
+        cluster.stats().admitted_bytes,
+        per_session,
+        "the reservation is visible while the session is in flight"
+    );
+    let rej = submit().expect_err("second session exceeds the model byte budget");
+    assert_eq!(rej.reason, RejectReason::OverMemory);
+    assert!(
+        rej.retry_after > Duration::ZERO,
+        "transient: bytes come back as sessions finalize"
+    );
+    assert_eq!(a.wait().stats.playouts, 100);
+    // Finalization releases the reservation; the next session fits. The
+    // release runs on the worker thread after wait() observes the final
+    // result, so poll briefly.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let b = loop {
+        match submit() {
+            Ok(t) => break t,
+            Err(_) if Instant::now() < deadline => std::thread::yield_now(),
+            Err(e) => panic!("bytes never released after completion: {e}"),
+        }
+    };
+    assert_eq!(b.wait().stats.playouts, 100);
+    let stats = cluster.stats();
+    assert!(stats.shed_over_memory >= 1);
+    assert_eq!(
+        stats.admitted + stats.shed(),
+        stats.admitted + stats.shed_over_memory
+    );
+    assert!(
+        stats.metrics_json().contains("\"over_memory\":"),
+        "metrics dump exports the over-memory shed counter"
+    );
+}
+
+#[test]
+fn session_byte_quota_is_terminal_with_zero_retry() {
+    let per_session = session_bytes(100);
+    let cluster = ServeCluster::new(ClusterConfig {
+        shards: 1,
+        shard: shard_cfg(1, 32),
+        admission: Some(AdmissionConfig {
+            playouts_per_sec: 1e9,
+            burst_playouts: 1_000_000_000,
+            max_pending: 64,
+            session_byte_quota: Some(per_session / 2),
+            ..Default::default()
+        }),
+    });
+    let eval = uniform();
+    let rej = cluster
+        .submit(SearchRequest::new(TicTacToe::new(), Arc::clone(&eval) as Arc<_>).config(cfg(100)))
+        .expect_err("arena larger than the per-session quota");
+    assert_eq!(rej.reason, RejectReason::OverMemory);
+    assert_eq!(
+        rej.retry_after,
+        Duration::ZERO,
+        "terminal: waiting never shrinks the request"
+    );
+    let stats = cluster.stats();
+    assert_eq!(stats.admitted, 0);
+    assert_eq!(stats.shed_over_memory, 1);
+    assert_eq!(stats.admitted_bytes, 0, "a shed request reserves nothing");
+    // A session provisioned under the quota (explicit tight arena bound)
+    // is admitted: the quota prices the arena, not the playout count.
+    let small = MctsConfig {
+        playouts: 100,
+        max_nodes: Some(64),
+        ..Default::default()
+    };
+    let t = cluster
+        .submit(SearchRequest::new(TicTacToe::new(), Arc::clone(&eval) as Arc<_>).config(small))
+        .expect("a bounded arena fits the session quota");
+    assert_eq!(t.wait().stats.playouts, 100);
+}
+
+#[test]
+fn byte_accounting_balances_through_cancel_and_drain() {
+    let per_session = session_bytes(400_000);
+    let cluster = ServeCluster::new(ClusterConfig {
+        shards: 2,
+        shard: shard_cfg(1, 16),
+        admission: Some(AdmissionConfig {
+            playouts_per_sec: 1e9,
+            burst_playouts: 1_000_000_000,
+            max_pending: 64,
+            model_byte_budget: Some(16 * per_session),
+            ..Default::default()
+        }),
+    });
+    let eval = uniform();
+    let tickets: Vec<_> = (0..3)
+        .map(|_| {
+            cluster
+                .submit(
+                    SearchRequest::new(TicTacToe::new(), Arc::clone(&eval) as Arc<_>)
+                        .config(cfg(400_000)),
+                )
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(
+        cluster.stats().admitted_bytes,
+        3 * per_session,
+        "every in-flight session's reservation is accounted"
+    );
+    // Cancellation releases exactly the cancelled session's bytes.
+    tickets[0].cancel();
+    tickets[0].wait();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while cluster.stats().admitted_bytes != 2 * per_session {
+        assert!(
+            Instant::now() < deadline,
+            "cancelled session never returned its bytes: {}",
+            cluster.stats().admitted_bytes
+        );
+        std::thread::yield_now();
+    }
+    // Drain unwinds the rest (force-cancelling stragglers): the gauge
+    // must return to zero — no leaked reservation.
+    let report = cluster.drain(Duration::ZERO);
+    assert!(report.drained, "{report:?}");
+    let stats = cluster.stats();
+    assert_eq!(stats.admitted_bytes, 0, "drain left bytes reserved");
+    assert!(stats.metrics_json().contains("\"admitted_bytes\":0"));
+}
+
 #[test]
 fn shutdown_cancels_stragglers_and_unwinds_accounting() {
     let cluster = ServeCluster::new(ClusterConfig {
@@ -634,6 +794,7 @@ fn shutdown_cancels_stragglers_and_unwinds_accounting() {
             playouts_per_sec: 1e9,
             burst_playouts: 1_000_000_000,
             max_pending: 64,
+            ..Default::default()
         }),
     });
     let eval = uniform();

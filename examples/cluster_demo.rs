@@ -104,6 +104,7 @@ fn main() {
             playouts_per_sec: 2_000.0,
             burst_playouts: 1_200,
             max_pending: 6,
+            ..Default::default()
         }),
     });
     println!("cluster up: 2 shards × 2 workers, 1200-playout admission burst\n");

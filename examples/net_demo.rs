@@ -33,6 +33,7 @@ fn main() {
             playouts_per_sec: 1e8,
             burst_playouts: 100_000_000,
             max_pending: 256,
+            ..Default::default()
         }),
     }));
     let mut server = NetServer::bind(
@@ -46,6 +47,7 @@ fn main() {
                 playouts_per_sec: 1e8,
                 burst_playouts: 100_000_000,
                 max_pending: 1,
+                ..Default::default()
             }),
             ..Default::default()
         },

@@ -93,11 +93,11 @@ pub mod prelude {
     pub use games::tictactoe::TicTacToe;
     pub use games::{Action, Game, Player, Status};
     pub use mcts::{
-        AccelEvaluator, AdaptiveSearch, BatchEvaluator, CacheStats, CachedEvaluator,
+        AccelEvaluator, AdaptiveSearch, BatchEvaluator, Budget, CacheStats, CachedEvaluator,
         CoalescingEvaluator, Completion, EvalCache, EvalCacheConfig, EvalClient, EvalOutput,
-        Evaluator, LegacyEvaluator, LockKind, MctsConfig, NnEvaluator, ReusableSearch, RootNoise,
-        Scheme, SearchBuilder, SearchResult, SearchScheme, SearchStats, SpeculativeSearch, Ticket,
-        UniformEvaluator, VirtualLoss,
+        Evaluator, EvictionPolicy, LegacyEvaluator, LockKind, MctsConfig, NnEvaluator,
+        ReusableSearch, RootNoise, Scheme, SearchBuilder, SearchResult, SearchScheme, SearchStats,
+        SpeculativeSearch, Ticket, TreeStats, UniformEvaluator, VirtualLoss,
     };
     pub use nn::resnet::{ResNetConfig, ResNetPolicyValueNet};
     pub use nn::{NetConfig, PolicyValueNet};
